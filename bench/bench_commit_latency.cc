@@ -1,0 +1,82 @@
+// Experiment Q3: commit latency — failure-free vs coordinator-crash (with
+// election + termination protocol) — per protocol and population size, and
+// the election-algorithm ablation (bully vs ring backup selection).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+
+using namespace nbcp;
+
+namespace {
+
+TxnResult RunOne(const std::string& protocol, size_t n, bool crash,
+                 bool ring, uint64_t seed) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  config.participant.use_ring_election = ring;
+  auto system = CommitSystem::Create(config);
+  TransactionId txn = (*system)->Begin();
+  if (crash) {
+    const char* decision_msg =
+        protocol.find("3PC") != std::string::npos ? msg::kPrepare
+                                                  : msg::kCommit;
+    (*system)->injector().CrashDuringBroadcast(1, txn, decision_msg, n / 2);
+  }
+  return (*system)->RunToCompletion(txn);
+}
+
+double MeanLatency(const std::string& protocol, size_t n, bool crash,
+                   bool ring, int trials) {
+  double total = 0;
+  int counted = 0;
+  for (int t = 0; t < trials; ++t) {
+    TxnResult r = RunOne(protocol, n, crash, ring, 100 + t);
+    if (r.blocked) continue;  // Blocked runs have no completion latency.
+    total += static_cast<double>(r.latency());
+    ++counted;
+  }
+  return counted > 0 ? total / counted : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const int kTrials = 50;
+  bench::Banner("Q3", "Commit latency, failure-free vs coordinator crash");
+  std::printf("delays: base 100us + up to 50us jitter; detection 500us; "
+              "%d trials per cell; latency in us\n\n", kTrials);
+  std::printf("%-20s %4s %14s %26s %10s\n", "protocol", "n", "failure-free",
+              "coord-crash(+termination)", "overhead");
+  for (const std::string& protocol :
+       {std::string("2PC-central"), std::string("3PC-central"),
+        std::string("3PC-decentralized")}) {
+    for (size_t n : {3, 5, 9}) {
+      double clean = MeanLatency(protocol, n, false, false, kTrials);
+      double crash = MeanLatency(protocol, n, true, false, kTrials);
+      std::printf("%-20s %4zu %14.0f %26.0f %9.1fx\n", protocol.c_str(), n,
+                  clean, crash, crash > 0 && clean > 0 ? crash / clean : 0.0);
+    }
+  }
+  std::printf(
+      "\nShape: 3PC costs ~%d/%d of 2PC failure-free (extra round); under a\n"
+      "coordinator crash 3PC completes after detection+election+termination\n"
+      "while 2PC either resolves cooperatively or blocks (excluded rows).\n",
+      5, 3);
+
+  bench::Banner("Q3b", "Election ablation: bully vs ring backup selection");
+  std::printf("%-20s %4s %18s %18s\n", "protocol", "n", "bully crash-lat",
+              "ring crash-lat");
+  for (size_t n : {3, 5, 9}) {
+    double bully = MeanLatency("3PC-central", n, true, false, kTrials);
+    double ring = MeanLatency("3PC-central", n, true, true, kTrials);
+    std::printf("%-20s %4zu %18.0f %18.0f\n", "3PC-central", n, bully, ring);
+  }
+  std::printf("\nRing circulates O(n) sequential hops vs bully's O(1) "
+              "rounds: ring termination latency grows with n.\n");
+  return 0;
+}

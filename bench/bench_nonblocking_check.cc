@@ -1,0 +1,61 @@
+// Experiment F5: 2PC is blocking — it violates both conditions of the
+// Fundamental Nonblocking Theorem.
+// Experiments F7/F8 (analysis side): both 3PC protocols satisfy the
+// theorem. Also exercises the design lemma (adjacency form).
+#include <cstdio>
+
+#include "analysis/nonblocking.h"
+#include "bench_util.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+using namespace nbcp;
+
+int main() {
+  bench::Banner("F5/F7/F8", "Fundamental Nonblocking Theorem verdicts");
+  std::printf("%-20s %4s %-12s %-11s %s\n", "protocol", "n", "verdict",
+              "violations", "satisfying sites");
+  for (const std::string& name : BuiltinProtocolNames()) {
+    for (size_t n = 2; n <= 4; ++n) {
+      auto report = CheckNonblocking(*MakeProtocol(name), n);
+      if (!report.ok()) continue;
+      std::string sat;
+      for (SiteId s : report->satisfying_sites) {
+        sat += std::to_string(s) + " ";
+      }
+      std::printf("%-20s %4zu %-12s %-11zu %s\n", name.c_str(), n,
+                  report->nonblocking ? "NONBLOCKING" : "BLOCKING",
+                  report->violations.size(), sat.c_str());
+    }
+  }
+
+  bench::Banner("F5 detail", "Why 2PC blocks (theorem violations, n=3)");
+  for (const char* name : {"2PC-central", "2PC-decentralized"}) {
+    auto report = CheckNonblocking(*MakeProtocol(name), 3);
+    if (!report.ok()) continue;
+    std::printf("\n%s:\n%s", name, report->ToString().c_str());
+  }
+
+  bench::Banner("Lemma", "Design lemma on the canonical protocols");
+  for (auto [title, automaton] :
+       {std::pair<const char*, Automaton>{"canonical 2PC",
+                                          MakeCanonicalTwoPhase()},
+        std::pair<const char*, Automaton>{"canonical buffered",
+                                          MakeCanonicalBuffered()}}) {
+    auto committable = CommittableStates(automaton, 3);
+    if (!committable.ok()) continue;
+    LemmaReport lemma = CheckAdjacencyLemma(automaton, *committable);
+    std::printf("%-20s lemma %s", title,
+                lemma.satisfied ? "SATISFIED\n" : "VIOLATED by states:");
+    if (!lemma.satisfied) {
+      for (StateIndex s : lemma.states_adjacent_to_both) {
+        std::printf(" %s(adj-both)", automaton.state(s).name.c_str());
+      }
+      for (StateIndex s : lemma.noncommittable_adjacent_to_commit) {
+        std::printf(" %s(nc-adj-commit)", automaton.state(s).name.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension experiment E1: network partitions. The paper assumes "the
+// underlying network ... never fails"; this bench shows what that
+// assumption buys — plain 3PC termination diverges across a partition —
+// and how Skeen's quorum-based commit protocol (Q3PC) restores safety:
+// only a quorum side may terminate; the other blocks until the heal.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+
+using namespace nbcp;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  std::vector<SiteId> side_a;
+  std::vector<SiteId> side_b;
+  size_t prepares_delivered;  // Before the coordinator crash.
+};
+
+void RunScenario(const std::string& protocol, const Scenario& sc) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = 5;
+  config.seed = 17;
+  config.delay = DelayModel{100, 0};
+  auto system = CommitSystem::Create(config);
+  if (!system.ok()) return;
+  CommitSystem& s = **system;
+
+  TransactionId txn = s.Begin();
+  s.injector().CrashDuringBroadcast(1, txn, msg::kPrepare,
+                                    sc.prepares_delivered);
+  (void)s.Launch(txn);
+  s.simulator().RunUntil(400);
+  s.injector().Partition(sc.side_a, sc.side_b);
+  s.simulator().RunUntil(2'000'000);
+  TxnResult mid = s.Summarize(txn);
+
+  s.injector().HealPartition(sc.side_a, sc.side_b);
+  s.simulator().Run();
+  TxnResult healed = s.Summarize(txn);
+
+  std::printf("%-14s %-26s  partitioned: %-9s %-14s %-8s | healed: %-9s %s\n",
+              protocol.c_str(), sc.name, ToString(mid.outcome).c_str(),
+              mid.consistent ? "consistent" : "INCONSISTENT",
+              mid.blocked ? "blocked" : "done",
+              ToString(healed.outcome).c_str(),
+              healed.consistent ? "consistent" : "INCONSISTENT");
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E1", "Partition study: 3PC vs quorum 3PC");
+  std::printf(
+      "5 sites, unanimous yes votes, coordinator crashes after delivering\n"
+      "'prepare' to the listed number of slaves; then the survivors are\n"
+      "partitioned before the failure detector fires.\n\n");
+
+  std::vector<Scenario> scenarios = {
+      {"split 2/2, 2 prepared", {2, 3}, {4, 5}, 2},
+      {"majority 3/1, 2 prepared", {2, 3, 4}, {5}, 2},
+      {"majority 3/1, 0 prepared", {2, 3, 4}, {5}, 0},
+      {"minority holds prepared", {4, 5}, {2, 3}, 2},
+  };
+  for (const Scenario& sc : scenarios) {
+    for (const char* protocol : {"3PC-central", "Q3PC-central"}) {
+      RunScenario(protocol, sc);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape: 3PC rows can show INCONSISTENT while partitioned (each side\n"
+      "terminates on its own view) and the damage persists after the heal.\n"
+      "Q3PC rows are always consistent: a side without a quorum blocks,\n"
+      "and the heal resolves every survivor to one outcome.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Experiments F1, F3, F7, F8: reproduce the paper's protocol figures —
+// the FSAs for central-site 2PC (coordinator + slave), decentralized 2PC,
+// central-site 3PC and decentralized 3PC — as transition tables and DOT.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fsa/dot_export.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+using namespace nbcp;
+
+namespace {
+
+void PrintSpec(const ProtocolSpec& spec) {
+  std::printf("protocol: %s (%s paradigm, %d phases)\n", spec.name().c_str(),
+              ToString(spec.paradigm()).c_str(), spec.NumPhases());
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    auto role = static_cast<RoleIndex>(r);
+    std::printf("\n-- role: %s --\n", spec.role_name(role).c_str());
+    std::printf("%s", TransitionTable(spec.role(role)).c_str());
+  }
+  std::printf("\nDOT (render with graphviz):\n%s\n", ToDot(spec).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("F1", "The FSAs for the 2PC protocol (central site)");
+  PrintSpec(MakeTwoPhaseCentral());
+
+  bench::Banner("F3", "The decentralized 2PC protocol");
+  PrintSpec(MakeTwoPhaseDecentralized());
+
+  bench::Banner("F7", "A nonblocking central site 3PC protocol");
+  PrintSpec(MakeThreePhaseCentral());
+
+  bench::Banner("F8", "A nonblocking decentralized 3PC protocol");
+  PrintSpec(MakeThreePhaseDecentralized());
+
+  bench::Banner("F6b", "The canonical 2PC protocol and its buffered form");
+  std::printf("canonical 2PC:\n%s\n",
+              TransitionTable(MakeCanonicalTwoPhase()).c_str());
+  std::printf("canonical with buffer state p:\n%s\n",
+              TransitionTable(MakeCanonicalBuffered()).c_str());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiment F9: the termination protocol decision table — "Commit if
+// s in {p, c}; Abort if s in {q, w, a}" for the canonical 3PC — plus the
+// safe-rule verdicts showing where 2PC blocks, and an end-to-end
+// termination run (coordinator crash -> election -> 2-phase backup).
+#include <cstdio>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "analysis/termination_validation.h"
+#include "bench_util.h"
+#include "protocols/registry.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+#include "termination/backup_coordinator.h"
+
+using namespace nbcp;
+
+namespace {
+
+void PrintDecisionTable(const char* title, const Automaton& automaton) {
+  ProtocolSpec spec(title, Paradigm::kDecentralized);
+  spec.AddRole("peer", automaton);
+  auto graph = ReachableStateGraph::Build(spec, 3);
+  if (!graph.ok()) return;
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  std::printf("\n%s:\n", title);
+  std::printf("  %-6s %-12s %-24s\n", "state", "paper rule", "safe rule");
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    auto state = static_cast<StateIndex>(s);
+    Outcome paper = PaperTerminationDecision(analysis, 1, state);
+    auto safe = SafeTerminationDecision(analysis, 1, state);
+    std::printf("  %-6s %-12s %-24s\n", automaton.state(state).name.c_str(),
+                ToString(paper).c_str(),
+                safe.ok() ? ToString(*safe).c_str() : "BLOCKED");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("F9", "Decision rule for backup coordinators");
+  std::printf("paper (canonical 3PC): commit if s in {p, c}; abort if s in "
+              "{q, w, a}\n");
+  PrintDecisionTable("canonical 3PC", MakeCanonicalBuffered());
+  PrintDecisionTable("canonical 2PC (blocking)", MakeCanonicalTwoPhase());
+
+  bench::Banner("F9 end-to-end",
+                "Coordinator crash -> election -> 2-phase backup protocol");
+  struct Scenario {
+    const char* description;
+    const char* msg_type;  // Broadcast interrupted by the crash.
+    size_t copies;         // Copies delivered before the crash.
+  };
+  for (Scenario sc :
+       {Scenario{"crash before any prepare delivered", msg::kPrepare, 0},
+        Scenario{"crash after 1 of 3 prepares", msg::kPrepare, 1},
+        Scenario{"crash after all acks, before any commit", msg::kCommit, 0},
+        Scenario{"crash after 1 of 3 commits", msg::kCommit, 1}}) {
+    SystemConfig config;
+    config.protocol = "3PC-central";
+    config.num_sites = 4;
+    config.seed = 99;
+    auto system = CommitSystem::Create(config);
+    if (!system.ok()) continue;
+    TransactionId txn = (*system)->Begin();
+    (*system)->injector().CrashDuringBroadcast(1, txn, sc.msg_type,
+                                               sc.copies);
+    TxnResult result = (*system)->RunToCompletion(txn);
+    std::printf("%-40s -> %-9s blocked=%s consistent=%s termination=%s\n",
+                sc.description, ToString(result.outcome).c_str(),
+                result.blocked ? "yes" : "no",
+                result.consistent ? "yes" : "no",
+                result.used_termination ? "yes" : "no");
+  }
+
+  std::printf("\nsame crash points under 2PC (the blocking contrast):\n");
+  for (Scenario sc :
+       {Scenario{"crash before any commit delivered", msg::kCommit, 0},
+        Scenario{"crash after 1 of 3 commits", msg::kCommit, 1}}) {
+    SystemConfig config;
+    config.protocol = "2PC-central";
+    config.num_sites = 4;
+    config.seed = 99;
+    auto system = CommitSystem::Create(config);
+    if (!system.ok()) continue;
+    TransactionId txn = (*system)->Begin();
+    (*system)->injector().CrashDuringBroadcast(1, txn, sc.msg_type,
+                                               sc.copies);
+    TxnResult result = (*system)->RunToCompletion(txn);
+    std::printf("%-40s -> %-9s blocked=%s consistent=%s\n", sc.description,
+                ToString(result.outcome).c_str(),
+                result.blocked ? "yes" : "no",
+                result.consistent ? "yes" : "no");
+  }
+
+  bench::Banner("F9 exhaustive",
+                "Model-check of the decision rule over every failure instant");
+  std::printf("every reachable global state x every survivor subset (n=3)\n\n");
+  std::printf("%-20s %10s %10s %10s %10s %14s\n", "protocol", "states",
+              "scenarios", "decided", "blocked", "contradictions");
+  for (const std::string& name : BuiltinProtocolNames()) {
+    auto report = ValidateTerminationRule(*MakeProtocol(name), 3);
+    if (!report.ok()) continue;
+    std::printf("%-20s %10zu %10zu %10zu %10zu %14zu\n", name.c_str(),
+                report->global_states, report->scenarios, report->decided,
+                report->blocked, report->inconsistencies.size());
+  }
+  std::printf(
+      "\ncontradictions must be 0 for every protocol; blocked must be 0 for\n"
+      "the nonblocking ones (3PC, Q3PC) — the theorem, checked semantically.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#ifndef NBCP_BENCH_BENCH_UTIL_H_
+#define NBCP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace nbcp::bench {
+
+/// Prints a section banner so each experiment's output is self-describing.
+inline void Banner(const std::string& experiment, const std::string& title) {
+  std::printf("\n");
+  std::printf(
+      "=============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), title.c_str());
+  std::printf(
+      "=============================================================\n");
+}
+
+}  // namespace nbcp::bench
+
+#endif  // NBCP_BENCH_BENCH_UTIL_H_

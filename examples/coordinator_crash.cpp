@@ -1,0 +1,69 @@
+// Coordinator crash walkthrough: the paper's central scenario, narrated.
+// Runs the same crash point under 2PC (participants block) and 3PC
+// (election + termination protocol finish the transaction), with protocol
+// tracing enabled so every state transition and decision is visible.
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+
+using namespace nbcp;
+
+namespace {
+
+void RunScenario(const std::string& protocol) {
+  std::printf("\n########## %s ##########\n", protocol.c_str());
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = 4;
+  config.seed = 5;
+  config.delay = DelayModel{100, 0};  // Deterministic, easier to follow.
+  config.trace = true;
+  auto system = CommitSystem::Create(config);
+  if (!system.ok()) return;
+  CommitSystem& s = **system;
+
+  TransactionId txn = s.Begin();
+  // The coordinator collects unanimous yes votes, reaches its decision
+  // point, and crashes before ANY decision message escapes.
+  const char* decision_msg =
+      protocol.find("3PC") != std::string::npos ? msg::kPrepare : msg::kCommit;
+  s.injector().CrashDuringBroadcast(1, txn, decision_msg, 0);
+
+  TxnResult result = s.RunToCompletion(txn);
+
+  std::printf("\n--- event timeline (per-site lanes) ---\n%s",
+              s.trace()->RenderLanes(txn, 4).c_str());
+  std::printf("\n-> result: %s\n", result.ToString().c_str());
+  for (SiteId site = 2; site <= 4; ++site) {
+    std::printf("   site %u: outcome=%-10s blocked=%s\n", site,
+                ToString(s.participant(site).OutcomeOf(txn)).c_str(),
+                s.participant(site).IsBlocked(txn) ? "YES" : "no");
+  }
+  if (result.blocked) {
+    std::printf(
+        "   The survivors voted yes and cannot distinguish 'coordinator\n"
+        "   committed' from 'coordinator aborted': they must wait for it\n"
+        "   to recover. This is the blocking the paper eliminates.\n");
+  } else {
+    std::printf(
+        "   The survivors elected a backup coordinator, applied the\n"
+        "   decision rule to its local state, and terminated consistently\n"
+        "   without the coordinator.\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // kDebug additionally shows elections, state queries and termination
+  // decisions as they happen; the structured timeline is printed after.
+  Logger::Get().set_level(LogLevel::kWarn);
+  std::printf("Scenario: 4 sites, all vote yes, coordinator crashes at its\n"
+              "decision point before any decision message is delivered.\n");
+  RunScenario("2PC-central");
+  RunScenario("3PC-central");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Protocol designer: the paper's methodology as a tool. Start from a
+// commit protocol spec, verify the structural properties, build its
+// reachable state graph, compute concurrency sets, check the Fundamental
+// Nonblocking Theorem — and if it blocks, mechanically insert buffer
+// states and re-verify. Applied here to 2PC, deriving 3PC.
+#include <cstdio>
+
+#include "analysis/buffer_synthesis.h"
+#include "analysis/concurrency_set.h"
+#include "analysis/nonblocking.h"
+#include "analysis/state_graph.h"
+#include "analysis/synchronicity.h"
+#include "fsa/dot_export.h"
+#include "protocols/protocols.h"
+
+using namespace nbcp;
+
+namespace {
+
+void Analyze(const ProtocolSpec& spec, size_t n) {
+  std::printf("\n==== analyzing %s with %zu sites ====\n",
+              spec.name().c_str(), n);
+
+  Status valid = spec.Validate();
+  std::printf("structural validation: %s\n", valid.ToString().c_str());
+  if (!valid.ok()) return;
+  std::printf("phases: %d\n", spec.NumPhases());
+
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return;
+  std::printf("reachable global states: %zu (edges %zu)\n",
+              graph->num_nodes(), graph->num_edges());
+  std::printf("inconsistent states: %zu, deadlocked: %zu\n",
+              graph->InconsistentNodes().size(),
+              graph->DeadlockedNodes().size());
+
+  auto sync = CheckSynchronicity(*graph);
+  std::printf("synchronous within one state transition: %s (max lead %d)\n",
+              sync.synchronous_within_one() ? "yes" : "no", sync.max_lead);
+
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  std::printf("concurrency sets (site 2):\n");
+  const Automaton& role = spec.role(spec.RoleForSite(2, n));
+  for (size_t s = 0; s < role.num_states(); ++s) {
+    auto state = static_cast<StateIndex>(s);
+    if (!analysis.IsOccupied(2, state)) continue;
+    std::printf("  CS(%s) = %-26s committable=%s\n",
+                role.state(state).name.c_str(),
+                analysis.FormatConcurrencySet(2, state).c_str(),
+                analysis.IsCommittable(2, state) ? "yes" : "no");
+  }
+
+  NonblockingReport report = CheckNonblocking(analysis);
+  std::printf("%s", report.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("The paper's design method, as a tool:\n"
+              "  1. analyze the protocol;\n"
+              "  2. if blocking, insert buffer states;\n"
+              "  3. re-verify.\n");
+
+  ProtocolSpec two_pc = MakeTwoPhaseCentral();
+  Analyze(two_pc, 3);
+
+  std::printf("\n>>> 2PC is blocking; applying buffer-state synthesis...\n");
+  auto fixed = SynthesizeNonblocking(two_pc, 3);
+  if (!fixed.ok()) {
+    std::printf("synthesis failed: %s\n", fixed.status().ToString().c_str());
+    return 1;
+  }
+  Analyze(*fixed, 3);
+
+  ProtocolSpec reference = MakeThreePhaseCentral();
+  bool iso = AutomataIsomorphic(fixed->role(0), reference.role(0)) &&
+             AutomataIsomorphic(fixed->role(1), reference.role(1));
+  std::printf("\nsynthesized protocol isomorphic to handwritten 3PC: %s\n",
+              iso ? "YES — the method derives 3PC from 2PC" : "no");
+
+  std::printf("\nGraphviz source of the synthesized protocol:\n%s",
+              ToDot(*fixed).c_str());
+  return 0;
+}

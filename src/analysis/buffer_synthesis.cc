@@ -1,0 +1,215 @@
+#include "analysis/buffer_synthesis.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/nonblocking.h"
+#include "analysis/state_graph.h"
+#include "analysis/synchronicity.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+/// Collects, for one role, the states that are noncommittable at some site
+/// executing that role.
+std::set<StateIndex> NoncommittableStates(const ConcurrencyAnalysis& analysis,
+                                          const ProtocolSpec& spec,
+                                          RoleIndex role, size_t n) {
+  std::set<StateIndex> out;
+  const Automaton& automaton = spec.role(role);
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    auto state = static_cast<StateIndex>(s);
+    for (SiteId site = 1; site <= n; ++site) {
+      if (spec.RoleForSite(site, n) != role) continue;
+      if (analysis.IsOccupied(site, state) &&
+          !analysis.IsCommittable(site, state)) {
+        out.insert(state);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool UsesMessageType(const Automaton& automaton, const std::string& type) {
+  for (const Transition& t : automaton.transitions()) {
+    if (t.trigger.msg_type == type) return true;
+    for (const SendSpec& send : t.sends) {
+      if (send.msg_type == type) return true;
+    }
+  }
+  return false;
+}
+
+/// Splits every commit-entering transition out of a noncommittable state,
+/// inserting a buffer state. `ack_trigger`/`ack_sends` describe what the
+/// new buffer state waits for / sends when first entered, per role.
+struct SplitPlan {
+  Trigger buffer_exit_trigger;       ///< Trigger of buffer -> commit.
+  std::vector<SendSpec> entry_sends; ///< Sends performed on entering buffer.
+};
+
+void InsertBuffers(Automaton* automaton,
+                   const std::set<StateIndex>& noncommittable,
+                   const std::string& buffer_name_prefix,
+                   const SplitPlan& plan) {
+  // Identify the transitions to split first: AddState invalidates nothing,
+  // but we must not iterate while mutating.
+  std::vector<size_t> to_split;
+  const auto& transitions = automaton->transitions();
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    const Transition& t = transitions[i];
+    if (automaton->state(t.to).kind == StateKind::kCommit &&
+        noncommittable.count(t.from) != 0) {
+      to_split.push_back(i);
+    }
+  }
+  int counter = 0;
+  for (size_t ti : to_split) {
+    // Copy: AddTransition may reallocate the vector.
+    Transition original = automaton->transitions()[ti];
+    std::string name = buffer_name_prefix;
+    if (counter > 0) name += std::to_string(counter);
+    ++counter;
+    StateIndex buffer = automaton->AddState(name, StateKind::kBuffer);
+
+    // Redirect the original transition into the buffer state, replacing its
+    // sends with the prepare announcement.
+    Transition& entry = const_cast<Transition&>(automaton->transitions()[ti]);
+    StateIndex commit_state = entry.to;
+    std::vector<SendSpec> decision_sends = entry.sends;
+    entry.to = buffer;
+    entry.sends = plan.entry_sends;
+
+    // Buffer -> commit performs the original decision sends.
+    Transition exit;
+    exit.from = buffer;
+    exit.to = commit_state;
+    exit.trigger = plan.buffer_exit_trigger;
+    exit.sends = decision_sends;
+    automaton->AddTransition(std::move(exit));
+  }
+}
+
+}  // namespace
+
+Result<ProtocolSpec> SynthesizeNonblocking(const ProtocolSpec& spec,
+                                           size_t n) {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    const Automaton& automaton = spec.role(static_cast<RoleIndex>(r));
+    if (UsesMessageType(automaton, msg::kPrepare) ||
+        UsesMessageType(automaton, msg::kAck)) {
+      return Status::FailedPrecondition(
+          "protocol already uses prepare/ack message types");
+    }
+  }
+
+  auto sync = CheckSynchronicity(spec, n);
+  if (!sync.ok()) return sync.status();
+  if (!sync->synchronous_within_one()) {
+    return Status::FailedPrecondition(
+        "buffer-state synthesis requires a protocol synchronous within one "
+        "state transition");
+  }
+
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return graph.status();
+  ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
+
+  ProtocolSpec out = spec;
+  out.set_name(spec.name() + "-buffered");
+
+  if (spec.paradigm() == Paradigm::kCentralSite) {
+    std::set<StateIndex> coord_nc =
+        NoncommittableStates(analysis, spec, /*role=*/0, n);
+    std::set<StateIndex> slave_nc =
+        NoncommittableStates(analysis, spec, /*role=*/1, n);
+
+    SplitPlan coord_plan;
+    coord_plan.entry_sends = {SendSpec{msg::kPrepare, Group::kSlaves}};
+    coord_plan.buffer_exit_trigger =
+        Trigger{TriggerKind::kAllFrom, msg::kAck, Group::kSlaves, false};
+    InsertBuffers(&out.mutable_role(0), coord_nc, "p1", coord_plan);
+
+    SplitPlan slave_plan;
+    slave_plan.entry_sends = {SendSpec{msg::kAck, Group::kCoordinator}};
+    slave_plan.buffer_exit_trigger = Trigger{};  // Overwritten below.
+
+    // The slave's buffer entry is triggered by "prepare" instead of the
+    // decision message: rewrite the trigger of each split entry transition.
+    Automaton& slave = out.mutable_role(1);
+    std::vector<size_t> to_split;
+    for (size_t i = 0; i < slave.transitions().size(); ++i) {
+      const Transition& t = slave.transitions()[i];
+      if (slave.state(t.to).kind == StateKind::kCommit &&
+          slave_nc.count(t.from) != 0) {
+        to_split.push_back(i);
+      }
+    }
+    int counter = 0;
+    for (size_t ti : to_split) {
+      Transition original = slave.transitions()[ti];
+      std::string name = "p";
+      if (counter > 0) name += std::to_string(counter);
+      ++counter;
+      StateIndex buffer = slave.AddState(name, StateKind::kBuffer);
+
+      Transition& entry = const_cast<Transition&>(slave.transitions()[ti]);
+      StateIndex commit_state = entry.to;
+      Trigger decision_trigger = entry.trigger;
+      entry.to = buffer;
+      entry.trigger = Trigger{TriggerKind::kOneFrom, msg::kPrepare,
+                              Group::kCoordinator, false};
+      entry.sends = {SendSpec{msg::kAck, Group::kCoordinator}};
+      entry.votes_yes = original.votes_yes;
+      entry.votes_no = original.votes_no;
+
+      Transition exit;
+      exit.from = buffer;
+      exit.to = commit_state;
+      exit.trigger = decision_trigger;
+      exit.sends = {};
+      slave.AddTransition(std::move(exit));
+    }
+  } else {
+    std::set<StateIndex> peer_nc =
+        NoncommittableStates(analysis, spec, /*role=*/0, n);
+    SplitPlan peer_plan;
+    peer_plan.entry_sends = {SendSpec{msg::kPrepare, Group::kAllPeers}};
+    peer_plan.buffer_exit_trigger =
+        Trigger{TriggerKind::kAllFrom, msg::kPrepare, Group::kAllPeers, false};
+    InsertBuffers(&out.mutable_role(0), peer_nc, "p", peer_plan);
+  }
+
+  // The transform assumes the decision message rides the commit-entering
+  // transition (as in 2PC). A protocol that broadcasts its decision on an
+  // earlier edge (e.g. a "confirmed 2PC" collecting done-acks) would come
+  // out deadlocked: sites wait for the prepare round while the decision
+  // message no longer matches any trigger. Liveness-check the result —
+  // the nonblocking theorem alone cannot see this.
+  auto out_graph = ReachableStateGraph::Build(out, n);
+  if (!out_graph.ok()) return out_graph.status();
+  if (!out_graph->DeadlockedNodes().empty()) {
+    return Status::FailedPrecondition(
+        "buffer-state synthesis does not apply: the protocol's decision "
+        "broadcast is not on its commit-entering transition, so the "
+        "synthesized variant deadlocks");
+  }
+
+  auto check = CheckNonblocking(out, n);
+  if (!check.ok()) return check.status();
+  if (!check->nonblocking) {
+    return Status::Internal(
+        "buffer-state synthesis failed to produce a nonblocking protocol:\n" +
+        check->ToString());
+  }
+  return out;
+}
+
+}  // namespace nbcp

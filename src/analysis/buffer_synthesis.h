@@ -1,0 +1,36 @@
+#ifndef NBCP_ANALYSIS_BUFFER_SYNTHESIS_H_
+#define NBCP_ANALYSIS_BUFFER_SYNTHESIS_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Mechanically applies the paper's design method: "blocking protocols are
+/// made nonblocking by adding buffer states".
+///
+/// For every transition entering a commit state from a noncommittable state
+/// (the adjacency forbidden by the design lemma), a buffer ("prepare to
+/// commit") state is inserted:
+///
+///  * central-site — the coordinator's decision broadcast is split into a
+///    prepare round (prepare / ack) followed by the commit broadcast; the
+///    slave correspondingly passes through a buffer state;
+///  * decentralized — an extra round of "prepare" interchange is inserted
+///    before the move to commit.
+///
+/// Applied to either 2PC spec this derives the corresponding 3PC spec.
+/// `n` is the site population used to decide committability. The input must
+/// be synchronous within one state transition (the lemma's hypothesis) and
+/// must not already use the "prepare"/"ack" message types.
+///
+/// The synthesized protocol is re-checked with the Fundamental Nonblocking
+/// Theorem before being returned; failure to achieve nonblocking is an
+/// Internal error.
+Result<ProtocolSpec> SynthesizeNonblocking(const ProtocolSpec& spec, size_t n);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_BUFFER_SYNTHESIS_H_

@@ -1,0 +1,101 @@
+#include "analysis/concurrency_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nbcp {
+
+ConcurrencyAnalysis ConcurrencyAnalysis::Compute(
+    const ReachableStateGraph& graph) {
+  ConcurrencyAnalysis out(graph);
+  const ProtocolSpec& spec = graph.spec();
+  size_t n = graph.num_sites();
+
+  // Which roles are able to vote at all.
+  std::vector<bool> can_vote(n);
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    can_vote[i] = spec.role(spec.RoleForSite(site, n)).CanVote();
+  }
+
+  for (size_t node = 0; node < graph.num_nodes(); ++node) {
+    const GlobalState& g = graph.node(node);
+
+    bool all_voted_yes = true;
+    for (size_t j = 0; j < n; ++j) {
+      if (can_vote[j] && g.votes[j] != Vote::kYes) {
+        all_voted_yes = false;
+        break;
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      SiteId site = static_cast<SiteId>(i + 1);
+      SiteState self{site, g.local[i]};
+      out.occupied_.insert(self);
+      if (!all_voted_yes) out.noncommittable_.insert(self);
+      auto& cs = out.concurrency_[self];
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        cs.insert(SiteState{static_cast<SiteId>(j + 1), g.local[j]});
+      }
+    }
+  }
+  return out;
+}
+
+const std::set<SiteState>& ConcurrencyAnalysis::ConcurrencySet(
+    SiteId site, StateIndex s) const {
+  auto it = concurrency_.find(SiteState{site, s});
+  return it == concurrency_.end() ? empty_ : it->second;
+}
+
+bool ConcurrencyAnalysis::IsOccupied(SiteId site, StateIndex s) const {
+  return occupied_.count(SiteState{site, s}) != 0;
+}
+
+bool ConcurrencyAnalysis::IsCommittable(SiteId site, StateIndex s) const {
+  return noncommittable_.count(SiteState{site, s}) == 0;
+}
+
+bool ConcurrencyAnalysis::ConcurrentWithCommit(SiteId site,
+                                               StateIndex s) const {
+  for (const SiteState& other : ConcurrencySet(site, s)) {
+    if (graph_->KindOf(other.first, other.second) == StateKind::kCommit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ConcurrencyAnalysis::ConcurrentWithAbort(SiteId site,
+                                              StateIndex s) const {
+  for (const SiteState& other : ConcurrencySet(site, s)) {
+    if (graph_->KindOf(other.first, other.second) == StateKind::kAbort) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ConcurrencyAnalysis::FormatConcurrencySet(SiteId site,
+                                                      StateIndex s) const {
+  const ProtocolSpec& spec = graph_->spec();
+  std::set<std::string> names;
+  for (const SiteState& other : ConcurrencySet(site, s)) {
+    names.insert(
+        spec.role(spec.RoleForSite(other.first, n_)).state(other.second).name);
+  }
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const std::string& name : names) {
+    if (!first) out << ", ";
+    out << name;
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace nbcp

@@ -1,0 +1,69 @@
+#ifndef NBCP_ANALYSIS_CONCURRENCY_SET_H_
+#define NBCP_ANALYSIS_CONCURRENCY_SET_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/state_graph.h"
+#include "common/types.h"
+
+namespace nbcp {
+
+/// A local state of a concrete site.
+using SiteState = std::pair<SiteId, StateIndex>;
+
+/// Concurrency-set and committability analysis over a reachable state graph.
+///
+/// Per the paper: assuming site k is in state s, the *concurrency set*
+/// CS(s) is the set of local states that may be concurrently occupied by
+/// other sites. A state s of site k is *committable* if occupancy of s by
+/// site k implies that all sites have voted yes on committing; otherwise it
+/// is noncommittable. (Roles with no vote transitions — e.g. 1PC slaves —
+/// implicitly assent.)
+class ConcurrencyAnalysis {
+ public:
+  /// Runs the analysis. The graph must be complete for sound results.
+  static ConcurrencyAnalysis Compute(const ReachableStateGraph& graph);
+
+  /// CS(state) for `site`: local states of *other* sites co-occupiable with
+  /// (site, state). Empty if (site, state) is never occupied.
+  const std::set<SiteState>& ConcurrencySet(SiteId site, StateIndex s) const;
+
+  /// True if (site, s) occurs in some reachable global state.
+  bool IsOccupied(SiteId site, StateIndex s) const;
+
+  /// True if (site, s) is committable. Unoccupied states are vacuously
+  /// committable.
+  bool IsCommittable(SiteId site, StateIndex s) const;
+
+  /// True if the concurrency set of (site, s) contains a commit state.
+  bool ConcurrentWithCommit(SiteId site, StateIndex s) const;
+
+  /// True if the concurrency set of (site, s) contains an abort state.
+  bool ConcurrentWithAbort(SiteId site, StateIndex s) const;
+
+  size_t num_sites() const { return n_; }
+  const ReachableStateGraph& graph() const { return *graph_; }
+
+  /// Formats the concurrency set of (site, s) as "{q, w, a}" using local
+  /// state names (deduplicated across sites, sorted).
+  std::string FormatConcurrencySet(SiteId site, StateIndex s) const;
+
+ private:
+  explicit ConcurrencyAnalysis(const ReachableStateGraph& graph)
+      : graph_(&graph), n_(graph.num_sites()) {}
+
+  const ReachableStateGraph* graph_;
+  size_t n_;
+  std::map<SiteState, std::set<SiteState>> concurrency_;
+  std::set<SiteState> occupied_;
+  std::set<SiteState> noncommittable_;
+  std::set<SiteState> empty_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_CONCURRENCY_SET_H_

@@ -1,0 +1,241 @@
+#include "analysis/failure_graph.h"
+
+#include <sstream>
+
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+std::string FailureGlobalState::Key() const {
+  std::string key = base.Key();
+  key += '#';
+  for (bool d : down) key += d ? '1' : '0';
+  return key;
+}
+
+size_t FailureGlobalState::NumDown() const {
+  size_t count = 0;
+  for (bool d : down) count += d ? 1 : 0;
+  return count;
+}
+
+Result<FailureAugmentedGraph> FailureAugmentedGraph::Build(
+    const ProtocolSpec& spec, size_t n, FailureGraphOptions options) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 sites");
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  if (options.max_failures >= n) options.max_failures = n - 1;
+
+  FailureAugmentedGraph graph(spec, n, options);
+  FailureGlobalState initial;
+  initial.base = MakeInitialGlobalState(spec, n);
+  initial.down.assign(n, false);
+
+  std::vector<size_t> worklist;
+  graph.Intern(std::move(initial), &worklist);
+  size_t cursor = 0;
+  while (cursor < worklist.size()) {
+    if (graph.nodes_.size() > options.max_nodes) {
+      graph.complete_ = false;
+      break;
+    }
+    graph.Expand(worklist[cursor++], &worklist);
+  }
+  return graph;
+}
+
+size_t FailureAugmentedGraph::Intern(FailureGlobalState state,
+                                     std::vector<size_t>* worklist) {
+  std::string key = state.Key();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  size_t idx = nodes_.size();
+  nodes_.push_back(std::move(state));
+  index_.emplace(std::move(key), idx);
+  worklist->push_back(idx);
+  return idx;
+}
+
+std::vector<FailureAugmentedGraph::Firing>
+FailureAugmentedGraph::EnabledFirings(const FailureGlobalState& state,
+                                      SiteId site) const {
+  std::vector<Firing> out;
+  size_t i = site - 1;
+  const Automaton& automaton = spec_.role(spec_.RoleForSite(site, n_));
+  const GlobalState& g = state.base;
+
+  for (size_t ti : automaton.TransitionsFrom(g.local[i])) {
+    const Transition& t = automaton.transitions()[ti];
+    if (t.trigger.kind != TriggerKind::kAnyFrom) {
+      if (t.votes_yes && g.votes[i] == Vote::kNo) continue;
+      if (t.votes_no && g.votes[i] == Vote::kYes) continue;
+    }
+    switch (t.trigger.kind) {
+      case TriggerKind::kClientRequest: {
+        MsgInstance want{msg::kRequest, kNoSite, site};
+        if (g.messages.count(want) != 0) {
+          out.push_back(Firing{&t, {want}, false});
+        }
+        break;
+      }
+      case TriggerKind::kOneFrom: {
+        for (SiteId sender : spec_.ResolveGroup(t.trigger.group, site, n_)) {
+          MsgInstance want{t.trigger.msg_type, sender, site};
+          if (g.messages.count(want) != 0) {
+            out.push_back(Firing{&t, {want}, false});
+          }
+        }
+        break;
+      }
+      case TriggerKind::kAllFrom: {
+        std::vector<MsgInstance> wanted;
+        bool all_present = true;
+        for (SiteId sender : spec_.ResolveGroup(t.trigger.group, site, n_)) {
+          MsgInstance want{t.trigger.msg_type, sender, site};
+          if (g.messages.count(want) == 0) {
+            all_present = false;
+            break;
+          }
+          wanted.push_back(std::move(want));
+        }
+        if (all_present) out.push_back(Firing{&t, std::move(wanted), false});
+        break;
+      }
+      case TriggerKind::kAnyFrom: {
+        for (SiteId sender : spec_.ResolveGroup(t.trigger.group, site, n_)) {
+          MsgInstance want{t.trigger.msg_type, sender, site};
+          if (g.messages.count(want) != 0) {
+            out.push_back(Firing{&t, {want}, false});
+          }
+        }
+        if (t.trigger.or_self_vote_no && g.votes[i] == Vote::kUnset) {
+          out.push_back(Firing{&t, {}, true});
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+FailureGlobalState FailureAugmentedGraph::ApplyFiring(
+    const FailureGlobalState& from, SiteId site, const Transition& t,
+    const std::vector<MsgInstance>& consumed, bool is_self_vote,
+    size_t send_limit, bool advance_state) const {
+  FailureGlobalState next = from;
+  GlobalState& g = next.base;
+  size_t i = site - 1;
+
+  for (const MsgInstance& m : consumed) {
+    auto it = g.messages.find(m);
+    if (--it->second == 0) g.messages.erase(it);
+  }
+
+  bool casts_vote = is_self_vote || t.trigger.kind != TriggerKind::kAnyFrom;
+  if (casts_vote) {
+    if (t.votes_yes) g.votes[i] = Vote::kYes;
+    if (t.votes_no) g.votes[i] = Vote::kNo;
+  }
+
+  size_t sent = 0;
+  for (const SendSpec& send : t.sends) {
+    for (SiteId target : spec_.ResolveGroup(send.to, site, n_)) {
+      if (sent >= send_limit) break;
+      ++sent;
+      // Messages to crashed sites vanish in the network.
+      if (next.down[target - 1]) continue;
+      ++g.messages[MsgInstance{send.msg_type, site, target}];
+    }
+    if (sent >= send_limit) break;
+  }
+
+  if (advance_state) {
+    g.local[i] = t.to;
+    ++g.steps[i];
+  }
+  return next;
+}
+
+void FailureAugmentedGraph::Expand(size_t idx,
+                                   std::vector<size_t>* worklist) {
+  const FailureGlobalState base = nodes_[idx];
+  size_t failures = base.NumDown();
+
+  for (size_t i = 0; i < n_; ++i) {
+    if (base.down[i]) continue;  // Crashed sites fire nothing.
+    SiteId site = static_cast<SiteId>(i + 1);
+    std::vector<Firing> firings = EnabledFirings(base, site);
+
+    // Normal (atomic) firings.
+    for (const Firing& f : firings) {
+      FailureGlobalState next =
+          ApplyFiring(base, site, *f.transition, f.consumed, f.self_vote,
+                      SIZE_MAX, /*advance_state=*/true);
+      Intern(std::move(next), worklist);
+      ++num_edges_;
+    }
+
+    if (failures >= options_.max_failures) continue;
+
+    // Clean crash between transitions: the site stops; in-flight messages
+    // addressed to it will never be consumed (drop them to keep states
+    // canonical).
+    {
+      FailureGlobalState next = base;
+      next.down[i] = true;
+      for (auto it = next.base.messages.begin();
+           it != next.base.messages.end();) {
+        if (it->first.to == site) {
+          it = next.base.messages.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      Intern(std::move(next), worklist);
+      ++num_edges_;
+    }
+
+    // Partial-send crashes inside each enabled transition: the trigger is
+    // consumed, only a strict prefix of the messages escapes, the local
+    // state does not advance, and the site is down.
+    if (options_.partial_sends) {
+      for (const Firing& f : firings) {
+        size_t total_sends = 0;
+        for (const SendSpec& send : f.transition->sends) {
+          total_sends +=
+              spec_.ResolveGroup(send.to, site, n_).size();
+        }
+        for (size_t prefix = 0; prefix < total_sends; ++prefix) {
+          FailureGlobalState next =
+              ApplyFiring(base, site, *f.transition, f.consumed,
+                          f.self_vote, prefix, /*advance_state=*/false);
+          next.down[i] = true;
+          for (auto it = next.base.messages.begin();
+               it != next.base.messages.end();) {
+            if (it->first.to == site) {
+              it = next.base.messages.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          Intern(std::move(next), worklist);
+          ++num_edges_;
+        }
+      }
+    }
+  }
+}
+
+std::vector<size_t> FailureAugmentedGraph::InconsistentNodes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].base.IsInconsistent(spec_)) out.push_back(i);
+  }
+  return out;
+}
+
+StateKind FailureAugmentedGraph::KindOf(SiteId site, StateIndex s) const {
+  return spec_.role(spec_.RoleForSite(site, n_)).state(s).kind;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,92 @@
+#include "analysis/global_state.h"
+
+#include <sstream>
+
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+std::string GlobalState::Key() const {
+  std::ostringstream out;
+  for (StateIndex s : local) out << s << ',';
+  out << '|';
+  for (Vote v : votes) out << static_cast<int>(v);
+  out << '|';
+  for (uint16_t s : steps) out << s << ',';
+  out << '|';
+  for (const auto& [m, count] : messages) {
+    out << m.type << ':' << m.from << '>' << m.to << 'x' << count << ';';
+  }
+  return out.str();
+}
+
+std::string GlobalState::ProjectedKey() const {
+  std::ostringstream out;
+  for (StateIndex s : local) out << s << ',';
+  out << '|';
+  for (const auto& [m, count] : messages) {
+    out << m.type << ':' << m.from << '>' << m.to << 'x' << count << ';';
+  }
+  return out.str();
+}
+
+bool GlobalState::IsInconsistent(const ProtocolSpec& spec) const {
+  bool has_commit = false;
+  bool has_abort = false;
+  for (size_t i = 0; i < local.size(); ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    StateKind kind = spec.role(spec.RoleForSite(site, local.size())).state(local[i]).kind;
+    if (kind == StateKind::kCommit) has_commit = true;
+    if (kind == StateKind::kAbort) has_abort = true;
+  }
+  return has_commit && has_abort;
+}
+
+bool GlobalState::IsFinal(const ProtocolSpec& spec) const {
+  for (size_t i = 0; i < local.size(); ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    StateKind kind = spec.role(spec.RoleForSite(site, local.size())).state(local[i]).kind;
+    if (!nbcp::IsFinal(kind)) return false;
+  }
+  return true;
+}
+
+std::string GlobalState::ToString(const ProtocolSpec& spec) const {
+  std::ostringstream out;
+  out << '<';
+  for (size_t i = 0; i < local.size(); ++i) {
+    if (i > 0) out << ',';
+    SiteId site = static_cast<SiteId>(i + 1);
+    out << spec.role(spec.RoleForSite(site, local.size())).state(local[i]).name;
+  }
+  out << " |";
+  for (const auto& [m, count] : messages) {
+    for (uint16_t k = 0; k < count; ++k) {
+      out << ' ' << m.type << '(' << m.from << "->" << m.to << ')';
+    }
+  }
+  out << '>';
+  return out.str();
+}
+
+GlobalState MakeInitialGlobalState(const ProtocolSpec& spec, size_t n) {
+  GlobalState g;
+  g.local.resize(n);
+  g.votes.assign(n, Vote::kUnset);
+  g.steps.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    g.local[i] = spec.role(spec.RoleForSite(site, n)).initial_state();
+  }
+  if (spec.paradigm() == Paradigm::kDecentralized) {
+    for (SiteId s = 1; s <= n; ++s) {
+      g.messages[MsgInstance{msg::kRequest, kNoSite, s}] = 1;
+    }
+  } else {
+    // Central-site and linear: the client hands the transaction to site 1.
+    g.messages[MsgInstance{msg::kRequest, kNoSite, 1}] = 1;
+  }
+  return g;
+}
+
+}  // namespace nbcp

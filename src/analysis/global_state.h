@@ -1,0 +1,76 @@
+#ifndef NBCP_ANALYSIS_GLOBAL_STATE_H_
+#define NBCP_ANALYSIS_GLOBAL_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// One message instance outstanding in the network, identified by type and
+/// endpoints (the model needs no payloads).
+struct MsgInstance {
+  std::string type;
+  SiteId from = kNoSite;
+  SiteId to = kNoSite;
+
+  friend bool operator<(const MsgInstance& a, const MsgInstance& b) {
+    return std::tie(a.type, a.from, a.to) < std::tie(b.type, b.from, b.to);
+  }
+  friend bool operator==(const MsgInstance& a, const MsgInstance& b) {
+    return a.type == b.type && a.from == b.from && a.to == b.to;
+  }
+};
+
+/// Vote cast by a site so far.
+enum class Vote : uint8_t { kUnset = 0, kYes = 1, kNo = 2 };
+
+/// The global state of a distributed transaction, per the paper: "a global
+/// state vector containing the local states of all FSAs, and the outstanding
+/// messages in the network".
+///
+/// Two refinements are tracked on top of the paper's definition:
+///  * `votes`  — whether each site has cast a yes/no vote, needed to decide
+///    committability ("occupancy implies all sites have voted yes");
+///  * `steps`  — transitions taken per site, needed to verify synchronicity
+///    within one state transition.
+/// Both refine (split) the paper's states without changing the reachable
+/// projection onto (local states, messages).
+struct GlobalState {
+  std::vector<StateIndex> local;          ///< local[i] = state of site i+1.
+  std::vector<Vote> votes;                ///< votes[i] = vote of site i+1.
+  std::vector<uint16_t> steps;            ///< steps[i] = transitions fired.
+  std::map<MsgInstance, uint16_t> messages;  ///< multiset of in-flight msgs.
+
+  /// Canonical serialization usable as a hash key.
+  std::string Key() const;
+
+  /// Projection key ignoring votes and steps — the paper's notion of a
+  /// global state.
+  std::string ProjectedKey() const;
+
+  /// True if some site occupies a commit state while another occupies an
+  /// abort state ("inconsistent": atomicity is violated).
+  bool IsInconsistent(const ProtocolSpec& spec) const;
+
+  /// True if every site's local state is final.
+  bool IsFinal(const ProtocolSpec& spec) const;
+
+  /// Human-readable rendering, e.g. "<w1,w,q | yes(2->1)>".
+  std::string ToString(const ProtocolSpec& spec) const;
+};
+
+/// The initial global state for an n-site run of `spec`: every site in its
+/// role's initial state, with the client's virtual "__request" message(s)
+/// outstanding (to site 1 in the central-site paradigm; to every site in the
+/// decentralized paradigm).
+GlobalState MakeInitialGlobalState(const ProtocolSpec& spec, size_t n);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_GLOBAL_STATE_H_

@@ -1,0 +1,134 @@
+#include "analysis/nonblocking.h"
+
+#include <sstream>
+
+#include "analysis/state_graph.h"
+
+namespace nbcp {
+
+std::string ToString(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kAbortAndCommitInConcurrencySet:
+      return "concurrency set contains both abort and commit";
+    case ViolationKind::kCommitInConcurrencySetOfNoncommittable:
+      return "noncommittable state concurrent with commit";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  std::ostringstream out;
+  out << "site " << site << " state '" << state_name
+      << "': " << nbcp::ToString(kind) << " CS=" << concurrency_set;
+  return out.str();
+}
+
+std::string NonblockingReport::ToString() const {
+  std::ostringstream out;
+  out << (nonblocking ? "NONBLOCKING" : "BLOCKING") << " ("
+      << violations.size() << " violation(s))\n";
+  for (const Violation& v : violations) {
+    out << "  " << v.ToString() << "\n";
+  }
+  return out.str();
+}
+
+NonblockingReport CheckNonblocking(const ConcurrencyAnalysis& analysis) {
+  NonblockingReport report;
+  const ReachableStateGraph& graph = analysis.graph();
+  const ProtocolSpec& spec = graph.spec();
+  size_t n = analysis.num_sites();
+
+  std::vector<bool> site_ok(n, true);
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    const Automaton& automaton = spec.role(spec.RoleForSite(site, n));
+    for (size_t s = 0; s < automaton.num_states(); ++s) {
+      auto state = static_cast<StateIndex>(s);
+      if (!analysis.IsOccupied(site, state)) continue;
+      bool with_commit = analysis.ConcurrentWithCommit(site, state);
+      bool with_abort = analysis.ConcurrentWithAbort(site, state);
+      if (with_commit && with_abort) {
+        report.violations.push_back(Violation{
+            site, state, automaton.state(state).name,
+            ViolationKind::kAbortAndCommitInConcurrencySet,
+            analysis.FormatConcurrencySet(site, state)});
+        site_ok[i] = false;
+      }
+      if (with_commit && !analysis.IsCommittable(site, state)) {
+        report.violations.push_back(Violation{
+            site, state, automaton.state(state).name,
+            ViolationKind::kCommitInConcurrencySetOfNoncommittable,
+            analysis.FormatConcurrencySet(site, state)});
+        site_ok[i] = false;
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (site_ok[i]) {
+      report.satisfying_sites.push_back(static_cast<SiteId>(i + 1));
+    }
+  }
+  report.nonblocking = report.violations.empty();
+  return report;
+}
+
+Result<NonblockingReport> CheckNonblocking(const ProtocolSpec& spec,
+                                           size_t n) {
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return graph.status();
+  if (!graph->complete()) {
+    return Status::Internal("state graph truncated; raise max_nodes");
+  }
+  ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
+  return CheckNonblocking(analysis);
+}
+
+LemmaReport CheckAdjacencyLemma(const Automaton& automaton,
+                                const std::set<StateIndex>& committable) {
+  LemmaReport report;
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    auto state = static_cast<StateIndex>(s);
+    bool adj_commit = false;
+    bool adj_abort = false;
+    for (StateIndex nb : automaton.Neighbors(state)) {
+      if (automaton.state(nb).kind == StateKind::kCommit) adj_commit = true;
+      if (automaton.state(nb).kind == StateKind::kAbort) adj_abort = true;
+    }
+    if (adj_commit && adj_abort) {
+      report.states_adjacent_to_both.push_back(state);
+    }
+    if (adj_commit && committable.count(state) == 0 &&
+        automaton.state(state).kind != StateKind::kCommit) {
+      report.noncommittable_adjacent_to_commit.push_back(state);
+    }
+  }
+  report.satisfied = report.states_adjacent_to_both.empty() &&
+                     report.noncommittable_adjacent_to_commit.empty();
+  return report;
+}
+
+Result<std::set<StateIndex>> CommittableStates(const Automaton& automaton,
+                                               size_t n) {
+  ProtocolSpec spec("canonical", Paradigm::kDecentralized);
+  spec.AddRole("peer", automaton);
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return graph.status();
+  ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
+  std::set<StateIndex> out;
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    auto state = static_cast<StateIndex>(s);
+    bool committable = true;
+    for (SiteId site = 1; site <= n; ++site) {
+      if (analysis.IsOccupied(site, state) &&
+          !analysis.IsCommittable(site, state)) {
+        committable = false;
+        break;
+      }
+    }
+    if (committable) out.insert(state);
+  }
+  return out;
+}
+
+}  // namespace nbcp

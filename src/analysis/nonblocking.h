@@ -1,0 +1,82 @@
+#ifndef NBCP_ANALYSIS_NONBLOCKING_H_
+#define NBCP_ANALYSIS_NONBLOCKING_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/concurrency_set.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Which condition of the Fundamental Nonblocking Theorem a state violates.
+enum class ViolationKind : uint8_t {
+  /// C1: the state's concurrency set contains both an abort and a commit
+  /// state.
+  kAbortAndCommitInConcurrencySet = 0,
+  /// C2: the state is noncommittable and its concurrency set contains a
+  /// commit state.
+  kCommitInConcurrencySetOfNoncommittable = 1,
+};
+
+std::string ToString(ViolationKind kind);
+
+/// One violating (site, state) pair.
+struct Violation {
+  SiteId site = kNoSite;
+  StateIndex state = kNoState;
+  std::string state_name;
+  ViolationKind kind = ViolationKind::kAbortAndCommitInConcurrencySet;
+  std::string concurrency_set;  ///< Rendered CS, for reports.
+
+  std::string ToString() const;
+};
+
+/// Result of checking the Fundamental Nonblocking Theorem.
+struct NonblockingReport {
+  bool nonblocking = false;
+  std::vector<Violation> violations;
+
+  /// Sites all of whose occupied states satisfy both conditions. By the
+  /// paper's corollary, the protocol is nonblocking with respect to k-1
+  /// site failures iff k of these exist.
+  std::vector<SiteId> satisfying_sites;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Checks the Fundamental Nonblocking Theorem for an n-site execution of
+/// `spec`: a protocol is nonblocking iff, at every participating site,
+/// (1) no local state's concurrency set contains both an abort and a commit
+/// state, and (2) no noncommittable state's concurrency set contains a
+/// commit state.
+Result<NonblockingReport> CheckNonblocking(const ProtocolSpec& spec, size_t n);
+
+/// As above, over an already-built analysis (avoids rebuilding the graph).
+NonblockingReport CheckNonblocking(const ConcurrencyAnalysis& analysis);
+
+/// The design lemma for protocols synchronous within one state transition:
+/// such a protocol is nonblocking iff its (canonical, per-role) automaton
+/// (1) contains no local state adjacent to both a commit and an abort state,
+/// and (2) contains no noncommittable state adjacent to a commit state.
+/// `committable` lists the committable state indices of `automaton`.
+struct LemmaReport {
+  bool satisfied = false;
+  std::vector<StateIndex> states_adjacent_to_both;
+  std::vector<StateIndex> noncommittable_adjacent_to_commit;
+};
+
+LemmaReport CheckAdjacencyLemma(const Automaton& automaton,
+                                const std::set<StateIndex>& committable);
+
+/// Committable states of a standalone canonical automaton, computed by
+/// running it as an n-site decentralized protocol.
+Result<std::set<StateIndex>> CommittableStates(const Automaton& automaton,
+                                               size_t n);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_NONBLOCKING_H_

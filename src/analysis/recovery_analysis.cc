@@ -1,0 +1,87 @@
+#include "analysis/recovery_analysis.h"
+
+#include <sstream>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "termination/backup_coordinator.h"
+
+namespace nbcp {
+
+Result<RecoveryClassification> ClassifyIndependentRecovery(
+    const ProtocolSpec& spec, size_t n) {
+  FailureGraphOptions options;
+  options.max_failures = 1;
+  options.partial_sends = true;
+  auto failure_graph = FailureAugmentedGraph::Build(spec, n, options);
+  if (!failure_graph.ok()) return failure_graph.status();
+  if (!failure_graph->complete()) {
+    return Status::Internal("failure graph truncated; raise max_nodes");
+  }
+
+  // The cooperative rule consults the failure-free concurrency analysis.
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return graph.status();
+  ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
+
+  RecoveryClassification out;
+  for (size_t node = 0; node < failure_graph->num_nodes(); ++node) {
+    const FailureGlobalState& state = failure_graph->node(node);
+    if (state.NumDown() != 1) continue;
+
+    size_t crashed = 0;
+    while (!state.down[crashed]) ++crashed;
+    SiteId crashed_site = static_cast<SiteId>(crashed + 1);
+    RoleIndex crashed_role = spec.RoleForSite(crashed_site, n);
+    RecoveryClassification::Key key{crashed_role, state.base.local[crashed],
+                                    state.base.votes[crashed]};
+    auto& outcome_set = out.table_[key];
+
+    // Survivors and their backup (highest id, as the bully elects).
+    std::vector<std::pair<SiteId, StateIndex>> survivors;
+    for (size_t i = 0; i < n; ++i) {
+      if (state.down[i]) continue;
+      survivors.emplace_back(static_cast<SiteId>(i + 1),
+                             state.base.local[i]);
+    }
+    const auto& [backup_site, backup_state] = survivors.back();
+    Result<Outcome> decision = CooperativeTerminationDecision(
+        analysis, backup_site, backup_state, survivors);
+    if (decision.ok()) {
+      outcome_set.decided.insert(*decision);
+    } else {
+      outcome_set.may_block = true;
+    }
+  }
+  return out;
+}
+
+std::string RecoveryClassification::ToString(const ProtocolSpec& spec) const {
+  std::ostringstream out;
+  out << "role        state  vote    survivors-may-decide     independent\n";
+  for (const auto& [key, outcomes] : table_) {
+    const auto& [role, state, vote] = key;
+    out << "  " << spec.role_name(role);
+    for (size_t pad = spec.role_name(role).size(); pad < 12; ++pad) out << ' ';
+    out << spec.role(role).state(state).name << "    ";
+    out << (vote == Vote::kYes ? "yes " : vote == Vote::kNo ? "no  " : "-   ");
+    out << "   {";
+    bool first = true;
+    for (Outcome o : outcomes.decided) {
+      if (!first) out << ", ";
+      out << nbcp::ToString(o);
+      first = false;
+    }
+    if (outcomes.may_block) out << (first ? "blocked" : ", blocked");
+    out << "}";
+    if (outcomes.independent()) {
+      out << "  -> " << nbcp::ToString(outcomes.independent_outcome());
+    } else {
+      out << "  -> must ask";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nbcp

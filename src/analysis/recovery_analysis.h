@@ -1,0 +1,65 @@
+#ifndef NBCP_ANALYSIS_RECOVERY_ANALYSIS_H_
+#define NBCP_ANALYSIS_RECOVERY_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "analysis/failure_graph.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Independent-recovery classification, in the spirit of Skeen &
+/// Stonebraker's formal crash-recovery model: a recovering site may decide
+/// a transaction *without consulting anyone* only if every outcome the
+/// operational sites could have reached while it was down is the same.
+///
+/// The classification key is the crashed site's durable knowledge: its
+/// last local state plus its logged vote (a partial-send crash can leave
+/// the vote forced to the DT log while the FSA state never advanced).
+class RecoveryClassification {
+ public:
+  /// (role, state, logged vote) -> what the survivors may decide.
+  struct OutcomeSet {
+    std::set<Outcome> decided;  ///< kCommitted / kAborted seen.
+    bool may_block = false;     ///< Some timing leaves survivors blocked.
+
+    bool independent() const {
+      return !may_block && decided.size() == 1;
+    }
+    Outcome independent_outcome() const {
+      return independent() ? *decided.begin() : Outcome::kUndecided;
+    }
+  };
+  using Key = std::tuple<RoleIndex, StateIndex, Vote>;
+
+  const std::map<Key, OutcomeSet>& table() const { return table_; }
+
+  const OutcomeSet* Find(RoleIndex role, StateIndex state, Vote vote) const {
+    auto it = table_.find(Key{role, state, vote});
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+  /// Human-readable table.
+  std::string ToString(const ProtocolSpec& spec) const;
+
+ private:
+  friend Result<RecoveryClassification> ClassifyIndependentRecovery(
+      const ProtocolSpec& spec, size_t n);
+  std::map<Key, OutcomeSet> table_;
+};
+
+/// Computes the classification for an n-site execution of `spec` by
+/// enumerating every single-crash timing (including partial-send crashes)
+/// in the failure-augmented state graph and applying the cooperative
+/// termination rule the runtime uses. Survivor decisions are unioned per
+/// (role, state, vote) of the crashed site.
+Result<RecoveryClassification> ClassifyIndependentRecovery(
+    const ProtocolSpec& spec, size_t n);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_RECOVERY_ANALYSIS_H_

@@ -1,0 +1,16 @@
+#include "analysis/resiliency.h"
+
+#include "analysis/nonblocking.h"
+
+namespace nbcp {
+
+Result<ResiliencyReport> CheckResiliency(const ProtocolSpec& spec, size_t n) {
+  auto check = CheckNonblocking(spec, n);
+  if (!check.ok()) return check.status();
+  ResiliencyReport report;
+  report.num_sites = n;
+  report.satisfying_sites = check->satisfying_sites;
+  return report;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,42 @@
+#ifndef NBCP_ANALYSIS_RESILIENCY_H_
+#define NBCP_ANALYSIS_RESILIENCY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Resiliency classification per the paper's corollary: "a commit protocol
+/// is nonblocking with respect to k-1 site failures (2 < k <= n) iff there
+/// is a subset of k sites that obeys both conditions of the fundamental
+/// nonblocking theorem".
+struct ResiliencyReport {
+  /// Sites whose every occupied local state satisfies both theorem
+  /// conditions. Any k of them form a qualifying subset.
+  std::vector<SiteId> satisfying_sites;
+
+  size_t num_sites = 0;
+
+  /// Largest f such that the protocol is nonblocking with respect to f
+  /// site failures: f = |satisfying_sites| - 1, clamped at 0 when no
+  /// qualifying subset exists.
+  size_t max_tolerated_failures() const {
+    return satisfying_sites.empty() ? 0 : satisfying_sites.size() - 1;
+  }
+
+  /// True if nonblocking under up to `failures` site failures.
+  bool NonblockingUnder(size_t failures) const {
+    return failures <= max_tolerated_failures();
+  }
+};
+
+/// Computes the resiliency report for an n-site execution of `spec`.
+Result<ResiliencyReport> CheckResiliency(const ProtocolSpec& spec, size_t n);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_RESILIENCY_H_

@@ -1,0 +1,211 @@
+#include "analysis/state_graph.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+Result<ReachableStateGraph> ReachableStateGraph::Build(
+    const ProtocolSpec& spec, size_t n, GraphOptions options) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 sites");
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+
+  ReachableStateGraph graph(spec, n);
+  std::vector<size_t> worklist;
+  graph.Intern(MakeInitialGlobalState(spec, n), &worklist);
+
+  size_t cursor = 0;
+  while (cursor < worklist.size()) {
+    if (graph.nodes_.size() > options.max_nodes) {
+      graph.complete_ = false;
+      break;
+    }
+    size_t idx = worklist[cursor++];
+    graph.Expand(idx, &worklist);
+  }
+  return graph;
+}
+
+size_t ReachableStateGraph::Intern(GlobalState state,
+                                   std::vector<size_t>* worklist) {
+  std::string key = state.Key();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  size_t idx = nodes_.size();
+  nodes_.push_back(std::move(state));
+  edges_.emplace_back();
+  index_.emplace(std::move(key), idx);
+  worklist->push_back(idx);
+  return idx;
+}
+
+GlobalState ReachableStateGraph::Apply(
+    const GlobalState& base, SiteId site, const Transition& t,
+    const std::vector<MsgInstance>& consumed, bool self_vote) {
+  GlobalState next = base;
+  size_t i = site - 1;
+  next.local[i] = t.to;
+  ++next.steps[i];
+
+  for (const MsgInstance& m : consumed) {
+    auto it = next.messages.find(m);
+    if (--it->second == 0) next.messages.erase(it);
+  }
+
+  // Vote bookkeeping. For kAnyFrom triggers, the vote flags apply only to
+  // the spontaneous ("(no_1)") firing mode; in message mode the site is
+  // reacting to someone else's vote and casts none of its own.
+  bool apply_votes = self_vote || t.trigger.kind != TriggerKind::kAnyFrom;
+  if (apply_votes) {
+    if (t.votes_yes) next.votes[i] = Vote::kYes;
+    if (t.votes_no) next.votes[i] = Vote::kNo;
+  }
+
+  for (const SendSpec& send : t.sends) {
+    for (SiteId target : spec_.ResolveGroup(send.to, site, n_)) {
+      ++next.messages[MsgInstance{send.msg_type, site, target}];
+    }
+  }
+  return next;
+}
+
+void ReachableStateGraph::Expand(size_t idx, std::vector<size_t>* worklist) {
+  // Copy the source state: Intern() may reallocate nodes_.
+  const GlobalState base = nodes_[idx];
+
+  for (size_t i = 0; i < n_; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    const Automaton& automaton = spec_.role(spec_.RoleForSite(site, n_));
+    for (size_t ti : automaton.TransitionsFrom(base.local[i])) {
+      const Transition& t = automaton.transitions()[ti];
+
+      // A site casts at most one vote; a transition contradicting an
+      // already-cast vote is disabled.
+      if (t.trigger.kind != TriggerKind::kAnyFrom) {
+        if (t.votes_yes && base.votes[i] == Vote::kNo) continue;
+        if (t.votes_no && base.votes[i] == Vote::kYes) continue;
+      }
+
+      switch (t.trigger.kind) {
+        case TriggerKind::kClientRequest: {
+          MsgInstance want{msg::kRequest, kNoSite, site};
+          auto it = base.messages.find(want);
+          if (it == base.messages.end()) break;
+          GlobalState next = Apply(base, site, t, {want}, false);
+          size_t to = Intern(std::move(next), worklist);
+          edges_[idx].push_back(GraphEdge{to, site, ti, false});
+          ++num_edges_;
+          break;
+        }
+        case TriggerKind::kOneFrom: {
+          for (SiteId sender :
+               spec_.ResolveGroup(t.trigger.group, site, n_)) {
+            MsgInstance want{t.trigger.msg_type, sender, site};
+            if (base.messages.count(want) == 0) continue;
+            GlobalState next = Apply(base, site, t, {want}, false);
+            size_t to = Intern(std::move(next), worklist);
+            edges_[idx].push_back(GraphEdge{to, site, ti, false});
+            ++num_edges_;
+          }
+          break;
+        }
+        case TriggerKind::kAllFrom: {
+          std::vector<MsgInstance> wanted;
+          bool all_present = true;
+          for (SiteId sender :
+               spec_.ResolveGroup(t.trigger.group, site, n_)) {
+            MsgInstance want{t.trigger.msg_type, sender, site};
+            if (base.messages.count(want) == 0) {
+              all_present = false;
+              break;
+            }
+            wanted.push_back(std::move(want));
+          }
+          if (!all_present) break;
+          GlobalState next = Apply(base, site, t, wanted, false);
+          size_t to = Intern(std::move(next), worklist);
+          edges_[idx].push_back(GraphEdge{to, site, ti, false});
+          ++num_edges_;
+          break;
+        }
+        case TriggerKind::kAnyFrom: {
+          for (SiteId sender :
+               spec_.ResolveGroup(t.trigger.group, site, n_)) {
+            MsgInstance want{t.trigger.msg_type, sender, site};
+            if (base.messages.count(want) == 0) continue;
+            GlobalState next = Apply(base, site, t, {want}, false);
+            size_t to = Intern(std::move(next), worklist);
+            edges_[idx].push_back(GraphEdge{to, site, ti, false});
+            ++num_edges_;
+          }
+          if (t.trigger.or_self_vote_no && base.votes[i] == Vote::kUnset) {
+            // Spontaneous firing: the site casts its own "no" vote.
+            GlobalState next = Apply(base, site, t, {}, true);
+            size_t to = Intern(std::move(next), worklist);
+            edges_[idx].push_back(GraphEdge{to, site, ti, true});
+            ++num_edges_;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<size_t> ReachableStateGraph::TerminalNodes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (edges_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> ReachableStateGraph::DeadlockedNodes() const {
+  std::vector<size_t> out;
+  for (size_t i : TerminalNodes()) {
+    if (!nodes_[i].IsFinal(spec_)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> ReachableStateGraph::InconsistentNodes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].IsInconsistent(spec_)) out.push_back(i);
+  }
+  return out;
+}
+
+size_t ReachableStateGraph::NumProjectedNodes() const {
+  std::unordered_set<std::string> projected;
+  for (const GlobalState& g : nodes_) projected.insert(g.ProjectedKey());
+  return projected.size();
+}
+
+StateKind ReachableStateGraph::KindOf(SiteId site, StateIndex s) const {
+  return spec_.role(spec_.RoleForSite(site, n_)).state(s).kind;
+}
+
+std::string ReachableStateGraph::ToDot() const {
+  std::ostringstream out;
+  out << "digraph \"" << spec_.name() << " reachable states\" {\n";
+  out << "  rankdir=TB;\n  node [shape=box fontname=monospace];\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out << "  g" << i << " [label=\"" << nodes_[i].ToString(spec_) << "\"";
+    if (nodes_[i].IsFinal(spec_)) out << " style=bold";
+    out << "];\n";
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (const GraphEdge& e : edges_[i]) {
+      out << "  g" << i << " -> g" << e.to << " [label=\"site " << e.site
+          << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace nbcp

@@ -1,0 +1,97 @@
+#ifndef NBCP_ANALYSIS_STATE_GRAPH_H_
+#define NBCP_ANALYSIS_STATE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/global_state.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// One firing of a local transition, connecting two global states.
+struct GraphEdge {
+  size_t to = 0;              ///< Successor node index.
+  SiteId site = kNoSite;      ///< Site that fired.
+  size_t transition = 0;      ///< Index into the site's role transitions.
+  bool self_vote = false;     ///< Fired spontaneously as an own "no" vote.
+};
+
+/// Limits for graph construction.
+struct GraphOptions {
+  size_t max_nodes = 500000;  ///< Stop expanding beyond this many nodes.
+};
+
+/// The reachable state graph of a transaction: "the graph of all global
+/// states reachable from a transaction's initial global state".
+///
+/// Constructed by breadth-first exhaustive firing of every enabled local
+/// transition (the paper's failure-free semantics: transitions are atomic
+/// and asynchronous across sites). The graph "grows exponentially with the
+/// number of sites"; construction stops at `max_nodes` and reports
+/// completeness.
+class ReachableStateGraph {
+ public:
+  /// Builds the graph for an n-site execution of `spec` (n >= 2).
+  static Result<ReachableStateGraph> Build(const ProtocolSpec& spec, size_t n,
+                                           GraphOptions options = {});
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  bool complete() const { return complete_; }
+  size_t num_sites() const { return n_; }
+  const ProtocolSpec& spec() const { return spec_; }
+
+  const GlobalState& node(size_t i) const { return nodes_[i]; }
+  const std::vector<GraphEdge>& edges(size_t i) const { return edges_[i]; }
+
+  /// Nodes with no successors.
+  std::vector<size_t> TerminalNodes() const;
+
+  /// Terminal nodes where some site is not in a final state — deadlocks.
+  /// Empty for well-formed commit protocols in the absence of failures.
+  std::vector<size_t> DeadlockedNodes() const;
+
+  /// Nodes containing both a local commit and a local abort state. Empty
+  /// for protocols that preserve atomicity.
+  std::vector<size_t> InconsistentNodes() const;
+
+  /// Number of distinct global states in the paper's sense (local state
+  /// vector + messages, ignoring the vote/step refinements).
+  size_t NumProjectedNodes() const;
+
+  /// Kind of the local state `s` of `site`.
+  StateKind KindOf(SiteId site, StateIndex s) const;
+
+  /// Renders the graph as a Graphviz digraph (for the 2-site 2PC figure).
+  std::string ToDot() const;
+
+ private:
+  ReachableStateGraph(ProtocolSpec spec, size_t n)
+      : spec_(std::move(spec)), n_(n) {}
+
+  /// Appends all successors of node `idx` to the worklist.
+  void Expand(size_t idx, std::vector<size_t>* worklist);
+
+  /// Interns `state`, returning its node index (new or existing).
+  size_t Intern(GlobalState state, std::vector<size_t>* worklist);
+
+  /// Applies transition `t` of `site` to `base`, consuming `consumed`.
+  GlobalState Apply(const GlobalState& base, SiteId site, const Transition& t,
+                    const std::vector<MsgInstance>& consumed, bool self_vote);
+
+  ProtocolSpec spec_;
+  size_t n_;
+  std::vector<GlobalState> nodes_;
+  std::vector<std::vector<GraphEdge>> edges_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t num_edges_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_STATE_GRAPH_H_

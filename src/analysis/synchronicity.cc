@@ -1,0 +1,87 @@
+#include "analysis/synchronicity.h"
+
+#include <algorithm>
+#include <climits>
+#include <set>
+#include <utility>
+
+namespace nbcp {
+namespace {
+
+/// Kind-level adjacency: union over roles of the edges between state kinds.
+std::set<std::pair<StateKind, StateKind>> KindAdjacency(
+    const ProtocolSpec& spec) {
+  std::set<std::pair<StateKind, StateKind>> out;
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    const Automaton& a = spec.role(static_cast<RoleIndex>(r));
+    for (const Transition& t : a.transitions()) {
+      StateKind from = a.state(t.from).kind;
+      StateKind to = a.state(t.to).kind;
+      out.insert({from, to});
+      out.insert({to, from});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SynchronicityReport CheckSynchronicity(const ReachableStateGraph& graph) {
+  SynchronicityReport report;
+  const ProtocolSpec& spec = graph.spec();
+  size_t n = graph.num_sites();
+  auto kind_adjacent = KindAdjacency(spec);
+
+  report.concurrency_within_adjacency = true;
+  for (size_t node = 0; node < graph.num_nodes(); ++node) {
+    const GlobalState& g = graph.node(node);
+
+    // Lead among still-active (non-final) sites.
+    int lo = INT_MAX;
+    int hi = INT_MIN;
+    for (size_t i = 0; i < n; ++i) {
+      SiteId site = static_cast<SiteId>(i + 1);
+      if (IsFinal(graph.KindOf(site, g.local[i]))) continue;
+      lo = std::min(lo, static_cast<int>(g.steps[i]));
+      hi = std::max(hi, static_cast<int>(g.steps[i]));
+    }
+    if (hi > lo) report.max_lead = std::max(report.max_lead, hi - lo);
+
+    // Concurrency-set adjacency over all site pairs.
+    for (size_t i = 0; i + 1 < n && report.concurrency_within_adjacency;
+         ++i) {
+      SiteId site_i = static_cast<SiteId>(i + 1);
+      RoleIndex role_i = spec.RoleForSite(site_i, n);
+      for (size_t j = i + 1; j < n; ++j) {
+        SiteId site_j = static_cast<SiteId>(j + 1);
+        RoleIndex role_j = spec.RoleForSite(site_j, n);
+        bool ok;
+        if (role_i == role_j) {
+          const Automaton& a = spec.role(role_i);
+          ok = g.local[i] == g.local[j] || a.Adjacent(g.local[i], g.local[j]);
+        } else {
+          StateKind ki = graph.KindOf(site_i, g.local[i]);
+          StateKind kj = graph.KindOf(site_j, g.local[j]);
+          ok = ki == kj || kind_adjacent.count({ki, kj}) != 0;
+        }
+        if (!ok) {
+          report.concurrency_within_adjacency = false;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Result<SynchronicityReport> CheckSynchronicity(const ProtocolSpec& spec,
+                                               size_t n) {
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return graph.status();
+  if (!graph->complete()) {
+    return Status::Internal("state graph truncated; raise max_nodes");
+  }
+  return CheckSynchronicity(*graph);
+}
+
+}  // namespace nbcp

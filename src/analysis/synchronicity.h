@@ -1,0 +1,46 @@
+#ifndef NBCP_ANALYSIS_SYNCHRONICITY_H_
+#define NBCP_ANALYSIS_SYNCHRONICITY_H_
+
+#include <cstddef>
+
+#include "analysis/state_graph.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Result of the synchronicity check.
+///
+/// "A protocol is synchronous within one state transition if one site never
+/// leads another by more than one state transition during the execution of
+/// the protocol." Sites that have already reached a final state have
+/// completed the protocol (commit/abort shortcuts such as q->a end a site's
+/// participation early) and no longer constrain the lead of the still-active
+/// sites, so the metric is taken over non-final sites.
+struct SynchronicityReport {
+  /// Maximum over reachable global states of (max - min) transition count
+  /// among sites not yet in a final state.
+  int max_lead = 0;
+
+  /// True when every concurrency set is confined to the state itself and
+  /// its FSA neighbors — the property the paper derives from synchronicity
+  /// ("the concurrency set ... can only contain states that are adjacent to
+  /// the given state and the given state itself"). Same-role pairs are
+  /// compared by automaton adjacency; cross-role pairs by adjacency of
+  /// their state kinds in the union of the role automata.
+  bool concurrency_within_adjacency = false;
+
+  bool synchronous_within_one() const { return max_lead <= 1; }
+};
+
+/// Measures synchronicity over the reachable state graph of an n-site
+/// execution of `spec`.
+Result<SynchronicityReport> CheckSynchronicity(const ProtocolSpec& spec,
+                                               size_t n);
+
+/// As above over a prebuilt graph.
+SynchronicityReport CheckSynchronicity(const ReachableStateGraph& graph);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_SYNCHRONICITY_H_

@@ -1,0 +1,70 @@
+#include "analysis/termination_validation.h"
+
+#include <sstream>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "termination/backup_coordinator.h"
+
+namespace nbcp {
+
+Result<TerminationValidationReport> ValidateTerminationRule(
+    const ProtocolSpec& spec, size_t n) {
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return graph.status();
+  if (!graph->complete()) {
+    return Status::Internal("state graph truncated; raise max_nodes");
+  }
+  ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
+
+  TerminationValidationReport report;
+  report.global_states = graph->num_nodes();
+
+  for (size_t node = 0; node < graph->num_nodes(); ++node) {
+    const GlobalState& g = graph->node(node);
+
+    // Final states already reached anywhere in G constrain the decision.
+    bool any_commit = false;
+    bool any_abort = false;
+    for (size_t i = 0; i < n; ++i) {
+      StateKind kind = graph->KindOf(static_cast<SiteId>(i + 1), g.local[i]);
+      if (kind == StateKind::kCommit) any_commit = true;
+      if (kind == StateKind::kAbort) any_abort = true;
+    }
+
+    // Every nonempty survivor subset; the complement crashes right now,
+    // taking its undelivered knowledge with it.
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      std::vector<std::pair<SiteId, StateIndex>> survivors;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          survivors.emplace_back(static_cast<SiteId>(i + 1), g.local[i]);
+        }
+      }
+      // The backup is the highest-id survivor (as the bully election picks).
+      const auto& [backup_site, backup_state] = survivors.back();
+
+      ++report.scenarios;
+      Result<Outcome> decision = CooperativeTerminationDecision(
+          analysis, backup_site, backup_state, survivors);
+      if (!decision.ok()) {
+        ++report.blocked;
+        continue;
+      }
+      ++report.decided;
+      bool bad = (*decision == Outcome::kCommitted && any_abort) ||
+                 (*decision == Outcome::kAborted && any_commit);
+      if (bad) {
+        std::ostringstream why;
+        why << "state " << g.ToString(spec) << " survivors mask=" << mask
+            << " decided " << ToString(*decision) << " but "
+            << (any_commit ? "a commit" : "an abort")
+            << " already exists";
+        report.inconsistencies.push_back(why.str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace nbcp

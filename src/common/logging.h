@@ -1,0 +1,59 @@
+#ifndef NBCP_COMMON_LOGGING_H_
+#define NBCP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nbcp {
+
+/// Severity of a log record.
+enum class LogLevel : uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+/// Minimal leveled logger writing to stderr. Intended for protocol tracing
+/// in examples and debugging; benchmarks run with logging off (default
+/// threshold kWarn).
+class Logger {
+ public:
+  /// Process-wide logger instance.
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes one record; thread-compatible (the simulator is single-threaded).
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace log_internal {
+
+/// Builds a log line with stream syntax and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace nbcp
+
+#define NBCP_LOG(level)                                          \
+  if (!::nbcp::Logger::Get().Enabled(::nbcp::LogLevel::level)) { \
+  } else                                                         \
+    ::nbcp::log_internal::LogMessage(::nbcp::LogLevel::level).stream()
+
+#endif  // NBCP_COMMON_LOGGING_H_

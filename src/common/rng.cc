@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace nbcp {
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  std::uniform_int_distribution<uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+}  // namespace nbcp

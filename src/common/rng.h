@@ -1,0 +1,41 @@
+#ifndef NBCP_COMMON_RNG_H_
+#define NBCP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace nbcp {
+
+/// Deterministic random number generator used throughout the simulator.
+///
+/// All stochastic behaviour in nbcp (message delays, vote decisions, crash
+/// schedules) flows from one seeded Rng so that every run is replayable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Re-seeds the generator, restarting the deterministic stream.
+  void Seed(uint64_t seed) { engine_.seed(seed); }
+
+  /// Underlying engine, for use with std::shuffle and distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_COMMON_RNG_H_

@@ -1,0 +1,104 @@
+#ifndef NBCP_COMMON_STATUS_H_
+#define NBCP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace nbcp {
+
+/// Error category carried by a Status. Mirrors the RocksDB idiom: library
+/// code reports failures through Status values, never exceptions.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kAborted,       ///< Transaction aborted (deadlock, vote-no, failure).
+  kBlocked,       ///< Commit protocol cannot terminate without more sites.
+  kUnavailable,   ///< Target site is down.
+  kCorruption,    ///< Log or store corruption detected on recovery.
+  kInternal,
+};
+
+/// Lightweight status object returned by all fallible nbcp operations.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a code plus
+/// message otherwise. Use the factory functions (`Status::OK()`,
+/// `Status::InvalidArgument(...)`, ...) to construct one.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Blocked(std::string msg) {
+    return Status(StatusCode::kBlocked, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBlocked() const { return code_ == StatusCode::kBlocked; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a StatusCode, e.g. "Aborted".
+std::string StatusCodeName(StatusCode code);
+
+}  // namespace nbcp
+
+#endif  // NBCP_COMMON_STATUS_H_

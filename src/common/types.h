@@ -1,0 +1,49 @@
+#ifndef NBCP_COMMON_TYPES_H_
+#define NBCP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nbcp {
+
+/// Identifier of a participating site. Sites are numbered 1..n as in the
+/// paper; site 1 is the coordinator in central-site protocols.
+using SiteId = uint32_t;
+
+/// Identifier of a distributed transaction.
+using TransactionId = uint64_t;
+
+/// Virtual time in the discrete-event simulation, in microseconds.
+using SimTime = uint64_t;
+
+/// Sentinel for "no site".
+inline constexpr SiteId kNoSite = 0;
+
+/// Sentinel for "no transaction".
+inline constexpr TransactionId kNoTransaction = 0;
+
+/// Final outcome of a distributed transaction at one site.
+enum class Outcome : uint8_t {
+  kUndecided = 0,  ///< Protocol still in progress (or blocked).
+  kCommitted = 1,  ///< Site reached a local commit state.
+  kAborted = 2,    ///< Site reached a local abort state.
+};
+
+/// Human-readable name for an Outcome.
+std::string ToString(Outcome outcome);
+
+inline std::string ToString(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kUndecided:
+      return "undecided";
+    case Outcome::kCommitted:
+      return "committed";
+    case Outcome::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+}  // namespace nbcp
+
+#endif  // NBCP_COMMON_TYPES_H_

@@ -1,0 +1,71 @@
+#include "core/failure_injector.h"
+
+#include "common/logging.h"
+
+namespace nbcp {
+
+void FailureInjector::CrashNow(SiteId site) {
+  if (!network_->IsSiteUp(site)) return;
+  NBCP_LOG(kInfo) << "injector: crashing site " << site << " at t="
+                  << sim_->now();
+  ++crash_count_;
+  network_->SetSiteDown(site);
+  Participant* p = participant_(site);
+  if (p != nullptr) p->Crash();
+  detector_->NotifyCrash(site);
+}
+
+void FailureInjector::RecoverNow(SiteId site) {
+  if (network_->IsSiteUp(site)) return;
+  NBCP_LOG(kInfo) << "injector: recovering site " << site << " at t="
+                  << sim_->now();
+  network_->SetSiteUp(site);
+  Participant* p = participant_(site);
+  if (p != nullptr) p->Recover();
+  detector_->NotifyRecovery(site);
+}
+
+EventId FailureInjector::ScheduleCrash(SiteId site, SimTime at) {
+  return sim_->ScheduleAt(at, [this, site]() { CrashNow(site); });
+}
+
+EventId FailureInjector::ScheduleRecovery(SiteId site, SimTime at) {
+  return sim_->ScheduleAt(at, [this, site]() { RecoverNow(site); });
+}
+
+void FailureInjector::Partition(const std::vector<SiteId>& group_a,
+                                const std::vector<SiteId>& group_b) {
+  NBCP_LOG(kInfo) << "injector: partitioning network at t=" << sim_->now();
+  for (SiteId a : group_a) {
+    for (SiteId b : group_b) {
+      network_->CutLink(a, b);
+      network_->CutLink(b, a);
+      detector_->SuspectLocally(a, b);
+      detector_->SuspectLocally(b, a);
+    }
+  }
+}
+
+void FailureInjector::HealPartition(const std::vector<SiteId>& group_a,
+                                    const std::vector<SiteId>& group_b) {
+  NBCP_LOG(kInfo) << "injector: healing partition at t=" << sim_->now();
+  for (SiteId a : group_a) {
+    for (SiteId b : group_b) {
+      network_->RestoreLink(a, b);
+      network_->RestoreLink(b, a);
+      detector_->UnsuspectLocally(a, b);
+      detector_->UnsuspectLocally(b, a);
+    }
+  }
+}
+
+void FailureInjector::CrashDuringBroadcast(SiteId site, TransactionId txn,
+                                           std::string msg_type,
+                                           size_t allow) {
+  Participant* p = participant_(site);
+  if (p == nullptr) return;
+  p->ArmSendTrap(txn, std::move(msg_type), allow,
+                 [this, site]() { CrashNow(site); });
+}
+
+}  // namespace nbcp

@@ -1,0 +1,44 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace nbcp {
+
+std::string TxnResult::ToString() const {
+  std::ostringstream out;
+  out << "txn " << txn << ": " << nbcp::ToString(outcome)
+      << (consistent ? "" : " INCONSISTENT") << (blocked ? " BLOCKED" : "")
+      << (used_termination ? " via-termination" : "") << " latency="
+      << latency() << "us messages=" << messages << " sites=[";
+  bool first = true;
+  for (const auto& [site, outcome_i] : site_outcomes) {
+    if (!first) out << ", ";
+    out << site << ":" << nbcp::ToString(outcome_i);
+    first = false;
+  }
+  out << "]";
+  return out.str();
+}
+
+void SystemMetrics::Record(const TxnResult& result) {
+  ++runs;
+  if (result.outcome == Outcome::kCommitted) ++committed;
+  if (result.outcome == Outcome::kAborted) ++aborted;
+  if (result.blocked) ++blocked;
+  if (!result.consistent) ++inconsistent;
+  if (result.used_termination) ++terminations;
+  total_messages += result.messages;
+  total_latency += result.latency();
+}
+
+std::string SystemMetrics::ToString() const {
+  std::ostringstream out;
+  out << "runs=" << runs << " committed=" << committed
+      << " aborted=" << aborted << " blocked=" << blocked
+      << " inconsistent=" << inconsistent << " terminations=" << terminations
+      << " mean_latency=" << mean_latency() << "us mean_messages="
+      << mean_messages();
+  return out.str();
+}
+
+}  // namespace nbcp

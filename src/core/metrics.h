@@ -1,0 +1,74 @@
+#ifndef NBCP_CORE_METRICS_H_
+#define NBCP_CORE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace nbcp {
+
+/// Summary of one distributed transaction's execution.
+struct TxnResult {
+  TransactionId txn = kNoTransaction;
+
+  /// Consensus outcome among sites that decided. kUndecided when nobody
+  /// decided (e.g. the transaction is fully blocked).
+  Outcome outcome = Outcome::kUndecided;
+
+  /// False iff some site committed while another aborted — an atomicity
+  /// violation; must never be false for a correct protocol.
+  bool consistent = true;
+
+  /// True when some operational site is still undecided at the end of the
+  /// run — the blocking the paper's nonblocking protocols eliminate.
+  bool blocked = false;
+
+  /// True when the termination protocol participated in the decision.
+  bool used_termination = false;
+
+  size_t decided_sites = 0;
+  size_t blocked_sites = 0;
+
+  std::map<SiteId, Outcome> site_outcomes;
+
+  SimTime start_time = 0;  ///< Protocol launch (virtual time).
+  SimTime end_time = 0;    ///< Last decision among operational sites.
+  SimTime latency() const {
+    return end_time >= start_time ? end_time - start_time : 0;
+  }
+
+  uint64_t messages = 0;  ///< Network messages sent during the run.
+
+  std::string ToString() const;
+};
+
+/// Aggregate counters over many transactions.
+struct SystemMetrics {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t blocked = 0;
+  uint64_t inconsistent = 0;
+  uint64_t terminations = 0;
+  uint64_t total_messages = 0;
+  SimTime total_latency = 0;
+  uint64_t runs = 0;
+
+  void Record(const TxnResult& result);
+  double mean_latency() const {
+    return runs == 0 ? 0.0 : static_cast<double>(total_latency) / runs;
+  }
+  double mean_messages() const {
+    return runs == 0 ? 0.0 : static_cast<double>(total_messages) / runs;
+  }
+  double blocking_rate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(blocked) / runs;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_CORE_METRICS_H_

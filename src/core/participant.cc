@@ -1,0 +1,454 @@
+#include "core/participant.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "election/bully.h"
+#include "election/ring.h"
+
+namespace nbcp {
+
+Participant::Participant(SiteId site, const ProtocolSpec* spec, size_t n,
+                         Simulator* sim, Network* network,
+                         FailureDetector* detector,
+                         const ConcurrencyAnalysis* analysis,
+                         std::function<SiteId(SiteId)> analysis_site_map,
+                         ParticipantConfig config)
+    : site_(site),
+      spec_(spec),
+      n_(n),
+      sim_(sim),
+      network_(network),
+      detector_(detector),
+      analysis_(analysis),
+      analysis_site_map_(std::move(analysis_site_map)),
+      config_(config) {
+  if (!analysis_site_map_) {
+    analysis_site_map_ = [](SiteId s) { return s; };
+  }
+  // Build the volatile components.
+  Recover();
+  crashed_ = false;
+}
+
+std::vector<SiteId> Participant::AliveSites() const {
+  std::vector<SiteId> out;
+  for (SiteId s = 1; s <= n_; ++s) {
+    if (!detector_->IsSuspectedBy(site_, s)) out.push_back(s);
+  }
+  return out;
+}
+
+Status Participant::Attach() {
+  Status s = network_->RegisterSite(
+      site_, [this](const Message& m) { OnNetMessage(m); });
+  if (!s.ok()) return s;
+  detector_->Subscribe(
+      site_, [this](SiteId subject, bool up) { OnSiteStatus(subject, up); });
+  return Status::OK();
+}
+
+void Participant::SetVote(TransactionId txn, bool vote) {
+  Record(txn).preset_vote = vote;
+}
+
+Status Participant::SubmitLocalOps(TransactionId txn,
+                                   const std::vector<KvOp>& ops) {
+  if (crashed_) return Status::Unavailable("site is down");
+  TxnRecord& record = Record(txn);
+  if (record.local) return Status::AlreadyExists("ops already submitted");
+  record.local =
+      std::make_unique<LocalTransaction>(txn, kv_.get(), locks_.get());
+  Status s = record.local->Execute(ops);
+  if (!s.ok()) {
+    // Execution failed (e.g. lock conflict): the site will vote no.
+    record.preset_vote = false;
+    record.local.reset();
+  }
+  return s;
+}
+
+Status Participant::StartProtocol(TransactionId txn) {
+  if (crashed_) return Status::Unavailable("site is down");
+  Trace(txn, TraceEventType::kProtocolStart);
+  Status started = engine_->StartTransaction(txn);
+  if (!started.ok()) return started;
+
+  // A transaction launched while some participant is already known to be
+  // down cannot complete normally (every site takes part in every
+  // transaction); hand it to the termination protocol right away, which
+  // aborts it from the initial states. HandleFailure only covers
+  // transactions that existed when the failure was reported.
+  for (SiteId s = 1; s <= n_; ++s) {
+    if (s == site_ || !detector_->IsSuspectedBy(site_, s)) continue;
+    if (spec_->paradigm() == Paradigm::kDecentralized) {
+      termination_->Initiate(txn);
+    } else if (site_ == 1) {
+      termination_->InitiateAsBackup(txn);
+    }
+    break;
+  }
+  return Status::OK();
+}
+
+void Participant::Trace(TransactionId txn, TraceEventType type,
+                        std::string detail) const {
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->now(), site_, txn, type, std::move(detail));
+  }
+}
+
+bool Participant::VoteFor(TransactionId txn) {
+  TxnRecord& record = Record(txn);
+  if (record.local) {
+    if (!record.local->executed()) return false;
+    // Voting yes is an unconditional promise: force the staged writes to
+    // stable storage first.
+    return record.local->Prepare().ok();
+  }
+  return record.preset_vote.value_or(true);
+}
+
+void Participant::OnVoteCast(TransactionId txn, bool yes) {
+  TxnRecord& record = Record(txn);
+  if (!record.start_logged) {
+    dt_log_.Append(txn, DtLogEvent::kStart);
+    record.start_logged = true;
+  }
+  if (!record.vote_logged) {
+    dt_log_.Append(txn, yes ? DtLogEvent::kVoteYes : DtLogEvent::kVoteNo);
+    record.vote_logged = true;
+    Trace(txn, TraceEventType::kVoteCast, yes ? "yes" : "no");
+  }
+}
+
+void Participant::OnStateChange(TransactionId txn, const LocalState& state) {
+  TxnRecord& record = Record(txn);
+  if (!record.start_logged) {
+    dt_log_.Append(txn, DtLogEvent::kStart);
+    record.start_logged = true;
+  }
+  if (state.kind == StateKind::kBuffer && !dt_log_.WasPrepared(txn)) {
+    dt_log_.Append(txn, DtLogEvent::kPrepared);
+  }
+  Trace(txn, TraceEventType::kStateChange, state.name);
+}
+
+void Participant::OnDecision(TransactionId txn, Outcome outcome) {
+  TxnRecord& record = Record(txn);
+  record.outcome = outcome;
+  record.decision_time = sim_->now();
+  record.blocked = false;
+  if (!dt_log_.OutcomeOf(txn).has_value()) {
+    dt_log_.Append(txn, outcome == Outcome::kCommitted ? DtLogEvent::kCommit
+                                                       : DtLogEvent::kAbort);
+  }
+  Trace(txn, TraceEventType::kDecision, ToString(outcome));
+  ApplyOutcomeToDb(txn, outcome);
+}
+
+void Participant::ApplyOutcomeToDb(TransactionId txn, Outcome outcome) {
+  TxnRecord& record = Record(txn);
+  if (record.local) {
+    if (outcome == Outcome::kCommitted) {
+      // 1PC-style flows may decide commit without a vote phase; the staged
+      // writes must still be made durable before applying.
+      Status prep = record.local->Prepare();
+      if (!prep.ok()) {
+        NBCP_LOG(kWarn) << "site " << site_ << " txn " << txn
+                        << " prepare-at-commit failed: " << prep.ToString();
+      }
+      (void)record.local->Commit();
+    } else {
+      (void)record.local->Abort();
+    }
+    record.local.reset();
+    return;
+  }
+  if (kv_->IsActive(txn)) {
+    // Re-staged after recovery (no LocalTransaction object survives).
+    if (outcome == Outcome::kCommitted) {
+      (void)kv_->Commit(txn);
+    } else {
+      (void)kv_->Abort(txn);
+    }
+    locks_->Release(txn);
+  }
+}
+
+void Participant::ArmSendTrap(TransactionId txn, std::string msg_type,
+                              size_t allow, std::function<void()> on_trip) {
+  send_traps_[txn] =
+      SendTrap{std::move(msg_type), allow, 0, std::move(on_trip), false};
+}
+
+void Participant::OnNetMessage(const Message& message) {
+  if (crashed_) return;
+  const std::string& type = message.type;
+  if (BullyElection::OwnsMessage(type) || RingElection::OwnsMessage(type)) {
+    election_->OnMessage(message);
+    return;
+  }
+  if (TerminationProtocol::OwnsMessage(type)) {
+    termination_->OnMessage(message);
+    return;
+  }
+  if (RecoveryManager::OwnsMessage(type)) {
+    recovery_->OnMessage(message);
+    return;
+  }
+  engine_->OnMessage(message);
+}
+
+void Participant::HandleFailure(SiteId failed) {
+  termination_->OnSiteFailure(failed);
+  for (TransactionId txn : engine_->UndecidedTransactions()) {
+    if (spec_->paradigm() == Paradigm::kCentralSite) {
+      if (failed == 1) {
+        // The coordinator died: the slaves terminate via election.
+        termination_->Initiate(txn);
+      } else if (site_ == 1) {
+        // A slave died while we (the coordinator) direct the protocol: we
+        // are the natural backup, no election needed.
+        termination_->InitiateAsBackup(txn);
+      }
+    } else {
+      termination_->Initiate(txn);
+    }
+  }
+}
+
+void Participant::HandleRecoveryOf(SiteId recovered) {
+  (void)recovered;
+  // A site came back: it may know (or have unilaterally resolved) the
+  // outcome of transactions we are blocked on — rerun termination.
+  for (TransactionId txn : engine_->UndecidedTransactions()) {
+    if (IsBlocked(txn)) termination_->Initiate(txn);
+  }
+}
+
+void Participant::OnSiteStatus(SiteId subject, bool up) {
+  if (crashed_) return;
+  if (up) {
+    HandleRecoveryOf(subject);
+  } else {
+    HandleFailure(subject);
+  }
+}
+
+Outcome Participant::OutcomeOf(TransactionId txn) const {
+  auto it = records_.find(txn);
+  if (it != records_.end() && it->second.outcome.has_value()) {
+    return *it->second.outcome;
+  }
+  auto logged = dt_log_.OutcomeOf(txn);
+  if (logged.has_value()) return *logged;
+  if (engine_) return engine_->OutcomeOf(txn);
+  return Outcome::kUndecided;
+}
+
+bool Participant::KnowsTransaction(TransactionId txn) const {
+  if (dt_log_.Knows(txn)) return true;
+  if (engine_ && engine_->HasTransaction(txn)) return true;
+  auto it = records_.find(txn);
+  return it != records_.end() && it->second.outcome.has_value();
+}
+
+bool Participant::IsBlocked(TransactionId txn) const {
+  if (OutcomeOf(txn) != Outcome::kUndecided) return false;
+  auto it = records_.find(txn);
+  if (it != records_.end() && it->second.blocked) return true;
+  return termination_ && termination_->IsBlocked(txn);
+}
+
+bool Participant::UsedTermination(TransactionId txn) const {
+  auto it = records_.find(txn);
+  return it != records_.end() && it->second.via_termination;
+}
+
+std::optional<SimTime> Participant::DecisionTime(TransactionId txn) const {
+  auto it = records_.find(txn);
+  if (it == records_.end() || !it->second.outcome.has_value()) {
+    return std::nullopt;
+  }
+  return it->second.decision_time;
+}
+
+StateKind Participant::CurrentKind(TransactionId txn) const {
+  if (crashed_ || !engine_) return StateKind::kInitial;
+  return engine_->CurrentKind(txn);
+}
+
+void Participant::Crash() {
+  Trace(kNoTransaction, TraceEventType::kCrash);
+  crashed_ = true;
+  engine_.reset();
+  kv_.reset();
+  locks_.reset();
+  election_.reset();
+  termination_.reset();
+  recovery_.reset();
+  send_traps_.clear();
+  for (auto& [txn, record] : records_) {
+    record.local.reset();  // Points into the destroyed store/locks.
+  }
+}
+
+void Participant::Recover() {
+  if (crashed_) Trace(kNoTransaction, TraceEventType::kRecover);
+  crashed_ = false;
+
+  kv_ = std::make_unique<KvStore>(&wal_);
+  locks_ = std::make_unique<LockManager>();
+  engine_ = std::make_unique<ProtocolEngine>(site_, spec_, n_, network_);
+
+  EngineHooks hooks;
+  hooks.vote = [this](TransactionId txn) { return VoteFor(txn); };
+  hooks.on_vote_cast = [this](TransactionId txn, bool yes) {
+    OnVoteCast(txn, yes);
+  };
+  hooks.on_state_change = [this](TransactionId txn, const LocalState& s) {
+    OnStateChange(txn, s);
+  };
+  hooks.on_decision = [this](TransactionId txn, Outcome outcome) {
+    OnDecision(txn, outcome);
+  };
+  hooks.send_filter = [this](TransactionId txn, const Message& m,
+                             size_t index, size_t total) {
+    (void)index;
+    (void)total;
+    auto it = send_traps_.find(txn);
+    if (it == send_traps_.end() || it->second.tripped) return true;
+    SendTrap& trap = it->second;
+    if (m.type != trap.msg_type) return true;
+    if (trap.sent < trap.allow) {
+      ++trap.sent;
+      return true;
+    }
+    trap.tripped = true;
+    if (trap.on_trip) sim_->ScheduleAfter(0, trap.on_trip);
+    return false;
+  };
+  engine_->set_hooks(std::move(hooks));
+
+  auto alive = [this]() { return AliveSites(); };
+  auto on_elected = [this](TransactionId tag, SiteId leader) {
+    Trace(tag, TraceEventType::kElectionWon, std::to_string(leader));
+    if (termination_) termination_->OnElected(tag, leader);
+  };
+  if (config_.use_ring_election) {
+    election_ = std::make_unique<RingElection>(site_, sim_, network_, alive,
+                                               on_elected, config_.election);
+  } else {
+    election_ = std::make_unique<BullyElection>(site_, sim_, network_, alive,
+                                                on_elected, config_.election);
+  }
+
+  TerminationHooks term_hooks;
+  term_hooks.current_state = [this](TransactionId txn) {
+    auto state = engine_->CurrentState(txn);
+    return state.ok() ? engine_->automaton().FindState(state->name)
+                      : engine_->automaton().initial_state();
+  };
+  term_hooks.analysis_site = analysis_site_map_;
+  term_hooks.freeze = [this](TransactionId txn) {
+    if (!engine_->IsFrozen(txn)) {
+      Trace(txn, TraceEventType::kTerminationStart);
+    }
+    engine_->Freeze(txn);
+  };
+  term_hooks.force_kind = [this](TransactionId txn, StateKind kind) {
+    return engine_->ForceToKind(txn, kind);
+  };
+  term_hooks.force_outcome = [this](TransactionId txn, Outcome outcome) {
+    return engine_->ForceOutcome(txn, outcome);
+  };
+  term_hooks.is_decided = [this](TransactionId txn) {
+    return engine_->OutcomeOf(txn) != Outcome::kUndecided;
+  };
+  term_hooks.alive_sites = alive;
+  term_hooks.on_terminated = [this](TransactionId txn, Outcome outcome) {
+    TxnRecord& record = Record(txn);
+    record.via_termination = true;
+    record.blocked = false;
+    Trace(txn, TraceEventType::kTerminationDecide, ToString(outcome));
+  };
+  term_hooks.on_blocked = [this](TransactionId txn) {
+    Record(txn).blocked = true;
+    Trace(txn, TraceEventType::kBlocked);
+  };
+  TerminationConfig term_config = config_.termination;
+  term_config.num_sites = n_;
+  // A protocol with a "prepare to abort" buffer state is a quorum protocol:
+  // its termination must be quorum-gated to deliver the partition safety
+  // the extra state pays for.
+  for (const LocalState& s : spec_->role(spec_->RoleForSite(site_, n_)).states()) {
+    if (s.kind == StateKind::kAbortBuffer) term_config.quorum_mode = true;
+  }
+  termination_ = std::make_unique<TerminationProtocol>(
+      site_, sim_, network_, election_.get(), analysis_,
+      std::move(term_hooks), term_config);
+
+  RecoveryHooks rec_hooks;
+  rec_hooks.alive_sites = alive;
+  rec_hooks.apply_outcome = [this](TransactionId txn, Outcome outcome) {
+    Status s = engine_->ForceOutcome(txn, outcome);
+    if (!s.ok()) {
+      NBCP_LOG(kWarn) << "site " << site_ << " recovery of txn " << txn
+                      << ": " << s.ToString();
+    }
+  };
+  rec_hooks.lookup_outcome =
+      [this](TransactionId txn) -> std::optional<Outcome> {
+    auto outcome = dt_log_.OutcomeOf(txn);
+    if (outcome.has_value()) return outcome;
+    Outcome engine_outcome = engine_->OutcomeOf(txn);
+    if (engine_outcome != Outcome::kUndecided) return engine_outcome;
+    return std::nullopt;
+  };
+  rec_hooks.on_unresolved = [this](TransactionId txn) {
+    Record(txn).blocked = true;
+    // Nobody answered the outcome queries. Fall back to the termination
+    // protocol: if every site has recovered by now (total failure), the
+    // backup's complete view of the durable states resolves the
+    // transaction; otherwise the session blocks until more sites return.
+    termination_->Initiate(txn);
+  };
+  recovery_ = std::make_unique<RecoveryManager>(
+      site_, sim_, network_, &dt_log_, std::move(rec_hooks),
+      config_.recovery);
+
+  // Rebuild database state from the WAL: committed transactions reapplied,
+  // in-doubt ones re-staged prepared.
+  auto in_doubt_kv = kv_->RecoverFromWal();
+  if (!in_doubt_kv.ok()) {
+    NBCP_LOG(kError) << "site " << site_
+                     << " WAL recovery failed: "
+                     << in_doubt_kv.status().ToString();
+  }
+
+  // Rebuild protocol positions from the DT log so this site answers
+  // termination state queries consistently.
+  const Automaton& automaton = engine_->automaton();
+  bool has_buffer = false;
+  for (const LocalState& s : automaton.states()) {
+    if (s.kind == StateKind::kBuffer) has_buffer = true;
+  }
+  for (TransactionId txn : dt_log_.InDoubt()) {
+    StateKind kind = dt_log_.WasPrepared(txn) && has_buffer
+                         ? StateKind::kBuffer
+                         : StateKind::kWait;
+    (void)engine_->ForceToKind(txn, kind);
+  }
+  for (const DtLogRecord& record : dt_log_.records()) {
+    auto outcome = dt_log_.OutcomeOf(record.txn);
+    if (outcome.has_value()) {
+      (void)engine_->ForceOutcome(record.txn, *outcome);
+    }
+  }
+
+  // Resolve in-doubt transactions with the distributed recovery protocol.
+  recovery_->StartRecovery();
+}
+
+}  // namespace nbcp

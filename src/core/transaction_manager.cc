@@ -1,0 +1,219 @@
+#include "core/transaction_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+
+Result<std::unique_ptr<CommitSystem>> CommitSystem::Create(
+    const SystemConfig& config) {
+  auto spec = MakeProtocol(config.protocol);
+  if (!spec.ok()) return spec.status();
+  return CreateWithSpec(config, std::move(*spec));
+}
+
+Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
+    const SystemConfig& config, ProtocolSpec spec) {
+  if (config.num_sites < 2) {
+    return Status::InvalidArgument("need at least 2 sites");
+  }
+
+  auto system = std::unique_ptr<CommitSystem>(new CommitSystem());
+  system->config_ = config;
+  system->sim_ = std::make_unique<Simulator>(config.seed);
+  system->network_ =
+      std::make_unique<Network>(system->sim_.get(), config.delay);
+  system->detector_ = std::make_unique<FailureDetector>(
+      system->sim_.get(), system->network_.get(), config.detection_delay);
+  system->spec_ = std::make_unique<ProtocolSpec>(std::move(spec));
+
+  Status valid = system->spec_->Validate();
+  if (!valid.ok()) return valid;
+
+  // Concurrency analysis backing the termination decision rule. Same-role
+  // sites are symmetric, so a small analyzed population suffices for any n.
+  size_t analysis_n = config.analysis_sites != 0
+                          ? config.analysis_sites
+                          : std::min<size_t>(config.num_sites, 3);
+  auto graph = ReachableStateGraph::Build(*system->spec_, analysis_n);
+  if (!graph.ok()) return graph.status();
+  if (!graph->complete()) {
+    return Status::Internal("analysis state graph truncated");
+  }
+  system->graph_ =
+      std::make_unique<ReachableStateGraph>(std::move(*graph));
+  system->analysis_ = std::make_unique<ConcurrencyAnalysis>(
+      ConcurrencyAnalysis::Compute(*system->graph_));
+
+  // Maps a live site to the same-role representative inside the analyzed
+  // population.
+  Paradigm paradigm = system->spec_->paradigm();
+  size_t num_sites = config.num_sites;
+  auto site_map = [analysis_n, paradigm, num_sites](SiteId site) -> SiteId {
+    switch (paradigm) {
+      case Paradigm::kDecentralized:
+        return site <= analysis_n ? site : 1;
+      case Paradigm::kCentralSite:
+        return site <= analysis_n ? site : 2;
+      case Paradigm::kLinear:
+        if (site == 1) return 1;
+        if (site == num_sites) return static_cast<SiteId>(analysis_n);
+        return 2;  // Middle sites (analysis_n >= 3 whenever middles exist).
+    }
+    return site;
+  };
+
+  for (SiteId site = 1; site <= config.num_sites; ++site) {
+    system->participants_.push_back(std::make_unique<Participant>(
+        site, system->spec_.get(), config.num_sites, system->sim_.get(),
+        system->network_.get(), system->detector_.get(),
+        system->analysis_.get(), site_map, config.participant));
+    Status attached = system->participants_.back()->Attach();
+    if (!attached.ok()) return attached;
+  }
+
+  if (config.trace) {
+    system->trace_ = std::make_unique<TraceRecorder>();
+    TraceRecorder* recorder = system->trace_.get();
+    Simulator* sim = system->sim_.get();
+    for (auto& participant : system->participants_) {
+      participant->set_trace(recorder);
+    }
+    system->network_->set_observer(
+        [recorder, sim](const Message& m, char phase) {
+          switch (phase) {
+            case 's':
+              recorder->Record(sim->now(), m.from, m.txn,
+                               TraceEventType::kMessageSent,
+                               m.type + "->" + std::to_string(m.to));
+              break;
+            case 'd':
+              recorder->Record(sim->now(), m.to, m.txn,
+                               TraceEventType::kMessageDelivered,
+                               m.type + "<-" + std::to_string(m.from));
+              break;
+            default:
+              recorder->Record(sim->now(), m.to, m.txn,
+                               TraceEventType::kMessageDropped,
+                               m.type + "<-" + std::to_string(m.from));
+          }
+        });
+  }
+
+  system->injector_ = std::make_unique<FailureInjector>(
+      system->sim_.get(), system->network_.get(), system->detector_.get(),
+      [raw = system.get()](SiteId site) -> Participant* {
+        if (site == kNoSite || site > raw->config_.num_sites) return nullptr;
+        return raw->participants_[site - 1].get();
+      });
+
+  return system;
+}
+
+TransactionId CommitSystem::Begin() { return next_txn_++; }
+
+void CommitSystem::SetVote(TransactionId txn, SiteId site, bool vote) {
+  participant(site).SetVote(txn, vote);
+}
+
+Status CommitSystem::SubmitOps(TransactionId txn,
+                               const std::vector<KvOp>& ops) {
+  std::map<SiteId, std::vector<KvOp>> by_site;
+  for (const KvOp& op : ops) {
+    if (op.site == kNoSite || op.site > config_.num_sites) {
+      return Status::InvalidArgument("op addressed to unknown site");
+    }
+    by_site[op.site].push_back(op);
+  }
+  Status overall = Status::OK();
+  for (const auto& [site, site_ops] : by_site) {
+    Status s = participant(site).SubmitLocalOps(txn, site_ops);
+    if (!s.ok()) overall = s;  // The site will vote no; report it.
+  }
+  return overall;
+}
+
+Status CommitSystem::Launch(TransactionId txn) {
+  LaunchInfo info;
+  info.start_time = sim_->now();
+  info.messages_before = network_->stats().messages_sent;
+  launches_[txn] = info;
+
+  if (spec_->paradigm() != Paradigm::kDecentralized) {
+    // Central-site and linear: the client hands the request to site 1.
+    return participant(1).StartProtocol(txn);
+  }
+  Status overall = Status::OK();
+  for (SiteId site = 1; site <= config_.num_sites; ++site) {
+    if (!network_->IsSiteUp(site)) continue;
+    Status s = participant(site).StartProtocol(txn);
+    if (!s.ok()) overall = s;
+  }
+  return overall;
+}
+
+TxnResult CommitSystem::Summarize(TransactionId txn) const {
+  TxnResult result;
+  result.txn = txn;
+
+  bool any_commit = false;
+  bool any_abort = false;
+  SimTime last_decision = 0;
+  for (SiteId site = 1; site <= config_.num_sites; ++site) {
+    const Participant& p = *participants_[site - 1];
+    Outcome outcome = p.OutcomeOf(txn);
+    result.site_outcomes[site] = outcome;
+    if (outcome == Outcome::kCommitted) any_commit = true;
+    if (outcome == Outcome::kAborted) any_abort = true;
+    if (outcome != Outcome::kUndecided) {
+      ++result.decided_sites;
+      auto when = p.DecisionTime(txn);
+      if (when.has_value()) last_decision = std::max(last_decision, *when);
+    } else if (network_->IsSiteUp(site) && p.KnowsTransaction(txn)) {
+      // Operational, aware of the transaction, yet unable to decide:
+      // blocked. (A site that crashed before the transaction ever reached
+      // it has no local state to resolve and is not blocked.)
+      ++result.blocked_sites;
+    }
+    if (p.UsedTermination(txn)) result.used_termination = true;
+  }
+
+  result.consistent = !(any_commit && any_abort);
+  result.blocked = result.blocked_sites > 0;
+  if (any_commit) {
+    result.outcome = Outcome::kCommitted;
+  } else if (any_abort) {
+    result.outcome = Outcome::kAborted;
+  }
+
+  auto launch = launches_.find(txn);
+  if (launch != launches_.end()) {
+    result.start_time = launch->second.start_time;
+    result.messages =
+        network_->stats().messages_sent - launch->second.messages_before;
+  }
+  result.end_time = std::max(last_decision, result.start_time);
+  return result;
+}
+
+TxnResult CommitSystem::AwaitQuiescence(TransactionId txn) {
+  size_t executed = sim_->Run(config_.max_events_per_run);
+  if (executed >= config_.max_events_per_run) {
+    NBCP_LOG(kWarn) << "event cap reached while awaiting quiescence";
+  }
+  TxnResult result = Summarize(txn);
+  metrics_.Record(result);
+  return result;
+}
+
+TxnResult CommitSystem::RunToCompletion(TransactionId txn) {
+  Status launched = Launch(txn);
+  if (!launched.ok()) {
+    NBCP_LOG(kWarn) << "launch failed: " << launched.ToString();
+  }
+  return AwaitQuiescence(txn);
+}
+
+}  // namespace nbcp

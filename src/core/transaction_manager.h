@@ -1,0 +1,137 @@
+#ifndef NBCP_CORE_TRANSACTION_MANAGER_H_
+#define NBCP_CORE_TRANSACTION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "common/result.h"
+#include "core/failure_injector.h"
+#include "core/metrics.h"
+#include "core/participant.h"
+#include "db/local_transaction.h"
+#include "fsa/protocol_spec.h"
+#include "net/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+
+/// Whole-system configuration.
+struct SystemConfig {
+  std::string protocol = "3PC-central";  ///< A registry name.
+  size_t num_sites = 3;
+  uint64_t seed = 42;
+  DelayModel delay{/*base_delay=*/100, /*jitter=*/50};
+  SimTime detection_delay = 500;
+  ParticipantConfig participant;
+
+  /// Population used for the concurrency analysis backing the termination
+  /// decision rule. 0 = min(num_sites, 3). Same-role sites are symmetric,
+  /// so a small analyzed population classifies states for any n (verified
+  /// by the test suite).
+  size_t analysis_sites = 0;
+
+  /// Safety valve for AwaitQuiescence.
+  size_t max_events_per_run = 5'000'000;
+
+  /// Record a full protocol event trace (see trace/trace.h). Off by
+  /// default; intended for examples, debugging and post-mortem test
+  /// assertions, not benchmarks.
+  bool trace = false;
+};
+
+/// The top-level facade: a simulated n-site distributed database running a
+/// pluggable commit protocol, with failure injection, termination and
+/// recovery — everything the paper describes, wired together.
+///
+/// Typical use:
+///   auto system = CommitSystem::Create(config);
+///   TransactionId txn = (*system)->Begin();
+///   (*system)->SubmitOps(txn, ops);      // or SetVote(...) for vote-only
+///   TxnResult result = (*system)->RunToCompletion(txn);
+class CommitSystem {
+ public:
+  /// Creates a system running the registry protocol named by
+  /// `config.protocol`.
+  static Result<std::unique_ptr<CommitSystem>> Create(
+      const SystemConfig& config);
+
+  /// Creates a system running a caller-supplied protocol spec (e.g. one
+  /// parsed from the text format or produced by buffer-state synthesis);
+  /// `config.protocol` is ignored.
+  static Result<std::unique_ptr<CommitSystem>> CreateWithSpec(
+      const SystemConfig& config, ProtocolSpec spec);
+
+  // --- component access ---------------------------------------------------
+  Simulator& simulator() { return *sim_; }
+  Network& network() { return *network_; }
+  FailureDetector& detector() { return *detector_; }
+  FailureInjector& injector() { return *injector_; }
+  Participant& participant(SiteId site) { return *participants_[site - 1]; }
+  size_t num_sites() const { return config_.num_sites; }
+  const ProtocolSpec& spec() const { return *spec_; }
+  const ConcurrencyAnalysis& analysis() const { return *analysis_; }
+  const SystemConfig& config() const { return config_; }
+  SystemMetrics& metrics() { return metrics_; }
+
+  /// The event recorder, or nullptr when SystemConfig::trace is off.
+  TraceRecorder* trace() { return trace_.get(); }
+
+  // --- transaction API ----------------------------------------------------
+
+  /// Allocates a transaction id.
+  TransactionId Begin();
+
+  /// Presets the vote of `site` for `txn`.
+  void SetVote(TransactionId txn, SiteId site, bool vote);
+
+  /// Distributes `ops` to their sites and executes the local portions.
+  /// A failing site's portion makes that site vote no (status reported).
+  Status SubmitOps(TransactionId txn, const std::vector<KvOp>& ops);
+
+  /// Starts the commit protocol (the coordinator in the central-site
+  /// paradigm; every site in the decentralized one). Does not advance
+  /// virtual time.
+  Status Launch(TransactionId txn);
+
+  /// Runs the simulator until the event queue drains (or the event cap is
+  /// hit), then summarizes `txn`. The result is also recorded in metrics().
+  TxnResult AwaitQuiescence(TransactionId txn);
+
+  /// Launch + AwaitQuiescence.
+  TxnResult RunToCompletion(TransactionId txn);
+
+  /// Snapshot of `txn`'s fate right now (no simulation).
+  TxnResult Summarize(TransactionId txn) const;
+
+ private:
+  CommitSystem() = default;
+
+  SystemConfig config_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<FailureDetector> detector_;
+  std::unique_ptr<ProtocolSpec> spec_;
+  std::unique_ptr<ReachableStateGraph> graph_;
+  std::unique_ptr<ConcurrencyAnalysis> analysis_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+  std::unique_ptr<FailureInjector> injector_;
+  std::unique_ptr<TraceRecorder> trace_;
+  SystemMetrics metrics_;
+
+  TransactionId next_txn_ = 1;
+  struct LaunchInfo {
+    SimTime start_time = 0;
+    uint64_t messages_before = 0;
+  };
+  std::map<TransactionId, LaunchInfo> launches_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_CORE_TRANSACTION_MANAGER_H_

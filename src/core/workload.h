@@ -1,0 +1,63 @@
+#ifndef NBCP_CORE_WORKLOAD_H_
+#define NBCP_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/metrics.h"
+#include "core/transaction_manager.h"
+
+namespace nbcp {
+
+/// Configuration of a synthetic transactional workload.
+struct WorkloadConfig {
+  size_t num_transactions = 100;
+
+  /// Open-loop arrivals: exponential inter-arrival times with this mean
+  /// (simulated microseconds). 0 = closed loop (next transaction starts
+  /// when the previous one finishes; no concurrency, no conflicts).
+  double mean_interarrival_us = 200.0;
+
+  size_t ops_per_transaction = 3;
+  size_t num_keys = 50;         ///< Smaller key space = more conflicts.
+  double read_fraction = 0.3;   ///< Remaining ops are writes.
+
+  /// Zipf-like skew: 0 = uniform key choice; larger values concentrate
+  /// accesses on low-numbered keys (s-parameter of a discrete zipf).
+  double key_skew = 0.0;
+
+  uint64_t seed = 99;
+};
+
+/// Result of running a workload.
+struct WorkloadResult {
+  SystemMetrics metrics;
+  SimTime virtual_duration = 0;   ///< First arrival to quiescence.
+  size_t submitted = 0;
+  size_t vote_no_submissions = 0; ///< Ops rejected at submit (lock conflicts).
+
+  double committed_per_virtual_second() const {
+    return virtual_duration == 0
+               ? 0.0
+               : static_cast<double>(metrics.committed) * 1e6 /
+                     static_cast<double>(virtual_duration);
+  }
+  double abort_rate() const {
+    return metrics.runs == 0
+               ? 0.0
+               : static_cast<double>(metrics.aborted) / metrics.runs;
+  }
+};
+
+/// Drives `system` with a stream of randomly generated multi-site KV
+/// transactions. Open-loop mode launches transactions at their arrival
+/// times regardless of completion, so transactions overlap and contend on
+/// locks — a site whose local execution hits a conflict votes no, aborting
+/// that transaction (the paper's unilateral-abort scenario, en masse).
+WorkloadResult RunWorkload(CommitSystem* system, const WorkloadConfig& config);
+
+}  // namespace nbcp
+
+#endif  // NBCP_CORE_WORKLOAD_H_

@@ -1,0 +1,199 @@
+#include "db/kv_store.h"
+
+#include <set>
+
+namespace nbcp {
+
+Status KvStore::Begin(TransactionId txn) {
+  auto [it, inserted] = active_.try_emplace(txn);
+  if (!inserted) return Status::AlreadyExists("transaction already active");
+  wal_->Append(WalRecord{WalRecordType::kBegin, txn, "", "", false, "", false});
+  return Status::OK();
+}
+
+Result<std::string> KvStore::Get(TransactionId txn,
+                                 const std::string& key) const {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::FailedPrecondition("txn not active");
+  auto w = it->second.writes.find(key);
+  if (w != it->second.writes.end()) {
+    if (w->second.is_delete) return Status::NotFound("key deleted by txn");
+    return w->second.value;
+  }
+  auto c = committed_.find(key);
+  if (c == committed_.end()) return Status::NotFound("no such key");
+  return c->second;
+}
+
+Status KvStore::Put(TransactionId txn, const std::string& key,
+                    std::string value) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::FailedPrecondition("txn not active");
+  if (it->second.prepared) {
+    return Status::FailedPrecondition("txn already prepared");
+  }
+  it->second.writes[key] = StagedWrite{std::move(value), false};
+  return Status::OK();
+}
+
+Status KvStore::Delete(TransactionId txn, const std::string& key) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::FailedPrecondition("txn not active");
+  if (it->second.prepared) {
+    return Status::FailedPrecondition("txn already prepared");
+  }
+  it->second.writes[key] = StagedWrite{"", true};
+  return Status::OK();
+}
+
+Status KvStore::Prepare(TransactionId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::FailedPrecondition("txn not active");
+  if (it->second.prepared) return Status::OK();  // Idempotent.
+  for (const auto& [key, write] : it->second.writes) {
+    WalRecord record;
+    record.type = WalRecordType::kWrite;
+    record.txn = txn;
+    record.key = key;
+    auto old = committed_.find(key);
+    record.old_existed = old != committed_.end();
+    if (record.old_existed) record.old_value = old->second;
+    record.new_value = write.value;
+    record.is_delete = write.is_delete;
+    wal_->Append(std::move(record));
+  }
+  wal_->Append(
+      WalRecord{WalRecordType::kPrepare, txn, "", "", false, "", false});
+  it->second.prepared = true;
+  return Status::OK();
+}
+
+void KvStore::ApplyWrites(const std::map<std::string, StagedWrite>& writes) {
+  for (const auto& [key, write] : writes) {
+    if (write.is_delete) {
+      committed_.erase(key);
+    } else {
+      committed_[key] = write.value;
+    }
+  }
+}
+
+Status KvStore::Commit(TransactionId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::FailedPrecondition("txn not active");
+  if (!it->second.prepared) {
+    return Status::FailedPrecondition(
+        "commit requires a prepared transaction");
+  }
+  wal_->Append(
+      WalRecord{WalRecordType::kCommit, txn, "", "", false, "", false});
+  ApplyWrites(it->second.writes);
+  active_.erase(it);
+  return Status::OK();
+}
+
+Status KvStore::Abort(TransactionId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::FailedPrecondition("txn not active");
+  wal_->Append(
+      WalRecord{WalRecordType::kAbort, txn, "", "", false, "", false});
+  active_.erase(it);
+  return Status::OK();
+}
+
+bool KvStore::IsActive(TransactionId txn) const {
+  return active_.count(txn) != 0;
+}
+
+bool KvStore::IsPrepared(TransactionId txn) const {
+  auto it = active_.find(txn);
+  return it != active_.end() && it->second.prepared;
+}
+
+std::optional<std::string> KvStore::GetCommitted(
+    const std::string& key) const {
+  auto it = committed_.find(key);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::CrashVolatile() {
+  committed_.clear();
+  active_.clear();
+}
+
+Result<std::vector<TransactionId>> KvStore::RecoverFromWal() {
+  committed_.clear();
+  active_.clear();
+
+  // Pass 1: final outcome of each logged transaction.
+  std::set<TransactionId> committed_txns;
+  std::set<TransactionId> aborted_txns;
+  for (const WalRecord& r : wal_->records()) {
+    if (r.type == WalRecordType::kCommit) {
+      if (aborted_txns.count(r.txn) != 0) {
+        return Status::Corruption("txn both committed and aborted in WAL");
+      }
+      committed_txns.insert(r.txn);
+    } else if (r.type == WalRecordType::kAbort) {
+      if (committed_txns.count(r.txn) != 0) {
+        return Status::Corruption("txn both committed and aborted in WAL");
+      }
+      aborted_txns.insert(r.txn);
+    }
+  }
+
+  // Pass 2: redo committed writes in log order; re-stage prepared-undecided
+  // ("in-doubt") transactions for the distributed recovery protocol.
+  std::vector<TransactionId> in_doubt;
+  for (const WalRecord& r : wal_->records()) {
+    switch (r.type) {
+      case WalRecordType::kWrite: {
+        if (committed_txns.count(r.txn) != 0) {
+          if (r.is_delete) {
+            committed_.erase(r.key);
+          } else {
+            committed_[r.key] = r.new_value;
+          }
+        } else if (aborted_txns.count(r.txn) == 0) {
+          active_[r.txn].writes[r.key] = StagedWrite{r.new_value, r.is_delete};
+        }
+        break;
+      }
+      case WalRecordType::kPrepare: {
+        if (committed_txns.count(r.txn) == 0 &&
+            aborted_txns.count(r.txn) == 0) {
+          active_[r.txn].prepared = true;
+          in_doubt.push_back(r.txn);
+        }
+        break;
+      }
+      case WalRecordType::kBegin: {
+        if (committed_txns.count(r.txn) == 0 &&
+            aborted_txns.count(r.txn) == 0) {
+          active_.try_emplace(r.txn);
+        }
+        break;
+      }
+      case WalRecordType::kCommit:
+      case WalRecordType::kAbort:
+        break;
+    }
+  }
+
+  // Transactions begun but never prepared are aborted immediately on
+  // recovery ("when a failure occurs before the commit point is reached,
+  // the site will abort the transaction immediately upon recovering").
+  std::vector<TransactionId> to_abort;
+  for (const auto& [txn, state] : active_) {
+    if (!state.prepared) to_abort.push_back(txn);
+  }
+  for (TransactionId txn : to_abort) {
+    wal_->Append(
+        WalRecord{WalRecordType::kAbort, txn, "", "", false, "", false});
+    active_.erase(txn);
+  }
+  return in_doubt;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,66 @@
+#include "db/local_transaction.h"
+
+namespace nbcp {
+
+Status LocalTransaction::Execute(const std::vector<KvOp>& ops) {
+  Status s = store_->Begin(txn_);
+  if (!s.ok()) return s;
+  begun_ = true;
+
+  for (const KvOp& op : ops) {
+    LockMode mode =
+        op.kind == KvOp::Kind::kGet ? LockMode::kShared : LockMode::kExclusive;
+    Status lock = locks_->TryAcquire(txn_, op.key, mode);
+    if (!lock.ok()) {
+      Abort();
+      return lock;
+    }
+    switch (op.kind) {
+      case KvOp::Kind::kGet: {
+        // Reads validate existence only; a missing key is not an error for
+        // the commit protocol (the value is returned through other APIs).
+        (void)store_->Get(txn_, op.key);
+        break;
+      }
+      case KvOp::Kind::kPut: {
+        Status put = store_->Put(txn_, op.key, op.value);
+        if (!put.ok()) {
+          Abort();
+          return put;
+        }
+        break;
+      }
+      case KvOp::Kind::kDelete: {
+        Status del = store_->Delete(txn_, op.key);
+        if (!del.ok()) {
+          Abort();
+          return del;
+        }
+        break;
+      }
+    }
+  }
+  executed_ = true;
+  return Status::OK();
+}
+
+Status LocalTransaction::Prepare() {
+  if (!executed_) return Status::FailedPrecondition("not executed");
+  return store_->Prepare(txn_);
+}
+
+Status LocalTransaction::Commit() {
+  Status s = store_->Commit(txn_);
+  locks_->Release(txn_);
+  return s;
+}
+
+Status LocalTransaction::Abort() {
+  Status s = begun_ ? store_->Abort(txn_) : Status::OK();
+  locks_->Release(txn_);
+  executed_ = false;
+  begun_ = false;
+  return s;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,62 @@
+#ifndef NBCP_DB_LOCAL_TRANSACTION_H_
+#define NBCP_DB_LOCAL_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "db/kv_store.h"
+#include "db/lock_manager.h"
+
+namespace nbcp {
+
+/// One sub-operation of a distributed transaction, addressed to a site.
+struct KvOp {
+  enum class Kind : uint8_t { kGet = 0, kPut, kDelete };
+  SiteId site = kNoSite;
+  Kind kind = Kind::kPut;
+  std::string key;
+  std::string value;  ///< For kPut.
+};
+
+/// Executes a distributed transaction's local portion at one site: acquires
+/// locks (no-wait: conflicts surface as kAborted, motivating a "no" vote),
+/// stages writes in the KvStore, and drives the local commit point.
+///
+/// Lifecycle: Execute() -> Prepare() -> Commit()/Abort(). After Prepare()
+/// succeeds, commit is locally guaranteed even across a crash (the staged
+/// writes are in the WAL).
+class LocalTransaction {
+ public:
+  LocalTransaction(TransactionId txn, KvStore* store, LockManager* locks)
+      : txn_(txn), store_(store), locks_(locks) {}
+
+  /// Runs the ops; any lock conflict or read failure aborts the local
+  /// transaction (locks released) and returns kAborted.
+  Status Execute(const std::vector<KvOp>& ops);
+
+  /// Persists the staged writes; after OK the site can vote yes.
+  Status Prepare();
+
+  /// Applies and releases locks.
+  Status Commit();
+
+  /// Backs out and releases locks. Safe to call at any point.
+  Status Abort();
+
+  TransactionId txn() const { return txn_; }
+  bool executed() const { return executed_; }
+
+ private:
+  TransactionId txn_;
+  KvStore* store_;
+  LockManager* locks_;
+  bool executed_ = false;
+  bool begun_ = false;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_DB_LOCAL_TRANSACTION_H_

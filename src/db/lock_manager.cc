@@ -1,0 +1,147 @@
+#include "db/lock_manager.h"
+
+#include <queue>
+
+namespace nbcp {
+
+bool LockManager::Compatible(const KeyLock& lock, TransactionId txn,
+                             LockMode mode) {
+  for (const auto& [holder, held_mode] : lock.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::TryAcquire(TransactionId txn, const std::string& key,
+                               LockMode mode) {
+  KeyLock& lock = locks_[key];
+  auto held = lock.holders.find(txn);
+  if (held != lock.holders.end() &&
+      (held->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+    return Status::OK();  // Already held strongly enough.
+  }
+  if (!Compatible(lock, txn, mode)) {
+    return Status::Aborted("lock conflict on key '" + key + "'");
+  }
+  lock.holders[txn] = mode;
+  return Status::OK();
+}
+
+bool LockManager::WouldDeadlock(TransactionId waiter,
+                                const std::string& key) const {
+  // BFS over the waits-for graph starting from the transactions `waiter`
+  // would wait for; a path back to `waiter` is a cycle.
+  std::set<TransactionId> targets;
+  auto it = locks_.find(key);
+  if (it != locks_.end()) {
+    for (const auto& [holder, mode] : it->second.holders) {
+      if (holder != waiter) targets.insert(holder);
+    }
+  }
+
+  std::set<TransactionId> visited;
+  std::queue<TransactionId> frontier;
+  for (TransactionId t : targets) frontier.push(t);
+  while (!frontier.empty()) {
+    TransactionId current = frontier.front();
+    frontier.pop();
+    if (current == waiter) return true;
+    if (!visited.insert(current).second) continue;
+    // Who does `current` wait for?
+    for (const auto& [k, lock] : locks_) {
+      for (const auto& w : lock.waiters) {
+        if (w.txn != current) continue;
+        for (const auto& [holder, mode] : lock.holders) {
+          if (holder != current) frontier.push(holder);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void LockManager::AcquireAsync(TransactionId txn, const std::string& key,
+                               LockMode mode, GrantCallback callback) {
+  KeyLock& lock = locks_[key];
+  auto held = lock.holders.find(txn);
+  if (held != lock.holders.end() &&
+      (held->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+    callback(Status::OK());
+    return;
+  }
+  if (lock.waiters.empty() && Compatible(lock, txn, mode)) {
+    lock.holders[txn] = mode;
+    callback(Status::OK());
+    return;
+  }
+  if (WouldDeadlock(txn, key)) {
+    callback(Status::Aborted("deadlock victim on key '" + key + "'"));
+    return;
+  }
+  lock.waiters.push_back(KeyLock::Waiter{txn, mode, std::move(callback)});
+}
+
+void LockManager::PumpQueue(const std::string& key) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  KeyLock& lock = it->second;
+  while (!lock.waiters.empty()) {
+    KeyLock::Waiter& head = lock.waiters.front();
+    if (!Compatible(lock, head.txn, head.mode)) break;
+    lock.holders[head.txn] = head.mode;
+    GrantCallback cb = std::move(head.callback);
+    lock.waiters.pop_front();
+    cb(Status::OK());
+  }
+  if (lock.holders.empty() && lock.waiters.empty()) locks_.erase(it);
+}
+
+void LockManager::Release(TransactionId txn) {
+  std::vector<std::string> touched;
+  for (auto& [key, lock] : locks_) {
+    bool changed = lock.holders.erase(txn) > 0;
+    for (auto w = lock.waiters.begin(); w != lock.waiters.end();) {
+      if (w->txn == txn) {
+        w = lock.waiters.erase(w);
+        changed = true;
+      } else {
+        ++w;
+      }
+    }
+    if (changed) touched.push_back(key);
+  }
+  for (const std::string& key : touched) PumpQueue(key);
+}
+
+bool LockManager::Holds(TransactionId txn, const std::string& key,
+                        LockMode mode) const {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return false;
+  auto held = it->second.holders.find(txn);
+  if (held == it->second.holders.end()) return false;
+  return held->second == LockMode::kExclusive || mode == LockMode::kShared;
+}
+
+size_t LockManager::num_waiters() const {
+  size_t count = 0;
+  for (const auto& [key, lock] : locks_) count += lock.waiters.size();
+  return count;
+}
+
+std::vector<std::pair<TransactionId, TransactionId>>
+LockManager::WaitsForEdges() const {
+  std::vector<std::pair<TransactionId, TransactionId>> out;
+  for (const auto& [key, lock] : locks_) {
+    for (const auto& w : lock.waiters) {
+      for (const auto& [holder, mode] : lock.holders) {
+        if (holder != w.txn) out.emplace_back(w.txn, holder);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,89 @@
+#ifndef NBCP_DB_LOCK_MANAGER_H_
+#define NBCP_DB_LOCK_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nbcp {
+
+/// Lock mode for a key.
+enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+/// Per-site lock manager implementing strict two-phase locking with a
+/// waits-for graph and cycle-based deadlock detection.
+///
+/// Two acquisition styles are offered:
+///  * TryAcquire — no-wait: an incompatible request fails immediately with
+///    kAborted. This is what the commit-protocol participants use: a lock
+///    conflict is precisely the concurrency-control situation the paper
+///    cites as the reason a server must be able to vote no ("unilateral
+///    abort").
+///  * AcquireAsync — the request queues; the callback fires with OK when
+///    granted, or with kAborted when granting would create a waits-for
+///    cycle (the requester is chosen as the deadlock victim).
+class LockManager {
+ public:
+  using GrantCallback = std::function<void(Status)>;
+
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// No-wait acquisition. Re-acquiring a held lock (same or weaker mode) is
+  /// OK; upgrading shared->exclusive succeeds only without other sharers.
+  Status TryAcquire(TransactionId txn, const std::string& key, LockMode mode);
+
+  /// Queued acquisition with deadlock detection; `callback` is invoked
+  /// exactly once (possibly synchronously when the lock is free).
+  void AcquireAsync(TransactionId txn, const std::string& key, LockMode mode,
+                    GrantCallback callback);
+
+  /// Releases every lock held by `txn` and cancels its waiting requests;
+  /// grants whatever becomes grantable.
+  void Release(TransactionId txn);
+
+  /// True if `txn` holds `key` in a mode at least as strong as `mode`.
+  bool Holds(TransactionId txn, const std::string& key, LockMode mode) const;
+
+  /// Number of transactions currently waiting on some key.
+  size_t num_waiters() const;
+
+  /// Edges of the current waits-for graph, for diagnostics.
+  std::vector<std::pair<TransactionId, TransactionId>> WaitsForEdges() const;
+
+ private:
+  struct KeyLock {
+    std::map<TransactionId, LockMode> holders;
+    struct Waiter {
+      TransactionId txn;
+      LockMode mode;
+      GrantCallback callback;
+    };
+    std::deque<Waiter> waiters;
+  };
+
+  /// Can (txn, mode) be granted on `lock` right now (ignoring the queue)?
+  static bool Compatible(const KeyLock& lock, TransactionId txn,
+                         LockMode mode);
+
+  /// Would `waiter` waiting behind the current holders of `key` close a
+  /// cycle in the waits-for graph?
+  bool WouldDeadlock(TransactionId waiter, const std::string& key) const;
+
+  /// Grants any queue heads that became compatible.
+  void PumpQueue(const std::string& key);
+
+  std::unordered_map<std::string, KeyLock> locks_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_DB_LOCK_MANAGER_H_

@@ -1,0 +1,60 @@
+#ifndef NBCP_DB_WAL_H_
+#define NBCP_DB_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nbcp {
+
+/// Type of a write-ahead-log record.
+enum class WalRecordType : uint8_t {
+  kBegin = 0,   ///< Transaction started at this site.
+  kWrite,       ///< Staged write (key, old value, new value).
+  kPrepare,     ///< All writes staged and durable; site can vote yes.
+  kCommit,      ///< Local commit decision.
+  kAbort,       ///< Local abort decision.
+};
+
+std::string ToString(WalRecordType type);
+
+/// One durable log record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  TransactionId txn = kNoTransaction;
+  std::string key;
+  std::string old_value;
+  bool old_existed = false;  ///< False when the key did not exist before.
+  std::string new_value;
+  bool is_delete = false;    ///< True when the write removes the key.
+};
+
+/// Per-site write-ahead log.
+///
+/// The log models the site's stable storage: it survives simulated crashes
+/// (the owning site clears its volatile structures but keeps the log).
+/// Records are appended strictly in order; recovery replays the whole log.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  void Append(WalRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<WalRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Discards the prefix [0, upto) after a checkpoint.
+  void Truncate(size_t upto);
+
+ private:
+  std::vector<WalRecord> records_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_DB_WAL_H_

@@ -1,0 +1,63 @@
+#ifndef NBCP_ELECTION_BULLY_H_
+#define NBCP_ELECTION_BULLY_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "election/election.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+
+/// Garcia-Molina's bully election: a candidate challenges all higher-id
+/// sites; a higher-id site that answers takes over; a candidate hearing no
+/// answer within the timeout declares itself leader and announces to all.
+///
+/// Message types: "bully:election", "bully:answer", "bully:leader"
+/// (Message::txn carries the election tag).
+class BullyElection : public Election {
+ public:
+  BullyElection(SiteId self, Simulator* sim, Network* network,
+                AliveFn alive_sites, ElectedCallback on_elected,
+                ElectionConfig config = {});
+
+  void StartElection(TransactionId tag) override;
+  void OnMessage(const Message& message) override;
+  void Reset(TransactionId tag) override;
+  void Clear() override;
+
+  /// True for message types this algorithm owns.
+  static bool OwnsMessage(const std::string& type);
+
+ private:
+  struct Round {
+    bool running = false;        ///< This site is an active candidate.
+    bool answered = false;       ///< A higher site answered our challenge.
+    bool done = false;
+    SiteId leader = kNoSite;
+    EventId declare_timer = 0;   ///< Self-declare when it fires unanswered.
+    EventId takeover_timer = 0;  ///< Restart if the answerer goes silent.
+  };
+
+  void Send(SiteId to, const std::string& type, TransactionId tag,
+            std::string payload = "");
+  void DeclareSelf(TransactionId tag);
+  void FinishRound(TransactionId tag, SiteId leader);
+
+  SiteId self_;
+  Simulator* sim_;
+  Network* network_;
+  AliveFn alive_;
+  ElectedCallback on_elected_;
+  ElectionConfig config_;
+  std::unordered_map<TransactionId, Round> rounds_;
+
+  /// Liveness token: scheduled timers hold a weak reference and become
+  /// no-ops once this object is destroyed (e.g. its site crashed).
+  std::shared_ptr<char> alive_token_ = std::make_shared<char>(0);
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_ELECTION_BULLY_H_

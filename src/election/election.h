@@ -1,0 +1,52 @@
+#ifndef NBCP_ELECTION_ELECTION_H_
+#define NBCP_ELECTION_ELECTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace nbcp {
+
+/// Configuration shared by the election algorithms.
+struct ElectionConfig {
+  /// How long to wait for a response before assuming silence, in simulated
+  /// microseconds. Should exceed one network round trip.
+  SimTime response_timeout = 5000;
+};
+
+/// Interface of a distributed election mechanism used to choose the backup
+/// coordinator of the termination protocol ("any distributed election
+/// mechanism can be used").
+///
+/// Elections are scoped by a tag (the transaction id being terminated) so
+/// that concurrent terminations do not interfere.
+class Election {
+ public:
+  /// (tag, elected leader).
+  using ElectedCallback = std::function<void(TransactionId, SiteId)>;
+  /// Returns currently operational sites, ascending (from the failure
+  /// detector's perspective at this site).
+  using AliveFn = std::function<std::vector<SiteId>()>;
+
+  virtual ~Election() = default;
+
+  /// Begins an election for `tag`. Idempotent while one is running.
+  virtual void StartElection(TransactionId tag) = 0;
+
+  /// Feeds an election message (the owner routes by type prefix).
+  virtual void OnMessage(const Message& message) = 0;
+
+  /// Forgets any finished or in-flight round for `tag` so a fresh election
+  /// can run (used when the elected leader subsequently fails).
+  virtual void Reset(TransactionId tag) = 0;
+
+  /// Drops all in-progress election state (site crash).
+  virtual void Clear() = 0;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_ELECTION_ELECTION_H_

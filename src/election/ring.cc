@@ -1,0 +1,154 @@
+#include "election/ring.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace nbcp {
+namespace {
+const char kToken[] = "ring:token";
+const char kLeader[] = "ring:leader";
+
+std::vector<SiteId> ParseIds(const std::string& payload) {
+  std::vector<SiteId> out;
+  std::stringstream in(payload);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (!part.empty()) out.push_back(static_cast<SiteId>(std::stoul(part)));
+  }
+  return out;
+}
+
+std::string JoinIds(const std::vector<SiteId>& ids) {
+  std::ostringstream out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out << ',';
+    out << ids[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
+RingElection::RingElection(SiteId self, Simulator* sim, Network* network,
+                           AliveFn alive_sites, ElectedCallback on_elected,
+                           ElectionConfig config)
+    : self_(self),
+      sim_(sim),
+      network_(network),
+      alive_(std::move(alive_sites)),
+      on_elected_(std::move(on_elected)),
+      config_(config) {}
+
+bool RingElection::OwnsMessage(const std::string& type) {
+  return type.rfind("ring:", 0) == 0;
+}
+
+SiteId RingElection::NextAlive(SiteId from) const {
+  std::vector<SiteId> alive = alive_();
+  if (alive.empty()) return from;
+  // First alive id strictly greater, else wrap to the smallest.
+  for (SiteId site : alive) {
+    if (site > from) return site;
+  }
+  return alive.front();
+}
+
+void RingElection::SendToken(TransactionId tag, const std::string& ids) {
+  SiteId next = NextAlive(self_);
+  Message m;
+  m.type = kToken;
+  m.from = self_;
+  m.to = next;
+  m.txn = tag;
+  m.payload = ids;
+  (void)network_->Send(std::move(m));
+}
+
+void RingElection::StartElection(TransactionId tag) {
+  Round& round = rounds_[tag];
+  if (round.done) return;
+  round.initiated = true;
+
+  SiteId next = NextAlive(self_);
+  if (next == self_) {
+    FinishRound(tag, self_);
+    return;
+  }
+  SendToken(tag, std::to_string(self_));
+  // Restart if the token is lost to a crash mid-circulation.
+  if (round.retry_timer != 0) sim_->Cancel(round.retry_timer);
+  round.retry_timer = sim_->ScheduleAfter(
+      config_.response_timeout * (alive_().size() + 1),
+      [this, tag, token = std::weak_ptr<char>(alive_token_)]() {
+        if (token.expired()) return;
+        Round& r = rounds_[tag];
+        if (r.done) return;
+        r.initiated = false;
+        StartElection(tag);
+      });
+}
+
+void RingElection::AnnounceLeader(TransactionId tag, SiteId leader,
+                                  SiteId stop_at) {
+  SiteId next = NextAlive(self_);
+  if (next != stop_at && next != self_) {
+    Message m;
+    m.type = kLeader;
+    m.from = self_;
+    m.to = next;
+    m.txn = tag;
+    m.payload = std::to_string(leader) + ";" + std::to_string(stop_at);
+    (void)network_->Send(std::move(m));
+  }
+  FinishRound(tag, leader);
+}
+
+void RingElection::FinishRound(TransactionId tag, SiteId leader) {
+  Round& round = rounds_[tag];
+  if (round.done) return;
+  if (round.retry_timer != 0) sim_->Cancel(round.retry_timer);
+  round.done = true;
+  round.leader = leader;
+  NBCP_LOG(kDebug) << "site " << self_ << ": ring round " << tag
+                   << " elected " << leader;
+  if (on_elected_) on_elected_(tag, leader);
+}
+
+void RingElection::OnMessage(const Message& message) {
+  TransactionId tag = message.txn;
+  if (message.type == kToken) {
+    std::vector<SiteId> ids = ParseIds(message.payload);
+    if (std::find(ids.begin(), ids.end(), self_) != ids.end()) {
+      // Token completed the circuit: the highest collected id wins.
+      SiteId leader = *std::max_element(ids.begin(), ids.end());
+      AnnounceLeader(tag, leader, /*stop_at=*/self_);
+      return;
+    }
+    ids.push_back(self_);
+    SendToken(tag, JoinIds(ids));
+    return;
+  }
+  if (message.type == kLeader) {
+    // payload = "<leader>;<initiator>".
+    auto sep = message.payload.find(';');
+    SiteId leader =
+        static_cast<SiteId>(std::stoul(message.payload.substr(0, sep)));
+    SiteId stop_at =
+        static_cast<SiteId>(std::stoul(message.payload.substr(sep + 1)));
+    AnnounceLeader(tag, leader, stop_at);
+    return;
+  }
+}
+
+void RingElection::Reset(TransactionId tag) {
+  auto it = rounds_.find(tag);
+  if (it == rounds_.end()) return;
+  if (it->second.retry_timer != 0) sim_->Cancel(it->second.retry_timer);
+  rounds_.erase(it);
+}
+
+void RingElection::Clear() { rounds_.clear(); }
+
+}  // namespace nbcp

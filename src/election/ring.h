@@ -1,0 +1,63 @@
+#ifndef NBCP_ELECTION_RING_H_
+#define NBCP_ELECTION_RING_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "election/election.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+
+/// Chang-Roberts-style ring election: the candidate list circulates around
+/// the logical ring of operational sites (ordered by id); when the token
+/// returns to its initiator, the highest collected id is announced as
+/// leader with a second circulation.
+///
+/// Message types: "ring:token" (payload = comma-separated collected ids)
+/// and "ring:leader" (payload = leader id). Message::txn carries the tag.
+class RingElection : public Election {
+ public:
+  RingElection(SiteId self, Simulator* sim, Network* network,
+               AliveFn alive_sites, ElectedCallback on_elected,
+               ElectionConfig config = {});
+
+  void StartElection(TransactionId tag) override;
+  void OnMessage(const Message& message) override;
+  void Reset(TransactionId tag) override;
+  void Clear() override;
+
+  static bool OwnsMessage(const std::string& type);
+
+ private:
+  struct Round {
+    bool initiated = false;
+    bool done = false;
+    SiteId leader = kNoSite;
+    EventId retry_timer = 0;
+  };
+
+  /// The operational site following `from` on the ring.
+  SiteId NextAlive(SiteId from) const;
+
+  void SendToken(TransactionId tag, const std::string& ids);
+  void AnnounceLeader(TransactionId tag, SiteId leader, SiteId stop_at);
+  void FinishRound(TransactionId tag, SiteId leader);
+
+  SiteId self_;
+  Simulator* sim_;
+  Network* network_;
+  AliveFn alive_;
+  ElectedCallback on_elected_;
+  ElectionConfig config_;
+  std::unordered_map<TransactionId, Round> rounds_;
+
+  /// Liveness token: scheduled timers hold a weak reference and become
+  /// no-ops once this object is destroyed (e.g. its site crashed).
+  std::shared_ptr<char> alive_token_ = std::make_shared<char>(0);
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_ELECTION_RING_H_

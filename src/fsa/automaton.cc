@@ -1,0 +1,225 @@
+#include "fsa/automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <queue>
+#include <set>
+
+namespace nbcp {
+
+StateIndex Automaton::AddState(std::string name, StateKind kind) {
+  states_.push_back(LocalState{std::move(name), kind});
+  return static_cast<StateIndex>(states_.size()) - 1;
+}
+
+void Automaton::AddTransition(Transition t) {
+  assert(t.from >= 0 && t.from < static_cast<StateIndex>(states_.size()));
+  assert(t.to >= 0 && t.to < static_cast<StateIndex>(states_.size()));
+  transitions_.push_back(std::move(t));
+}
+
+std::vector<size_t> Automaton::TransitionsFrom(StateIndex s) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    if (transitions_[i].from == s) out.push_back(i);
+  }
+  return out;
+}
+
+StateIndex Automaton::initial_state() const {
+  StateIndex found = kNoState;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].kind == StateKind::kInitial) {
+      if (found != kNoState) return kNoState;  // Ambiguous.
+      found = static_cast<StateIndex>(i);
+    }
+  }
+  return found;
+}
+
+StateIndex Automaton::FindState(const std::string& name) const {
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].name == name) return static_cast<StateIndex>(i);
+  }
+  return kNoState;
+}
+
+bool Automaton::IsAcyclic() const {
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<int> color(states_.size(), 0);
+  std::function<bool(StateIndex)> visit = [&](StateIndex s) {
+    color[s] = 1;
+    for (const Transition& t : transitions_) {
+      if (t.from != s) continue;
+      if (color[t.to] == 1) return false;
+      if (color[t.to] == 0 && !visit(t.to)) return false;
+    }
+    color[s] = 2;
+    return true;
+  };
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (color[i] == 0 && !visit(static_cast<StateIndex>(i))) return false;
+  }
+  return true;
+}
+
+bool Automaton::Adjacent(StateIndex a, StateIndex b) const {
+  for (const Transition& t : transitions_) {
+    if ((t.from == a && t.to == b) || (t.from == b && t.to == a)) return true;
+  }
+  return false;
+}
+
+std::vector<StateIndex> Automaton::Neighbors(StateIndex s) const {
+  std::set<StateIndex> out;
+  for (const Transition& t : transitions_) {
+    if (t.from == s) out.insert(t.to);
+    if (t.to == s) out.insert(t.from);
+  }
+  out.erase(s);
+  return {out.begin(), out.end()};
+}
+
+int Automaton::LongestPathLength() const {
+  if (!IsAcyclic()) return -1;
+  StateIndex init = initial_state();
+  if (init == kNoState) return -1;
+  // Longest path in a DAG by memoized DFS.
+  std::vector<int> memo(states_.size(), -2);
+  std::function<int(StateIndex)> longest = [&](StateIndex s) -> int {
+    if (memo[s] != -2) return memo[s];
+    int best = 0;
+    for (const Transition& t : transitions_) {
+      if (t.from != s) continue;
+      best = std::max(best, 1 + longest(t.to));
+    }
+    memo[s] = best;
+    return best;
+  };
+  return longest(init);
+}
+
+bool Automaton::CanVote() const {
+  for (const Transition& t : transitions_) {
+    if (t.votes_yes || t.votes_no || t.trigger.or_self_vote_no) return true;
+  }
+  return false;
+}
+
+Status Automaton::Validate() const {
+  if (states_.empty()) return Status::InvalidArgument("automaton has no states");
+
+  int initial_count = 0;
+  bool has_commit = false;
+  bool has_abort = false;
+  for (const LocalState& s : states_) {
+    if (s.kind == StateKind::kInitial) ++initial_count;
+    if (s.kind == StateKind::kCommit) has_commit = true;
+    if (s.kind == StateKind::kAbort) has_abort = true;
+  }
+  if (initial_count != 1) {
+    return Status::InvalidArgument("automaton must have exactly one initial state");
+  }
+  if (!has_commit || !has_abort) {
+    return Status::InvalidArgument(
+        "final states must be partitioned into nonempty commit and abort sets");
+  }
+
+  for (const Transition& t : transitions_) {
+    if (IsFinal(states_[t.from].kind)) {
+      return Status::InvalidArgument("final state '" + states_[t.from].name +
+                                     "' has an outgoing transition; "
+                                     "commit and abort are irreversible");
+    }
+  }
+
+  if (!IsAcyclic()) {
+    return Status::InvalidArgument("state diagram must be acyclic");
+  }
+
+  // Reachability from the initial state.
+  StateIndex init = initial_state();
+  std::vector<bool> seen(states_.size(), false);
+  std::queue<StateIndex> frontier;
+  frontier.push(init);
+  seen[init] = true;
+  while (!frontier.empty()) {
+    StateIndex s = frontier.front();
+    frontier.pop();
+    for (const Transition& t : transitions_) {
+      if (t.from == s && !seen[t.to]) {
+        seen[t.to] = true;
+        frontier.push(t.to);
+      }
+    }
+  }
+  for (size_t i = 0; i < states_.size(); ++i) {
+    // "Prepare to abort" parking states belong to the termination protocol
+    // and are never entered by normal-operation transitions.
+    if (states_[i].kind == StateKind::kAbortBuffer) continue;
+    if (!seen[i]) {
+      return Status::InvalidArgument("state '" + states_[i].name +
+                                     "' is unreachable");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+bool TransitionsMatch(const Transition& a, const Transition& b) {
+  return a.trigger.kind == b.trigger.kind &&
+         a.trigger.msg_type == b.trigger.msg_type &&
+         a.trigger.group == b.trigger.group &&
+         a.trigger.or_self_vote_no == b.trigger.or_self_vote_no &&
+         a.votes_yes == b.votes_yes && a.votes_no == b.votes_no &&
+         a.sends.size() == b.sends.size() &&
+         std::equal(a.sends.begin(), a.sends.end(), b.sends.begin(),
+                    [](const SendSpec& x, const SendSpec& y) {
+                      return x.msg_type == y.msg_type && x.to == y.to;
+                    });
+}
+
+/// Backtracking search for a structure-preserving bijection.
+bool ExtendMapping(const Automaton& a, const Automaton& b,
+                   std::vector<StateIndex>& map, StateIndex next) {
+  auto n = static_cast<StateIndex>(a.num_states());
+  if (next == n) {
+    // Full candidate mapping: verify every transition corresponds.
+    if (a.transitions().size() != b.transitions().size()) return false;
+    for (const Transition& ta : a.transitions()) {
+      bool matched = false;
+      for (const Transition& tb : b.transitions()) {
+        if (tb.from == map[ta.from] && tb.to == map[ta.to] &&
+            TransitionsMatch(ta, tb)) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return false;
+    }
+    return true;
+  }
+  for (StateIndex cand = 0; cand < n; ++cand) {
+    if (a.state(next).kind != b.state(cand).kind) continue;
+    if (std::find(map.begin(), map.begin() + next, cand) !=
+        map.begin() + next) {
+      continue;  // Already used.
+    }
+    map[next] = cand;
+    if (ExtendMapping(a, b, map, next + 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AutomataIsomorphic(const Automaton& a, const Automaton& b) {
+  if (a.num_states() != b.num_states()) return false;
+  if (a.transitions().size() != b.transitions().size()) return false;
+  std::vector<StateIndex> map(a.num_states(), kNoState);
+  return ExtendMapping(a, b, map, 0);
+}
+
+}  // namespace nbcp

@@ -1,0 +1,86 @@
+#ifndef NBCP_FSA_AUTOMATON_H_
+#define NBCP_FSA_AUTOMATON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fsa/state.h"
+#include "fsa/transition.h"
+
+namespace nbcp {
+
+/// The finite-state automaton modeling one role's execution of a commit
+/// protocol (Section "The formal model in brief").
+///
+/// The automaton is nondeterministic (a slave in q may answer "xact" with
+/// either yes or no), its final states are partitioned into commit and abort
+/// states, and its state diagram must be acyclic — `Validate()` enforces the
+/// structural properties the paper lists for commit-protocol FSAs.
+class Automaton {
+ public:
+  Automaton() = default;
+
+  /// Adds a state and returns its index.
+  StateIndex AddState(std::string name, StateKind kind);
+
+  /// Adds a transition. `from`/`to` must be valid indices.
+  void AddTransition(Transition t);
+
+  size_t num_states() const { return states_.size(); }
+  const LocalState& state(StateIndex i) const { return states_[i]; }
+  const std::vector<LocalState>& states() const { return states_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Indices of transitions leaving `s`.
+  std::vector<size_t> TransitionsFrom(StateIndex s) const;
+
+  /// The unique initial state, or kNoState if absent/ambiguous.
+  StateIndex initial_state() const;
+
+  /// Index of the state named `name`, or kNoState.
+  StateIndex FindState(const std::string& name) const;
+
+  /// True if the transition relation has no cycles.
+  bool IsAcyclic() const;
+
+  /// True if `a` and `b` are connected by a transition in either direction.
+  /// This is the adjacency relation of the paper's design lemma.
+  bool Adjacent(StateIndex a, StateIndex b) const;
+
+  /// States adjacent to `s` (either direction), sorted, without duplicates.
+  std::vector<StateIndex> Neighbors(StateIndex s) const;
+
+  /// Length of the longest path from the initial state to any final state;
+  /// by the paper's definition this is the number of phases the role
+  /// participates in.
+  int LongestPathLength() const;
+
+  /// True if the automaton contains a transition that casts a vote
+  /// (votes_yes, votes_no, or an or_self_vote_no trigger). Roles that
+  /// cannot vote — e.g. 1PC slaves — implicitly assent to commit.
+  bool CanVote() const;
+
+  /// Checks the structural properties required of commit-protocol FSAs:
+  ///  * exactly one initial state;
+  ///  * at least one commit and one abort state;
+  ///  * final states have no outgoing transitions;
+  ///  * the diagram is acyclic;
+  ///  * every state is reachable from the initial state.
+  Status Validate() const;
+
+ private:
+  std::vector<LocalState> states_;
+  std::vector<Transition> transitions_;
+};
+
+/// True when the two automata are isomorphic: there is a bijection between
+/// their states preserving kind, initial designation and the full transition
+/// structure (trigger, sends, vote flags). State *names* are ignored, so a
+/// mechanically synthesized protocol can be compared against a handwritten
+/// one. Exponential in the worst case; intended for the small commit FSAs.
+bool AutomataIsomorphic(const Automaton& a, const Automaton& b);
+
+}  // namespace nbcp
+
+#endif  // NBCP_FSA_AUTOMATON_H_

@@ -1,0 +1,95 @@
+#include "fsa/dot_export.h"
+
+#include <sstream>
+
+namespace nbcp {
+namespace {
+
+std::string NodeAttrs(const LocalState& s) {
+  switch (s.kind) {
+    case StateKind::kInitial:
+      return "shape=circle";
+    case StateKind::kWait:
+      return "shape=circle";
+    case StateKind::kBuffer:
+      return "shape=circle style=filled fillcolor=lightgrey";
+    case StateKind::kAbortBuffer:
+      return "shape=circle style=filled fillcolor=mistyrose";
+    case StateKind::kCommit:
+      return "shape=doublecircle";
+    case StateKind::kAbort:
+      return "shape=doubleoctagon";
+  }
+  return "shape=circle";
+}
+
+void EmitBody(std::ostringstream& out, const Automaton& a,
+              const std::string& prefix) {
+  for (size_t i = 0; i < a.num_states(); ++i) {
+    const LocalState& s = a.state(static_cast<StateIndex>(i));
+    out << "  " << prefix << i << " [label=\"" << s.name << "\" "
+        << NodeAttrs(s) << "];\n";
+  }
+  for (const Transition& t : a.transitions()) {
+    out << "  " << prefix << t.from << " -> " << prefix << t.to
+        << " [label=\"" << t.Label() << "\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string ToDot(const Automaton& automaton, const std::string& title) {
+  std::ostringstream out;
+  out << "digraph \"" << title << "\" {\n";
+  out << "  rankdir=TB;\n";
+  EmitBody(out, automaton, "s");
+  out << "}\n";
+  return out.str();
+}
+
+std::string ToDot(const ProtocolSpec& spec) {
+  std::ostringstream out;
+  out << "digraph \"" << spec.name() << "\" {\n";
+  out << "  rankdir=TB;\n";
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    out << "  subgraph cluster_" << r << " {\n";
+    out << "    label=\"" << spec.role_name(static_cast<RoleIndex>(r))
+        << "\";\n";
+    std::ostringstream body;
+    EmitBody(body, spec.role(static_cast<RoleIndex>(r)),
+             "r" + std::to_string(r) + "_");
+    out << body.str();
+    out << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string TransitionTable(const Automaton& automaton) {
+  std::ostringstream out;
+  out << "state | kind     | on / send -> next\n";
+  out << "------+----------+------------------\n";
+  for (size_t i = 0; i < automaton.num_states(); ++i) {
+    auto s = static_cast<StateIndex>(i);
+    const LocalState& st = automaton.state(s);
+    auto outgoing = automaton.TransitionsFrom(s);
+    if (outgoing.empty()) {
+      out << "  " << st.name << "   | " << ToString(st.kind) << " | (final)\n";
+      continue;
+    }
+    bool first = true;
+    for (size_t ti : outgoing) {
+      const Transition& t = automaton.transitions()[ti];
+      if (first) {
+        out << "  " << st.name << "   | " << ToString(st.kind) << " | ";
+        first = false;
+      } else {
+        out << "      |          | ";
+      }
+      out << t.Label() << " -> " << automaton.state(t.to).name << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace nbcp

@@ -1,0 +1,25 @@
+#ifndef NBCP_FSA_DOT_EXPORT_H_
+#define NBCP_FSA_DOT_EXPORT_H_
+
+#include <string>
+
+#include "fsa/automaton.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Renders a single role automaton as a Graphviz digraph. Commit states are
+/// drawn as double circles, abort states as double octagons, buffer states
+/// shaded — matching the conventions of the paper's figures.
+std::string ToDot(const Automaton& automaton, const std::string& title);
+
+/// Renders every role of `spec` into one DOT document (clustered).
+std::string ToDot(const ProtocolSpec& spec);
+
+/// Plain-text transition table for a role automaton, used by the figure
+/// reproduction benches.
+std::string TransitionTable(const Automaton& automaton);
+
+}  // namespace nbcp
+
+#endif  // NBCP_FSA_DOT_EXPORT_H_

@@ -1,0 +1,324 @@
+#include "fsa/spec_parser.h"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace nbcp {
+namespace {
+
+std::optional<StateKind> ParseKind(const std::string& word) {
+  if (word == "initial") return StateKind::kInitial;
+  if (word == "wait") return StateKind::kWait;
+  if (word == "buffer") return StateKind::kBuffer;
+  if (word == "abort-buffer") return StateKind::kAbortBuffer;
+  if (word == "commit") return StateKind::kCommit;
+  if (word == "abort") return StateKind::kAbort;
+  return std::nullopt;
+}
+
+std::string KindWord(StateKind kind) {
+  switch (kind) {
+    case StateKind::kInitial:
+      return "initial";
+    case StateKind::kWait:
+      return "wait";
+    case StateKind::kBuffer:
+      return "buffer";
+    case StateKind::kAbortBuffer:
+      return "abort-buffer";
+    case StateKind::kCommit:
+      return "commit";
+    case StateKind::kAbort:
+      return "abort";
+  }
+  return "wait";
+}
+
+std::optional<Group> ParseGroup(const std::string& word) {
+  if (word == "coordinator") return Group::kCoordinator;
+  if (word == "slaves") return Group::kSlaves;
+  if (word == "all") return Group::kAllPeers;
+  if (word == "next") return Group::kNextPeer;
+  if (word == "prev") return Group::kPrevPeer;
+  return std::nullopt;
+}
+
+std::string GroupWord(Group group) {
+  switch (group) {
+    case Group::kNone:
+      return "none";
+    case Group::kCoordinator:
+      return "coordinator";
+    case Group::kSlaves:
+      return "slaves";
+    case Group::kAllPeers:
+      return "all";
+    case Group::kNextPeer:
+      return "next";
+    case Group::kPrevPeer:
+      return "prev";
+  }
+  return "none";
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // Comment to end of line.
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+Status Err(size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                 ": " + message);
+}
+
+}  // namespace
+
+Result<ProtocolSpec> ParseProtocolSpec(const std::string& text) {
+  std::optional<ProtocolSpec> spec;
+  Automaton current;
+  std::string current_role;
+  bool in_role = false;
+
+  auto flush_role = [&]() {
+    if (in_role && spec.has_value()) {
+      spec->AddRole(current_role, std::move(current));
+      current = Automaton();
+      in_role = false;
+    }
+  };
+
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "protocol") {
+      if (spec.has_value()) return Err(line_number, "duplicate 'protocol'");
+      if (tokens.size() != 3) {
+        return Err(line_number, "expected: protocol <name> <paradigm>");
+      }
+      Paradigm paradigm;
+      if (tokens[2] == "central") {
+        paradigm = Paradigm::kCentralSite;
+      } else if (tokens[2] == "decentralized") {
+        paradigm = Paradigm::kDecentralized;
+      } else if (tokens[2] == "linear") {
+        paradigm = Paradigm::kLinear;
+      } else {
+        return Err(line_number, "unknown paradigm '" + tokens[2] + "'");
+      }
+      spec.emplace(tokens[1], paradigm);
+      continue;
+    }
+    if (!spec.has_value()) {
+      return Err(line_number, "'protocol' must come first");
+    }
+
+    if (keyword == "role") {
+      if (tokens.size() != 2) return Err(line_number, "expected: role <name>");
+      flush_role();
+      current_role = tokens[1];
+      in_role = true;
+      continue;
+    }
+    if (keyword == "end") {
+      flush_role();
+      continue;
+    }
+    if (!in_role) return Err(line_number, "statement outside a role");
+
+    if (keyword == "state") {
+      if (tokens.size() != 3) {
+        return Err(line_number, "expected: state <name> <kind>");
+      }
+      auto kind = ParseKind(tokens[2]);
+      if (!kind.has_value()) {
+        return Err(line_number, "unknown state kind '" + tokens[2] + "'");
+      }
+      if (current.FindState(tokens[1]) != kNoState) {
+        return Err(line_number, "duplicate state '" + tokens[1] + "'");
+      }
+      current.AddState(tokens[1], *kind);
+      continue;
+    }
+
+    if (keyword == "on") {
+      // on <from>: <trigger> / <sends> -> <to> [votes-yes|votes-no]
+      size_t i = 1;
+      if (i >= tokens.size()) return Err(line_number, "missing source state");
+      std::string from_name = tokens[i++];
+      if (!from_name.empty() && from_name.back() == ':') {
+        from_name.pop_back();
+      } else if (i < tokens.size() && tokens[i] == ":") {
+        ++i;
+      }
+      StateIndex from = current.FindState(from_name);
+      if (from == kNoState) {
+        return Err(line_number, "unknown state '" + from_name + "'");
+      }
+
+      Transition t;
+      t.from = from;
+      if (i >= tokens.size()) return Err(line_number, "missing trigger");
+      const std::string& trig = tokens[i];
+      if (trig == "request") {
+        t.trigger = Trigger{TriggerKind::kClientRequest, "__request",
+                            Group::kNone, false};
+        ++i;
+      } else if (trig == "one" || trig == "all" || trig == "any") {
+        if (i + 3 >= tokens.size() || tokens[i + 2] != "from") {
+          return Err(line_number,
+                     "expected: " + trig + " <msg> from <group>");
+        }
+        auto group = ParseGroup(tokens[i + 3]);
+        if (!group.has_value()) {
+          return Err(line_number, "unknown group '" + tokens[i + 3] + "'");
+        }
+        TriggerKind kind = trig == "one" ? TriggerKind::kOneFrom
+                           : trig == "all" ? TriggerKind::kAllFrom
+                                           : TriggerKind::kAnyFrom;
+        t.trigger = Trigger{kind, tokens[i + 1], *group, false};
+        i += 4;
+        if (i < tokens.size() && tokens[i] == "or-self-no") {
+          if (kind != TriggerKind::kAnyFrom) {
+            return Err(line_number, "or-self-no requires an 'any' trigger");
+          }
+          t.trigger.or_self_vote_no = true;
+          ++i;
+        }
+      } else {
+        return Err(line_number, "unknown trigger '" + trig + "'");
+      }
+
+      if (i >= tokens.size() || tokens[i] != "/") {
+        return Err(line_number, "expected '/' after the trigger");
+      }
+      ++i;
+
+      if (i < tokens.size() && tokens[i] == "nothing") {
+        ++i;
+      } else {
+        while (i < tokens.size() && tokens[i] == "send") {
+          if (i + 3 >= tokens.size() || tokens[i + 2] != "to") {
+            return Err(line_number, "expected: send <msg> to <group>");
+          }
+          auto group = ParseGroup(tokens[i + 3]);
+          if (!group.has_value()) {
+            return Err(line_number, "unknown group '" + tokens[i + 3] + "'");
+          }
+          t.sends.push_back(SendSpec{tokens[i + 1], *group});
+          i += 4;
+        }
+      }
+
+      if (i >= tokens.size() || tokens[i] != "->") {
+        return Err(line_number, "expected '->' before the target state");
+      }
+      ++i;
+      if (i >= tokens.size()) return Err(line_number, "missing target state");
+      StateIndex to = current.FindState(tokens[i]);
+      if (to == kNoState) {
+        return Err(line_number, "unknown state '" + tokens[i] + "'");
+      }
+      t.to = to;
+      ++i;
+
+      while (i < tokens.size()) {
+        if (tokens[i] == "votes-yes") {
+          t.votes_yes = true;
+        } else if (tokens[i] == "votes-no") {
+          t.votes_no = true;
+        } else {
+          return Err(line_number, "unexpected token '" + tokens[i] + "'");
+        }
+        ++i;
+      }
+      current.AddTransition(std::move(t));
+      continue;
+    }
+
+    return Err(line_number, "unknown keyword '" + keyword + "'");
+  }
+  flush_role();
+
+  if (!spec.has_value()) return Status::InvalidArgument("empty input");
+  Status valid = spec->Validate();
+  if (!valid.ok()) return valid;
+  return std::move(*spec);
+}
+
+std::string SerializeProtocolSpec(const ProtocolSpec& spec) {
+  std::ostringstream out;
+  std::string paradigm;
+  switch (spec.paradigm()) {
+    case Paradigm::kCentralSite:
+      paradigm = "central";
+      break;
+    case Paradigm::kDecentralized:
+      paradigm = "decentralized";
+      break;
+    case Paradigm::kLinear:
+      paradigm = "linear";
+      break;
+  }
+  out << "protocol " << spec.name() << ' ' << paradigm << "\n";
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    auto role = static_cast<RoleIndex>(r);
+    const Automaton& a = spec.role(role);
+    out << "role " << spec.role_name(role) << "\n";
+    for (size_t s = 0; s < a.num_states(); ++s) {
+      const LocalState& state = a.state(static_cast<StateIndex>(s));
+      out << "  state " << state.name << ' ' << KindWord(state.kind) << "\n";
+    }
+    for (const Transition& t : a.transitions()) {
+      out << "  on " << a.state(t.from).name << ": ";
+      switch (t.trigger.kind) {
+        case TriggerKind::kClientRequest:
+          out << "request";
+          break;
+        case TriggerKind::kOneFrom:
+          out << "one " << t.trigger.msg_type << " from "
+              << GroupWord(t.trigger.group);
+          break;
+        case TriggerKind::kAllFrom:
+          out << "all " << t.trigger.msg_type << " from "
+              << GroupWord(t.trigger.group);
+          break;
+        case TriggerKind::kAnyFrom:
+          out << "any " << t.trigger.msg_type << " from "
+              << GroupWord(t.trigger.group);
+          if (t.trigger.or_self_vote_no) out << " or-self-no";
+          break;
+      }
+      out << " / ";
+      if (t.sends.empty()) {
+        out << "nothing";
+      } else {
+        for (size_t i = 0; i < t.sends.size(); ++i) {
+          if (i > 0) out << ' ';
+          out << "send " << t.sends[i].msg_type << " to "
+              << GroupWord(t.sends[i].to);
+        }
+      }
+      out << " -> " << a.state(t.to).name;
+      if (t.votes_yes) out << " votes-yes";
+      if (t.votes_no) out << " votes-no";
+      out << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+}  // namespace nbcp

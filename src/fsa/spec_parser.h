@@ -1,0 +1,60 @@
+#ifndef NBCP_FSA_SPEC_PARSER_H_
+#define NBCP_FSA_SPEC_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Parses a protocol specification from the nbcp text format, so new
+/// commit protocols can be defined, verified against the Fundamental
+/// Nonblocking Theorem and executed without recompiling.
+///
+/// Format (one statement per line, `#` starts a comment):
+///
+///   protocol <name> <central|decentralized|linear>
+///   role <name>
+///     state <name> <initial|wait|buffer|abort-buffer|commit|abort>
+///     on <from>: <trigger> / <sends> -> <to> [votes-yes|votes-no]
+///
+/// where
+///   <trigger> := request
+///              | one <msg> from <group>
+///              | all <msg> from <group>
+///              | any <msg> from <group> [or-self-no]
+///   <sends>   := nothing | (send <msg> to <group>)+
+///   <group>   := coordinator | slaves | all | next | prev
+///
+/// Example (the canonical 2PC slave):
+///
+///   protocol my-2pc central
+///   role coordinator
+///     state q1 initial
+///     state w1 wait
+///     state a1 abort
+///     state c1 commit
+///     on q1: request / send xact to slaves -> w1
+///     on w1: all yes from slaves / send commit to slaves -> c1 votes-yes
+///     on w1: any no from slaves or-self-no / send abort to slaves -> a1 votes-no
+///   role slave
+///     state q initial
+///     state w wait
+///     state a abort
+///     state c commit
+///     on q: one xact from coordinator / send yes to coordinator -> w votes-yes
+///     on q: one xact from coordinator / send no to coordinator -> a votes-no
+///     on w: one commit from coordinator / nothing -> c
+///     on w: one abort from coordinator / nothing -> a
+///
+/// The parsed spec is validated structurally before being returned.
+Result<ProtocolSpec> ParseProtocolSpec(const std::string& text);
+
+/// Serializes a spec back to the text format. Round-trips: parsing the
+/// output yields an isomorphic spec.
+std::string SerializeProtocolSpec(const ProtocolSpec& spec);
+
+}  // namespace nbcp
+
+#endif  // NBCP_FSA_SPEC_PARSER_H_

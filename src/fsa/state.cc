@@ -1,0 +1,27 @@
+#include "fsa/state.h"
+
+namespace nbcp {
+
+bool IsFinal(StateKind kind) {
+  return kind == StateKind::kCommit || kind == StateKind::kAbort;
+}
+
+std::string ToString(StateKind kind) {
+  switch (kind) {
+    case StateKind::kInitial:
+      return "initial";
+    case StateKind::kWait:
+      return "wait";
+    case StateKind::kBuffer:
+      return "buffer";
+    case StateKind::kAbortBuffer:
+      return "abort-buffer";
+    case StateKind::kCommit:
+      return "commit";
+    case StateKind::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
+}  // namespace nbcp

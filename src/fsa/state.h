@@ -1,0 +1,42 @@
+#ifndef NBCP_FSA_STATE_H_
+#define NBCP_FSA_STATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nbcp {
+
+/// Index of a local state within one role's automaton.
+using StateIndex = int;
+
+inline constexpr StateIndex kNoState = -1;
+
+/// Classification of a local protocol state, following the paper: final
+/// states are partitioned into commit states and abort states; `kBuffer`
+/// marks the "prepare to commit" states introduced to make a protocol
+/// nonblocking (they are ordinary intermediate states to the FSA semantics,
+/// but the designation is kept for figure reproduction and synthesis).
+enum class StateKind : uint8_t {
+  kInitial = 0,  ///< q — awaiting the transaction.
+  kWait,         ///< w — intermediate wait state.
+  kBuffer,       ///< p — buffer ("prepare to commit") state.
+  kAbortBuffer,  ///< pa — "prepare to abort" buffer (quorum protocols).
+  kCommit,       ///< c — final commit state.
+  kAbort,        ///< a — final abort state.
+};
+
+/// True for commit and abort states.
+bool IsFinal(StateKind kind);
+
+/// Short name ("initial", "wait", ...).
+std::string ToString(StateKind kind);
+
+/// One local state of a protocol automaton.
+struct LocalState {
+  std::string name;  ///< e.g. "q", "w", "p", "a", "c".
+  StateKind kind = StateKind::kWait;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_FSA_STATE_H_

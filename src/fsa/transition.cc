@@ -1,0 +1,68 @@
+#include "fsa/transition.h"
+
+#include <sstream>
+
+namespace nbcp {
+
+std::string ToString(Group group) {
+  switch (group) {
+    case Group::kNone:
+      return "none";
+    case Group::kCoordinator:
+      return "coordinator";
+    case Group::kSlaves:
+      return "slaves";
+    case Group::kAllPeers:
+      return "all";
+    case Group::kNextPeer:
+      return "next";
+    case Group::kPrevPeer:
+      return "prev";
+  }
+  return "unknown";
+}
+
+std::string ToString(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kClientRequest:
+      return "request";
+    case TriggerKind::kOneFrom:
+      return "one-from";
+    case TriggerKind::kAllFrom:
+      return "all-from";
+    case TriggerKind::kAnyFrom:
+      return "any-from";
+  }
+  return "unknown";
+}
+
+std::string Transition::Label() const {
+  std::ostringstream out;
+  switch (trigger.kind) {
+    case TriggerKind::kClientRequest:
+      out << "xact";
+      break;
+    case TriggerKind::kOneFrom:
+      out << trigger.msg_type;
+      break;
+    case TriggerKind::kAllFrom:
+      out << trigger.msg_type << "[all " << ToString(trigger.group) << "]";
+      break;
+    case TriggerKind::kAnyFrom:
+      if (trigger.or_self_vote_no) out << "(self-no)|";
+      out << trigger.msg_type << "[any " << ToString(trigger.group) << "]";
+      break;
+  }
+  out << " / ";
+  if (sends.empty()) {
+    out << "-";
+  } else {
+    for (size_t i = 0; i < sends.size(); ++i) {
+      if (i > 0) out << ",";
+      out << sends[i].msg_type << ">" << ToString(sends[i].to);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace nbcp

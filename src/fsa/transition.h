@@ -1,0 +1,79 @@
+#ifndef NBCP_FSA_TRANSITION_H_
+#define NBCP_FSA_TRANSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "fsa/state.h"
+
+namespace nbcp {
+
+/// Addressee set of a message send, or source set of a trigger, resolved
+/// against the concrete site population at run/analysis time.
+enum class Group : uint8_t {
+  kNone = 0,
+  kCoordinator,  ///< Site 1 (central-site paradigm).
+  kSlaves,       ///< Sites 2..n (central-site paradigm).
+  kAllPeers,     ///< Sites 1..n including self (decentralized paradigm).
+  kNextPeer,     ///< Site self+1 (linear paradigm); empty at the tail.
+  kPrevPeer,     ///< Site self-1 (linear paradigm); empty at the head.
+};
+
+/// How a transition becomes enabled.
+enum class TriggerKind : uint8_t {
+  /// The transaction arrives at this site from the client. Modeled as a
+  /// virtual "__request" message present in the initial global state.
+  kClientRequest = 0,
+  /// One message of `msg_type` from the (single) member of `group`.
+  kOneFrom,
+  /// One message of `msg_type` from *every* member of `group`.
+  kAllFrom,
+  /// At least one message of `msg_type` from *some* member of `group`;
+  /// exactly one is consumed. With `or_self_vote_no`, the transition may
+  /// instead fire spontaneously as this site casting its own "no" vote —
+  /// this models the parenthesized "(no_1)" in the paper's coordinator FSA.
+  kAnyFrom,
+};
+
+/// The receive condition of a transition.
+struct Trigger {
+  TriggerKind kind = TriggerKind::kClientRequest;
+  std::string msg_type;
+  Group group = Group::kNone;
+  bool or_self_vote_no = false;
+};
+
+/// One message emission performed during a transition.
+struct SendSpec {
+  std::string msg_type;
+  Group to = Group::kNone;
+};
+
+/// A state transition of one role's automaton: read a (nonempty) string of
+/// messages, write a string of messages, move to the next local state.
+struct Transition {
+  StateIndex from = kNoState;
+  StateIndex to = kNoState;
+  Trigger trigger;
+  std::vector<SendSpec> sends;
+
+  /// Firing this transition constitutes casting a yes vote (e.g. a slave
+  /// answering "xact" with "yes", or the coordinator's implicit "(yes_1)"
+  /// on its all-yes branch).
+  bool votes_yes = false;
+
+  /// Firing this transition constitutes casting a no vote. For kAnyFrom
+  /// triggers with `or_self_vote_no`, the vote is cast only when the firing
+  /// is spontaneous (no message consumed).
+  bool votes_no = false;
+
+  /// Human-readable label, e.g. "yes*/commit*".
+  std::string Label() const;
+};
+
+std::string ToString(Group group);
+std::string ToString(TriggerKind kind);
+
+}  // namespace nbcp
+
+#endif  // NBCP_FSA_TRANSITION_H_

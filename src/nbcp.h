@@ -1,0 +1,78 @@
+#ifndef NBCP_NBCP_H_
+#define NBCP_NBCP_H_
+
+/// \file
+/// Umbrella header for the nbcp library — everything a downstream user
+/// needs, grouped by layer. Include individual headers instead when
+/// compile time matters.
+///
+/// Layers (see README.md for the architecture overview):
+///  * formal model + analysis: define commit protocols as FSAs, build
+///    reachable state graphs, compute concurrency sets, check the
+///    Fundamental Nonblocking Theorem, synthesize buffer states;
+///  * runtime: run those same protocol specs over a simulated n-site
+///    distributed database with failure injection, elections, the
+///    termination protocol and crash recovery;
+///  * tooling: text-format protocol specs, tracing, workloads.
+
+// Common kernel.
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+// Formal model.
+#include "fsa/automaton.h"
+#include "fsa/dot_export.h"
+#include "fsa/protocol_spec.h"
+#include "fsa/spec_parser.h"
+#include "fsa/state.h"
+#include "fsa/transition.h"
+
+// Analysis engine.
+#include "analysis/buffer_synthesis.h"
+#include "analysis/concurrency_set.h"
+#include "analysis/failure_graph.h"
+#include "analysis/global_state.h"
+#include "analysis/nonblocking.h"
+#include "analysis/recovery_analysis.h"
+#include "analysis/resiliency.h"
+#include "analysis/state_graph.h"
+#include "analysis/synchronicity.h"
+#include "analysis/termination_validation.h"
+
+// Protocols and the interpreting engine.
+#include "protocols/engine.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+// Simulation substrate.
+#include "net/failure_detector.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+// Local atomicity substrate.
+#include "db/kv_store.h"
+#include "db/local_transaction.h"
+#include "db/lock_manager.h"
+#include "db/wal.h"
+
+// Coordination.
+#include "election/bully.h"
+#include "election/ring.h"
+#include "recovery/dt_log.h"
+#include "recovery/recovery_manager.h"
+#include "termination/backup_coordinator.h"
+#include "termination/termination.h"
+
+// System facade.
+#include "core/failure_injector.h"
+#include "core/metrics.h"
+#include "core/participant.h"
+#include "core/transaction_manager.h"
+#include "core/workload.h"
+#include "trace/trace.h"
+
+#endif  // NBCP_NBCP_H_

@@ -1,0 +1,79 @@
+#include "net/failure_detector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nbcp {
+
+void FailureDetector::Subscribe(SiteId site, Listener listener) {
+  listeners_[site] = std::move(listener);
+}
+
+void FailureDetector::Unsubscribe(SiteId site) { listeners_.erase(site); }
+
+void FailureDetector::NotifyCrash(SiteId site) {
+  if (!down_.insert(site).second) return;  // Already reported down.
+  NBCP_LOG(kDebug) << "failure detector: site " << site << " crashed";
+  sim_->ScheduleAfter(detection_delay_, [this, site]() {
+    // The site may have recovered before detection fired; report only the
+    // current belief.
+    if (down_.count(site) != 0) Report(site, /*up=*/false);
+  });
+}
+
+void FailureDetector::NotifyRecovery(SiteId site) {
+  if (down_.erase(site) == 0) return;  // Was not down.
+  NBCP_LOG(kDebug) << "failure detector: site " << site << " recovered";
+  sim_->ScheduleAfter(detection_delay_, [this, site]() {
+    if (down_.count(site) == 0) Report(site, /*up=*/true);
+  });
+}
+
+void FailureDetector::Report(SiteId subject, bool up) {
+  // Copy ids first: a listener may subscribe/unsubscribe reentrantly.
+  std::vector<SiteId> targets;
+  targets.reserve(listeners_.size());
+  for (const auto& [id, fn] : listeners_) targets.push_back(id);
+  std::sort(targets.begin(), targets.end());
+  for (SiteId id : targets) {
+    if (id == subject) continue;
+    if (!network_->IsSiteUp(id)) continue;  // Crashed subscribers hear nothing.
+    auto it = listeners_.find(id);
+    if (it != listeners_.end()) it->second(subject, up);
+  }
+}
+
+bool FailureDetector::IsSuspectedBy(SiteId observer, SiteId subject) const {
+  if (down_.count(subject) != 0) return true;
+  return local_suspicions_.count({observer, subject}) != 0;
+}
+
+void FailureDetector::SuspectLocally(SiteId observer, SiteId subject) {
+  if (!local_suspicions_.insert({observer, subject}).second) return;
+  sim_->ScheduleAfter(detection_delay_, [this, observer, subject]() {
+    if (local_suspicions_.count({observer, subject}) == 0) return;
+    if (!network_->IsSiteUp(observer)) return;
+    auto it = listeners_.find(observer);
+    if (it != listeners_.end()) it->second(subject, /*up=*/false);
+  });
+}
+
+void FailureDetector::UnsuspectLocally(SiteId observer, SiteId subject) {
+  if (local_suspicions_.erase({observer, subject}) == 0) return;
+  sim_->ScheduleAfter(detection_delay_, [this, observer, subject]() {
+    if (local_suspicions_.count({observer, subject}) != 0) return;
+    if (down_.count(subject) != 0) return;  // Genuinely crashed.
+    if (!network_->IsSiteUp(observer)) return;
+    auto it = listeners_.find(observer);
+    if (it != listeners_.end()) it->second(subject, /*up=*/true);
+  });
+}
+
+std::vector<SiteId> FailureDetector::SuspectedSites() const {
+  std::vector<SiteId> out(down_.begin(), down_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,92 @@
+#ifndef NBCP_NET_FAILURE_DETECTOR_H_
+#define NBCP_NET_FAILURE_DETECTOR_H_
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+
+/// Perfect failure detector, realizing the paper's assumption that the
+/// network "can detect the failure of a site and reliably report it to an
+/// operational site".
+///
+/// When NotifyCrash(site) is invoked (by the failure injector or by a site
+/// shutting itself down), every operational subscriber is informed after
+/// `detection_delay`. Subscribers that crash before the report fires do not
+/// receive it. Recoveries are reported symmetrically.
+class FailureDetector {
+ public:
+  /// Callback (crashed_or_recovered_site, is_up_now).
+  using Listener = std::function<void(SiteId, bool)>;
+
+  FailureDetector(Simulator* sim, Network* network,
+                  SimTime detection_delay = 500)
+      : sim_(sim), network_(network), detection_delay_(detection_delay) {}
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// Subscribes `site` to failure/recovery reports about other sites.
+  void Subscribe(SiteId site, Listener listener);
+
+  /// Removes a subscription.
+  void Unsubscribe(SiteId site);
+
+  /// Records that `site` crashed and schedules reports to all operational
+  /// subscribers. Idempotent while the site stays down.
+  void NotifyCrash(SiteId site);
+
+  /// Records that `site` recovered and schedules reports.
+  void NotifyRecovery(SiteId site);
+
+  /// True if the detector currently believes `site` is down (crash view,
+  /// shared by all observers).
+  bool IsSuspected(SiteId site) const { return down_.count(site) != 0; }
+
+  /// Per-observer view: true when `observer` believes `subject` is down —
+  /// either actually crashed, or unreachable across a network partition.
+  /// Partitions make the "perfect" detector wrong in exactly the way that
+  /// breaks plain 3PC (both sides terminate independently); the quorum
+  /// extension exists to survive this.
+  bool IsSuspectedBy(SiteId observer, SiteId subject) const;
+
+  /// Injects a partition suspicion: `observer` starts believing `subject`
+  /// crashed, and is notified through its listener after the detection
+  /// delay. Used by FailureInjector::Partition.
+  void SuspectLocally(SiteId observer, SiteId subject);
+
+  /// Clears a partition suspicion (partition healed); the observer is
+  /// notified of the "recovery" unless the subject is genuinely down.
+  void UnsuspectLocally(SiteId observer, SiteId subject);
+
+  /// Sites the detector believes are down.
+  std::vector<SiteId> SuspectedSites() const;
+
+  SimTime detection_delay() const { return detection_delay_; }
+
+ private:
+  /// Delivers a status-change report to every live subscriber except the
+  /// subject itself.
+  void Report(SiteId subject, bool up);
+
+  Simulator* sim_;
+  Network* network_;
+  SimTime detection_delay_;
+  std::unordered_map<SiteId, Listener> listeners_;
+  std::unordered_set<SiteId> down_;
+
+  /// (observer, subject) partition suspicions layered on the crash view.
+  std::set<std::pair<SiteId, SiteId>> local_suspicions_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_NET_FAILURE_DETECTOR_H_

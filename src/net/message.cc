@@ -1,0 +1,18 @@
+#include "net/message.h"
+
+#include <sstream>
+
+namespace nbcp {
+
+std::string Message::ToString() const {
+  std::ostringstream out;
+  out << type << "(" << from << "->" << to << ", txn=" << txn << ")";
+  return out.str();
+}
+
+bool operator==(const Message& a, const Message& b) {
+  return a.type == b.type && a.from == b.from && a.to == b.to &&
+         a.txn == b.txn && a.payload == b.payload;
+}
+
+}  // namespace nbcp

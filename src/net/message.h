@@ -1,0 +1,32 @@
+#ifndef NBCP_NET_MESSAGE_H_
+#define NBCP_NET_MESSAGE_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace nbcp {
+
+/// A point-to-point protocol message.
+///
+/// Message types are strings ("xact", "yes", "no", "prepare", "ack",
+/// "commit", "abort", ...) so that FSA-driven protocol specs and the runtime
+/// engine share one vocabulary. `payload` carries opaque application data
+/// (e.g. serialized write sets).
+struct Message {
+  std::string type;
+  SiteId from = kNoSite;
+  SiteId to = kNoSite;
+  TransactionId txn = kNoTransaction;
+  std::string payload;
+  SimTime sent_at = 0;
+
+  /// "type(from->to, txn)" for logs.
+  std::string ToString() const;
+};
+
+bool operator==(const Message& a, const Message& b);
+
+}  // namespace nbcp
+
+#endif  // NBCP_NET_MESSAGE_H_

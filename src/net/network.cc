@@ -1,0 +1,111 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nbcp {
+
+Status Network::RegisterSite(SiteId site, Handler handler) {
+  if (site == kNoSite) {
+    return Status::InvalidArgument("site id 0 is reserved");
+  }
+  if (!handler) {
+    return Status::InvalidArgument("null handler");
+  }
+  auto [it, inserted] = sites_.try_emplace(site);
+  it->second.handler = std::move(handler);
+  it->second.up = true;
+  return Status::OK();
+}
+
+SimTime Network::SampleDelay() {
+  SimTime d = delay_.base_delay;
+  if (delay_.jitter > 0) {
+    d += sim_->rng().Uniform(0, delay_.jitter);
+  }
+  return d;
+}
+
+Status Network::Send(Message msg) {
+  auto sender = sites_.find(msg.from);
+  if (sender == sites_.end()) {
+    return Status::InvalidArgument("unregistered sender site");
+  }
+  if (!sender->second.up) {
+    return Status::Unavailable("sender site is down");
+  }
+  msg.sent_at = sim_->now();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.payload.size();
+  if (observer_) observer_(msg, 's');
+
+  SimTime delay = SampleDelay();
+  sim_->ScheduleAfter(delay, [this, msg = std::move(msg)]() {
+    if (cut_links_.count({msg.from, msg.to}) != 0) {
+      ++stats_.messages_dropped;
+      if (observer_) observer_(msg, 'x');
+      return;
+    }
+    auto receiver = sites_.find(msg.to);
+    if (receiver == sites_.end() || !receiver->second.up) {
+      ++stats_.messages_dropped;
+      NBCP_LOG(kDebug) << "dropped " << msg.ToString() << " (receiver down)";
+      if (observer_) observer_(msg, 'x');
+      return;
+    }
+    ++stats_.messages_delivered;
+    if (observer_) observer_(msg, 'd');
+    receiver->second.handler(msg);
+  });
+  return Status::OK();
+}
+
+Status Network::Broadcast(const Message& msg,
+                          const std::vector<SiteId>& targets) {
+  for (SiteId target : targets) {
+    Message copy = msg;
+    copy.to = target;
+    Status s = Send(std::move(copy));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+void Network::SetSiteDown(SiteId site) {
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.up = false;
+}
+
+void Network::SetSiteUp(SiteId site) {
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.up = true;
+}
+
+bool Network::IsSiteUp(SiteId site) const {
+  auto it = sites_.find(site);
+  return it != sites_.end() && it->second.up;
+}
+
+void Network::CutLink(SiteId a, SiteId b) { cut_links_.insert({a, b}); }
+
+void Network::RestoreLink(SiteId a, SiteId b) { cut_links_.erase({a, b}); }
+
+std::vector<SiteId> Network::Sites() const {
+  std::vector<SiteId> out;
+  out.reserve(sites_.size());
+  for (const auto& [id, info] : sites_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SiteId> Network::OperationalSites() const {
+  std::vector<SiteId> out;
+  for (const auto& [id, info] : sites_) {
+    if (info.up) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nbcp

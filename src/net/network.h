@@ -1,0 +1,117 @@
+#ifndef NBCP_NET_NETWORK_H_
+#define NBCP_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+
+/// Per-channel delivery delay model.
+struct DelayModel {
+  SimTime base_delay = 100;    ///< Fixed component, microseconds.
+  SimTime jitter = 0;          ///< Uniform extra delay in [0, jitter].
+};
+
+/// Counters describing all traffic seen by a Network.
+struct NetworkStats {
+  uint64_t messages_sent = 0;       ///< Send() calls accepted.
+  uint64_t messages_delivered = 0;  ///< Handed to a live receiver.
+  uint64_t messages_dropped = 0;    ///< Receiver down or link cut.
+  uint64_t bytes_sent = 0;          ///< Sum of payload sizes.
+};
+
+/// Simulated network realizing the paper's assumptions:
+///   * point-to-point communication that never fails (no loss, no
+///     duplication, no corruption) between operational sites;
+///   * messages to a crashed site are dropped (the site is not listening);
+///   * per-channel FIFO is NOT guaranteed when jitter > 0, matching the
+///     paper's asynchronous model.
+///
+/// Partition support (CutLink) exists for extension studies only; the
+/// reproduction experiments never cut links, per the paper's assumptions.
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  /// Optional traffic observer: phase is 's' (accepted for sending),
+  /// 'd' (delivered to the receiver) or 'x' (dropped: receiver down or
+  /// link cut). Used by the trace recorder.
+  using Observer = std::function<void(const Message&, char phase)>;
+
+  explicit Network(Simulator* sim, DelayModel delay = DelayModel{})
+      : sim_(sim), delay_(delay) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers `site` with a delivery handler. A site must be registered
+  /// before it can send or receive. Registering marks the site operational.
+  Status RegisterSite(SiteId site, Handler handler);
+
+  /// Sends `msg`; delivery is scheduled after the channel delay. Fails if
+  /// the sender is not registered or is down. A down/unknown *receiver*
+  /// does not fail the send — the message is silently dropped at delivery
+  /// time, as a real network cannot refuse a send to a crashed host.
+  Status Send(Message msg);
+
+  /// Sends copies of `msg` to every site in `targets` (msg.to overwritten).
+  Status Broadcast(const Message& msg, const std::vector<SiteId>& targets);
+
+  /// Marks a site crashed: its pending inbound messages are dropped at
+  /// delivery time and future sends to it are dropped.
+  void SetSiteDown(SiteId site);
+
+  /// Marks a site operational again (after simulated recovery).
+  void SetSiteUp(SiteId site);
+
+  bool IsSiteUp(SiteId site) const;
+
+  /// Severs the directed link a->b (extension studies only).
+  void CutLink(SiteId a, SiteId b);
+
+  /// Restores the directed link a->b.
+  void RestoreLink(SiteId a, SiteId b);
+
+  /// All registered sites, ascending.
+  std::vector<SiteId> Sites() const;
+
+  /// All registered sites currently operational, ascending.
+  std::vector<SiteId> OperationalSites() const;
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  Simulator* simulator() { return sim_; }
+  const DelayModel& delay_model() const { return delay_; }
+  void set_delay_model(DelayModel delay) { delay_ = delay; }
+
+ private:
+  struct SiteInfo {
+    Handler handler;
+    bool up = true;
+  };
+
+  /// Samples the delivery delay for one message.
+  SimTime SampleDelay();
+
+  Simulator* sim_;
+  DelayModel delay_;
+  std::unordered_map<SiteId, SiteInfo> sites_;
+  std::set<std::pair<SiteId, SiteId>> cut_links_;
+  NetworkStats stats_;
+  Observer observer_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_NET_NETWORK_H_

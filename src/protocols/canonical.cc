@@ -1,0 +1,76 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+Automaton MakeCanonicalTwoPhase() {
+  // The canonical 2PC automaton of the paper's concurrency-set discussion:
+  // the single structurally-equivalent FSA q-w-a-c underlying both the
+  // central-site and the decentralized 2PC protocols.
+  Automaton a;
+  StateIndex q = a.AddState("q", StateKind::kInitial);
+  StateIndex w = a.AddState("w", StateKind::kWait);
+  StateIndex ab = a.AddState("a", StateKind::kAbort);
+  StateIndex c = a.AddState("c", StateKind::kCommit);
+
+  a.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kYes, Group::kAllPeers}},
+      /*votes_yes=*/true, false});
+  a.AddTransition(Transition{
+      q, ab,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kNo, Group::kAllPeers}},
+      false, /*votes_no=*/true});
+  a.AddTransition(Transition{
+      w, c,
+      Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kAllPeers, false},
+      {},
+      false, false});
+  a.AddTransition(Transition{
+      w, ab,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers, false},
+      {},
+      false, false});
+  return a;
+}
+
+Automaton MakeCanonicalBuffered() {
+  // The canonical protocol with buffer state p between w and c ("Making the
+  // canonical 2PC protocol nonblocking"). This is the decentralized 3PC peer.
+  Automaton a;
+  StateIndex q = a.AddState("q", StateKind::kInitial);
+  StateIndex w = a.AddState("w", StateKind::kWait);
+  StateIndex ab = a.AddState("a", StateKind::kAbort);
+  StateIndex p = a.AddState("p", StateKind::kBuffer);
+  StateIndex c = a.AddState("c", StateKind::kCommit);
+
+  a.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kYes, Group::kAllPeers}},
+      /*votes_yes=*/true, false});
+  a.AddTransition(Transition{
+      q, ab,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kNo, Group::kAllPeers}},
+      false, /*votes_no=*/true});
+  a.AddTransition(Transition{
+      w, p,
+      Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kAllPeers, false},
+      {SendSpec{msg::kPrepare, Group::kAllPeers}},
+      false, false});
+  a.AddTransition(Transition{
+      w, ab,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers, false},
+      {},
+      false, false});
+  a.AddTransition(Transition{
+      p, c,
+      Trigger{TriggerKind::kAllFrom, msg::kPrepare, Group::kAllPeers, false},
+      {},
+      false, false});
+  return a;
+}
+
+}  // namespace nbcp

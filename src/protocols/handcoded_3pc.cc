@@ -1,0 +1,112 @@
+#include "protocols/handcoded_3pc.h"
+
+#include <string>
+
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+bool HandCodedThreePhase::VoteOf(TransactionId txn) {
+  return vote_ ? vote_(txn) : true;
+}
+
+void HandCodedThreePhase::Send(SiteId to, const char* type,
+                               TransactionId txn) {
+  Message m;
+  m.type = type;
+  m.from = site_;
+  m.to = to;
+  m.txn = txn;
+  (void)network_->Send(std::move(m));
+}
+
+void HandCodedThreePhase::BroadcastToSlaves(const char* type,
+                                            TransactionId txn) {
+  for (SiteId s = 2; s <= n_; ++s) Send(s, type, txn);
+}
+
+Status HandCodedThreePhase::Start(TransactionId txn) {
+  if (site_ != 1) return Status::FailedPrecondition("not the coordinator");
+  Txn& t = txns_[txn];
+  if (t.state != State::kQ) return Status::FailedPrecondition("started");
+  t.state = State::kW;
+  BroadcastToSlaves(msg::kXact, txn);
+  return Status::OK();
+}
+
+void HandCodedThreePhase::OnMessage(const Message& message) {
+  Txn& t = txns_[message.txn];
+  const std::string& type = message.type;
+
+  if (site_ == 1) {
+    // Coordinator.
+    switch (t.state) {
+      case State::kW:
+        if (type == msg::kYes) {
+          if (++t.yes_votes == n_ - 1 && VoteOf(message.txn)) {
+            t.state = State::kP;
+            BroadcastToSlaves(msg::kPrepare, message.txn);
+          } else if (t.yes_votes == n_ - 1) {
+            t.state = State::kA;
+            BroadcastToSlaves(msg::kAbort, message.txn);
+          }
+        } else if (type == msg::kNo) {
+          t.state = State::kA;
+          BroadcastToSlaves(msg::kAbort, message.txn);
+        }
+        break;
+      case State::kP:
+        if (type == msg::kAck && ++t.acks == n_ - 1) {
+          t.state = State::kC;
+          BroadcastToSlaves(msg::kCommit, message.txn);
+        }
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+
+  // Slave.
+  switch (t.state) {
+    case State::kQ:
+      if (type == msg::kXact) {
+        if (VoteOf(message.txn)) {
+          t.state = State::kW;
+          Send(1, msg::kYes, message.txn);
+        } else {
+          t.state = State::kA;
+          Send(1, msg::kNo, message.txn);
+        }
+      }
+      break;
+    case State::kW:
+      if (type == msg::kPrepare) {
+        t.state = State::kP;
+        Send(1, msg::kAck, message.txn);
+      } else if (type == msg::kAbort) {
+        t.state = State::kA;
+      }
+      break;
+    case State::kP:
+      if (type == msg::kCommit) t.state = State::kC;
+      break;
+    default:
+      break;
+  }
+}
+
+Outcome HandCodedThreePhase::OutcomeOf(TransactionId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return Outcome::kUndecided;
+  switch (it->second.state) {
+    case State::kC:
+      return Outcome::kCommitted;
+    case State::kA:
+      return Outcome::kAborted;
+    default:
+      return Outcome::kUndecided;
+  }
+}
+
+}  // namespace nbcp

@@ -1,0 +1,66 @@
+#ifndef NBCP_PROTOCOLS_HANDCODED_3PC_H_
+#define NBCP_PROTOCOLS_HANDCODED_3PC_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace nbcp {
+
+/// Hand-written central-site three-phase commit, failure-free path only.
+///
+/// This exists solely as the ablation baseline for DESIGN.md's
+/// "FSA-interpreted runtime" decision: the production engine interprets
+/// the same ProtocolSpec objects the analysis proves things about; this
+/// class is what a conventional implementation looks like — a hard-coded
+/// message switch. `bench_throughput` compares the two; the test suite
+/// pins their observable behaviour (outcomes, message counts) to be
+/// identical so the benchmark compares like with like.
+class HandCodedThreePhase {
+ public:
+  /// One instance per site; site 1 is the coordinator.
+  HandCodedThreePhase(SiteId site, size_t n, Network* network)
+      : site_(site), n_(n), network_(network) {}
+
+  HandCodedThreePhase(const HandCodedThreePhase&) = delete;
+  HandCodedThreePhase& operator=(const HandCodedThreePhase&) = delete;
+
+  /// Site vote (default yes). Consulted once per transaction.
+  void set_vote(std::function<bool(TransactionId)> vote) {
+    vote_ = std::move(vote);
+  }
+
+  /// Coordinator entry point: distributes the transaction.
+  Status Start(TransactionId txn);
+
+  /// Feeds a protocol message.
+  void OnMessage(const Message& message);
+
+  Outcome OutcomeOf(TransactionId txn) const;
+
+ private:
+  enum class State : uint8_t { kQ, kW, kP, kA, kC };
+
+  struct Txn {
+    State state = State::kQ;
+    size_t yes_votes = 0;
+    size_t acks = 0;
+  };
+
+  bool VoteOf(TransactionId txn);
+  void Send(SiteId to, const char* type, TransactionId txn);
+  void BroadcastToSlaves(const char* type, TransactionId txn);
+
+  SiteId site_;
+  size_t n_;
+  Network* network_;
+  std::function<bool(TransactionId)> vote_;
+  std::unordered_map<TransactionId, Txn> txns_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_PROTOCOLS_HANDCODED_3PC_H_

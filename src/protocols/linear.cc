@@ -1,0 +1,123 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+ProtocolSpec MakeLinearTwoPhase() {
+  ProtocolSpec spec("L2PC-linear", Paradigm::kLinear);
+
+  // Linear (chained / nested) two-phase commit, after Gray's formulation
+  // ([GRAY79]): votes cascade forward along the chain 1 -> 2 -> ... -> n;
+  // the tail holds the commit point and the decision cascades back.
+  // Message complexity is only 2(n-1) — better than central 2PC's 3(n-1) —
+  // at the price of 2(n-1) sequential hops of latency. Blocking, like
+  // every two-phase protocol.
+  //
+  // Head (site 1):
+  //   q --request / fwd>next--> w      (casts its yes with the forward)
+  //   q --request / abort>next--> a    (unilateral no)
+  //   w --commit from next / ---> c
+  //   w --abort from next / ---> a
+  Automaton head;
+  {
+    StateIndex q = head.AddState("q1", StateKind::kInitial);
+    StateIndex w = head.AddState("w1", StateKind::kWait);
+    StateIndex a = head.AddState("a1", StateKind::kAbort);
+    StateIndex c = head.AddState("c1", StateKind::kCommit);
+    head.AddTransition(Transition{
+        q, w,
+        Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                false},
+        {SendSpec{msg::kXact, Group::kNextPeer}},
+        /*votes_yes=*/true, false});
+    head.AddTransition(Transition{
+        q, a,
+        Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                false},
+        {SendSpec{msg::kAbort, Group::kNextPeer}},
+        false, /*votes_no=*/true});
+    head.AddTransition(Transition{
+        w, c,
+        Trigger{TriggerKind::kOneFrom, msg::kCommit, Group::kNextPeer, false},
+        {},
+        false, false});
+    head.AddTransition(Transition{
+        w, a,
+        Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kNextPeer, false},
+        {},
+        false, false});
+  }
+
+  // Middle (sites 2..n-1):
+  //   q --xact from prev / fwd>next--> w        (vote yes, extend the chain)
+  //   q --xact from prev / abort>next,prev--> a (unilateral no, both ways)
+  //   q --abort from prev / abort>next--> a     (propagate a forward abort)
+  //   w --commit from next / commit>prev--> c
+  //   w --abort from next / abort>prev--> a
+  Automaton middle;
+  {
+    StateIndex q = middle.AddState("q", StateKind::kInitial);
+    StateIndex w = middle.AddState("w", StateKind::kWait);
+    StateIndex a = middle.AddState("a", StateKind::kAbort);
+    StateIndex c = middle.AddState("c", StateKind::kCommit);
+    middle.AddTransition(Transition{
+        q, w,
+        Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kPrevPeer, false},
+        {SendSpec{msg::kXact, Group::kNextPeer}},
+        /*votes_yes=*/true, false});
+    middle.AddTransition(Transition{
+        q, a,
+        Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kPrevPeer, false},
+        {SendSpec{msg::kAbort, Group::kNextPeer},
+         SendSpec{msg::kAbort, Group::kPrevPeer}},
+        false, /*votes_no=*/true});
+    middle.AddTransition(Transition{
+        q, a,
+        Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kPrevPeer, false},
+        {SendSpec{msg::kAbort, Group::kNextPeer}},
+        false, false});
+    middle.AddTransition(Transition{
+        w, c,
+        Trigger{TriggerKind::kOneFrom, msg::kCommit, Group::kNextPeer, false},
+        {SendSpec{msg::kCommit, Group::kPrevPeer}},
+        false, false});
+    middle.AddTransition(Transition{
+        w, a,
+        Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kNextPeer, false},
+        {SendSpec{msg::kAbort, Group::kPrevPeer}},
+        false, false});
+  }
+
+  // Tail (site n) — the commit point:
+  //   q --xact from prev / commit>prev--> c   (all upstream votes are yes;
+  //                                            its own yes completes them)
+  //   q --xact from prev / abort>prev--> a    (unilateral no)
+  //   q --abort from prev / ---> a
+  Automaton tail;
+  {
+    StateIndex q = tail.AddState("q", StateKind::kInitial);
+    StateIndex a = tail.AddState("a", StateKind::kAbort);
+    StateIndex c = tail.AddState("c", StateKind::kCommit);
+    tail.AddTransition(Transition{
+        q, c,
+        Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kPrevPeer, false},
+        {SendSpec{msg::kCommit, Group::kPrevPeer}},
+        /*votes_yes=*/true, false});
+    tail.AddTransition(Transition{
+        q, a,
+        Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kPrevPeer, false},
+        {SendSpec{msg::kAbort, Group::kPrevPeer}},
+        false, /*votes_no=*/true});
+    tail.AddTransition(Transition{
+        q, a,
+        Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kPrevPeer, false},
+        {},
+        false, false});
+  }
+
+  spec.AddRole("head", std::move(head));
+  spec.AddRole("middle", std::move(middle));
+  spec.AddRole("tail", std::move(tail));
+  return spec;
+}
+
+}  // namespace nbcp

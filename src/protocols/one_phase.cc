@@ -1,0 +1,50 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+ProtocolSpec MakeOnePhaseCommit() {
+  ProtocolSpec spec("1PC-central", Paradigm::kCentralSite);
+
+  // Coordinator: the client's decision is communicated directly; no votes
+  // are collected (which is why 1PC disallows unilateral abort by a slave).
+  //   q1 --request(client says commit) / commit*--> c1
+  //   q1 --request(client says abort) / abort*--> a1
+  Automaton coord;
+  StateIndex q = coord.AddState("q1", StateKind::kInitial);
+  StateIndex a = coord.AddState("a1", StateKind::kAbort);
+  StateIndex c = coord.AddState("c1", StateKind::kCommit);
+
+  coord.AddTransition(Transition{
+      q, c,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kCommit, Group::kSlaves}},
+      /*votes_yes=*/true, false});
+  coord.AddTransition(Transition{
+      q, a,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kAbort, Group::kSlaves}},
+      false, /*votes_no=*/true});
+
+  // Slave: carries out whichever decision arrives. It has no vote.
+  Automaton slave;
+  StateIndex qs = slave.AddState("q", StateKind::kInitial);
+  StateIndex as = slave.AddState("a", StateKind::kAbort);
+  StateIndex cs = slave.AddState("c", StateKind::kCommit);
+
+  slave.AddTransition(Transition{
+      qs, cs,
+      Trigger{TriggerKind::kOneFrom, msg::kCommit, Group::kCoordinator, false},
+      {},
+      false, false});
+  slave.AddTransition(Transition{
+      qs, as,
+      Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kCoordinator, false},
+      {},
+      false, false});
+
+  spec.AddRole("coordinator", std::move(coord));
+  spec.AddRole("slave", std::move(slave));
+  return spec;
+}
+
+}  // namespace nbcp

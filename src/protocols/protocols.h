@@ -1,0 +1,66 @@
+#ifndef NBCP_PROTOCOLS_PROTOCOLS_H_
+#define NBCP_PROTOCOLS_PROTOCOLS_H_
+
+#include <string>
+
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Message-type vocabulary shared by the protocol specs, the runtime engine
+/// and the termination/recovery layers.
+namespace msg {
+inline const char kRequest[] = "__request";  ///< Client transaction arrival.
+inline const char kXact[] = "xact";          ///< Coordinator distributes txn.
+inline const char kYes[] = "yes";            ///< Vote to commit.
+inline const char kNo[] = "no";              ///< Vote to abort.
+inline const char kPrepare[] = "prepare";    ///< Enter the buffer state.
+inline const char kAck[] = "ack";            ///< Acknowledge prepare.
+inline const char kCommit[] = "commit";      ///< Final commit decision.
+inline const char kAbort[] = "abort";        ///< Final abort decision.
+}  // namespace msg
+
+/// One-phase commit (central site). The coordinator unilaterally decides
+/// and broadcasts the outcome; slaves cannot vote. The paper notes 1PC is
+/// inadequate because it disallows unilateral abort by a server.
+ProtocolSpec MakeOnePhaseCommit();
+
+/// Central-site two-phase commit, exactly the coordinator/slave FSAs of the
+/// paper's 2PC figure (coordinator: q1-w1-a1-c1; slave: qi-wi-ai-ci).
+ProtocolSpec MakeTwoPhaseCentral();
+
+/// Fully decentralized two-phase commit (peer FSA qi-wi-ai-ci; each site
+/// broadcasts its vote to every site including itself).
+ProtocolSpec MakeTwoPhaseDecentralized();
+
+/// Central-site three-phase commit: 2PC with the buffer ("prepare to
+/// commit") state added, making it nonblocking.
+ProtocolSpec MakeThreePhaseCentral();
+
+/// Fully decentralized three-phase commit.
+ProtocolSpec MakeThreePhaseDecentralized();
+
+/// Linear (chained) two-phase commit, after Gray [GRAY79]: votes cascade
+/// forward along the site chain and the decision cascades back from the
+/// tail. 2(n-1) messages — the cheapest 2PC — but 2(n-1) sequential hops
+/// of latency. Blocking.
+ProtocolSpec MakeLinearTwoPhase();
+
+/// Quorum-based three-phase commit (central site), after Skeen's
+/// quorum-based commit protocol [SKEE81a]: 3PC with a symmetric "prepare
+/// to abort" buffer state. Combined with quorum termination it remains
+/// consistent across network partitions (the majority side terminates,
+/// the minority blocks).
+ProtocolSpec MakeQuorumThreePhaseCentral();
+
+/// The canonical 2PC protocol (single q-w-a-c automaton) used in the
+/// paper's concurrency-set discussion. Same FSA as the decentralized peer.
+Automaton MakeCanonicalTwoPhase();
+
+/// The canonical protocol with buffer state p inserted between w and c
+/// (q-w-p-a-c), which satisfies the design lemma.
+Automaton MakeCanonicalBuffered();
+
+}  // namespace nbcp
+
+#endif  // NBCP_PROTOCOLS_PROTOCOLS_H_

@@ -1,0 +1,92 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+ProtocolSpec MakeQuorumThreePhaseCentral() {
+  ProtocolSpec spec("Q3PC-central", Paradigm::kCentralSite);
+
+  // Quorum-based three-phase commit, after Skeen's quorum-based commit
+  // protocol ([SKEE81a]; Bernstein-Hadzilacos-Goodman §7.5). In the
+  // absence of failures it IS central-site 3PC — same messages, same
+  // rounds. The difference is an extra "prepare to abort" buffer state
+  // (pa) per role, entered only by the termination protocol's
+  // move-to-state directive, plus quorum-gated termination: commit
+  // requires a commit quorum of sites moved into p, abort an abort quorum
+  // moved into pa. With Vc + Va > n, two sides of a network partition can
+  // never decide differently; the side without a quorum blocks until the
+  // partition heals.
+  //
+  // pa states have no transitions in the normal-operation diagram — they
+  // are parking states owned by the termination protocol (ForceToKind /
+  // ForceOutcome), which is why Automaton::Validate exempts kAbortBuffer
+  // from the reachability requirement.
+  Automaton coord;
+  StateIndex q = coord.AddState("q1", StateKind::kInitial);
+  StateIndex w = coord.AddState("w1", StateKind::kWait);
+  StateIndex a = coord.AddState("a1", StateKind::kAbort);
+  StateIndex p = coord.AddState("p1", StateKind::kBuffer);
+  coord.AddState("pa1", StateKind::kAbortBuffer);
+  StateIndex c = coord.AddState("c1", StateKind::kCommit);
+
+  coord.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kXact, Group::kSlaves}},
+      false, false});
+  coord.AddTransition(Transition{
+      w, p,
+      Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kSlaves, false},
+      {SendSpec{msg::kPrepare, Group::kSlaves}},
+      /*votes_yes=*/true, false});
+  coord.AddTransition(Transition{
+      w, a,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kSlaves,
+              /*or_self_vote_no=*/true},
+      {SendSpec{msg::kAbort, Group::kSlaves}},
+      false, /*votes_no=*/true});
+  coord.AddTransition(Transition{
+      p, c,
+      Trigger{TriggerKind::kAllFrom, msg::kAck, Group::kSlaves, false},
+      {SendSpec{msg::kCommit, Group::kSlaves}},
+      false, false});
+
+  Automaton slave;
+  StateIndex qs = slave.AddState("q", StateKind::kInitial);
+  StateIndex ws = slave.AddState("w", StateKind::kWait);
+  StateIndex as = slave.AddState("a", StateKind::kAbort);
+  StateIndex ps = slave.AddState("p", StateKind::kBuffer);
+  slave.AddState("pa", StateKind::kAbortBuffer);
+  StateIndex cs = slave.AddState("c", StateKind::kCommit);
+
+  slave.AddTransition(Transition{
+      qs, ws,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kYes, Group::kCoordinator}},
+      /*votes_yes=*/true, false});
+  slave.AddTransition(Transition{
+      qs, as,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kNo, Group::kCoordinator}},
+      false, /*votes_no=*/true});
+  slave.AddTransition(Transition{
+      ws, as,
+      Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kCoordinator, false},
+      {},
+      false, false});
+  slave.AddTransition(Transition{
+      ws, ps,
+      Trigger{TriggerKind::kOneFrom, msg::kPrepare, Group::kCoordinator, false},
+      {SendSpec{msg::kAck, Group::kCoordinator}},
+      false, false});
+  slave.AddTransition(Transition{
+      ps, cs,
+      Trigger{TriggerKind::kOneFrom, msg::kCommit, Group::kCoordinator, false},
+      {},
+      false, false});
+
+  spec.AddRole("coordinator", std::move(coord));
+  spec.AddRole("slave", std::move(slave));
+  return spec;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,23 @@
+#include "protocols/registry.h"
+
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+std::vector<std::string> BuiltinProtocolNames() {
+  return {"1PC-central", "2PC-central", "2PC-decentralized", "3PC-central",
+          "3PC-decentralized", "Q3PC-central", "L2PC-linear"};
+}
+
+Result<ProtocolSpec> MakeProtocol(const std::string& name) {
+  if (name == "1PC-central") return MakeOnePhaseCommit();
+  if (name == "2PC-central") return MakeTwoPhaseCentral();
+  if (name == "2PC-decentralized") return MakeTwoPhaseDecentralized();
+  if (name == "3PC-central") return MakeThreePhaseCentral();
+  if (name == "3PC-decentralized") return MakeThreePhaseDecentralized();
+  if (name == "Q3PC-central") return MakeQuorumThreePhaseCentral();
+  if (name == "L2PC-linear") return MakeLinearTwoPhase();
+  return Status::NotFound("unknown protocol: " + name);
+}
+
+}  // namespace nbcp

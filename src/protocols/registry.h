@@ -1,0 +1,22 @@
+#ifndef NBCP_PROTOCOLS_REGISTRY_H_
+#define NBCP_PROTOCOLS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Names of all built-in commit protocols.
+std::vector<std::string> BuiltinProtocolNames();
+
+/// Returns the built-in protocol spec with the given name
+/// ("1PC-central", "2PC-central", "2PC-decentralized", "3PC-central",
+/// "3PC-decentralized"), or NotFound.
+Result<ProtocolSpec> MakeProtocol(const std::string& name);
+
+}  // namespace nbcp
+
+#endif  // NBCP_PROTOCOLS_REGISTRY_H_

@@ -1,0 +1,86 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+ProtocolSpec MakeThreePhaseCentral() {
+  ProtocolSpec spec("3PC-central", Paradigm::kCentralSite);
+
+  // Coordinator, paper slide "A nonblocking central site 3PC protocol":
+  //   q1 --request / xact*--> w1
+  //   w1 --(yes1) yes2..yesn / prepare*--> p1
+  //   w1 --(no1) no2..non / abort*--> a1
+  //   p1 --ack2..ackn / commit*--> c1
+  Automaton coord;
+  StateIndex q = coord.AddState("q1", StateKind::kInitial);
+  StateIndex w = coord.AddState("w1", StateKind::kWait);
+  StateIndex a = coord.AddState("a1", StateKind::kAbort);
+  StateIndex p = coord.AddState("p1", StateKind::kBuffer);
+  StateIndex c = coord.AddState("c1", StateKind::kCommit);
+
+  coord.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kXact, Group::kSlaves}},
+      false, false});
+  coord.AddTransition(Transition{
+      w, p,
+      Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kSlaves, false},
+      {SendSpec{msg::kPrepare, Group::kSlaves}},
+      /*votes_yes=*/true, false});
+  coord.AddTransition(Transition{
+      w, a,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kSlaves,
+              /*or_self_vote_no=*/true},
+      {SendSpec{msg::kAbort, Group::kSlaves}},
+      false, /*votes_no=*/true});
+  coord.AddTransition(Transition{
+      p, c,
+      Trigger{TriggerKind::kAllFrom, msg::kAck, Group::kSlaves, false},
+      {SendSpec{msg::kCommit, Group::kSlaves}},
+      false, false});
+
+  // Slave:
+  //   qi --xact / yes--> wi
+  //   qi --xact / no--> ai
+  //   wi --abort / ---> ai
+  //   wi --prepare / ack--> pi
+  //   pi --commit / ---> ci
+  Automaton slave;
+  StateIndex qs = slave.AddState("q", StateKind::kInitial);
+  StateIndex ws = slave.AddState("w", StateKind::kWait);
+  StateIndex as = slave.AddState("a", StateKind::kAbort);
+  StateIndex ps = slave.AddState("p", StateKind::kBuffer);
+  StateIndex cs = slave.AddState("c", StateKind::kCommit);
+
+  slave.AddTransition(Transition{
+      qs, ws,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kYes, Group::kCoordinator}},
+      /*votes_yes=*/true, false});
+  slave.AddTransition(Transition{
+      qs, as,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kNo, Group::kCoordinator}},
+      false, /*votes_no=*/true});
+  slave.AddTransition(Transition{
+      ws, as,
+      Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kCoordinator, false},
+      {},
+      false, false});
+  slave.AddTransition(Transition{
+      ws, ps,
+      Trigger{TriggerKind::kOneFrom, msg::kPrepare, Group::kCoordinator, false},
+      {SendSpec{msg::kAck, Group::kCoordinator}},
+      false, false});
+  slave.AddTransition(Transition{
+      ps, cs,
+      Trigger{TriggerKind::kOneFrom, msg::kCommit, Group::kCoordinator, false},
+      {},
+      false, false});
+
+  spec.AddRole("coordinator", std::move(coord));
+  spec.AddRole("slave", std::move(slave));
+  return spec;
+}
+
+}  // namespace nbcp

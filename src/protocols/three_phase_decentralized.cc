@@ -1,0 +1,51 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+ProtocolSpec MakeThreePhaseDecentralized() {
+  ProtocolSpec spec("3PC-decentralized", Paradigm::kDecentralized);
+
+  // Peer FSA, paper slide "A nonblocking decentralized 3PC protocol":
+  //   qi --xact / yes_i*--> wi
+  //   qi --xact / no_i*--> ai
+  //   wi --yes from all / prepare_i*--> pi
+  //   wi --no from any / ---> ai
+  //   pi --prepare from all / ---> ci
+  Automaton peer;
+  StateIndex q = peer.AddState("q", StateKind::kInitial);
+  StateIndex w = peer.AddState("w", StateKind::kWait);
+  StateIndex a = peer.AddState("a", StateKind::kAbort);
+  StateIndex p = peer.AddState("p", StateKind::kBuffer);
+  StateIndex c = peer.AddState("c", StateKind::kCommit);
+
+  peer.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kYes, Group::kAllPeers}},
+      /*votes_yes=*/true, false});
+  peer.AddTransition(Transition{
+      q, a,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kNo, Group::kAllPeers}},
+      false, /*votes_no=*/true});
+  peer.AddTransition(Transition{
+      w, p,
+      Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kAllPeers, false},
+      {SendSpec{msg::kPrepare, Group::kAllPeers}},
+      false, false});
+  peer.AddTransition(Transition{
+      w, a,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers, false},
+      {},
+      false, false});
+  peer.AddTransition(Transition{
+      p, c,
+      Trigger{TriggerKind::kAllFrom, msg::kPrepare, Group::kAllPeers, false},
+      {},
+      false, false});
+
+  spec.AddRole("peer", std::move(peer));
+  return spec;
+}
+
+}  // namespace nbcp

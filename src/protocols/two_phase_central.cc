@@ -1,0 +1,72 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+ProtocolSpec MakeTwoPhaseCentral() {
+  ProtocolSpec spec("2PC-central", Paradigm::kCentralSite);
+
+  // Coordinator (site 1), paper slide "The FSAs for the 2PC protocol":
+  //   q1 --request / xact*--> w1
+  //   w1 --(yes1) yes2..yesn / commit*--> c1
+  //   w1 --(no1) no2..non / abort*--> a1
+  Automaton coord;
+  StateIndex q = coord.AddState("q1", StateKind::kInitial);
+  StateIndex w = coord.AddState("w1", StateKind::kWait);
+  StateIndex a = coord.AddState("a1", StateKind::kAbort);
+  StateIndex c = coord.AddState("c1", StateKind::kCommit);
+
+  coord.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kXact, Group::kSlaves}},
+      false, false});
+  coord.AddTransition(Transition{
+      w, c,
+      Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kSlaves, false},
+      {SendSpec{msg::kCommit, Group::kSlaves}},
+      /*votes_yes=*/true, false});
+  coord.AddTransition(Transition{
+      w, a,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kSlaves,
+              /*or_self_vote_no=*/true},
+      {SendSpec{msg::kAbort, Group::kSlaves}},
+      false, /*votes_no=*/true});
+
+  // Slave (sites 2..n):
+  //   qi --xact / yes--> wi       (vote yes)
+  //   qi --xact / no--> ai        (unilateral abort)
+  //   wi --commit / ---> ci
+  //   wi --abort / ---> ai
+  Automaton slave;
+  StateIndex qs = slave.AddState("q", StateKind::kInitial);
+  StateIndex ws = slave.AddState("w", StateKind::kWait);
+  StateIndex as = slave.AddState("a", StateKind::kAbort);
+  StateIndex cs = slave.AddState("c", StateKind::kCommit);
+
+  slave.AddTransition(Transition{
+      qs, ws,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kYes, Group::kCoordinator}},
+      /*votes_yes=*/true, false});
+  slave.AddTransition(Transition{
+      qs, as,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kNo, Group::kCoordinator}},
+      false, /*votes_no=*/true});
+  slave.AddTransition(Transition{
+      ws, cs,
+      Trigger{TriggerKind::kOneFrom, msg::kCommit, Group::kCoordinator, false},
+      {},
+      false, false});
+  slave.AddTransition(Transition{
+      ws, as,
+      Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kCoordinator, false},
+      {},
+      false, false});
+
+  spec.AddRole("coordinator", std::move(coord));
+  spec.AddRole("slave", std::move(slave));
+  return spec;
+}
+
+}  // namespace nbcp

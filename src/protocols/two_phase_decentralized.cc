@@ -1,0 +1,44 @@
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+ProtocolSpec MakeTwoPhaseDecentralized() {
+  ProtocolSpec spec("2PC-decentralized", Paradigm::kDecentralized);
+
+  // Peer FSA (sites 1..n), paper slide "The decentralized 2PC protocol":
+  //   qi --xact / yes_i*--> wi     (broadcast yes to every site incl. self)
+  //   qi --xact / no_i*--> ai      (unilateral abort, broadcast no)
+  //   wi --yes from all / ---> ci
+  //   wi --no from any / ---> ai
+  Automaton peer;
+  StateIndex q = peer.AddState("q", StateKind::kInitial);
+  StateIndex w = peer.AddState("w", StateKind::kWait);
+  StateIndex a = peer.AddState("a", StateKind::kAbort);
+  StateIndex c = peer.AddState("c", StateKind::kCommit);
+
+  peer.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kYes, Group::kAllPeers}},
+      /*votes_yes=*/true, false});
+  peer.AddTransition(Transition{
+      q, a,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kNo, Group::kAllPeers}},
+      false, /*votes_no=*/true});
+  peer.AddTransition(Transition{
+      w, c,
+      Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kAllPeers, false},
+      {},
+      false, false});
+  peer.AddTransition(Transition{
+      w, a,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers, false},
+      {},
+      false, false});
+
+  spec.AddRole("peer", std::move(peer));
+  return spec;
+}
+
+}  // namespace nbcp

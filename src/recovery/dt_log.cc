@@ -1,0 +1,89 @@
+#include "recovery/dt_log.h"
+
+namespace nbcp {
+
+std::string ToString(DtLogEvent event) {
+  switch (event) {
+    case DtLogEvent::kStart:
+      return "START";
+    case DtLogEvent::kVoteYes:
+      return "VOTE-YES";
+    case DtLogEvent::kVoteNo:
+      return "VOTE-NO";
+    case DtLogEvent::kPrepared:
+      return "PREPARED";
+    case DtLogEvent::kCommit:
+      return "COMMIT";
+    case DtLogEvent::kAbort:
+      return "ABORT";
+  }
+  return "UNKNOWN";
+}
+
+void DtLog::Append(TransactionId txn, DtLogEvent event) {
+  records_.push_back(DtLogRecord{txn, event});
+  auto [it, inserted] = summary_.try_emplace(txn);
+  if (inserted) order_.push_back(txn);
+  switch (event) {
+    case DtLogEvent::kStart:
+      break;
+    case DtLogEvent::kVoteYes:
+      it->second.voted_yes = true;
+      break;
+    case DtLogEvent::kPrepared:
+      it->second.voted_yes = true;
+      it->second.prepared = true;
+      break;
+    case DtLogEvent::kVoteNo:
+      it->second.voted_no = true;
+      break;
+    case DtLogEvent::kCommit:
+      it->second.outcome = Outcome::kCommitted;
+      break;
+    case DtLogEvent::kAbort:
+      it->second.outcome = Outcome::kAborted;
+      break;
+  }
+}
+
+std::optional<Outcome> DtLog::OutcomeOf(TransactionId txn) const {
+  auto it = summary_.find(txn);
+  if (it == summary_.end()) return std::nullopt;
+  return it->second.outcome;
+}
+
+bool DtLog::VotedYes(TransactionId txn) const {
+  auto it = summary_.find(txn);
+  return it != summary_.end() && it->second.voted_yes;
+}
+
+bool DtLog::WasPrepared(TransactionId txn) const {
+  auto it = summary_.find(txn);
+  return it != summary_.end() && it->second.prepared;
+}
+
+bool DtLog::Knows(TransactionId txn) const {
+  return summary_.count(txn) != 0;
+}
+
+std::vector<TransactionId> DtLog::InDoubt() const {
+  std::vector<TransactionId> out;
+  for (TransactionId txn : order_) {
+    const TxnSummary& s = summary_.at(txn);
+    if (s.voted_yes && !s.outcome.has_value()) out.push_back(txn);
+  }
+  return out;
+}
+
+std::vector<TransactionId> DtLog::UnvotedUndecided() const {
+  std::vector<TransactionId> out;
+  for (TransactionId txn : order_) {
+    const TxnSummary& s = summary_.at(txn);
+    if (!s.voted_yes && !s.voted_no && !s.outcome.has_value()) {
+      out.push_back(txn);
+    }
+  }
+  return out;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,115 @@
+#include "recovery/recovery_manager.h"
+
+#include "common/logging.h"
+
+namespace nbcp {
+namespace {
+const char kQuery[] = "rec:query";
+const char kOutcomeRep[] = "rec:outcome";
+}  // namespace
+
+RecoveryManager::RecoveryManager(SiteId self, Simulator* sim,
+                                 Network* network, DtLog* log,
+                                 RecoveryHooks hooks, RecoveryConfig config)
+    : self_(self),
+      sim_(sim),
+      network_(network),
+      log_(log),
+      hooks_(std::move(hooks)),
+      config_(config) {}
+
+bool RecoveryManager::OwnsMessage(const std::string& type) {
+  return type.rfind("rec:", 0) == 0;
+}
+
+void RecoveryManager::StartRecovery() {
+  // Unvoted transactions: unilateral abort on recovery.
+  for (TransactionId txn : log_->UnvotedUndecided()) {
+    hooks_.apply_outcome(txn, Outcome::kAborted);
+  }
+  // In-doubt transactions: ask the operational sites.
+  for (TransactionId txn : log_->InDoubt()) {
+    auto [it, inserted] = pending_.try_emplace(txn);
+    if (!inserted && !it->second.resolved) continue;
+    it->second = Pending{};
+    QueryOutcome(txn);
+  }
+}
+
+void RecoveryManager::QueryOutcome(TransactionId txn) {
+  Pending& pending = pending_[txn];
+  if (pending.resolved) return;
+  if (pending.attempts >= config_.max_attempts) {
+    NBCP_LOG(kDebug) << "site " << self_ << " txn " << txn
+                     << " unresolved after recovery queries";
+    if (hooks_.on_unresolved) hooks_.on_unresolved(txn);
+    return;
+  }
+  ++pending.attempts;
+
+  bool asked_anyone = false;
+  for (SiteId site : hooks_.alive_sites()) {
+    if (site == self_) continue;
+    Message m;
+    m.type = kQuery;
+    m.from = self_;
+    m.to = site;
+    m.txn = txn;
+    (void)network_->Send(std::move(m));
+    asked_anyone = true;
+  }
+  (void)asked_anyone;  // Even with nobody to ask, retry: sites may recover.
+  pending.timer = sim_->ScheduleAfter(
+      config_.query_timeout,
+      [this, txn, token = std::weak_ptr<char>(alive_token_)]() {
+        if (token.expired()) return;
+        auto it = pending_.find(txn);
+        if (it == pending_.end() || it->second.resolved) return;
+        QueryOutcome(txn);
+      });
+}
+
+void RecoveryManager::Resolve(TransactionId txn, Outcome outcome) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end() || it->second.resolved) return;
+  it->second.resolved = true;
+  if (it->second.timer != 0) sim_->Cancel(it->second.timer);
+  NBCP_LOG(kDebug) << "site " << self_ << " recovered txn " << txn << " as "
+                   << ToString(outcome);
+  hooks_.apply_outcome(txn, outcome);
+}
+
+void RecoveryManager::OnMessage(const Message& message) {
+  if (message.type == kQuery) {
+    std::optional<Outcome> outcome = hooks_.lookup_outcome(message.txn);
+    Message reply;
+    reply.type = kOutcomeRep;
+    reply.from = self_;
+    reply.to = message.from;
+    reply.txn = message.txn;
+    if (!outcome.has_value() || *outcome == Outcome::kUndecided) {
+      reply.payload = "unknown";
+    } else {
+      reply.payload =
+          *outcome == Outcome::kCommitted ? "commit" : "abort";
+    }
+    (void)network_->Send(std::move(reply));
+    return;
+  }
+  if (message.type == kOutcomeRep) {
+    if (message.payload == "commit") {
+      Resolve(message.txn, Outcome::kCommitted);
+    } else if (message.payload == "abort") {
+      Resolve(message.txn, Outcome::kAborted);
+    }
+    // "unknown" answers are ignored; the retry timer keeps asking.
+    return;
+  }
+}
+
+bool RecoveryManager::IsResolving(TransactionId txn) const {
+  auto it = pending_.find(txn);
+  return it != pending_.end() && !it->second.resolved;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,97 @@
+#ifndef NBCP_RECOVERY_RECOVERY_MANAGER_H_
+#define NBCP_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "recovery/dt_log.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+
+/// Callbacks wiring a RecoveryManager into its participant.
+struct RecoveryHooks {
+  /// Operational sites per the failure detector, ascending.
+  std::function<std::vector<SiteId>()> alive_sites;
+
+  /// Applies a resolved outcome locally (engine, KV store, DT log).
+  std::function<void(TransactionId, Outcome)> apply_outcome;
+
+  /// This site's answer to another site's outcome query (from its DT log).
+  std::function<std::optional<Outcome>(TransactionId)> lookup_outcome;
+
+  /// Invoked when an in-doubt transaction stays unresolved after all
+  /// attempts (e.g. total failure with no informed site back yet).
+  std::function<void(TransactionId)> on_unresolved;
+};
+
+/// Configuration for the recovery protocol.
+struct RecoveryConfig {
+  SimTime query_timeout = 20000;  ///< Per attempt, simulated microseconds.
+  int max_attempts = 5;
+};
+
+/// The paper's recovery protocol: "invoked by a crashed site to resume
+/// transaction processing upon recovery."
+///
+/// On restart the site classifies each transaction from its DT log:
+///  * outcome logged               -> nothing to do (KV replay handles it);
+///  * never voted                  -> abort unilaterally ("failure before
+///                                    the commit point");
+///  * voted yes, no outcome logged -> in doubt: query the operational sites
+///                                    ("rec:query"); adopt the first
+///                                    decisive answer.
+///
+/// Message types: "rec:query", "rec:outcome" (payload commit/abort/unknown).
+class RecoveryManager {
+ public:
+  RecoveryManager(SiteId self, Simulator* sim, Network* network, DtLog* log,
+                  RecoveryHooks hooks, RecoveryConfig config = {});
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Runs the recovery protocol for every unresolved transaction in the
+  /// DT log. Call after volatile state has been rebuilt.
+  void StartRecovery();
+
+  /// Feeds a "rec:*" message (both the server side answering queries and
+  /// the client side consuming answers).
+  void OnMessage(const Message& message);
+
+  /// True while `txn` is being resolved.
+  bool IsResolving(TransactionId txn) const;
+
+  static bool OwnsMessage(const std::string& type);
+
+ private:
+  struct Pending {
+    int attempts = 0;
+    EventId timer = 0;
+    bool resolved = false;
+  };
+
+  void QueryOutcome(TransactionId txn);
+  void Resolve(TransactionId txn, Outcome outcome);
+
+  SiteId self_;
+  Simulator* sim_;
+  Network* network_;
+  DtLog* log_;
+  RecoveryHooks hooks_;
+  RecoveryConfig config_;
+  std::unordered_map<TransactionId, Pending> pending_;
+
+  /// Liveness token: retry timers hold a weak reference and become no-ops
+  /// once this object is destroyed (e.g. its site crashed again).
+  std::shared_ptr<char> alive_token_ = std::make_shared<char>(0);
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_RECOVERY_RECOVERY_MANAGER_H_

@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nbcp {
+
+EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  if (inserted && live_count_ > 0) --live_count_;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::Pop(SimTime* time) {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, so we
+  // const_cast the entry. The entry is popped immediately afterwards.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *time = top.time;
+  std::function<void()> fn = std::move(top.fn);
+  heap_.pop();
+  --live_count_;
+  return fn;
+}
+
+size_t EventQueue::Size() {
+  SkipCancelled();
+  return live_count_;
+}
+
+}  // namespace nbcp

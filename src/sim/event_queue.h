@@ -1,0 +1,74 @@
+#ifndef NBCP_SIM_EVENT_QUEUE_H_
+#define NBCP_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nbcp {
+
+/// Handle identifying a scheduled event; usable to cancel it.
+using EventId = uint64_t;
+
+/// Time-ordered queue of simulation events.
+///
+/// Events at equal timestamps fire in scheduling order (FIFO), which keeps
+/// runs deterministic. Cancellation is lazy: cancelled ids are skipped when
+/// popped.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  EventId Push(SimTime at, std::function<void()> fn);
+
+  /// Cancels a previously scheduled event. Safe to call on ids that already
+  /// fired (no effect).
+  void Cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool Empty();
+
+  /// Time of the earliest live event. Requires !Empty().
+  SimTime NextTime();
+
+  /// Removes and returns the earliest live event's callback, setting
+  /// `*time` to its timestamp. Requires !Empty().
+  std::function<void()> Pop(SimTime* time);
+
+  /// Number of live events (after discarding cancelled heads).
+  size_t Size();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the head of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+namespace nbcp {
+
+size_t Simulator::Run(size_t max_events) {
+  size_t executed = 0;
+  while (executed < max_events && !queue_.Empty()) {
+    SimTime t;
+    auto fn = queue_.Pop(&t);
+    now_ = t;
+    fn();
+    ++executed;
+  }
+  return executed;
+}
+
+size_t Simulator::RunUntil(SimTime until) {
+  size_t executed = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= until) {
+    SimTime t;
+    auto fn = queue_.Pop(&t);
+    now_ = t;
+    fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  SimTime t;
+  auto fn = queue_.Pop(&t);
+  now_ = t;
+  fn();
+  return true;
+}
+
+}  // namespace nbcp

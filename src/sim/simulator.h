@@ -1,0 +1,68 @@
+#ifndef NBCP_SIM_SIMULATOR_H_
+#define NBCP_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace nbcp {
+
+/// Single-threaded discrete-event simulator.
+///
+/// All nbcp runtime components (network, sites, failure injector) share one
+/// Simulator. Virtual time advances only between events; within an event
+/// callback, `now()` is constant. Determinism: given the same seed and the
+/// same scheduling sequence, a run is bit-for-bit reproducible.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 42) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Shared deterministic RNG.
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return queue_.Push(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to >= now).
+  EventId ScheduleAt(SimTime at, std::function<void()> fn) {
+    if (at < now_) at = now_;
+    return queue_.Push(at, std::move(fn));
+  }
+
+  /// Cancels a scheduled event.
+  void Cancel(EventId id) { queue_.Cancel(id); }
+
+  /// Runs events until the queue drains or `max_events` fire.
+  /// Returns the number of events executed.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamp <= `until`. Virtual time ends at `until`
+  /// (or earlier if the queue drains). Returns events executed.
+  size_t RunUntil(SimTime until);
+
+  /// Executes exactly one event if available. Returns true if one ran.
+  bool Step();
+
+  /// Number of pending events.
+  size_t PendingEvents() { return queue_.Size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_SIM_SIMULATOR_H_

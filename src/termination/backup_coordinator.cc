@@ -1,0 +1,72 @@
+#include "termination/backup_coordinator.h"
+
+namespace nbcp {
+
+Outcome PaperTerminationDecision(const ConcurrencyAnalysis& analysis,
+                                 SiteId site, StateIndex state) {
+  // A final state decides itself.
+  StateKind kind = analysis.graph().KindOf(site, state);
+  if (kind == StateKind::kCommit) return Outcome::kCommitted;
+  if (kind == StateKind::kAbort) return Outcome::kAborted;
+  return analysis.ConcurrentWithCommit(site, state) ? Outcome::kCommitted
+                                                    : Outcome::kAborted;
+}
+
+Result<Outcome> SafeTerminationDecision(const ConcurrencyAnalysis& analysis,
+                                        SiteId site, StateIndex state) {
+  StateKind kind = analysis.graph().KindOf(site, state);
+  if (kind == StateKind::kCommit) return Outcome::kCommitted;
+  if (kind == StateKind::kAbort) return Outcome::kAborted;
+
+  bool with_commit = analysis.ConcurrentWithCommit(site, state);
+  bool with_abort = analysis.ConcurrentWithAbort(site, state);
+  if (!with_commit) {
+    // No site can have committed: abort is safe.
+    return Outcome::kAborted;
+  }
+  if (with_abort) {
+    return Status::Blocked(
+        "concurrency set contains both commit and abort states");
+  }
+  if (!analysis.IsCommittable(site, state)) {
+    return Status::Blocked(
+        "noncommittable state whose concurrency set contains a commit state");
+  }
+  return Outcome::kCommitted;
+}
+
+Result<Outcome> CooperativeTerminationDecision(
+    const ConcurrencyAnalysis& analysis, SiteId backup_site,
+    StateIndex backup_state,
+    const std::vector<std::pair<SiteId, StateIndex>>& survivor_states,
+    bool complete_view) {
+  // Rule 1: adopt any already-final survivor outcome.
+  for (const auto& [site, state] : survivor_states) {
+    StateKind kind = analysis.graph().KindOf(site, state);
+    if (kind == StateKind::kCommit) return Outcome::kCommitted;
+    if (kind == StateKind::kAbort) return Outcome::kAborted;
+  }
+
+  // Rule 2: the backup's own state.
+  Result<Outcome> own =
+      SafeTerminationDecision(analysis, backup_site, backup_state);
+  if (own.ok()) return own;
+
+  // Rule 3: a survivor whose state precludes any commit proves abort safe
+  // (e.g. a 2PC participant still in q has not voted, so nobody committed).
+  for (const auto& [site, state] : survivor_states) {
+    if (!analysis.ConcurrentWithCommit(site, state)) {
+      return Outcome::kAborted;
+    }
+  }
+
+  // Rule 4 (total-failure recovery): the states above are everyone's — no
+  // hidden site can have committed, so abort is safe. The uncertainty the
+  // blocking rules guard against ("someone I cannot see may have decided")
+  // does not exist under a complete view.
+  if (complete_view) return Outcome::kAborted;
+
+  return Status::Blocked("all operational sites are in uncertainty states");
+}
+
+}  // namespace nbcp

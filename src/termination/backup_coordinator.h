@@ -1,0 +1,55 @@
+#ifndef NBCP_TERMINATION_BACKUP_COORDINATOR_H_
+#define NBCP_TERMINATION_BACKUP_COORDINATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "analysis/concurrency_set.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace nbcp {
+
+/// The paper's decision rule for backup coordinators: "if the concurrency
+/// set for the current state of the backup coordinator contains a commit
+/// state, then the transaction is committed; otherwise, it is aborted."
+///
+/// Sound only for protocols satisfying the Fundamental Nonblocking Theorem;
+/// applying it to a blocking protocol's wait state would violate atomicity
+/// (use SafeTerminationDecision there).
+Outcome PaperTerminationDecision(const ConcurrencyAnalysis& analysis,
+                                 SiteId site, StateIndex state);
+
+/// Theorem-guarded variant: returns the paper decision when the state
+/// satisfies both theorem conditions, and kBlocked when it does not (the
+/// site "cannot commit because it cannot infer that all sites have voted
+/// yes, and cannot abort because another site may have committed before
+/// crashing").
+Result<Outcome> SafeTerminationDecision(const ConcurrencyAnalysis& analysis,
+                                        SiteId site, StateIndex state);
+
+/// Cooperative extension used by the runtime so that blocking protocols
+/// block only when truly stuck:
+///  1. if any operational site already reached a final state, adopt it;
+///  2. otherwise, if the backup's own state decides safely, use that;
+///  3. otherwise, if some operational site's state is never concurrent
+///     with a commit state, abort is safe (it proves nobody committed);
+///  4. with `complete_view` — the survivor set covers EVERY site, i.e.
+///     after a total failure once everyone recovered — no final state
+///     anywhere means no decision was ever made durable: abort is safe
+///     even from states the partial-knowledge rules cannot resolve;
+///  5. otherwise kBlocked.
+///
+/// `survivor_states` holds (site, state) pairs for the operational sites.
+/// Site ids must be valid in `analysis`; when the live population is larger
+/// than the analyzed one, callers map each site to a same-role
+/// representative first (the role automata make same-role sites symmetric).
+Result<Outcome> CooperativeTerminationDecision(
+    const ConcurrencyAnalysis& analysis, SiteId backup_site,
+    StateIndex backup_state,
+    const std::vector<std::pair<SiteId, StateIndex>>& survivor_states,
+    bool complete_view = false);
+
+}  // namespace nbcp
+
+#endif  // NBCP_TERMINATION_BACKUP_COORDINATOR_H_

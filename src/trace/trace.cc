@@ -1,0 +1,119 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nbcp {
+
+std::string ToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kProtocolStart:
+      return "start";
+    case TraceEventType::kStateChange:
+      return "state";
+    case TraceEventType::kVoteCast:
+      return "vote";
+    case TraceEventType::kDecision:
+      return "decision";
+    case TraceEventType::kMessageSent:
+      return "send";
+    case TraceEventType::kMessageDelivered:
+      return "recv";
+    case TraceEventType::kMessageDropped:
+      return "drop";
+    case TraceEventType::kCrash:
+      return "CRASH";
+    case TraceEventType::kRecover:
+      return "RECOVER";
+    case TraceEventType::kTerminationStart:
+      return "term-start";
+    case TraceEventType::kTerminationDecide:
+      return "term-decide";
+    case TraceEventType::kBlocked:
+      return "BLOCKED";
+    case TraceEventType::kElectionWon:
+      return "elected";
+  }
+  return "?";
+}
+
+void TraceRecorder::Record(SimTime at, SiteId site, TransactionId txn,
+                           TraceEventType type, std::string detail) {
+  events_.push_back(TraceEvent{at, site, txn, type, std::move(detail)});
+}
+
+std::vector<TraceEvent> TraceRecorder::ForTransaction(
+    TransactionId txn) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.txn == txn) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::Render(TransactionId txn) const {
+  std::ostringstream out;
+  for (const TraceEvent& e : events_) {
+    if (txn != kNoTransaction && e.txn != txn) continue;
+    out << "t=" << e.at << "us";
+    for (size_t pad = std::to_string(e.at).size(); pad < 9; ++pad) out << ' ';
+    if (e.site != kNoSite) {
+      out << "site " << e.site;
+    } else {
+      out << "system";
+    }
+    out << "  [" << ToString(e.type) << "]";
+    if (!e.detail.empty()) out << "  " << e.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string TraceRecorder::RenderLanes(TransactionId txn, size_t n) const {
+  std::ostringstream out;
+  const int kWidth = 16;
+  out << "time      ";
+  for (SiteId s = 1; s <= n; ++s) {
+    std::string head = "site " + std::to_string(s);
+    out << head;
+    for (size_t pad = head.size(); pad < kWidth; ++pad) out << ' ';
+  }
+  out << "\n";
+  for (const TraceEvent& e : events_) {
+    if (e.txn != txn && e.txn != kNoTransaction) continue;
+    if (e.site == kNoSite || e.site > n) continue;
+    // Skip message-level noise in the lane view.
+    if (e.type == TraceEventType::kMessageSent ||
+        e.type == TraceEventType::kMessageDelivered ||
+        e.type == TraceEventType::kMessageDropped) {
+      continue;
+    }
+    std::string ts = std::to_string(e.at);
+    out << ts;
+    for (size_t pad = ts.size(); pad < 10; ++pad) out << ' ';
+    for (SiteId s = 1; s <= n; ++s) {
+      std::string cell;
+      if (s == e.site) {
+        cell = ToString(e.type);
+        if (!e.detail.empty()) cell += ":" + e.detail;
+        if (cell.size() > kWidth - 1) cell.resize(kWidth - 1);
+      }
+      out << cell;
+      for (size_t pad = cell.size(); pad < kWidth; ++pad) out << ' ';
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+size_t TraceRecorder::Count(TraceEventType type, TransactionId txn) const {
+  size_t count = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.type != type) continue;
+    if (txn != kNoTransaction && e.txn != txn) continue;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace nbcp

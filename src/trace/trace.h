@@ -1,0 +1,80 @@
+#ifndef NBCP_TRACE_TRACE_H_
+#define NBCP_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nbcp {
+
+/// Kind of a recorded protocol event.
+enum class TraceEventType : uint8_t {
+  kProtocolStart = 0,  ///< Client request reached a site.
+  kStateChange,        ///< Local FSA moved (detail = new state name).
+  kVoteCast,           ///< Site voted (detail = "yes"/"no").
+  kDecision,           ///< Final commit/abort at a site.
+  kMessageSent,        ///< detail = "type->to".
+  kMessageDelivered,   ///< detail = "type<-from".
+  kMessageDropped,     ///< Receiver down / link cut.
+  kCrash,              ///< Site went down.
+  kRecover,            ///< Site came back.
+  kTerminationStart,   ///< Termination protocol engaged at a site.
+  kTerminationDecide,  ///< Termination decided (detail = outcome).
+  kBlocked,            ///< Termination concluded "blocked".
+  kElectionWon,        ///< detail = leader id.
+};
+
+std::string ToString(TraceEventType type);
+
+/// One recorded event.
+struct TraceEvent {
+  SimTime at = 0;
+  SiteId site = kNoSite;          ///< Site the event happened at (0 = system).
+  TransactionId txn = kNoTransaction;  ///< 0 = not transaction-scoped.
+  TraceEventType type = TraceEventType::kStateChange;
+  std::string detail;
+};
+
+/// In-memory recorder for protocol events, with human-readable rendering.
+///
+/// Enable via SystemConfig::trace; CommitSystem then wires every
+/// participant, the network and the failure injector into one recorder.
+/// Intended for examples, debugging and post-mortem assertions in tests —
+/// benchmarks should leave it off.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Record(SimTime at, SiteId site, TransactionId txn,
+              TraceEventType type, std::string detail = "");
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Events of one transaction, in order.
+  std::vector<TraceEvent> ForTransaction(TransactionId txn) const;
+
+  /// Chronological rendering:
+  ///   t=300us  site 2  [state-change]  w
+  /// Pass kNoTransaction to include everything.
+  std::string Render(TransactionId txn = kNoTransaction) const;
+
+  /// Per-site swimlane rendering for one transaction: one column per site
+  /// (1..n), one row per event.
+  std::string RenderLanes(TransactionId txn, size_t n) const;
+
+  /// Count of events of `type` (optionally transaction-scoped).
+  size_t Count(TraceEventType type,
+               TransactionId txn = kNoTransaction) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_TRACE_TRACE_H_

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "analysis/buffer_synthesis.h"
+#include "analysis/nonblocking.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+TEST(BufferSynthesisTest, CentralTwoPcBecomesThreePc) {
+  // The paper's design method, mechanized: inserting buffer states into
+  // 2PC yields exactly 3PC.
+  auto result = SynthesizeNonblocking(MakeTwoPhaseCentral(), 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->name(), "2PC-central-buffered");
+  ProtocolSpec hand = MakeThreePhaseCentral();
+  EXPECT_TRUE(AutomataIsomorphic(result->role(0), hand.role(0)))
+      << "synthesized coordinator differs from handwritten 3PC";
+  EXPECT_TRUE(AutomataIsomorphic(result->role(1), hand.role(1)))
+      << "synthesized slave differs from handwritten 3PC";
+}
+
+TEST(BufferSynthesisTest, DecentralizedTwoPcBecomesThreePc) {
+  auto result = SynthesizeNonblocking(MakeTwoPhaseDecentralized(), 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ProtocolSpec hand = MakeThreePhaseDecentralized();
+  EXPECT_TRUE(AutomataIsomorphic(result->role(0), hand.role(0)));
+}
+
+TEST(BufferSynthesisTest, SynthesizedProtocolIsNonblocking) {
+  for (auto make : {&MakeTwoPhaseCentral, &MakeTwoPhaseDecentralized}) {
+    auto result = SynthesizeNonblocking(make(), 3);
+    ASSERT_TRUE(result.ok());
+    for (size_t n : {2, 3, 4}) {
+      auto check = CheckNonblocking(*result, n);
+      ASSERT_TRUE(check.ok());
+      EXPECT_TRUE(check->nonblocking) << result->name() << " n=" << n;
+    }
+  }
+}
+
+TEST(BufferSynthesisTest, SynthesizedSpecValidates) {
+  auto result = SynthesizeNonblocking(MakeTwoPhaseCentral(), 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Validate().ok());
+  EXPECT_EQ(result->NumPhases(), 3);
+}
+
+TEST(BufferSynthesisTest, OnePcSynthesisIsNonblocking) {
+  // Buffering 1PC's direct commit broadcast also satisfies the theorem
+  // (slaves cannot vote, so nothing is concurrent with both outcomes once
+  // the buffer separates q from c).
+  auto result = SynthesizeNonblocking(MakeOnePhaseCommit(), 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto check = CheckNonblocking(*result, 3);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->nonblocking);
+}
+
+TEST(BufferSynthesisTest, RefusesProtocolsAlreadyUsingPrepare) {
+  auto result = SynthesizeNonblocking(MakeThreePhaseCentral(), 3);
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(BufferSynthesisTest, PreservesVoteSemantics) {
+  auto result = SynthesizeNonblocking(MakeTwoPhaseCentral(), 3);
+  ASSERT_TRUE(result.ok());
+  // The coordinator's yes-vote must now be cast on the w->p transition.
+  const Automaton& coord = result->role(0);
+  bool yes_into_buffer = false;
+  for (const Transition& t : coord.transitions()) {
+    if (t.votes_yes &&
+        coord.state(t.to).kind == StateKind::kBuffer) {
+      yes_into_buffer = true;
+    }
+  }
+  EXPECT_TRUE(yes_into_buffer);
+}
+
+TEST(BufferSynthesisTest, BufferStatesAreCommittable) {
+  auto result = SynthesizeNonblocking(MakeTwoPhaseDecentralized(), 3);
+  ASSERT_TRUE(result.ok());
+  const Automaton& peer = result->role(0);
+  auto committable = CommittableStates(peer, 3);
+  ASSERT_TRUE(committable.ok());
+  size_t buffer_count = 0;
+  for (size_t s = 0; s < peer.num_states(); ++s) {
+    if (peer.state(static_cast<StateIndex>(s)).kind == StateKind::kBuffer) {
+      ++buffer_count;
+      EXPECT_TRUE(committable->count(static_cast<StateIndex>(s)) != 0);
+    }
+  }
+  EXPECT_EQ(buffer_count, 1u);
+}
+
+}  // namespace
+}  // namespace nbcp

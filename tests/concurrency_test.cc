@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+class CanonicalConcurrencyTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    canon_ = MakeCanonicalTwoPhase();
+    ProtocolSpec spec("canonical", Paradigm::kDecentralized);
+    spec.AddRole("peer", canon_);
+    auto graph = ReachableStateGraph::Build(spec, GetParam());
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<ReachableStateGraph>(std::move(*graph));
+    analysis_ = std::make_unique<ConcurrencyAnalysis>(
+        ConcurrencyAnalysis::Compute(*graph_));
+  }
+
+  StateIndex S(const char* name) { return canon_.FindState(name); }
+
+  Automaton canon_;
+  std::unique_ptr<ReachableStateGraph> graph_;
+  std::unique_ptr<ConcurrencyAnalysis> analysis_;
+};
+
+// The paper's slide "Concurrency sets in the canonical 2PC protocol":
+//   CS(q) = {q, w, a}   CS(w) = {q, w, a, c}
+//   CS(a) = {q, w, a}   CS(c) = {w, c}
+TEST_P(CanonicalConcurrencyTest, MatchesPaperTable) {
+  EXPECT_EQ(analysis_->FormatConcurrencySet(1, S("q")), "{a, q, w}");
+  EXPECT_EQ(analysis_->FormatConcurrencySet(1, S("w")), "{a, c, q, w}");
+  EXPECT_EQ(analysis_->FormatConcurrencySet(1, S("a")), "{a, q, w}");
+  EXPECT_EQ(analysis_->FormatConcurrencySet(1, S("c")), "{c, w}");
+}
+
+TEST_P(CanonicalConcurrencyTest, CommittabilityMatchesPaper) {
+  // "A blocking protocol usually has only one committable state": c.
+  EXPECT_FALSE(analysis_->IsCommittable(1, S("q")));
+  EXPECT_FALSE(analysis_->IsCommittable(1, S("w")));
+  EXPECT_FALSE(analysis_->IsCommittable(1, S("a")));
+  EXPECT_TRUE(analysis_->IsCommittable(1, S("c")));
+}
+
+TEST_P(CanonicalConcurrencyTest, CommitAbortFlags) {
+  EXPECT_TRUE(analysis_->ConcurrentWithCommit(1, S("w")));
+  EXPECT_TRUE(analysis_->ConcurrentWithAbort(1, S("w")));
+  EXPECT_FALSE(analysis_->ConcurrentWithCommit(1, S("q")));
+  EXPECT_TRUE(analysis_->ConcurrentWithAbort(1, S("q")));
+  EXPECT_FALSE(analysis_->ConcurrentWithAbort(1, S("c")));
+}
+
+TEST_P(CanonicalConcurrencyTest, AllStatesOccupied) {
+  for (const char* s : {"q", "w", "a", "c"}) {
+    EXPECT_TRUE(analysis_->IsOccupied(1, S(s))) << s;
+  }
+}
+
+TEST_P(CanonicalConcurrencyTest, SymmetricAcrossSites) {
+  // Decentralized peers are symmetric: every site gets the same analysis.
+  for (SiteId site = 1; site <= GetParam(); ++site) {
+    EXPECT_EQ(analysis_->FormatConcurrencySet(site, S("w")), "{a, c, q, w}");
+    EXPECT_EQ(analysis_->IsCommittable(site, S("c")), true);
+    EXPECT_EQ(analysis_->IsCommittable(site, S("w")), false);
+  }
+}
+
+// The classifications must be stable in the population size — this is what
+// justifies running the termination rule off a small analyzed population.
+INSTANTIATE_TEST_SUITE_P(Populations, CanonicalConcurrencyTest,
+                         ::testing::Values(2, 3, 4));
+
+TEST(BufferedConcurrencyTest, BufferStateIsCommittable) {
+  Automaton buffered = MakeCanonicalBuffered();
+  ProtocolSpec spec("buffered", Paradigm::kDecentralized);
+  spec.AddRole("peer", buffered);
+  auto graph = ReachableStateGraph::Build(spec, 3);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  EXPECT_TRUE(analysis.IsCommittable(1, buffered.FindState("p")));
+  EXPECT_TRUE(analysis.IsCommittable(1, buffered.FindState("c")));
+  EXPECT_FALSE(analysis.IsCommittable(1, buffered.FindState("w")));
+  // "Nonblocking protocols always have more than one [committable state]."
+}
+
+TEST(BufferedConcurrencyTest, WaitNoLongerConcurrentWithCommit) {
+  Automaton buffered = MakeCanonicalBuffered();
+  ProtocolSpec spec("buffered", Paradigm::kDecentralized);
+  spec.AddRole("peer", buffered);
+  auto graph = ReachableStateGraph::Build(spec, 3);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  // The buffer state now separates w from c.
+  EXPECT_FALSE(analysis.ConcurrentWithCommit(1, buffered.FindState("w")));
+  EXPECT_TRUE(analysis.ConcurrentWithCommit(1, buffered.FindState("p")));
+  EXPECT_FALSE(analysis.ConcurrentWithAbort(1, buffered.FindState("p")));
+}
+
+TEST(CentralConcurrencyTest, CoordinatorStatesClassified) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  auto graph = ReachableStateGraph::Build(spec, 3);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  const Automaton& coord = spec.role(0);
+  // The coordinator's wait state is concurrent with slave q/w/a but never
+  // with a slave commit (slaves commit only after the coordinator).
+  StateIndex w1 = coord.FindState("w1");
+  EXPECT_FALSE(analysis.ConcurrentWithCommit(1, w1));
+  EXPECT_TRUE(analysis.ConcurrentWithAbort(1, w1));
+  // c1 is committable.
+  EXPECT_TRUE(analysis.IsCommittable(1, coord.FindState("c1")));
+  EXPECT_FALSE(analysis.IsCommittable(1, w1));
+}
+
+TEST(CentralConcurrencyTest, SlaveWaitIsTheBlockingState) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  auto graph = ReachableStateGraph::Build(spec, 3);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  StateIndex w = spec.role(1).FindState("w");
+  // The slave in w may be concurrent with both c1 and a1: the classic 2PC
+  // blocking window.
+  EXPECT_TRUE(analysis.ConcurrentWithCommit(2, w));
+  EXPECT_TRUE(analysis.ConcurrentWithAbort(2, w));
+  EXPECT_FALSE(analysis.IsCommittable(2, w));
+}
+
+TEST(ConcurrencyTest, UnoccupiedStateHasEmptySet) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  auto graph = ReachableStateGraph::Build(spec, 2);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  EXPECT_TRUE(analysis.ConcurrencySet(99, 0).empty());
+  EXPECT_FALSE(analysis.IsOccupied(99, 0));
+  EXPECT_TRUE(analysis.IsCommittable(99, 0));  // Vacuous.
+}
+
+}  // namespace
+}  // namespace nbcp

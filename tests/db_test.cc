@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "db/kv_store.h"
+#include "db/local_transaction.h"
+#include "db/lock_manager.h"
+#include "db/wal.h"
+
+namespace nbcp {
+namespace {
+
+// --- KvStore ------------------------------------------------------------
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  KvStoreTest() : store_(&wal_) {}
+  WriteAheadLog wal_;
+  KvStore store_;
+};
+
+TEST_F(KvStoreTest, CommitLifecycle) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  ASSERT_TRUE(store_.Put(1, "b", "2").ok());
+  // Uncommitted writes are invisible outside the transaction.
+  EXPECT_FALSE(store_.GetCommitted("a").has_value());
+  // But visible inside (read-your-writes).
+  EXPECT_EQ(store_.Get(1, "a").value(), "1");
+  ASSERT_TRUE(store_.Prepare(1).ok());
+  ASSERT_TRUE(store_.Commit(1).ok());
+  EXPECT_EQ(store_.GetCommitted("a"), std::optional<std::string>("1"));
+  EXPECT_EQ(store_.GetCommitted("b"), std::optional<std::string>("2"));
+  EXPECT_FALSE(store_.IsActive(1));
+}
+
+TEST_F(KvStoreTest, AbortDiscardsWrites) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  ASSERT_TRUE(store_.Abort(1).ok());
+  EXPECT_FALSE(store_.GetCommitted("a").has_value());
+}
+
+TEST_F(KvStoreTest, CommitRequiresPrepare) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  EXPECT_TRUE(store_.Commit(1).IsFailedPrecondition());
+  ASSERT_TRUE(store_.Prepare(1).ok());
+  EXPECT_TRUE(store_.Commit(1).ok());
+}
+
+TEST_F(KvStoreTest, NoWritesAfterPrepare) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  ASSERT_TRUE(store_.Prepare(1).ok());
+  EXPECT_TRUE(store_.Put(1, "b", "2").IsFailedPrecondition());
+  EXPECT_TRUE(store_.Delete(1, "a").IsFailedPrecondition());
+  EXPECT_TRUE(store_.IsPrepared(1));
+}
+
+TEST_F(KvStoreTest, DoubleBeginRejected) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  EXPECT_TRUE(store_.Begin(1).IsAlreadyExists());
+}
+
+TEST_F(KvStoreTest, OperationsOnInactiveTxnFail) {
+  EXPECT_TRUE(store_.Put(9, "a", "1").IsFailedPrecondition());
+  EXPECT_TRUE(store_.Get(9, "a").status().IsFailedPrecondition());
+  EXPECT_TRUE(store_.Prepare(9).IsFailedPrecondition());
+  EXPECT_TRUE(store_.Commit(9).IsFailedPrecondition());
+  EXPECT_TRUE(store_.Abort(9).IsFailedPrecondition());
+}
+
+TEST_F(KvStoreTest, DeleteStagedAndApplied) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  ASSERT_TRUE(store_.Prepare(1).ok());
+  ASSERT_TRUE(store_.Commit(1).ok());
+
+  ASSERT_TRUE(store_.Begin(2).ok());
+  ASSERT_TRUE(store_.Delete(2, "a").ok());
+  EXPECT_TRUE(store_.Get(2, "a").status().IsNotFound());
+  ASSERT_TRUE(store_.Prepare(2).ok());
+  ASSERT_TRUE(store_.Commit(2).ok());
+  EXPECT_FALSE(store_.GetCommitted("a").has_value());
+}
+
+TEST_F(KvStoreTest, RecoveryRedoesCommittedTransactions) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  ASSERT_TRUE(store_.Prepare(1).ok());
+  ASSERT_TRUE(store_.Commit(1).ok());
+
+  store_.CrashVolatile();
+  EXPECT_FALSE(store_.GetCommitted("a").has_value());
+  auto in_doubt = store_.RecoverFromWal();
+  ASSERT_TRUE(in_doubt.ok());
+  EXPECT_TRUE(in_doubt->empty());
+  EXPECT_EQ(store_.GetCommitted("a"), std::optional<std::string>("1"));
+}
+
+TEST_F(KvStoreTest, RecoveryRestagesInDoubtTransactions) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  ASSERT_TRUE(store_.Prepare(1).ok());
+  // Crash before the decision.
+  store_.CrashVolatile();
+  auto in_doubt = store_.RecoverFromWal();
+  ASSERT_TRUE(in_doubt.ok());
+  ASSERT_EQ(*in_doubt, (std::vector<TransactionId>{1}));
+  EXPECT_TRUE(store_.IsPrepared(1));
+  // The recovery protocol can now commit it.
+  ASSERT_TRUE(store_.Commit(1).ok());
+  EXPECT_EQ(store_.GetCommitted("a"), std::optional<std::string>("1"));
+}
+
+TEST_F(KvStoreTest, RecoveryAbortsUnpreparedTransactions) {
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "a", "1").ok());
+  store_.CrashVolatile();
+  auto in_doubt = store_.RecoverFromWal();
+  ASSERT_TRUE(in_doubt.ok());
+  EXPECT_TRUE(in_doubt->empty());
+  EXPECT_FALSE(store_.IsActive(1));
+  EXPECT_FALSE(store_.GetCommitted("a").has_value());
+}
+
+TEST_F(KvStoreTest, RecoveryOrderingAcrossTransactions) {
+  // Two committed transactions writing the same key: recovery must replay
+  // in log order.
+  ASSERT_TRUE(store_.Begin(1).ok());
+  ASSERT_TRUE(store_.Put(1, "k", "first").ok());
+  ASSERT_TRUE(store_.Prepare(1).ok());
+  ASSERT_TRUE(store_.Commit(1).ok());
+  ASSERT_TRUE(store_.Begin(2).ok());
+  ASSERT_TRUE(store_.Put(2, "k", "second").ok());
+  ASSERT_TRUE(store_.Prepare(2).ok());
+  ASSERT_TRUE(store_.Commit(2).ok());
+
+  store_.CrashVolatile();
+  ASSERT_TRUE(store_.RecoverFromWal().ok());
+  EXPECT_EQ(store_.GetCommitted("k"), std::optional<std::string>("second"));
+}
+
+TEST_F(KvStoreTest, CorruptWalDetected) {
+  wal_.Append(WalRecord{WalRecordType::kCommit, 1, "", "", false, "", false});
+  wal_.Append(WalRecord{WalRecordType::kAbort, 1, "", "", false, "", false});
+  EXPECT_TRUE(store_.RecoverFromWal().status().IsCorruption());
+}
+
+TEST_F(KvStoreTest, WalTruncate) {
+  wal_.Append(WalRecord{WalRecordType::kBegin, 1, "", "", false, "", false});
+  wal_.Append(WalRecord{WalRecordType::kCommit, 1, "", "", false, "", false});
+  wal_.Truncate(1);
+  ASSERT_EQ(wal_.size(), 1u);
+  EXPECT_EQ(wal_.records()[0].type, WalRecordType::kCommit);
+  wal_.Truncate(100);
+  EXPECT_EQ(wal_.size(), 0u);
+}
+
+TEST(WalTest, RecordTypeNames) {
+  EXPECT_EQ(ToString(WalRecordType::kPrepare), "PREPARE");
+  EXPECT_EQ(ToString(WalRecordType::kWrite), "WRITE");
+}
+
+// --- LockManager ----------------------------------------------------------
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, "k", LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, "k", LockMode::kShared).IsAborted());
+  EXPECT_TRUE(lm.TryAcquire(2, "k", LockMode::kExclusive).IsAborted());
+  EXPECT_FALSE(lm.Holds(2, "k", LockMode::kShared));
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kShared).ok());
+  // Upgrade with no other sharers succeeds.
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kExclusive));
+  // Exclusive holder may re-request shared.
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherSharer) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).IsAborted());
+}
+
+TEST(LockManagerTest, ReleaseFreesLocks) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).ok());
+  lm.Release(1);
+  EXPECT_FALSE(lm.Holds(1, "k", LockMode::kShared));
+  EXPECT_TRUE(lm.TryAcquire(2, "k", LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, AsyncGrantsImmediatelyWhenFree) {
+  LockManager lm;
+  Status result = Status::Internal("not called");
+  lm.AcquireAsync(1, "k", LockMode::kExclusive,
+                  [&](Status s) { result = s; });
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(LockManagerTest, AsyncQueuesAndGrantsOnRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).ok());
+  bool granted = false;
+  lm.AcquireAsync(2, "k", LockMode::kExclusive, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    granted = true;
+  });
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.num_waiters(), 1u);
+  lm.Release(1);
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(lm.Holds(2, "k", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, DeadlockCycleAbortsRequester) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, "a", LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.TryAcquire(2, "b", LockMode::kExclusive).ok());
+  // txn 2 waits for a (held by 1).
+  bool t2_outcome_seen = false;
+  lm.AcquireAsync(2, "a", LockMode::kExclusive,
+                  [&](Status s) { t2_outcome_seen = s.ok(); });
+  // txn 1 requesting b would close the cycle 1 -> 2 -> 1: victim.
+  Status t1_result = Status::OK();
+  lm.AcquireAsync(1, "b", LockMode::kExclusive,
+                  [&](Status s) { t1_result = s; });
+  EXPECT_TRUE(t1_result.IsAborted());
+  // Releasing the victim's locks lets txn 2 proceed.
+  lm.Release(1);
+  EXPECT_TRUE(t2_outcome_seen);
+}
+
+TEST(LockManagerTest, WaitsForEdgesReported) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).ok());
+  lm.AcquireAsync(2, "k", LockMode::kExclusive, [](Status) {});
+  auto edges = lm.WaitsForEdges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].first, 2u);
+  EXPECT_EQ(edges[0].second, 1u);
+}
+
+TEST(LockManagerTest, ReleaseCancelsWaiters) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).ok());
+  lm.AcquireAsync(2, "k", LockMode::kExclusive, [](Status) {});
+  lm.Release(2);  // Cancel txn 2's waiting request.
+  EXPECT_EQ(lm.num_waiters(), 0u);
+  lm.Release(1);
+  EXPECT_FALSE(lm.Holds(2, "k", LockMode::kShared));
+}
+
+TEST(LockManagerTest, FifoQueueOrder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, "k", LockMode::kExclusive).ok());
+  std::vector<int> grants;
+  lm.AcquireAsync(2, "k", LockMode::kExclusive,
+                  [&](Status) { grants.push_back(2); });
+  lm.AcquireAsync(3, "k", LockMode::kExclusive,
+                  [&](Status) { grants.push_back(3); });
+  lm.Release(1);
+  ASSERT_EQ(grants, (std::vector<int>{2}));  // 3 still queued behind 2.
+  lm.Release(2);
+  EXPECT_EQ(grants, (std::vector<int>{2, 3}));
+}
+
+// --- LocalTransaction -------------------------------------------------
+
+class LocalTransactionTest : public ::testing::Test {
+ protected:
+  LocalTransactionTest() : store_(&wal_) {}
+  WriteAheadLog wal_;
+  KvStore store_;
+  LockManager locks_;
+};
+
+TEST_F(LocalTransactionTest, ExecutePrepareCommit) {
+  LocalTransaction txn(1, &store_, &locks_);
+  std::vector<KvOp> ops = {
+      KvOp{1, KvOp::Kind::kPut, "x", "10"},
+      KvOp{1, KvOp::Kind::kPut, "y", "20"},
+  };
+  ASSERT_TRUE(txn.Execute(ops).ok());
+  EXPECT_TRUE(locks_.Holds(1, "x", LockMode::kExclusive));
+  ASSERT_TRUE(txn.Prepare().ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(store_.GetCommitted("x"), std::optional<std::string>("10"));
+  EXPECT_FALSE(locks_.Holds(1, "x", LockMode::kShared));
+}
+
+TEST_F(LocalTransactionTest, LockConflictAbortsExecution) {
+  // The unilateral-abort motivation: concurrency control can force a no
+  // vote.
+  ASSERT_TRUE(locks_.TryAcquire(99, "x", LockMode::kExclusive).ok());
+  LocalTransaction txn(1, &store_, &locks_);
+  Status s = txn.Execute({KvOp{1, KvOp::Kind::kPut, "x", "10"}});
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_FALSE(store_.IsActive(1));
+  EXPECT_FALSE(txn.executed());
+}
+
+TEST_F(LocalTransactionTest, ReadTakesSharedLock) {
+  LocalTransaction txn(1, &store_, &locks_);
+  ASSERT_TRUE(txn.Execute({KvOp{1, KvOp::Kind::kGet, "x", ""}}).ok());
+  EXPECT_TRUE(locks_.Holds(1, "x", LockMode::kShared));
+  EXPECT_FALSE(locks_.Holds(1, "x", LockMode::kExclusive));
+}
+
+TEST_F(LocalTransactionTest, PrepareWithoutExecuteFails) {
+  LocalTransaction txn(1, &store_, &locks_);
+  EXPECT_TRUE(txn.Prepare().IsFailedPrecondition());
+}
+
+TEST_F(LocalTransactionTest, AbortReleasesEverything) {
+  LocalTransaction txn(1, &store_, &locks_);
+  ASSERT_TRUE(txn.Execute({KvOp{1, KvOp::Kind::kPut, "x", "10"}}).ok());
+  ASSERT_TRUE(txn.Abort().ok());
+  EXPECT_FALSE(store_.IsActive(1));
+  EXPECT_FALSE(locks_.Holds(1, "x", LockMode::kShared));
+  EXPECT_FALSE(store_.GetCommitted("x").has_value());
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "protocols/engine.h"
+#include "protocols/protocols.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+namespace {
+
+/// Three-site central-site harness with hand-wired engines.
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : sim_(1), net_(&sim_, DelayModel{100, 0}), spec_(MakeTwoPhaseCentral()) {
+    for (SiteId s = 1; s <= 3; ++s) {
+      engines_[s] = std::make_unique<ProtocolEngine>(s, &spec_, 3, &net_);
+      net_.RegisterSite(s, [this, s](const Message& m) {
+        engines_[s]->OnMessage(m);
+      });
+    }
+  }
+
+  void SetSpec(ProtocolSpec spec) {
+    spec_ = std::move(spec);
+    for (SiteId s = 1; s <= 3; ++s) {
+      engines_[s] = std::make_unique<ProtocolEngine>(s, &spec_, 3, &net_);
+      net_.RegisterSite(s, [this, s](const Message& m) {
+        engines_[s]->OnMessage(m);
+      });
+    }
+  }
+
+  ProtocolEngine& E(SiteId s) { return *engines_[s]; }
+
+  Simulator sim_;
+  Network net_;
+  ProtocolSpec spec_;
+  std::map<SiteId, std::unique_ptr<ProtocolEngine>> engines_;
+};
+
+TEST_F(EngineTest, AllYesCommits) {
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  for (SiteId s = 1; s <= 3; ++s) {
+    EXPECT_EQ(E(s).OutcomeOf(1), Outcome::kCommitted) << "site " << s;
+  }
+}
+
+TEST_F(EngineTest, SlaveNoVoteAborts) {
+  EngineHooks hooks;
+  hooks.vote = [](TransactionId) { return false; };
+  E(3).set_hooks(std::move(hooks));
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  for (SiteId s = 1; s <= 3; ++s) {
+    EXPECT_EQ(E(s).OutcomeOf(1), Outcome::kAborted) << "site " << s;
+  }
+}
+
+TEST_F(EngineTest, CoordinatorSelfNoAbortsSpontaneously) {
+  EngineHooks hooks;
+  hooks.vote = [](TransactionId) { return false; };
+  E(1).set_hooks(std::move(hooks));
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  for (SiteId s = 1; s <= 3; ++s) {
+    EXPECT_EQ(E(s).OutcomeOf(1), Outcome::kAborted) << "site " << s;
+  }
+  EXPECT_EQ(E(1).VoteCast(1), std::optional<bool>(false));
+}
+
+TEST_F(EngineTest, StateProgressionIsObservable) {
+  std::vector<std::string> states;
+  EngineHooks hooks;
+  hooks.on_state_change = [&](TransactionId, const LocalState& s) {
+    states.push_back(s.name);
+  };
+  E(2).set_hooks(std::move(hooks));
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  EXPECT_EQ(states, (std::vector<std::string>{"w", "c"}));
+}
+
+TEST_F(EngineTest, VoteHookConsultedOncePerTransaction) {
+  int consultations = 0;
+  EngineHooks hooks;
+  hooks.vote = [&](TransactionId) {
+    ++consultations;
+    return true;
+  };
+  E(2).set_hooks(std::move(hooks));
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  EXPECT_EQ(consultations, 1);
+}
+
+TEST_F(EngineTest, OnVoteCastFiresBeforeDecision) {
+  std::vector<std::string> events;
+  EngineHooks hooks;
+  hooks.on_vote_cast = [&](TransactionId, bool yes) {
+    events.push_back(yes ? "vote-yes" : "vote-no");
+  };
+  hooks.on_decision = [&](TransactionId, Outcome o) {
+    events.push_back(ToString(o));
+  };
+  E(2).set_hooks(std::move(hooks));
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"vote-yes", "committed"}));
+}
+
+TEST_F(EngineTest, DecisionHookFiresExactlyOnce) {
+  int decisions = 0;
+  EngineHooks hooks;
+  hooks.on_decision = [&](TransactionId, Outcome) { ++decisions; };
+  E(3).set_hooks(std::move(hooks));
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  EXPECT_EQ(decisions, 1);
+}
+
+TEST_F(EngineTest, UnknownTransactionQueries) {
+  EXPECT_FALSE(E(2).HasTransaction(9));
+  EXPECT_FALSE(E(2).CurrentState(9).ok());
+  EXPECT_EQ(E(2).CurrentKind(9), StateKind::kInitial);
+  EXPECT_EQ(E(2).OutcomeOf(9), Outcome::kUndecided);
+  EXPECT_EQ(E(2).VoteCast(9), std::nullopt);
+}
+
+TEST_F(EngineTest, SendFilterTruncatesBroadcast) {
+  // Coordinator crashes mid-commit-broadcast: only the first commit copy
+  // leaves. One slave commits, the other stays in w.
+  EngineHooks hooks;
+  hooks.send_filter = [](TransactionId, const Message& m, size_t, size_t) {
+    static int commits_allowed = 1;
+    if (m.type != msg::kCommit) return true;
+    return commits_allowed-- > 0;
+  };
+  E(1).set_hooks(std::move(hooks));
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  int committed = 0;
+  int waiting = 0;
+  for (SiteId s = 2; s <= 3; ++s) {
+    if (E(s).OutcomeOf(1) == Outcome::kCommitted) ++committed;
+    if (E(s).CurrentKind(1) == StateKind::kWait) ++waiting;
+  }
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(waiting, 1);
+}
+
+TEST_F(EngineTest, FreezeStopsNormalProcessing) {
+  E(2).Freeze(1);
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  EXPECT_EQ(E(2).CurrentKind(1), StateKind::kInitial);
+  EXPECT_TRUE(E(2).IsFrozen(1));
+  // But forced directives still work.
+  EXPECT_TRUE(E(2).ForceOutcome(1, Outcome::kAborted).ok());
+  EXPECT_EQ(E(2).OutcomeOf(1), Outcome::kAborted);
+}
+
+TEST_F(EngineTest, ForceToKindJumpsWithoutMessages) {
+  uint64_t sent_before = net_.stats().messages_sent;
+  ASSERT_TRUE(E(2).ForceToKind(7, StateKind::kWait).ok());
+  EXPECT_EQ(E(2).CurrentKind(7), StateKind::kWait);
+  EXPECT_EQ(net_.stats().messages_sent, sent_before);
+}
+
+TEST_F(EngineTest, ForceToKindRejectsLeavingFinalState) {
+  ASSERT_TRUE(E(2).ForceOutcome(7, Outcome::kCommitted).ok());
+  EXPECT_TRUE(E(2).ForceToKind(7, StateKind::kWait).IsFailedPrecondition());
+  // Same-kind force is a no-op success.
+  EXPECT_TRUE(E(2).ForceToKind(7, StateKind::kCommit).ok());
+}
+
+TEST_F(EngineTest, ForceOutcomeConflictDetected) {
+  ASSERT_TRUE(E(2).ForceOutcome(7, Outcome::kCommitted).ok());
+  EXPECT_TRUE(E(2).ForceOutcome(7, Outcome::kCommitted).ok());  // Idempotent.
+  EXPECT_TRUE(
+      E(2).ForceOutcome(7, Outcome::kAborted).IsFailedPrecondition());
+  EXPECT_TRUE(
+      E(2).ForceOutcome(7, Outcome::kUndecided).IsInvalidArgument());
+}
+
+TEST_F(EngineTest, ForceToKindMissingStateIsNotFound) {
+  // 2PC has no buffer state.
+  EXPECT_TRUE(E(2).ForceToKind(7, StateKind::kBuffer).IsNotFound());
+}
+
+TEST_F(EngineTest, ClearDropsEverything) {
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  EXPECT_TRUE(E(1).HasTransaction(1));
+  E(1).Clear();
+  EXPECT_FALSE(E(1).HasTransaction(1));
+  EXPECT_TRUE(E(1).UndecidedTransactions().empty());
+}
+
+TEST_F(EngineTest, UndecidedTransactionsListsInFlight) {
+  ASSERT_TRUE(E(1).StartTransaction(5).ok());
+  // No sim run: the coordinator sits in w1 waiting for votes.
+  EXPECT_EQ(E(1).UndecidedTransactions(),
+            (std::vector<TransactionId>{5}));
+  sim_.Run();
+  EXPECT_TRUE(E(1).UndecidedTransactions().empty());
+}
+
+TEST_F(EngineTest, MultipleConcurrentTransactions) {
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  ASSERT_TRUE(E(1).StartTransaction(2).ok());
+  ASSERT_TRUE(E(1).StartTransaction(3).ok());
+  sim_.Run();
+  for (TransactionId t = 1; t <= 3; ++t) {
+    for (SiteId s = 1; s <= 3; ++s) {
+      EXPECT_EQ(E(s).OutcomeOf(t), Outcome::kCommitted);
+    }
+  }
+}
+
+TEST_F(EngineTest, DecentralizedSelfMessagesWork) {
+  SetSpec(MakeThreePhaseDecentralized());
+  for (SiteId s = 1; s <= 3; ++s) {
+    ASSERT_TRUE(E(s).StartTransaction(1).ok());
+  }
+  sim_.Run();
+  for (SiteId s = 1; s <= 3; ++s) {
+    EXPECT_EQ(E(s).OutcomeOf(1), Outcome::kCommitted) << "site " << s;
+  }
+}
+
+TEST_F(EngineTest, DecentralizedAnyNoAborts) {
+  SetSpec(MakeTwoPhaseDecentralized());
+  EngineHooks hooks;
+  hooks.vote = [](TransactionId) { return false; };
+  E(2).set_hooks(std::move(hooks));
+  for (SiteId s = 1; s <= 3; ++s) {
+    ASSERT_TRUE(E(s).StartTransaction(1).ok());
+  }
+  sim_.Run();
+  for (SiteId s = 1; s <= 3; ++s) {
+    EXPECT_EQ(E(s).OutcomeOf(1), Outcome::kAborted) << "site " << s;
+  }
+}
+
+TEST_F(EngineTest, StartAfterDecisionFails) {
+  ASSERT_TRUE(E(1).StartTransaction(1).ok());
+  sim_.Run();
+  EXPECT_TRUE(E(1).StartTransaction(1).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "analysis/failure_graph.h"
+#include "analysis/recovery_analysis.h"
+#include "analysis/state_graph.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+TEST(FailureGraphTest, RejectsSingleSite) {
+  EXPECT_FALSE(
+      FailureAugmentedGraph::Build(MakeTwoPhaseCentral(), 1).ok());
+}
+
+TEST(FailureGraphTest, FailuresInflateTheGraph) {
+  // "Failures cause an exponential growth in the number of reachable
+  // global states."
+  auto spec = MakeTwoPhaseCentral();
+  auto failure_free = ReachableStateGraph::Build(spec, 3);
+  ASSERT_TRUE(failure_free.ok());
+
+  FailureGraphOptions one;
+  one.max_failures = 1;
+  auto f1 = FailureAugmentedGraph::Build(spec, 3, one);
+  ASSERT_TRUE(f1.ok());
+
+  FailureGraphOptions two;
+  two.max_failures = 2;
+  auto f2 = FailureAugmentedGraph::Build(spec, 3, two);
+  ASSERT_TRUE(f2.ok());
+
+  EXPECT_GT(f1->num_nodes(), 2 * failure_free->num_nodes());
+  EXPECT_GT(f2->num_nodes(), 2 * f1->num_nodes());
+}
+
+TEST(FailureGraphTest, NoProtocolReachesInconsistencyUnderCrashes) {
+  // Atomicity must survive every crash timing the model expresses,
+  // including partial-send crashes, for every protocol.
+  for (const std::string& name : BuiltinProtocolNames()) {
+    FailureGraphOptions options;
+    options.max_failures = 2;
+    auto graph = FailureAugmentedGraph::Build(*MakeProtocol(name), 3,
+                                              options);
+    ASSERT_TRUE(graph.ok()) << name;
+    ASSERT_TRUE(graph->complete()) << name;
+    EXPECT_TRUE(graph->InconsistentNodes().empty()) << name;
+  }
+}
+
+TEST(FailureGraphTest, MaxFailuresIsClampedToNMinusOne) {
+  FailureGraphOptions options;
+  options.max_failures = 99;
+  auto graph = FailureAugmentedGraph::Build(MakeTwoPhaseCentral(), 2,
+                                            options);
+  ASSERT_TRUE(graph.ok());
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    EXPECT_LE(graph->node(i).NumDown(), 1u);
+  }
+}
+
+TEST(FailureGraphTest, CrashDropsPendingMessagesToTheVictim) {
+  auto graph = FailureAugmentedGraph::Build(MakeTwoPhaseCentral(), 2);
+  ASSERT_TRUE(graph.ok());
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    const FailureGlobalState& state = graph->node(i);
+    for (const auto& [m, count] : state.base.messages) {
+      if (m.to != kNoSite) {
+        EXPECT_FALSE(state.down[m.to - 1])
+            << "message addressed to a crashed site survived";
+      }
+    }
+  }
+}
+
+TEST(FailureGraphTest, PartialSendCrashLeavesStateBehind) {
+  // There must exist a node where the coordinator is down, still in w1,
+  // yet a slave has consumed a prepare that escaped the partial broadcast.
+  auto spec = MakeThreePhaseCentral();
+  FailureGraphOptions options;
+  options.max_failures = 1;
+  options.partial_sends = true;
+  auto graph = FailureAugmentedGraph::Build(spec, 3, options);
+  ASSERT_TRUE(graph.ok());
+  StateIndex w1 = spec.role(0).FindState("w1");
+  StateIndex slave_p = spec.role(1).FindState("p");
+  bool found = false;
+  for (size_t i = 0; i < graph->num_nodes() && !found; ++i) {
+    const FailureGlobalState& state = graph->node(i);
+    if (!state.down[0]) continue;
+    if (state.base.local[0] != w1) continue;
+    for (size_t j = 1; j < 3; ++j) {
+      if (state.base.local[j] == slave_p) found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "partial-send crash semantics missing: no leaked-prepare state";
+}
+
+TEST(FailureGraphTest, WithoutPartialSendsNoSuchState) {
+  auto spec = MakeThreePhaseCentral();
+  FailureGraphOptions options;
+  options.max_failures = 1;
+  options.partial_sends = false;
+  auto graph = FailureAugmentedGraph::Build(spec, 3, options);
+  ASSERT_TRUE(graph.ok());
+  StateIndex w1 = spec.role(0).FindState("w1");
+  StateIndex slave_p = spec.role(1).FindState("p");
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    const FailureGlobalState& state = graph->node(i);
+    if (!state.down[0] || state.base.local[0] != w1) continue;
+    for (size_t j = 1; j < 3; ++j) {
+      EXPECT_NE(state.base.local[j], slave_p)
+          << "clean crashes cannot leak a prefix of the broadcast";
+    }
+  }
+}
+
+// --- Independent-recovery classification ------------------------------
+
+class RecoveryClassificationTest : public ::testing::Test {
+ protected:
+  static const RecoveryClassification& For(const std::string& protocol) {
+    static std::map<std::string, RecoveryClassification> cache;
+    auto it = cache.find(protocol);
+    if (it == cache.end()) {
+      auto result = ClassifyIndependentRecovery(*MakeProtocol(protocol), 3);
+      EXPECT_TRUE(result.ok());
+      it = cache.emplace(protocol, std::move(*result)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(RecoveryClassificationTest, UnvotedStatesIndependentlyAbort) {
+  // "When a failure occurs before the commit point is reached, the site
+  // will abort the transaction immediately upon recovering."
+  for (const char* protocol : {"2PC-central", "3PC-central"}) {
+    const auto& cls = For(protocol);
+    auto spec = MakeProtocol(protocol);
+    StateIndex q = spec->role(1).FindState("q");
+    const auto* outcomes = cls.Find(1, q, Vote::kUnset);
+    ASSERT_NE(outcomes, nullptr) << protocol;
+    EXPECT_TRUE(outcomes->independent()) << protocol;
+    EXPECT_EQ(outcomes->independent_outcome(), Outcome::kAborted);
+  }
+}
+
+TEST_F(RecoveryClassificationTest, UncertaintyWindowMustAsk) {
+  // A participant that crashed after voting yes (state w) is in doubt in
+  // both 2PC and 3PC: the survivors may have committed or aborted.
+  for (const char* protocol : {"2PC-central", "3PC-central"}) {
+    const auto& cls = For(protocol);
+    auto spec = MakeProtocol(protocol);
+    StateIndex w = spec->role(1).FindState("w");
+    const auto* outcomes = cls.Find(1, w, Vote::kYes);
+    ASSERT_NE(outcomes, nullptr) << protocol;
+    EXPECT_FALSE(outcomes->independent()) << protocol;
+  }
+}
+
+TEST_F(RecoveryClassificationTest, FinalStatesSelfRecover) {
+  const auto& cls = For("3PC-central");
+  auto spec = MakeProtocol("3PC-central");
+  StateIndex c = spec->role(1).FindState("c");
+  const auto* outcomes = cls.Find(1, c, Vote::kYes);
+  ASSERT_NE(outcomes, nullptr);
+  EXPECT_TRUE(outcomes->independent());
+  EXPECT_EQ(outcomes->independent_outcome(), Outcome::kCommitted);
+}
+
+TEST_F(RecoveryClassificationTest, TwoPcCoordinatorCommitPointUncertain) {
+  // The 2PC coordinator that crashed right after deciding commit (c1,
+  // partial broadcast) may leave the survivors blocked: its recovery is
+  // not "independent" in the strict sense — it must inform the others.
+  const auto& cls = For("2PC-central");
+  auto spec = MakeProtocol("2PC-central");
+  StateIndex c1 = spec->role(0).FindState("c1");
+  const auto* outcomes = cls.Find(0, c1, Vote::kYes);
+  ASSERT_NE(outcomes, nullptr);
+  EXPECT_TRUE(outcomes->may_block);
+  EXPECT_FALSE(outcomes->independent());
+}
+
+TEST_F(RecoveryClassificationTest, ThreePcSurvivorsNeverBlock) {
+  const auto& cls = For("3PC-central");
+  for (const auto& [key, outcomes] : cls.table()) {
+    EXPECT_FALSE(outcomes.may_block)
+        << "3PC survivors blocked despite the nonblocking theorem";
+  }
+}
+
+TEST_F(RecoveryClassificationTest, TableRendersReadably) {
+  const auto& cls = For("3PC-central");
+  auto spec = MakeProtocol("3PC-central");
+  std::string table = cls.ToString(*spec);
+  EXPECT_NE(table.find("must ask"), std::string::npos);
+  EXPECT_NE(table.find("aborted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "fsa/automaton.h"
+#include "fsa/dot_export.h"
+#include "fsa/protocol_spec.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+Automaton SimpleChain() {
+  // q -> w -> {a, c}
+  Automaton a;
+  StateIndex q = a.AddState("q", StateKind::kInitial);
+  StateIndex w = a.AddState("w", StateKind::kWait);
+  StateIndex ab = a.AddState("a", StateKind::kAbort);
+  StateIndex c = a.AddState("c", StateKind::kCommit);
+  a.AddTransition(Transition{
+      q, w, Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                    false},
+      {}, false, false});
+  a.AddTransition(Transition{
+      w, c, Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kAllPeers,
+                    false},
+      {}, false, false});
+  a.AddTransition(Transition{
+      w, ab, Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers,
+                     false},
+      {}, false, false});
+  return a;
+}
+
+TEST(AutomatonTest, ValidChainPasses) {
+  EXPECT_TRUE(SimpleChain().Validate().ok());
+}
+
+TEST(AutomatonTest, InitialAndFindState) {
+  Automaton a = SimpleChain();
+  EXPECT_EQ(a.initial_state(), a.FindState("q"));
+  EXPECT_EQ(a.FindState("nope"), kNoState);
+  EXPECT_EQ(a.state(a.FindState("w")).kind, StateKind::kWait);
+}
+
+TEST(AutomatonTest, RejectsMissingInitialState) {
+  Automaton a;
+  a.AddState("a", StateKind::kAbort);
+  a.AddState("c", StateKind::kCommit);
+  EXPECT_FALSE(a.Validate().ok());
+}
+
+TEST(AutomatonTest, RejectsTwoInitialStates) {
+  Automaton a = SimpleChain();
+  a.AddState("q2", StateKind::kInitial);
+  EXPECT_FALSE(a.Validate().ok());
+}
+
+TEST(AutomatonTest, RejectsMissingCommitOrAbort) {
+  Automaton a;
+  StateIndex q = a.AddState("q", StateKind::kInitial);
+  StateIndex c = a.AddState("c", StateKind::kCommit);
+  a.AddTransition(Transition{
+      q, c, Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                    false},
+      {}, false, false});
+  Status s = a.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("partitioned"), std::string::npos);
+}
+
+TEST(AutomatonTest, RejectsOutgoingFromFinalState) {
+  // "Commit and abort are irreversible."
+  Automaton a = SimpleChain();
+  a.AddTransition(Transition{
+      a.FindState("c"), a.FindState("a"),
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers, false},
+      {}, false, false});
+  Status s = a.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("irreversible"), std::string::npos);
+}
+
+TEST(AutomatonTest, RejectsCycles) {
+  Automaton a = SimpleChain();
+  a.AddTransition(Transition{
+      a.FindState("w"), a.FindState("q"),
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers, false},
+      {}, false, false});
+  EXPECT_FALSE(a.IsAcyclic());
+  EXPECT_FALSE(a.Validate().ok());
+}
+
+TEST(AutomatonTest, RejectsUnreachableStates) {
+  Automaton a = SimpleChain();
+  a.AddState("island", StateKind::kWait);
+  Status s = a.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unreachable"), std::string::npos);
+}
+
+TEST(AutomatonTest, AdjacencyIsUndirected) {
+  Automaton a = SimpleChain();
+  StateIndex q = a.FindState("q");
+  StateIndex w = a.FindState("w");
+  StateIndex c = a.FindState("c");
+  EXPECT_TRUE(a.Adjacent(q, w));
+  EXPECT_TRUE(a.Adjacent(w, q));
+  EXPECT_TRUE(a.Adjacent(w, c));
+  EXPECT_FALSE(a.Adjacent(q, c));
+}
+
+TEST(AutomatonTest, NeighborsExcludeSelf) {
+  Automaton a = SimpleChain();
+  auto n = a.Neighbors(a.FindState("w"));
+  EXPECT_EQ(n.size(), 3u);  // q, a, c.
+}
+
+TEST(AutomatonTest, LongestPathLength) {
+  EXPECT_EQ(SimpleChain().LongestPathLength(), 2);
+  EXPECT_EQ(MakeCanonicalBuffered().LongestPathLength(), 3);
+}
+
+TEST(AutomatonTest, CanVote) {
+  EXPECT_FALSE(SimpleChain().CanVote());
+  EXPECT_TRUE(MakeCanonicalTwoPhase().CanVote());
+}
+
+TEST(AutomatonTest, TransitionsFromFiltersCorrectly) {
+  Automaton a = SimpleChain();
+  EXPECT_EQ(a.TransitionsFrom(a.FindState("w")).size(), 2u);
+  EXPECT_EQ(a.TransitionsFrom(a.FindState("c")).size(), 0u);
+}
+
+TEST(IsomorphismTest, IdenticalAutomataMatch) {
+  EXPECT_TRUE(AutomataIsomorphic(SimpleChain(), SimpleChain()));
+  EXPECT_TRUE(AutomataIsomorphic(MakeCanonicalTwoPhase(),
+                                 MakeCanonicalTwoPhase()));
+}
+
+TEST(IsomorphismTest, RenamedStatesStillMatch) {
+  Automaton a = SimpleChain();
+  // Same structure, different names, different insertion order of states
+  // with distinct kinds.
+  Automaton b;
+  StateIndex c = b.AddState("C", StateKind::kCommit);
+  StateIndex ab = b.AddState("A", StateKind::kAbort);
+  StateIndex q = b.AddState("Q", StateKind::kInitial);
+  StateIndex w = b.AddState("W", StateKind::kWait);
+  b.AddTransition(Transition{
+      q, w, Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                    false},
+      {}, false, false});
+  b.AddTransition(Transition{
+      w, c, Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kAllPeers,
+                    false},
+      {}, false, false});
+  b.AddTransition(Transition{
+      w, ab, Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers,
+                     false},
+      {}, false, false});
+  EXPECT_TRUE(AutomataIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, DifferentStructureRejected) {
+  EXPECT_FALSE(
+      AutomataIsomorphic(MakeCanonicalTwoPhase(), MakeCanonicalBuffered()));
+}
+
+TEST(IsomorphismTest, DifferentTriggersRejected) {
+  Automaton a = SimpleChain();
+  Automaton b = SimpleChain();
+  // Same shape but a different message type on one transition.
+  Automaton c;
+  StateIndex q = c.AddState("q", StateKind::kInitial);
+  StateIndex w = c.AddState("w", StateKind::kWait);
+  StateIndex ab = c.AddState("a", StateKind::kAbort);
+  StateIndex cc = c.AddState("c", StateKind::kCommit);
+  c.AddTransition(Transition{
+      q, w, Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                    false},
+      {}, false, false});
+  c.AddTransition(Transition{
+      w, cc, Trigger{TriggerKind::kAllFrom, msg::kAck, Group::kAllPeers,
+                     false},
+      {}, false, false});
+  c.AddTransition(Transition{
+      w, ab, Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers,
+                     false},
+      {}, false, false});
+  EXPECT_TRUE(AutomataIsomorphic(a, b));
+  EXPECT_FALSE(AutomataIsomorphic(a, c));
+}
+
+TEST(IsomorphismTest, VoteFlagsMatter) {
+  Automaton a = MakeCanonicalTwoPhase();
+  Automaton b = MakeCanonicalTwoPhase();
+  // Flip a vote flag in b via rebuild: easiest is to compare against the
+  // same automaton with the yes transition's votes_yes stripped.
+  Automaton c;
+  StateIndex q = c.AddState("q", StateKind::kInitial);
+  StateIndex w = c.AddState("w", StateKind::kWait);
+  StateIndex ab = c.AddState("a", StateKind::kAbort);
+  StateIndex cc = c.AddState("c", StateKind::kCommit);
+  c.AddTransition(Transition{
+      q, w, Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                    false},
+      {SendSpec{msg::kYes, Group::kAllPeers}}, /*votes_yes=*/false, false});
+  c.AddTransition(Transition{
+      q, ab, Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone,
+                     false},
+      {SendSpec{msg::kNo, Group::kAllPeers}}, false, true});
+  c.AddTransition(Transition{
+      w, cc, Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kAllPeers,
+                     false},
+      {}, false, false});
+  c.AddTransition(Transition{
+      w, ab, Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kAllPeers,
+                     false},
+      {}, false, false});
+  EXPECT_TRUE(AutomataIsomorphic(a, b));
+  EXPECT_FALSE(AutomataIsomorphic(a, c));
+}
+
+TEST(DotExportTest, ContainsAllStatesAndLabels) {
+  Automaton a = MakeCanonicalBuffered();
+  std::string dot = ToDot(a, "canonical");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"q\""), std::string::npos);
+  EXPECT_NE(dot.find("\"p\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);   // Commit.
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);  // Abort.
+  EXPECT_NE(dot.find("lightgrey"), std::string::npos);      // Buffer.
+}
+
+TEST(DotExportTest, SpecExportClustersRoles) {
+  std::string dot = ToDot(MakeTwoPhaseCentral());
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("coordinator"), std::string::npos);
+  EXPECT_NE(dot.find("slave"), std::string::npos);
+}
+
+TEST(DotExportTest, TransitionTableListsAllStates) {
+  std::string table = TransitionTable(MakeCanonicalTwoPhase());
+  EXPECT_NE(table.find("(final)"), std::string::npos);
+  EXPECT_NE(table.find("initial"), std::string::npos);
+  EXPECT_NE(table.find("->"), std::string::npos);
+}
+
+TEST(TransitionTest, LabelFormats) {
+  Transition t;
+  t.trigger = Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kSlaves,
+                      false};
+  t.sends = {SendSpec{msg::kCommit, Group::kSlaves}};
+  EXPECT_EQ(t.Label(), "yes[all slaves] / commit>slaves");
+
+  Transition u;
+  u.trigger = Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kSlaves, true};
+  EXPECT_EQ(u.Label(), "(self-no)|no[any slaves] / -");
+}
+
+}  // namespace
+}  // namespace nbcp

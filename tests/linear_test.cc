@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "analysis/nonblocking.h"
+#include "analysis/state_graph.h"
+#include "analysis/synchronicity.h"
+#include "analysis/termination_validation.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+TEST(LinearSpecTest, ValidatesWithThreeRoles) {
+  ProtocolSpec spec = MakeLinearTwoPhase();
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_EQ(spec.num_roles(), 3u);
+  EXPECT_EQ(spec.paradigm(), Paradigm::kLinear);
+  EXPECT_EQ(spec.role_name(0), "head");
+  EXPECT_EQ(spec.role_name(2), "tail");
+}
+
+TEST(LinearSpecTest, ChainGroupResolution) {
+  ProtocolSpec spec = MakeLinearTwoPhase();
+  EXPECT_EQ(spec.ResolveGroup(Group::kNextPeer, 2, 4),
+            (std::vector<SiteId>{3}));
+  EXPECT_EQ(spec.ResolveGroup(Group::kPrevPeer, 2, 4),
+            (std::vector<SiteId>{1}));
+  EXPECT_TRUE(spec.ResolveGroup(Group::kNextPeer, 4, 4).empty());
+  EXPECT_TRUE(spec.ResolveGroup(Group::kPrevPeer, 1, 4).empty());
+}
+
+TEST(LinearSpecTest, IsBlockingForAllPopulations) {
+  for (size_t n : {2, 3, 4}) {
+    auto report = CheckNonblocking(MakeLinearTwoPhase(), n);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->nonblocking) << "n=" << n;
+  }
+}
+
+TEST(LinearSpecTest, ModelIsConsistentAndDeadlockFree) {
+  for (size_t n : {2, 3, 4, 5}) {
+    auto graph = ReachableStateGraph::Build(MakeLinearTwoPhase(), n);
+    ASSERT_TRUE(graph.ok());
+    EXPECT_TRUE(graph->InconsistentNodes().empty()) << "n=" << n;
+    EXPECT_TRUE(graph->DeadlockedNodes().empty()) << "n=" << n;
+  }
+}
+
+TEST(LinearSpecTest, TerminationRuleNeverContradicts) {
+  auto report = ValidateTerminationRule(MakeLinearTwoPhase(), 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent());
+  EXPECT_GT(report->blocked, 0u) << "linear 2PC must block somewhere";
+}
+
+TEST(LinearRuntimeTest, CommitUsesTwoMessagesPerLink) {
+  for (size_t n : {2, 4, 8}) {
+    SystemConfig config;
+    config.protocol = "L2PC-linear";
+    config.num_sites = n;
+    config.seed = 3;
+    config.delay = DelayModel{100, 0};
+    auto system = CommitSystem::Create(config);
+    ASSERT_TRUE(system.ok());
+    TransactionId txn = (*system)->Begin();
+    TxnResult result = (*system)->RunToCompletion(txn);
+    EXPECT_EQ(result.outcome, Outcome::kCommitted) << "n=" << n;
+    EXPECT_EQ(result.messages, 2 * (n - 1)) << "n=" << n;
+    // Latency is the round trip along the whole chain.
+    EXPECT_EQ(result.latency(), 2 * (n - 1) * 100) << "n=" << n;
+  }
+}
+
+TEST(LinearRuntimeTest, AnySiteNoVoteAbortsEveryone) {
+  for (SiteId no_voter : {1, 3, 5}) {
+    SystemConfig config;
+    config.protocol = "L2PC-linear";
+    config.num_sites = 5;
+    config.seed = 3;
+    auto system = CommitSystem::Create(config);
+    ASSERT_TRUE(system.ok());
+    TransactionId txn = (*system)->Begin();
+    (*system)->SetVote(txn, no_voter, false);
+    TxnResult result = (*system)->RunToCompletion(txn);
+    EXPECT_EQ(result.outcome, Outcome::kAborted) << "no-voter " << no_voter;
+    EXPECT_TRUE(result.consistent);
+    EXPECT_FALSE(result.blocked);
+    EXPECT_EQ(result.decided_sites, 5u) << "no-voter " << no_voter;
+  }
+}
+
+TEST(LinearRuntimeTest, MiddleCrashTerminatesConsistently) {
+  SystemConfig config;
+  config.protocol = "L2PC-linear";
+  config.num_sites = 5;
+  config.seed = 3;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  TransactionId txn = (*system)->Begin();
+  (*system)->injector().ScheduleCrash(3, 250);
+  TxnResult result = (*system)->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent) << result.ToString();
+  // Survivors must agree among themselves.
+  Outcome survivor_outcome = result.site_outcomes.at(1);
+  for (SiteId s : {2, 4, 5}) {
+    if (result.site_outcomes.at(s) != Outcome::kUndecided) {
+      EXPECT_EQ(result.site_outcomes.at(s), survivor_outcome);
+    }
+  }
+}
+
+TEST(LinearRuntimeTest, TailCrashBeforeDecisionBlocksOrAborts) {
+  // The tail is the single commit point; killing it mid-chain leaves
+  // upstream sites uncertain. Termination decides from survivor states:
+  // nobody is committable, so abort is chosen — consistent.
+  SystemConfig config;
+  config.protocol = "L2PC-linear";
+  config.num_sites = 4;
+  config.seed = 3;
+  config.delay = DelayModel{100, 0};
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  TransactionId txn = (*system)->Begin();
+  (*system)->injector().CrashDuringBroadcast(4, txn, msg::kCommit, 0);
+  TxnResult result = (*system)->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent) << result.ToString();
+  // The tail decided commit durably before crashing, the survivors in w
+  // cannot know that: the classic uncertainty. Either all survivors are
+  // blocked, or cooperative knowledge resolved them consistently.
+  for (SiteId s : {1, 2, 3}) {
+    if (result.site_outcomes.at(s) != Outcome::kUndecided) {
+      EXPECT_EQ(result.site_outcomes.at(s), Outcome::kCommitted);
+    }
+  }
+}
+
+TEST(LinearRuntimeTest, TwoSiteChainDegeneratesToHeadAndTail) {
+  SystemConfig config;
+  config.protocol = "L2PC-linear";
+  config.num_sites = 2;
+  config.seed = 3;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  TransactionId txn = (*system)->Begin();
+  TxnResult result = (*system)->RunToCompletion(txn);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  EXPECT_EQ(result.messages, 2u);
+}
+
+}  // namespace
+}  // namespace nbcp

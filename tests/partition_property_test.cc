@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/transaction_manager.h"
+#include "nbcp.h"  // Also exercises the umbrella header.
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+/// Randomized partition sweep: random crash point for the coordinator,
+/// random partition of the survivors at a random time, optional heal.
+/// Q3PC must stay consistent in every scenario — the quorum safety
+/// property under arbitrary (single) partitions.
+class PartitionSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionSweepTest, QuorumThreePcAlwaysConsistent) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 104729);
+
+  SystemConfig config;
+  config.protocol = "Q3PC-central";
+  config.num_sites = 5;
+  config.seed = seed;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  CommitSystem& s = **system;
+
+  TransactionId txn = s.Begin();
+  // Coordinator crashes after a random prefix of its prepare broadcast.
+  s.injector().CrashDuringBroadcast(1, txn, msg::kPrepare,
+                                    rng.Uniform(0, 4));
+  (void)s.Launch(txn);
+
+  // Random partition of the four survivors at a random time.
+  s.simulator().RunUntil(rng.Uniform(100, 900));
+  std::vector<SiteId> survivors{2, 3, 4, 5};
+  std::shuffle(survivors.begin(), survivors.end(), rng.engine());
+  size_t split = 1 + rng.Uniform(0, 2);  // 1..3 sites on side A.
+  std::vector<SiteId> side_a(survivors.begin(), survivors.begin() + split);
+  std::vector<SiteId> side_b(survivors.begin() + split, survivors.end());
+  s.injector().Partition(side_a, side_b);
+
+  s.simulator().RunUntil(2'000'000);
+  TxnResult mid = s.Summarize(txn);
+  EXPECT_TRUE(mid.consistent)
+      << "seed=" << seed << " partitioned: " << mid.ToString();
+
+  bool heal = rng.Bernoulli(0.7);
+  if (heal) {
+    s.injector().HealPartition(side_a, side_b);
+    s.simulator().Run();
+    TxnResult healed = s.Summarize(txn);
+    EXPECT_TRUE(healed.consistent)
+        << "seed=" << seed << " healed: " << healed.ToString();
+    // After a heal, the four survivors hold a quorum: nobody stays
+    // blocked.
+    EXPECT_FALSE(healed.blocked)
+        << "seed=" << seed << " healed: " << healed.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweepTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace nbcp

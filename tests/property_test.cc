@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "analysis/buffer_synthesis.h"
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "common/rng.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property sweep 1: atomicity under randomized crash schedules.
+//
+// For every protocol, population and seed, crash up to n-1 random sites at
+// random times (some recover later). Whatever happens, no run may ever
+// produce a mixed commit/abort outcome. Nonblocking protocols additionally
+// must never leave an operational site undecided.
+// ---------------------------------------------------------------------
+
+using SweepParam = std::tuple<std::string, size_t, uint64_t>;
+
+class CrashSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CrashSweepTest, AtomicityHolds) {
+  const auto& [protocol, n, seed] = GetParam();
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  CommitSystem& s = **system;
+
+  Rng scenario_rng(seed * 7919 + n);
+  TransactionId txn = s.Begin();
+
+  // Pick 1..n-1 distinct victims with random crash times in the protocol
+  // window; half of them recover later.
+  size_t crashes = 1 + scenario_rng.Uniform(0, n - 2);
+  std::vector<SiteId> sites;
+  for (SiteId site = 1; site <= n; ++site) sites.push_back(site);
+  std::shuffle(sites.begin(), sites.end(), scenario_rng.engine());
+  for (size_t i = 0; i < crashes; ++i) {
+    SimTime when = scenario_rng.Uniform(0, 1200);
+    s.injector().ScheduleCrash(sites[i], when);
+    if (scenario_rng.Bernoulli(0.5)) {
+      s.injector().ScheduleRecovery(sites[i],
+                                    2'000'000 + i * 500'000);
+    }
+  }
+  if (scenario_rng.Bernoulli(0.3)) s.SetVote(txn, sites.back(), false);
+
+  TxnResult result = s.RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent)
+      << protocol << " n=" << n << " seed=" << seed << "\n"
+      << result.ToString();
+
+  if (protocol == "Q3PC-central") {
+    // Quorum termination is nonblocking only while a quorum is reachable:
+    // with a majority of sites operational at the end, nobody may remain
+    // blocked; with a minority, blocking is the designed behaviour.
+    size_t up = 0;
+    for (SiteId site = 1; site <= n; ++site) {
+      if (s.network().IsSiteUp(site)) ++up;
+    }
+    if (up >= n / 2 + 1) {
+      EXPECT_FALSE(result.blocked)
+          << protocol << " blocked with a quorum up; seed=" << seed << "\n"
+          << result.ToString();
+    }
+  } else if (protocol.find("3PC") != std::string::npos) {
+    EXPECT_FALSE(result.blocked)
+        << protocol << " blocked despite being nonblocking; seed=" << seed
+        << "\n"
+        << result.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CrashSweepTest,
+    ::testing::Combine(
+        ::testing::Values("2PC-central", "3PC-central", "2PC-decentralized",
+                          "3PC-decentralized", "Q3PC-central", "L2PC-linear"),
+        ::testing::Values<size_t>(3, 5),
+        ::testing::Values<uint64_t>(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_n" + std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Property sweep 2: the formal model agrees with itself across populations.
+// Committability and CS-commit/abort flags per role state must not depend
+// on the analyzed population size (this justifies the runtime's
+// representative-site mapping).
+// ---------------------------------------------------------------------
+
+class StabilityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StabilityTest, ClassificationStableAcrossPopulations) {
+  auto spec = MakeProtocol(GetParam());
+  ASSERT_TRUE(spec.ok());
+
+  struct Classification {
+    bool committable;
+    bool with_commit;
+    bool with_abort;
+  };
+  auto classify = [&](size_t n) {
+    std::map<std::pair<RoleIndex, StateIndex>, Classification> out;
+    auto graph = ReachableStateGraph::Build(*spec, n);
+    EXPECT_TRUE(graph.ok());
+    auto analysis = ConcurrencyAnalysis::Compute(*graph);
+    for (SiteId site = 1; site <= n; ++site) {
+      RoleIndex role = spec->RoleForSite(site, n);
+      const Automaton& a = spec->role(role);
+      for (size_t s = 0; s < a.num_states(); ++s) {
+        auto state = static_cast<StateIndex>(s);
+        if (!analysis.IsOccupied(site, state)) continue;
+        out[{role, state}] = Classification{
+            analysis.IsCommittable(site, state),
+            analysis.ConcurrentWithCommit(site, state),
+            analysis.ConcurrentWithAbort(site, state)};
+      }
+    }
+    return out;
+  };
+
+  auto base = classify(2);
+  for (size_t n : {3, 4}) {
+    auto other = classify(n);
+    for (const auto& [key, cls] : base) {
+      auto it = other.find(key);
+      ASSERT_NE(it, other.end());
+      EXPECT_EQ(cls.committable, it->second.committable)
+          << GetParam() << " role=" << key.first << " state=" << key.second
+          << " n=" << n;
+      EXPECT_EQ(cls.with_commit, it->second.with_commit)
+          << GetParam() << " role=" << key.first << " state=" << key.second
+          << " n=" << n;
+      EXPECT_EQ(cls.with_abort, it->second.with_abort)
+          << GetParam() << " role=" << key.first << " state=" << key.second
+          << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, StabilityTest,
+                         ::testing::Values("1PC-central", "2PC-central",
+                                           "2PC-decentralized", "3PC-central",
+                                           "3PC-decentralized", "Q3PC-central",
+                                           "L2PC-linear"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------
+// Property sweep 3: determinism — identical configuration implies
+// identical results, message counts and timings.
+// ---------------------------------------------------------------------
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  for (int round = 0; round < 2; ++round) {
+    TxnResult results[2];
+    for (int i = 0; i < 2; ++i) {
+      SystemConfig config;
+      config.protocol = "3PC-central";
+      config.num_sites = 5;
+      config.seed = 1234;
+      auto system = CommitSystem::Create(config);
+      ASSERT_TRUE(system.ok());
+      TransactionId txn = (*system)->Begin();
+      (*system)->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+      results[i] = (*system)->RunToCompletion(txn);
+    }
+    EXPECT_EQ(results[0].outcome, results[1].outcome);
+    EXPECT_EQ(results[0].messages, results[1].messages);
+    EXPECT_EQ(results[0].end_time, results[1].end_time);
+    EXPECT_EQ(results[0].site_outcomes, results[1].site_outcomes);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property sweep 4: the state-graph semantics (exhaustive interleavings)
+// never reaches inconsistency for any protocol, including synthesized ones.
+// ---------------------------------------------------------------------
+
+TEST(ModelPropertyTest, NoProtocolReachesInconsistency) {
+  std::vector<ProtocolSpec> specs;
+  for (const std::string& name : BuiltinProtocolNames()) {
+    specs.push_back(*MakeProtocol(name));
+  }
+  specs.push_back(*SynthesizeNonblocking(MakeTwoPhaseCentral(), 3));
+  specs.push_back(*SynthesizeNonblocking(MakeTwoPhaseDecentralized(), 3));
+  specs.push_back(*SynthesizeNonblocking(MakeOnePhaseCommit(), 3));
+
+  for (const ProtocolSpec& spec : specs) {
+    for (size_t n : {2, 3}) {
+      auto graph = ReachableStateGraph::Build(spec, n);
+      ASSERT_TRUE(graph.ok()) << spec.name();
+      EXPECT_TRUE(graph->InconsistentNodes().empty())
+          << spec.name() << " n=" << n;
+      EXPECT_TRUE(graph->DeadlockedNodes().empty())
+          << spec.name() << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbcp

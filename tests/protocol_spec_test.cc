@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "fsa/protocol_spec.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+TEST(RegistryTest, AllBuiltinsConstructAndValidate) {
+  for (const std::string& name : BuiltinProtocolNames()) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ(spec->name(), name);
+    EXPECT_TRUE(spec->Validate().ok()) << name;
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  EXPECT_TRUE(MakeProtocol("4PC").status().IsNotFound());
+}
+
+TEST(ProtocolSpecTest, ParadigmsAndRoleCounts) {
+  EXPECT_EQ(MakeTwoPhaseCentral().paradigm(), Paradigm::kCentralSite);
+  EXPECT_EQ(MakeTwoPhaseCentral().num_roles(), 2u);
+  EXPECT_EQ(MakeTwoPhaseDecentralized().paradigm(), Paradigm::kDecentralized);
+  EXPECT_EQ(MakeTwoPhaseDecentralized().num_roles(), 1u);
+}
+
+TEST(ProtocolSpecTest, RoleForSite) {
+  ProtocolSpec central = MakeTwoPhaseCentral();
+  EXPECT_EQ(central.RoleForSite(1, 7), 0);
+  EXPECT_EQ(central.RoleForSite(2, 7), 1);
+  EXPECT_EQ(central.RoleForSite(7, 7), 1);
+  ProtocolSpec dec = MakeTwoPhaseDecentralized();
+  EXPECT_EQ(dec.RoleForSite(1, 7), 0);
+  EXPECT_EQ(dec.RoleForSite(7, 7), 0);
+  ProtocolSpec linear = MakeLinearTwoPhase();
+  EXPECT_EQ(linear.RoleForSite(1, 4), 0);
+  EXPECT_EQ(linear.RoleForSite(2, 4), 1);
+  EXPECT_EQ(linear.RoleForSite(3, 4), 1);
+  EXPECT_EQ(linear.RoleForSite(4, 4), 2);
+  EXPECT_EQ(linear.RoleForSite(2, 2), 2);  // Two sites: head and tail only.
+}
+
+TEST(ProtocolSpecTest, GroupResolution) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  EXPECT_EQ(spec.ResolveGroup(Group::kCoordinator, 3, 4),
+            (std::vector<SiteId>{1}));
+  EXPECT_EQ(spec.ResolveGroup(Group::kSlaves, 1, 4),
+            (std::vector<SiteId>{2, 3, 4}));
+  EXPECT_EQ(spec.ResolveGroup(Group::kAllPeers, 2, 3),
+            (std::vector<SiteId>{1, 2, 3}));
+  EXPECT_TRUE(spec.ResolveGroup(Group::kNone, 1, 4).empty());
+}
+
+TEST(ProtocolSpecTest, PhaseCounts) {
+  // "They have (at least) two phases" — and 1PC is the degenerate case the
+  // paper dismisses.
+  EXPECT_EQ(MakeOnePhaseCommit().NumPhases(), 1);
+  EXPECT_EQ(MakeTwoPhaseCentral().NumPhases(), 2);
+  EXPECT_EQ(MakeTwoPhaseDecentralized().NumPhases(), 2);
+  EXPECT_EQ(MakeThreePhaseCentral().NumPhases(), 3);
+  EXPECT_EQ(MakeThreePhaseDecentralized().NumPhases(), 3);
+}
+
+TEST(ProtocolSpecTest, ValidateRejectsWrongRoleCount) {
+  ProtocolSpec bad("bad", Paradigm::kCentralSite);
+  bad.AddRole("only-one", MakeCanonicalTwoPhase());
+  EXPECT_FALSE(bad.Validate().ok());
+
+  ProtocolSpec bad2("bad2", Paradigm::kDecentralized);
+  bad2.AddRole("peer", MakeCanonicalTwoPhase());
+  bad2.AddRole("extra", MakeCanonicalTwoPhase());
+  EXPECT_FALSE(bad2.Validate().ok());
+}
+
+TEST(ProtocolSpecTest, TwoPhaseCentralMatchesPaperFigure) {
+  // Coordinator: q1-w1-a1-c1 with xact broadcast, all-yes commit,
+  // any-no/self-no abort. Slave: q-w-a-c with vote branches.
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  const Automaton& coord = spec.role(0);
+  EXPECT_EQ(coord.num_states(), 4u);
+  EXPECT_EQ(coord.transitions().size(), 3u);
+  StateIndex w1 = coord.FindState("w1");
+  ASSERT_NE(w1, kNoState);
+  bool has_self_no = false;
+  for (const Transition& t : coord.transitions()) {
+    if (t.trigger.or_self_vote_no) has_self_no = true;
+  }
+  EXPECT_TRUE(has_self_no) << "coordinator must be able to vote (no_1)";
+
+  const Automaton& slave = spec.role(1);
+  EXPECT_EQ(slave.num_states(), 4u);
+  EXPECT_EQ(slave.transitions().size(), 4u);
+  EXPECT_TRUE(slave.CanVote());
+}
+
+TEST(ProtocolSpecTest, ThreePhaseAddsExactlyTheBufferState) {
+  ProtocolSpec two = MakeTwoPhaseCentral();
+  ProtocolSpec three = MakeThreePhaseCentral();
+  EXPECT_EQ(three.role(0).num_states(), two.role(0).num_states() + 1);
+  EXPECT_EQ(three.role(1).num_states(), two.role(1).num_states() + 1);
+  EXPECT_NE(three.role(0).FindState("p1"), kNoState);
+  EXPECT_NE(three.role(1).FindState("p"), kNoState);
+  EXPECT_EQ(three.role(0).state(three.role(0).FindState("p1")).kind,
+            StateKind::kBuffer);
+}
+
+TEST(ProtocolSpecTest, OnePhaseSlaveCannotVote) {
+  // "1PC is inadequate because it does not allow an unilateral abort."
+  ProtocolSpec spec = MakeOnePhaseCommit();
+  EXPECT_FALSE(spec.role(1).CanVote());
+  EXPECT_TRUE(spec.role(0).CanVote());
+}
+
+TEST(ProtocolSpecTest, CanonicalEqualsDecentralizedPeer) {
+  // "Structural equivalence" of the canonical protocol and the peers.
+  EXPECT_TRUE(AutomataIsomorphic(MakeCanonicalTwoPhase(),
+                                 MakeTwoPhaseDecentralized().role(0)));
+  EXPECT_TRUE(AutomataIsomorphic(MakeCanonicalBuffered(),
+                                 MakeThreePhaseDecentralized().role(0)));
+}
+
+TEST(ProtocolSpecTest, ParadigmNames) {
+  EXPECT_EQ(ToString(Paradigm::kCentralSite), "central-site");
+  EXPECT_EQ(ToString(Paradigm::kDecentralized), "decentralized");
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "analysis/nonblocking.h"
+#include "common/logging.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+std::unique_ptr<CommitSystem> MakeSystem(const std::string& protocol,
+                                         size_t n = 5, uint64_t seed = 3) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  auto system = CommitSystem::Create(config);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return std::move(*system);
+}
+
+TEST(QuorumSpecTest, ValidatesAndHasAbortBuffer) {
+  ProtocolSpec spec = MakeQuorumThreePhaseCentral();
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_NE(spec.role(0).FindState("pa1"), kNoState);
+  EXPECT_NE(spec.role(1).FindState("pa"), kNoState);
+  EXPECT_EQ(spec.role(1).state(spec.role(1).FindState("pa")).kind,
+            StateKind::kAbortBuffer);
+}
+
+TEST(QuorumSpecTest, FailureFreeBehaviorIsThreePc) {
+  // In normal operation Q3PC is 3PC: same outcomes, same message count.
+  auto q3pc = MakeSystem("Q3PC-central", 4);
+  TransactionId txn = q3pc->Begin();
+  TxnResult result = q3pc->RunToCompletion(txn);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  EXPECT_EQ(result.messages, 5u * 3u);  // 5(n-1).
+
+  auto aborting = MakeSystem("Q3PC-central", 4);
+  TransactionId txn2 = aborting->Begin();
+  aborting->SetVote(txn2, 3, false);
+  EXPECT_EQ(aborting->RunToCompletion(txn2).outcome, Outcome::kAborted);
+}
+
+TEST(QuorumSpecTest, SatisfiesNonblockingTheorem) {
+  for (size_t n : {2, 3, 4}) {
+    auto report = CheckNonblocking(MakeQuorumThreePhaseCentral(), n);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->nonblocking) << "n=" << n;
+  }
+}
+
+TEST(QuorumSpecTest, CoordinatorCrashTerminatesViaQuorum) {
+  auto system = MakeSystem("Q3PC-central", 5);
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_FALSE(result.blocked);
+  // Two sites prepared and four are reachable (>= quorum 3): commit.
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  EXPECT_TRUE(result.used_termination);
+}
+
+TEST(QuorumSpecTest, NoPreparedSurvivorAborts) {
+  auto system = MakeSystem("Q3PC-central", 5);
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 0);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_EQ(result.outcome, Outcome::kAborted);
+}
+
+// ---------------------------------------------------------------------
+// The partition study. The paper assumes "the underlying network ...
+// never fails"; these tests show why: plain 3PC termination diverges
+// across a partition, while the quorum variant lets only one side decide.
+// ---------------------------------------------------------------------
+
+struct PartitionRun {
+  TxnResult before_heal;
+  TxnResult after_heal;
+};
+
+PartitionRun RunPartitionScenario(const std::string& protocol) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = 5;
+  config.seed = 17;
+  config.delay = DelayModel{100, 0};
+  auto system = CommitSystem::Create(config);
+  CommitSystem& s = **system;
+
+  TransactionId txn = s.Begin();
+  // All vote yes; the coordinator crashes after delivering prepare to
+  // sites 2 and 3 only.
+  s.injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  (void)s.Launch(txn);
+  // Partition the survivors into {2,3} (prepared) and {4,5} (still in w)
+  // before the failure detector fires.
+  s.simulator().RunUntil(400);
+  s.injector().Partition({2, 3}, {4, 5});
+
+  PartitionRun run;
+  s.simulator().RunUntil(2'000'000);
+  run.before_heal = s.Summarize(txn);
+
+  s.injector().HealPartition({2, 3}, {4, 5});
+  s.simulator().Run();
+  run.after_heal = s.Summarize(txn);
+  return run;
+}
+
+TEST(PartitionTest, PlainThreePcDivergesAcrossPartition) {
+  PartitionRun run = RunPartitionScenario("3PC-central");
+  // Side {2,3} holds prepared sites -> its backup decides commit; side
+  // {4,5} sees only w states -> its backup decides abort. Atomicity is
+  // violated: this is why the paper's model excludes network failures.
+  EXPECT_FALSE(run.before_heal.consistent)
+      << run.before_heal.ToString();
+  EXPECT_EQ(run.before_heal.site_outcomes.at(2), Outcome::kCommitted);
+  EXPECT_EQ(run.before_heal.site_outcomes.at(3), Outcome::kCommitted);
+  EXPECT_EQ(run.before_heal.site_outcomes.at(4), Outcome::kAborted);
+  EXPECT_EQ(run.before_heal.site_outcomes.at(5), Outcome::kAborted);
+}
+
+TEST(PartitionTest, QuorumThreePcBlocksMinoritiesAndStaysConsistent) {
+  PartitionRun run = RunPartitionScenario("Q3PC-central");
+  // Neither side has a quorum (2 < 3 of 5): both block, nobody decides.
+  EXPECT_TRUE(run.before_heal.consistent) << run.before_heal.ToString();
+  EXPECT_EQ(run.before_heal.decided_sites, 0u)
+      << run.before_heal.ToString();
+  EXPECT_TRUE(run.before_heal.blocked);
+  // After the heal, termination reruns over the full population: sites 2/3
+  // are prepared, four sites are reachable: commit, everywhere.
+  EXPECT_TRUE(run.after_heal.consistent) << run.after_heal.ToString();
+  EXPECT_FALSE(run.after_heal.blocked) << run.after_heal.ToString();
+  for (SiteId site = 2; site <= 5; ++site) {
+    EXPECT_EQ(run.after_heal.site_outcomes.at(site), Outcome::kCommitted)
+        << "site " << site;
+  }
+}
+
+TEST(PartitionTest, QuorumMajoritySideDecidesMinorityBlocks) {
+  SystemConfig config;
+  config.protocol = "Q3PC-central";
+  config.num_sites = 5;
+  config.seed = 17;
+  config.delay = DelayModel{100, 0};
+  auto system = CommitSystem::Create(config);
+  CommitSystem& s = **system;
+
+  TransactionId txn = s.Begin();
+  s.injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  (void)s.Launch(txn);
+  s.simulator().RunUntil(400);
+  // Majority {2,3,4} (two prepared) vs minority {5}.
+  s.injector().Partition({2, 3, 4}, {5});
+  s.simulator().RunUntil(2'000'000);
+
+  TxnResult mid = s.Summarize(txn);
+  EXPECT_TRUE(mid.consistent) << mid.ToString();
+  EXPECT_EQ(mid.site_outcomes.at(2), Outcome::kCommitted);
+  EXPECT_EQ(mid.site_outcomes.at(3), Outcome::kCommitted);
+  EXPECT_EQ(mid.site_outcomes.at(4), Outcome::kCommitted);
+  EXPECT_EQ(mid.site_outcomes.at(5), Outcome::kUndecided);
+
+  // Healing lets the minority site learn the outcome.
+  s.injector().HealPartition({2, 3, 4}, {5});
+  s.simulator().Run();
+  TxnResult healed = s.Summarize(txn);
+  EXPECT_TRUE(healed.consistent);
+  EXPECT_EQ(healed.site_outcomes.at(5), Outcome::kCommitted);
+  EXPECT_FALSE(healed.blocked);
+}
+
+TEST(PartitionTest, QuorumAbortSideRequiresQuorumToo) {
+  // Nobody prepared: the majority side aborts via the pa round; the
+  // minority blocks until the heal.
+  SystemConfig config;
+  config.protocol = "Q3PC-central";
+  config.num_sites = 5;
+  config.seed = 17;
+  config.delay = DelayModel{100, 0};
+  auto system = CommitSystem::Create(config);
+  CommitSystem& s = **system;
+
+  TransactionId txn = s.Begin();
+  s.injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 0);
+  (void)s.Launch(txn);
+  s.simulator().RunUntil(400);
+  s.injector().Partition({2, 3, 4}, {5});
+  s.simulator().RunUntil(2'000'000);
+
+  TxnResult mid = s.Summarize(txn);
+  EXPECT_TRUE(mid.consistent) << mid.ToString();
+  EXPECT_EQ(mid.site_outcomes.at(2), Outcome::kAborted);
+  EXPECT_EQ(mid.site_outcomes.at(5), Outcome::kUndecided);
+
+  s.injector().HealPartition({2, 3, 4}, {5});
+  s.simulator().Run();
+  EXPECT_EQ(s.Summarize(txn).site_outcomes.at(5), Outcome::kAborted);
+}
+
+TEST(PartitionTest, CustomQuorumsRespected) {
+  // Vc=4 of 5: even a 3-site side with prepared members cannot commit.
+  SystemConfig config;
+  config.protocol = "Q3PC-central";
+  config.num_sites = 5;
+  config.seed = 17;
+  config.delay = DelayModel{100, 0};
+  config.participant.termination.commit_quorum = 4;
+  config.participant.termination.abort_quorum = 2;
+  auto system = CommitSystem::Create(config);
+  CommitSystem& s = **system;
+
+  TransactionId txn = s.Begin();
+  s.injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  (void)s.Launch(txn);
+  s.simulator().RunUntil(400);
+  s.injector().Partition({2, 3, 4}, {5});
+  s.simulator().RunUntil(2'000'000);
+
+  TxnResult mid = s.Summarize(txn);
+  // Side {2,3,4} has prepared sites but only 3 < Vc=4 reachable: blocked
+  // (it cannot abort either, because a prepared site is present).
+  EXPECT_TRUE(mid.consistent);
+  EXPECT_EQ(mid.decided_sites, 0u) << mid.ToString();
+}
+
+TEST(PartitionTest, DetectorTracksLocalSuspicions) {
+  auto system = MakeSystem("Q3PC-central", 4);
+  CommitSystem& s = *system;
+  s.injector().Partition({1, 2}, {3, 4});
+  EXPECT_TRUE(s.detector().IsSuspectedBy(1, 3));
+  EXPECT_TRUE(s.detector().IsSuspectedBy(3, 1));
+  EXPECT_FALSE(s.detector().IsSuspectedBy(1, 2));
+  EXPECT_FALSE(s.detector().IsSuspected(3));  // Not actually crashed.
+  s.injector().HealPartition({1, 2}, {3, 4});
+  EXPECT_FALSE(s.detector().IsSuspectedBy(1, 3));
+}
+
+}  // namespace
+}  // namespace nbcp

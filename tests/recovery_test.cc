@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "recovery/dt_log.h"
+#include "recovery/recovery_manager.h"
+
+namespace nbcp {
+namespace {
+
+TEST(DtLogTest, OutcomeTracking) {
+  DtLog log;
+  log.Append(1, DtLogEvent::kStart);
+  EXPECT_FALSE(log.OutcomeOf(1).has_value());
+  log.Append(1, DtLogEvent::kVoteYes);
+  log.Append(1, DtLogEvent::kCommit);
+  EXPECT_EQ(log.OutcomeOf(1), std::optional<Outcome>(Outcome::kCommitted));
+  EXPECT_TRUE(log.Knows(1));
+  EXPECT_FALSE(log.Knows(2));
+}
+
+TEST(DtLogTest, InDoubtDetection) {
+  DtLog log;
+  log.Append(1, DtLogEvent::kStart);
+  log.Append(1, DtLogEvent::kVoteYes);       // In doubt.
+  log.Append(2, DtLogEvent::kStart);
+  log.Append(2, DtLogEvent::kVoteYes);
+  log.Append(2, DtLogEvent::kCommit);        // Decided.
+  log.Append(3, DtLogEvent::kStart);
+  log.Append(3, DtLogEvent::kVoteNo);        // Voted no: not in doubt.
+  log.Append(4, DtLogEvent::kStart);          // Never voted.
+  EXPECT_EQ(log.InDoubt(), (std::vector<TransactionId>{1}));
+  EXPECT_EQ(log.UnvotedUndecided(), (std::vector<TransactionId>{4}));
+}
+
+TEST(DtLogTest, PreparedImpliesVotedYes) {
+  DtLog log;
+  log.Append(1, DtLogEvent::kPrepared);
+  EXPECT_TRUE(log.VotedYes(1));
+  EXPECT_TRUE(log.WasPrepared(1));
+  EXPECT_EQ(log.InDoubt(), (std::vector<TransactionId>{1}));
+}
+
+TEST(DtLogTest, VoteYesWithoutPrepare) {
+  DtLog log;
+  log.Append(1, DtLogEvent::kVoteYes);
+  EXPECT_TRUE(log.VotedYes(1));
+  EXPECT_FALSE(log.WasPrepared(1));
+}
+
+TEST(DtLogTest, EventNames) {
+  EXPECT_EQ(ToString(DtLogEvent::kVoteYes), "VOTE-YES");
+  EXPECT_EQ(ToString(DtLogEvent::kPrepared), "PREPARED");
+  EXPECT_EQ(ToString(DtLogEvent::kAbort), "ABORT");
+}
+
+TEST(DtLogTest, RecordsKeptInOrder) {
+  DtLog log;
+  log.Append(5, DtLogEvent::kStart);
+  log.Append(5, DtLogEvent::kVoteYes);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].event, DtLogEvent::kStart);
+  EXPECT_EQ(log.records()[1].event, DtLogEvent::kVoteYes);
+}
+
+// --- RecoveryManager over a simulated network ------------------------
+
+class RecoveryManagerTest : public ::testing::Test {
+ protected:
+  RecoveryManagerTest() : sim_(1), net_(&sim_, DelayModel{100, 0}) {
+    // Site 1 recovers; sites 2 and 3 answer queries.
+    for (SiteId s = 1; s <= 3; ++s) {
+      net_.RegisterSite(s, [this, s](const Message& m) {
+        if (managers_.count(s) != 0) managers_[s]->OnMessage(m);
+      });
+    }
+    for (SiteId s = 1; s <= 3; ++s) {
+      RecoveryHooks hooks;
+      hooks.alive_sites = [this]() {
+        std::vector<SiteId> alive;
+        for (SiteId x = 1; x <= 3; ++x) {
+          if (net_.IsSiteUp(x)) alive.push_back(x);
+        }
+        return alive;
+      };
+      hooks.apply_outcome = [this, s](TransactionId txn, Outcome outcome) {
+        applied_[s][txn] = outcome;
+      };
+      hooks.lookup_outcome =
+          [this, s](TransactionId txn) -> std::optional<Outcome> {
+        auto it = known_[s].find(txn);
+        if (it == known_[s].end()) return std::nullopt;
+        return it->second;
+      };
+      hooks.on_unresolved = [this, s](TransactionId txn) {
+        unresolved_[s].push_back(txn);
+      };
+      managers_[s] = std::make_unique<RecoveryManager>(
+          s, &sim_, &net_, &logs_[s], std::move(hooks),
+          RecoveryConfig{.query_timeout = 1000, .max_attempts = 3});
+    }
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::map<SiteId, DtLog> logs_;
+  std::map<SiteId, std::unique_ptr<RecoveryManager>> managers_;
+  std::map<SiteId, std::map<TransactionId, Outcome>> applied_;
+  std::map<SiteId, std::map<TransactionId, Outcome>> known_;
+  std::map<SiteId, std::vector<TransactionId>> unresolved_;
+};
+
+TEST_F(RecoveryManagerTest, UnvotedTransactionsAbortedImmediately) {
+  logs_[1].Append(7, DtLogEvent::kStart);
+  managers_[1]->StartRecovery();
+  EXPECT_EQ(applied_[1][7], Outcome::kAborted);
+}
+
+TEST_F(RecoveryManagerTest, InDoubtResolvedByPeerAnswer) {
+  logs_[1].Append(7, DtLogEvent::kVoteYes);
+  known_[2][7] = Outcome::kCommitted;
+  managers_[1]->StartRecovery();
+  EXPECT_TRUE(managers_[1]->IsResolving(7));
+  sim_.Run();
+  EXPECT_EQ(applied_[1][7], Outcome::kCommitted);
+  EXPECT_FALSE(managers_[1]->IsResolving(7));
+}
+
+TEST_F(RecoveryManagerTest, AbortAnswerAlsoAdopted) {
+  logs_[1].Append(7, DtLogEvent::kVoteYes);
+  known_[3][7] = Outcome::kAborted;
+  managers_[1]->StartRecovery();
+  sim_.Run();
+  EXPECT_EQ(applied_[1][7], Outcome::kAborted);
+}
+
+TEST_F(RecoveryManagerTest, UnknownAnswersKeepRetryingThenGiveUp) {
+  logs_[1].Append(7, DtLogEvent::kVoteYes);
+  // Nobody knows: retries exhaust and the txn is reported unresolved.
+  managers_[1]->StartRecovery();
+  sim_.Run();
+  ASSERT_EQ(unresolved_[1].size(), 1u);
+  EXPECT_EQ(unresolved_[1][0], 7u);
+  EXPECT_EQ(applied_[1].count(7), 0u);
+}
+
+TEST_F(RecoveryManagerTest, LateKnowledgeDuringRetryWindowResolves) {
+  logs_[1].Append(7, DtLogEvent::kVoteYes);
+  managers_[1]->StartRecovery();
+  // The second retry (t=1000) finds site 2 informed.
+  sim_.ScheduleAt(500, [&] { known_[2][7] = Outcome::kCommitted; });
+  sim_.Run();
+  EXPECT_EQ(applied_[1][7], Outcome::kCommitted);
+  EXPECT_TRUE(unresolved_[1].empty());
+}
+
+TEST_F(RecoveryManagerTest, OwnsMessagePrefix) {
+  EXPECT_TRUE(RecoveryManager::OwnsMessage("rec:query"));
+  EXPECT_FALSE(RecoveryManager::OwnsMessage("term:move"));
+}
+
+}  // namespace
+}  // namespace nbcp

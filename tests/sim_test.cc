@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(300, [&] { order.push_back(3); });
+  q.Push(100, [&] { order.push_back(1); });
+  q.Push(200, [&] { order.push_back(2); });
+  SimTime t;
+  while (!q.Empty()) q.Pop(&t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(100, [&order, i] { order.push_back(i); });
+  }
+  SimTime t;
+  while (!q.Empty()) q.Pop(&t)();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Push(100, [&] { ran = true; });
+  q.Cancel(id);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelMiddleEventSkipsOnlyIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(100, [&] { order.push_back(1); });
+  EventId id = q.Push(200, [&] { order.push_back(2); });
+  q.Push(300, [&] { order.push_back(3); });
+  q.Cancel(id);
+  EXPECT_EQ(q.Size(), 2u);
+  SimTime t;
+  while (!q.Empty()) q.Pop(&t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndIgnoresBogusIds) {
+  EventQueue q;
+  EventId id = q.Push(100, [] {});
+  q.Cancel(id);
+  q.Cancel(id);
+  q.Cancel(0);
+  q.Cancel(999999);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, SizeCountsLiveEvents) {
+  EventQueue q;
+  EventId a = q.Push(1, [] {});
+  q.Push(2, [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.ScheduleAfter(500, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 500u);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(SimulatorTest, ScheduleAtClampsToPresent) {
+  Simulator sim;
+  sim.ScheduleAfter(100, [&] {
+    // From t=100, scheduling at t=50 must not go back in time.
+    sim.ScheduleAt(50, [&] { EXPECT_GE(sim.now(), 100u); });
+  });
+  sim.Run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  for (SimTime t = 100; t <= 1000; t += 100) {
+    sim.ScheduleAt(t, [&] { ++count; });
+  }
+  size_t executed = sim.RunUntil(500);
+  EXPECT_EQ(executed, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 500u);
+  EXPECT_EQ(sim.PendingEvents(), 5u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(12345);
+  EXPECT_EQ(sim.now(), 12345u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAfter(1, [&] { ++count; });
+  sim.ScheduleAfter(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAfter(10, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, MaxEventsCapsExecution) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) sim.ScheduleAfter(i, [&] { ++count; });
+  size_t executed = sim.Run(10);
+  EXPECT_EQ(executed, 10u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.ScheduleAfter(100, [&] { ran = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RngIsSeeded) {
+  Simulator a(99), b(99);
+  EXPECT_EQ(a.rng().Uniform(0, 1u << 20), b.rng().Uniform(0, 1u << 20));
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "analysis/global_state.h"
+#include "analysis/state_graph.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+TEST(GlobalStateTest, InitialStateCentral) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  GlobalState g = MakeInitialGlobalState(spec, 3);
+  ASSERT_EQ(g.local.size(), 3u);
+  EXPECT_EQ(spec.role(0).state(g.local[0]).name, "q1");
+  EXPECT_EQ(spec.role(1).state(g.local[1]).name, "q");
+  // One client request, addressed to the coordinator.
+  ASSERT_EQ(g.messages.size(), 1u);
+  EXPECT_EQ(g.messages.begin()->first.to, 1u);
+  EXPECT_EQ(g.votes[0], Vote::kUnset);
+}
+
+TEST(GlobalStateTest, InitialStateDecentralized) {
+  ProtocolSpec spec = MakeTwoPhaseDecentralized();
+  GlobalState g = MakeInitialGlobalState(spec, 3);
+  EXPECT_EQ(g.messages.size(), 3u);  // One request per site.
+}
+
+TEST(GlobalStateTest, KeysDistinguishStates) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  GlobalState a = MakeInitialGlobalState(spec, 2);
+  GlobalState b = a;
+  EXPECT_EQ(a.Key(), b.Key());
+  b.votes[0] = Vote::kYes;
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_EQ(a.ProjectedKey(), b.ProjectedKey());  // Votes projected away.
+  b.local[1] = 1;
+  EXPECT_NE(a.ProjectedKey(), b.ProjectedKey());
+}
+
+TEST(GlobalStateTest, InconsistencyDetection) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  GlobalState g = MakeInitialGlobalState(spec, 2);
+  EXPECT_FALSE(g.IsInconsistent(spec));
+  g.local[0] = spec.role(0).FindState("c1");
+  g.local[1] = spec.role(1).FindState("a");
+  EXPECT_TRUE(g.IsInconsistent(spec));
+  EXPECT_TRUE(g.IsFinal(spec));
+}
+
+TEST(GlobalStateTest, ToStringShowsStatesAndMessages) {
+  ProtocolSpec spec = MakeTwoPhaseCentral();
+  GlobalState g = MakeInitialGlobalState(spec, 2);
+  std::string s = g.ToString(spec);
+  EXPECT_NE(s.find("q1"), std::string::npos);
+  EXPECT_NE(s.find("__request"), std::string::npos);
+}
+
+TEST(StateGraphTest, RejectsSingleSite) {
+  EXPECT_FALSE(ReachableStateGraph::Build(MakeTwoPhaseCentral(), 1).ok());
+}
+
+TEST(StateGraphTest, TwoSiteTwoPcGraphShape) {
+  // The paper's "reachable state graph for the 2-site 2PC protocol".
+  auto graph = ReachableStateGraph::Build(MakeTwoPhaseCentral(), 2);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->complete());
+  EXPECT_EQ(graph->num_nodes(), 11u);
+  EXPECT_EQ(graph->num_edges(), 12u);
+  // The vote/step refinement does not split any of the paper's states here.
+  EXPECT_EQ(graph->NumProjectedNodes(), graph->num_nodes());
+}
+
+TEST(StateGraphTest, NoInconsistentOrDeadlockedStatesInAnyBuiltin) {
+  for (const std::string& name : BuiltinProtocolNames()) {
+    for (size_t n : {2, 3}) {
+      auto graph = ReachableStateGraph::Build(*MakeProtocol(name), n);
+      ASSERT_TRUE(graph.ok()) << name;
+      EXPECT_TRUE(graph->InconsistentNodes().empty())
+          << name << " n=" << n << ": atomicity violated";
+      EXPECT_TRUE(graph->DeadlockedNodes().empty())
+          << name << " n=" << n << ": deadlocked terminal state";
+    }
+  }
+}
+
+TEST(StateGraphTest, TerminalNodesAreFinal) {
+  auto graph = ReachableStateGraph::Build(MakeThreePhaseCentral(), 3);
+  ASSERT_TRUE(graph.ok());
+  auto terminals = graph->TerminalNodes();
+  EXPECT_FALSE(terminals.empty());
+  for (size_t t : terminals) {
+    EXPECT_TRUE(graph->node(t).IsFinal(graph->spec()));
+  }
+}
+
+TEST(StateGraphTest, BothUnanimousOutcomesReachable) {
+  auto graph = ReachableStateGraph::Build(MakeTwoPhaseCentral(), 2);
+  ASSERT_TRUE(graph.ok());
+  bool all_commit = false;
+  bool all_abort = false;
+  for (size_t t : graph->TerminalNodes()) {
+    const GlobalState& g = graph->node(t);
+    bool commit = true;
+    bool abort = true;
+    for (size_t i = 0; i < g.local.size(); ++i) {
+      StateKind k = graph->KindOf(static_cast<SiteId>(i + 1), g.local[i]);
+      commit = commit && k == StateKind::kCommit;
+      abort = abort && k == StateKind::kAbort;
+    }
+    all_commit = all_commit || commit;
+    all_abort = all_abort || abort;
+  }
+  EXPECT_TRUE(all_commit);
+  EXPECT_TRUE(all_abort);
+}
+
+TEST(StateGraphTest, GraphGrowsWithSites) {
+  // "The reachable state graph grows exponentially with the number of
+  // sites."
+  size_t prev = 0;
+  for (size_t n : {2, 3, 4}) {
+    auto graph = ReachableStateGraph::Build(MakeTwoPhaseCentral(), n);
+    ASSERT_TRUE(graph.ok());
+    EXPECT_GT(graph->num_nodes(), prev);
+    prev = graph->num_nodes();
+  }
+  EXPECT_GT(prev, 50u);
+}
+
+TEST(StateGraphTest, MaxNodesTruncates) {
+  GraphOptions options;
+  options.max_nodes = 10;
+  auto graph = ReachableStateGraph::Build(MakeTwoPhaseCentral(), 4, options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->complete());
+  EXPECT_LE(graph->num_nodes(), 12u + options.max_nodes);
+}
+
+TEST(StateGraphTest, CommitRequiresAllVotesYes) {
+  // In every node where some site is in a commit state, every voting site
+  // has voted yes — the semantic core of committability.
+  auto graph = ReachableStateGraph::Build(MakeThreePhaseDecentralized(), 3);
+  ASSERT_TRUE(graph.ok());
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    const GlobalState& g = graph->node(i);
+    bool has_commit = false;
+    for (size_t s = 0; s < g.local.size(); ++s) {
+      if (graph->KindOf(static_cast<SiteId>(s + 1), g.local[s]) ==
+          StateKind::kCommit) {
+        has_commit = true;
+      }
+    }
+    if (!has_commit) continue;
+    for (Vote v : g.votes) EXPECT_EQ(v, Vote::kYes);
+  }
+}
+
+TEST(StateGraphTest, EdgesCarrySiteAndTransition) {
+  auto graph = ReachableStateGraph::Build(MakeTwoPhaseCentral(), 2);
+  ASSERT_TRUE(graph.ok());
+  // Initial node has exactly one enabled move: the coordinator consuming
+  // the request.
+  const auto& edges = graph->edges(0);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].site, 1u);
+}
+
+TEST(StateGraphTest, DotExportMentionsGlobalStates) {
+  auto graph = ReachableStateGraph::Build(MakeTwoPhaseCentral(), 2);
+  ASSERT_TRUE(graph.ok());
+  std::string dot = graph->ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q1"), std::string::npos);
+  EXPECT_NE(dot.find("site 1"), std::string::npos);
+}
+
+TEST(StateGraphTest, StepsTrackTransitions) {
+  auto graph = ReachableStateGraph::Build(MakeTwoPhaseCentral(), 2);
+  ASSERT_TRUE(graph.ok());
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    const GlobalState& g = graph->node(i);
+    // Steps are bounded by the longest role path (2 for 2PC).
+    for (uint16_t s : g.steps) EXPECT_LE(s, 2);
+  }
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+std::unique_ptr<CommitSystem> MakeSystem(const std::string& protocol,
+                                         size_t n = 4, uint64_t seed = 7) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  auto system = CommitSystem::Create(config);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return std::move(*system);
+}
+
+TEST(SystemTest, CreateRejectsBadConfig) {
+  SystemConfig config;
+  config.num_sites = 1;
+  EXPECT_FALSE(CommitSystem::Create(config).ok());
+  config.num_sites = 3;
+  config.protocol = "nope";
+  EXPECT_TRUE(CommitSystem::Create(config).status().IsNotFound());
+}
+
+TEST(SystemTest, FailureFreeCommitAllProtocols) {
+  for (const char* p : {"1PC-central", "2PC-central", "2PC-decentralized",
+                        "3PC-central", "3PC-decentralized"}) {
+    auto system = MakeSystem(p);
+    TransactionId txn = system->Begin();
+    TxnResult result = system->RunToCompletion(txn);
+    EXPECT_EQ(result.outcome, Outcome::kCommitted) << p;
+    EXPECT_TRUE(result.consistent) << p;
+    EXPECT_FALSE(result.blocked) << p;
+    EXPECT_EQ(result.decided_sites, 4u) << p;
+    EXPECT_FALSE(result.used_termination) << p;
+  }
+}
+
+TEST(SystemTest, SingleNoVoteAborts) {
+  for (const char* p : {"2PC-central", "2PC-decentralized", "3PC-central",
+                        "3PC-decentralized"}) {
+    auto system = MakeSystem(p);
+    TransactionId txn = system->Begin();
+    system->SetVote(txn, 3, false);
+    TxnResult result = system->RunToCompletion(txn);
+    EXPECT_EQ(result.outcome, Outcome::kAborted) << p;
+    EXPECT_TRUE(result.consistent) << p;
+    EXPECT_FALSE(result.blocked) << p;
+  }
+}
+
+TEST(SystemTest, OnePcIgnoresSlaveVote) {
+  // The paper's 1PC critique: no unilateral abort.
+  auto system = MakeSystem("1PC-central");
+  TransactionId txn = system->Begin();
+  system->SetVote(txn, 3, false);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+}
+
+TEST(SystemTest, MessageCountsMatchTheory) {
+  // Central 2PC: 3(n-1); central 3PC: 5(n-1); decentralized 2PC: n(n-1);
+  // decentralized 3PC: 2n(n-1); 1PC: n-1 (self-sends are local).
+  struct Case {
+    const char* protocol;
+    uint64_t expected;
+  };
+  const size_t n = 5;
+  for (Case c : {Case{"1PC-central", n - 1}, Case{"2PC-central", 3 * (n - 1)},
+                 Case{"3PC-central", 5 * (n - 1)},
+                 Case{"2PC-decentralized", n * (n - 1)},
+                 Case{"3PC-decentralized", 2 * n * (n - 1)}}) {
+    auto system = MakeSystem(c.protocol, n);
+    TransactionId txn = system->Begin();
+    TxnResult result = system->RunToCompletion(txn);
+    EXPECT_EQ(result.messages, c.expected) << c.protocol;
+  }
+}
+
+TEST(SystemTest, TwoPcBlocksOnCoordinatorCrashBeforeDecisionDelivery) {
+  // The coordinator decides commit but crashes before ANY commit message
+  // leaves: every surviving slave voted yes and is stuck in w — the
+  // canonical 2PC blocking scenario.
+  auto system = MakeSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 0);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.blocked);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.blocked_sites, 3u);
+  // The decision exists durably in the crashed coordinator's DT log, but
+  // no operational site can learn it.
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  for (SiteId s = 2; s <= 4; ++s) {
+    EXPECT_EQ(result.site_outcomes.at(s), Outcome::kUndecided);
+  }
+}
+
+TEST(SystemTest, ThreePcSurvivesCoordinatorCrashAtSamePoint) {
+  // Identical crash point (decision broadcast suppressed entirely): 3PC's
+  // termination protocol finishes the transaction.
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 0);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_TRUE(result.used_termination);
+  // Nobody reached p or c: survivors abort.
+  EXPECT_EQ(result.outcome, Outcome::kAborted);
+}
+
+TEST(SystemTest, ThreePcPartialPrepareCommitsOrAbortsConsistently) {
+  // Prepare reached one slave; termination must still terminate everyone
+  // consistently (either outcome is legal; atomicity is what matters).
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 1);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_NE(result.outcome, Outcome::kUndecided);
+}
+
+TEST(SystemTest, ThreePcPartialCommitBroadcastPropagatesCommit) {
+  // The coordinator crashes while broadcasting the final commit: one slave
+  // committed, so termination must commit everyone (rule 1).
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 1);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  for (SiteId s = 2; s <= 4; ++s) {
+    EXPECT_EQ(result.site_outcomes.at(s), Outcome::kCommitted);
+  }
+}
+
+TEST(SystemTest, TwoPcPartialCommitBroadcastResolvesCooperatively) {
+  // Even blocking 2PC terminates when some survivor saw the decision.
+  auto system = MakeSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 1);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  EXPECT_TRUE(result.used_termination);
+}
+
+TEST(SystemTest, BlockedTwoPcResolvesWhenCoordinatorRecovers) {
+  auto system = MakeSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 0);
+  system->injector().ScheduleRecovery(1, 3'000'000);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_TRUE(result.consistent);
+  // The coordinator logged its commit decision before broadcasting; on
+  // recovery the survivors learn it.
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  EXPECT_EQ(result.decided_sites, 4u);
+}
+
+TEST(SystemTest, CoordinatorCrashBeforeDecisionRecoversAsAbort) {
+  // Crash before any vote collection finishes: w1 is pre-commit-point, so
+  // the recovered coordinator unilaterally aborts and everyone follows.
+  auto system = MakeSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().ScheduleCrash(1, 150);  // After xact, before votes.
+  system->injector().ScheduleRecovery(1, 3'000'000);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.outcome, Outcome::kAborted);
+  EXPECT_FALSE(result.blocked);
+}
+
+TEST(SystemTest, ThreePcToleratesBackupCrashDuringTermination) {
+  // Coordinator crashes; then the elected backup (highest id, site 4)
+  // crashes mid-termination; the remaining sites must re-elect and finish.
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  // Backup election happens after detection (~500us); kill site 4 then.
+  system->injector().ScheduleCrash(4, 1200);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  // The two remaining sites must both be decided.
+  EXPECT_EQ(result.site_outcomes.at(2), result.site_outcomes.at(3));
+  EXPECT_NE(result.site_outcomes.at(2), Outcome::kUndecided);
+  EXPECT_FALSE(result.blocked);
+}
+
+TEST(SystemTest, ThreePcSurvivesAllButOneSite) {
+  // "Nonblocking with respect to k-1 site failures ... as long as one site
+  // remains operational."
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  system->injector().ScheduleCrash(4, 1200);
+  system->injector().ScheduleCrash(3, 2500);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_NE(result.site_outcomes.at(2), Outcome::kUndecided)
+      << "the lone survivor must terminate";
+  EXPECT_FALSE(result.blocked);
+}
+
+TEST(SystemTest, DecentralizedThreePcTerminatesAfterSiteCrash) {
+  auto system = MakeSystem("3PC-decentralized");
+  TransactionId txn = system->Begin();
+  // Crash site 2 while it broadcasts prepare: some peers get stuck
+  // waiting for its prepare.
+  system->injector().CrashDuringBroadcast(2, txn, msg::kPrepare, 1);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_NE(result.outcome, Outcome::kUndecided);
+}
+
+TEST(SystemTest, DecentralizedTwoPcCanBlock) {
+  // Site 2 votes yes to everyone, then crashes before some peers can use
+  // it... the blocking case needs the vote suppressed for all: allow 0.
+  auto system = MakeSystem("2PC-decentralized");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(2, txn, msg::kYes, 0);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  // Survivors voted yes and wait for site 2's vote forever.
+  EXPECT_TRUE(result.blocked);
+}
+
+TEST(SystemTest, RecoveredSlaveLearnsOutcome) {
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  // Slave 3 crashes right after voting; protocol commits without its ack?
+  // No: 3PC needs all acks — coordinator terminates via its own rule.
+  system->injector().ScheduleCrash(3, 250);
+  system->injector().ScheduleRecovery(3, 5'000'000);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.decided_sites, 4u)
+      << "the recovered slave must adopt the outcome";
+  EXPECT_EQ(result.site_outcomes.at(3), result.site_outcomes.at(1));
+}
+
+TEST(SystemTest, KvTransactionCommitsAcrossSites) {
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  ASSERT_TRUE(system
+                  ->SubmitOps(txn, {KvOp{2, KvOp::Kind::kPut, "alice", "50"},
+                                    KvOp{3, KvOp::Kind::kPut, "bob", "150"}})
+                  .ok());
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  EXPECT_EQ(system->participant(2).kv().GetCommitted("alice"),
+            std::optional<std::string>("50"));
+  EXPECT_EQ(system->participant(3).kv().GetCommitted("bob"),
+            std::optional<std::string>("150"));
+}
+
+TEST(SystemTest, LockConflictForcesNoVote) {
+  auto system = MakeSystem("2PC-central");
+  // Seed a conflicting holder at site 2.
+  ASSERT_TRUE(system->participant(2)
+                  .locks()
+                  .TryAcquire(999, "hot", LockMode::kExclusive)
+                  .ok());
+  TransactionId txn = system->Begin();
+  Status submit =
+      system->SubmitOps(txn, {KvOp{2, KvOp::Kind::kPut, "hot", "x"},
+                              KvOp{3, KvOp::Kind::kPut, "cold", "y"}});
+  EXPECT_TRUE(submit.IsAborted());
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_EQ(result.outcome, Outcome::kAborted);
+  EXPECT_FALSE(system->participant(3).kv().GetCommitted("cold").has_value());
+}
+
+TEST(SystemTest, AbortedKvTransactionLeavesNoTrace) {
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  ASSERT_TRUE(
+      system->SubmitOps(txn, {KvOp{2, KvOp::Kind::kPut, "k", "v"}}).ok());
+  system->SetVote(txn, 3, false);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_EQ(result.outcome, Outcome::kAborted);
+  EXPECT_FALSE(system->participant(2).kv().GetCommitted("k").has_value());
+}
+
+TEST(SystemTest, CrashedSiteKvStateRestoredOnRecovery) {
+  auto system = MakeSystem("3PC-central");
+  // First transaction commits a value at site 2.
+  TransactionId t1 = system->Begin();
+  ASSERT_TRUE(
+      system->SubmitOps(t1, {KvOp{2, KvOp::Kind::kPut, "k", "v1"}}).ok());
+  ASSERT_EQ(system->RunToCompletion(t1).outcome, Outcome::kCommitted);
+  // Crash and recover site 2: the committed value must survive via WAL.
+  system->injector().CrashNow(2);
+  system->injector().RecoverNow(2);
+  system->simulator().Run();
+  EXPECT_EQ(system->participant(2).kv().GetCommitted("k"),
+            std::optional<std::string>("v1"));
+}
+
+TEST(SystemTest, RingElectionVariantWorks) {
+  SystemConfig config;
+  config.protocol = "3PC-central";
+  config.num_sites = 4;
+  config.participant.use_ring_election = true;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  TransactionId txn = (*system)->Begin();
+  (*system)->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 0);
+  TxnResult result = (*system)->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_TRUE(result.used_termination);
+}
+
+TEST(SystemTest, LargePopulationUsesAnalysisSiteMapping) {
+  // 12 sites with analysis built for 3: termination must still work.
+  auto system = MakeSystem("3PC-central", 12);
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 5);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_FALSE(result.blocked);
+}
+
+TEST(SystemTest, SequentialTransactionsAccumulateMetrics) {
+  auto system = MakeSystem("3PC-central");
+  for (int i = 0; i < 5; ++i) {
+    TransactionId txn = system->Begin();
+    if (i % 2 == 1) system->SetVote(txn, 2, false);
+    system->RunToCompletion(txn);
+  }
+  const SystemMetrics& m = system->metrics();
+  EXPECT_EQ(m.runs, 5u);
+  EXPECT_EQ(m.committed, 3u);
+  EXPECT_EQ(m.aborted, 2u);
+  EXPECT_EQ(m.inconsistent, 0u);
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+TEST(SystemTest, ConcurrentTransactionsAllDecide) {
+  auto system = MakeSystem("3PC-central");
+  std::vector<TransactionId> txns;
+  for (int i = 0; i < 8; ++i) {
+    TransactionId txn = system->Begin();
+    txns.push_back(txn);
+    ASSERT_TRUE(system->Launch(txn).ok());
+  }
+  system->simulator().Run();
+  for (TransactionId txn : txns) {
+    TxnResult result = system->Summarize(txn);
+    EXPECT_EQ(result.outcome, Outcome::kCommitted);
+    EXPECT_TRUE(result.consistent);
+  }
+}
+
+TEST(SystemTest, TxnResultToStringIsInformative) {
+  auto system = MakeSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  TxnResult result = system->RunToCompletion(txn);
+  std::string text = result.ToString();
+  EXPECT_NE(text.find("committed"), std::string::npos);
+  EXPECT_NE(text.find("messages="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbcp

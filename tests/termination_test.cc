@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "protocols/protocols.h"
+#include "termination/backup_coordinator.h"
+
+namespace nbcp {
+namespace {
+
+/// Builds the analysis for a decentralized wrapper around `automaton`.
+struct AnalysisFixture {
+  explicit AnalysisFixture(Automaton automaton, size_t n = 3)
+      : peer(std::move(automaton)) {
+    ProtocolSpec spec("fixture", Paradigm::kDecentralized);
+    spec.AddRole("peer", peer);
+    auto g = ReachableStateGraph::Build(spec, n);
+    graph = std::make_unique<ReachableStateGraph>(std::move(*g));
+    analysis = std::make_unique<ConcurrencyAnalysis>(
+        ConcurrencyAnalysis::Compute(*graph));
+  }
+  StateIndex S(const char* name) const { return peer.FindState(name); }
+
+  Automaton peer;
+  std::unique_ptr<ReachableStateGraph> graph;
+  std::unique_ptr<ConcurrencyAnalysis> analysis;
+};
+
+// The paper's termination table for the canonical 3PC:
+//   commit if s in {p, c}; abort if s in {q, w, a}.
+TEST(PaperDecisionRuleTest, ThreePcTableReproduced) {
+  AnalysisFixture f(MakeCanonicalBuffered());
+  EXPECT_EQ(PaperTerminationDecision(*f.analysis, 1, f.S("q")),
+            Outcome::kAborted);
+  EXPECT_EQ(PaperTerminationDecision(*f.analysis, 1, f.S("w")),
+            Outcome::kAborted);
+  EXPECT_EQ(PaperTerminationDecision(*f.analysis, 1, f.S("a")),
+            Outcome::kAborted);
+  EXPECT_EQ(PaperTerminationDecision(*f.analysis, 1, f.S("p")),
+            Outcome::kCommitted);
+  EXPECT_EQ(PaperTerminationDecision(*f.analysis, 1, f.S("c")),
+            Outcome::kCommitted);
+}
+
+TEST(SafeDecisionRuleTest, ThreePcNeverBlocks) {
+  AnalysisFixture f(MakeCanonicalBuffered());
+  for (const char* s : {"q", "w", "p", "a", "c"}) {
+    auto decision = SafeTerminationDecision(*f.analysis, 1, f.S(s));
+    EXPECT_TRUE(decision.ok()) << s;
+  }
+}
+
+TEST(SafeDecisionRuleTest, TwoPcWaitStateBlocks) {
+  // "A blocking situation arises whenever the concurrency set contains both
+  // a commit and an abort state."
+  AnalysisFixture f(MakeCanonicalTwoPhase());
+  auto decision = SafeTerminationDecision(*f.analysis, 1, f.S("w"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_TRUE(decision.status().IsBlocked());
+  // q and a decide safely (abort); c decides commit.
+  EXPECT_EQ(SafeTerminationDecision(*f.analysis, 1, f.S("q")).value(),
+            Outcome::kAborted);
+  EXPECT_EQ(SafeTerminationDecision(*f.analysis, 1, f.S("a")).value(),
+            Outcome::kAborted);
+  EXPECT_EQ(SafeTerminationDecision(*f.analysis, 1, f.S("c")).value(),
+            Outcome::kCommitted);
+}
+
+TEST(CooperativeDecisionTest, AdoptsFinalSurvivorOutcome) {
+  AnalysisFixture f(MakeCanonicalTwoPhase());
+  // Backup stuck in w, but another survivor already committed.
+  auto commit = CooperativeTerminationDecision(
+      *f.analysis, 1, f.S("w"), {{1, f.S("w")}, {2, f.S("c")}});
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(*commit, Outcome::kCommitted);
+
+  auto abort = CooperativeTerminationDecision(
+      *f.analysis, 1, f.S("w"), {{1, f.S("w")}, {2, f.S("a")}});
+  ASSERT_TRUE(abort.ok());
+  EXPECT_EQ(*abort, Outcome::kAborted);
+}
+
+TEST(CooperativeDecisionTest, UnvotedSurvivorProvesAbortSafe) {
+  AnalysisFixture f(MakeCanonicalTwoPhase());
+  // All in uncertainty except one site still in q: nobody can have
+  // committed, so abort.
+  auto decision = CooperativeTerminationDecision(
+      *f.analysis, 1, f.S("w"), {{1, f.S("w")}, {2, f.S("q")}});
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(*decision, Outcome::kAborted);
+}
+
+TEST(CooperativeDecisionTest, AllInWaitBlocks) {
+  AnalysisFixture f(MakeCanonicalTwoPhase());
+  auto decision = CooperativeTerminationDecision(
+      *f.analysis, 1, f.S("w"),
+      {{1, f.S("w")}, {2, f.S("w")}, {3, f.S("w")}});
+  ASSERT_FALSE(decision.ok());
+  EXPECT_TRUE(decision.status().IsBlocked());
+}
+
+TEST(CooperativeDecisionTest, ThreePcBackupInBufferCommits) {
+  AnalysisFixture f(MakeCanonicalBuffered());
+  auto decision = CooperativeTerminationDecision(
+      *f.analysis, 1, f.S("p"), {{1, f.S("p")}, {2, f.S("w")}});
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(*decision, Outcome::kCommitted);
+}
+
+TEST(CooperativeDecisionTest, ThreePcBackupInWaitAborts) {
+  AnalysisFixture f(MakeCanonicalBuffered());
+  // Survivors in w and p with backup in w: no one can have committed
+  // (commit needs prepare from everyone, including the backup still in w).
+  auto decision = CooperativeTerminationDecision(
+      *f.analysis, 1, f.S("w"), {{1, f.S("w")}, {2, f.S("p")}});
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(*decision, Outcome::kAborted);
+}
+
+TEST(PaperDecisionRuleTest, FinalStatesDecideThemselves) {
+  AnalysisFixture f(MakeCanonicalTwoPhase());
+  EXPECT_EQ(PaperTerminationDecision(*f.analysis, 1, f.S("c")),
+            Outcome::kCommitted);
+  EXPECT_EQ(PaperTerminationDecision(*f.analysis, 1, f.S("a")),
+            Outcome::kAborted);
+}
+
+}  // namespace
+}  // namespace nbcp

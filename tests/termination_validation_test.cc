@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "analysis/termination_validation.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+class ValidationTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+// The semantic heart of the reproduction: replay the runtime's cooperative
+// termination decision against EVERY reachable global state and EVERY
+// survivor subset. No decision may ever contradict a final state already
+// reached — for any protocol, blocking or not.
+TEST_P(ValidationTest, NoDecisionContradictsAnExistingOutcome) {
+  const auto& [protocol, n] = GetParam();
+  auto report = ValidateTerminationRule(*MakeProtocol(protocol), n);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->consistent())
+      << protocol << " n=" << n << ": "
+      << (report->inconsistencies.empty()
+              ? ""
+              : report->inconsistencies.front());
+  EXPECT_GT(report->scenarios, 0u);
+  EXPECT_EQ(report->decided + report->blocked, report->scenarios);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ValidationTest,
+    ::testing::Combine(
+        ::testing::Values("1PC-central", "2PC-central", "2PC-decentralized",
+                          "3PC-central", "3PC-decentralized", "Q3PC-central"),
+        ::testing::Values<size_t>(2, 3)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ValidationTest, NonblockingProtocolsNeverBlock) {
+  // The theorem's promise, checked semantically: for 3PC, every failure
+  // instant leaves the survivors able to decide.
+  for (const char* protocol :
+       {"3PC-central", "3PC-decentralized", "Q3PC-central"}) {
+    auto report = ValidateTerminationRule(*MakeProtocol(protocol), 3);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->blocked, 0u)
+        << protocol << " blocked in " << report->blocked << " of "
+        << report->scenarios << " failure scenarios";
+  }
+}
+
+TEST(ValidationTest, BlockingProtocolsDoBlockSomewhere) {
+  for (const char* protocol : {"2PC-central", "2PC-decentralized"}) {
+    auto report = ValidateTerminationRule(*MakeProtocol(protocol), 3);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->blocked, 0u) << protocol;
+  }
+}
+
+TEST(ValidationTest, OnePcBlocksOnlyWhenCoordinatorKnowledgeIsLost) {
+  auto report = ValidateTerminationRule(*MakeProtocol("1PC-central"), 3);
+  ASSERT_TRUE(report.ok());
+  // 1PC slaves in q with the coordinator's decision in flight cannot
+  // distinguish commit from abort: blocked scenarios must exist.
+  EXPECT_GT(report->blocked, 0u);
+  EXPECT_TRUE(report->consistent());
+}
+
+TEST(ValidationTest, ScenarioCountsAreExhaustive) {
+  auto report = ValidateTerminationRule(*MakeProtocol("2PC-central"), 3);
+  ASSERT_TRUE(report.ok());
+  // (2^3 - 1) survivor subsets per reachable global state.
+  EXPECT_EQ(report->scenarios, report->global_states * 7);
+}
+
+}  // namespace
+}  // namespace nbcp

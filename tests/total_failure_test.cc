@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+namespace {
+
+std::unique_ptr<CommitSystem> Make(const std::string& protocol) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = 4;
+  config.seed = 23;
+  config.delay = DelayModel{100, 0};
+  return std::move(CommitSystem::Create(config)).value();
+}
+
+// Total failure: every site crashes mid-protocol; after everyone has
+// recovered, the assembled durable states are complete knowledge and the
+// termination protocol must resolve the transaction — for every protocol,
+// including blocking 2PC.
+
+TEST(TotalFailureTest, TwoPcAllCrashInUncertaintyWindowResolvesToAbort) {
+  auto system = Make("2PC-central");
+  TransactionId txn = system->Begin();
+  // Coordinator crashes before deciding; slaves crash after voting yes
+  // (all in w — the state where partial-knowledge termination blocks).
+  system->injector().ScheduleCrash(1, 350);  // Votes collected, no decision.
+  system->injector().ScheduleCrash(2, 400);
+  system->injector().ScheduleCrash(3, 450);
+  system->injector().ScheduleCrash(4, 500);
+  // Staggered recovery.
+  system->injector().ScheduleRecovery(2, 1'000'000);
+  system->injector().ScheduleRecovery(3, 1'500'000);
+  system->injector().ScheduleRecovery(4, 2'000'000);
+  system->injector().ScheduleRecovery(1, 2'500'000);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent) << result.ToString();
+  EXPECT_FALSE(result.blocked) << result.ToString();
+  // The coordinator's recovered DT log decides: if it logged no decision,
+  // everyone aborts; if it had logged commit, everyone commits. Either
+  // way all four sites agree.
+  EXPECT_EQ(result.decided_sites, 4u) << result.ToString();
+  for (SiteId s = 2; s <= 4; ++s) {
+    EXPECT_EQ(result.site_outcomes.at(s), result.site_outcomes.at(1));
+  }
+}
+
+TEST(TotalFailureTest, SlavesOnlyTotalCrashWithDeadCoordinatorStaysBlockedUntilItReturns) {
+  // All slaves crash and recover while the coordinator stays dead: the
+  // view is incomplete (the coordinator may have decided), so 2PC must
+  // remain blocked — and resolve once the coordinator finally returns.
+  auto system = Make("2PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 0);
+  system->injector().ScheduleCrash(2, 400);
+  system->injector().ScheduleCrash(3, 450);
+  system->injector().ScheduleCrash(4, 500);
+  system->injector().ScheduleRecovery(2, 1'000'000);
+  system->injector().ScheduleRecovery(3, 1'200'000);
+  system->injector().ScheduleRecovery(4, 1'400'000);
+  (void)system->Launch(txn);
+  system->simulator().RunUntil(4'000'000);
+  TxnResult mid = system->Summarize(txn);
+  EXPECT_TRUE(mid.consistent);
+  EXPECT_TRUE(mid.blocked)
+      << "slaves voted yes and the coordinator (who decided commit) is "
+         "still down: they must block\n"
+      << mid.ToString();
+
+  system->injector().RecoverNow(1);
+  system->simulator().Run();
+  TxnResult healed = system->Summarize(txn);
+  EXPECT_TRUE(healed.consistent) << healed.ToString();
+  EXPECT_FALSE(healed.blocked) << healed.ToString();
+  EXPECT_EQ(healed.outcome, Outcome::kCommitted)
+      << "the coordinator's durable commit record must win";
+}
+
+TEST(TotalFailureTest, ThreePcTotalFailureAlsoResolves) {
+  auto system = Make("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 1);
+  system->injector().ScheduleCrash(2, 500);
+  system->injector().ScheduleCrash(3, 550);
+  system->injector().ScheduleCrash(4, 600);
+  system->injector().ScheduleRecovery(1, 1'000'000);
+  system->injector().ScheduleRecovery(2, 1'400'000);
+  system->injector().ScheduleRecovery(3, 1'800'000);
+  system->injector().ScheduleRecovery(4, 2'200'000);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent) << result.ToString();
+  EXPECT_FALSE(result.blocked) << result.ToString();
+  EXPECT_EQ(result.decided_sites, 4u) << result.ToString();
+}
+
+TEST(TotalFailureTest, CommittedOutcomeSurvivesTotalFailure) {
+  // The transaction fully commits, then every site crashes and recovers:
+  // WAL + DT logs must reconstruct the committed state everywhere.
+  auto system = Make("3PC-central");
+  TransactionId txn = system->Begin();
+  ASSERT_TRUE(
+      system->SubmitOps(txn, {KvOp{2, KvOp::Kind::kPut, "k", "v"}}).ok());
+  ASSERT_EQ(system->RunToCompletion(txn).outcome, Outcome::kCommitted);
+  for (SiteId s = 1; s <= 4; ++s) system->injector().CrashNow(s);
+  for (SiteId s = 1; s <= 4; ++s) system->injector().RecoverNow(s);
+  system->simulator().Run();
+  TxnResult result = system->Summarize(txn);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+  EXPECT_EQ(result.decided_sites, 4u);
+  EXPECT_EQ(system->participant(2).kv().GetCommitted("k"),
+            std::optional<std::string>("v"));
+}
+
+}  // namespace
+}  // namespace nbcp

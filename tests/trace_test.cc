@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/transaction_manager.h"
+#include "protocols/protocols.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+namespace {
+
+TEST(TraceRecorderTest, RecordsAndFilters) {
+  TraceRecorder trace;
+  trace.Record(100, 1, 7, TraceEventType::kStateChange, "w");
+  trace.Record(200, 2, 7, TraceEventType::kDecision, "committed");
+  trace.Record(300, 2, 8, TraceEventType::kDecision, "aborted");
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.ForTransaction(7).size(), 2u);
+  EXPECT_EQ(trace.Count(TraceEventType::kDecision), 2u);
+  EXPECT_EQ(trace.Count(TraceEventType::kDecision, 8), 1u);
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceRecorderTest, RenderIncludesDetails) {
+  TraceRecorder trace;
+  trace.Record(150, 3, 1, TraceEventType::kVoteCast, "yes");
+  std::string text = trace.Render();
+  EXPECT_NE(text.find("t=150us"), std::string::npos);
+  EXPECT_NE(text.find("site 3"), std::string::npos);
+  EXPECT_NE(text.find("[vote]"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, LaneViewSkipsMessageNoise) {
+  TraceRecorder trace;
+  trace.Record(100, 1, 1, TraceEventType::kMessageSent, "xact->2");
+  trace.Record(200, 2, 1, TraceEventType::kStateChange, "w");
+  std::string lanes = trace.RenderLanes(1, 2);
+  EXPECT_EQ(lanes.find("xact"), std::string::npos);
+  EXPECT_NE(lanes.find("state:w"), std::string::npos);
+}
+
+class SystemTraceTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<CommitSystem> Make(const std::string& protocol) {
+    SystemConfig config;
+    config.protocol = protocol;
+    config.num_sites = 3;
+    config.seed = 9;
+    config.trace = true;
+    auto system = CommitSystem::Create(config);
+    EXPECT_TRUE(system.ok());
+    return std::move(*system);
+  }
+};
+
+TEST_F(SystemTraceTest, FailureFreeCommitIsFullyTraced) {
+  auto system = Make("3PC-central");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  TraceRecorder* trace = system->trace();
+  ASSERT_NE(trace, nullptr);
+
+  // Protocol start at the coordinator, one vote per site, one decision
+  // per site, and exactly the 5(n-1)=10 protocol messages.
+  EXPECT_EQ(trace->Count(TraceEventType::kProtocolStart, txn), 1u);
+  EXPECT_EQ(trace->Count(TraceEventType::kVoteCast, txn), 3u);
+  EXPECT_EQ(trace->Count(TraceEventType::kDecision, txn), 3u);
+  EXPECT_EQ(trace->Count(TraceEventType::kMessageSent, txn), 10u);
+  EXPECT_EQ(trace->Count(TraceEventType::kMessageDelivered, txn), 10u);
+  EXPECT_EQ(trace->Count(TraceEventType::kMessageDropped, txn), 0u);
+
+  // Events are time-ordered.
+  SimTime last = 0;
+  for (const TraceEvent& e : trace->events()) {
+    EXPECT_GE(e.at, last);
+    last = e.at;
+  }
+}
+
+TEST_F(SystemTraceTest, CoordinatorCrashShowsTerminationMachinery) {
+  auto system = Make("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 0);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_FALSE(result.blocked);
+
+  TraceRecorder* trace = system->trace();
+  EXPECT_EQ(trace->Count(TraceEventType::kCrash), 1u);
+  EXPECT_GE(trace->Count(TraceEventType::kTerminationStart, txn), 1u);
+  EXPECT_GE(trace->Count(TraceEventType::kElectionWon, txn), 1u);
+  EXPECT_GE(trace->Count(TraceEventType::kTerminationDecide, txn), 1u);
+  // The two surviving slaves decide.
+  EXPECT_EQ(trace->Count(TraceEventType::kDecision, txn), 2u);
+}
+
+TEST_F(SystemTraceTest, BlockedTwoPcIsVisibleInTrace) {
+  auto system = Make("2PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 0);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.blocked);
+  EXPECT_GE(system->trace()->Count(TraceEventType::kBlocked, txn), 1u);
+}
+
+TEST_F(SystemTraceTest, RecoveryAppearsInTrace) {
+  auto system = Make("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().ScheduleCrash(3, 250);
+  system->injector().ScheduleRecovery(3, 5'000'000);
+  system->RunToCompletion(txn);
+  EXPECT_EQ(system->trace()->Count(TraceEventType::kCrash), 1u);
+  EXPECT_EQ(system->trace()->Count(TraceEventType::kRecover), 1u);
+}
+
+TEST_F(SystemTraceTest, TraceOffByDefault) {
+  SystemConfig config;
+  config.protocol = "2PC-central";
+  config.num_sites = 3;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ((*system)->trace(), nullptr);
+}
+
+TEST_F(SystemTraceTest, LaneRenderingShowsAllSites) {
+  auto system = Make("2PC-central");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  std::string lanes = system->trace()->RenderLanes(txn, 3);
+  EXPECT_NE(lanes.find("site 1"), std::string::npos);
+  EXPECT_NE(lanes.find("site 3"), std::string::npos);
+  EXPECT_NE(lanes.find("decision"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbcp

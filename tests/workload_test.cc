@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace nbcp {
+namespace {
+
+std::unique_ptr<CommitSystem> Make(const std::string& protocol,
+                                   uint64_t seed = 5) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = 4;
+  config.seed = seed;
+  auto system = CommitSystem::Create(config);
+  EXPECT_TRUE(system.ok());
+  return std::move(*system);
+}
+
+TEST(WorkloadTest, ClosedLoopCommitsEverything) {
+  auto system = Make("3PC-central");
+  WorkloadConfig config;
+  config.num_transactions = 50;
+  config.mean_interarrival_us = 0;  // Closed loop: no concurrency.
+  WorkloadResult result = RunWorkload(system.get(), config);
+  EXPECT_EQ(result.metrics.runs, 50u);
+  EXPECT_EQ(result.metrics.committed, 50u);
+  EXPECT_EQ(result.metrics.aborted, 0u);
+  EXPECT_EQ(result.metrics.inconsistent, 0u);
+  EXPECT_EQ(result.vote_no_submissions, 0u);
+}
+
+TEST(WorkloadTest, OpenLoopContentionCausesAborts) {
+  auto system = Make("2PC-central");
+  WorkloadConfig config;
+  config.num_transactions = 200;
+  config.mean_interarrival_us = 100;  // Dense arrivals: heavy overlap.
+  config.num_keys = 8;                // Tiny key space: many conflicts.
+  config.read_fraction = 0.0;
+  WorkloadResult result = RunWorkload(system.get(), config);
+  EXPECT_EQ(result.metrics.runs, 200u);
+  EXPECT_GT(result.metrics.aborted, 0u)
+      << "no-wait locking under contention must abort some transactions";
+  EXPECT_GT(result.metrics.committed, 0u);
+  EXPECT_EQ(result.metrics.committed + result.metrics.aborted, 200u);
+  EXPECT_EQ(result.metrics.inconsistent, 0u);
+  EXPECT_GT(result.vote_no_submissions, 0u);
+}
+
+TEST(WorkloadTest, SkewIncreasesContention) {
+  WorkloadConfig base;
+  base.num_transactions = 150;
+  base.mean_interarrival_us = 100;
+  base.num_keys = 50;
+  base.read_fraction = 0.0;
+
+  auto uniform_system = Make("2PC-central");
+  WorkloadResult uniform = RunWorkload(uniform_system.get(), base);
+
+  WorkloadConfig skewed = base;
+  skewed.key_skew = 1.5;  // Hot keys.
+  auto skew_system = Make("2PC-central");
+  WorkloadResult hot = RunWorkload(skew_system.get(), skewed);
+
+  EXPECT_GT(hot.metrics.aborted, uniform.metrics.aborted)
+      << "zipf-skewed keys must conflict more than uniform keys";
+}
+
+TEST(WorkloadTest, ReadsCoexistWithoutAborting) {
+  auto system = Make("2PC-central");
+  WorkloadConfig config;
+  config.num_transactions = 150;
+  config.mean_interarrival_us = 50;
+  config.num_keys = 4;
+  config.read_fraction = 1.0;  // Shared locks only.
+  WorkloadResult result = RunWorkload(system.get(), config);
+  EXPECT_EQ(result.metrics.aborted, 0u)
+      << "read-only transactions share locks and never conflict";
+  EXPECT_EQ(result.metrics.committed, 150u);
+}
+
+TEST(WorkloadTest, ThroughputOrderingMatchesRoundCounts) {
+  WorkloadConfig config;
+  config.num_transactions = 100;
+  config.mean_interarrival_us = 0;  // Closed loop isolates protocol cost.
+
+  auto two = Make("2PC-central");
+  auto three = Make("3PC-central");
+  WorkloadResult r2 = RunWorkload(two.get(), config);
+  WorkloadResult r3 = RunWorkload(three.get(), config);
+  EXPECT_GT(r2.committed_per_virtual_second(),
+            r3.committed_per_virtual_second())
+      << "2PC must outrun 3PC failure-free";
+}
+
+TEST(WorkloadTest, DeterministicAcrossRuns) {
+  WorkloadConfig config;
+  config.num_transactions = 80;
+  config.mean_interarrival_us = 120;
+  config.num_keys = 10;
+
+  uint64_t committed[2];
+  for (int i = 0; i < 2; ++i) {
+    auto system = Make("3PC-central", 42);
+    committed[i] = RunWorkload(system.get(), config).metrics.committed;
+  }
+  EXPECT_EQ(committed[0], committed[1]);
+}
+
+TEST(WorkloadTest, WorkloadSurvivesMidStreamCrash) {
+  auto system = Make("3PC-central");
+  system->injector().ScheduleCrash(3, 5'000);
+  system->injector().ScheduleRecovery(3, 40'000);
+  WorkloadConfig config;
+  config.num_transactions = 100;
+  config.mean_interarrival_us = 300;
+  WorkloadResult result = RunWorkload(system.get(), config);
+  EXPECT_EQ(result.metrics.inconsistent, 0u);
+  EXPECT_EQ(result.metrics.blocked, 0u) << "3PC must not block";
+  // Every transaction decides: the ones launched during the outage abort
+  // via immediate termination, the rest commit (or abort on conflicts).
+  EXPECT_EQ(result.metrics.committed + result.metrics.aborted, 100u);
+  EXPECT_GT(result.metrics.committed, 0u);
+  EXPECT_GT(result.metrics.aborted, 0u);
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,156 @@
+// nbcp-analyze: the paper's methodology as a command-line tool.
+//
+//   nbcp-analyze check <file.nbcp> [n]        validate + theorem + tables
+//   nbcp-analyze synthesize <file.nbcp> [n]   emit the nonblocking version
+//   nbcp-analyze dot <file.nbcp>              emit Graphviz
+//   nbcp-analyze simulate <file.nbcp> [n] [seed] [--crash-coordinator]
+//                                             run one transaction
+//   nbcp-analyze builtin <name>               dump a builtin in the DSL
+//   nbcp-analyze list                         list builtin protocols
+//
+// Protocol files use the text format documented in fsa/spec_parser.h.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/buffer_synthesis.h"
+#include "analysis/concurrency_set.h"
+#include "analysis/nonblocking.h"
+#include "analysis/state_graph.h"
+#include "analysis/synchronicity.h"
+#include "core/transaction_manager.h"
+#include "fsa/dot_export.h"
+#include "fsa/spec_parser.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+using namespace nbcp;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Result<ProtocolSpec> LoadSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseProtocolSpec(text.str());
+}
+
+int Check(const ProtocolSpec& spec, size_t n) {
+  std::printf("protocol: %s (%s, %d phases, %zu sites analyzed)\n",
+              spec.name().c_str(), ToString(spec.paradigm()).c_str(),
+              spec.NumPhases(), n);
+  auto graph = ReachableStateGraph::Build(spec, n);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  std::printf("reachable global states: %zu (edges %zu)\n",
+              graph->num_nodes(), graph->num_edges());
+  std::printf("inconsistent: %zu, deadlocked: %zu\n",
+              graph->InconsistentNodes().size(),
+              graph->DeadlockedNodes().size());
+  auto sync = CheckSynchronicity(*graph);
+  std::printf("synchronous within one transition: %s (max lead %d)\n",
+              sync.synchronous_within_one() ? "yes" : "no", sync.max_lead);
+
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  for (SiteId site = 1; site <= n; ++site) {
+    RoleIndex role = spec.RoleForSite(site, n);
+    if (site > 1 && role == spec.RoleForSite(site - 1, n)) continue;
+    std::printf("\nconcurrency sets (site %u, role %s):\n", site,
+                spec.role_name(role).c_str());
+    const Automaton& automaton = spec.role(role);
+    for (size_t s = 0; s < automaton.num_states(); ++s) {
+      auto state = static_cast<StateIndex>(s);
+      if (!analysis.IsOccupied(site, state)) continue;
+      std::printf("  CS(%s) = %-28s committable=%s\n",
+                  automaton.state(state).name.c_str(),
+                  analysis.FormatConcurrencySet(site, state).c_str(),
+                  analysis.IsCommittable(site, state) ? "yes" : "no");
+    }
+  }
+
+  NonblockingReport report = CheckNonblocking(analysis);
+  std::printf("\n%s", report.ToString().c_str());
+  return report.nonblocking ? 0 : 2;
+}
+
+int Simulate(ProtocolSpec spec, size_t n, uint64_t seed,
+             bool crash_coordinator) {
+  SystemConfig config;
+  config.num_sites = n;
+  config.seed = seed;
+  config.trace = true;
+  auto system = CommitSystem::CreateWithSpec(config, std::move(spec));
+  if (!system.ok()) return Fail(system.status().ToString());
+  TransactionId txn = (*system)->Begin();
+  if (crash_coordinator) {
+    (*system)->injector().ScheduleCrash(1, 250);
+  }
+  TxnResult result = (*system)->RunToCompletion(txn);
+  std::printf("%s\n", (*system)->trace()->RenderLanes(txn, n).c_str());
+  std::printf("%s\n", result.ToString().c_str());
+  return result.consistent ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: nbcp-analyze "
+                 "<check|synthesize|dot|simulate|builtin|list> ...\n");
+    return 1;
+  }
+  std::string command = argv[1];
+
+  if (command == "list") {
+    for (const std::string& name : BuiltinProtocolNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (command == "builtin") {
+    if (argc < 3) return Fail("usage: builtin <name>");
+    auto spec = MakeProtocol(argv[2]);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    std::printf("%s", SerializeProtocolSpec(*spec).c_str());
+    return 0;
+  }
+
+  if (argc < 3) return Fail("missing protocol file");
+  auto spec = LoadSpec(argv[2]);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  size_t n = argc > 3 && argv[3][0] != '-'
+                 ? static_cast<size_t>(std::stoul(argv[3]))
+                 : 3;
+
+  if (command == "check") {
+    return Check(*spec, n);
+  }
+  if (command == "synthesize") {
+    auto fixed = SynthesizeNonblocking(*spec, n);
+    if (!fixed.ok()) return Fail(fixed.status().ToString());
+    std::printf("%s", SerializeProtocolSpec(*fixed).c_str());
+    return 0;
+  }
+  if (command == "dot") {
+    std::printf("%s", ToDot(*spec).c_str());
+    return 0;
+  }
+  if (command == "simulate") {
+    uint64_t seed = argc > 4 && argv[4][0] != '-'
+                        ? std::stoull(argv[4])
+                        : 42;
+    bool crash = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--crash-coordinator") crash = true;
+    }
+    return Simulate(std::move(*spec), n, seed, crash);
+  }
+  return Fail("unknown command '" + command + "'");
+}
