@@ -52,6 +52,7 @@ Row RunTrials(const std::string& protocol, size_t n, SiteId victim,
 
 int main() {
   const int kTrials = 400;
+  bench::JsonReport report("blocking_probability");
   bench::Banner("Q2",
                 "Blocking probability under a randomly-timed site crash");
   std::printf("crash time uniform in [0, 600us] (the full protocol window), "
@@ -74,6 +75,15 @@ int main() {
                                : 0.0,
                 row.committed, row.aborted, row.terminations,
                 row.inconsistent);
+    report.AddRow(
+        "timed_crash",
+        {{"protocol", Json(c.protocol)},
+         {"victim", Json(static_cast<uint64_t>(c.victim))},
+         {"blocked", Json(row.blocked)},
+         {"p_block", Json(row.trials > 0
+                              ? static_cast<double>(row.blocked) / row.trials
+                              : 0.0)},
+         {"inconsistent", Json(row.inconsistent)}});
   }
 
   std::printf(
@@ -162,9 +172,13 @@ int main() {
     }
     std::printf("%10lu %22.2f %22.2f\n", static_cast<unsigned long>(t), p[0],
                 p[1]);
+    report.AddRow("crash_time_sweep", {{"crash_t_us", Json(t)},
+                                       {"p_block_2pc", Json(p[0])},
+                                       {"p_block_3pc", Json(p[1])}});
   }
   std::printf(
       "\n2PC blocks when the crash lands in the coordinator's decision\n"
       "window (votes collected, commit not yet delivered); 3PC is flat 0.\n");
+  report.Write();
   return 0;
 }

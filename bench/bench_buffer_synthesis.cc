@@ -12,6 +12,7 @@
 using namespace nbcp;
 
 int main() {
+  bench::JsonReport report("buffer_synthesis");
   bench::Banner("F6", "Buffer-state synthesis: 2PC -> 3PC");
 
   struct Case {
@@ -37,8 +38,9 @@ int main() {
     std::printf("%-20s -> %-28s theorem: %s", c.input.name().c_str(),
                 result->name().c_str(),
                 check.ok() && check->nonblocking ? "NONBLOCKING" : "blocking");
+    bool iso = false;
     if (c.reference != nullptr) {
-      bool iso = true;
+      iso = true;
       for (size_t r = 0; r < c.reference->num_roles(); ++r) {
         iso = iso && AutomataIsomorphic(result->role(static_cast<RoleIndex>(r)),
                                         c.reference->role(
@@ -48,6 +50,11 @@ int main() {
                   iso ? "YES" : "no");
     }
     std::printf("\n");
+    report.AddRow("synthesis",
+                  {{"input", Json(c.input.name())},
+                   {"output", Json(result->name())},
+                   {"nonblocking", Json(check.ok() && check->nonblocking)},
+                   {"isomorphic_to_reference", Json(iso)}});
   }
 
   bench::Banner("F6 detail", "Synthesized 2PC-central-buffered transition tables");
@@ -60,5 +67,6 @@ int main() {
                   TransitionTable(synthesized->role(role)).c_str());
     }
   }
+  report.Write();
   return 0;
 }

@@ -13,7 +13,7 @@ using namespace nbcp;
 namespace {
 
 TxnResult RunOne(const std::string& protocol, size_t n, bool crash,
-                 bool ring, uint64_t seed) {
+                 bool ring, uint64_t seed, MetricsRegistry* acc) {
   SystemConfig config;
   config.protocol = protocol;
   config.num_sites = n;
@@ -27,15 +27,17 @@ TxnResult RunOne(const std::string& protocol, size_t n, bool crash,
                                                   : msg::kCommit;
     (*system)->injector().CrashDuringBroadcast(1, txn, decision_msg, n / 2);
   }
-  return (*system)->RunToCompletion(txn);
+  TxnResult result = (*system)->RunToCompletion(txn);
+  if (acc != nullptr) acc->Merge((*system)->registry());
+  return result;
 }
 
 double MeanLatency(const std::string& protocol, size_t n, bool crash,
-                   bool ring, int trials) {
+                   bool ring, int trials, MetricsRegistry* acc = nullptr) {
   double total = 0;
   int counted = 0;
   for (int t = 0; t < trials; ++t) {
-    TxnResult r = RunOne(protocol, n, crash, ring, 100 + t);
+    TxnResult r = RunOne(protocol, n, crash, ring, 100 + t, acc);
     if (r.blocked) continue;  // Blocked runs have no completion latency.
     total += static_cast<double>(r.latency());
     ++counted;
@@ -47,6 +49,9 @@ double MeanLatency(const std::string& protocol, size_t n, bool crash,
 
 int main() {
   const int kTrials = 50;
+  bench::JsonReport report("commit_latency");
+  report.root()["trials"] = Json(kTrials);
+
   bench::Banner("Q3", "Commit latency, failure-free vs coordinator crash");
   std::printf("delays: base 100us + up to 50us jitter; detection 500us; "
               "%d trials per cell; latency in us\n\n", kTrials);
@@ -56,10 +61,17 @@ int main() {
        {std::string("2PC-central"), std::string("3PC-central"),
         std::string("3PC-decentralized")}) {
     for (size_t n : {3, 5, 9}) {
-      double clean = MeanLatency(protocol, n, false, false, kTrials);
-      double crash = MeanLatency(protocol, n, true, false, kTrials);
+      std::string key = protocol + "/n=" + std::to_string(n);
+      double clean = MeanLatency(protocol, n, false, false, kTrials,
+                                 &report.cell(key + "/clean"));
+      double crash = MeanLatency(protocol, n, true, false, kTrials,
+                                 &report.cell(key + "/crash"));
       std::printf("%-20s %4zu %14.0f %26.0f %9.1fx\n", protocol.c_str(), n,
                   clean, crash, crash > 0 && clean > 0 ? crash / clean : 0.0);
+      report.AddRow("latency", {{"protocol", Json(protocol)},
+                                {"n", Json(n)},
+                                {"clean_mean_us", Json(clean)},
+                                {"crash_mean_us", Json(crash)}});
     }
   }
   std::printf(
@@ -75,8 +87,12 @@ int main() {
     double bully = MeanLatency("3PC-central", n, true, false, kTrials);
     double ring = MeanLatency("3PC-central", n, true, true, kTrials);
     std::printf("%-20s %4zu %18.0f %18.0f\n", "3PC-central", n, bully, ring);
+    report.AddRow("election_ablation", {{"n", Json(n)},
+                                        {"bully_mean_us", Json(bully)},
+                                        {"ring_mean_us", Json(ring)}});
   }
   std::printf("\nRing circulates O(n) sequential hops vs bully's O(1) "
               "rounds: ring termination latency grows with n.\n");
+  report.Write();
   return 0;
 }

@@ -36,6 +36,7 @@ void PrintForAutomaton(const char* title, const Automaton& automaton,
 }  // namespace
 
 int main() {
+  bench::JsonReport report("concurrency_sets");
   bench::Banner("F4", "Concurrency sets in the canonical 2PC protocol");
   std::printf("paper: CS(q)={q,w,a}  CS(w)={q,w,a,c}  CS(a)={q,w,a}  "
               "CS(c)={w,c}; only c committable\n");
@@ -63,8 +64,16 @@ int main() {
                     automaton.state(state).name.c_str(),
                     analysis.FormatConcurrencySet(rs.site, state).c_str(),
                     analysis.IsCommittable(rs.site, state) ? "yes" : "no");
+        report.AddRow(
+            "concurrency_sets",
+            {{"protocol", Json(spec.name())},
+             {"role", Json(spec.role_name(rs.role))},
+             {"state", Json(automaton.state(state).name)},
+             {"cs", Json(analysis.FormatConcurrencySet(rs.site, state))},
+             {"committable", Json(analysis.IsCommittable(rs.site, state))}});
       }
     }
   }
+  report.Write();
   return 0;
 }

@@ -30,6 +30,7 @@ uint64_t Expected(const std::string& protocol, uint64_t n) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("message_complexity");
   bench::Banner("Q1", "Message complexity and phases (failure-free commit)");
   std::printf("%-20s %6s %8s %10s %10s %8s %12s\n", "protocol", "n",
               "phases", "messages", "analytic", "match", "latency(us)");
@@ -56,11 +57,20 @@ int main() {
                   static_cast<unsigned long>(expected),
                   result.messages == expected ? "yes" : "NO",
                   static_cast<unsigned long>(result.latency()));
+      report.AddRow("messages",
+                    {{"protocol", Json(name)},
+                     {"n", Json(n)},
+                     {"phases", Json(spec->NumPhases())},
+                     {"messages", Json(result.messages)},
+                     {"analytic", Json(expected)},
+                     {"match", Json(result.messages == expected)},
+                     {"latency_us", Json(result.latency())}});
     }
     std::printf("\n");
   }
   std::printf(
       "3PC pays 2(n-1) extra messages (central) / n(n-1) (decentralized)\n"
       "and one extra phase over 2PC — the price of nonblocking.\n");
+  report.Write();
   return 0;
 }

@@ -12,6 +12,7 @@
 using namespace nbcp;
 
 int main() {
+  bench::JsonReport json("nonblocking_check");
   bench::Banner("F5/F7/F8", "Fundamental Nonblocking Theorem verdicts");
   std::printf("%-20s %4s %-12s %-11s %s\n", "protocol", "n", "verdict",
               "violations", "satisfying sites");
@@ -26,6 +27,11 @@ int main() {
       std::printf("%-20s %4zu %-12s %-11zu %s\n", name.c_str(), n,
                   report->nonblocking ? "NONBLOCKING" : "BLOCKING",
                   report->violations.size(), sat.c_str());
+      json.AddRow("verdicts",
+                  {{"protocol", Json(name)},
+                   {"n", Json(n)},
+                   {"nonblocking", Json(report->nonblocking)},
+                   {"violations", Json(report->violations.size())}});
     }
   }
 
@@ -57,5 +63,6 @@ int main() {
       std::printf("\n");
     }
   }
+  json.Write();
   return 0;
 }

@@ -21,7 +21,8 @@ struct Scenario {
   size_t prepares_delivered;  // Before the coordinator crash.
 };
 
-void RunScenario(const std::string& protocol, const Scenario& sc) {
+void RunScenario(const std::string& protocol, const Scenario& sc,
+                 bench::JsonReport* report) {
   SystemConfig config;
   config.protocol = protocol;
   config.num_sites = 5;
@@ -50,11 +51,21 @@ void RunScenario(const std::string& protocol, const Scenario& sc) {
               mid.blocked ? "blocked" : "done",
               ToString(healed.outcome).c_str(),
               healed.consistent ? "consistent" : "INCONSISTENT");
+  report->AddRow("partition",
+                 {{"protocol", Json(protocol)},
+                  {"scenario", Json(sc.name)},
+                  {"partitioned_outcome", Json(ToString(mid.outcome))},
+                  {"partitioned_consistent", Json(mid.consistent)},
+                  {"partitioned_blocked", Json(mid.blocked)},
+                  {"healed_outcome", Json(ToString(healed.outcome))},
+                  {"healed_consistent", Json(healed.consistent)}});
+  report->cell(protocol).Merge(s.registry());
 }
 
 }  // namespace
 
 int main() {
+  bench::JsonReport report("partition");
   bench::Banner("E1", "Partition study: 3PC vs quorum 3PC");
   std::printf(
       "5 sites, unanimous yes votes, coordinator crashes after delivering\n"
@@ -69,7 +80,7 @@ int main() {
   };
   for (const Scenario& sc : scenarios) {
     for (const char* protocol : {"3PC-central", "Q3PC-central"}) {
-      RunScenario(protocol, sc);
+      RunScenario(protocol, sc, &report);
     }
     std::printf("\n");
   }
@@ -78,5 +89,6 @@ int main() {
       "terminates on its own view) and the damage persists after the heal.\n"
       "Q3PC rows are always consistent: a side without a quorum blocks,\n"
       "and the heal resolves every survivor to one outcome.\n");
+  report.Write();
   return 0;
 }

@@ -12,7 +12,7 @@ using namespace nbcp;
 
 namespace {
 
-void PrintSpec(const ProtocolSpec& spec) {
+void PrintSpec(const ProtocolSpec& spec, bench::JsonReport* report) {
   std::printf("protocol: %s (%s paradigm, %d phases)\n", spec.name().c_str(),
               ToString(spec.paradigm()).c_str(), spec.NumPhases());
   for (size_t r = 0; r < spec.num_roles(); ++r) {
@@ -21,27 +21,33 @@ void PrintSpec(const ProtocolSpec& spec) {
     std::printf("%s", TransitionTable(spec.role(role)).c_str());
   }
   std::printf("\nDOT (render with graphviz):\n%s\n", ToDot(spec).c_str());
+  report->AddRow("specs", {{"protocol", Json(spec.name())},
+                           {"paradigm", Json(ToString(spec.paradigm()))},
+                           {"phases", Json(spec.NumPhases())},
+                           {"roles", Json(spec.num_roles())}});
 }
 
 }  // namespace
 
 int main() {
+  bench::JsonReport report("protocol_specs");
   bench::Banner("F1", "The FSAs for the 2PC protocol (central site)");
-  PrintSpec(MakeTwoPhaseCentral());
+  PrintSpec(MakeTwoPhaseCentral(), &report);
 
   bench::Banner("F3", "The decentralized 2PC protocol");
-  PrintSpec(MakeTwoPhaseDecentralized());
+  PrintSpec(MakeTwoPhaseDecentralized(), &report);
 
   bench::Banner("F7", "A nonblocking central site 3PC protocol");
-  PrintSpec(MakeThreePhaseCentral());
+  PrintSpec(MakeThreePhaseCentral(), &report);
 
   bench::Banner("F8", "A nonblocking decentralized 3PC protocol");
-  PrintSpec(MakeThreePhaseDecentralized());
+  PrintSpec(MakeThreePhaseDecentralized(), &report);
 
   bench::Banner("F6b", "The canonical 2PC protocol and its buffered form");
   std::printf("canonical 2PC:\n%s\n",
               TransitionTable(MakeCanonicalTwoPhase()).c_str());
   std::printf("canonical with buffer state p:\n%s\n",
               TransitionTable(MakeCanonicalBuffered()).c_str());
+  report.Write();
   return 0;
 }

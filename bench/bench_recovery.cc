@@ -19,6 +19,7 @@
 using namespace nbcp;
 
 int main() {
+  bench::JsonReport report("recovery");
   bench::Banner("E2a", "State-graph growth under site failures");
   std::printf("%-20s %4s %14s %12s %12s %14s\n", "protocol", "n",
               "failure-free", "1 failure", "2 failures", "partial-sends");
@@ -44,6 +45,15 @@ int main() {
       std::printf("%-20s %4zu %14zu %12zu %12zu %14zu\n", name.c_str(), n,
                   counts[0], counts[1], counts[2],
                   with_partial.ok() ? with_partial->num_nodes() : 0);
+      report.AddRow(
+          "failure_growth",
+          {{"protocol", Json(name)},
+           {"n", Json(n)},
+           {"failure_free", Json(counts[0])},
+           {"one_failure", Json(counts[1])},
+           {"two_failures", Json(counts[2])},
+           {"partial_sends",
+            Json(with_partial.ok() ? with_partial->num_nodes() : 0)}});
     }
   }
   std::printf("\nAtomicity check across every crash timing (incl. partial "
@@ -91,6 +101,15 @@ int main() {
                 ToString(result.site_outcomes.at(3)).c_str(),
                 ToString(result.outcome).c_str(),
                 when.has_value() ? static_cast<long>(*when - 5000) : -1);
+    report.AddRow(
+        "recovery_latency",
+        {{"protocol", Json(name)},
+         {"outcome", Json(ToString(result.outcome))},
+         {"resolve_latency_us",
+          Json(when.has_value() ? static_cast<int64_t>(*when - 5000)
+                                : static_cast<int64_t>(-1))}});
+    report.cell(name).Merge(s.registry());
   }
+  report.Write();
   return 0;
 }

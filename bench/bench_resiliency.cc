@@ -13,6 +13,7 @@
 using namespace nbcp;
 
 int main() {
+  bench::JsonReport json("resiliency");
   bench::Banner("Q5a", "Corollary: maximum tolerated failures (analytic)");
   std::printf("%-20s %4s %18s %22s\n", "protocol", "n", "satisfying sites",
               "max tolerated failures");
@@ -23,6 +24,12 @@ int main() {
       std::printf("%-20s %4zu %18zu %22zu\n", name.c_str(), n,
                   report->satisfying_sites.size(),
                   report->max_tolerated_failures());
+      json.AddRow(
+          "analytic",
+          {{"protocol", Json(name)},
+           {"n", Json(n)},
+           {"satisfying_sites", Json(report->satisfying_sites.size())},
+           {"max_tolerated", Json(report->max_tolerated_failures())}});
     }
   }
 
@@ -64,11 +71,18 @@ int main() {
       }
       std::printf("  %5.2f (%d)   ",
                   static_cast<double>(blocked) / kTrials, inconsistent);
+      json.AddRow("empirical",
+                  {{"protocol", Json(name)},
+                   {"k", Json(k)},
+                   {"blocked_rate",
+                    Json(static_cast<double>(blocked) / kTrials)},
+                   {"inconsistent", Json(inconsistent)}});
     }
     std::printf("\n");
   }
   std::printf(
       "\nExpected shape: 3PC rows are 0.00 through k=4 (nonblocking with\n"
       "respect to n-1 failures); 2PC rows block with growing probability.\n");
+  json.Write();
   return 0;
 }

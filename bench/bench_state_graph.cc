@@ -11,6 +11,7 @@
 using namespace nbcp;
 
 int main() {
+  bench::JsonReport report("state_graph");
   bench::Banner("F2", "Reachable state graph for the 2-site 2PC protocol");
   {
     auto graph = ReachableStateGraph::Build(*MakeProtocol("2PC-central"), 2);
@@ -38,6 +39,11 @@ int main() {
                 graph->InconsistentNodes().size(),
                 graph->InconsistentNodes().empty() ? "yes" : "NO");
     std::printf("deadlocked states: %zu\n", graph->DeadlockedNodes().size());
+    report.AddRow("f2",
+                  {{"nodes", Json(graph->num_nodes())},
+                   {"edges", Json(graph->num_edges())},
+                   {"inconsistent", Json(graph->InconsistentNodes().size())},
+                   {"deadlocked", Json(graph->DeadlockedNodes().size())}});
   }
 
   bench::Banner("Q4", "State-graph growth with the number of sites");
@@ -53,10 +59,16 @@ int main() {
       std::printf("%-20s %6zu %10zu %10zu %10zu %8s\n", name.c_str(), n,
                   graph->num_nodes(), graph->NumProjectedNodes(),
                   graph->num_edges(), graph->complete() ? "yes" : "capped");
+      report.AddRow("growth", {{"protocol", Json(name)},
+                               {"n", Json(n)},
+                               {"nodes", Json(graph->num_nodes())},
+                               {"edges", Json(graph->num_edges())},
+                               {"complete", Json(graph->complete())}});
     }
   }
   std::printf(
       "\nEach added site multiplies the interleavings: exponential growth,\n"
       "matching the paper's remark that the graph is rarely built in full.\n");
+  report.Write();
   return 0;
 }

@@ -38,6 +38,7 @@ void PrintDecisionTable(const char* title, const Automaton& automaton) {
 }  // namespace
 
 int main() {
+  bench::JsonReport json("termination");
   bench::Banner("F9", "Decision rule for backup coordinators");
   std::printf("paper (canonical 3PC): commit if s in {p, c}; abort if s in "
               "{q, w, a}\n");
@@ -71,6 +72,14 @@ int main() {
                 result.blocked ? "yes" : "no",
                 result.consistent ? "yes" : "no",
                 result.used_termination ? "yes" : "no");
+    json.AddRow("end_to_end",
+                {{"protocol", Json("3PC-central")},
+                 {"scenario", Json(sc.description)},
+                 {"outcome", Json(ToString(result.outcome))},
+                 {"blocked", Json(result.blocked)},
+                 {"consistent", Json(result.consistent)},
+                 {"used_termination", Json(result.used_termination)}});
+    json.cell("3PC-central").Merge((*system)->registry());
   }
 
   std::printf("\nsame crash points under 2PC (the blocking contrast):\n");
@@ -91,6 +100,13 @@ int main() {
                 ToString(result.outcome).c_str(),
                 result.blocked ? "yes" : "no",
                 result.consistent ? "yes" : "no");
+    json.AddRow("end_to_end",
+                {{"protocol", Json("2PC-central")},
+                 {"scenario", Json(sc.description)},
+                 {"outcome", Json(ToString(result.outcome))},
+                 {"blocked", Json(result.blocked)},
+                 {"consistent", Json(result.consistent)}});
+    json.cell("2PC-central").Merge((*system)->registry());
   }
 
   bench::Banner("F9 exhaustive",
@@ -104,9 +120,17 @@ int main() {
     std::printf("%-20s %10zu %10zu %10zu %10zu %14zu\n", name.c_str(),
                 report->global_states, report->scenarios, report->decided,
                 report->blocked, report->inconsistencies.size());
+    json.AddRow("model_check",
+                {{"protocol", Json(name)},
+                 {"states", Json(report->global_states)},
+                 {"scenarios", Json(report->scenarios)},
+                 {"decided", Json(report->decided)},
+                 {"blocked", Json(report->blocked)},
+                 {"contradictions", Json(report->inconsistencies.size())}});
   }
   std::printf(
       "\ncontradictions must be 0 for every protocol; blocked must be 0 for\n"
       "the nonblocking ones (3PC, Q3PC) — the theorem, checked semantically.\n");
+  json.Write();
   return 0;
 }

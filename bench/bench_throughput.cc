@@ -26,7 +26,7 @@ namespace {
 // ---------------------------------------------------------------------
 // Q6 table: virtual-time throughput of a mixed KV workload.
 // ---------------------------------------------------------------------
-void RunThroughputTable() {
+void RunThroughputTable(bench::JsonReport* report) {
   bench::Banner("Q6", "KV transaction throughput per commit protocol");
   std::printf("closed loop: 200 serial transactions (pure protocol cost).\n"
               "open loop: Poisson arrivals every ~150us over 12 hot keys —\n"
@@ -45,6 +45,7 @@ void RunThroughputTable() {
     auto closed_system = CommitSystem::Create(config);
     if (!closed_system.ok()) continue;
     WorkloadResult serial = RunWorkload(closed_system->get(), closed);
+    report->cell(name + "/closed").Merge((*closed_system)->registry());
 
     WorkloadConfig open;
     open.num_transactions = 400;
@@ -54,6 +55,7 @@ void RunThroughputTable() {
     auto open_system = CommitSystem::Create(config);
     if (!open_system.ok()) continue;
     WorkloadResult contended = RunWorkload(open_system->get(), open);
+    report->cell(name + "/open").Merge((*open_system)->registry());
 
     std::printf("%-20s | %12.0f | %10.0f %10lu %10lu %11.1f%%\n",
                 name.c_str(), serial.committed_per_virtual_second(),
@@ -61,6 +63,14 @@ void RunThroughputTable() {
                 static_cast<unsigned long>(contended.metrics.committed),
                 static_cast<unsigned long>(contended.metrics.aborted),
                 contended.abort_rate() * 100.0);
+    report->AddRow(
+        "throughput",
+        {{"protocol", Json(name)},
+         {"closed_tps", Json(serial.committed_per_virtual_second())},
+         {"open_tps", Json(contended.committed_per_virtual_second())},
+         {"open_committed", Json(contended.metrics.committed)},
+         {"open_aborted", Json(contended.metrics.aborted)},
+         {"open_abort_rate", Json(contended.abort_rate())}});
   }
   std::printf(
       "\nShape: 2PC outruns 3PC by the ratio of their round counts; the\n"
@@ -153,7 +163,9 @@ void BM_ConcurrencyAnalysis(benchmark::State& state) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  RunThroughputTable();
+  bench::JsonReport report("throughput");
+  RunThroughputTable(&report);
+  report.Write();
 
   bench::Banner("Q6b", "Engine/analysis micro-benchmarks (real time)");
   benchmark::RegisterBenchmark("commit/2PC-central",

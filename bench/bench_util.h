@@ -2,7 +2,14 @@
 #define NBCP_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
 
 namespace nbcp::bench {
 
@@ -15,6 +22,72 @@ inline void Banner(const std::string& experiment, const std::string& title) {
   std::printf(
       "=============================================================\n");
 }
+
+/// Machine-readable companion to a benchmark's printed tables: rows of
+/// results plus (optionally) full MetricsRegistry snapshots per
+/// experimental cell, written as BENCH_<name>.json next to the binary's
+/// working directory (or into $NBCP_BENCH_OUT when set). run_all.sh
+/// collects these into BENCH_RESULTS.json.
+///
+/// Typical use:
+///   bench::JsonReport report("commit_latency");
+///   ...
+///   report.cell("3PC-central/n=5/crash").Merge(system->registry());
+///   report.AddRow("latency", {{"protocol", Json("3PC-central")}, ...});
+///   ...
+///   report.Write();  // at the end of main
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    root_ = Json::Object();
+    root_["bench"] = Json(name_);
+    root_["rows"] = Json::Array();
+  }
+
+  /// Free-form access to the document root.
+  Json& root() { return root_; }
+
+  /// Accumulator registry for one experimental cell; merge each run's
+  /// CommitSystem registry into it. Serialized under "cells".<key> —
+  /// including the per-phase latency histograms ("phase/<name>/latency_us"
+  /// with p50/p95/p99).
+  MetricsRegistry& cell(const std::string& key) { return cells_[key]; }
+
+  /// Appends one result row (a labelled record mirroring a printed line).
+  void AddRow(const std::string& table,
+              std::map<std::string, Json> fields) {
+    Json row = Json::Object();
+    row["table"] = Json(table);
+    for (auto& [key, value] : fields) row[key] = std::move(value);
+    root_["rows"].Append(std::move(row));
+  }
+
+  /// Writes BENCH_<name>.json. Returns the path (empty on failure).
+  std::string Write() {
+    Json cells = Json::Object();
+    for (auto& [key, registry] : cells_) cells[key] = registry.ToJson();
+    root_["cells"] = std::move(cells);
+
+    const char* out_dir = std::getenv("NBCP_BENCH_OUT");
+    std::string path = (out_dir != nullptr && out_dir[0] != '\0'
+                            ? std::string(out_dir) + "/"
+                            : std::string()) +
+                       "BENCH_" + name_ + ".json";
+    Status status = WriteFile(path, root_.Dump(2) + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench: cannot write %s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return "";
+    }
+    std::printf("\n[snapshot written to %s]\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  Json root_;
+  std::map<std::string, MetricsRegistry> cells_;
+};
 
 }  // namespace nbcp::bench
 

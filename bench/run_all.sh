@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects the per-bench BENCH_<name>.json
+# metric snapshots into a single BENCH_RESULTS.json.
+#
+# Usage: bench/run_all.sh [build-dir] [out-dir]
+#   build-dir  defaults to ./build
+#   out-dir    defaults to ./bench_results (also settable via NBCP_BENCH_OUT)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+OUT_DIR="${2:-${NBCP_BENCH_OUT:-$ROOT/bench_results}}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: bench dir '$BENCH_DIR' not found (build first: cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+export NBCP_BENCH_OUT="$OUT_DIR"
+
+failures=0
+for bin in "$BENCH_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "==> $name"
+  # bench_throughput embeds google-benchmark micro-benches; keep them short.
+  case "$name" in
+    bench_throughput) args="--benchmark_min_time=0.01s" ;;
+    *) args="" ;;
+  esac
+  if ! "$bin" $args > "$OUT_DIR/$name.txt" 2>&1; then
+    echo "    FAILED (see $OUT_DIR/$name.txt)" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+# Merge every BENCH_<name>.json into one keyed document.
+python3 - "$OUT_DIR" <<'EOF'
+import json, sys, glob, os
+out_dir = sys.argv[1]
+merged = {}
+for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
+    if os.path.basename(path) == "BENCH_RESULTS.json":
+        continue
+    with open(path) as f:
+        doc = json.load(f)
+    merged[doc.get("bench", os.path.basename(path))] = doc
+result = os.path.join(out_dir, "BENCH_RESULTS.json")
+with open(result, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+print(f"collected {len(merged)} snapshots -> {result}")
+EOF
+
+exit "$failures"

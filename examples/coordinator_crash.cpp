@@ -36,6 +36,16 @@ void RunScenario(const std::string& protocol) {
 
   std::printf("\n--- event timeline (per-site lanes) ---\n%s",
               s.trace()->RenderLanes(txn, 4).c_str());
+
+  // Structured export: inspect with `nbcp-trace <file>` or load the Chrome
+  // variant in chrome://tracing.
+  std::string jsonl_path = "coordinator_crash_" + protocol + ".trace.jsonl";
+  std::string chrome_path = "coordinator_crash_" + protocol + ".chrome.json";
+  if (s.ExportTraceJsonl(jsonl_path).ok() &&
+      s.ExportTraceChrome(chrome_path).ok()) {
+    std::printf("\n-> trace written to %s (and %s)\n", jsonl_path.c_str(),
+                chrome_path.c_str());
+  }
   std::printf("\n-> result: %s\n", result.ToString().c_str());
   for (SiteId site = 2; site <= 4; ++site) {
     std::printf("   site %u: outcome=%-10s blocked=%s\n", site,

@@ -28,9 +28,31 @@ Logger& Logger::Get() {
   return *logger;
 }
 
-void Logger::Write(LogLevel level, const std::string& message) {
+uint64_t Logger::SetTimeSource(TimeSource source) {
+  time_source_ = std::move(source);
+  return ++time_source_token_;
+}
+
+void Logger::ClearTimeSource(uint64_t token) {
+  if (token == time_source_token_) time_source_ = nullptr;
+}
+
+void Logger::Write(LogLevel level, const std::string& message, SiteId site) {
   if (!Enabled(level)) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::string header = "[";
+  header += LevelName(level);
+  if (time_source_) {
+    header += " t=" + std::to_string(time_source_()) + "us";
+  }
+  if (site != kNoSite) {
+    header += " site=" + std::to_string(site);
+  }
+  header += "]";
+  if (sink_) {
+    sink_(header + " " + message);
+    return;
+  }
+  std::fprintf(stderr, "%s %s\n", header.c_str(), message.c_str());
 }
 
 }  // namespace nbcp

@@ -1,8 +1,12 @@
 #ifndef NBCP_COMMON_LOGGING_H_
 #define NBCP_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
+
+#include "common/types.h"
 
 namespace nbcp {
 
@@ -12,8 +16,16 @@ enum class LogLevel : uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError };
 /// Minimal leveled logger writing to stderr. Intended for protocol tracing
 /// in examples and debugging; benchmarks run with logging off (default
 /// threshold kWarn).
+///
+/// When a CommitSystem is alive it installs its simulator as the time
+/// source, so records carry virtual-time context: `[WARN t=1200us site=3]`.
 class Logger {
  public:
+  /// Returns the current virtual time in microseconds.
+  using TimeSource = std::function<uint64_t()>;
+  /// Receives fully formatted records instead of stderr (tests, CLIs).
+  using Sink = std::function<void(const std::string&)>;
+
   /// Process-wide logger instance.
   static Logger& Get();
 
@@ -22,12 +34,28 @@ class Logger {
 
   bool Enabled(LogLevel level) const { return level >= level_; }
 
+  /// Installs a virtual-time source; returns a token for ClearTimeSource.
+  /// The last installer wins (systems are created/destroyed LIFO in
+  /// practice).
+  uint64_t SetTimeSource(TimeSource source);
+
+  /// Uninstalls the time source if `token` identifies the current one.
+  void ClearTimeSource(uint64_t token);
+
+  /// Redirects output (nullptr restores stderr).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
   /// Writes one record; thread-compatible (the simulator is single-threaded).
-  void Write(LogLevel level, const std::string& message);
+  /// `site` = kNoSite omits the site tag.
+  void Write(LogLevel level, const std::string& message,
+             SiteId site = kNoSite);
 
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
+  TimeSource time_source_;
+  uint64_t time_source_token_ = 0;
+  Sink sink_;
 };
 
 namespace log_internal {
@@ -35,8 +63,9 @@ namespace log_internal {
 /// Builds a log line with stream syntax and emits it on destruction.
 class LogMessage {
  public:
-  LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+  explicit LogMessage(LogLevel level, SiteId site = kNoSite)
+      : level_(level), site_(site) {}
+  ~LogMessage() { Logger::Get().Write(level_, stream_.str(), site_); }
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
@@ -45,6 +74,7 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  SiteId site_;
   std::ostringstream stream_;
 };
 
@@ -53,6 +83,21 @@ class LogMessage {
 
 #define NBCP_LOG(level)                                          \
   if (!::nbcp::Logger::Get().Enabled(::nbcp::LogLevel::level)) { \
+  } else                                                         \
+    ::nbcp::log_internal::LogMessage(::nbcp::LogLevel::level).stream()
+
+/// Like NBCP_LOG but tags the record with a site id:
+///   NBCP_LOG_AT(kWarn, site_) << "prepare failed";
+#define NBCP_LOG_AT(level, site)                                 \
+  if (!::nbcp::Logger::Get().Enabled(::nbcp::LogLevel::level)) { \
+  } else                                                         \
+    ::nbcp::log_internal::LogMessage(::nbcp::LogLevel::level, (site)).stream()
+
+/// Logs only when `condition` holds (evaluated after the level check):
+///   NBCP_LOG_IF(kWarn, !status.ok()) << status.ToString();
+#define NBCP_LOG_IF(level, condition)                            \
+  if (!::nbcp::Logger::Get().Enabled(::nbcp::LogLevel::level) || \
+      !(condition)) {                                            \
   } else                                                         \
     ::nbcp::log_internal::LogMessage(::nbcp::LogLevel::level).stream()
 

@@ -1,6 +1,7 @@
 #include "core/failure_injector.h"
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace nbcp {
 
@@ -9,6 +10,7 @@ void FailureInjector::CrashNow(SiteId site) {
   NBCP_LOG(kInfo) << "injector: crashing site " << site << " at t="
                   << sim_->now();
   ++crash_count_;
+  if (metrics_ != nullptr) metrics_->counter("fault/crashes").Inc();
   network_->SetSiteDown(site);
   Participant* p = participant_(site);
   if (p != nullptr) p->Crash();
@@ -19,6 +21,7 @@ void FailureInjector::RecoverNow(SiteId site) {
   if (network_->IsSiteUp(site)) return;
   NBCP_LOG(kInfo) << "injector: recovering site " << site << " at t="
                   << sim_->now();
+  if (metrics_ != nullptr) metrics_->counter("fault/recoveries").Inc();
   network_->SetSiteUp(site);
   Participant* p = participant_(site);
   if (p != nullptr) p->Recover();
@@ -36,6 +39,7 @@ EventId FailureInjector::ScheduleRecovery(SiteId site, SimTime at) {
 void FailureInjector::Partition(const std::vector<SiteId>& group_a,
                                 const std::vector<SiteId>& group_b) {
   NBCP_LOG(kInfo) << "injector: partitioning network at t=" << sim_->now();
+  if (metrics_ != nullptr) metrics_->counter("fault/partitions").Inc();
   for (SiteId a : group_a) {
     for (SiteId b : group_b) {
       network_->CutLink(a, b);
@@ -49,6 +53,7 @@ void FailureInjector::Partition(const std::vector<SiteId>& group_a,
 void FailureInjector::HealPartition(const std::vector<SiteId>& group_a,
                                     const std::vector<SiteId>& group_b) {
   NBCP_LOG(kInfo) << "injector: healing partition at t=" << sim_->now();
+  if (metrics_ != nullptr) metrics_->counter("fault/heals").Inc();
   for (SiteId a : group_a) {
     for (SiteId b : group_b) {
       network_->RestoreLink(a, b);

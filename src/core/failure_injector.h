@@ -12,6 +12,8 @@
 
 namespace nbcp {
 
+class MetricsRegistry;
+
 /// Orchestrates site crashes and recoveries in a simulated system.
 ///
 /// A crash makes the site's network endpoint unreachable, wipes the
@@ -65,11 +67,17 @@ class FailureInjector {
 
   size_t crash_count() const { return crash_count_; }
 
+  /// Attaches a metrics registry (not owned; nullptr detaches): counts
+  /// "fault/crashes", "fault/recoveries", "fault/partitions" and
+  /// "fault/heals".
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   Simulator* sim_;
   Network* network_;
   FailureDetector* detector_;
   std::function<Participant*(SiteId)> participant_;
+  MetricsRegistry* metrics_ = nullptr;
   size_t crash_count_ = 0;
 };
 

@@ -29,6 +29,8 @@ void SystemMetrics::Record(const TxnResult& result) {
   if (result.used_termination) ++terminations;
   total_messages += result.messages;
   total_latency += result.latency();
+  commit_path_latency += result.commit_path_latency();
+  termination_latency += result.termination_latency();
 }
 
 std::string SystemMetrics::ToString() const {
@@ -36,8 +38,10 @@ std::string SystemMetrics::ToString() const {
   out << "runs=" << runs << " committed=" << committed
       << " aborted=" << aborted << " blocked=" << blocked
       << " inconsistent=" << inconsistent << " terminations=" << terminations
-      << " mean_latency=" << mean_latency() << "us mean_messages="
-      << mean_messages();
+      << " mean_latency=" << mean_latency() << "us (commit-path "
+      << mean_commit_path_latency() << "us, termination "
+      << mean_termination_latency() << "us over " << terminations
+      << " runs) mean_messages=" << mean_messages();
   return out.str();
 }
 

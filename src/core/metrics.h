@@ -1,6 +1,7 @@
 #ifndef NBCP_CORE_METRICS_H_
 #define NBCP_CORE_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -35,8 +36,29 @@ struct TxnResult {
 
   SimTime start_time = 0;  ///< Protocol launch (virtual time).
   SimTime end_time = 0;    ///< Last decision among operational sites.
+
+  /// Earliest termination-protocol engagement at any site, when
+  /// used_termination. 0 = the commit path ran undisturbed.
+  SimTime termination_start_time = 0;
+
+  /// Total time from launch to the last decision.
   SimTime latency() const {
     return end_time >= start_time ? end_time - start_time : 0;
+  }
+
+  /// Portion of latency() spent on the ordinary commit path: launch until
+  /// the termination protocol engaged (or the end, when it never did).
+  SimTime commit_path_latency() const {
+    if (!used_termination || termination_start_time <= start_time) {
+      return used_termination ? 0 : latency();
+    }
+    SimTime stop = std::min(termination_start_time, end_time);
+    return stop - start_time;
+  }
+
+  /// Portion of latency() spent inside the termination protocol.
+  SimTime termination_latency() const {
+    return latency() - commit_path_latency();
   }
 
   uint64_t messages = 0;  ///< Network messages sent during the run.
@@ -52,12 +74,29 @@ struct SystemMetrics {
   uint64_t inconsistent = 0;
   uint64_t terminations = 0;
   uint64_t total_messages = 0;
+
+  /// total_latency = commit_path_latency + termination_latency: the two
+  /// paths are accumulated separately so the cost of engaging the
+  /// termination protocol is visible on its own (Skeen's extra rounds),
+  /// instead of being conflated into one mean.
   SimTime total_latency = 0;
+  SimTime commit_path_latency = 0;
+  SimTime termination_latency = 0;
   uint64_t runs = 0;
 
   void Record(const TxnResult& result);
   double mean_latency() const {
     return runs == 0 ? 0.0 : static_cast<double>(total_latency) / runs;
+  }
+  double mean_commit_path_latency() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(commit_path_latency) / runs;
+  }
+  /// Mean termination-path time over the runs that engaged termination.
+  double mean_termination_latency() const {
+    return terminations == 0
+               ? 0.0
+               : static_cast<double>(termination_latency) / terminations;
   }
   double mean_messages() const {
     return runs == 0 ? 0.0 : static_cast<double>(total_messages) / runs;

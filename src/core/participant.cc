@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "election/bully.h"
 #include "election/ring.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
 
 namespace nbcp {
 
@@ -68,9 +70,19 @@ Status Participant::SubmitLocalOps(TransactionId txn,
   return s;
 }
 
+void Participant::set_obs(MetricsRegistry* metrics, SpanCollector* spans) {
+  metrics_ = metrics;
+  spans_ = spans;
+  if (election_) election_->set_metrics(metrics_);
+  if (termination_) termination_->set_metrics(metrics_);
+}
+
 Status Participant::StartProtocol(TransactionId txn) {
   if (crashed_) return Status::Unavailable("site is down");
   Trace(txn, TraceEventType::kProtocolStart);
+  if (spans_ != nullptr) {
+    spans_->Begin(txn, site_, CommitPhase::kVoteRequest, sim_->now());
+  }
   Status started = engine_->StartTransaction(txn);
   if (!started.ok()) return started;
 
@@ -119,6 +131,9 @@ void Participant::OnVoteCast(TransactionId txn, bool yes) {
     dt_log_.Append(txn, yes ? DtLogEvent::kVoteYes : DtLogEvent::kVoteNo);
     record.vote_logged = true;
     Trace(txn, TraceEventType::kVoteCast, yes ? "yes" : "no");
+    if (spans_ != nullptr) {
+      spans_->Begin(txn, site_, CommitPhase::kVote, sim_->now());
+    }
   }
 }
 
@@ -130,6 +145,10 @@ void Participant::OnStateChange(TransactionId txn, const LocalState& state) {
   }
   if (state.kind == StateKind::kBuffer && !dt_log_.WasPrepared(txn)) {
     dt_log_.Append(txn, DtLogEvent::kPrepared);
+  }
+  if (spans_ != nullptr && (state.kind == StateKind::kBuffer ||
+                            state.kind == StateKind::kAbortBuffer)) {
+    spans_->Begin(txn, site_, CommitPhase::kPrecommit, sim_->now());
   }
   Trace(txn, TraceEventType::kStateChange, state.name);
 }
@@ -144,6 +163,7 @@ void Participant::OnDecision(TransactionId txn, Outcome outcome) {
                                                        : DtLogEvent::kAbort);
   }
   Trace(txn, TraceEventType::kDecision, ToString(outcome));
+  if (spans_ != nullptr) spans_->MarkDecision(txn, site_, sim_->now());
   ApplyOutcomeToDb(txn, outcome);
 }
 
@@ -196,6 +216,12 @@ void Participant::OnNetMessage(const Message& message) {
   if (RecoveryManager::OwnsMessage(type)) {
     recovery_->OnMessage(message);
     return;
+  }
+  if (spans_ != nullptr && message.txn != kNoTransaction &&
+      !engine_->HasTransaction(message.txn)) {
+    // First protocol message about this transaction: the site's
+    // vote-request phase starts when the request reaches it.
+    spans_->Begin(message.txn, site_, CommitPhase::kVoteRequest, sim_->now());
   }
   engine_->OnMessage(message);
 }
@@ -355,6 +381,13 @@ void Participant::Recover() {
     if (!engine_->IsFrozen(txn)) {
       Trace(txn, TraceEventType::kTerminationStart);
     }
+    TxnRecord& record = Record(txn);
+    if (!record.termination_start.has_value()) {
+      record.termination_start = sim_->now();
+      if (spans_ != nullptr) {
+        spans_->BeginTermination(txn, site_, sim_->now());
+      }
+    }
     engine_->Freeze(txn);
   };
   term_hooks.force_kind = [this](TransactionId txn, StateKind kind) {
@@ -372,6 +405,7 @@ void Participant::Recover() {
     record.via_termination = true;
     record.blocked = false;
     Trace(txn, TraceEventType::kTerminationDecide, ToString(outcome));
+    if (spans_ != nullptr) spans_->EndTermination(txn, site_, sim_->now());
   };
   term_hooks.on_blocked = [this](TransactionId txn) {
     Record(txn).blocked = true;
@@ -447,8 +481,19 @@ void Participant::Recover() {
     }
   }
 
+  // Observability attachments do not survive the volatile components.
+  election_->set_metrics(metrics_);
+  termination_->set_metrics(metrics_);
+
   // Resolve in-doubt transactions with the distributed recovery protocol.
   recovery_->StartRecovery();
+}
+
+std::optional<SimTime> Participant::TerminationStartTime(
+    TransactionId txn) const {
+  auto it = records_.find(txn);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.termination_start;
 }
 
 }  // namespace nbcp

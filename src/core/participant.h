@@ -29,6 +29,9 @@
 
 namespace nbcp {
 
+class MetricsRegistry;
+class SpanCollector;
+
 /// Per-site configuration.
 struct ParticipantConfig {
   ElectionConfig election;
@@ -62,6 +65,11 @@ class Participant {
   /// Attaches an event recorder (nullptr to detach). Not owned.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches the system's metrics registry and phase-span collector
+  /// (either may be nullptr; not owned). Also forwards the registry to the
+  /// termination and election machinery, and re-forwards after Recover().
+  void set_obs(MetricsRegistry* metrics, SpanCollector* spans);
+
   SiteId site() const { return site_; }
 
   // --- client / transaction-manager entry points -------------------------
@@ -89,6 +97,9 @@ class Participant {
   bool IsBlocked(TransactionId txn) const;
   bool UsedTermination(TransactionId txn) const;
   std::optional<SimTime> DecisionTime(TransactionId txn) const;
+
+  /// When this site first engaged the termination protocol for `txn`.
+  std::optional<SimTime> TerminationStartTime(TransactionId txn) const;
   StateKind CurrentKind(TransactionId txn) const;
   bool crashed() const { return crashed_; }
 
@@ -140,6 +151,7 @@ class Participant {
     std::unique_ptr<LocalTransaction> local;
     std::optional<Outcome> outcome;
     SimTime decision_time = 0;
+    std::optional<SimTime> termination_start;
     bool via_termination = false;
     bool blocked = false;
     bool vote_logged = false;
@@ -184,6 +196,8 @@ class Participant {
   std::unordered_map<TransactionId, TxnRecord> records_;
   std::unordered_map<TransactionId, SendTrap> send_traps_;
   TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  SpanCollector* spans_ = nullptr;
   bool crashed_ = false;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/export.h"
+#include "obs/json.h"
 #include "protocols/registry.h"
 
 namespace nbcp {
@@ -65,17 +67,22 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
     return site;
   };
 
+  system->spans_.set_metrics(&system->registry_);
+  system->network_->set_metrics(&system->registry_);
+
   for (SiteId site = 1; site <= config.num_sites; ++site) {
     system->participants_.push_back(std::make_unique<Participant>(
         site, system->spec_.get(), config.num_sites, system->sim_.get(),
         system->network_.get(), system->detector_.get(),
         system->analysis_.get(), site_map, config.participant));
+    system->participants_.back()->set_obs(&system->registry_,
+                                          &system->spans_);
     Status attached = system->participants_.back()->Attach();
     if (!attached.ok()) return attached;
   }
 
   if (config.trace) {
-    system->trace_ = std::make_unique<TraceRecorder>();
+    system->trace_ = std::make_unique<TraceRecorder>(config.trace_capacity);
     TraceRecorder* recorder = system->trace_.get();
     Simulator* sim = system->sim_.get();
     for (auto& participant : system->participants_) {
@@ -87,20 +94,26 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
             case 's':
               recorder->Record(sim->now(), m.from, m.txn,
                                TraceEventType::kMessageSent,
-                               m.type + "->" + std::to_string(m.to));
+                               m.type + "->" + std::to_string(m.to), m.seq);
               break;
             case 'd':
               recorder->Record(sim->now(), m.to, m.txn,
                                TraceEventType::kMessageDelivered,
-                               m.type + "<-" + std::to_string(m.from));
+                               m.type + "<-" + std::to_string(m.from),
+                               m.seq);
               break;
             default:
               recorder->Record(sim->now(), m.to, m.txn,
                                TraceEventType::kMessageDropped,
-                               m.type + "<-" + std::to_string(m.from));
+                               m.type + "<-" + std::to_string(m.from),
+                               m.seq);
           }
         });
   }
+
+  // Log records carry virtual-time context while this system is alive.
+  system->log_time_token_ = Logger::Get().SetTimeSource(
+      [sim = system->sim_.get()]() { return sim->now(); });
 
   system->injector_ = std::make_unique<FailureInjector>(
       system->sim_.get(), system->network_.get(), system->detector_.get(),
@@ -108,8 +121,13 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
         if (site == kNoSite || site > raw->config_.num_sites) return nullptr;
         return raw->participants_[site - 1].get();
       });
+  system->injector_->set_metrics(&system->registry_);
 
   return system;
+}
+
+CommitSystem::~CommitSystem() {
+  Logger::Get().ClearTimeSource(log_time_token_);
 }
 
 TransactionId CommitSystem::Begin() { return next_txn_++; }
@@ -178,6 +196,13 @@ TxnResult CommitSystem::Summarize(TransactionId txn) const {
       ++result.blocked_sites;
     }
     if (p.UsedTermination(txn)) result.used_termination = true;
+    auto term_start = p.TerminationStartTime(txn);
+    if (term_start.has_value()) {
+      result.termination_start_time =
+          result.termination_start_time == 0
+              ? *term_start
+              : std::min(result.termination_start_time, *term_start);
+    }
   }
 
   result.consistent = !(any_commit && any_abort);
@@ -205,6 +230,24 @@ TxnResult CommitSystem::AwaitQuiescence(TransactionId txn) {
   }
   TxnResult result = Summarize(txn);
   metrics_.Record(result);
+
+  registry_.counter("txn/completed").Inc();
+  if (result.outcome == Outcome::kCommitted) {
+    registry_.counter("txn/committed").Inc();
+  } else if (result.outcome == Outcome::kAborted) {
+    registry_.counter("txn/aborted").Inc();
+  }
+  if (result.blocked) registry_.counter("txn/blocked").Inc();
+  if (result.used_termination) registry_.counter("txn/terminations").Inc();
+  if (!result.consistent) registry_.counter("txn/inconsistent").Inc();
+  registry_.histogram("txn/latency_us").Record(result.latency());
+  registry_.histogram("txn/messages").Record(result.messages);
+  registry_.histogram("txn/commit_path_latency_us")
+      .Record(result.commit_path_latency());
+  if (result.used_termination) {
+    registry_.histogram("txn/termination_latency_us")
+        .Record(result.termination_latency());
+  }
   return result;
 }
 
@@ -214,6 +257,59 @@ TxnResult CommitSystem::RunToCompletion(TransactionId txn) {
     NBCP_LOG(kWarn) << "launch failed: " << launched.ToString();
   }
   return AwaitQuiescence(txn);
+}
+
+std::string CommitSystem::MetricsSnapshotJson(int indent) const {
+  Json root = Json::Object();
+  root["protocol"] = Json(config_.protocol);
+  root["num_sites"] = Json(config_.num_sites);
+  root["seed"] = Json(config_.seed);
+  root["virtual_time_us"] = Json(sim_->now());
+
+  Json sim = Json::Object();
+  sim["events_executed"] = Json(sim_->stats().events_executed);
+  sim["events_scheduled"] = Json(sim_->stats().events_scheduled);
+  sim["max_queue_depth"] = Json(sim_->stats().max_queue_depth);
+  root["sim"] = sim;
+
+  const NetworkStats& net = network_->stats();
+  Json network = Json::Object();
+  network["messages_sent"] = Json(net.messages_sent);
+  network["messages_delivered"] = Json(net.messages_delivered);
+  network["messages_dropped"] = Json(net.messages_dropped);
+  network["bytes_sent"] = Json(net.bytes_sent);
+  root["network"] = network;
+
+  root["metrics"] = registry_.ToJson();
+  return root.Dump(indent);
+}
+
+std::string CommitSystem::TraceJsonl() const {
+  if (trace_ == nullptr) return "";
+  TraceMeta meta{config_.protocol, config_.num_sites};
+  return ExportTraceJsonLines(*trace_, &spans_, meta);
+}
+
+std::string CommitSystem::TraceChromeJson() const {
+  if (trace_ == nullptr) return "";
+  TraceMeta meta{config_.protocol, config_.num_sites};
+  std::vector<TraceEvent> events(trace_->events().begin(),
+                                 trace_->events().end());
+  return ExportChromeTrace(events, spans_.spans(), meta);
+}
+
+Status CommitSystem::ExportTraceJsonl(const std::string& path) const {
+  if (trace_ == nullptr) {
+    return Status::FailedPrecondition("tracing is off (SystemConfig::trace)");
+  }
+  return WriteFile(path, TraceJsonl());
+}
+
+Status CommitSystem::ExportTraceChrome(const std::string& path) const {
+  if (trace_ == nullptr) {
+    return Status::FailedPrecondition("tracing is off (SystemConfig::trace)");
+  }
+  return WriteFile(path, TraceChromeJson());
 }
 
 }  // namespace nbcp

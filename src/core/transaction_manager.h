@@ -16,6 +16,8 @@
 #include "fsa/protocol_spec.h"
 #include "net/failure_detector.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -43,6 +45,11 @@ struct SystemConfig {
   /// default; intended for examples, debugging and post-mortem test
   /// assertions, not benchmarks.
   bool trace = false;
+
+  /// Ring-buffer capacity of the trace recorder; 0 = unbounded. With a
+  /// bound, the oldest events are evicted (TraceRecorder::dropped() counts
+  /// them) so long-running traced workloads keep the recent window.
+  size_t trace_capacity = 0;
 };
 
 /// The top-level facade: a simulated n-site distributed database running a
@@ -67,6 +74,8 @@ class CommitSystem {
   static Result<std::unique_ptr<CommitSystem>> CreateWithSpec(
       const SystemConfig& config, ProtocolSpec spec);
 
+  ~CommitSystem();
+
   // --- component access ---------------------------------------------------
   Simulator& simulator() { return *sim_; }
   Network& network() { return *network_; }
@@ -79,8 +88,35 @@ class CommitSystem {
   const SystemConfig& config() const { return config_; }
   SystemMetrics& metrics() { return metrics_; }
 
+  /// Named counters, gauges and latency histograms fed by every layer
+  /// (network, elections, termination, phase spans, per-txn results).
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+  /// Per-transaction, per-site commit-phase spans.
+  SpanCollector& spans() { return spans_; }
+  const SpanCollector& spans() const { return spans_; }
+
   /// The event recorder, or nullptr when SystemConfig::trace is off.
   TraceRecorder* trace() { return trace_.get(); }
+
+  // --- structured export --------------------------------------------------
+
+  /// Machine-readable snapshot of the registry plus simulator and network
+  /// statistics, as a JSON document.
+  std::string MetricsSnapshotJson(int indent = 2) const;
+
+  /// The trace (events + spans) in JSON-lines form. Requires
+  /// SystemConfig::trace; empty string when tracing is off.
+  std::string TraceJsonl() const;
+
+  /// The trace in Chrome trace_event form (load in chrome://tracing or
+  /// Perfetto). Empty string when tracing is off.
+  std::string TraceChromeJson() const;
+
+  /// Writes TraceJsonl() / TraceChromeJson() to `path`.
+  Status ExportTraceJsonl(const std::string& path) const;
+  Status ExportTraceChrome(const std::string& path) const;
 
   // --- transaction API ----------------------------------------------------
 
@@ -123,6 +159,9 @@ class CommitSystem {
   std::unique_ptr<FailureInjector> injector_;
   std::unique_ptr<TraceRecorder> trace_;
   SystemMetrics metrics_;
+  MetricsRegistry registry_;
+  SpanCollector spans_;
+  uint64_t log_time_token_ = 0;
 
   TransactionId next_txn_ = 1;
   struct LaunchInfo {

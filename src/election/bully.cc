@@ -1,6 +1,7 @@
 #include "election/bully.h"
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace nbcp {
 namespace {
@@ -39,6 +40,7 @@ void BullyElection::StartElection(TransactionId tag) {
   if (round.running || round.done) return;
   round.running = true;
   round.answered = false;
+  if (metrics_ != nullptr) metrics_->counter("election/started").Inc();
 
   bool challenged_anyone = false;
   for (SiteId site : alive_()) {
@@ -79,8 +81,9 @@ void BullyElection::FinishRound(TransactionId tag, SiteId leader) {
   round.done = true;
   round.running = false;
   round.leader = leader;
-  NBCP_LOG(kDebug) << "site " << self_ << ": bully round " << tag
-                   << " elected " << leader;
+  if (metrics_ != nullptr) metrics_->counter("election/won").Inc();
+  NBCP_LOG_AT(kDebug, self_) << "bully round " << tag << " elected "
+                             << leader;
   if (on_elected_) on_elected_(tag, leader);
 }
 

@@ -10,6 +10,8 @@
 
 namespace nbcp {
 
+class MetricsRegistry;
+
 /// Configuration shared by the election algorithms.
 struct ElectionConfig {
   /// How long to wait for a response before assuming silence, in simulated
@@ -45,6 +47,14 @@ class Election {
 
   /// Drops all in-progress election state (site crash).
   virtual void Clear() = 0;
+
+  /// Attaches a metrics registry (not owned; nullptr detaches). Concrete
+  /// algorithms count rounds started ("election/started") and decided
+  /// ("election/won").
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ protected:
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace nbcp

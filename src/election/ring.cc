@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace nbcp {
 namespace {
@@ -69,6 +70,9 @@ void RingElection::SendToken(TransactionId tag, const std::string& ids) {
 void RingElection::StartElection(TransactionId tag) {
   Round& round = rounds_[tag];
   if (round.done) return;
+  if (!round.initiated && metrics_ != nullptr) {
+    metrics_->counter("election/started").Inc();
+  }
   round.initiated = true;
 
   SiteId next = NextAlive(self_);
@@ -111,8 +115,8 @@ void RingElection::FinishRound(TransactionId tag, SiteId leader) {
   if (round.retry_timer != 0) sim_->Cancel(round.retry_timer);
   round.done = true;
   round.leader = leader;
-  NBCP_LOG(kDebug) << "site " << self_ << ": ring round " << tag
-                   << " elected " << leader;
+  if (metrics_ != nullptr) metrics_->counter("election/won").Inc();
+  NBCP_LOG_AT(kDebug, self_) << "ring round " << tag << " elected " << leader;
   if (on_elected_) on_elected_(tag, leader);
 }
 

@@ -21,6 +21,10 @@ struct Message {
   std::string payload;
   SimTime sent_at = 0;
 
+  /// Unique per-network send sequence number, stamped by Network::Send.
+  /// Correlates a send with its delivery/drop in traces (0 = unsent).
+  uint64_t seq = 0;
+
   /// "type(from->to, txn)" for logs.
   std::string ToString() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace nbcp {
 
@@ -36,25 +37,34 @@ Status Network::Send(Message msg) {
     return Status::Unavailable("sender site is down");
   }
   msg.sent_at = sim_->now();
+  msg.seq = ++next_seq_;
   ++stats_.messages_sent;
   stats_.bytes_sent += msg.payload.size();
+  if (metrics_ != nullptr) metrics_->counter("net/sent").Inc();
   if (observer_) observer_(msg, 's');
 
   SimTime delay = SampleDelay();
   sim_->ScheduleAfter(delay, [this, msg = std::move(msg)]() {
     if (cut_links_.count({msg.from, msg.to}) != 0) {
       ++stats_.messages_dropped;
+      if (metrics_ != nullptr) metrics_->counter("net/dropped").Inc();
       if (observer_) observer_(msg, 'x');
       return;
     }
     auto receiver = sites_.find(msg.to);
     if (receiver == sites_.end() || !receiver->second.up) {
       ++stats_.messages_dropped;
-      NBCP_LOG(kDebug) << "dropped " << msg.ToString() << " (receiver down)";
+      NBCP_LOG_AT(kDebug, msg.to)
+          << "dropped " << msg.ToString() << " (receiver down)";
+      if (metrics_ != nullptr) metrics_->counter("net/dropped").Inc();
       if (observer_) observer_(msg, 'x');
       return;
     }
     ++stats_.messages_delivered;
+    if (metrics_ != nullptr) {
+      metrics_->counter("net/delivered").Inc();
+      metrics_->histogram("net/delay_us").Record(sim_->now() - msg.sent_at);
+    }
     if (observer_) observer_(msg, 'd');
     receiver->second.handler(msg);
   });

@@ -14,6 +14,8 @@
 
 namespace nbcp {
 
+class MetricsRegistry;
+
 /// Per-channel delivery delay model.
 struct DelayModel {
   SimTime base_delay = 100;    ///< Fixed component, microseconds.
@@ -91,6 +93,11 @@ class Network {
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Attaches a metrics registry (not owned; nullptr detaches): traffic
+  /// counters ("net/sent", "net/delivered", "net/dropped") and the
+  /// send-to-delivery delay histogram ("net/delay_us").
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   Simulator* simulator() { return sim_; }
   const DelayModel& delay_model() const { return delay_; }
   void set_delay_model(DelayModel delay) { delay_ = delay; }
@@ -110,6 +117,8 @@ class Network {
   std::set<std::pair<SiteId, SiteId>> cut_links_;
   NetworkStats stats_;
   Observer observer_;
+  MetricsRegistry* metrics_ = nullptr;
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace nbcp

@@ -1,0 +1,184 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace nbcp {
+
+namespace {
+
+Json EventToJson(const TraceEvent& e) {
+  Json j = Json::Object();
+  j["kind"] = "event";
+  j["t"] = e.at;
+  j["site"] = static_cast<uint64_t>(e.site);
+  j["txn"] = e.txn;
+  j["type"] = ToString(e.type);
+  if (!e.detail.empty()) j["detail"] = e.detail;
+  if (e.seq != 0) j["seq"] = e.seq;
+  return j;
+}
+
+Json SpanToJson(const PhaseSpan& s) {
+  Json j = Json::Object();
+  j["kind"] = "span";
+  j["txn"] = s.txn;
+  j["site"] = static_cast<uint64_t>(s.site);
+  j["phase"] = ToString(s.phase);
+  j["begin"] = s.begin;
+  j["end"] = s.end;
+  j["open"] = s.open;
+  return j;
+}
+
+}  // namespace
+
+std::string ExportTraceJsonLines(const TraceRecorder& trace,
+                                 const SpanCollector* spans,
+                                 const TraceMeta& meta) {
+  std::string out;
+  Json header = Json::Object();
+  header["kind"] = "meta";
+  header["version"] = uint64_t{1};
+  header["protocol"] = meta.protocol;
+  header["num_sites"] = meta.num_sites;
+  out += header.Dump();
+  out += '\n';
+  for (const TraceEvent& e : trace.events()) {
+    out += EventToJson(e).Dump();
+    out += '\n';
+  }
+  if (spans != nullptr) {
+    for (const PhaseSpan& s : spans->spans()) {
+      out += SpanToJson(s).Dump();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<ImportedTrace> ParseTraceJsonLines(const std::string& text) {
+  ImportedTrace out;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("trace line " + std::to_string(lineno) +
+                                     ": " + parsed.status().message());
+    }
+    const Json& j = *parsed;
+    std::string kind = j.GetString("kind");
+    if (kind == "meta") {
+      out.meta.protocol = j.GetString("protocol");
+      out.meta.num_sites = j.GetUint("num_sites");
+    } else if (kind == "event") {
+      TraceEvent e;
+      e.at = j.GetUint("t");
+      e.site = static_cast<SiteId>(j.GetUint("site"));
+      e.txn = j.GetUint("txn");
+      e.detail = j.GetString("detail");
+      e.seq = j.GetUint("seq");
+      if (!TraceEventTypeFromString(j.GetString("type"), &e.type)) {
+        return Status::InvalidArgument(
+            "trace line " + std::to_string(lineno) + ": unknown event type '" +
+            j.GetString("type") + "'");
+      }
+      out.events.push_back(std::move(e));
+    } else if (kind == "span") {
+      PhaseSpan s;
+      s.txn = j.GetUint("txn");
+      s.site = static_cast<SiteId>(j.GetUint("site"));
+      s.begin = j.GetUint("begin");
+      s.end = j.GetUint("end");
+      const Json* open = j.Find("open");
+      s.open = open != nullptr && open->is_bool() && open->boolean();
+      if (!CommitPhaseFromString(j.GetString("phase"), &s.phase)) {
+        return Status::InvalidArgument("trace line " + std::to_string(lineno) +
+                                       ": unknown phase '" +
+                                       j.GetString("phase") + "'");
+      }
+      out.spans.push_back(s);
+    }
+    // Unknown kinds are skipped: forward compatibility for new record types.
+  }
+  return out;
+}
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<PhaseSpan>& spans,
+                              const TraceMeta& meta) {
+  Json root = Json::Object();
+  Json trace_events = Json::Array();
+
+  for (const PhaseSpan& s : spans) {
+    Json j = Json::Object();
+    j["name"] = ToString(s.phase);
+    j["cat"] = "phase";
+    j["ph"] = "X";
+    j["ts"] = s.begin;
+    j["dur"] = s.open ? uint64_t{0} : s.duration();
+    j["pid"] = s.txn;
+    j["tid"] = static_cast<uint64_t>(s.site);
+    if (s.open) {
+      Json args = Json::Object();
+      args["open"] = true;
+      j["args"] = std::move(args);
+    }
+    trace_events.Append(std::move(j));
+  }
+
+  for (const TraceEvent& e : events) {
+    bool is_send = e.type == TraceEventType::kMessageSent;
+    bool is_recv = e.type == TraceEventType::kMessageDelivered;
+    Json j = Json::Object();
+    j["name"] = ToString(e.type) + (e.detail.empty() ? "" : ":" + e.detail);
+    j["pid"] = e.txn;
+    j["tid"] = static_cast<uint64_t>(e.site);
+    j["ts"] = e.at;
+    if ((is_send || is_recv) && e.seq != 0) {
+      // Flow arrows: a send starts flow `seq`, the delivery finishes it.
+      j["cat"] = "msg";
+      j["ph"] = is_send ? "s" : "f";
+      j["id"] = e.seq;
+      if (is_recv) j["bp"] = "e";
+    } else {
+      j["cat"] = "event";
+      j["ph"] = "i";
+      j["s"] = "t";
+    }
+    trace_events.Append(std::move(j));
+  }
+
+  root["traceEvents"] = std::move(trace_events);
+  root["displayTimeUnit"] = "ms";
+  Json meta_json = Json::Object();
+  meta_json["protocol"] = meta.protocol;
+  meta_json["num_sites"] = meta.num_sites;
+  root["otherData"] = std::move(meta_json);
+  return root.Dump(1);
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << content;
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace nbcp

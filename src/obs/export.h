@@ -1,0 +1,60 @@
+#ifndef NBCP_OBS_EXPORT_H_
+#define NBCP_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/span.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+
+/// Run description attached to an exported trace.
+struct TraceMeta {
+  std::string protocol;
+  size_t num_sites = 0;
+};
+
+/// A trace read back from its JSON-lines form.
+struct ImportedTrace {
+  TraceMeta meta;
+  std::vector<TraceEvent> events;
+  std::vector<PhaseSpan> spans;
+};
+
+/// Serializes a trace (and optionally its phase spans) as JSON lines — one
+/// self-describing object per line:
+///   {"kind":"meta","version":1,"protocol":"3PC-central","num_sites":4}
+///   {"kind":"event","t":100,"site":1,"txn":1,"type":"send",
+///    "detail":"prepare->2","seq":12}
+///   {"kind":"span","txn":1,"site":2,"phase":"vote","begin":100,"end":250,
+///    "open":false}
+/// The format is append-friendly, greppable, and reimportable with
+/// ParseTraceJsonLines (round-trip covered by the test suite).
+std::string ExportTraceJsonLines(const TraceRecorder& trace,
+                                 const SpanCollector* spans,
+                                 const TraceMeta& meta);
+
+/// Parses a JSON-lines trace. Unknown "kind" lines and blank lines are
+/// skipped; a malformed line fails the whole parse with its line number.
+Result<ImportedTrace> ParseTraceJsonLines(const std::string& text);
+
+/// Serializes events + spans in Chrome trace_event format (a JSON object
+/// with a "traceEvents" array), loadable in chrome://tracing / Perfetto.
+/// Transactions map to processes (pid), sites to threads (tid); phase spans
+/// become complete ("X") events, point events instants ("i"), and message
+/// send/deliver pairs flow arrows ("s"/"f" correlated by seq).
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<PhaseSpan>& spans,
+                              const TraceMeta& meta);
+
+/// Writes `content` to `path` (overwrite). IO errors become Status.
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// Reads all of `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_EXPORT_H_

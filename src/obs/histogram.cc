@@ -1,0 +1,98 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace nbcp {
+
+namespace {
+constexpr size_t kLinearBuckets = 128;  ///< Values 0..127, one bucket each.
+constexpr size_t kSubBuckets = 32;      ///< Per power-of-two range above.
+constexpr int kLinearBits = 7;          ///< log2(kLinearBuckets).
+constexpr int kSubBits = 5;             ///< log2(kSubBuckets).
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kLinearBuckets) return static_cast<size_t>(value);
+  int msb = 63 - std::countl_zero(value);  // >= kLinearBits
+  size_t sub = static_cast<size_t>((value >> (msb - kSubBits)) &
+                                   (kSubBuckets - 1));
+  return kLinearBuckets +
+         static_cast<size_t>(msb - kLinearBits) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index < kLinearBuckets) return index;
+  size_t rel = index - kLinearBuckets;
+  int msb = kLinearBits + static_cast<int>(rel / kSubBuckets);
+  uint64_t sub = rel % kSubBuckets;
+  return (uint64_t{1} << msb) | (sub << (msb - kSubBits));
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  size_t index = BucketIndex(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  max_ = std::max(max_, value);
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max_;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return BucketLowerBound(i);
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.clear();
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+Json LatencyHistogram::ToJson() const {
+  Json j = Json::Object();
+  j["count"] = Json(count_);
+  j["mean"] = Json(mean());
+  j["min"] = Json(min());
+  j["p50"] = Json(p50());
+  j["p95"] = Json(p95());
+  j["p99"] = Json(p99());
+  j["max"] = Json(max_);
+  return j;
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream out;
+  out << "count=" << count_ << " mean=" << mean() << " p50=" << p50()
+      << " p95=" << p95() << " p99=" << p99() << " max=" << max_;
+  return out.str();
+}
+
+}  // namespace nbcp

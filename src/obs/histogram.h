@@ -1,0 +1,65 @@
+#ifndef NBCP_OBS_HISTOGRAM_H_
+#define NBCP_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbcp {
+
+class Json;
+
+/// Log-bucketed histogram of non-negative integer samples (latencies in
+/// simulated microseconds, message counts, ...).
+///
+/// Bucketing: values below 128 get one bucket each (exact); larger values
+/// share 32 linear sub-buckets per power-of-two range, bounding the
+/// relative quantile error at 1/32 ≈ 3%. A quantile reports the lower
+/// bound of the bucket holding that rank, so quantiles over samples < 128
+/// are exact — the test suite relies on this.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t value);
+
+  /// Quantile q in [0, 1]: the smallest bucket lower-bound v such that at
+  /// least ceil(q * count) samples are <= the bucket of v. q=0 → min
+  /// bucket, q=1 → exact max. 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  uint64_t p50() const { return Quantile(0.50); }
+  uint64_t p95() const { return Quantile(0.95); }
+  uint64_t p99() const { return Quantile(0.99); }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Adds all samples of `other` into this histogram (bucket-wise).
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  /// {"count":..,"mean":..,"min":..,"p50":..,"p95":..,"p99":..,"max":..}
+  Json ToJson() const;
+
+  /// "count=12 mean=104.2 p50=100 p95=140 p99=150 max=151"
+  std::string ToString() const;
+
+ private:
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+
+  std::vector<uint64_t> buckets_;  ///< Grown on demand.
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_HISTOGRAM_H_

@@ -1,0 +1,365 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace nbcp {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ != Type::kObject) {
+    type_ = Type::kObject;
+    object_.clear();
+  }
+  return object_[key];
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+uint64_t Json::GetUint(const std::string& key, uint64_t fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_number() ? v->as_uint() : fallback;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_string() ? v->str() : fallback;
+}
+
+void Json::Append(Json value) {
+  if (type_ != Type::kArray) {
+    type_ = Type::kArray;
+    array_.clear();
+  }
+  array_.push_back(std::move(value));
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  // Integers (the common case: timestamps, counters) print without a
+  // fractional part so snapshots diff cleanly across runs.
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    *out += buf;
+  }
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  *out += '\n';
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) *out += ',';
+        first = false;
+        Newline(out, indent, depth + 1);
+        *out += '"';
+        *out += JsonEscape(key);
+        *out += indent < 0 ? "\":" : "\": ";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      if (!first) Newline(out, indent, depth);
+      *out += '}';
+      return;
+    }
+    case Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Json& value : array_) {
+        if (!first) *out += ',';
+        first = false;
+        Newline(out, indent, depth + 1);
+        value.DumpTo(out, indent, depth + 1);
+      }
+      if (!first) Newline(out, indent, depth);
+      *out += ']';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string view window.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipSpace();
+    Json value;
+    Status s = ParseValue(&value);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  Status ParseValue(Json* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      Status st = ParseString(&s);
+      if (!st.ok()) return st;
+      *out = Json(std::move(s));
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = Json(true);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = Json(false);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = Json();
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    try {
+      *out = Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Fail("malformed number");
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // The exporter only escapes control characters; decode the
+          // ASCII range and pass anything else through as '?'.
+          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseObject(Json* out) {
+    if (!Consume('{')) return Fail("expected '{'");
+    *out = Json::Object();
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipSpace();
+      Json value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      (*out)[key] = std::move(value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Json* out) {
+    if (!Consume('[')) return Fail("expected '['");
+    *out = Json::Array();
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      Json value;
+      Status s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->Append(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace nbcp

@@ -1,0 +1,101 @@
+#ifndef NBCP_OBS_JSON_H_
+#define NBCP_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace nbcp {
+
+/// Minimal JSON value: build, serialize and parse the small, flat documents
+/// the observability layer exchanges (metrics snapshots, JSON-lines trace
+/// records, Chrome trace_event files). Not a general-purpose JSON library —
+/// numbers are stored as double (exact for the integer ranges we emit:
+/// virtual-time microseconds and counters fit in 2^53).
+class Json {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), number_(d) {}
+  Json(int i) : type_(Type::kNumber), number_(i) {}
+  Json(int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(unsigned u) : type_(Type::kNumber), number_(u) {}
+  Json(uint64_t u) : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  double number() const { return number_; }
+  uint64_t as_uint() const { return static_cast<uint64_t>(number_); }
+  bool boolean() const { return bool_; }
+  const std::string& str() const { return string_; }
+
+  /// Object access; creates the key (and coerces this value to an object).
+  Json& operator[](const std::string& key);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Convenience typed getters with defaults (object lookup).
+  double GetNumber(const std::string& key, double fallback = 0) const;
+  uint64_t GetUint(const std::string& key, uint64_t fallback = 0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Array append (coerces this value to an array).
+  void Append(Json value);
+
+  const std::vector<Json>& items() const { return array_; }
+  const std::map<std::string, Json>& fields() const { return object_; }
+  size_t size() const {
+    return is_array() ? array_.size() : object_.size();
+  }
+
+  /// Serializes. indent < 0 → compact single line; otherwise pretty-printed
+  /// with that many spaces per level. Keys are emitted in sorted order, so
+  /// output is deterministic.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses one JSON document (trailing whitespace allowed).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::map<std::string, Json> object_;
+  std::vector<Json> array_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_JSON_H_

@@ -1,0 +1,59 @@
+#include "obs/metrics_registry.h"
+
+#include <sstream>
+
+namespace nbcp {
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].Inc(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[name].Set(gauge.value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].Merge(histogram);
+  }
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json j = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = counter.value();
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = gauge.value();
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms[name] = histogram.ToJson();
+  }
+  j["counters"] = std::move(counters);
+  j["gauges"] = std::move(gauges);
+  j["histograms"] = std::move(histograms);
+  return j;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " = " << counter.value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << " = " << gauge.value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << name << ": " << histogram.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nbcp

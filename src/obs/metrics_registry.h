@@ -1,0 +1,82 @@
+#ifndef NBCP_OBS_METRICS_REGISTRY_H_
+#define NBCP_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/json.h"
+
+namespace nbcp {
+
+/// Monotonically increasing named counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins named value (queue depths, rates, configuration echoes).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Named metrics for one system: counters, gauges, and log-bucketed latency
+/// histograms. Subsumes the ad-hoc SystemMetrics counters: every component
+/// (network, participants, termination, election, failure injector) records
+/// into the registry owned by its CommitSystem, and benchmarks snapshot it
+/// as JSON so trajectories can be tracked across PRs.
+///
+/// Metric names are slash-separated paths, e.g. "phase/vote/latency_us",
+/// "net/delay_us", "txn/committed". Lookup creates on first use, so
+/// instrumentation sites need no registration step.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Adds every metric of `other` into this registry (counters and
+  /// histograms accumulate; gauges take `other`'s value). Benchmarks use
+  /// this to aggregate per-run registries into one per-cell snapshot.
+  void Merge(const MetricsRegistry& other);
+
+  void Reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,p50,...}}}
+  Json ToJson() const;
+
+  /// Human-readable multi-line rendering, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_METRICS_REGISTRY_H_

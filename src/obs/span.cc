@@ -1,0 +1,114 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+#include "obs/metrics_registry.h"
+
+namespace nbcp {
+
+std::string ToString(CommitPhase phase) {
+  switch (phase) {
+    case CommitPhase::kVoteRequest:
+      return "vote_request";
+    case CommitPhase::kVote:
+      return "vote";
+    case CommitPhase::kPrecommit:
+      return "precommit";
+    case CommitPhase::kDecision:
+      return "decision";
+    case CommitPhase::kTermination:
+      return "termination";
+  }
+  return "?";
+}
+
+bool CommitPhaseFromString(const std::string& name, CommitPhase* out) {
+  for (CommitPhase phase :
+       {CommitPhase::kVoteRequest, CommitPhase::kVote, CommitPhase::kPrecommit,
+        CommitPhase::kDecision, CommitPhase::kTermination}) {
+    if (ToString(phase) == name) {
+      *out = phase;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SpanCollector::CloseAt(std::map<Key, size_t>* lane, const Key& key,
+                            SimTime at) {
+  auto it = lane->find(key);
+  if (it == lane->end()) return;
+  PhaseSpan& span = spans_[it->second];
+  span.end = std::max(at, span.begin);
+  span.open = false;
+  if (metrics_ != nullptr) {
+    metrics_->histogram("phase/" + ToString(span.phase) + "/latency_us")
+        .Record(span.duration());
+  }
+  lane->erase(it);
+}
+
+void SpanCollector::Begin(TransactionId txn, SiteId site, CommitPhase phase,
+                          SimTime at) {
+  Key key{txn, site};
+  auto it = open_phase_.find(key);
+  if (it != open_phase_.end()) {
+    if (spans_[it->second].phase == phase) return;  // Already in this phase.
+    CloseAt(&open_phase_, key, at);
+  }
+  open_phase_[key] = spans_.size();
+  spans_.push_back(PhaseSpan{txn, site, phase, at, at, /*open=*/true});
+}
+
+void SpanCollector::End(TransactionId txn, SiteId site, SimTime at) {
+  CloseAt(&open_phase_, Key{txn, site}, at);
+}
+
+void SpanCollector::MarkDecision(TransactionId txn, SiteId site, SimTime at) {
+  Key key{txn, site};
+  CloseAt(&open_phase_, key, at);
+  spans_.push_back(
+      PhaseSpan{txn, site, CommitPhase::kDecision, at, at, /*open=*/false});
+  if (metrics_ != nullptr) {
+    metrics_->histogram("phase/decision/latency_us").Record(0);
+  }
+}
+
+void SpanCollector::BeginTermination(TransactionId txn, SiteId site,
+                                     SimTime at) {
+  Key key{txn, site};
+  if (open_term_.count(key) != 0) return;
+  open_term_[key] = spans_.size();
+  spans_.push_back(PhaseSpan{txn, site, CommitPhase::kTermination, at, at,
+                             /*open=*/true});
+}
+
+void SpanCollector::EndTermination(TransactionId txn, SiteId site,
+                                   SimTime at) {
+  CloseAt(&open_term_, Key{txn, site}, at);
+}
+
+std::vector<PhaseSpan> SpanCollector::ForTransaction(TransactionId txn) const {
+  std::vector<PhaseSpan> out;
+  for (const PhaseSpan& span : spans_) {
+    if (span.txn == txn) out.push_back(span);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PhaseSpan& a, const PhaseSpan& b) {
+                     return a.site != b.site ? a.site < b.site
+                                             : a.begin < b.begin;
+                   });
+  return out;
+}
+
+size_t SpanCollector::open_count() const {
+  return open_phase_.size() + open_term_.size();
+}
+
+void SpanCollector::Clear() {
+  spans_.clear();
+  open_phase_.clear();
+  open_term_.clear();
+}
+
+}  // namespace nbcp

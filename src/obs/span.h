@@ -1,0 +1,111 @@
+#ifndef NBCP_OBS_SPAN_H_
+#define NBCP_OBS_SPAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nbcp {
+
+class MetricsRegistry;
+
+/// One site's position along the commit path of one transaction. The
+/// phases partition a site's timeline:
+///   vote-request: the transaction reaches the site → the site votes;
+///   vote:         vote cast → entering a buffer state (3PC) or deciding;
+///   precommit:    buffer ("prepare to commit/abort") state → decision;
+///   decision:     the local decision point (zero-length marker span);
+///   termination:  termination-protocol engagement → its verdict
+///                 (left open while the site is blocked).
+enum class CommitPhase : uint8_t {
+  kVoteRequest = 0,
+  kVote,
+  kPrecommit,
+  kDecision,
+  kTermination,
+};
+
+/// Short name: "vote_request", "vote", "precommit", "decision",
+/// "termination".
+std::string ToString(CommitPhase phase);
+
+/// Inverse of ToString; false when `name` is unknown.
+bool CommitPhaseFromString(const std::string& name, CommitPhase* out);
+
+/// One recorded interval at one site.
+struct PhaseSpan {
+  TransactionId txn = kNoTransaction;
+  SiteId site = kNoSite;
+  CommitPhase phase = CommitPhase::kVoteRequest;
+  SimTime begin = 0;
+  SimTime end = 0;
+  bool open = true;  ///< Still running (e.g. a blocked termination).
+
+  SimTime duration() const { return open || end < begin ? 0 : end - begin; }
+};
+
+/// Collects phase spans from every site of a system. Participants drive it
+/// from the same hook points that feed the trace recorder; closed spans are
+/// additionally folded into per-phase latency histograms when a
+/// MetricsRegistry is attached ("phase/<name>/latency_us").
+///
+/// Each (transaction, site) pair has at most one open protocol-phase span
+/// plus at most one open termination span — termination runs concurrently
+/// with (and supersedes) the ordinary commit path, so it is tracked as a
+/// separate lane.
+class SpanCollector {
+ public:
+  SpanCollector() = default;
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Histograms of closed spans land here (not owned; may be nullptr).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Opens a `phase` span at (txn, site), closing any currently open
+  /// protocol-phase span at time `at`. Re-opening the already-open phase is
+  /// a no-op (hooks may fire more than once per phase).
+  void Begin(TransactionId txn, SiteId site, CommitPhase phase, SimTime at);
+
+  /// Closes the open protocol-phase span, if any.
+  void End(TransactionId txn, SiteId site, SimTime at);
+
+  /// Records the zero-length decision marker and closes the open
+  /// protocol-phase span.
+  void MarkDecision(TransactionId txn, SiteId site, SimTime at);
+
+  /// Opens / closes the termination lane.
+  void BeginTermination(TransactionId txn, SiteId site, SimTime at);
+  void EndTermination(TransactionId txn, SiteId site, SimTime at);
+
+  /// Appends an already-formed span (trace import).
+  void Add(const PhaseSpan& span) { spans_.push_back(span); }
+
+  const std::vector<PhaseSpan>& spans() const { return spans_; }
+
+  /// Spans of one transaction, ordered by (site, begin).
+  std::vector<PhaseSpan> ForTransaction(TransactionId txn) const;
+
+  /// Number of spans still open (blocked terminations, crashed mid-phase).
+  size_t open_count() const;
+
+  void Clear();
+
+ private:
+  using Key = std::pair<TransactionId, SiteId>;
+
+  void CloseAt(std::map<Key, size_t>* lane, const Key& key, SimTime at);
+
+  std::vector<PhaseSpan> spans_;
+  std::map<Key, size_t> open_phase_;  ///< Index into spans_.
+  std::map<Key, size_t> open_term_;   ///< Index into spans_.
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_SPAN_H_

@@ -10,6 +10,7 @@ size_t Simulator::Run(size_t max_events) {
     now_ = t;
     fn();
     ++executed;
+    ++stats_.events_executed;
   }
   return executed;
 }
@@ -22,6 +23,7 @@ size_t Simulator::RunUntil(SimTime until) {
     now_ = t;
     fn();
     ++executed;
+    ++stats_.events_executed;
   }
   if (now_ < until) now_ = until;
   return executed;
@@ -33,6 +35,7 @@ bool Simulator::Step() {
   auto fn = queue_.Pop(&t);
   now_ = t;
   fn();
+  ++stats_.events_executed;
   return true;
 }
 

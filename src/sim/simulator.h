@@ -1,6 +1,7 @@
 #ifndef NBCP_SIM_SIMULATOR_H_
 #define NBCP_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
@@ -9,6 +10,13 @@
 #include "sim/event_queue.h"
 
 namespace nbcp {
+
+/// Lifetime counters of one Simulator, for observability snapshots.
+struct SimStats {
+  size_t events_executed = 0;
+  size_t events_scheduled = 0;
+  size_t max_queue_depth = 0;
+};
 
 /// Single-threaded discrete-event simulator.
 ///
@@ -31,13 +39,17 @@ class Simulator {
 
   /// Schedules `fn` to run `delay` microseconds from now.
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    return queue_.Push(now_ + delay, std::move(fn));
+    EventId id = queue_.Push(now_ + delay, std::move(fn));
+    NoteScheduled();
+    return id;
   }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to >= now).
   EventId ScheduleAt(SimTime at, std::function<void()> fn) {
     if (at < now_) at = now_;
-    return queue_.Push(at, std::move(fn));
+    EventId id = queue_.Push(at, std::move(fn));
+    NoteScheduled();
+    return id;
   }
 
   /// Cancels a scheduled event.
@@ -57,10 +69,18 @@ class Simulator {
   /// Number of pending events.
   size_t PendingEvents() { return queue_.Size(); }
 
+  const SimStats& stats() const { return stats_; }
+
  private:
+  void NoteScheduled() {
+    ++stats_.events_scheduled;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.Size());
+  }
+
   EventQueue queue_;
   SimTime now_ = 0;
   Rng rng_;
+  SimStats stats_;
 };
 
 }  // namespace nbcp

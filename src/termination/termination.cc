@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 #include "termination/backup_coordinator.h"
 
 namespace nbcp {
@@ -67,8 +68,8 @@ void TerminationProtocol::Initiate(TransactionId txn) {
   }
   session.phase = Phase::kElecting;
   session.backup = kNoSite;
-  NBCP_LOG(kDebug) << "site " << self_ << " initiating termination of txn "
-                   << txn;
+  if (metrics_ != nullptr) metrics_->counter("termination/sessions").Inc();
+  NBCP_LOG_AT(kDebug, self_) << "initiating termination of txn " << txn;
   if (hooks_.freeze) hooks_.freeze(txn);
   election_->StartElection(txn);
 }
@@ -131,9 +132,10 @@ void TerminationProtocol::BeginCollect(TransactionId txn) {
 void TerminationProtocol::DeclareBlocked(TransactionId txn,
                                          const std::string& why) {
   Session& session = GetSession(txn);
-  NBCP_LOG(kDebug) << "site " << self_ << " txn " << txn
-                   << " termination blocked: " << why;
+  NBCP_LOG_AT(kDebug, self_) << "txn " << txn << " termination blocked: "
+                             << why;
   session.phase = Phase::kBlocked;
+  if (metrics_ != nullptr) metrics_->counter("termination/blocked").Inc();
   Broadcast(kBlockedMsg, txn);
   if (hooks_.on_blocked) hooks_.on_blocked(txn);
 }
@@ -284,12 +286,11 @@ void TerminationProtocol::ApplyDecision(TransactionId txn, Outcome outcome) {
   Session& session = GetSession(txn);
   session.phase = Phase::kDone;
   session.decision = outcome;
+  if (metrics_ != nullptr) metrics_->counter("termination/decides").Inc();
   Status s = hooks_.force_outcome(txn, outcome);
-  if (!s.ok()) {
-    NBCP_LOG(kWarn) << "site " << self_ << " txn " << txn
-                    << " termination decision " << ToString(outcome)
-                    << " conflicts: " << s.ToString();
-  }
+  NBCP_LOG_IF(kWarn, !s.ok())
+      << "site " << self_ << " txn " << txn << " termination decision "
+      << ToString(outcome) << " conflicts: " << s.ToString();
   if (hooks_.on_terminated) hooks_.on_terminated(txn, outcome);
 }
 

@@ -16,6 +16,8 @@
 
 namespace nbcp {
 
+class MetricsRegistry;
+
 /// Callbacks wiring a TerminationProtocol into its owning participant.
 struct TerminationHooks {
   /// Local state index of `txn` in this site's role automaton.
@@ -120,6 +122,11 @@ class TerminationProtocol {
   /// Drops all session state (site crash).
   void Clear();
 
+  /// Attaches a metrics registry (not owned; nullptr detaches): counts
+  /// sessions initiated ("termination/sessions"), decisions applied
+  /// ("termination/decides") and blocked verdicts ("termination/blocked").
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   static bool OwnsMessage(const std::string& type);
 
  private:
@@ -178,6 +185,7 @@ class TerminationProtocol {
   const ConcurrencyAnalysis* analysis_;
   TerminationHooks hooks_;
   TerminationConfig config_;
+  MetricsRegistry* metrics_ = nullptr;
   std::unordered_map<TransactionId, Session> sessions_;
 
   /// Liveness token: scheduled deadlines hold a weak reference and become

@@ -37,9 +37,34 @@ std::string ToString(TraceEventType type) {
   return "?";
 }
 
+bool TraceEventTypeFromString(const std::string& name, TraceEventType* out) {
+  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(TraceEventType::kElectionWon);
+       ++raw) {
+    TraceEventType type = static_cast<TraceEventType>(raw);
+    if (ToString(type) == name) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
 void TraceRecorder::Record(SimTime at, SiteId site, TransactionId txn,
-                           TraceEventType type, std::string detail) {
-  events_.push_back(TraceEvent{at, site, txn, type, std::move(detail)});
+                           TraceEventType type, std::string detail,
+                           uint64_t seq) {
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(TraceEvent{at, site, txn, type, std::move(detail), seq});
+}
+
+void TraceRecorder::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  while (capacity_ != 0 && events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
 }
 
 std::vector<TraceEvent> TraceRecorder::ForTransaction(

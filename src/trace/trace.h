@@ -2,6 +2,7 @@
 #define NBCP_TRACE_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,9 @@ enum class TraceEventType : uint8_t {
 
 std::string ToString(TraceEventType type);
 
+/// Inverse of ToString (trace reimport); false when `name` is unknown.
+bool TraceEventTypeFromString(const std::string& name, TraceEventType* out);
+
 /// One recorded event.
 struct TraceEvent {
   SimTime at = 0;
@@ -35,6 +39,11 @@ struct TraceEvent {
   TransactionId txn = kNoTransaction;  ///< 0 = not transaction-scoped.
   TraceEventType type = TraceEventType::kStateChange;
   std::string detail;
+
+  /// Message-event correlation: the network stamps every accepted send with
+  /// a unique sequence number, and the matching deliver/drop event carries
+  /// the same value. 0 = not a message event.
+  uint64_t seq = 0;
 };
 
 /// In-memory recorder for protocol events, with human-readable rendering.
@@ -42,18 +51,27 @@ struct TraceEvent {
 /// Enable via SystemConfig::trace; CommitSystem then wires every
 /// participant, the network and the failure injector into one recorder.
 /// Intended for examples, debugging and post-mortem assertions in tests —
-/// benchmarks should leave it off.
+/// benchmarks should leave it off, or cap memory with a ring-buffer
+/// capacity (SystemConfig::trace_capacity) for soak/throughput runs.
 class TraceRecorder {
  public:
-  TraceRecorder() = default;
+  /// `capacity` = maximum retained events; 0 = unbounded (the default).
+  /// When full, recording a new event evicts the oldest one.
+  explicit TraceRecorder(size_t capacity = 0) : capacity_(capacity) {}
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   void Record(SimTime at, SiteId site, TransactionId txn,
-              TraceEventType type, std::string detail = "");
+              TraceEventType type, std::string detail = "", uint64_t seq = 0);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
   void Clear() { events_.clear(); }
+
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity);
+
+  /// Events evicted so far due to the capacity limit.
+  uint64_t dropped() const { return dropped_; }
 
   /// Events of one transaction, in order.
   std::vector<TraceEvent> ForTransaction(TransactionId txn) const;
@@ -72,7 +90,9 @@ class TraceRecorder {
                TransactionId txn = kNoTransaction) const;
 
  private:
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
+  size_t capacity_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace nbcp

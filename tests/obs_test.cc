@@ -1,0 +1,355 @@
+// Tests for the observability layer: histogram quantiles, the metrics
+// registry, phase-span collection, JSON, trace export round-trips, and the
+// virtual-time logger.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below 128 occupy one bucket each, so every quantile of this
+  // distribution is exact.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.Quantile(0.50), 50u);
+  EXPECT_EQ(h.Quantile(0.95), 95u);
+  EXPECT_EQ(h.Quantile(0.99), 99u);
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);  // q=1 reports the exact max.
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, SingleValueQuantiles) {
+  LatencyHistogram h;
+  h.Record(42);
+  EXPECT_EQ(h.p50(), 42u);
+  EXPECT_EQ(h.p99(), 42u);
+  EXPECT_EQ(h.Quantile(1.0), 42u);
+}
+
+TEST(HistogramTest, LargeValueQuantileErrorIsBounded) {
+  // Above 128 buckets are 32-per-power-of-two, so a quantile may
+  // under-report by at most 1/32 of the value.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(100000);
+  uint64_t q = h.p50();
+  EXPECT_LE(q, 100000u);
+  EXPECT_GE(q, 100000u - 100000u / 32);
+  EXPECT_EQ(h.Quantile(1.0), 100000u);  // Exact max regardless of bucketing.
+}
+
+TEST(HistogramTest, MergeAccumulatesBucketwise) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (uint64_t v : {10, 20, 30}) a.Record(v);
+  for (uint64_t v : {40, 50}) b.Record(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.sum(), 150u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 50u);
+  EXPECT_EQ(a.Quantile(1.0), 50u);
+  EXPECT_EQ(a.p50(), 30u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, ToJsonCarriesQuantiles) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Record(v);
+  Json j = h.ToJson();
+  EXPECT_EQ(j.GetUint("count"), 10u);
+  EXPECT_EQ(j.GetUint("p50"), 5u);
+  EXPECT_EQ(j.GetUint("max"), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, CreateOnLookupAndMerge) {
+  MetricsRegistry a;
+  a.counter("txn/committed").Inc(3);
+  a.gauge("queue/depth").Set(7.5);
+  a.histogram("txn/latency_us").Record(100);
+
+  MetricsRegistry b;
+  b.counter("txn/committed").Inc(2);
+  b.counter("txn/aborted").Inc();
+  b.gauge("queue/depth").Set(9.0);
+  b.histogram("txn/latency_us").Record(200);
+
+  a.Merge(b);
+  EXPECT_EQ(a.counter("txn/committed").value(), 5u);
+  EXPECT_EQ(a.counter("txn/aborted").value(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("queue/depth").value(), 9.0);  // Last-write-wins.
+  EXPECT_EQ(a.histogram("txn/latency_us").count(), 2u);
+  EXPECT_EQ(a.histogram("txn/latency_us").max(), 200u);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotRoundTrip) {
+  MetricsRegistry r;
+  r.counter("net/sent").Inc(12);
+  r.histogram("phase/vote/latency_us").Record(64);
+  std::string text = r.ToJson().Dump(2);
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("counters")->GetUint("net/sent"), 12u);
+  const Json* hist = parsed->Find("histograms")->Find("phase/vote/latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->GetUint("p50"), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// SpanCollector
+
+TEST(SpanCollectorTest, BeginClosesPreviousPhase) {
+  SpanCollector c;
+  c.Begin(1, 2, CommitPhase::kVoteRequest, 100);
+  c.Begin(1, 2, CommitPhase::kVote, 250);
+  c.MarkDecision(1, 2, 400);
+
+  auto spans = c.ForTransaction(1);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].phase, CommitPhase::kVoteRequest);
+  EXPECT_EQ(spans[0].begin, 100u);
+  EXPECT_EQ(spans[0].end, 250u);
+  EXPECT_FALSE(spans[0].open);
+  EXPECT_EQ(spans[1].phase, CommitPhase::kVote);
+  EXPECT_EQ(spans[1].duration(), 150u);
+  EXPECT_EQ(spans[2].phase, CommitPhase::kDecision);
+  EXPECT_EQ(spans[2].duration(), 0u);  // Zero-length marker.
+  EXPECT_EQ(c.open_count(), 0u);
+}
+
+TEST(SpanCollectorTest, ReopeningSamePhaseIsNoop) {
+  SpanCollector c;
+  c.Begin(1, 2, CommitPhase::kVote, 100);
+  c.Begin(1, 2, CommitPhase::kVote, 300);  // Duplicate hook firing.
+  c.End(1, 2, 500);
+  auto spans = c.ForTransaction(1);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin, 100u);
+  EXPECT_EQ(spans[0].end, 500u);
+}
+
+TEST(SpanCollectorTest, TerminationLaneIsIndependent) {
+  SpanCollector c;
+  c.Begin(1, 3, CommitPhase::kVote, 100);
+  c.BeginTermination(1, 3, 200);  // Concurrent with the open vote span.
+  EXPECT_EQ(c.open_count(), 2u);
+  c.EndTermination(1, 3, 900);
+  EXPECT_EQ(c.open_count(), 1u);  // Vote span (blocked site) stays open.
+
+  auto spans = c.ForTransaction(1);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].phase, CommitPhase::kVote);
+  EXPECT_TRUE(spans[0].open);
+  EXPECT_EQ(spans[1].phase, CommitPhase::kTermination);
+  EXPECT_EQ(spans[1].duration(), 700u);
+}
+
+TEST(SpanCollectorTest, ClosedSpansFeedPhaseHistograms) {
+  MetricsRegistry metrics;
+  SpanCollector c;
+  c.set_metrics(&metrics);
+  c.Begin(1, 2, CommitPhase::kVote, 100);
+  c.End(1, 2, 164);
+  EXPECT_EQ(metrics.histogram("phase/vote/latency_us").count(), 1u);
+  EXPECT_EQ(metrics.histogram("phase/vote/latency_us").max(), 64u);
+}
+
+TEST(SpanCollectorTest, PhaseNamesRoundTrip) {
+  for (CommitPhase phase :
+       {CommitPhase::kVoteRequest, CommitPhase::kVote, CommitPhase::kPrecommit,
+        CommitPhase::kDecision, CommitPhase::kTermination}) {
+    CommitPhase parsed;
+    ASSERT_TRUE(CommitPhaseFromString(ToString(phase), &parsed));
+    EXPECT_EQ(parsed, phase);
+  }
+  CommitPhase unused;
+  EXPECT_FALSE(CommitPhaseFromString("bogus", &unused));
+}
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  std::string text =
+      R"({"a":[1,2.5,true,null,"x\"y"],"b":{"nested":-7},"c":""})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  auto again = Json::Parse(parsed->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(parsed->Dump(), again->Dump());
+  EXPECT_EQ(again->Find("b")->GetNumber("nested"), -7);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Trace export / import
+
+TEST(TraceExportTest, JsonLinesRoundTrip) {
+  TraceRecorder trace;
+  trace.Record(100, 1, 7, TraceEventType::kProtocolStart, "3PC", 0);
+  trace.Record(120, 1, 7, TraceEventType::kMessageSent, "xact->2", 5);
+  trace.Record(220, 2, 7, TraceEventType::kMessageDelivered, "xact", 5);
+  trace.Record(300, 2, 7, TraceEventType::kDecision, "committed", 0);
+
+  SpanCollector spans;
+  spans.Begin(7, 2, CommitPhase::kVoteRequest, 220);
+  spans.MarkDecision(7, 2, 300);
+  spans.BeginTermination(7, 3, 250);  // Left open: a blocked site.
+
+  TraceMeta meta;
+  meta.protocol = "3PC-central";
+  meta.num_sites = 3;
+  std::string jsonl = ExportTraceJsonLines(trace, &spans, meta);
+
+  auto imported = ParseTraceJsonLines(jsonl);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported->meta.protocol, "3PC-central");
+  EXPECT_EQ(imported->meta.num_sites, 3u);
+  ASSERT_EQ(imported->events.size(), trace.events().size());
+  for (size_t i = 0; i < imported->events.size(); ++i) {
+    const TraceEvent& got = imported->events[i];
+    const TraceEvent& want = trace.events()[i];
+    EXPECT_EQ(got.at, want.at);
+    EXPECT_EQ(got.site, want.site);
+    EXPECT_EQ(got.txn, want.txn);
+    EXPECT_EQ(got.type, want.type);
+    EXPECT_EQ(got.detail, want.detail);
+    EXPECT_EQ(got.seq, want.seq);
+  }
+  ASSERT_EQ(imported->spans.size(), spans.spans().size());
+  for (size_t i = 0; i < imported->spans.size(); ++i) {
+    const PhaseSpan& got = imported->spans[i];
+    const PhaseSpan& want = spans.spans()[i];
+    EXPECT_EQ(got.txn, want.txn);
+    EXPECT_EQ(got.site, want.site);
+    EXPECT_EQ(got.phase, want.phase);
+    EXPECT_EQ(got.begin, want.begin);
+    EXPECT_EQ(got.end, want.end);
+    EXPECT_EQ(got.open, want.open);
+  }
+}
+
+TEST(TraceExportTest, MalformedLineReportsLineNumber) {
+  std::string text =
+      "{\"kind\":\"meta\",\"version\":1,\"protocol\":\"x\",\"num_sites\":2}\n"
+      "this is not json\n";
+  auto imported = ParseTraceJsonLines(text);
+  ASSERT_FALSE(imported.ok());
+  EXPECT_NE(imported.status().ToString().find("2"), std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeTraceIsValidJson) {
+  TraceRecorder trace;
+  trace.Record(100, 1, 7, TraceEventType::kMessageSent, "xact->2", 9);
+  trace.Record(200, 2, 7, TraceEventType::kMessageDelivered, "xact", 9);
+  SpanCollector spans;
+  spans.Begin(7, 1, CommitPhase::kVote, 100);
+  spans.End(7, 1, 180);
+  TraceMeta meta;
+  meta.protocol = "2PC-central";
+  meta.num_sites = 2;
+  std::vector<TraceEvent> events(trace.events().begin(), trace.events().end());
+  std::string chrome = ExportChromeTrace(events, spans.spans(), meta);
+  auto parsed = Json::Parse(chrome);
+  ASSERT_TRUE(parsed.ok());
+  const Json* trace_events = parsed->Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  // One X (the span) plus the s/f flow pair for the seq-correlated message.
+  int complete = 0, flow_start = 0, flow_end = 0;
+  for (const Json& e : trace_events->items()) {
+    std::string ph = e.GetString("ph");
+    if (ph == "X") ++complete;
+    if (ph == "s") ++flow_start;
+    if (ph == "f") ++flow_end;
+  }
+  EXPECT_EQ(complete, 1);
+  EXPECT_EQ(flow_start, 1);
+  EXPECT_EQ(flow_end, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+TEST(LoggerTest, VirtualTimeAndSiteContext) {
+  Logger& logger = Logger::Get();
+  std::vector<std::string> records;
+  logger.set_sink([&records](const std::string& line) {
+    records.push_back(line);
+  });
+  uint64_t token = logger.SetTimeSource([] { return uint64_t{1200}; });
+
+  NBCP_LOG_AT(kWarn, 3) << "prepare failed";
+  NBCP_LOG_IF(kWarn, false) << "suppressed";
+  NBCP_LOG_IF(kWarn, true) << "emitted";
+
+  logger.ClearTimeSource(token);
+  logger.set_sink(nullptr);
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find("t=1200us"), std::string::npos);
+  EXPECT_NE(records[0].find("site=3"), std::string::npos);
+  EXPECT_NE(records[0].find("prepare failed"), std::string::npos);
+  EXPECT_NE(records[1].find("emitted"), std::string::npos);
+}
+
+TEST(LoggerTest, StaleTimeSourceTokenIsIgnored) {
+  Logger& logger = Logger::Get();
+  uint64_t first = logger.SetTimeSource([] { return uint64_t{1}; });
+  uint64_t second = logger.SetTimeSource([] { return uint64_t{2}; });
+  logger.ClearTimeSource(first);  // Stale: must not clobber `second`.
+
+  std::vector<std::string> records;
+  logger.set_sink([&records](const std::string& line) {
+    records.push_back(line);
+  });
+  NBCP_LOG(kWarn) << "x";
+  logger.ClearTimeSource(second);
+  logger.set_sink(nullptr);
+
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].find("t=2us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -41,6 +41,58 @@ TEST(SystemTest, FailureFreeCommitAllProtocols) {
   }
 }
 
+TEST(SystemTest, ThreePcPhaseSpansFollowProtocolOrder) {
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  TxnResult result = system->RunToCompletion(txn);
+  ASSERT_EQ(result.outcome, Outcome::kCommitted);
+
+  // Every site walks vote_request -> vote -> precommit -> decision, with
+  // contiguous non-overlapping spans, all closed.
+  for (SiteId site = 1; site <= 4; ++site) {
+    std::vector<PhaseSpan> site_spans;
+    for (const PhaseSpan& s : system->spans().ForTransaction(txn)) {
+      if (s.site == site) site_spans.push_back(s);
+    }
+    ASSERT_EQ(site_spans.size(), 4u) << "site " << site;
+    EXPECT_EQ(site_spans[0].phase, CommitPhase::kVoteRequest);
+    EXPECT_EQ(site_spans[1].phase, CommitPhase::kVote);
+    EXPECT_EQ(site_spans[2].phase, CommitPhase::kPrecommit);
+    EXPECT_EQ(site_spans[3].phase, CommitPhase::kDecision);
+    for (size_t i = 0; i < site_spans.size(); ++i) {
+      EXPECT_FALSE(site_spans[i].open) << "site " << site << " span " << i;
+      if (i > 0) {
+        EXPECT_EQ(site_spans[i].begin, site_spans[i - 1].end);
+      }
+    }
+  }
+  EXPECT_EQ(system->spans().open_count(), 0u);
+  // Closed spans fed the per-phase histograms: one sample per site.
+  EXPECT_EQ(system->registry().histogram("phase/precommit/latency_us").count(),
+            4u);
+}
+
+TEST(SystemTest, CommitAndTerminationPathLatenciesAreSplit) {
+  // Clean commit: termination latency absent, commit-path latency set.
+  auto clean = MakeSystem("3PC-central");
+  TransactionId txn = clean->Begin();
+  TxnResult result = clean->RunToCompletion(txn);
+  EXPECT_FALSE(result.used_termination);
+  EXPECT_EQ(result.termination_start_time, 0u);
+  EXPECT_EQ(clean->metrics().mean_termination_latency(), 0u);
+  EXPECT_GT(clean->metrics().mean_commit_path_latency(), 0u);
+
+  // Coordinator crash: the termination path dominates the tail.
+  auto crash = MakeSystem("3PC-central");
+  txn = crash->Begin();
+  crash->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 0);
+  result = crash->RunToCompletion(txn);
+  EXPECT_TRUE(result.used_termination);
+  EXPECT_GT(result.termination_start_time, 0u);
+  EXPECT_GT(crash->metrics().mean_termination_latency(), 0u);
+  EXPECT_LT(result.commit_path_latency(), result.latency());
+}
+
 TEST(SystemTest, SingleNoVoteAborts) {
   for (const char* p : {"2PC-central", "2PC-decentralized", "3PC-central",
                         "3PC-decentralized"}) {

@@ -20,6 +20,32 @@ TEST(TraceRecorderTest, RecordsAndFilters) {
   EXPECT_TRUE(trace.events().empty());
 }
 
+TEST(TraceRecorderTest, RingBufferEvictsOldestAtCapacity) {
+  TraceRecorder trace(3);
+  for (SimTime t = 100; t <= 500; t += 100) {
+    trace.Record(t, 1, 7, TraceEventType::kStateChange, std::to_string(t));
+  }
+  EXPECT_EQ(trace.capacity(), 3u);
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  // The oldest two events (t=100, t=200) were evicted.
+  EXPECT_EQ(trace.events().front().at, 300u);
+  EXPECT_EQ(trace.events().back().at, 500u);
+}
+
+TEST(TraceRecorderTest, SetCapacityTrimsExistingEvents) {
+  TraceRecorder trace;  // Unbounded by default.
+  for (SimTime t = 1; t <= 10; ++t) {
+    trace.Record(t, 1, 7, TraceEventType::kStateChange, "s");
+  }
+  EXPECT_EQ(trace.events().size(), 10u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.set_capacity(4);
+  EXPECT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(trace.events().front().at, 7u);
+}
+
 TEST(TraceRecorderTest, RenderIncludesDetails) {
   TraceRecorder trace;
   trace.Record(150, 3, 1, TraceEventType::kVoteCast, "yes");

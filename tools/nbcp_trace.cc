@@ -1,0 +1,321 @@
+// nbcp-trace: inspects a JSON-lines trace produced by CommitSystem
+// (SystemConfig::trace + ExportTraceJsonl, e.g. from the coordinator_crash
+// example).
+//
+// Usage:
+//   nbcp-trace <trace.jsonl>                 overview + anomaly scan
+//   nbcp-trace <trace.jsonl> --txn <id>      one transaction in depth
+//   nbcp-trace <trace.jsonl> --timeline      full message timeline
+//   nbcp-trace <trace.jsonl> --chrome <out>  re-emit in Chrome trace format
+//
+// Sections:
+//   phases     per-phase latency breakdown (count/mean/p50/p95/p99/max)
+//              aggregated over all (txn, site) spans;
+//   messages   send/deliver/drop counts per message type with delivery
+//              latency;
+//   anomalies  blocked transactions (open termination spans), atomicity
+//              violations (sites of one transaction deciding differently),
+//              orphan messages (sent but never delivered or dropped).
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/span.h"
+#include "trace/trace.h"
+
+using namespace nbcp;
+
+namespace {
+
+struct Options {
+  std::string path;
+  std::optional<TransactionId> txn;
+  bool timeline = false;
+  std::string chrome_out;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: nbcp-trace <trace.jsonl> [--txn <id>] [--timeline] "
+               "[--chrome <out.json>]\n");
+}
+
+/// "prepare->3" / "prepare<-1" → message type.
+std::string MsgType(const std::string& detail) {
+  size_t pos = detail.find("->");
+  if (pos == std::string::npos) pos = detail.find("<-");
+  return pos == std::string::npos ? detail : detail.substr(0, pos);
+}
+
+void PrintPhaseBreakdown(const std::vector<PhaseSpan>& spans) {
+  std::map<CommitPhase, LatencyHistogram> by_phase;
+  std::map<CommitPhase, size_t> open_count;
+  for (const PhaseSpan& span : spans) {
+    if (span.open) {
+      ++open_count[span.phase];
+    } else {
+      by_phase[span.phase].Record(span.duration());
+    }
+  }
+  std::printf("per-phase latency (us, closed spans over all txns/sites)\n");
+  std::printf("  %-13s %7s %9s %7s %7s %7s %9s %6s\n", "phase", "count",
+              "mean", "p50", "p95", "p99", "max", "open");
+  for (CommitPhase phase :
+       {CommitPhase::kVoteRequest, CommitPhase::kVote, CommitPhase::kPrecommit,
+        CommitPhase::kDecision, CommitPhase::kTermination}) {
+    auto it = by_phase.find(phase);
+    size_t open = open_count.count(phase) ? open_count[phase] : 0;
+    if (it == by_phase.end()) {
+      if (open > 0) {
+        std::printf("  %-13s %7d %9s %7s %7s %7s %9s %6zu\n",
+                    ToString(phase).c_str(), 0, "-", "-", "-", "-", "-", open);
+      }
+      continue;
+    }
+    const LatencyHistogram& h = it->second;
+    std::printf("  %-13s %7llu %9.1f %7llu %7llu %7llu %9llu %6zu\n",
+                ToString(phase).c_str(),
+                static_cast<unsigned long long>(h.count()), h.mean(),
+                static_cast<unsigned long long>(h.p50()),
+                static_cast<unsigned long long>(h.p95()),
+                static_cast<unsigned long long>(h.p99()),
+                static_cast<unsigned long long>(h.max()), open);
+  }
+}
+
+void PrintMessageStats(const std::vector<TraceEvent>& events) {
+  struct PerType {
+    size_t sent = 0, delivered = 0, dropped = 0;
+    LatencyHistogram delay;
+  };
+  std::map<std::string, PerType> by_type;
+  std::map<uint64_t, SimTime> sent_at;  // seq -> send time.
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kMessageSent:
+        ++by_type[MsgType(e.detail)].sent;
+        if (e.seq != 0) sent_at[e.seq] = e.at;
+        break;
+      case TraceEventType::kMessageDelivered: {
+        PerType& t = by_type[MsgType(e.detail)];
+        ++t.delivered;
+        auto it = e.seq != 0 ? sent_at.find(e.seq) : sent_at.end();
+        if (it != sent_at.end()) t.delay.Record(e.at - it->second);
+        break;
+      }
+      case TraceEventType::kMessageDropped:
+        ++by_type[MsgType(e.detail)].dropped;
+        break;
+      default:
+        break;
+    }
+  }
+  if (by_type.empty()) return;
+  std::printf("\nmessages (delivery latency us)\n");
+  std::printf("  %-18s %6s %6s %6s %8s %7s %9s\n", "type", "sent", "recv",
+              "drop", "mean", "p95", "max");
+  for (const auto& [type, t] : by_type) {
+    if (t.delay.count() > 0) {
+      std::printf("  %-18s %6zu %6zu %6zu %8.1f %7llu %9llu\n", type.c_str(),
+                  t.sent, t.delivered, t.dropped, t.delay.mean(),
+                  static_cast<unsigned long long>(t.delay.p95()),
+                  static_cast<unsigned long long>(t.delay.max()));
+    } else {
+      std::printf("  %-18s %6zu %6zu %6zu %8s %7s %9s\n", type.c_str(),
+                  t.sent, t.delivered, t.dropped, "-", "-", "-");
+    }
+  }
+}
+
+void PrintTimeline(const std::vector<TraceEvent>& events,
+                   std::optional<TransactionId> txn) {
+  std::printf("\nmessage timeline\n");
+  for (const TraceEvent& e : events) {
+    if (txn.has_value() && e.txn != *txn) continue;
+    if (e.type != TraceEventType::kMessageSent &&
+        e.type != TraceEventType::kMessageDelivered &&
+        e.type != TraceEventType::kMessageDropped) {
+      continue;
+    }
+    std::printf("  t=%-8llu site %-3u txn %-4llu %-5s %s (seq %llu)\n",
+                static_cast<unsigned long long>(e.at), e.site,
+                static_cast<unsigned long long>(e.txn),
+                ToString(e.type).c_str(), e.detail.c_str(),
+                static_cast<unsigned long long>(e.seq));
+  }
+}
+
+void PrintTransaction(const ImportedTrace& trace, TransactionId txn) {
+  std::printf("\ntransaction %llu\n",
+              static_cast<unsigned long long>(txn));
+  std::printf("  spans (per site):\n");
+  for (const PhaseSpan& span : trace.spans) {
+    if (span.txn != txn) continue;
+    if (span.open) {
+      std::printf("    site %-3u %-13s [%llu .. ) OPEN\n", span.site,
+                  ToString(span.phase).c_str(),
+                  static_cast<unsigned long long>(span.begin));
+    } else {
+      std::printf("    site %-3u %-13s [%llu .. %llu]  %llu us\n", span.site,
+                  ToString(span.phase).c_str(),
+                  static_cast<unsigned long long>(span.begin),
+                  static_cast<unsigned long long>(span.end),
+                  static_cast<unsigned long long>(span.duration()));
+    }
+  }
+  std::printf("  events:\n");
+  for (const TraceEvent& e : trace.events) {
+    if (e.txn != txn) continue;
+    std::printf("    t=%-8llu site %-3u %-12s %s\n",
+                static_cast<unsigned long long>(e.at), e.site,
+                ToString(e.type).c_str(), e.detail.c_str());
+  }
+}
+
+/// Anomaly scan; returns the number of findings.
+size_t PrintAnomalies(const ImportedTrace& trace) {
+  size_t findings = 0;
+
+  // Blocked transactions: an explicit BLOCKED event, or a termination span
+  // left open at the end of the trace.
+  std::set<TransactionId> blocked;
+  for (const TraceEvent& e : trace.events) {
+    if (e.type == TraceEventType::kBlocked) blocked.insert(e.txn);
+  }
+  for (const PhaseSpan& span : trace.spans) {
+    if (span.open && span.phase == CommitPhase::kTermination) {
+      blocked.insert(span.txn);
+    }
+  }
+  // A transaction that eventually decided everywhere is not blocked even if
+  // it passed through a blocked episode... keep the flag but note decisions.
+  for (TransactionId txn : blocked) {
+    size_t decisions = 0;
+    for (const TraceEvent& e : trace.events) {
+      if (e.txn == txn && e.type == TraceEventType::kDecision) ++decisions;
+    }
+    ++findings;
+    std::printf("  BLOCKED     txn %llu (%zu site decision(s) recorded)\n",
+                static_cast<unsigned long long>(txn), decisions);
+  }
+
+  // Atomicity violations: one transaction, different decisions at
+  // different sites.
+  std::map<TransactionId, std::set<std::string>> outcomes;
+  for (const TraceEvent& e : trace.events) {
+    if (e.type == TraceEventType::kDecision && !e.detail.empty()) {
+      outcomes[e.txn].insert(e.detail);
+    }
+  }
+  for (const auto& [txn, set] : outcomes) {
+    if (set.size() > 1) {
+      ++findings;
+      std::string joined;
+      for (const std::string& o : set) {
+        if (!joined.empty()) joined += " vs ";
+        joined += o;
+      }
+      std::printf("  ATOMICITY   txn %llu decided inconsistently: %s\n",
+                  static_cast<unsigned long long>(txn), joined.c_str());
+    }
+  }
+
+  // Orphan messages: a send whose seq never shows up as deliver or drop.
+  // (With a ring-buffer trace the send may simply have been evicted, so
+  // orphans are only meaningful on complete traces.)
+  std::map<uint64_t, const TraceEvent*> pending;
+  for (const TraceEvent& e : trace.events) {
+    if (e.seq == 0) continue;
+    if (e.type == TraceEventType::kMessageSent) {
+      pending[e.seq] = &e;
+    } else if (e.type == TraceEventType::kMessageDelivered ||
+               e.type == TraceEventType::kMessageDropped) {
+      pending.erase(e.seq);
+    }
+  }
+  for (const auto& [seq, e] : pending) {
+    ++findings;
+    std::printf("  ORPHAN      seq %llu: %s sent at t=%llu by site %u, "
+                "never delivered or dropped\n",
+                static_cast<unsigned long long>(seq), e->detail.c_str(),
+                static_cast<unsigned long long>(e->at), e->site);
+  }
+
+  if (findings == 0) std::printf("  none\n");
+  return findings;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--txn" && i + 1 < argc) {
+      opt.txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+    } else if (arg == "--timeline") {
+      opt.timeline = true;
+    } else if (arg == "--chrome" && i + 1 < argc) {
+      opt.chrome_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (opt.path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto content = ReadFile(opt.path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "error: %s\n", content.status().ToString().c_str());
+    return 1;
+  }
+  auto trace = ParseTraceJsonLines(*content);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+
+  std::set<TransactionId> txns;
+  for (const TraceEvent& e : trace->events) {
+    if (e.txn != kNoTransaction) txns.insert(e.txn);
+  }
+  std::printf("trace: %s\n", opt.path.c_str());
+  std::printf("  protocol %s, %zu sites, %zu events, %zu spans, "
+              "%zu transaction(s)\n\n",
+              trace->meta.protocol.empty() ? "?" : trace->meta.protocol.c_str(),
+              trace->meta.num_sites, trace->events.size(),
+              trace->spans.size(), txns.size());
+
+  PrintPhaseBreakdown(trace->spans);
+  PrintMessageStats(trace->events);
+  if (opt.timeline) PrintTimeline(trace->events, opt.txn);
+  if (opt.txn.has_value()) PrintTransaction(*trace, *opt.txn);
+
+  std::printf("\nanomalies\n");
+  size_t findings = PrintAnomalies(*trace);
+
+  if (!opt.chrome_out.empty()) {
+    TraceMeta meta = trace->meta;
+    Status s = WriteFile(opt.chrome_out,
+                         ExportChromeTrace(trace->events, trace->spans, meta));
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nchrome trace written to %s\n", opt.chrome_out.c_str());
+  }
+  return findings == 0 ? 0 : 3;
+}
