@@ -1,0 +1,128 @@
+// Observer overhead: wall-clock cost of the runtime GlobalStateObserver
+// (live global-state maintenance + online invariant checks) per simulator
+// event, compared against the same workload with observation off and with
+// full tracing on top. The observer is meant to be cheap enough to leave
+// on in soak runs; this bench quantifies "cheap".
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/transaction_manager.h"
+
+using namespace nbcp;
+
+namespace {
+
+struct Cell {
+  double wall_ms = 0;          ///< Total wall-clock for the workload.
+  uint64_t events = 0;         ///< Simulator events executed.
+  uint64_t obs_events = 0;     ///< Events the observer consumed.
+  uint64_t checks = 0;         ///< Invariant checks evaluated.
+  uint64_t violations = 0;
+  double ns_per_event = 0;     ///< wall / simulator events.
+};
+
+Cell RunWorkload(const std::string& protocol, size_t n, int txns,
+                 bool observe, bool trace) {
+  Cell cell;
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = 99;
+  config.observe = observe;
+  config.observe_policy = ObserverPolicy::kCount;
+  config.trace = trace;
+  auto system = CommitSystem::Create(config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "bench: %s\n", system.status().ToString().c_str());
+    return cell;
+  }
+
+  auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < txns; ++i) {
+    TransactionId txn = (*system)->Begin();
+    // Every 16th transaction votes no at one site so abort paths are
+    // exercised (and checked) too.
+    if (i % 16 == 15) (*system)->SetVote(txn, (i % static_cast<int>(n)) + 1,
+                                         false);
+    (*system)->RunToCompletion(txn);
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(end - begin).count();
+  cell.events = (*system)->simulator().stats().events_executed;
+  if (cell.events > 0) {
+    cell.ns_per_event = cell.wall_ms * 1e6 / static_cast<double>(cell.events);
+  }
+  if (const GlobalStateObserver* obs = (*system)->observer()) {
+    cell.obs_events = obs->stats().events;
+    cell.checks = obs->stats().checks;
+    cell.violations = obs->stats().violations;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const int kTxns = 200;
+  const size_t kSites = 5;
+  bench::JsonReport report("observer_overhead");
+  bench::Banner("O1", "Runtime global-state observer overhead per event");
+  std::printf("%d transactions per cell, %zu sites; modes: baseline "
+              "(no observation), observe (invariant checks, no stored "
+              "trace), trace+observe (full trace with timeline)\n\n",
+              kTxns, kSites);
+  std::printf("%-20s %-15s %9s %10s %10s %10s %12s %10s\n", "protocol",
+              "mode", "wall_ms", "sim_evts", "obs_evts", "checks",
+              "ns/sim_evt", "overhead");
+
+  for (const char* name : {"2PC-central", "3PC-central",
+                           "3PC-decentralized"}) {
+    const std::string protocol(name);
+    Cell baseline = RunWorkload(protocol, kSites, kTxns, false, false);
+    struct Mode {
+      const char* name;
+      bool observe, trace;
+    };
+    for (const Mode& mode : {Mode{"baseline", false, false},
+                             Mode{"observe", true, false},
+                             Mode{"trace+observe", true, true}}) {
+      Cell cell = mode.observe || mode.trace
+                      ? RunWorkload(protocol, kSites, kTxns, mode.observe,
+                                    mode.trace)
+                      : baseline;
+      double overhead =
+          baseline.wall_ms > 0 ? cell.wall_ms / baseline.wall_ms - 1.0 : 0.0;
+      std::printf("%-20s %-15s %9.2f %10llu %10llu %10llu %12.1f %9.1f%%\n",
+                  protocol.c_str(), mode.name, cell.wall_ms,
+                  static_cast<unsigned long long>(cell.events),
+                  static_cast<unsigned long long>(cell.obs_events),
+                  static_cast<unsigned long long>(cell.checks),
+                  cell.ns_per_event, overhead * 100.0);
+      report.AddRow("overhead",
+                    {{"protocol", Json(protocol)},
+                     {"mode", Json(std::string(mode.name))},
+                     {"num_sites", Json(kSites)},
+                     {"txns", Json(static_cast<uint64_t>(kTxns))},
+                     {"wall_ms", Json(cell.wall_ms)},
+                     {"sim_events", Json(cell.events)},
+                     {"observer_events", Json(cell.obs_events)},
+                     {"checks", Json(cell.checks)},
+                     {"violations", Json(cell.violations)},
+                     {"ns_per_sim_event", Json(cell.ns_per_event)},
+                     {"overhead_vs_baseline", Json(overhead)}});
+      if (cell.violations != 0) {
+        std::fprintf(stderr,
+                     "bench: unexpected invariant violations in %s/%s\n",
+                     protocol.c_str(), mode.name);
+      }
+    }
+  }
+
+  report.Write();
+  return 0;
+}

@@ -5,7 +5,7 @@
 # Usage: bench/run_all.sh [build-dir] [out-dir]
 #   build-dir  defaults to ./build
 #   out-dir    defaults to ./bench_results (also settable via NBCP_BENCH_OUT)
-set -u
+set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
@@ -30,27 +30,51 @@ for bin in "$BENCH_DIR"/bench_*; do
     bench_throughput) args="--benchmark_min_time=0.01s" ;;
     *) args="" ;;
   esac
+  # Bench failures are collected, not fatal: one broken bench must not hide
+  # the results of the others (set -e is for the harness's own errors).
   if ! "$bin" $args > "$OUT_DIR/$name.txt" 2>&1; then
     echo "    FAILED (see $OUT_DIR/$name.txt)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  # Every bench must leave a well-formed BENCH_<short-name>.json snapshot;
+  # name the culprit instead of silently merging partial results.
+  short="${name#bench_}"
+  snapshot="$OUT_DIR/BENCH_${short}.json"
+  if [ ! -f "$snapshot" ]; then
+    echo "    MISSING SNAPSHOT: $name produced no $snapshot" >&2
+    failures=$((failures + 1))
+  elif ! python3 -m json.tool "$snapshot" > /dev/null 2>&1; then
+    echo "    MALFORMED SNAPSHOT: $snapshot is not valid JSON" >&2
     failures=$((failures + 1))
   fi
 done
 
-# Merge every BENCH_<name>.json into one keyed document.
+# Merge every BENCH_<name>.json into one keyed document. Malformed
+# snapshots are reported (and counted above) rather than aborting the merge.
 python3 - "$OUT_DIR" <<'EOF'
 import json, sys, glob, os
 out_dir = sys.argv[1]
 merged = {}
+bad = []
 for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
     if os.path.basename(path) == "BENCH_RESULTS.json":
         continue
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        bad.append(f"{os.path.basename(path)}: {err}")
+        continue
     merged[doc.get("bench", os.path.basename(path))] = doc
 result = os.path.join(out_dir, "BENCH_RESULTS.json")
 with open(result, "w") as f:
     json.dump(merged, f, indent=2, sort_keys=True)
 print(f"collected {len(merged)} snapshots -> {result}")
+for entry in bad:
+    print(f"skipped malformed snapshot {entry}", file=sys.stderr)
+if bad:
+    sys.exit(1)
 EOF
 
 exit "$failures"

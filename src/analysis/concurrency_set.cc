@@ -98,4 +98,22 @@ std::string ConcurrencyAnalysis::FormatConcurrencySet(SiteId site,
   return out.str();
 }
 
+std::function<SiteId(SiteId)> MakeAnalysisSiteMap(Paradigm paradigm,
+                                                  size_t num_sites,
+                                                  size_t analysis_n) {
+  return [paradigm, num_sites, analysis_n](SiteId site) -> SiteId {
+    switch (paradigm) {
+      case Paradigm::kDecentralized:
+        return site <= analysis_n ? site : 1;
+      case Paradigm::kCentralSite:
+        return site <= analysis_n ? site : 2;
+      case Paradigm::kLinear:
+        if (site == 1) return 1;
+        if (site == num_sites) return static_cast<SiteId>(analysis_n);
+        return 2;  // Middle sites (analysis_n >= 3 whenever middles exist).
+    }
+    return site;
+  };
+}
+
 }  // namespace nbcp

@@ -1,6 +1,7 @@
 #ifndef NBCP_ANALYSIS_CONCURRENCY_SET_H_
 #define NBCP_ANALYSIS_CONCURRENCY_SET_H_
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -63,6 +64,16 @@ class ConcurrencyAnalysis {
   std::set<SiteState> noncommittable_;
   std::set<SiteState> empty_;
 };
+
+/// Maps a live site (1..num_sites) to its same-role representative inside
+/// an analyzed population of `analysis_n` sites. Same-role sites are
+/// symmetric, so analysis over a small population answers queries for any
+/// n; this is the single mapping used by the termination decision rule and
+/// the runtime global-state observer. Identity whenever
+/// num_sites == analysis_n.
+std::function<SiteId(SiteId)> MakeAnalysisSiteMap(Paradigm paradigm,
+                                                  size_t num_sites,
+                                                  size_t analysis_n);
 
 }  // namespace nbcp
 

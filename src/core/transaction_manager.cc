@@ -50,22 +50,9 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
       ConcurrencyAnalysis::Compute(*system->graph_));
 
   // Maps a live site to the same-role representative inside the analyzed
-  // population.
-  Paradigm paradigm = system->spec_->paradigm();
-  size_t num_sites = config.num_sites;
-  auto site_map = [analysis_n, paradigm, num_sites](SiteId site) -> SiteId {
-    switch (paradigm) {
-      case Paradigm::kDecentralized:
-        return site <= analysis_n ? site : 1;
-      case Paradigm::kCentralSite:
-        return site <= analysis_n ? site : 2;
-      case Paradigm::kLinear:
-        if (site == 1) return 1;
-        if (site == num_sites) return static_cast<SiteId>(analysis_n);
-        return 2;  // Middle sites (analysis_n >= 3 whenever middles exist).
-    }
-    return site;
-  };
+  // population (shared with the runtime observer and offline replay).
+  auto site_map = MakeAnalysisSiteMap(system->spec_->paradigm(),
+                                      config.num_sites, analysis_n);
 
   system->spans_.set_metrics(&system->registry_);
   system->network_->set_metrics(&system->registry_);
@@ -81,9 +68,12 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
     if (!attached.ok()) return attached;
   }
 
-  if (config.trace) {
+  if (config.trace || config.observe) {
     system->trace_ = std::make_unique<TraceRecorder>(config.trace_capacity);
     TraceRecorder* recorder = system->trace_.get();
+    // With observe-only (no trace), the recorder is a pure event bus: it
+    // stores nothing and just feeds the observer sink.
+    recorder->set_store(config.trace);
     Simulator* sim = system->sim_.get();
     for (auto& participant : system->participants_) {
       participant->set_trace(recorder);
@@ -109,6 +99,28 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
                                m.seq);
           }
         });
+    // Link-topology changes matter to the observer (concurrency-set checks
+    // are only sound failure-free) and to trace consumers.
+    system->network_->set_link_observer(
+        [recorder, sim](SiteId a, SiteId b, bool cut) {
+          recorder->Record(sim->now(), kNoSite, kNoTransaction,
+                           cut ? TraceEventType::kLinkCut
+                               : TraceEventType::kLinkRestored,
+                           std::to_string(a) + "-" + std::to_string(b));
+        });
+  }
+
+  if (config.observe) {
+    ObserverConfig obs_config;
+    obs_config.policy = config.observe_policy;
+    obs_config.timeline = config.observe_timeline && config.trace;
+    system->observer_ = std::make_unique<GlobalStateObserver>(
+        system->spec_.get(), config.num_sites, system->analysis_.get(),
+        site_map, obs_config);
+    system->observer_->set_trace(system->trace_.get());
+    system->observer_->set_metrics(&system->registry_);
+    system->trace_->set_sink([obs = system->observer_.get()](
+                                 const TraceEvent& e) { obs->OnEvent(e); });
   }
 
   // Log records carry virtual-time context while this system is alive.
@@ -261,7 +273,7 @@ TxnResult CommitSystem::RunToCompletion(TransactionId txn) {
 
 std::string CommitSystem::MetricsSnapshotJson(int indent) const {
   Json root = Json::Object();
-  root["protocol"] = Json(config_.protocol);
+  root["protocol"] = Json(spec_->name());
   root["num_sites"] = Json(config_.num_sites);
   root["seed"] = Json(config_.seed);
   root["virtual_time_us"] = Json(sim_->now());
@@ -285,28 +297,28 @@ std::string CommitSystem::MetricsSnapshotJson(int indent) const {
 }
 
 std::string CommitSystem::TraceJsonl() const {
-  if (trace_ == nullptr) return "";
-  TraceMeta meta{config_.protocol, config_.num_sites};
+  if (trace_ == nullptr || !trace_->store()) return "";
+  TraceMeta meta{spec_->name(), config_.num_sites, trace_->dropped()};
   return ExportTraceJsonLines(*trace_, &spans_, meta);
 }
 
 std::string CommitSystem::TraceChromeJson() const {
-  if (trace_ == nullptr) return "";
-  TraceMeta meta{config_.protocol, config_.num_sites};
+  if (trace_ == nullptr || !trace_->store()) return "";
+  TraceMeta meta{spec_->name(), config_.num_sites, trace_->dropped()};
   std::vector<TraceEvent> events(trace_->events().begin(),
                                  trace_->events().end());
   return ExportChromeTrace(events, spans_.spans(), meta);
 }
 
 Status CommitSystem::ExportTraceJsonl(const std::string& path) const {
-  if (trace_ == nullptr) {
+  if (trace_ == nullptr || !trace_->store()) {
     return Status::FailedPrecondition("tracing is off (SystemConfig::trace)");
   }
   return WriteFile(path, TraceJsonl());
 }
 
 Status CommitSystem::ExportTraceChrome(const std::string& path) const {
-  if (trace_ == nullptr) {
+  if (trace_ == nullptr || !trace_->store()) {
     return Status::FailedPrecondition("tracing is off (SystemConfig::trace)");
   }
   return WriteFile(path, TraceChromeJson());

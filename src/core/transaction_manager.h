@@ -17,6 +17,7 @@
 #include "net/failure_detector.h"
 #include "net/network.h"
 #include "obs/metrics_registry.h"
+#include "obs/observer.h"
 #include "obs/span.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -50,6 +51,19 @@ struct SystemConfig {
   /// bound, the oldest events are evicted (TraceRecorder::dropped() counts
   /// them) so long-running traced workloads keep the recent window.
   size_t trace_capacity = 0;
+
+  /// Attach a GlobalStateObserver: per-transaction live global state,
+  /// online invariant checks and (with `trace` also on) a global-state
+  /// timeline plus violation events in the exported trace. Works without
+  /// `trace` too — events are then consumed live and not retained.
+  bool observe = false;
+
+  /// What the observer does on a failed invariant check.
+  ObserverPolicy observe_policy = ObserverPolicy::kLog;
+
+  /// Emit "global-state" timeline events into the trace (off leaves only
+  /// the invariant checks).
+  bool observe_timeline = true;
 };
 
 /// The top-level facade: a simulated n-site distributed database running a
@@ -97,8 +111,16 @@ class CommitSystem {
   SpanCollector& spans() { return spans_; }
   const SpanCollector& spans() const { return spans_; }
 
-  /// The event recorder, or nullptr when SystemConfig::trace is off.
+  /// The event recorder, or nullptr when both SystemConfig::trace and
+  /// SystemConfig::observe are off. In observe-only mode the recorder
+  /// stores nothing (store() is false) and acts as the observer's event
+  /// bus.
   TraceRecorder* trace() { return trace_.get(); }
+
+  /// The runtime invariant checker, or nullptr when SystemConfig::observe
+  /// is off.
+  GlobalStateObserver* observer() { return observer_.get(); }
+  const GlobalStateObserver* observer() const { return observer_.get(); }
 
   // --- structured export --------------------------------------------------
 
@@ -158,6 +180,7 @@ class CommitSystem {
   std::vector<std::unique_ptr<Participant>> participants_;
   std::unique_ptr<FailureInjector> injector_;
   std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<GlobalStateObserver> observer_;
   SystemMetrics metrics_;
   MetricsRegistry registry_;
   SpanCollector spans_;

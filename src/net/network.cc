@@ -97,9 +97,17 @@ bool Network::IsSiteUp(SiteId site) const {
   return it != sites_.end() && it->second.up;
 }
 
-void Network::CutLink(SiteId a, SiteId b) { cut_links_.insert({a, b}); }
+void Network::CutLink(SiteId a, SiteId b) {
+  if (cut_links_.insert({a, b}).second && link_observer_) {
+    link_observer_(a, b, /*cut=*/true);
+  }
+}
 
-void Network::RestoreLink(SiteId a, SiteId b) { cut_links_.erase({a, b}); }
+void Network::RestoreLink(SiteId a, SiteId b) {
+  if (cut_links_.erase({a, b}) != 0 && link_observer_) {
+    link_observer_(a, b, /*cut=*/false);
+  }
+}
 
 std::vector<SiteId> Network::Sites() const {
   std::vector<SiteId> out;

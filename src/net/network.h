@@ -82,6 +82,14 @@ class Network {
   /// Restores the directed link a->b.
   void RestoreLink(SiteId a, SiteId b);
 
+  /// Optional link-topology observer: invoked on CutLink (cut = true) and
+  /// RestoreLink (cut = false). Lets the trace and the global-state
+  /// observer see partitions however they are injected.
+  using LinkObserver = std::function<void(SiteId a, SiteId b, bool cut)>;
+  void set_link_observer(LinkObserver observer) {
+    link_observer_ = std::move(observer);
+  }
+
   /// All registered sites, ascending.
   std::vector<SiteId> Sites() const;
 
@@ -117,6 +125,7 @@ class Network {
   std::set<std::pair<SiteId, SiteId>> cut_links_;
   NetworkStats stats_;
   Observer observer_;
+  LinkObserver link_observer_;
   MetricsRegistry* metrics_ = nullptr;
   uint64_t next_seq_ = 0;
 };

@@ -44,6 +44,7 @@ std::string ExportTraceJsonLines(const TraceRecorder& trace,
   header["version"] = uint64_t{1};
   header["protocol"] = meta.protocol;
   header["num_sites"] = meta.num_sites;
+  if (meta.dropped != 0) header["dropped"] = meta.dropped;
   out += header.Dump();
   out += '\n';
   for (const TraceEvent& e : trace.events()) {
@@ -77,6 +78,7 @@ Result<ImportedTrace> ParseTraceJsonLines(const std::string& text) {
     if (kind == "meta") {
       out.meta.protocol = j.GetString("protocol");
       out.meta.num_sites = j.GetUint("num_sites");
+      out.meta.dropped = j.GetUint("dropped");
     } else if (kind == "event") {
       TraceEvent e;
       e.at = j.GetUint("t");

@@ -14,6 +14,10 @@ namespace nbcp {
 struct TraceMeta {
   std::string protocol;
   size_t num_sites = 0;
+  /// Events evicted by the recorder's ring buffer before export. A nonzero
+  /// value marks the trace as truncated: replay skips phantom-message
+  /// checks and timeline comparison for such traces.
+  uint64_t dropped = 0;
 };
 
 /// A trace read back from its JSON-lines form.

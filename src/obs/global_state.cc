@@ -1,0 +1,55 @@
+#include "obs/global_state.h"
+
+#include <map>
+#include <sstream>
+
+namespace nbcp {
+
+bool LiveGlobalState::Settled() const {
+  if (!inflight.empty()) return false;
+  for (const LiveSiteState& s : sites) {
+    if (!IsFinal(s.kind)) return false;
+  }
+  return true;
+}
+
+std::string LiveGlobalState::Render(const std::vector<bool>& crashed) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0) out << ',';
+    if (i < crashed.size() && crashed[i]) out << '!';
+    out << sites[i].name;
+  }
+  out << '|';
+  for (const LiveSiteState& s : sites) out << s.vote;
+  out << '|';
+  // In-flight messages grouped by type, sorted, so the rendering does not
+  // depend on send sequence numbers (which differ across runs with
+  // different unrelated traffic).
+  std::map<std::string, int> by_type;
+  for (const auto& [seq, type] : inflight) ++by_type[type];
+  bool first = true;
+  for (const auto& [type, count] : by_type) {
+    if (!first) out << ',';
+    first = false;
+    out << type;
+    if (count > 1) out << 'x' << count;
+  }
+  return out.str();
+}
+
+LiveGlobalState MakeLiveInitialState(const ProtocolSpec& spec, size_t n) {
+  LiveGlobalState g;
+  g.sites.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    const Automaton& a = spec.role(spec.RoleForSite(site, n));
+    StateIndex initial = a.initial_state();
+    g.sites[i].state = initial;
+    g.sites[i].name = a.state(initial).name;
+    g.sites[i].kind = a.state(initial).kind;
+  }
+  return g;
+}
+
+}  // namespace nbcp

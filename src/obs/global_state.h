@@ -1,0 +1,59 @@
+#ifndef NBCP_OBS_GLOBAL_STATE_H_
+#define NBCP_OBS_GLOBAL_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// One site's slice of a transaction's live global state, as reconstructed
+/// from observed events (not by peeking into the engine): the current local
+/// FSA state, the durable vote, and the durable decision if any.
+struct LiveSiteState {
+  StateIndex state = kNoState;  ///< Index within the site's role automaton.
+  std::string name;             ///< State name ("q", "w", "p", ...).
+  StateKind kind = StateKind::kInitial;
+  char vote = '-';              ///< '-' unset, 'y' yes, 'n' no (durable).
+  Outcome decided = Outcome::kUndecided;  ///< Durable: survives crashes.
+  bool commit_checked = false;  ///< Commit-entry invariant already checked.
+};
+
+/// The live global state of one distributed transaction, per the paper: the
+/// vector of local FSA states plus the multiset of outstanding messages —
+/// maintained incrementally by the GlobalStateObserver from trace events.
+///
+/// In-flight messages are keyed by the network-assigned send sequence
+/// number, which makes send/deliver matching exact (and lets a delivery
+/// without a matching send be flagged as a phantom).
+struct LiveGlobalState {
+  std::vector<LiveSiteState> sites;  ///< sites[i] = site i+1.
+  std::map<uint64_t, std::string> inflight;  ///< seq -> message type.
+  bool degraded = false;  ///< Termination/recovery engaged for this txn:
+                          ///< failure-free-graph checks are suspended.
+  bool atomicity_reported = false;
+
+  /// True when every site occupies a final state and no messages remain.
+  bool Settled() const;
+
+  /// Canonical compact rendering used for the trace timeline and for
+  /// structural trace diffing, e.g. "w1,p,w|yyy|preparex2" (local state
+  /// names, votes, then in-flight messages grouped by type).
+  /// Crashed sites (per `crashed`, indexed like `sites`) render with a '!'
+  /// prefix. Deterministic for a given event sequence.
+  std::string Render(const std::vector<bool>& crashed) const;
+};
+
+/// Initializes an n-site live global state: every site in its role's
+/// initial state with no votes, no decisions and no in-flight messages
+/// (client requests surface as observed protocol-start events instead of
+/// the analysis model's virtual "__request" messages).
+LiveGlobalState MakeLiveInitialState(const ProtocolSpec& spec, size_t n);
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_GLOBAL_STATE_H_

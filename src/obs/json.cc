@@ -80,9 +80,15 @@ void Json::Append(Json value) {
 namespace {
 
 void AppendNumber(std::string* out, double d) {
+  // JSON has no NaN/Infinity literals; "%g" would emit invalid tokens
+  // ("nan", "inf"), so non-finite values serialize as null.
+  if (!std::isfinite(d)) {
+    *out += "null";
+    return;
+  }
   // Integers (the common case: timestamps, counters) print without a
   // fractional part so snapshots diff cleanly across runs.
-  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9e15) {
+  if (d == std::floor(d) && std::fabs(d) < 9e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
     *out += buf;

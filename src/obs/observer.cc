@@ -1,0 +1,385 @@
+#include "obs/observer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/state_graph.h"
+#include "common/logging.h"
+#include "obs/metrics_registry.h"
+
+namespace nbcp {
+
+std::string ToString(ObserverPolicy policy) {
+  switch (policy) {
+    case ObserverPolicy::kLog:
+      return "log";
+    case ObserverPolicy::kCount:
+      return "count";
+    case ObserverPolicy::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+std::string ToString(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kAtomicity:
+      return "atomicity";
+    case InvariantKind::kCommitWithoutYes:
+      return "commit-without-yes";
+    case InvariantKind::kConcurrencySet:
+      return "concurrency-set";
+    case InvariantKind::kC2Commit:
+      return "c2-commit";
+    case InvariantKind::kPhantomMessage:
+      return "phantom-message";
+  }
+  return "?";
+}
+
+std::string InvariantViolation::ToString() const {
+  return nbcp::ToString(kind) + ": " + detail;
+}
+
+namespace {
+
+/// "type->to" / "type<-from" -> "type".
+std::string MessageType(const std::string& detail, const char* separator) {
+  size_t pos = detail.rfind(separator);
+  return pos == std::string::npos ? detail : detail.substr(0, pos);
+}
+
+}  // namespace
+
+GlobalStateObserver::GlobalStateObserver(
+    const ProtocolSpec* spec, size_t n, const ConcurrencyAnalysis* analysis,
+    std::function<SiteId(SiteId)> analysis_site_map, ObserverConfig config)
+    : spec_(spec),
+      n_(n),
+      analysis_(analysis),
+      map_(std::move(analysis_site_map)),
+      config_(config),
+      crashed_(n, false) {
+  role_states_.resize(spec_->num_roles());
+  role_can_vote_.resize(spec_->num_roles());
+  for (RoleIndex r = 0; r < static_cast<RoleIndex>(spec_->num_roles()); ++r) {
+    const Automaton& a = spec_->role(r);
+    for (StateIndex s = 0; s < static_cast<StateIndex>(a.num_states()); ++s) {
+      role_states_[r][a.state(s).name] = {s, a.state(s).kind};
+    }
+    role_can_vote_[r] = a.CanVote();
+  }
+}
+
+const LiveGlobalState* GlobalStateObserver::StateOf(TransactionId txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+void GlobalStateObserver::Forget(TransactionId txn) { txns_.erase(txn); }
+
+LiveGlobalState& GlobalStateObserver::Track(TransactionId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    it = txns_.emplace(txn, MakeLiveInitialState(*spec_, n_)).first;
+    stats_.txns_tracked = txns_.size();
+  }
+  return it->second;
+}
+
+void GlobalStateObserver::OnEvent(const TraceEvent& event) {
+  // The observer's own output kinds re-enter through the recorder sink.
+  if (event.type == TraceEventType::kGlobalState ||
+      event.type == TraceEventType::kInvariantViolation) {
+    return;
+  }
+  ++stats_.events;
+  if (metrics_) metrics_->counter("obs/events").Inc();
+
+  switch (event.type) {
+    case TraceEventType::kProtocolStart:
+      if (event.txn != kNoTransaction) Track(event.txn);
+      break;
+    case TraceEventType::kStateChange:
+      OnStateChange(event);
+      break;
+    case TraceEventType::kVoteCast:
+      OnVote(event);
+      break;
+    case TraceEventType::kDecision:
+      OnDecision(event);
+      break;
+    case TraceEventType::kMessageSent:
+    case TraceEventType::kMessageDelivered:
+    case TraceEventType::kMessageDropped:
+      OnMessage(event);
+      break;
+    case TraceEventType::kCrash:
+      if (event.site >= 1 && event.site <= n_) crashed_[event.site - 1] = true;
+      failure_free_ = false;
+      break;
+    case TraceEventType::kRecover:
+      if (event.site >= 1 && event.site <= n_) crashed_[event.site - 1] = false;
+      break;
+    case TraceEventType::kLinkCut:
+      failure_free_ = false;
+      break;
+    case TraceEventType::kTerminationStart:
+    case TraceEventType::kTerminationDecide:
+    case TraceEventType::kBlocked:
+      // Forced moves leave the failure-free reachable graph by design:
+      // suspend graph-derived checks for this transaction.
+      if (event.txn != kNoTransaction) Track(event.txn).degraded = true;
+      break;
+    case TraceEventType::kLinkRestored:
+    case TraceEventType::kElectionWon:
+    default:
+      break;
+  }
+}
+
+void GlobalStateObserver::OnStateChange(const TraceEvent& e) {
+  if (e.txn == kNoTransaction || e.site < 1 || e.site > n_) return;
+  LiveGlobalState& g = Track(e.txn);
+  LiveSiteState& cell = g.sites[e.site - 1];
+
+  RoleIndex role = spec_->RoleForSite(e.site, n_);
+  auto found = role_states_[role].find(e.detail);
+  if (found == role_states_[role].end()) {
+    NBCP_LOG(kWarn) << "observer: unknown state '" << e.detail
+                    << "' for site " << e.site << " (wrong spec?)";
+    return;
+  }
+  cell.state = found->second.first;
+  cell.name = e.detail;
+  cell.kind = found->second.second;
+
+  CheckCommitEntry(e, g);
+  CheckAtomicity(e, g);
+  if (failure_free_ && !g.degraded) CheckConcurrency(e, g);
+  EmitTimeline(e, g);
+}
+
+void GlobalStateObserver::OnVote(const TraceEvent& e) {
+  if (e.txn == kNoTransaction || e.site < 1 || e.site > n_) return;
+  LiveGlobalState& g = Track(e.txn);
+  g.sites[e.site - 1].vote = e.detail == "yes" ? 'y' : 'n';
+  EmitTimeline(e, g);
+}
+
+void GlobalStateObserver::OnDecision(const TraceEvent& e) {
+  if (e.txn == kNoTransaction || e.site < 1 || e.site > n_) return;
+  LiveGlobalState& g = Track(e.txn);
+  g.sites[e.site - 1].decided =
+      e.detail == "committed" ? Outcome::kCommitted : Outcome::kAborted;
+  CheckAtomicity(e, g);
+}
+
+void GlobalStateObserver::OnMessage(const TraceEvent& e) {
+  if (e.txn == kNoTransaction || e.seq == 0) return;
+  LiveGlobalState& g = Track(e.txn);
+  if (e.type == TraceEventType::kMessageSent) {
+    g.inflight[e.seq] = MessageType(e.detail, "->");
+    return;
+  }
+  if (g.inflight.erase(e.seq) == 0 && check_phantom_) {
+    ++stats_.checks;
+    Report(e.at, e.txn, e.site, InvariantKind::kPhantomMessage,
+           "delivery of '" + e.detail + "' (seq " + std::to_string(e.seq) +
+               ") at site " + std::to_string(e.site) +
+               " has no matching send");
+  }
+}
+
+void GlobalStateObserver::EmitTimeline(const TraceEvent& e,
+                                       const LiveGlobalState& g) {
+  if (!config_.timeline && !config_.collect_timeline) return;
+  std::string rendered = g.Render(crashed_);
+  ++stats_.timeline_events;
+  if (config_.collect_timeline) timeline_.push_back(rendered);
+  if (config_.timeline && trace_ != nullptr) {
+    trace_->Record(e.at, e.site, e.txn, TraceEventType::kGlobalState,
+                   std::move(rendered));
+    if (metrics_) metrics_->counter("obs/timeline_events").Inc();
+  }
+}
+
+void GlobalStateObserver::CheckCommitEntry(const TraceEvent& e,
+                                           LiveGlobalState& g) {
+  LiveSiteState& cell = g.sites[e.site - 1];
+  if (cell.kind != StateKind::kCommit || cell.commit_checked) return;
+  cell.commit_checked = true;
+  ++stats_.checks;
+  // Occupancy of a commit state implies every site capable of voting has
+  // voted yes. Votes are durable (cast before the transition's sends and
+  // remembered across crashes), so this holds under every failure scenario.
+  for (size_t j = 0; j < n_; ++j) {
+    RoleIndex role = spec_->RoleForSite(static_cast<SiteId>(j + 1), n_);
+    if (!role_can_vote_[role]) continue;
+    if (g.sites[j].vote != 'y') {
+      Report(e.at, e.txn, e.site, InvariantKind::kCommitWithoutYes,
+             "site " + std::to_string(e.site) + " entered commit state '" +
+                 cell.name + "' while site " + std::to_string(j + 1) +
+                 (g.sites[j].vote == 'n' ? "' voted no" : " has not voted"));
+    }
+  }
+}
+
+void GlobalStateObserver::CheckAtomicity(const TraceEvent& e,
+                                         LiveGlobalState& g) {
+  if (g.atomicity_reported) return;
+  ++stats_.checks;
+  SiteId committer = kNoSite;
+  SiteId aborter = kNoSite;
+  for (size_t j = 0; j < n_; ++j) {
+    const LiveSiteState& s = g.sites[j];
+    bool committed =
+        s.kind == StateKind::kCommit || s.decided == Outcome::kCommitted;
+    bool aborted =
+        s.kind == StateKind::kAbort || s.decided == Outcome::kAborted;
+    if (committed && committer == kNoSite) {
+      committer = static_cast<SiteId>(j + 1);
+    }
+    if (aborted && aborter == kNoSite) aborter = static_cast<SiteId>(j + 1);
+  }
+  if (committer == kNoSite || aborter == kNoSite) return;
+  g.atomicity_reported = true;
+  Report(e.at, e.txn, e.site, InvariantKind::kAtomicity,
+         "site " + std::to_string(committer) + " committed while site " +
+             std::to_string(aborter) + " aborted");
+}
+
+SiteId GlobalStateObserver::RepFor(SiteId live, SiteId avoid) const {
+  size_t analysis_n = analysis_->num_sites();
+  SiteId rep = map_ ? map_(live) : live;
+  if (rep != avoid) return rep;
+  RoleIndex role = spec_->RoleForSite(live, n_);
+  for (SiteId a = 1; a <= analysis_n; ++a) {
+    if (a != avoid && spec_->RoleForSite(a, analysis_n) == role) return a;
+  }
+  return kNoSite;
+}
+
+void GlobalStateObserver::CheckConcurrency(const TraceEvent& e,
+                                           const LiveGlobalState& g) {
+  // Joint occupancy must lie within the concurrency sets of the
+  // failure-free reachable graph. Live sites are mapped to same-role
+  // representatives in the (smaller) analyzed population; a pair of live
+  // sites that collapse onto one representative is checked against two
+  // distinct same-role analysis sites instead.
+  const size_t i = e.site - 1;
+  if (crashed_[i]) return;
+  const SiteId rep_i = map_ ? map_(e.site) : e.site;
+  const StateIndex si = g.sites[i].state;
+
+  ++stats_.checks;
+  if (!analysis_->IsOccupied(rep_i, si)) {
+    Report(e.at, e.txn, e.site, InvariantKind::kConcurrencySet,
+           "site " + std::to_string(e.site) + " entered state '" +
+               g.sites[i].name +
+               "', never occupied in the failure-free reachable graph");
+    return;
+  }
+
+  const std::set<SiteState>& cs = analysis_->ConcurrencySet(rep_i, si);
+  for (size_t j = 0; j < n_; ++j) {
+    if (j == i || crashed_[j]) continue;
+    SiteId rep_j = RepFor(static_cast<SiteId>(j + 1), rep_i);
+    if (rep_j == kNoSite) continue;  // No distinct same-role representative.
+    const StateIndex sj = g.sites[j].state;
+    ++stats_.checks;
+    if (cs.count({rep_j, sj}) != 0) continue;
+
+    // Classify: a commit state concurrent with a noncommittable state whose
+    // concurrency set excludes commit is exactly a C2 violation.
+    bool c2 = (g.sites[i].kind == StateKind::kCommit &&
+               !analysis_->IsCommittable(rep_j, sj)) ||
+              (g.sites[j].kind == StateKind::kCommit &&
+               !analysis_->IsCommittable(rep_i, si));
+    Report(e.at, e.txn, e.site,
+           c2 ? InvariantKind::kC2Commit : InvariantKind::kConcurrencySet,
+           "site " + std::to_string(e.site) + " in '" + g.sites[i].name +
+               "' concurrent with site " + std::to_string(j + 1) + " in '" +
+               g.sites[j].name + "', outside CS(" + g.sites[i].name +
+               ") = " + analysis_->FormatConcurrencySet(rep_i, si));
+  }
+}
+
+void GlobalStateObserver::Report(SimTime at, TransactionId txn, SiteId site,
+                                 InvariantKind kind, std::string detail) {
+  ++stats_.violations;
+  ++counts_[static_cast<size_t>(kind)];
+  InvariantViolation violation{at, txn, site, kind, std::move(detail)};
+  if (metrics_) {
+    metrics_->counter("obs/violations").Inc();
+    metrics_->counter("obs/violations/" + nbcp::ToString(kind)).Inc();
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(at, site, txn, TraceEventType::kInvariantViolation,
+                   violation.ToString());
+  }
+  if (config_.policy != ObserverPolicy::kCount) {
+    NBCP_LOG(kError) << "invariant violation in txn " << txn << ": "
+                     << violation.ToString();
+  }
+  if (violations_.size() < config_.max_stored_violations) {
+    violations_.push_back(std::move(violation));
+  }
+  if (config_.policy == ObserverPolicy::kAbort) std::abort();
+}
+
+Result<ReplayResult> ReplayGlobalStates(const ProtocolSpec& spec, size_t n,
+                                        const std::vector<TraceEvent>& events,
+                                        ObserverConfig config,
+                                        bool truncated) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 sites");
+  size_t analysis_n = std::min<size_t>(n, 3);
+  auto graph = ReachableStateGraph::Build(spec, analysis_n);
+  if (!graph.ok()) return graph.status();
+  if (!graph->complete()) {
+    return Status::Internal("analysis state graph truncated");
+  }
+  ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
+
+  config.policy = ObserverPolicy::kCount;  // Replay never aborts or logs.
+  config.timeline = false;
+  config.collect_timeline = true;
+  GlobalStateObserver observer(
+      &spec, n, &analysis, MakeAnalysisSiteMap(spec.paradigm(), n, analysis_n),
+      config);
+  if (truncated) observer.set_check_phantom(false);
+
+  ReplayResult result;
+  std::vector<const std::string*> recorded;
+  for (const TraceEvent& e : events) {
+    ++result.events;
+    if (e.type == TraceEventType::kGlobalState) {
+      ++result.recorded_timeline;
+      recorded.push_back(&e.detail);
+    } else if (e.type == TraceEventType::kInvariantViolation) {
+      ++result.recorded_violations;
+    }
+    observer.OnEvent(e);
+  }
+
+  result.timeline = observer.timeline();
+  result.violations = observer.violations();
+  result.stats = observer.stats();
+  if (!truncated && !recorded.empty()) {
+    size_t common = std::min(recorded.size(), result.timeline.size());
+    for (size_t i = 0; i < common; ++i) {
+      if (*recorded[i] != result.timeline[i]) {
+        result.first_mismatch = i;
+        break;
+      }
+    }
+    if (result.first_mismatch == SIZE_MAX &&
+        recorded.size() != result.timeline.size()) {
+      result.first_mismatch = common;
+    }
+  }
+  return result;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,223 @@
+#ifndef NBCP_OBS_OBSERVER_H_
+#define NBCP_OBS_OBSERVER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/concurrency_set.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+#include "obs/global_state.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+
+class MetricsRegistry;
+
+/// What the observer does when an invariant check fails. Every policy also
+/// counts the violation, records it as a first-class trace event and bumps
+/// the "obs/violations" metrics.
+enum class ObserverPolicy : uint8_t {
+  kLog = 0,  ///< Additionally log at error level.
+  kCount,    ///< Count/record silently (tests assert on the counts).
+  kAbort,    ///< Log, then abort the process (strict CI/test runs).
+};
+
+std::string ToString(ObserverPolicy policy);
+
+/// The online invariants, derived from the paper's global-state analysis.
+enum class InvariantKind : uint8_t {
+  /// Condition C1 observed to fail: a global state mixes a local commit
+  /// with a local abort (atomicity violated).
+  kAtomicity = 0,
+  /// A site entered a commit state while some site capable of voting had
+  /// not voted yes — "occupancy of a committable state implies all sites
+  /// have voted yes" violated in execution.
+  kCommitWithoutYes,
+  /// The observed joint occupancy lies outside the concurrency sets of the
+  /// failure-free reachable state graph (checked while the run is
+  /// failure-free and the transaction untouched by termination).
+  kConcurrencySet,
+  /// Specialization of the above matching condition C2: a commit state
+  /// observed concurrent with a noncommittable state whose concurrency set
+  /// excludes commit.
+  kC2Commit,
+  /// A delivery/drop whose send was never observed (message conservation).
+  kPhantomMessage,
+};
+
+std::string ToString(InvariantKind kind);
+inline constexpr size_t kNumInvariantKinds = 5;
+
+/// One detected invariant violation.
+struct InvariantViolation {
+  SimTime at = 0;
+  TransactionId txn = kNoTransaction;
+  SiteId site = kNoSite;  ///< Site whose event triggered the check.
+  InvariantKind kind = InvariantKind::kAtomicity;
+  std::string detail;
+
+  /// "atomicity: site 1 committed while site 3 aborted" — also the trace
+  /// event detail.
+  std::string ToString() const;
+};
+
+struct ObserverConfig {
+  ObserverPolicy policy = ObserverPolicy::kLog;
+  /// Emit a "global-state" trace event after every local-state or vote
+  /// transition (the global-state timeline).
+  bool timeline = true;
+  /// Keep the rendered timeline in memory (replay and tests; unbounded).
+  bool collect_timeline = false;
+  /// Cap on stored InvariantViolation records; counting never stops.
+  size_t max_stored_violations = 1024;
+};
+
+/// Lifetime counters of one observer.
+struct ObserverStats {
+  uint64_t events = 0;           ///< Trace events consumed.
+  uint64_t checks = 0;           ///< Individual invariant checks evaluated.
+  uint64_t violations = 0;       ///< Checks that failed.
+  uint64_t timeline_events = 0;  ///< Global-state timeline entries emitted.
+  size_t txns_tracked = 0;       ///< Transactions with live state.
+};
+
+/// Runtime global-state observer: consumes the system's event stream (the
+/// same events the trace recorder stores) and maintains, per transaction,
+/// the live global state — each site's current ProtocolSpec state plus the
+/// multiset of in-flight messages. On every transition it emits a
+/// global-state timeline entry and checks the paper's invariants online
+/// against the ConcurrencyAnalysis of the failure-free reachable graph.
+///
+/// Soundness under failures: concurrency-set membership (and its C2
+/// specialization) is only meaningful against the *failure-free* graph, so
+/// those checks are suspended once a crash or link cut is observed, and per
+/// transaction once the termination protocol engages (forced moves leave
+/// the failure-free graph by design). The atomicity, commit-vote and
+/// message-conservation invariants hold under every failure scenario the
+/// protocols claim to survive and stay armed throughout.
+class GlobalStateObserver {
+ public:
+  /// `spec` and `analysis` must outlive the observer. `analysis_site_map`
+  /// maps a live site to its same-role representative inside the analyzed
+  /// population (see MakeAnalysisSiteMap); identity when null.
+  GlobalStateObserver(const ProtocolSpec* spec, size_t n,
+                      const ConcurrencyAnalysis* analysis,
+                      std::function<SiteId(SiteId)> analysis_site_map,
+                      ObserverConfig config = {});
+
+  GlobalStateObserver(const GlobalStateObserver&) = delete;
+  GlobalStateObserver& operator=(const GlobalStateObserver&) = delete;
+
+  /// Timeline and violation events are recorded here (not owned; may be
+  /// nullptr). The observer ignores its own event kinds on input, so it can
+  /// safely be wired as the sink of the same recorder it emits into.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// "obs/..." counters land here (not owned; may be nullptr).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Feeds one event. Order must follow virtual time (the recorder's order).
+  void OnEvent(const TraceEvent& event);
+
+  /// Disables the phantom-message check (replay of ring-buffered traces
+  /// whose oldest events — including sends — were evicted).
+  void set_check_phantom(bool check) { check_phantom_ = check; }
+
+  // --- introspection -----------------------------------------------------
+
+  const ObserverStats& stats() const { return stats_; }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  uint64_t violation_count(InvariantKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+
+  /// Live global state of `txn`, or nullptr if never seen (or forgotten).
+  const LiveGlobalState* StateOf(TransactionId txn) const;
+
+  /// True while no crash or link cut has been observed.
+  bool failure_free() const { return failure_free_; }
+
+  /// Rendered timeline (only populated with config.collect_timeline).
+  const std::vector<std::string>& timeline() const { return timeline_; }
+
+  /// Drops the per-transaction state (long soaks; violations stay).
+  void Forget(TransactionId txn);
+
+ private:
+  LiveGlobalState& Track(TransactionId txn);
+  void OnStateChange(const TraceEvent& e);
+  void OnVote(const TraceEvent& e);
+  void OnDecision(const TraceEvent& e);
+  void OnMessage(const TraceEvent& e);
+  void EmitTimeline(const TraceEvent& e, const LiveGlobalState& g);
+
+  void CheckCommitEntry(const TraceEvent& e, LiveGlobalState& g);
+  void CheckAtomicity(const TraceEvent& e, LiveGlobalState& g);
+  void CheckConcurrency(const TraceEvent& e, const LiveGlobalState& g);
+
+  /// Analysis-population representative for `live`, avoiding `avoid`
+  /// (kNoSite when no distinct same-role representative exists).
+  SiteId RepFor(SiteId live, SiteId avoid) const;
+
+  void Report(SimTime at, TransactionId txn, SiteId site, InvariantKind kind,
+              std::string detail);
+
+  const ProtocolSpec* spec_;
+  size_t n_;
+  const ConcurrencyAnalysis* analysis_;
+  std::function<SiteId(SiteId)> map_;
+  ObserverConfig config_;
+
+  /// Per role: state name -> (index, kind), and whether the role can vote.
+  std::vector<std::unordered_map<std::string, std::pair<StateIndex, StateKind>>>
+      role_states_;
+  std::vector<bool> role_can_vote_;
+
+  std::unordered_map<TransactionId, LiveGlobalState> txns_;
+  std::vector<bool> crashed_;  ///< crashed_[i] = site i+1 is down.
+  bool failure_free_ = true;
+  bool check_phantom_ = true;
+
+  ObserverStats stats_;
+  std::array<uint64_t, kNumInvariantKinds> counts_{};
+  std::vector<InvariantViolation> violations_;
+  std::vector<std::string> timeline_;
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+/// Result of reconstructing the global-state sequence from a recorded
+/// trace and re-running the invariant checks offline.
+struct ReplayResult {
+  size_t events = 0;               ///< Input events consumed.
+  std::vector<std::string> timeline;  ///< Recomputed global-state renderings.
+  size_t recorded_timeline = 0;    ///< "global-state" events in the input.
+  /// Index of the first recomputed timeline entry that differs from the
+  /// recorded one (SIZE_MAX when they agree, including both empty).
+  size_t first_mismatch = SIZE_MAX;
+  std::vector<InvariantViolation> violations;  ///< Recomputed offline.
+  size_t recorded_violations = 0;  ///< "violation" events in the input.
+  ObserverStats stats;
+};
+
+/// Replays `events` (a parsed JSONL trace) through an offline
+/// GlobalStateObserver for an n-site run of `spec`: rebuilds the
+/// failure-free reachable graph and concurrency analysis, reconstructs the
+/// global-state sequence and re-runs every invariant check. `truncated`
+/// marks a ring-buffered trace whose oldest events were evicted; phantom-
+/// message checks and timeline comparison are skipped for those.
+Result<ReplayResult> ReplayGlobalStates(const ProtocolSpec& spec, size_t n,
+                                        const std::vector<TraceEvent>& events,
+                                        ObserverConfig config = {},
+                                        bool truncated = false);
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_OBSERVER_H_

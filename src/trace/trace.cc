@@ -33,12 +33,21 @@ std::string ToString(TraceEventType type) {
       return "BLOCKED";
     case TraceEventType::kElectionWon:
       return "elected";
+    case TraceEventType::kLinkCut:
+      return "link-cut";
+    case TraceEventType::kLinkRestored:
+      return "link-restore";
+    case TraceEventType::kGlobalState:
+      return "global-state";
+    case TraceEventType::kInvariantViolation:
+      return "violation";
   }
   return "?";
 }
 
 bool TraceEventTypeFromString(const std::string& name, TraceEventType* out) {
-  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(TraceEventType::kElectionWon);
+  for (uint8_t raw = 0;
+       raw <= static_cast<uint8_t>(TraceEventType::kInvariantViolation);
        ++raw) {
     TraceEventType type = static_cast<TraceEventType>(raw);
     if (ToString(type) == name) {
@@ -52,11 +61,17 @@ bool TraceEventTypeFromString(const std::string& name, TraceEventType* out) {
 void TraceRecorder::Record(SimTime at, SiteId site, TransactionId txn,
                            TraceEventType type, std::string detail,
                            uint64_t seq) {
-  if (capacity_ != 0 && events_.size() >= capacity_) {
-    events_.pop_front();
-    ++dropped_;
+  TraceEvent event{at, site, txn, type, std::move(detail), seq};
+  if (store_) {
+    if (capacity_ != 0 && events_.size() >= capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(event);
   }
-  events_.push_back(TraceEvent{at, site, txn, type, std::move(detail), seq});
+  // Store first, then notify: events the sink records in response appear
+  // after their trigger, which is the order replay reconstructs.
+  if (sink_) sink_(event);
 }
 
 void TraceRecorder::set_capacity(size_t capacity) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@ enum class TraceEventType : uint8_t {
   kTerminationDecide,  ///< Termination decided (detail = outcome).
   kBlocked,            ///< Termination concluded "blocked".
   kElectionWon,        ///< detail = leader id.
+  kLinkCut,            ///< Network link severed (detail = "a-b").
+  kLinkRestored,       ///< Network link healed (detail = "a-b").
+  kGlobalState,        ///< Observer timeline entry (detail = rendering).
+  kInvariantViolation, ///< Observer check failed (detail = "kind: ...").
 };
 
 std::string ToString(TraceEventType type);
@@ -64,6 +69,19 @@ class TraceRecorder {
   void Record(SimTime at, SiteId site, TransactionId txn,
               TraceEventType type, std::string detail = "", uint64_t seq = 0);
 
+  /// Live tap: invoked for every recorded event, after it is stored. The
+  /// GlobalStateObserver subscribes here; events the sink itself records
+  /// re-enter Record (and the sink) — sinks must ignore their own kinds.
+  void set_sink(std::function<void(const TraceEvent&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// When storing is off, Record only forwards to the sink — this is how a
+  /// system observes without retaining the full event log (observe-only
+  /// mode; benchmarks and long soaks).
+  void set_store(bool store) { store_ = store; }
+  bool store() const { return store_; }
+
   const std::deque<TraceEvent>& events() const { return events_; }
   void Clear() { events_.clear(); }
 
@@ -93,6 +111,8 @@ class TraceRecorder {
   std::deque<TraceEvent> events_;
   size_t capacity_ = 0;
   uint64_t dropped_ = 0;
+  bool store_ = true;
+  std::function<void(const TraceEvent&)> sink_;
 };
 
 }  // namespace nbcp

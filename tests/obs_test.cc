@@ -3,6 +3,7 @@
 // virtual-time logger.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
@@ -62,6 +63,23 @@ TEST(HistogramTest, LargeValueQuantileErrorIsBounded) {
   EXPECT_LE(q, 100000u);
   EXPECT_GE(q, 100000u - 100000u / 32);
   EXPECT_EQ(h.Quantile(1.0), 100000u);  // Exact max regardless of bucketing.
+}
+
+TEST(HistogramTest, BucketBoundaryStraddle) {
+  // 127 is the last exact one-value bucket; 128 starts the 32-per-power
+  // linear sub-buckets. Quantiles on either side of the seam stay sane.
+  LatencyHistogram h;
+  h.Record(127);
+  h.Record(128);
+  h.Record(129);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 127u);
+  EXPECT_EQ(h.max(), 129u);
+  EXPECT_EQ(h.Quantile(0.0), 127u);
+  uint64_t mid = h.p50();
+  EXPECT_GE(mid, 127u);
+  EXPECT_LE(mid, 129u);
+  EXPECT_EQ(h.Quantile(1.0), 129u);
 }
 
 TEST(HistogramTest, MergeAccumulatesBucketwise) {
@@ -220,6 +238,61 @@ TEST(JsonTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(Json::Parse("{").ok());
   EXPECT_FALSE(Json::Parse("[1,]").ok());
   EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+}
+
+TEST(JsonTest, StringEscapingRoundTrip) {
+  // Quotes, backslashes, the named control escapes and arbitrary control
+  // bytes must survive dump -> parse; multi-byte UTF-8 passes through raw.
+  std::string raw = "q\"b\\c\nd\te\rf\x01g\x1f";
+  raw += "\xc3\xa9";        // é
+  raw += "\xe2\x9c\x93";    // ✓
+  Json j = Json::Object();
+  j["s"] = Json(raw);
+  std::string dumped = j.Dump();
+  EXPECT_NE(dumped.find("\\\""), std::string::npos);
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("s"), raw);
+}
+
+TEST(JsonTest, UnicodeEscapeParses) {
+  // ASCII \u escapes decode; the exporter never emits non-ASCII escapes,
+  // so those degrade to '?' by design rather than mis-decoding.
+  auto parsed = Json::Parse("{\"s\":\"\\u0061\\u0041\\u00e9\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("s"), "aA?");
+  EXPECT_FALSE(Json::Parse(R"({"s":"\u00g9"})").ok());
+  EXPECT_FALSE(Json::Parse(R"({"s":"\u00})").ok());
+}
+
+TEST(JsonTest, LargeIntegersRoundTripExactly) {
+  // Counters and virtual-time stamps fit in 2^53, the largest range doubles
+  // represent exactly; the serializer must not fall back to exponent form.
+  const uint64_t big = (1ull << 53) - 1;  // 9007199254740991
+  Json j = Json::Object();
+  j["t"] = Json(big);
+  j["neg"] = Json(static_cast<int64_t>(-1234567890123456));
+  std::string dumped = j.Dump();
+  EXPECT_NE(dumped.find("9007199254740991"), std::string::npos);
+  EXPECT_EQ(dumped.find("e+"), std::string::npos) << dumped;
+  auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetUint("t"), big);
+  EXPECT_EQ(parsed->GetNumber("neg"), -1234567890123456.0);
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  // NaN / Inf have no JSON representation; emitting them raw ("nan",
+  // "inf") would poison every downstream parser. They degrade to null.
+  Json j = Json::Array();
+  j.Append(Json(std::numeric_limits<double>::quiet_NaN()));
+  j.Append(Json(std::numeric_limits<double>::infinity()));
+  j.Append(Json(-std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(j.Dump(), "[null,null,null]");
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
 }
 
 // ---------------------------------------------------------------------------

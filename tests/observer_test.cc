@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/transaction_manager.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+std::unique_ptr<CommitSystem> MakeObservedSystem(const std::string& protocol,
+                                                 size_t n = 4,
+                                                 uint64_t seed = 7,
+                                                 bool trace = true) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  config.observe = true;
+  config.observe_policy = ObserverPolicy::kCount;
+  config.trace = trace;
+  auto system = CommitSystem::Create(config);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return std::move(*system);
+}
+
+size_t CountEvents(CommitSystem& system, TraceEventType type) {
+  size_t count = 0;
+  for (const TraceEvent& e : system.trace()->events()) {
+    if (e.type == type) ++count;
+  }
+  return count;
+}
+
+TEST(ObserverTest, FailureFreeRunIsViolationFreeWithTimeline) {
+  auto system = MakeObservedSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_EQ(result.outcome, Outcome::kCommitted);
+
+  const GlobalStateObserver* obs = system->observer();
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->stats().violations, 0u) << "unexpected invariant violation";
+  EXPECT_GT(obs->stats().events, 0u);
+  EXPECT_GT(obs->stats().checks, 0u);
+  EXPECT_TRUE(obs->failure_free());
+
+  // The trace carries the global-state timeline.
+  EXPECT_GT(CountEvents(*system, TraceEventType::kGlobalState), 0u);
+  EXPECT_EQ(CountEvents(*system, TraceEventType::kInvariantViolation), 0u);
+
+  // The final live global state is the settled all-committed cut.
+  const LiveGlobalState* g = obs->StateOf(txn);
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(g->Settled());
+  for (const LiveSiteState& site : g->sites) {
+    EXPECT_EQ(site.kind, StateKind::kCommit);
+  }
+}
+
+TEST(ObserverTest, AllProtocolsCommitAndAbortPathsViolationFree) {
+  for (const char* protocol :
+       {"1PC-central", "2PC-central", "2PC-decentralized", "3PC-central",
+        "3PC-decentralized", "Q3PC-central", "L2PC-linear"}) {
+    for (bool vote_no : {false, true}) {
+      for (size_t n : {3u, 5u}) {
+        auto system = MakeObservedSystem(protocol, n);
+        TransactionId txn = system->Begin();
+        if (vote_no) system->SetVote(txn, 2, false);
+        system->RunToCompletion(txn);
+        const GlobalStateObserver* obs = system->observer();
+        ASSERT_NE(obs, nullptr);
+        EXPECT_EQ(obs->stats().violations, 0u)
+            << protocol << " n=" << n << (vote_no ? " abort" : " commit")
+            << (obs->violations().empty()
+                    ? ""
+                    : ": " + obs->violations().front().ToString());
+      }
+    }
+  }
+}
+
+TEST(ObserverTest, CoordinatorCrashTerminationIsViolationFree) {
+  // Coordinator dies mid-broadcast of prepare; the survivors run the
+  // termination protocol. Concurrency-set checks disarm on the crash but
+  // atomicity stays armed and must hold.
+  for (int delivered : {0, 2}) {
+    auto system = MakeObservedSystem("3PC-central", 5);
+    TransactionId txn = system->Begin();
+    system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, delivered);
+    TxnResult result = system->RunToCompletion(txn);
+    EXPECT_TRUE(result.consistent);
+    const GlobalStateObserver* obs = system->observer();
+    ASSERT_NE(obs, nullptr);
+    EXPECT_FALSE(obs->failure_free());
+    EXPECT_EQ(obs->stats().violations, 0u)
+        << "delivered=" << delivered
+        << (obs->violations().empty()
+                ? ""
+                : ": " + obs->violations().front().ToString());
+  }
+}
+
+// Runs the quorum_test partition scenario with the observer attached.
+const GlobalStateObserver* RunObservedPartition(CommitSystem& s) {
+  TransactionId txn = s.Begin();
+  s.injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  (void)s.Launch(txn);
+  s.simulator().RunUntil(400);
+  s.injector().Partition({2, 3}, {4, 5});
+  s.simulator().RunUntil(2'000'000);
+  s.injector().HealPartition({2, 3}, {4, 5});
+  s.simulator().Run();
+  return s.observer();
+}
+
+TEST(ObserverTest, QuorumPartitionStaysViolationFree) {
+  SystemConfig config;
+  config.protocol = "Q3PC-central";
+  config.num_sites = 5;
+  config.seed = 17;
+  config.delay = DelayModel{100, 0};
+  config.observe = true;
+  config.observe_policy = ObserverPolicy::kCount;
+  config.trace = true;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  const GlobalStateObserver* obs = RunObservedPartition(**system);
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->stats().violations, 0u)
+      << (obs->violations().empty()
+              ? ""
+              : obs->violations().front().ToString());
+  // The partition itself is on the record.
+  EXPECT_GT(CountEvents(**system, TraceEventType::kLinkCut), 0u);
+  EXPECT_GT(CountEvents(**system, TraceEventType::kLinkRestored), 0u);
+}
+
+TEST(ObserverTest, PlainThreePcPartitionAtomicityDetected) {
+  // The paper's motivating counterexample: plain 3PC termination diverges
+  // across a partition. The observer must catch the split decision live.
+  SystemConfig config;
+  config.protocol = "3PC-central";
+  config.num_sites = 5;
+  config.seed = 17;
+  config.delay = DelayModel{100, 0};
+  config.observe = true;
+  config.observe_policy = ObserverPolicy::kCount;
+  config.trace = true;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  const GlobalStateObserver* obs = RunObservedPartition(**system);
+  ASSERT_NE(obs, nullptr);
+  EXPECT_GE(obs->violation_count(InvariantKind::kAtomicity), 1u);
+  EXPECT_GT(CountEvents(**system, TraceEventType::kInvariantViolation), 0u);
+}
+
+// 2PC-central with a sabotaged slave: on abort it lands in its commit
+// state. Every slave state stays reachable (a via the unilateral-no vote),
+// so the spec passes structural validation but breaks atomicity at runtime.
+ProtocolSpec MakeSabotagedTwoPhase() {
+  ProtocolSpec spec("2PC-sabotaged", Paradigm::kCentralSite);
+
+  Automaton coord;
+  StateIndex q = coord.AddState("q1", StateKind::kInitial);
+  StateIndex w = coord.AddState("w1", StateKind::kWait);
+  StateIndex a = coord.AddState("a1", StateKind::kAbort);
+  StateIndex c = coord.AddState("c1", StateKind::kCommit);
+  coord.AddTransition(Transition{
+      q, w,
+      Trigger{TriggerKind::kClientRequest, msg::kRequest, Group::kNone, false},
+      {SendSpec{msg::kXact, Group::kSlaves}},
+      false, false});
+  coord.AddTransition(Transition{
+      w, c, Trigger{TriggerKind::kAllFrom, msg::kYes, Group::kSlaves, false},
+      {SendSpec{msg::kCommit, Group::kSlaves}},
+      true, false});
+  coord.AddTransition(Transition{
+      w, a,
+      Trigger{TriggerKind::kAnyFrom, msg::kNo, Group::kSlaves, true},
+      {SendSpec{msg::kAbort, Group::kSlaves}},
+      false, true});
+
+  Automaton slave;
+  StateIndex qs = slave.AddState("q", StateKind::kInitial);
+  StateIndex ws = slave.AddState("w", StateKind::kWait);
+  StateIndex as = slave.AddState("a", StateKind::kAbort);
+  StateIndex cs = slave.AddState("c", StateKind::kCommit);
+  (void)as;
+  slave.AddTransition(Transition{
+      qs, ws,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kYes, Group::kCoordinator}},
+      true, false});
+  slave.AddTransition(Transition{
+      qs, as,
+      Trigger{TriggerKind::kOneFrom, msg::kXact, Group::kCoordinator, false},
+      {SendSpec{msg::kNo, Group::kCoordinator}},
+      false, true});
+  slave.AddTransition(Transition{
+      ws, cs,
+      Trigger{TriggerKind::kOneFrom, msg::kCommit, Group::kCoordinator, false},
+      {},
+      false, false});
+  // The sabotage: abort delivers the slave into its commit state.
+  slave.AddTransition(Transition{
+      ws, cs,
+      Trigger{TriggerKind::kOneFrom, msg::kAbort, Group::kCoordinator, false},
+      {},
+      false, false});
+
+  spec.AddRole("coordinator", std::move(coord));
+  spec.AddRole("slave", std::move(slave));
+  return spec;
+}
+
+std::unique_ptr<CommitSystem> RunSabotaged(std::string* jsonl) {
+  SystemConfig config;
+  config.num_sites = 3;
+  config.seed = 5;
+  config.observe = true;
+  config.observe_policy = ObserverPolicy::kCount;
+  config.trace = true;
+  auto system = CommitSystem::CreateWithSpec(config, MakeSabotagedTwoPhase());
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  TransactionId txn = (*system)->Begin();
+  // Site 3 vetoes; the coordinator broadcasts abort; the yes-voting site 2
+  // illegally lands in commit.
+  (*system)->SetVote(txn, 3, false);
+  (*system)->RunToCompletion(txn);
+  if (jsonl != nullptr) *jsonl = (*system)->TraceJsonl();
+  return std::move(*system);
+}
+
+TEST(ObserverTest, InjectedAtomicityViolationIsDetectedOnline) {
+  std::string jsonl;
+  auto system = RunSabotaged(&jsonl);
+  const GlobalStateObserver* obs = system->observer();
+  ASSERT_NE(obs, nullptr);
+  EXPECT_GE(obs->violation_count(InvariantKind::kAtomicity), 1u);
+  EXPECT_GE(obs->violation_count(InvariantKind::kCommitWithoutYes), 1u);
+
+  // The violations are part of the exported record.
+  EXPECT_GT(CountEvents(*system, TraceEventType::kInvariantViolation), 0u);
+  EXPECT_NE(jsonl.find("\"violation\""), std::string::npos);
+  EXPECT_NE(jsonl.find("atomicity"), std::string::npos);
+}
+
+TEST(ObserverTest, ReplayReproducesInjectedViolationsOffline) {
+  std::string jsonl;
+  RunSabotaged(&jsonl);
+  auto imported = ParseTraceJsonLines(jsonl);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  auto replay = ReplayGlobalStates(MakeSabotagedTwoPhase(), 3,
+                                   imported->events);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_GT(replay->recorded_violations, 0u);
+  EXPECT_FALSE(replay->violations.empty());
+  bool atomicity = false;
+  for (const InvariantViolation& v : replay->violations) {
+    if (v.kind == InvariantKind::kAtomicity) atomicity = true;
+  }
+  EXPECT_TRUE(atomicity);
+  // The recomputed timeline agrees with the one recorded online.
+  EXPECT_EQ(replay->first_mismatch, SIZE_MAX);
+}
+
+TEST(ObserverTest, ReplayMatchesOnlineTimeline) {
+  auto system = MakeObservedSystem("3PC-decentralized", 5);
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  auto imported = ParseTraceJsonLines(system->TraceJsonl());
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_EQ(imported->meta.protocol, "3PC-decentralized");
+
+  auto spec = MakeProtocol(imported->meta.protocol);
+  ASSERT_TRUE(spec.ok());
+  auto replay = ReplayGlobalStates(*spec, imported->meta.num_sites,
+                                   imported->events);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_GT(replay->recorded_timeline, 0u);
+  EXPECT_EQ(replay->timeline.size(), replay->recorded_timeline);
+  EXPECT_EQ(replay->first_mismatch, SIZE_MAX);
+  EXPECT_TRUE(replay->violations.empty());
+}
+
+TEST(ObserverTest, ObserveWithoutTraceKeepsNoEvents) {
+  auto system = MakeObservedSystem("2PC-central", 4, 7, /*trace=*/false);
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  const GlobalStateObserver* obs = system->observer();
+  ASSERT_NE(obs, nullptr);
+  EXPECT_GT(obs->stats().events, 0u);
+  EXPECT_EQ(obs->stats().violations, 0u);
+  // The recorder is a pure event bus in observe-only mode: nothing stored.
+  ASSERT_NE(system->trace(), nullptr);
+  EXPECT_FALSE(system->trace()->store());
+  EXPECT_TRUE(system->trace()->events().empty());
+  EXPECT_EQ(system->TraceJsonl(), "");
+}
+
+TEST(ObserverTest, ReplayFlagsPhantomDelivery) {
+  // A delivery whose send is absent from the trace is a phantom message.
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{0, 2, 1, TraceEventType::kMessageDelivered,
+                              "commit<-1", 77});
+  auto replay = ReplayGlobalStates(MakeTwoPhaseCentral(), 3, events);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->violations.size(), 1u);
+  EXPECT_EQ(replay->violations[0].kind, InvariantKind::kPhantomMessage);
+
+  // Truncated traces (ring buffer evictions) suppress the phantom check.
+  auto truncated = ReplayGlobalStates(MakeTwoPhaseCentral(), 3, events,
+                                      ObserverConfig{}, /*truncated=*/true);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_TRUE(truncated->violations.empty());
+}
+
+TEST(ObserverTest, RenderShowsStatesVotesAndInflight) {
+  auto system = MakeObservedSystem("2PC-central", 3);
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  const LiveGlobalState* g = system->observer()->StateOf(txn);
+  ASSERT_NE(g, nullptr);
+  std::vector<bool> crashed(3, false);
+  EXPECT_EQ(g->Render(crashed), "c1,c,c|yyy|");
+  EXPECT_TRUE(g->Settled());
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -7,15 +7,28 @@
 //   nbcp-trace <trace.jsonl> --txn <id>      one transaction in depth
 //   nbcp-trace <trace.jsonl> --timeline      full message timeline
 //   nbcp-trace <trace.jsonl> --chrome <out>  re-emit in Chrome trace format
+//   nbcp-trace replay <trace.jsonl>          reconstruct the global-state
+//                                            sequence and re-run the
+//                                            invariant checks offline
+//   nbcp-trace diff <a.jsonl> <b.jsonl>      structural comparison: first
+//                                            divergent global state plus
+//                                            per-phase latency deltas
+//   nbcp-trace check [--strict] <trace>      CI gate; --strict also replays
+//                                            and verifies the timeline
 //
-// Sections:
+// Exit codes: 0 clean, 1 IO/parse error, 2 usage, 3 anomalies or invariant
+// violations found, 4 structural divergence (diff, or replay timeline
+// mismatch).
+//
+// Sections (overview mode):
 //   phases     per-phase latency breakdown (count/mean/p50/p95/p99/max)
 //              aggregated over all (txn, site) spans;
 //   messages   send/deliver/drop counts per message type with delivery
 //              latency;
 //   anomalies  blocked transactions (open termination spans), atomicity
 //              violations (sites of one transaction deciding differently),
-//              orphan messages (sent but never delivered or dropped).
+//              recorded invariant-violation events, orphan messages (sent
+//              but never delivered or dropped).
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -25,7 +38,9 @@
 
 #include "obs/export.h"
 #include "obs/histogram.h"
+#include "obs/observer.h"
 #include "obs/span.h"
+#include "protocols/registry.h"
 #include "trace/trace.h"
 
 using namespace nbcp;
@@ -42,7 +57,10 @@ struct Options {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: nbcp-trace <trace.jsonl> [--txn <id>] [--timeline] "
-               "[--chrome <out.json>]\n");
+               "[--chrome <out.json>]\n"
+               "       nbcp-trace replay <trace.jsonl>\n"
+               "       nbcp-trace diff <a.jsonl> <b.jsonl>\n"
+               "       nbcp-trace check [--strict] <trace.jsonl>\n");
 }
 
 /// "prepare->3" / "prepare<-1" → message type.
@@ -50,6 +68,22 @@ std::string MsgType(const std::string& detail) {
   size_t pos = detail.find("->");
   if (pos == std::string::npos) pos = detail.find("<-");
   return pos == std::string::npos ? detail : detail.substr(0, pos);
+}
+
+/// Loads and parses a trace, reporting errors to stderr. Returns nullopt on
+/// failure (caller exits 1).
+std::optional<ImportedTrace> LoadTrace(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "error: %s\n", content.status().ToString().c_str());
+    return std::nullopt;
+  }
+  auto trace = ParseTraceJsonLines(*content);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(*trace);
 }
 
 void PrintPhaseBreakdown(const std::vector<PhaseSpan>& spans) {
@@ -225,6 +259,16 @@ size_t PrintAnomalies(const ImportedTrace& trace) {
     }
   }
 
+  // Invariant violations the runtime observer recorded into the trace.
+  for (const TraceEvent& e : trace.events) {
+    if (e.type != TraceEventType::kInvariantViolation) continue;
+    ++findings;
+    std::printf("  VIOLATION   txn %llu at t=%llu site %u: %s\n",
+                static_cast<unsigned long long>(e.txn),
+                static_cast<unsigned long long>(e.at), e.site,
+                e.detail.c_str());
+  }
+
   // Orphan messages: a send whose seq never shows up as deliver or drop.
   // (With a ring-buffer trace the send may simply have been evicted, so
   // orphans are only meaningful on complete traces.)
@@ -250,9 +294,234 @@ size_t PrintAnomalies(const ImportedTrace& trace) {
   return findings;
 }
 
-}  // namespace
+/// Replays `trace` through an offline observer. Returns the result, or
+/// nullopt with an explanation when the trace cannot be replayed (unknown
+/// protocol, missing metadata).
+std::optional<ReplayResult> RunReplay(const ImportedTrace& trace) {
+  if (trace.meta.protocol.empty() || trace.meta.num_sites < 2) {
+    std::fprintf(stderr,
+                 "error: trace has no usable meta line (protocol/num_sites); "
+                 "cannot replay\n");
+    return std::nullopt;
+  }
+  auto spec = MakeProtocol(trace.meta.protocol);
+  if (!spec.ok()) {
+    std::fprintf(stderr,
+                 "error: protocol '%s' is not in the registry: %s\n",
+                 trace.meta.protocol.c_str(),
+                 spec.status().ToString().c_str());
+    return std::nullopt;
+  }
+  bool truncated = trace.meta.dropped != 0;
+  auto replay = ReplayGlobalStates(*spec, trace.meta.num_sites, trace.events,
+                                   ObserverConfig{}, truncated);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "error: replay failed: %s\n",
+                 replay.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(*replay);
+}
 
-int main(int argc, char** argv) {
+int CmdReplay(const std::string& path) {
+  auto trace = LoadTrace(path);
+  if (!trace.has_value()) return 1;
+  auto replay = RunReplay(*trace);
+  if (!replay.has_value()) return 1;
+
+  bool truncated = trace->meta.dropped != 0;
+  std::printf("replay: %s (%s, %zu sites)\n", path.c_str(),
+              trace->meta.protocol.c_str(), trace->meta.num_sites);
+  if (truncated) {
+    std::printf(
+        "  trace is truncated (%llu events evicted): phantom-message "
+        "checks and timeline comparison skipped\n",
+        static_cast<unsigned long long>(trace->meta.dropped));
+  }
+  std::printf("  %zu events consumed, %llu invariant checks\n",
+              replay->events,
+              static_cast<unsigned long long>(replay->stats.checks));
+  std::printf("  global states reconstructed: %zu (recorded in trace: %zu)\n",
+              replay->timeline.size(), replay->recorded_timeline);
+  std::printf("  violations recomputed: %zu (recorded in trace: %zu)\n",
+              replay->violations.size(), replay->recorded_violations);
+  for (const InvariantViolation& v : replay->violations) {
+    std::printf("    t=%-8llu txn %-4llu site %-3u %s\n",
+                static_cast<unsigned long long>(v.at),
+                static_cast<unsigned long long>(v.txn), v.site,
+                v.ToString().c_str());
+  }
+
+  if (replay->first_mismatch != SIZE_MAX) {
+    size_t i = replay->first_mismatch;
+    std::printf("  TIMELINE MISMATCH at global state #%zu:\n", i);
+    size_t seen = 0;
+    const std::string* recorded = nullptr;
+    for (const TraceEvent& e : trace->events) {
+      if (e.type == TraceEventType::kGlobalState && seen++ == i) {
+        recorded = &e.detail;
+        break;
+      }
+    }
+    std::printf("    recorded:   %s\n",
+                recorded != nullptr ? recorded->c_str() : "(missing)");
+    std::printf("    recomputed: %s\n", i < replay->timeline.size()
+                                            ? replay->timeline[i].c_str()
+                                            : "(missing)");
+    return 4;
+  }
+  if (replay->recorded_timeline > 0) {
+    std::printf("  recorded timeline verified: recomputation matches\n");
+  }
+  return replay->violations.empty() ? 0 : 3;
+}
+
+/// The structural skeleton of a trace used for diffing: the global-state
+/// timeline when present (and not suppressed), else the state/vote/decision
+/// event sequence.
+std::vector<std::string> StructuralSequence(const ImportedTrace& trace,
+                                            bool allow_global,
+                                            bool* used_global) {
+  std::vector<std::string> out;
+  if (allow_global) {
+    for (const TraceEvent& e : trace.events) {
+      if (e.type == TraceEventType::kGlobalState) out.push_back(e.detail);
+    }
+    if (!out.empty()) {
+      *used_global = true;
+      return out;
+    }
+  }
+  *used_global = false;
+  for (const TraceEvent& e : trace.events) {
+    if (e.type == TraceEventType::kStateChange ||
+        e.type == TraceEventType::kVoteCast ||
+        e.type == TraceEventType::kDecision) {
+      out.push_back("site " + std::to_string(e.site) + " " +
+                    ToString(e.type) + " " + e.detail);
+    }
+  }
+  return out;
+}
+
+int CmdDiff(const std::string& path_a, const std::string& path_b) {
+  auto a = LoadTrace(path_a);
+  if (!a.has_value()) return 1;
+  auto b = LoadTrace(path_b);
+  if (!b.has_value()) return 1;
+
+  std::printf("diff: %s vs %s\n", path_a.c_str(), path_b.c_str());
+  if (a->meta.protocol != b->meta.protocol ||
+      a->meta.num_sites != b->meta.num_sites) {
+    std::printf("  meta differs: %s/%zu sites vs %s/%zu sites\n",
+                a->meta.protocol.c_str(), a->meta.num_sites,
+                b->meta.protocol.c_str(), b->meta.num_sites);
+  }
+
+  bool global_a = false, global_b = false;
+  std::vector<std::string> seq_a = StructuralSequence(*a, true, &global_a);
+  std::vector<std::string> seq_b = StructuralSequence(*b, true, &global_b);
+  const char* basis = "global-state timeline";
+  if (!global_a || !global_b) {
+    // At least one trace was recorded without the observer: compare on the
+    // common denominator.
+    seq_a = StructuralSequence(*a, false, &global_a);
+    seq_b = StructuralSequence(*b, false, &global_b);
+    basis = "state/vote/decision events";
+  }
+
+  size_t divergence = SIZE_MAX;
+  size_t common = std::min(seq_a.size(), seq_b.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (seq_a[i] != seq_b[i]) {
+      divergence = i;
+      break;
+    }
+  }
+  if (divergence == SIZE_MAX && seq_a.size() != seq_b.size()) {
+    divergence = common;
+  }
+
+  std::printf("  comparing %zu vs %zu %s entries\n", seq_a.size(),
+              seq_b.size(), basis);
+  if (divergence == SIZE_MAX) {
+    std::printf("  structurally identical\n");
+  } else {
+    std::printf("  FIRST DIVERGENCE at entry #%zu:\n", divergence);
+    std::printf("    a: %s\n", divergence < seq_a.size()
+                                   ? seq_a[divergence].c_str()
+                                   : "(end of trace)");
+    std::printf("    b: %s\n", divergence < seq_b.size()
+                                   ? seq_b[divergence].c_str()
+                                   : "(end of trace)");
+  }
+
+  // Per-phase latency deltas (mean over closed spans).
+  std::map<CommitPhase, LatencyHistogram> phases_a, phases_b;
+  for (const PhaseSpan& s : a->spans) {
+    if (!s.open) phases_a[s.phase].Record(s.duration());
+  }
+  for (const PhaseSpan& s : b->spans) {
+    if (!s.open) phases_b[s.phase].Record(s.duration());
+  }
+  std::printf("\n  per-phase latency deltas (mean us, b - a)\n");
+  std::printf("    %-13s %9s %9s %9s\n", "phase", "a", "b", "delta");
+  for (CommitPhase phase :
+       {CommitPhase::kVoteRequest, CommitPhase::kVote, CommitPhase::kPrecommit,
+        CommitPhase::kDecision, CommitPhase::kTermination}) {
+    auto ia = phases_a.find(phase);
+    auto ib = phases_b.find(phase);
+    if (ia == phases_a.end() && ib == phases_b.end()) continue;
+    double mean_a = ia == phases_a.end() ? 0.0 : ia->second.mean();
+    double mean_b = ib == phases_b.end() ? 0.0 : ib->second.mean();
+    std::printf("    %-13s %9.1f %9.1f %+9.1f\n", ToString(phase).c_str(),
+                mean_a, mean_b, mean_b - mean_a);
+  }
+
+  return divergence == SIZE_MAX ? 0 : 4;
+}
+
+int CmdCheck(const std::string& path, bool strict) {
+  auto trace = LoadTrace(path);
+  if (!trace.has_value()) return 1;
+
+  std::printf("check: %s (%s, %zu sites, %zu events)%s\n", path.c_str(),
+              trace->meta.protocol.empty() ? "?" : trace->meta.protocol.c_str(),
+              trace->meta.num_sites, trace->events.size(),
+              strict ? " [strict]" : "");
+  std::printf("anomalies\n");
+  size_t findings = PrintAnomalies(*trace);
+
+  if (strict) {
+    auto replay = RunReplay(*trace);
+    if (!replay.has_value()) return 1;
+    if (!replay->violations.empty()) {
+      std::printf("replay recomputed %zu violation(s)\n",
+                  replay->violations.size());
+      for (const InvariantViolation& v : replay->violations) {
+        std::printf("  t=%-8llu txn %-4llu site %-3u %s\n",
+                    static_cast<unsigned long long>(v.at),
+                    static_cast<unsigned long long>(v.txn), v.site,
+                    v.ToString().c_str());
+      }
+      findings += replay->violations.size();
+    }
+    if (replay->first_mismatch != SIZE_MAX) {
+      std::printf("replay: recorded timeline diverges at entry #%zu\n",
+                  replay->first_mismatch);
+      ++findings;
+    }
+  }
+
+  if (findings == 0) {
+    std::printf("OK\n");
+  } else {
+    std::printf("FAILED: %zu finding(s)\n", findings);
+  }
+  return findings == 0 ? 0 : 3;
+}
+
+int CmdOverview(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -277,16 +546,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto content = ReadFile(opt.path);
-  if (!content.ok()) {
-    std::fprintf(stderr, "error: %s\n", content.status().ToString().c_str());
-    return 1;
-  }
-  auto trace = ParseTraceJsonLines(*content);
-  if (!trace.ok()) {
-    std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
-    return 1;
-  }
+  auto trace = LoadTrace(opt.path);
+  if (!trace.has_value()) return 1;
 
   std::set<TransactionId> txns;
   for (const TraceEvent& e : trace->events) {
@@ -318,4 +579,47 @@ int main(int argc, char** argv) {
     std::printf("\nchrome trace written to %s\n", opt.chrome_out.c_str());
   }
   return findings == 0 ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    std::string cmd = argv[1];
+    if (cmd == "replay") {
+      if (argc != 3) {
+        PrintUsage();
+        return 2;
+      }
+      return CmdReplay(argv[2]);
+    }
+    if (cmd == "diff") {
+      if (argc != 4) {
+        PrintUsage();
+        return 2;
+      }
+      return CmdDiff(argv[2], argv[3]);
+    }
+    if (cmd == "check") {
+      bool strict = false;
+      std::string path;
+      for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--strict") {
+          strict = true;
+        } else if (path.empty()) {
+          path = arg;
+        } else {
+          PrintUsage();
+          return 2;
+        }
+      }
+      if (path.empty()) {
+        PrintUsage();
+        return 2;
+      }
+      return CmdCheck(path, strict);
+    }
+  }
+  return CmdOverview(argc, argv);
 }
