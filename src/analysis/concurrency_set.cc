@@ -18,6 +18,26 @@ ConcurrencyAnalysis ConcurrencyAnalysis::Compute(
     can_vote[i] = spec.role(spec.RoleForSite(site, n)).CanVote();
   }
 
+  // On a symmetry-reduced graph each node stands for its whole orbit under
+  // role-class-preserving site permutations. The closure below expands each
+  // representative's facts over the orbit exactly: (i, s) occupied implies
+  // (i', s) occupied for every same-class i', and a co-occupancy pair
+  // (i, s)/(j, t) is realizable at (i', j') for every same-class relabeling
+  // with i' != j' (a permutation sending i to i' and j to j' always exists
+  // within the classes). Results are therefore identical to running the
+  // analysis on the unreduced graph; see docs/analysis.md.
+  std::vector<std::vector<size_t>> same_class(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (graph.reduced()) {
+      const std::vector<int>& classes = graph.symmetry().classes;
+      for (size_t j = 0; j < n; ++j) {
+        if (classes[j] == classes[i]) same_class[i].push_back(j);
+      }
+    } else {
+      same_class[i].push_back(i);
+    }
+  }
+
   for (size_t node = 0; node < graph.num_nodes(); ++node) {
     const GlobalState& g = graph.node(node);
 
@@ -30,14 +50,18 @@ ConcurrencyAnalysis ConcurrencyAnalysis::Compute(
     }
 
     for (size_t i = 0; i < n; ++i) {
-      SiteId site = static_cast<SiteId>(i + 1);
-      SiteState self{site, g.local[i]};
-      out.occupied_.insert(self);
-      if (!all_voted_yes) out.noncommittable_.insert(self);
-      auto& cs = out.concurrency_[self];
-      for (size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        cs.insert(SiteState{static_cast<SiteId>(j + 1), g.local[j]});
+      for (size_t ii : same_class[i]) {
+        SiteState self{static_cast<SiteId>(ii + 1), g.local[i]};
+        out.occupied_.insert(self);
+        if (!all_voted_yes) out.noncommittable_.insert(self);
+        auto& cs = out.concurrency_[self];
+        for (size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          for (size_t jj : same_class[j]) {
+            if (jj == ii) continue;
+            cs.insert(SiteState{static_cast<SiteId>(jj + 1), g.local[j]});
+          }
+        }
       }
     }
   }

@@ -1,6 +1,7 @@
 #include "analysis/failure_graph.h"
 
 #include <sstream>
+#include <utility>
 
 #include "protocols/protocols.h"
 
@@ -27,12 +28,16 @@ Result<FailureAugmentedGraph> FailureAugmentedGraph::Build(
   if (options.max_failures >= n) options.max_failures = n - 1;
 
   FailureAugmentedGraph graph(spec, n, options);
+  graph.symmetry_ = ComputeSiteSymmetry(graph.spec_, n);
+  graph.InternPermutation(IdentityPermutation(n));  // pool index 0
+
   FailureGlobalState initial;
   initial.base = MakeInitialGlobalState(spec, n);
   initial.down.assign(n, false);
 
   std::vector<size_t> worklist;
-  graph.Intern(std::move(initial), &worklist);
+  uint32_t perm = 0;
+  graph.Intern(std::move(initial), &worklist, &perm);
   size_t cursor = 0;
   while (cursor < worklist.size()) {
     if (graph.nodes_.size() > options.max_nodes) {
@@ -44,116 +49,57 @@ Result<FailureAugmentedGraph> FailureAugmentedGraph::Build(
   return graph;
 }
 
+uint32_t FailureAugmentedGraph::InternPermutation(const SitePermutation& perm) {
+  std::ostringstream key;
+  for (SiteId s : perm) key << s << ',';
+  auto [it, inserted] =
+      perm_index_.emplace(key.str(), static_cast<uint32_t>(perm_pool_.size()));
+  if (inserted) perm_pool_.push_back(perm);
+  return it->second;
+}
+
 size_t FailureAugmentedGraph::Intern(FailureGlobalState state,
-                                     std::vector<size_t>* worklist) {
+                                     std::vector<size_t>* worklist,
+                                     uint32_t* perm_out) {
+  *perm_out = 0;
+  if (reduced()) {
+    SitePermutation perm =
+        CanonicalPermutation(symmetry_, state.base, &state.down);
+    if (perm != perm_pool_[0]) {
+      FailureGlobalState canonical;
+      canonical.base = PermuteGlobalState(state.base, perm);
+      canonical.down.resize(n_);
+      for (size_t i = 0; i < n_; ++i) canonical.down[perm[i] - 1] = state.down[i];
+      state = std::move(canonical);
+      *perm_out = InternPermutation(perm);
+    }
+  }
   std::string key = state.Key();
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
   size_t idx = nodes_.size();
   nodes_.push_back(std::move(state));
+  if (options_.record_edges) edges_.emplace_back();
   index_.emplace(std::move(key), idx);
   worklist->push_back(idx);
   return idx;
 }
 
-std::vector<FailureAugmentedGraph::Firing>
-FailureAugmentedGraph::EnabledFirings(const FailureGlobalState& state,
-                                      SiteId site) const {
-  std::vector<Firing> out;
-  size_t i = site - 1;
-  const Automaton& automaton = spec_.role(spec_.RoleForSite(site, n_));
-  const GlobalState& g = state.base;
-
-  for (size_t ti : automaton.TransitionsFrom(g.local[i])) {
-    const Transition& t = automaton.transitions()[ti];
-    if (t.trigger.kind != TriggerKind::kAnyFrom) {
-      if (t.votes_yes && g.votes[i] == Vote::kNo) continue;
-      if (t.votes_no && g.votes[i] == Vote::kYes) continue;
-    }
-    switch (t.trigger.kind) {
-      case TriggerKind::kClientRequest: {
-        MsgInstance want{msg::kRequest, kNoSite, site};
-        if (g.messages.count(want) != 0) {
-          out.push_back(Firing{&t, {want}, false});
-        }
-        break;
-      }
-      case TriggerKind::kOneFrom: {
-        for (SiteId sender : spec_.ResolveGroup(t.trigger.group, site, n_)) {
-          MsgInstance want{t.trigger.msg_type, sender, site};
-          if (g.messages.count(want) != 0) {
-            out.push_back(Firing{&t, {want}, false});
-          }
-        }
-        break;
-      }
-      case TriggerKind::kAllFrom: {
-        std::vector<MsgInstance> wanted;
-        bool all_present = true;
-        for (SiteId sender : spec_.ResolveGroup(t.trigger.group, site, n_)) {
-          MsgInstance want{t.trigger.msg_type, sender, site};
-          if (g.messages.count(want) == 0) {
-            all_present = false;
-            break;
-          }
-          wanted.push_back(std::move(want));
-        }
-        if (all_present) out.push_back(Firing{&t, std::move(wanted), false});
-        break;
-      }
-      case TriggerKind::kAnyFrom: {
-        for (SiteId sender : spec_.ResolveGroup(t.trigger.group, site, n_)) {
-          MsgInstance want{t.trigger.msg_type, sender, site};
-          if (g.messages.count(want) != 0) {
-            out.push_back(Firing{&t, {want}, false});
-          }
-        }
-        if (t.trigger.or_self_vote_no && g.votes[i] == Vote::kUnset) {
-          out.push_back(Firing{&t, {}, true});
-        }
-        break;
-      }
-    }
-  }
-  return out;
+void FailureAugmentedGraph::AddEdge(size_t from, FailureEdge edge) {
+  if (options_.record_edges) edges_[from].push_back(std::move(edge));
+  ++num_edges_;
 }
 
-FailureGlobalState FailureAugmentedGraph::ApplyFiring(
-    const FailureGlobalState& from, SiteId site, const Transition& t,
-    const std::vector<MsgInstance>& consumed, bool is_self_vote,
-    size_t send_limit, bool advance_state) const {
-  FailureGlobalState next = from;
-  GlobalState& g = next.base;
-  size_t i = site - 1;
-
-  for (const MsgInstance& m : consumed) {
-    auto it = g.messages.find(m);
-    if (--it->second == 0) g.messages.erase(it);
-  }
-
-  bool casts_vote = is_self_vote || t.trigger.kind != TriggerKind::kAnyFrom;
-  if (casts_vote) {
-    if (t.votes_yes) g.votes[i] = Vote::kYes;
-    if (t.votes_no) g.votes[i] = Vote::kNo;
-  }
-
-  size_t sent = 0;
-  for (const SendSpec& send : t.sends) {
-    for (SiteId target : spec_.ResolveGroup(send.to, site, n_)) {
-      if (sent >= send_limit) break;
-      ++sent;
-      // Messages to crashed sites vanish in the network.
-      if (next.down[target - 1]) continue;
-      ++g.messages[MsgInstance{send.msg_type, site, target}];
+void FailureAugmentedGraph::DropMessagesToDownSites(
+    FailureGlobalState* state) const {
+  for (auto it = state->base.messages.begin();
+       it != state->base.messages.end();) {
+    if (it->first.to != kNoSite && state->down[it->first.to - 1]) {
+      it = state->base.messages.erase(it);
+    } else {
+      ++it;
     }
-    if (sent >= send_limit) break;
   }
-
-  if (advance_state) {
-    g.local[i] = t.to;
-    ++g.steps[i];
-  }
-  return next;
 }
 
 void FailureAugmentedGraph::Expand(size_t idx,
@@ -164,15 +110,20 @@ void FailureAugmentedGraph::Expand(size_t idx,
   for (size_t i = 0; i < n_; ++i) {
     if (base.down[i]) continue;  // Crashed sites fire nothing.
     SiteId site = static_cast<SiteId>(i + 1);
-    std::vector<Firing> firings = EnabledFirings(base, site);
+    // The state invariant guarantees no message is addressed to a down
+    // site, so the failure-free firing rules apply unchanged to survivors.
+    std::vector<Firing> firings = EnumerateFirings(spec_, n_, base.base, site);
 
-    // Normal (atomic) firings.
+    // Normal (atomic) firings. Sends to crashed targets vanish.
     for (const Firing& f : firings) {
-      FailureGlobalState next =
-          ApplyFiring(base, site, *f.transition, f.consumed, f.self_vote,
-                      SIZE_MAX, /*advance_state=*/true);
-      Intern(std::move(next), worklist);
-      ++num_edges_;
+      FailureGlobalState next;
+      next.base = ApplyFiring(spec_, n_, base.base, site, f);
+      next.down = base.down;
+      DropMessagesToDownSites(&next);
+      uint32_t perm = 0;
+      size_t to = Intern(std::move(next), worklist, &perm);
+      AddEdge(idx, FailureEdge{to, FailureEdge::Kind::kFire, site,
+                               f.transition, f.self_vote, 0, perm});
     }
 
     if (failures >= options_.max_failures) continue;
@@ -183,16 +134,11 @@ void FailureAugmentedGraph::Expand(size_t idx,
     {
       FailureGlobalState next = base;
       next.down[i] = true;
-      for (auto it = next.base.messages.begin();
-           it != next.base.messages.end();) {
-        if (it->first.to == site) {
-          it = next.base.messages.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      Intern(std::move(next), worklist);
-      ++num_edges_;
+      DropMessagesToDownSites(&next);
+      uint32_t perm = 0;
+      size_t to = Intern(std::move(next), worklist, &perm);
+      AddEdge(idx, FailureEdge{to, FailureEdge::Kind::kCrash, site, 0, false,
+                               0, perm});
     }
 
     // Partial-send crashes inside each enabled transition: the trigger is
@@ -200,26 +146,24 @@ void FailureAugmentedGraph::Expand(size_t idx,
     // state does not advance, and the site is down.
     if (options_.partial_sends) {
       for (const Firing& f : firings) {
+        const Automaton& automaton =
+            spec_.role(spec_.RoleForSite(site, n_));
+        const Transition& t = automaton.transitions()[f.transition];
         size_t total_sends = 0;
-        for (const SendSpec& send : f.transition->sends) {
-          total_sends +=
-              spec_.ResolveGroup(send.to, site, n_).size();
+        for (const SendSpec& send : t.sends) {
+          total_sends += spec_.ResolveGroup(send.to, site, n_).size();
         }
         for (size_t prefix = 0; prefix < total_sends; ++prefix) {
-          FailureGlobalState next =
-              ApplyFiring(base, site, *f.transition, f.consumed,
-                          f.self_vote, prefix, /*advance_state=*/false);
+          FailureGlobalState next;
+          next.base = ApplyFiring(spec_, n_, base.base, site, f, prefix,
+                                  /*advance_state=*/false);
+          next.down = base.down;
           next.down[i] = true;
-          for (auto it = next.base.messages.begin();
-               it != next.base.messages.end();) {
-            if (it->first.to == site) {
-              it = next.base.messages.erase(it);
-            } else {
-              ++it;
-            }
-          }
-          Intern(std::move(next), worklist);
-          ++num_edges_;
+          DropMessagesToDownSites(&next);
+          uint32_t perm = 0;
+          size_t to = Intern(std::move(next), worklist, &perm);
+          AddEdge(idx, FailureEdge{to, FailureEdge::Kind::kPartialCrash, site,
+                                   f.transition, f.self_vote, prefix, perm});
         }
       }
     }
@@ -230,6 +174,26 @@ std::vector<size_t> FailureAugmentedGraph::InconsistentNodes() const {
   std::vector<size_t> out;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].base.IsInconsistent(spec_)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> FailureAugmentedGraph::StuckNodes() const {
+  std::vector<size_t> out;
+  for (size_t idx = 0; idx < nodes_.size(); ++idx) {
+    const FailureGlobalState& g = nodes_[idx];
+    bool any_enabled = false;
+    bool any_unfinished = false;
+    for (size_t i = 0; i < n_; ++i) {
+      if (g.down[i]) continue;
+      SiteId site = static_cast<SiteId>(i + 1);
+      if (!EnumerateFirings(spec_, n_, g.base, site).empty()) {
+        any_enabled = true;
+        break;
+      }
+      if (!IsFinal(KindOf(site, g.base.local[i]))) any_unfinished = true;
+    }
+    if (!any_enabled && any_unfinished) out.push_back(idx);
   }
   return out;
 }

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "analysis/global_state.h"
+#include "analysis/state_graph.h"
+#include "analysis/symmetry.h"
 #include "common/result.h"
 #include "fsa/protocol_spec.h"
 
@@ -29,6 +31,24 @@ struct FailureGlobalState {
   size_t NumDown() const;
 };
 
+/// One event connecting two failure-augmented global states.
+struct FailureEdge {
+  enum class Kind : uint8_t {
+    kFire = 0,          ///< Normal atomic transition firing.
+    kCrash = 1,         ///< Clean crash between transitions.
+    kPartialCrash = 2,  ///< Crash mid-transition after a prefix of sends.
+  };
+  size_t to = 0;
+  Kind kind = Kind::kFire;
+  SiteId site = kNoSite;      ///< Site that fired or crashed.
+  size_t transition = 0;      ///< Valid for kFire/kPartialCrash.
+  bool self_vote = false;     ///< Valid for kFire/kPartialCrash.
+  size_t send_prefix = 0;     ///< Messages that escaped (kPartialCrash).
+  /// Pool index of the canonicalizing permutation onto node `to`
+  /// (FailureAugmentedGraph::permutation); 0 = identity.
+  uint32_t perm = 0;
+};
+
 /// Limits for failure-graph construction.
 struct FailureGraphOptions {
   size_t max_nodes = 500000;
@@ -39,6 +59,12 @@ struct FailureGraphOptions {
   /// prefix of the transition's messages and leaving the local state
   /// unchanged (the paper's non-atomic transition under failure).
   bool partial_sends = true;
+  /// Canonicalize states modulo permutations of same-role sites (crash
+  /// status joins the signature, so only sites with equal status swap).
+  bool symmetry_reduction = false;
+  /// Record per-node outgoing edges (needed for witness extraction; off by
+  /// default to keep the memory footprint of plain reachability uses).
+  bool record_edges = false;
 };
 
 /// The reachable state graph under site failures: every interleaving of
@@ -59,14 +85,37 @@ class FailureAugmentedGraph {
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_edges() const { return num_edges_; }
   bool complete() const { return complete_; }
+  /// True when construction hit `max_nodes`: verdicts derived from the
+  /// graph cover only the explored prefix.
+  bool truncated() const { return !complete_; }
   size_t num_sites() const { return n_; }
   const ProtocolSpec& spec() const { return spec_; }
+  const FailureGraphOptions& options() const { return options_; }
   const FailureGlobalState& node(size_t i) const { return nodes_[i]; }
+
+  /// True when symmetry reduction was requested and the spec has
+  /// interchangeable sites.
+  bool reduced() const {
+    return options_.symmetry_reduction && symmetry_.permutable;
+  }
+  const SiteSymmetry& symmetry() const { return symmetry_; }
+  const SitePermutation& permutation(uint32_t index) const {
+    return perm_pool_[index];
+  }
+
+  /// Outgoing edges of node `i` (empty unless `record_edges` was set).
+  const std::vector<FailureEdge>& edges(size_t i) const { return edges_[i]; }
 
   /// Nodes containing both a local commit and a local abort state (over
   /// ALL sites, crashed included — a site that committed and then crashed
   /// still committed). Empty for atomicity-preserving protocols.
   std::vector<size_t> InconsistentNodes() const;
+
+  /// Nodes where no operational site can fire any transition while some
+  /// operational site is not yet in a final state: the survivors are stuck
+  /// pending the paper's termination protocol. These are the blocking
+  /// scenarios the static theory predicts.
+  std::vector<size_t> StuckNodes() const;
 
   /// Kind of local state `s` of `site`.
   StateKind KindOf(SiteId site, StateIndex s) const;
@@ -75,32 +124,25 @@ class FailureAugmentedGraph {
   FailureAugmentedGraph(ProtocolSpec spec, size_t n, FailureGraphOptions o)
       : spec_(std::move(spec)), n_(n), options_(o) {}
 
-  size_t Intern(FailureGlobalState state, std::vector<size_t>* worklist);
+  size_t Intern(FailureGlobalState state, std::vector<size_t>* worklist,
+                uint32_t* perm_out);
+  uint32_t InternPermutation(const SitePermutation& perm);
   void Expand(size_t idx, std::vector<size_t>* worklist);
+  void AddEdge(size_t from, FailureEdge edge);
 
-  /// Applies one transition firing for `site`, optionally truncating its
-  /// sends to the first `send_limit` messages (SIZE_MAX = no truncation)
-  /// and optionally leaving the local state unchanged (partial crash).
-  FailureGlobalState ApplyFiring(
-      const FailureGlobalState& from, SiteId site, const Transition& t,
-      const std::vector<MsgInstance>& consumed, bool is_self_vote,
-      size_t send_limit, bool advance_state) const;
-
-  /// Enumerates (transition, consumed-messages, self-vote) firings enabled
-  /// for `site` in `state`.
-  struct Firing {
-    const Transition* transition;
-    std::vector<MsgInstance> consumed;
-    bool self_vote;
-  };
-  std::vector<Firing> EnabledFirings(const FailureGlobalState& state,
-                                     SiteId site) const;
+  /// Erases in-flight messages addressed to crashed sites (they vanish in
+  /// the network; keeping them would split equivalent states).
+  void DropMessagesToDownSites(FailureGlobalState* state) const;
 
   ProtocolSpec spec_;
   size_t n_;
   FailureGraphOptions options_;
+  SiteSymmetry symmetry_;
   std::vector<FailureGlobalState> nodes_;
+  std::vector<std::vector<FailureEdge>> edges_;
   std::unordered_map<std::string, size_t> index_;
+  std::vector<SitePermutation> perm_pool_;
+  std::unordered_map<std::string, uint32_t> perm_index_;
   size_t num_edges_ = 0;
   bool complete_ = true;
 };

@@ -1,0 +1,364 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/synchronicity.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+std::string ToString(LintSeverity severity) {
+  return severity == LintSeverity::kError ? "error" : "warning";
+}
+
+std::string LintFinding::ToString() const {
+  std::ostringstream out;
+  out << nbcp::ToString(severity) << " [" << code << "]";
+  if (role != kNoRole) out << " role " << role;
+  out << ": " << message;
+  return out.str();
+}
+
+bool LintReport::HasErrors() const { return NumErrors() > 0; }
+
+size_t LintReport::NumErrors() const {
+  size_t count = 0;
+  for (const LintFinding& f : findings) {
+    count += f.severity == LintSeverity::kError ? 1 : 0;
+  }
+  return count;
+}
+
+size_t LintReport::NumWarnings() const {
+  return findings.size() - NumErrors();
+}
+
+bool LintReport::Has(const std::string& code) const {
+  for (const LintFinding& f : findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+std::string LintReport::ToString() const {
+  std::ostringstream out;
+  out << NumErrors() << " error(s), " << NumWarnings() << " warning(s)\n";
+  for (const LintFinding& f : findings) out << "  " << f.ToString() << "\n";
+  return out.str();
+}
+
+namespace {
+
+class Linter {
+ public:
+  Linter(const ProtocolSpec& spec, size_t n) : spec_(spec), n_(n) {}
+
+  LintReport Run(const ReachableStateGraph* graph) {
+    for (RoleIndex r = 0; r < static_cast<RoleIndex>(spec_.num_roles());
+         ++r) {
+      LintRoleStructure(r);
+      LintRoleGroups(r);
+    }
+    LintMessageVocabulary();
+    LintValidateCatchAll();
+    LintGraph(graph);
+    return std::move(report_);
+  }
+
+ private:
+  void Add(LintSeverity severity, std::string code, RoleIndex role,
+           std::string message) {
+    report_.findings.push_back(
+        LintFinding{severity, std::move(code), role, std::move(message)});
+  }
+
+  /// Sites executing role `r` in the n-site population.
+  std::vector<SiteId> SitesOfRole(RoleIndex r) const {
+    std::vector<SiteId> out;
+    for (SiteId site = 1; site <= static_cast<SiteId>(n_); ++site) {
+      if (spec_.RoleForSite(site, n_) == r) out.push_back(site);
+    }
+    return out;
+  }
+
+  void LintRoleStructure(RoleIndex r) {
+    const Automaton& a = spec_.role(r);
+    const std::string& role_name = spec_.role_name(r);
+
+    StateIndex initial = a.initial_state();
+    if (initial == kNoState) {
+      Add(LintSeverity::kError, "no-initial-state", r,
+          "role '" + role_name + "' has no unique initial state");
+    }
+
+    bool has_commit = false;
+    bool has_abort = false;
+    for (const LocalState& s : a.states()) {
+      has_commit = has_commit || s.kind == StateKind::kCommit;
+      has_abort = has_abort || s.kind == StateKind::kAbort;
+    }
+    if (!has_commit) {
+      Add(LintSeverity::kError, "no-commit-state", r,
+          "role '" + role_name + "' has no commit state");
+    }
+    if (!has_abort) {
+      Add(LintSeverity::kError, "no-abort-state", r,
+          "role '" + role_name + "' has no abort state");
+    }
+
+    if (!a.IsAcyclic()) {
+      Add(LintSeverity::kError, "cyclic", r,
+          "role '" + role_name + "' has a cyclic state diagram");
+    }
+
+    for (const Transition& t : a.transitions()) {
+      if (IsFinal(a.state(t.from).kind)) {
+        Add(LintSeverity::kError, "final-state-outgoing", r,
+            "role '" + role_name + "': final state '" + a.state(t.from).name +
+                "' has an outgoing transition");
+      }
+    }
+
+    // Reachability within the automaton (by transition structure alone).
+    if (initial != kNoState && a.IsAcyclic()) {
+      std::vector<bool> reached(a.num_states(), false);
+      std::vector<StateIndex> stack{initial};
+      reached[initial] = true;
+      while (!stack.empty()) {
+        StateIndex s = stack.back();
+        stack.pop_back();
+        for (size_t ti : a.TransitionsFrom(s)) {
+          StateIndex to = a.transitions()[ti].to;
+          if (!reached[to]) {
+            reached[to] = true;
+            stack.push_back(to);
+          }
+        }
+      }
+      for (size_t s = 0; s < a.num_states(); ++s) {
+        if (!reached[s]) {
+          Add(LintSeverity::kError, "unreachable-state", r,
+              "role '" + role_name + "': state '" +
+                  a.state(static_cast<StateIndex>(s)).name +
+                  "' is unreachable from the initial state");
+        }
+      }
+    }
+  }
+
+  bool GroupFitsParadigm(Group g) const {
+    switch (spec_.paradigm()) {
+      case Paradigm::kCentralSite:
+        return g == Group::kCoordinator || g == Group::kSlaves;
+      case Paradigm::kDecentralized:
+        return g == Group::kAllPeers;
+      case Paradigm::kLinear:
+        return g == Group::kNextPeer || g == Group::kPrevPeer;
+    }
+    return false;
+  }
+
+  void LintRoleGroups(RoleIndex r) {
+    const Automaton& a = spec_.role(r);
+    const std::string& role_name = spec_.role_name(r);
+    std::vector<SiteId> sites = SitesOfRole(r);
+
+    for (const Transition& t : a.transitions()) {
+      std::string where = "role '" + role_name + "' transition '" +
+                          a.state(t.from).name + "->" + a.state(t.to).name +
+                          "'";
+      if (t.trigger.kind == TriggerKind::kClientRequest) {
+        // The client request reaches every site under the decentralized
+        // paradigm but only site 1 otherwise.
+        if (spec_.paradigm() != Paradigm::kDecentralized) {
+          bool routed = false;
+          for (SiteId site : sites) routed = routed || site == 1;
+          if (!routed) {
+            Add(LintSeverity::kError, "request-unroutable", r,
+                where + " awaits the client request, which only reaches "
+                        "site 1 under this paradigm");
+          }
+        }
+      } else {
+        if (t.trigger.group == Group::kNone) {
+          Add(LintSeverity::kError, "empty-trigger-group", r,
+              where + " has a message trigger with no source group");
+        } else if (!GroupFitsParadigm(t.trigger.group)) {
+          Add(LintSeverity::kError, "group-paradigm-mismatch", r,
+              where + " trigger group '" + nbcp::ToString(t.trigger.group) +
+                  "' is meaningless under the " +
+                  nbcp::ToString(spec_.paradigm()) + " paradigm");
+        } else if (!sites.empty()) {
+          bool resolvable = false;
+          for (SiteId site : sites) {
+            if (!spec_.ResolveGroup(t.trigger.group, site, n_).empty()) {
+              resolvable = true;
+              break;
+            }
+          }
+          if (!resolvable) {
+            Add(LintSeverity::kError, "unsatisfiable-trigger", r,
+                where + " trigger group '" +
+                    nbcp::ToString(t.trigger.group) +
+                    "' resolves to no site for any site executing the role "
+                    "(n=" + std::to_string(n_) + ")");
+          }
+        }
+      }
+      for (const SendSpec& send : t.sends) {
+        if (send.to == Group::kNone) {
+          Add(LintSeverity::kError, "empty-send-group", r,
+              where + " sends '" + send.msg_type + "' to no group");
+        } else if (!GroupFitsParadigm(send.to)) {
+          Add(LintSeverity::kError, "group-paradigm-mismatch", r,
+              where + " send group '" + nbcp::ToString(send.to) +
+                  "' is meaningless under the " +
+                  nbcp::ToString(spec_.paradigm()) + " paradigm");
+        }
+      }
+    }
+  }
+
+  void LintMessageVocabulary() {
+    std::set<std::string> sent;
+    std::set<std::string> consumed;
+    for (RoleIndex r = 0; r < static_cast<RoleIndex>(spec_.num_roles());
+         ++r) {
+      for (const Transition& t : spec_.role(r).transitions()) {
+        if (t.trigger.kind != TriggerKind::kClientRequest) {
+          consumed.insert(t.trigger.msg_type);
+        }
+        for (const SendSpec& send : t.sends) sent.insert(send.msg_type);
+      }
+    }
+    for (const std::string& type : sent) {
+      if (consumed.count(type) == 0) {
+        Add(LintSeverity::kWarning, "dead-message", kNoRole,
+            "message type '" + type +
+                "' is sent but no transition consumes it");
+      }
+    }
+    for (const std::string& type : consumed) {
+      if (type != msg::kRequest && sent.count(type) == 0) {
+        Add(LintSeverity::kError, "unsent-message-trigger", kNoRole,
+            "message type '" + type +
+                "' triggers transitions but no role ever sends it");
+      }
+    }
+  }
+
+  /// Catch-all: anything Validate rejects that no specific code flagged.
+  void LintValidateCatchAll() {
+    if (report_.HasErrors()) return;
+    Status valid = spec_.Validate();
+    if (!valid.ok()) {
+      Add(LintSeverity::kError, "spec-invalid", kNoRole, valid.ToString());
+    }
+  }
+
+  void LintGraph(const ReachableStateGraph* graph) {
+    // Graph-based checks need a structurally sound spec.
+    if (report_.HasErrors()) return;
+
+    std::optional<ReachableStateGraph> owned;
+    if (graph == nullptr) {
+      auto built = ReachableStateGraph::Build(spec_, n_);
+      if (!built.ok()) {
+        Add(LintSeverity::kWarning, "graph-unavailable", kNoRole,
+            "reachable graph could not be built (" + built.status().ToString() +
+                "); graph-based checks skipped");
+        return;
+      }
+      owned = std::move(*built);
+      graph = &*owned;
+    }
+
+    if (graph->truncated()) {
+      // A partial graph makes every dynamic verdict unsound: frontier
+      // nodes look deadlocked, unexplored states look unoccupied. Surface
+      // the truncation and stop rather than report phantom findings.
+      Add(LintSeverity::kWarning, "graph-truncated", kNoRole,
+          "reachable graph truncated at max_nodes=" +
+              std::to_string(graph->options().max_nodes) +
+              "; dynamic checks (deadlock, occupancy, synchronicity) skipped");
+      return;
+    }
+
+    for (size_t node : graph->DeadlockedNodes()) {
+      Add(LintSeverity::kError, "deadlock", kNoRole,
+          "reachable non-final global state with no enabled transition: " +
+              graph->node(node).ToString(spec_));
+      break;  // One example suffices.
+    }
+
+    // Occupancy per (role, state) and firings per (role, transition) —
+    // class-invariant, so a symmetry-reduced graph gives the same answers.
+    size_t num_roles = spec_.num_roles();
+    std::vector<std::vector<bool>> occupied(num_roles);
+    std::vector<std::vector<bool>> fired(num_roles);
+    for (RoleIndex r = 0; r < static_cast<RoleIndex>(num_roles); ++r) {
+      occupied[r].assign(spec_.role(r).num_states(), false);
+      fired[r].assign(spec_.role(r).transitions().size(), false);
+    }
+    size_t n = graph->num_sites();
+    for (size_t idx = 0; idx < graph->num_nodes(); ++idx) {
+      const GlobalState& g = graph->node(idx);
+      for (size_t i = 0; i < n; ++i) {
+        RoleIndex r = spec_.RoleForSite(static_cast<SiteId>(i + 1), n);
+        occupied[r][g.local[i]] = true;
+      }
+      for (const GraphEdge& e : graph->edges(idx)) {
+        fired[spec_.RoleForSite(e.site, n)][e.transition] = true;
+      }
+    }
+    for (RoleIndex r = 0; r < static_cast<RoleIndex>(num_roles); ++r) {
+      const Automaton& a = spec_.role(r);
+      for (size_t s = 0; s < a.num_states(); ++s) {
+        if (!occupied[r][s]) {
+          Add(LintSeverity::kWarning, "state-never-occupied", r,
+              "role '" + spec_.role_name(r) + "' state '" +
+                  a.state(static_cast<StateIndex>(s)).name +
+                  "' is never occupied in the reachable graph (n=" +
+                  std::to_string(n) + ")");
+        }
+      }
+      for (size_t ti = 0; ti < a.transitions().size(); ++ti) {
+        if (!fired[r][ti]) {
+          const Transition& t = a.transitions()[ti];
+          Add(LintSeverity::kWarning, "transition-never-fires", r,
+              "role '" + spec_.role_name(r) + "' transition '" +
+                  a.state(t.from).name + "->" + a.state(t.to).name +
+                  "' (" + t.Label() +
+                  ") fires in no reachable state (n=" + std::to_string(n) +
+                  ")");
+        }
+      }
+    }
+
+    SynchronicityReport sync = CheckSynchronicity(*graph);
+    if (!sync.synchronous_within_one()) {
+      Add(LintSeverity::kWarning, "not-synchronous", kNoRole,
+          "protocol is not synchronous within one state transition "
+          "(max lead " + std::to_string(sync.max_lead) +
+              "); buffer-state synthesis does not apply");
+    }
+  }
+
+  const ProtocolSpec& spec_;
+  size_t n_;
+  LintReport report_;
+};
+
+}  // namespace
+
+LintReport LintProtocol(const ProtocolSpec& spec, size_t n,
+                        const ReachableStateGraph* graph) {
+  return Linter(spec, n).Run(graph);
+}
+
+}  // namespace nbcp

@@ -1,0 +1,86 @@
+#ifndef NBCP_ANALYSIS_LINT_H_
+#define NBCP_ANALYSIS_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/state_graph.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+enum class LintSeverity : uint8_t {
+  kWarning = 0,  ///< Suspicious but not disqualifying.
+  kError = 1,    ///< The spec cannot behave as a commit protocol.
+};
+
+std::string ToString(LintSeverity severity);
+
+/// Role index used for protocol-level findings.
+inline constexpr RoleIndex kNoRole = -1;
+
+/// One lint finding.
+///
+/// Codes (stable identifiers, used by tests and the JSON report):
+///   errors —
+///     no-initial-state        role automaton lacks a unique initial state
+///     no-commit-state         role has no commit state
+///     no-abort-state          role has no abort state
+///     cyclic                  role's state diagram has a cycle
+///     unreachable-state       state unreachable from the initial state
+///     final-state-outgoing    commit/abort state has outgoing transitions
+///     empty-trigger-group     message trigger with no source group
+///     empty-send-group        send with no addressee group
+///     group-paradigm-mismatch group meaningless under the spec's paradigm
+///     unsatisfiable-trigger   trigger group resolves empty at every site
+///                             executing the role
+///     request-unroutable      client-request trigger in a role that never
+///                             receives the request
+///     unsent-message-trigger  trigger on a message type no role sends
+///     deadlock                reachable non-final global state with no
+///                             enabled transition (failure-free!)
+///     spec-invalid            ProtocolSpec::Validate failure not covered
+///                             by a more specific code
+///   warnings —
+///     dead-message            message type sent but never consumed
+///     state-never-occupied    state never occupied in the reachable graph
+///     transition-never-fires  transition enabled in no reachable state
+///     not-synchronous         not synchronous within one transition (the
+///                             buffer-synthesis precondition)
+///     graph-truncated         reachable graph hit max_nodes; graph-based
+///                             verdicts cover only the explored prefix
+///     graph-unavailable       reachable graph could not be built; graph-
+///                             based checks skipped
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string code;
+  RoleIndex role = kNoRole;  ///< kNoRole for protocol-level findings.
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  bool HasErrors() const;
+  size_t NumErrors() const;
+  size_t NumWarnings() const;
+  bool Has(const std::string& code) const;
+
+  std::string ToString() const;
+};
+
+/// Lints `spec` for an n-site population: structural checks on each role
+/// automaton and the paradigm/group pairing, plus reachability-based checks
+/// over the state graph. Pass a prebuilt `graph` (reduced or not — every
+/// graph-based check is class-invariant) to avoid rebuilding; with nullptr
+/// a graph is built internally (and its truncation reported). Spec-invalid
+/// inputs yield findings rather than an error — that is the point of lint.
+LintReport LintProtocol(const ProtocolSpec& spec, size_t n,
+                        const ReachableStateGraph* graph = nullptr);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_LINT_H_

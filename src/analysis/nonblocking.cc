@@ -27,6 +27,11 @@ std::string NonblockingReport::ToString() const {
   std::ostringstream out;
   out << (nonblocking ? "NONBLOCKING" : "BLOCKING") << " ("
       << violations.size() << " violation(s))\n";
+  if (truncated) {
+    out << "  WARNING: state graph truncated at max_nodes; verdict covers "
+           "only the explored prefix (raise max_nodes or enable symmetry "
+           "reduction)\n";
+  }
   for (const Violation& v : violations) {
     out << "  " << v.ToString() << "\n";
   }
@@ -69,17 +74,15 @@ NonblockingReport CheckNonblocking(const ConcurrencyAnalysis& analysis) {
       report.satisfying_sites.push_back(static_cast<SiteId>(i + 1));
     }
   }
-  report.nonblocking = report.violations.empty();
+  report.truncated = graph.truncated();
+  report.nonblocking = report.violations.empty() && !report.truncated;
   return report;
 }
 
-Result<NonblockingReport> CheckNonblocking(const ProtocolSpec& spec,
-                                           size_t n) {
-  auto graph = ReachableStateGraph::Build(spec, n);
+Result<NonblockingReport> CheckNonblocking(const ProtocolSpec& spec, size_t n,
+                                           GraphOptions options) {
+  auto graph = ReachableStateGraph::Build(spec, n, options);
   if (!graph.ok()) return graph.status();
-  if (!graph->complete()) {
-    return Status::Internal("state graph truncated; raise max_nodes");
-  }
   ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
   return CheckNonblocking(analysis);
 }

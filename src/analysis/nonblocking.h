@@ -44,6 +44,11 @@ struct NonblockingReport {
   /// site failures iff k of these exist.
   std::vector<SiteId> satisfying_sites;
 
+  /// True when the underlying state graph hit `max_nodes` before covering
+  /// the reachable set. The verdict then only describes the explored
+  /// prefix: violations found are real, but "nonblocking" is inconclusive.
+  bool truncated = false;
+
   /// Multi-line human-readable report.
   std::string ToString() const;
 };
@@ -52,8 +57,12 @@ struct NonblockingReport {
 /// `spec`: a protocol is nonblocking iff, at every participating site,
 /// (1) no local state's concurrency set contains both an abort and a commit
 /// state, and (2) no noncommittable state's concurrency set contains a
-/// commit state.
-Result<NonblockingReport> CheckNonblocking(const ProtocolSpec& spec, size_t n);
+/// commit state. A truncated graph is reported via
+/// `NonblockingReport::truncated` rather than an error; pass
+/// `GraphOptions::symmetry_reduction` to explore larger populations (the
+/// verdict is unchanged — see docs/analysis.md).
+Result<NonblockingReport> CheckNonblocking(const ProtocolSpec& spec, size_t n,
+                                           GraphOptions options = {});
 
 /// As above, over an already-built analysis (avoids rebuilding the graph).
 NonblockingReport CheckNonblocking(const ConcurrencyAnalysis& analysis);

@@ -4,12 +4,14 @@
 
 namespace nbcp {
 
-Result<ResiliencyReport> CheckResiliency(const ProtocolSpec& spec, size_t n) {
-  auto check = CheckNonblocking(spec, n);
+Result<ResiliencyReport> CheckResiliency(const ProtocolSpec& spec, size_t n,
+                                         GraphOptions options) {
+  auto check = CheckNonblocking(spec, n, options);
   if (!check.ok()) return check.status();
   ResiliencyReport report;
   report.num_sites = n;
   report.satisfying_sites = check->satisfying_sites;
+  report.truncated = check->truncated;
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "analysis/state_graph.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "fsa/protocol_spec.h"
@@ -21,6 +22,11 @@ struct ResiliencyReport {
 
   size_t num_sites = 0;
 
+  /// True when the verdict is based on a truncated (incomplete) state
+  /// graph: `satisfying_sites` may overcount, so the classification is an
+  /// upper bound, not a guarantee.
+  bool truncated = false;
+
   /// Largest f such that the protocol is nonblocking with respect to f
   /// site failures: f = |satisfying_sites| - 1, clamped at 0 when no
   /// qualifying subset exists.
@@ -34,8 +40,10 @@ struct ResiliencyReport {
   }
 };
 
-/// Computes the resiliency report for an n-site execution of `spec`.
-Result<ResiliencyReport> CheckResiliency(const ProtocolSpec& spec, size_t n);
+/// Computes the resiliency report for an n-site execution of `spec`. Graph
+/// truncation is surfaced via `ResiliencyReport::truncated`.
+Result<ResiliencyReport> CheckResiliency(const ProtocolSpec& spec, size_t n,
+                                         GraphOptions options = {});
 
 }  // namespace nbcp
 

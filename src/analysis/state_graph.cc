@@ -2,10 +2,112 @@
 
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
 #include "protocols/protocols.h"
 
 namespace nbcp {
+
+std::vector<Firing> EnumerateFirings(const ProtocolSpec& spec, size_t n,
+                                     const GlobalState& g, SiteId site) {
+  std::vector<Firing> out;
+  size_t i = site - 1;
+  const Automaton& automaton = spec.role(spec.RoleForSite(site, n));
+  for (size_t ti : automaton.TransitionsFrom(g.local[i])) {
+    const Transition& t = automaton.transitions()[ti];
+
+    // A site casts at most one vote; a transition contradicting an
+    // already-cast vote is disabled.
+    if (t.trigger.kind != TriggerKind::kAnyFrom) {
+      if (t.votes_yes && g.votes[i] == Vote::kNo) continue;
+      if (t.votes_no && g.votes[i] == Vote::kYes) continue;
+    }
+
+    switch (t.trigger.kind) {
+      case TriggerKind::kClientRequest: {
+        MsgInstance want{msg::kRequest, kNoSite, site};
+        if (g.messages.count(want) == 0) break;
+        out.push_back(Firing{ti, {want}, false});
+        break;
+      }
+      case TriggerKind::kOneFrom: {
+        for (SiteId sender : spec.ResolveGroup(t.trigger.group, site, n)) {
+          MsgInstance want{t.trigger.msg_type, sender, site};
+          if (g.messages.count(want) == 0) continue;
+          out.push_back(Firing{ti, {want}, false});
+        }
+        break;
+      }
+      case TriggerKind::kAllFrom: {
+        std::vector<MsgInstance> wanted;
+        bool all_present = true;
+        for (SiteId sender : spec.ResolveGroup(t.trigger.group, site, n)) {
+          MsgInstance want{t.trigger.msg_type, sender, site};
+          if (g.messages.count(want) == 0) {
+            all_present = false;
+            break;
+          }
+          wanted.push_back(std::move(want));
+        }
+        if (!all_present) break;
+        out.push_back(Firing{ti, std::move(wanted), false});
+        break;
+      }
+      case TriggerKind::kAnyFrom: {
+        for (SiteId sender : spec.ResolveGroup(t.trigger.group, site, n)) {
+          MsgInstance want{t.trigger.msg_type, sender, site};
+          if (g.messages.count(want) == 0) continue;
+          out.push_back(Firing{ti, {want}, false});
+        }
+        if (t.trigger.or_self_vote_no && g.votes[i] == Vote::kUnset) {
+          // Spontaneous firing: the site casts its own "no" vote.
+          out.push_back(Firing{ti, {}, true});
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+GlobalState ApplyFiring(const ProtocolSpec& spec, size_t n,
+                        const GlobalState& g, SiteId site, const Firing& firing,
+                        size_t send_limit, bool advance_state) {
+  const Automaton& automaton = spec.role(spec.RoleForSite(site, n));
+  const Transition& t = automaton.transitions()[firing.transition];
+  GlobalState next = g;
+  size_t i = site - 1;
+  if (advance_state) {
+    next.local[i] = t.to;
+    ++next.steps[i];
+  }
+
+  for (const MsgInstance& m : firing.consumed) {
+    auto it = next.messages.find(m);
+    if (--it->second == 0) next.messages.erase(it);
+  }
+
+  // Vote bookkeeping. For kAnyFrom triggers, the vote flags apply only to
+  // the spontaneous ("(no_1)") firing mode; in message mode the site is
+  // reacting to someone else's vote and casts none of its own. Votes apply
+  // even when the state does not advance: a partially-completed transition
+  // (failure model) records its vote before emitting messages.
+  bool apply_votes =
+      firing.self_vote || t.trigger.kind != TriggerKind::kAnyFrom;
+  if (apply_votes) {
+    if (t.votes_yes) next.votes[i] = Vote::kYes;
+    if (t.votes_no) next.votes[i] = Vote::kNo;
+  }
+
+  size_t sent = 0;
+  for (const SendSpec& send : t.sends) {
+    for (SiteId target : spec.ResolveGroup(send.to, site, n)) {
+      if (sent++ == send_limit) return next;
+      ++next.messages[MsgInstance{send.msg_type, site, target}];
+    }
+  }
+  return next;
+}
 
 Result<ReachableStateGraph> ReachableStateGraph::Build(
     const ProtocolSpec& spec, size_t n, GraphOptions options) {
@@ -13,9 +115,13 @@ Result<ReachableStateGraph> ReachableStateGraph::Build(
   Status valid = spec.Validate();
   if (!valid.ok()) return valid;
 
-  ReachableStateGraph graph(spec, n);
+  ReachableStateGraph graph(spec, n, options);
+  graph.symmetry_ = ComputeSiteSymmetry(graph.spec_, n);
+  graph.InternPermutation(IdentityPermutation(n));  // pool index 0
+
   std::vector<size_t> worklist;
-  graph.Intern(MakeInitialGlobalState(spec, n), &worklist);
+  uint32_t perm = 0;
+  graph.Intern(MakeInitialGlobalState(spec, n), &worklist, &perm);
 
   size_t cursor = 0;
   while (cursor < worklist.size()) {
@@ -29,8 +135,26 @@ Result<ReachableStateGraph> ReachableStateGraph::Build(
   return graph;
 }
 
+uint32_t ReachableStateGraph::InternPermutation(const SitePermutation& perm) {
+  std::ostringstream key;
+  for (SiteId s : perm) key << s << ',';
+  auto [it, inserted] =
+      perm_index_.emplace(key.str(), static_cast<uint32_t>(perm_pool_.size()));
+  if (inserted) perm_pool_.push_back(perm);
+  return it->second;
+}
+
 size_t ReachableStateGraph::Intern(GlobalState state,
-                                   std::vector<size_t>* worklist) {
+                                   std::vector<size_t>* worklist,
+                                   uint32_t* perm_out) {
+  *perm_out = 0;
+  if (reduced()) {
+    SitePermutation perm = CanonicalPermutation(symmetry_, state, nullptr);
+    if (perm != perm_pool_[0]) {
+      state = PermuteGlobalState(state, perm);
+      *perm_out = InternPermutation(perm);
+    }
+  }
   std::string key = state.Key();
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
@@ -42,115 +166,19 @@ size_t ReachableStateGraph::Intern(GlobalState state,
   return idx;
 }
 
-GlobalState ReachableStateGraph::Apply(
-    const GlobalState& base, SiteId site, const Transition& t,
-    const std::vector<MsgInstance>& consumed, bool self_vote) {
-  GlobalState next = base;
-  size_t i = site - 1;
-  next.local[i] = t.to;
-  ++next.steps[i];
-
-  for (const MsgInstance& m : consumed) {
-    auto it = next.messages.find(m);
-    if (--it->second == 0) next.messages.erase(it);
-  }
-
-  // Vote bookkeeping. For kAnyFrom triggers, the vote flags apply only to
-  // the spontaneous ("(no_1)") firing mode; in message mode the site is
-  // reacting to someone else's vote and casts none of its own.
-  bool apply_votes = self_vote || t.trigger.kind != TriggerKind::kAnyFrom;
-  if (apply_votes) {
-    if (t.votes_yes) next.votes[i] = Vote::kYes;
-    if (t.votes_no) next.votes[i] = Vote::kNo;
-  }
-
-  for (const SendSpec& send : t.sends) {
-    for (SiteId target : spec_.ResolveGroup(send.to, site, n_)) {
-      ++next.messages[MsgInstance{send.msg_type, site, target}];
-    }
-  }
-  return next;
-}
-
 void ReachableStateGraph::Expand(size_t idx, std::vector<size_t>* worklist) {
   // Copy the source state: Intern() may reallocate nodes_.
   const GlobalState base = nodes_[idx];
 
   for (size_t i = 0; i < n_; ++i) {
     SiteId site = static_cast<SiteId>(i + 1);
-    const Automaton& automaton = spec_.role(spec_.RoleForSite(site, n_));
-    for (size_t ti : automaton.TransitionsFrom(base.local[i])) {
-      const Transition& t = automaton.transitions()[ti];
-
-      // A site casts at most one vote; a transition contradicting an
-      // already-cast vote is disabled.
-      if (t.trigger.kind != TriggerKind::kAnyFrom) {
-        if (t.votes_yes && base.votes[i] == Vote::kNo) continue;
-        if (t.votes_no && base.votes[i] == Vote::kYes) continue;
-      }
-
-      switch (t.trigger.kind) {
-        case TriggerKind::kClientRequest: {
-          MsgInstance want{msg::kRequest, kNoSite, site};
-          auto it = base.messages.find(want);
-          if (it == base.messages.end()) break;
-          GlobalState next = Apply(base, site, t, {want}, false);
-          size_t to = Intern(std::move(next), worklist);
-          edges_[idx].push_back(GraphEdge{to, site, ti, false});
-          ++num_edges_;
-          break;
-        }
-        case TriggerKind::kOneFrom: {
-          for (SiteId sender :
-               spec_.ResolveGroup(t.trigger.group, site, n_)) {
-            MsgInstance want{t.trigger.msg_type, sender, site};
-            if (base.messages.count(want) == 0) continue;
-            GlobalState next = Apply(base, site, t, {want}, false);
-            size_t to = Intern(std::move(next), worklist);
-            edges_[idx].push_back(GraphEdge{to, site, ti, false});
-            ++num_edges_;
-          }
-          break;
-        }
-        case TriggerKind::kAllFrom: {
-          std::vector<MsgInstance> wanted;
-          bool all_present = true;
-          for (SiteId sender :
-               spec_.ResolveGroup(t.trigger.group, site, n_)) {
-            MsgInstance want{t.trigger.msg_type, sender, site};
-            if (base.messages.count(want) == 0) {
-              all_present = false;
-              break;
-            }
-            wanted.push_back(std::move(want));
-          }
-          if (!all_present) break;
-          GlobalState next = Apply(base, site, t, wanted, false);
-          size_t to = Intern(std::move(next), worklist);
-          edges_[idx].push_back(GraphEdge{to, site, ti, false});
-          ++num_edges_;
-          break;
-        }
-        case TriggerKind::kAnyFrom: {
-          for (SiteId sender :
-               spec_.ResolveGroup(t.trigger.group, site, n_)) {
-            MsgInstance want{t.trigger.msg_type, sender, site};
-            if (base.messages.count(want) == 0) continue;
-            GlobalState next = Apply(base, site, t, {want}, false);
-            size_t to = Intern(std::move(next), worklist);
-            edges_[idx].push_back(GraphEdge{to, site, ti, false});
-            ++num_edges_;
-          }
-          if (t.trigger.or_self_vote_no && base.votes[i] == Vote::kUnset) {
-            // Spontaneous firing: the site casts its own "no" vote.
-            GlobalState next = Apply(base, site, t, {}, true);
-            size_t to = Intern(std::move(next), worklist);
-            edges_[idx].push_back(GraphEdge{to, site, ti, true});
-            ++num_edges_;
-          }
-          break;
-        }
-      }
+    for (const Firing& firing : EnumerateFirings(spec_, n_, base, site)) {
+      GlobalState next = ApplyFiring(spec_, n_, base, site, firing);
+      uint32_t perm = 0;
+      size_t to = Intern(std::move(next), worklist, &perm);
+      edges_[idx].push_back(
+          GraphEdge{to, site, firing.transition, firing.self_vote, perm});
+      ++num_edges_;
     }
   }
 }

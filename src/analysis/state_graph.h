@@ -7,10 +7,36 @@
 #include <vector>
 
 #include "analysis/global_state.h"
+#include "analysis/symmetry.h"
 #include "common/result.h"
 #include "fsa/protocol_spec.h"
 
 namespace nbcp {
+
+/// One enabled way to fire a transition of one site in a global state: the
+/// transition index within the site's role automaton, the message instances
+/// it consumes, and whether it fires spontaneously as the site's own "no"
+/// vote (the kAnyFrom `or_self_vote_no` mode).
+struct Firing {
+  size_t transition = 0;
+  std::vector<MsgInstance> consumed;
+  bool self_vote = false;
+};
+
+/// Enumerates every enabled firing of `site` in `g` — the paper's
+/// failure-free transition semantics, shared by the reachable and
+/// failure-augmented graph builders and by witness concretization.
+std::vector<Firing> EnumerateFirings(const ProtocolSpec& spec, size_t n,
+                                     const GlobalState& g, SiteId site);
+
+/// Applies `firing` of `site` to `g`. `send_limit` truncates the emitted
+/// messages to a prefix (the failure model's partial send; SIZE_MAX = all)
+/// and `advance_state` false leaves the local state and step count untouched
+/// (a site that crashed mid-transition).
+GlobalState ApplyFiring(const ProtocolSpec& spec, size_t n,
+                        const GlobalState& g, SiteId site, const Firing& firing,
+                        size_t send_limit = SIZE_MAX,
+                        bool advance_state = true);
 
 /// One firing of a local transition, connecting two global states.
 struct GraphEdge {
@@ -18,11 +44,20 @@ struct GraphEdge {
   SiteId site = kNoSite;      ///< Site that fired.
   size_t transition = 0;      ///< Index into the site's role transitions.
   bool self_vote = false;     ///< Fired spontaneously as an own "no" vote.
+  /// Index (ReachableStateGraph::permutation) of the canonicalizing
+  /// permutation mapping the raw successor onto node `to`; 0 = identity.
+  /// Witness extraction composes these to concretize reduced paths.
+  uint32_t perm = 0;
 };
 
 /// Limits for graph construction.
 struct GraphOptions {
   size_t max_nodes = 500000;  ///< Stop expanding beyond this many nodes.
+  /// Canonicalize global states modulo permutations of same-role sites
+  /// (slaves, decentralized peers), so orbit-equivalent states intern to
+  /// one node. Sound for every class-invariant property; witnesses remain
+  /// extractable via the per-edge permutations. No-op for linear specs.
+  bool symmetry_reduction = false;
 };
 
 /// The reachable state graph of a transaction: "the graph of all global
@@ -32,7 +67,8 @@ struct GraphOptions {
 /// transition (the paper's failure-free semantics: transitions are atomic
 /// and asynchronous across sites). The graph "grows exponentially with the
 /// number of sites"; construction stops at `max_nodes` and reports
-/// completeness.
+/// completeness. With `GraphOptions::symmetry_reduction` the growth is
+/// tamed by storing one representative per orbit of interchangeable sites.
 class ReachableStateGraph {
  public:
   /// Builds the graph for an n-site execution of `spec` (n >= 2).
@@ -42,8 +78,22 @@ class ReachableStateGraph {
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_edges() const { return num_edges_; }
   bool complete() const { return complete_; }
+  /// True when construction hit `max_nodes`: the graph is a prefix of the
+  /// reachable set and every verdict derived from it is unsound.
+  bool truncated() const { return !complete_; }
   size_t num_sites() const { return n_; }
   const ProtocolSpec& spec() const { return spec_; }
+  const GraphOptions& options() const { return options_; }
+
+  /// True when symmetry reduction was requested and the spec actually has
+  /// interchangeable sites (nodes are orbit representatives).
+  bool reduced() const { return options_.symmetry_reduction && symmetry_.permutable; }
+  const SiteSymmetry& symmetry() const { return symmetry_; }
+
+  /// Permutation pool referenced by GraphEdge::perm; index 0 is identity.
+  const SitePermutation& permutation(uint32_t index) const {
+    return perm_pool_[index];
+  }
 
   const GlobalState& node(size_t i) const { return nodes_[i]; }
   const std::vector<GraphEdge>& edges(size_t i) const { return edges_[i]; }
@@ -70,24 +120,29 @@ class ReachableStateGraph {
   std::string ToDot() const;
 
  private:
-  ReachableStateGraph(ProtocolSpec spec, size_t n)
-      : spec_(std::move(spec)), n_(n) {}
+  ReachableStateGraph(ProtocolSpec spec, size_t n, GraphOptions options)
+      : spec_(std::move(spec)), n_(n), options_(options) {}
 
   /// Appends all successors of node `idx` to the worklist.
   void Expand(size_t idx, std::vector<size_t>* worklist);
 
-  /// Interns `state`, returning its node index (new or existing).
-  size_t Intern(GlobalState state, std::vector<size_t>* worklist);
+  /// Interns `state` (canonicalizing first when reduction is on), returning
+  /// its node index and, via `perm_out`, the pool index of the permutation
+  /// that mapped `state` onto the stored representative.
+  size_t Intern(GlobalState state, std::vector<size_t>* worklist,
+                uint32_t* perm_out);
 
-  /// Applies transition `t` of `site` to `base`, consuming `consumed`.
-  GlobalState Apply(const GlobalState& base, SiteId site, const Transition& t,
-                    const std::vector<MsgInstance>& consumed, bool self_vote);
+  uint32_t InternPermutation(const SitePermutation& perm);
 
   ProtocolSpec spec_;
   size_t n_;
+  GraphOptions options_;
+  SiteSymmetry symmetry_;
   std::vector<GlobalState> nodes_;
   std::vector<std::vector<GraphEdge>> edges_;
   std::unordered_map<std::string, size_t> index_;
+  std::vector<SitePermutation> perm_pool_;
+  std::unordered_map<std::string, uint32_t> perm_index_;
   size_t num_edges_ = 0;
   bool complete_ = true;
 };

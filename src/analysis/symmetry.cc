@@ -1,0 +1,152 @@
+#include "analysis/symmetry.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace nbcp {
+
+size_t SiteSymmetry::ClassSize(SiteId site) const {
+  size_t count = 0;
+  int cls = classes[site - 1];
+  for (int c : classes) count += (c == cls) ? 1 : 0;
+  return count;
+}
+
+SiteSymmetry ComputeSiteSymmetry(const ProtocolSpec& spec, size_t n) {
+  SiteSymmetry sym;
+  sym.n = n;
+  sym.classes.resize(n);
+  switch (spec.paradigm()) {
+    case Paradigm::kCentralSite:
+      // Coordinator fixed; slaves 2..n interchangeable.
+      sym.classes[0] = 0;
+      for (size_t i = 1; i < n; ++i) sym.classes[i] = 1;
+      sym.permutable = n >= 3;
+      break;
+    case Paradigm::kDecentralized:
+      for (size_t i = 0; i < n; ++i) sym.classes[i] = 0;
+      sym.permutable = n >= 2;
+      break;
+    case Paradigm::kLinear:
+      // next/prev groups address sites by position: no two sites are
+      // interchangeable.
+      for (size_t i = 0; i < n; ++i) sym.classes[i] = static_cast<int>(i);
+      sym.permutable = false;
+      break;
+  }
+  return sym;
+}
+
+SitePermutation IdentityPermutation(size_t n) {
+  SitePermutation perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<SiteId>(i + 1);
+  return perm;
+}
+
+SitePermutation ComposePermutations(const SitePermutation& a,
+                                    const SitePermutation& b) {
+  SitePermutation out(b.size());
+  for (size_t i = 0; i < b.size(); ++i) out[i] = a[b[i] - 1];
+  return out;
+}
+
+SitePermutation InvertPermutation(const SitePermutation& perm) {
+  SitePermutation out(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    out[perm[i] - 1] = static_cast<SiteId>(i + 1);
+  }
+  return out;
+}
+
+SiteId ApplySitePermutation(const SitePermutation& perm, SiteId site) {
+  return site == kNoSite ? kNoSite : perm[site - 1];
+}
+
+GlobalState PermuteGlobalState(const GlobalState& g,
+                               const SitePermutation& perm) {
+  size_t n = g.local.size();
+  GlobalState out;
+  out.local.resize(n);
+  out.votes.resize(n);
+  out.steps.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t j = perm[i] - 1;
+    out.local[j] = g.local[i];
+    out.votes[j] = g.votes[i];
+    out.steps[j] = g.steps[i];
+  }
+  for (const auto& [m, count] : g.messages) {
+    out.messages[MsgInstance{m.type, ApplySitePermutation(perm, m.from),
+                             ApplySitePermutation(perm, m.to)}] += count;
+  }
+  return out;
+}
+
+namespace {
+
+/// Permutation-invariant local signature of one site: its own data plus its
+/// incident messages with counterparts abstracted to their classes. Sites
+/// with equal signatures are (heuristically) interchangeable within their
+/// class; sorting by signature picks the orbit representative.
+std::string SiteSignature(const SiteSymmetry& sym, const GlobalState& g,
+                          const std::vector<bool>* down, size_t i) {
+  std::ostringstream out;
+  if (down != nullptr) out << ((*down)[i] ? 'X' : '.');
+  out << g.local[i] << '|' << static_cast<int>(g.votes[i]) << '|'
+      << g.steps[i] << '|';
+
+  SiteId self = static_cast<SiteId>(i + 1);
+  // (tag, type, counterpart class) -> count. 's' self-loop, 'o' outgoing,
+  // 'i' incoming; counterpart class -1 for the client pseudo-sender.
+  std::map<std::tuple<char, std::string, int>, unsigned> incident;
+  for (const auto& [m, count] : g.messages) {
+    if (m.from == self && m.to == self) {
+      incident[{'s', m.type, 0}] += count;
+    } else if (m.from == self) {
+      incident[{'o', m.type, sym.classes[m.to - 1]}] += count;
+    } else if (m.to == self) {
+      int cls = m.from == kNoSite ? -1 : sym.classes[m.from - 1];
+      incident[{'i', m.type, cls}] += count;
+    }
+  }
+  for (const auto& [key, count] : incident) {
+    out << std::get<0>(key) << std::get<1>(key) << ':' << std::get<2>(key)
+        << 'x' << count << ';';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+SitePermutation CanonicalPermutation(const SiteSymmetry& symmetry,
+                                     const GlobalState& g,
+                                     const std::vector<bool>* down) {
+  size_t n = symmetry.n;
+  SitePermutation perm = IdentityPermutation(n);
+  if (!symmetry.permutable) return perm;
+
+  // Group site indices (0-based) by class, preserving ascending order.
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < n; ++i) by_class[symmetry.classes[i]].push_back(i);
+
+  for (auto& [cls, members] : by_class) {
+    (void)cls;
+    if (members.size() < 2) continue;
+    std::vector<std::pair<std::string, size_t>> keyed;
+    keyed.reserve(members.size());
+    for (size_t i : members) {
+      keyed.emplace_back(SiteSignature(symmetry, g, down, i), i);
+    }
+    std::stable_sort(keyed.begin(), keyed.end());
+    // The member with the smallest signature takes the class's smallest
+    // site id, and so on.
+    for (size_t rank = 0; rank < members.size(); ++rank) {
+      perm[keyed[rank].second] = static_cast<SiteId>(members[rank] + 1);
+    }
+  }
+  return perm;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,80 @@
+#ifndef NBCP_ANALYSIS_SYMMETRY_H_
+#define NBCP_ANALYSIS_SYMMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/global_state.h"
+#include "common/types.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Partition of the site population into interchangeability classes.
+///
+/// Two sites are in the same class when they execute the same role *and*
+/// the protocol's semantics are invariant under swapping them: all message
+/// groups the spec can use resolve to class-invariant site sets. That holds
+/// for the central-site paradigm (coordinator fixed, slaves interchangeable)
+/// and the decentralized paradigm (all peers interchangeable). The linear
+/// paradigm addresses sites by chain position (next/prev), which is not
+/// permutation-invariant, so every linear site is its own class and no
+/// reduction applies.
+struct SiteSymmetry {
+  size_t n = 0;
+  std::vector<int> classes;  ///< classes[i] = class of site i+1.
+
+  /// True when some class has at least two members (reduction possible).
+  bool permutable = false;
+
+  /// Number of sites in the class of `site`.
+  size_t ClassSize(SiteId site) const;
+};
+
+SiteSymmetry ComputeSiteSymmetry(const ProtocolSpec& spec, size_t n);
+
+/// A bijection on sites 1..n: perm[i] = image of site i+1. kNoSite (the
+/// client pseudo-sender) is always mapped to itself.
+using SitePermutation = std::vector<SiteId>;
+
+SitePermutation IdentityPermutation(size_t n);
+
+/// Composition: Apply(Compose(a, b), s) == Apply(a, Apply(b, s)).
+SitePermutation ComposePermutations(const SitePermutation& a,
+                                    const SitePermutation& b);
+
+SitePermutation InvertPermutation(const SitePermutation& perm);
+
+/// Image of `site` (kNoSite maps to itself).
+SiteId ApplySitePermutation(const SitePermutation& perm, SiteId site);
+
+/// Relabels sites of `g` by `perm`: local states, votes and steps move with
+/// their site, and message endpoints are rewritten.
+GlobalState PermuteGlobalState(const GlobalState& g,
+                               const SitePermutation& perm);
+
+/// Chooses the canonical representative of the orbit of `g` under
+/// role-class-preserving site permutations: members of each permutable
+/// class are sorted by a local signature (state, vote, step count, and the
+/// multiset of incident messages abstracted to counterpart classes).
+///
+/// The returned permutation maps `g` onto its representative:
+///   representative == PermuteGlobalState(g, perm).
+///
+/// The signature sort is a heuristic canonicalization: orbit-equivalent
+/// states may occasionally map to different representatives (less
+/// reduction), but the representative is always an actual permutation image
+/// of `g` — reachability and all class-invariant properties are preserved
+/// exactly (see docs/analysis.md for the soundness argument).
+///
+/// `down`, when non-null, is a per-site crash flag (failure-augmented
+/// graphs): it joins the signature so only sites with equal crash status
+/// trade places; the caller permutes the flag vector alongside the state.
+SitePermutation CanonicalPermutation(const SiteSymmetry& symmetry,
+                                     const GlobalState& g,
+                                     const std::vector<bool>* down);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_SYMMETRY_H_

@@ -1,0 +1,283 @@
+#include "analysis/verifier.h"
+
+#include <sstream>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/failure_graph.h"
+#include "analysis/state_graph.h"
+
+namespace nbcp {
+
+int VerificationReport::ExitCode() const {
+  if (!theorem.violations.empty()) return 2;
+  if (lint.HasErrors()) return 3;
+  if (!conclusive()) return 4;
+  return 0;
+}
+
+std::string VerificationReport::Render(const ProtocolSpec& spec) const {
+  std::ostringstream out;
+  out << "protocol: " << protocol << " (" << nbcp::ToString(spec.paradigm())
+      << ", n=" << n << ")\n";
+
+  out << "\n== lint ==\n";
+  if (lint.findings.empty()) {
+    out << "clean\n";
+  } else {
+    out << lint.ToString();
+  }
+
+  out << "\n== state graph ==\n";
+  if (!graph_built) {
+    out << "unavailable: " << graph_error << "\n";
+    return out.str();
+  }
+  out << "nodes: " << graph_nodes << "  edges: " << graph_edges
+      << (graph_reduced ? "  (symmetry-reduced)" : "")
+      << (graph_truncated ? "  TRUNCATED" : "") << "\n";
+  if (unreduced_nodes != 0) {
+    out << "unreduced nodes: " << unreduced_nodes
+        << (unreduced_truncated ? " (truncated)" : "");
+    if (graph_reduced && graph_nodes != 0) {
+      out << "  reduction: "
+          << static_cast<double>(unreduced_nodes) /
+                 static_cast<double>(graph_nodes)
+          << "x";
+    }
+    out << "\n";
+  }
+
+  out << "\n== fundamental nonblocking theorem ==\n" << theorem.ToString();
+
+  out << "\n== resiliency ==\n";
+  out << "satisfying sites: " << resiliency.satisfying_sites.size() << " of "
+      << resiliency.num_sites << " -> nonblocking under up to "
+      << resiliency.max_tolerated_failures() << " failure(s)"
+      << (resiliency.truncated ? " (upper bound: graph truncated)" : "")
+      << "\n";
+
+  if (failure_graph_built) {
+    out << "\n== failure graph ==\n";
+    out << "nodes: " << failure_nodes << "  edges: " << failure_edges
+        << (failure_truncated ? "  TRUNCATED" : "") << "\n";
+    out << "stuck (blocking) nodes: " << stuck_nodes << "\n";
+  }
+
+  if (!witnesses.empty()) {
+    out << "\n== witnesses ==\n";
+    for (const WitnessEntry& entry : witnesses) {
+      out << entry.witness.Describe(spec) << "\n";
+    }
+  }
+
+  out << "\nverdict: ";
+  switch (ExitCode()) {
+    case 0:
+      out << "PASS (nonblocking)\n";
+      break;
+    case 2:
+      out << "FAIL (theorem violations: " << theorem.violations.size()
+          << ")\n";
+      break;
+    case 3:
+      out << "FAIL (lint errors: " << lint.NumErrors() << ")\n";
+      break;
+    default:
+      out << "INCONCLUSIVE (state graph truncated or unavailable)\n";
+      break;
+  }
+  return out.str();
+}
+
+Result<VerificationReport> VerifyProtocol(const ProtocolSpec& spec,
+                                          const std::string& protocol_name,
+                                          VerifyOptions options) {
+  VerificationReport report;
+  report.protocol = protocol_name;
+  report.n = options.n;
+
+  GraphOptions graph_options;
+  graph_options.max_nodes = options.max_nodes;
+  graph_options.symmetry_reduction = options.symmetry_reduction;
+  auto graph = ReachableStateGraph::Build(spec, options.n, graph_options);
+
+  // Lint runs even when the graph could not be built (that is its job);
+  // share the graph when available so it is built once.
+  report.lint =
+      LintProtocol(spec, options.n, graph.ok() ? &*graph : nullptr);
+
+  if (!graph.ok()) {
+    report.graph_built = false;
+    report.graph_error = graph.status().ToString();
+    return report;
+  }
+  report.graph_built = true;
+  report.graph_nodes = graph->num_nodes();
+  report.graph_edges = graph->num_edges();
+  report.graph_reduced = graph->reduced();
+  report.graph_truncated = graph->truncated();
+
+  if (options.compare_unreduced && graph->reduced()) {
+    GraphOptions unreduced_options = graph_options;
+    unreduced_options.symmetry_reduction = false;
+    auto unreduced =
+        ReachableStateGraph::Build(spec, options.n, unreduced_options);
+    if (unreduced.ok()) {
+      report.unreduced_nodes = unreduced->num_nodes();
+      report.unreduced_truncated = unreduced->truncated();
+    }
+  }
+
+  auto analysis = ConcurrencyAnalysis::Compute(*graph);
+  report.theorem = CheckNonblocking(analysis);
+  report.resiliency.num_sites = options.n;
+  report.resiliency.satisfying_sites = report.theorem.satisfying_sites;
+  report.resiliency.truncated = report.theorem.truncated;
+
+  if (options.witnesses) {
+    size_t extracted = 0;
+    for (const Violation& violation : report.theorem.violations) {
+      if (extracted >= options.max_witnesses) break;
+      auto witness = ExtractViolationWitness(*graph, violation);
+      if (!witness.ok()) continue;  // e.g. commit side unreachable for C1
+      WitnessEntry entry;
+      entry.witness = std::move(*witness);
+      entry.trace_jsonl = WitnessTraceJsonl(spec, entry.witness,
+                                            protocol_name);
+      report.witnesses.push_back(std::move(entry));
+      ++extracted;
+    }
+  }
+
+  if (options.with_failure_graph) {
+    FailureGraphOptions failure_options;
+    failure_options.max_nodes = options.failure_max_nodes;
+    failure_options.max_failures = options.max_failures;
+    failure_options.symmetry_reduction = options.symmetry_reduction;
+    failure_options.record_edges = options.witnesses;
+    auto failure_graph =
+        FailureAugmentedGraph::Build(spec, options.n, failure_options);
+    if (failure_graph.ok()) {
+      report.failure_graph_built = true;
+      report.failure_nodes = failure_graph->num_nodes();
+      report.failure_edges = failure_graph->num_edges();
+      report.failure_truncated = failure_graph->truncated();
+      report.stuck_nodes = failure_graph->StuckNodes().size();
+      if (options.witnesses && !report.theorem.violations.empty()) {
+        auto blocking =
+            ExtractBlockingWitness(*failure_graph, report.theorem.violations);
+        if (blocking.ok()) {
+          WitnessEntry entry;
+          entry.witness = std::move(*blocking);
+          entry.trace_jsonl = WitnessTraceJsonl(spec, entry.witness,
+                                                protocol_name);
+          report.witnesses.push_back(std::move(entry));
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+namespace {
+
+Json LintToJson(const LintReport& lint) {
+  Json j = Json::Object();
+  j["errors"] = static_cast<uint64_t>(lint.NumErrors());
+  j["warnings"] = static_cast<uint64_t>(lint.NumWarnings());
+  Json findings = Json::Array();
+  for (const LintFinding& f : lint.findings) {
+    Json item = Json::Object();
+    item["severity"] = ToString(f.severity);
+    item["code"] = f.code;
+    item["role"] = static_cast<int64_t>(f.role);
+    item["message"] = f.message;
+    findings.Append(std::move(item));
+  }
+  j["findings"] = std::move(findings);
+  return j;
+}
+
+Json TheoremToJson(const NonblockingReport& theorem) {
+  Json j = Json::Object();
+  j["nonblocking"] = theorem.nonblocking;
+  j["truncated"] = theorem.truncated;
+  Json violations = Json::Array();
+  for (const Violation& v : theorem.violations) {
+    Json item = Json::Object();
+    item["site"] = static_cast<uint64_t>(v.site);
+    item["state"] = v.state_name;
+    item["condition"] =
+        v.kind == ViolationKind::kAbortAndCommitInConcurrencySet ? "C1" : "C2";
+    item["concurrency_set"] = v.concurrency_set;
+    violations.Append(std::move(item));
+  }
+  j["violations"] = std::move(violations);
+  Json sites = Json::Array();
+  for (SiteId site : theorem.satisfying_sites) {
+    sites.Append(static_cast<uint64_t>(site));
+  }
+  j["satisfying_sites"] = std::move(sites);
+  return j;
+}
+
+}  // namespace
+
+Json VerificationReportToJson(const VerificationReport& report) {
+  Json j = Json::Object();
+  j["protocol"] = report.protocol;
+  j["n"] = static_cast<uint64_t>(report.n);
+  j["exit_code"] = report.ExitCode();
+  j["conclusive"] = report.conclusive();
+
+  j["lint"] = LintToJson(report.lint);
+
+  Json graph = Json::Object();
+  graph["built"] = report.graph_built;
+  if (!report.graph_built) graph["error"] = report.graph_error;
+  graph["nodes"] = static_cast<uint64_t>(report.graph_nodes);
+  graph["edges"] = static_cast<uint64_t>(report.graph_edges);
+  graph["reduced"] = report.graph_reduced;
+  graph["truncated"] = report.graph_truncated;
+  graph["unreduced_nodes"] = static_cast<uint64_t>(report.unreduced_nodes);
+  if (report.unreduced_nodes != 0 && report.graph_nodes != 0) {
+    graph["reduction_factor"] = static_cast<double>(report.unreduced_nodes) /
+                                static_cast<double>(report.graph_nodes);
+  }
+  j["graph"] = std::move(graph);
+
+  j["theorem"] = TheoremToJson(report.theorem);
+
+  Json resiliency = Json::Object();
+  resiliency["satisfying_sites"] =
+      static_cast<uint64_t>(report.resiliency.satisfying_sites.size());
+  resiliency["max_tolerated_failures"] =
+      static_cast<uint64_t>(report.resiliency.max_tolerated_failures());
+  resiliency["truncated"] = report.resiliency.truncated;
+  j["resiliency"] = std::move(resiliency);
+
+  Json failure = Json::Object();
+  failure["built"] = report.failure_graph_built;
+  failure["nodes"] = static_cast<uint64_t>(report.failure_nodes);
+  failure["edges"] = static_cast<uint64_t>(report.failure_edges);
+  failure["truncated"] = report.failure_truncated;
+  failure["stuck_nodes"] = static_cast<uint64_t>(report.stuck_nodes);
+  j["failure_graph"] = std::move(failure);
+
+  Json witnesses = Json::Array();
+  for (const WitnessEntry& entry : report.witnesses) {
+    Json item = Json::Object();
+    item["violation"] = entry.witness.violation;
+    item["site"] = static_cast<uint64_t>(entry.witness.site);
+    item["state"] = entry.witness.state_name;
+    item["steps"] = static_cast<uint64_t>(entry.witness.steps.size());
+    item["has_trace"] = !entry.trace_jsonl.empty();
+    witnesses.Append(std::move(item));
+  }
+  j["witnesses"] = std::move(witnesses);
+
+  return j;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,110 @@
+#ifndef NBCP_ANALYSIS_VERIFIER_H_
+#define NBCP_ANALYSIS_VERIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/nonblocking.h"
+#include "analysis/resiliency.h"
+#include "analysis/witness.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+#include "obs/json.h"
+
+namespace nbcp {
+
+/// Knobs for one VerifyProtocol run.
+struct VerifyOptions {
+  size_t n = 3;               ///< Sites in the analyzed population.
+  size_t max_nodes = 500000;  ///< Reachable-graph node budget.
+  /// Canonicalize global states modulo permutations of same-role sites
+  /// before interning (sound for every verdict the pipeline derives — see
+  /// docs/analysis.md).
+  bool symmetry_reduction = true;
+  /// Also build the unreduced graph and record its node count, so the
+  /// report can state the reduction factor. Costs a second BFS.
+  bool compare_unreduced = false;
+  /// Build the failure-augmented graph and look for blocking scenarios.
+  bool with_failure_graph = true;
+  size_t max_failures = 1;          ///< Crash budget for the failure graph.
+  size_t failure_max_nodes = 500000;
+  /// Extract concrete execution witnesses for violations and blocking.
+  bool witnesses = true;
+  size_t max_witnesses = 4;  ///< Cap on theorem-violation witnesses.
+};
+
+/// One extracted witness plus its replayable trace.
+struct WitnessEntry {
+  Witness witness;
+  /// JSONL in the nbcp-trace format; empty when trace generation was not
+  /// possible (e.g. the spec is not a registered protocol able to replay).
+  std::string trace_jsonl;
+};
+
+/// Everything the static pipeline concluded about one protocol.
+struct VerificationReport {
+  std::string protocol;  ///< Registry name or spec name.
+  size_t n = 0;
+
+  LintReport lint;
+
+  bool graph_built = false;
+  std::string graph_error;  ///< Build failure, when !graph_built.
+  size_t graph_nodes = 0;
+  size_t graph_edges = 0;
+  bool graph_reduced = false;    ///< Symmetry reduction actually engaged.
+  bool graph_truncated = false;
+  /// Node count of the unreduced graph (0 = not computed). With
+  /// compare_unreduced this quantifies the symmetry saving.
+  size_t unreduced_nodes = 0;
+  bool unreduced_truncated = false;
+
+  NonblockingReport theorem;
+  ResiliencyReport resiliency;
+
+  bool failure_graph_built = false;
+  size_t failure_nodes = 0;
+  size_t failure_edges = 0;
+  bool failure_truncated = false;
+  size_t stuck_nodes = 0;  ///< Blocking scenarios found under failures.
+
+  std::vector<WitnessEntry> witnesses;
+
+  /// True when every verdict covers the full reachable set (no truncation
+  /// and the graph was built).
+  bool conclusive() const {
+    return graph_built && !graph_truncated &&
+           (!failure_graph_built || !failure_truncated);
+  }
+
+  /// CI exit code:
+  ///   0  nonblocking, no lint errors, conclusive
+  ///   2  theorem violations (C1/C2) — takes precedence
+  ///   3  lint errors (spec defects) without theorem violations
+  ///   4  inconclusive: graph missing or truncated, nothing provably wrong
+  int ExitCode() const;
+
+  /// Multi-line human-readable rendering (witness step listings included).
+  std::string Render(const ProtocolSpec& spec) const;
+};
+
+/// Runs the full static pipeline on `spec`: lint, (symmetry-reduced)
+/// reachable-graph construction, concurrency-set analysis, the Fundamental
+/// Nonblocking Theorem, resiliency classification, failure-graph blocking
+/// detection, and witness extraction for every violation found.
+/// `protocol_name` labels the report and the witness traces (use the
+/// registry name for replayable traces). Fails only on infrastructure
+/// errors; spec defects are reported, not thrown.
+Result<VerificationReport> VerifyProtocol(const ProtocolSpec& spec,
+                                          const std::string& protocol_name,
+                                          VerifyOptions options = {});
+
+/// Machine-readable report (the nbcp-verify --json document). Witness
+/// traces are not embedded; the CLI writes them next to the report.
+Json VerificationReportToJson(const VerificationReport& report);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_VERIFIER_H_

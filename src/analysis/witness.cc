@@ -1,0 +1,514 @@
+#include "analysis/witness.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "analysis/concurrency_set.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "protocols/protocols.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+
+namespace {
+
+/// Remaps a message instance's endpoints through `perm`.
+MsgInstance PermuteMsg(const SitePermutation& perm, const MsgInstance& m) {
+  return MsgInstance{m.type, ApplySitePermutation(perm, m.from),
+                     ApplySitePermutation(perm, m.to)};
+}
+
+/// The ordered send expansion of `transition` fired by `site`.
+std::vector<MsgInstance> SendExpansion(const ProtocolSpec& spec, size_t n,
+                                       SiteId site, const Transition& t) {
+  std::vector<MsgInstance> out;
+  for (const SendSpec& send : t.sends) {
+    for (SiteId target : spec.ResolveGroup(send.to, site, n)) {
+      out.push_back(MsgInstance{send.msg_type, site, target});
+    }
+  }
+  return out;
+}
+
+/// Erases messages addressed to down sites, returning what was removed
+/// (each instance repeated by its multiplicity).
+std::vector<MsgInstance> DropToDown(GlobalState* g,
+                                    const std::vector<bool>& down) {
+  std::vector<MsgInstance> dropped;
+  for (auto it = g->messages.begin(); it != g->messages.end();) {
+    if (it->first.to != kNoSite && down[it->first.to - 1]) {
+      for (uint16_t c = 0; c < it->second; ++c) dropped.push_back(it->first);
+      it = g->messages.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+/// BFS shortest path (as a forward edge-index sequence) from node 0 to the
+/// first node satisfying `target`, over `edges_of(node)` many edges whose
+/// successor is `to_of(node, k)`. Returns the target node via `found`, or
+/// false when unreachable.
+template <typename NumEdgesFn, typename ToFn>
+bool BfsPath(size_t num_nodes, NumEdgesFn num_edges_of, ToFn to_of,
+             const std::function<bool(size_t)>& target, size_t* found,
+             std::vector<std::pair<size_t, size_t>>* path) {
+  constexpr size_t kUnseen = SIZE_MAX;
+  std::vector<std::pair<size_t, size_t>> parent(num_nodes,
+                                                {kUnseen, kUnseen});
+  std::vector<bool> seen(num_nodes, false);
+  std::deque<size_t> queue;
+  seen[0] = true;
+  queue.push_back(0);
+  size_t hit = kUnseen;
+  if (target(0)) hit = 0;
+  while (hit == kUnseen && !queue.empty()) {
+    size_t node = queue.front();
+    queue.pop_front();
+    size_t degree = num_edges_of(node);
+    for (size_t k = 0; k < degree && hit == kUnseen; ++k) {
+      size_t to = to_of(node, k);
+      if (seen[to]) continue;
+      seen[to] = true;
+      parent[to] = {node, k};
+      if (target(to)) hit = to;
+      queue.push_back(to);
+    }
+  }
+  if (hit == kUnseen) return false;
+  *found = hit;
+  path->clear();
+  for (size_t node = hit; parent[node].first != kUnseen;
+       node = parent[node].first) {
+    path->push_back(parent[node]);
+  }
+  std::reverse(path->begin(), path->end());
+  return true;
+}
+
+}  // namespace
+
+Result<Witness> ExtractViolationWitness(const ReachableStateGraph& graph,
+                                        const Violation& violation) {
+  const ProtocolSpec& spec = graph.spec();
+  size_t n = graph.num_sites();
+  RoleIndex role = spec.RoleForSite(violation.site, n);
+
+  // Target: a site of the violating role occupies the flagged state while
+  // another site occupies a commit state.
+  auto target = [&](size_t idx) {
+    const GlobalState& g = graph.node(idx);
+    for (size_t i = 0; i < n; ++i) {
+      SiteId site = static_cast<SiteId>(i + 1);
+      if (spec.RoleForSite(site, n) != role) continue;
+      if (g.local[i] != violation.state) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (graph.KindOf(static_cast<SiteId>(j + 1), g.local[j]) ==
+            StateKind::kCommit) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  size_t found = 0;
+  std::vector<std::pair<size_t, size_t>> path;
+  if (!BfsPath(
+          graph.num_nodes(), [&](size_t i) { return graph.edges(i).size(); },
+          [&](size_t i, size_t k) { return graph.edges(i)[k].to; }, target,
+          &found, &path)) {
+    return Status::NotFound(
+        "no reachable state realizes the violating co-occupancy");
+  }
+
+  Witness w;
+  w.violation =
+      violation.kind == ViolationKind::kAbortAndCommitInConcurrencySet ? "C1"
+                                                                       : "C2";
+  w.state = violation.state;
+  w.state_name = violation.state_name;
+  w.num_sites = n;
+
+  // Concretize: sigma maps concrete site coordinates onto representative
+  // coordinates (representative == Permute(concrete, sigma)); each edge's
+  // canonicalization permutation composes on the left.
+  SitePermutation sigma = IdentityPermutation(n);
+  GlobalState concrete = graph.node(0);
+  for (const auto& [from, k] : path) {
+    const GraphEdge& e = graph.edges(from)[k];
+    const GlobalState& rep = graph.node(from);
+    bool matched = false;
+    for (const Firing& f : EnumerateFirings(spec, n, rep, e.site)) {
+      if (f.transition != e.transition || f.self_vote != e.self_vote) continue;
+      GlobalState raw = ApplyFiring(spec, n, rep, e.site, f);
+      SitePermutation p = IdentityPermutation(n);
+      if (graph.reduced()) {
+        p = CanonicalPermutation(graph.symmetry(), raw, nullptr);
+        raw = PermuteGlobalState(raw, p);
+      }
+      if (raw.Key() != graph.node(e.to).Key()) continue;
+
+      SitePermutation inv = InvertPermutation(sigma);
+      WitnessStep step;
+      step.kind = WitnessStep::Kind::kFire;
+      step.site = ApplySitePermutation(inv, e.site);
+      step.transition = f.transition;
+      step.self_vote = f.self_vote;
+      for (const MsgInstance& m : f.consumed) {
+        step.consumed.push_back(PermuteMsg(inv, m));
+      }
+      Firing cf{f.transition, step.consumed, f.self_vote};
+      concrete = ApplyFiring(spec, n, concrete, step.site, cf);
+      const Automaton& a = spec.role(spec.RoleForSite(step.site, n));
+      step.sent = SendExpansion(spec, n, step.site,
+                                a.transitions()[f.transition]);
+      step.after = concrete;
+      sigma = ComposePermutations(p, sigma);
+      if (PermuteGlobalState(concrete, sigma).Key() !=
+          graph.node(e.to).Key()) {
+        return Status::Internal("witness concretization diverged");
+      }
+      w.steps.push_back(std::move(step));
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      return Status::Internal("witness edge has no matching firing");
+    }
+  }
+
+  // Locate the concrete violating site in the final state.
+  SitePermutation inv = InvertPermutation(sigma);
+  const GlobalState& final_rep =
+      path.empty() ? graph.node(0) : graph.node(graph.edges(path.back().first)
+                                                    [path.back().second].to);
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    if (spec.RoleForSite(site, n) != role) continue;
+    if (final_rep.local[i] != violation.state) continue;
+    w.site = ApplySitePermutation(inv, site);
+    break;
+  }
+  return w;
+}
+
+Result<Witness> ExtractBlockingWitness(
+    const FailureAugmentedGraph& graph,
+    const std::vector<Violation>& violations) {
+  if (!graph.options().record_edges) {
+    return Status::InvalidArgument(
+        "failure graph built without record_edges; no path extraction");
+  }
+  const ProtocolSpec& spec = graph.spec();
+  size_t n = graph.num_sites();
+
+  std::set<std::pair<RoleIndex, StateIndex>> violating;
+  for (const Violation& v : violations) {
+    violating.insert({spec.RoleForSite(v.site, n), v.state});
+  }
+  if (violating.empty()) {
+    return Status::NotFound("no statically violating states to search for");
+  }
+
+  std::vector<size_t> stuck = graph.StuckNodes();
+  std::set<size_t> stuck_set(stuck.begin(), stuck.end());
+  auto target = [&](size_t idx) {
+    if (stuck_set.count(idx) == 0) return false;
+    const FailureGlobalState& g = graph.node(idx);
+    for (size_t i = 0; i < n; ++i) {
+      if (g.down[i]) continue;
+      SiteId site = static_cast<SiteId>(i + 1);
+      if (violating.count({spec.RoleForSite(site, n), g.base.local[i]}) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t found = 0;
+  std::vector<std::pair<size_t, size_t>> path;
+  if (!BfsPath(
+          graph.num_nodes(), [&](size_t i) { return graph.edges(i).size(); },
+          [&](size_t i, size_t k) { return graph.edges(i)[k].to; }, target,
+          &found, &path)) {
+    return Status::NotFound("no blocking scenario reachable");
+  }
+
+  Witness w;
+  w.violation = "blocking";
+  w.num_sites = n;
+
+  SitePermutation sigma = IdentityPermutation(n);
+  FailureGlobalState concrete = graph.node(0);
+  for (const auto& [from, k] : path) {
+    const FailureEdge& e = graph.edges(from)[k];
+    const FailureGlobalState& rep = graph.node(from);
+    SitePermutation inv = InvertPermutation(sigma);
+    WitnessStep step;
+    step.site = ApplySitePermutation(inv, e.site);
+
+    // Reproduce the edge in representative coordinates to recover its
+    // consumed messages and canonicalization permutation.
+    auto canonicalize = [&](FailureGlobalState raw) {
+      SitePermutation p = IdentityPermutation(n);
+      if (graph.reduced()) {
+        p = CanonicalPermutation(graph.symmetry(), raw.base, &raw.down);
+        FailureGlobalState c;
+        c.base = PermuteGlobalState(raw.base, p);
+        c.down.resize(n);
+        for (size_t i = 0; i < n; ++i) c.down[p[i] - 1] = raw.down[i];
+        raw = std::move(c);
+      }
+      return std::make_pair(std::move(raw), std::move(p));
+    };
+
+    bool matched = false;
+    if (e.kind == FailureEdge::Kind::kCrash) {
+      FailureGlobalState raw = rep;
+      raw.down[e.site - 1] = true;
+      DropToDown(&raw.base, raw.down);
+      auto [canon, p] = canonicalize(std::move(raw));
+      if (canon.Key() != graph.node(e.to).Key()) {
+        return Status::Internal("witness crash edge diverged");
+      }
+      step.kind = WitnessStep::Kind::kCrash;
+      concrete.down[step.site - 1] = true;
+      step.dropped = DropToDown(&concrete.base, concrete.down);
+      step.after = concrete.base;
+      step.down_after = concrete.down;
+      sigma = ComposePermutations(p, sigma);
+      matched = true;
+    } else {
+      bool partial = e.kind == FailureEdge::Kind::kPartialCrash;
+      for (const Firing& f : EnumerateFirings(spec, n, rep.base, e.site)) {
+        if (f.transition != e.transition || f.self_vote != e.self_vote) {
+          continue;
+        }
+        FailureGlobalState raw;
+        raw.base = ApplyFiring(spec, n, rep.base, e.site, f,
+                               partial ? e.send_prefix : SIZE_MAX,
+                               /*advance_state=*/!partial);
+        raw.down = rep.down;
+        if (partial) raw.down[e.site - 1] = true;
+        DropToDown(&raw.base, raw.down);
+        auto [canon, p] = canonicalize(std::move(raw));
+        if (canon.Key() != graph.node(e.to).Key()) continue;
+
+        step.kind = partial ? WitnessStep::Kind::kPartialCrash
+                            : WitnessStep::Kind::kFire;
+        step.transition = f.transition;
+        step.self_vote = f.self_vote;
+        step.send_prefix = e.send_prefix;
+        for (const MsgInstance& m : f.consumed) {
+          step.consumed.push_back(PermuteMsg(inv, m));
+        }
+        // The representative's send prefix maps to a concrete message
+        // subset (not necessarily a prefix of the concrete target order);
+        // apply it explicitly.
+        const Automaton& a = spec.role(spec.RoleForSite(e.site, n));
+        std::vector<MsgInstance> rep_sends =
+            SendExpansion(spec, n, e.site, a.transitions()[f.transition]);
+        if (partial) rep_sends.resize(e.send_prefix);
+        for (const MsgInstance& m : rep_sends) {
+          step.sent.push_back(PermuteMsg(inv, m));
+        }
+        Firing cf{f.transition, step.consumed, f.self_vote};
+        concrete.base =
+            ApplyFiring(spec, n, concrete.base, step.site, cf,
+                        /*send_limit=*/0, /*advance_state=*/!partial);
+        for (const MsgInstance& m : step.sent) {
+          ++concrete.base.messages[m];
+        }
+        if (partial) concrete.down[step.site - 1] = true;
+        step.dropped = DropToDown(&concrete.base, concrete.down);
+        // Messages the sender addressed to already-down sites never entered
+        // the network: move them from `sent` to implicit drops.
+        step.after = concrete.base;
+        step.down_after = concrete.down;
+        sigma = ComposePermutations(p, sigma);
+        matched = true;
+        break;
+      }
+      if (matched) {
+        FailureGlobalState check;
+        check.base = PermuteGlobalState(concrete.base, sigma);
+        check.down.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          check.down[sigma[i] - 1] = concrete.down[i];
+        }
+        if (check.Key() != graph.node(e.to).Key()) {
+          return Status::Internal("witness concretization diverged");
+        }
+      }
+    }
+    if (!matched) {
+      return Status::Internal("witness edge has no matching firing");
+    }
+    w.steps.push_back(std::move(step));
+  }
+
+  // The flagged survivor in the final state, in concrete coordinates.
+  SitePermutation inv = InvertPermutation(sigma);
+  const FailureGlobalState& final_rep = graph.node(found);
+  for (size_t i = 0; i < n; ++i) {
+    if (final_rep.down[i]) continue;
+    SiteId site = static_cast<SiteId>(i + 1);
+    RoleIndex role = spec.RoleForSite(site, n);
+    if (violating.count({role, final_rep.base.local[i]}) != 0) {
+      w.site = ApplySitePermutation(inv, site);
+      w.state = final_rep.base.local[i];
+      w.state_name = spec.role(role).state(w.state).name;
+      break;
+    }
+  }
+  return w;
+}
+
+std::string Witness::Describe(const ProtocolSpec& spec) const {
+  std::ostringstream out;
+  out << violation << " witness (" << steps.size() << " step(s)): site "
+      << site << " in '" << state_name << "'\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const WitnessStep& s = steps[i];
+    out << "  " << (i + 1) << ". site " << s.site << ' ';
+    if (s.kind == WitnessStep::Kind::kCrash) {
+      out << "crashes";
+    } else {
+      const Automaton& a =
+          spec.role(spec.RoleForSite(s.site, num_sites));
+      const Transition& t = a.transitions()[s.transition];
+      out << (s.kind == WitnessStep::Kind::kPartialCrash
+                  ? "crashes mid-transition "
+                  : "fires ")
+          << a.state(t.from).name << "->" << a.state(t.to).name;
+      if (!s.consumed.empty()) {
+        out << " consuming";
+        for (const MsgInstance& m : s.consumed) {
+          out << ' ' << m.type << '<' << '-'
+              << (m.from == kNoSite ? std::string("client")
+                                    : std::to_string(m.from));
+        }
+      }
+      if (s.self_vote) out << " (spontaneous no-vote)";
+      if (!s.sent.empty()) {
+        out << " sending";
+        for (const MsgInstance& m : s.sent) {
+          out << ' ' << m.type << "->" << m.to;
+        }
+      }
+    }
+    if (!s.dropped.empty()) {
+      out << " dropping " << s.dropped.size() << " in-flight message(s)";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string WitnessTraceJsonl(const ProtocolSpec& spec, const Witness& witness,
+                              const std::string& protocol_name) {
+  size_t n = witness.num_sites;
+  TraceRecorder recorder;
+
+  // Wire a recorder + observer pair exactly like the runtime: the observer
+  // taps every recorded event and writes its global-state timeline (and any
+  // violations) back into the recorder, so the exported trace is
+  // indistinguishable in shape from a live run and `nbcp-trace replay`
+  // recomputes a byte-identical timeline.
+  size_t analysis_n = std::min<size_t>(n, 3);
+  auto analysis_graph = ReachableStateGraph::Build(spec, analysis_n);
+  std::optional<ConcurrencyAnalysis> analysis;
+  std::optional<GlobalStateObserver> observer;
+  if (analysis_graph.ok()) {
+    analysis = ConcurrencyAnalysis::Compute(*analysis_graph);
+    ObserverConfig config;
+    config.policy = ObserverPolicy::kCount;
+    observer.emplace(&spec, n, &*analysis,
+                     MakeAnalysisSiteMap(spec.paradigm(), n, analysis_n),
+                     config);
+    observer->set_trace(&recorder);
+    recorder.set_sink([&](const TraceEvent& e) { observer->OnEvent(e); });
+  }
+
+  SimTime t = 0;
+  const TransactionId txn = 1;
+  uint64_t next_seq = 1;
+  // FIFO of outstanding sequence numbers per in-flight message instance.
+  std::map<std::tuple<std::string, SiteId, SiteId>, std::deque<uint64_t>>
+      pending;
+
+  GlobalState previous = MakeInitialGlobalState(spec, n);
+  for (const WitnessStep& s : witness.steps) {
+    // Deliveries (or the client request) that trigger the firing.
+    for (const MsgInstance& m : s.consumed) {
+      if (m.from == kNoSite && m.type == msg::kRequest) {
+        recorder.Record(t++, s.site, txn, TraceEventType::kProtocolStart);
+        continue;
+      }
+      auto& fifo = pending[{m.type, m.from, m.to}];
+      uint64_t seq = fifo.empty() ? 0 : fifo.front();
+      if (!fifo.empty()) fifo.pop_front();
+      recorder.Record(t++, s.site, txn, TraceEventType::kMessageDelivered,
+                      m.type + "<-" + std::to_string(m.from), seq);
+    }
+
+    if (s.kind != WitnessStep::Kind::kCrash) {
+      // Vote, if this firing cast one.
+      size_t i = s.site - 1;
+      if (s.after.votes[i] != previous.votes[i]) {
+        recorder.Record(t++, s.site, txn, TraceEventType::kVoteCast,
+                        s.after.votes[i] == Vote::kYes ? "yes" : "no");
+      }
+      for (const MsgInstance& m : s.sent) {
+        uint64_t seq = next_seq++;
+        pending[{m.type, m.from, m.to}].push_back(seq);
+        recorder.Record(t++, s.site, txn, TraceEventType::kMessageSent,
+                        m.type + "->" + std::to_string(m.to), seq);
+      }
+      if (s.kind == WitnessStep::Kind::kFire) {
+        const Automaton& a = spec.role(spec.RoleForSite(s.site, n));
+        const LocalState& state = a.state(s.after.local[i]);
+        recorder.Record(t++, s.site, txn, TraceEventType::kStateChange,
+                        state.name);
+        if (state.kind == StateKind::kCommit) {
+          recorder.Record(t++, s.site, txn, TraceEventType::kDecision,
+                          ToString(Outcome::kCommitted));
+        } else if (state.kind == StateKind::kAbort) {
+          recorder.Record(t++, s.site, txn, TraceEventType::kDecision,
+                          ToString(Outcome::kAborted));
+        }
+      }
+    }
+
+    if (s.kind != WitnessStep::Kind::kFire) {
+      recorder.Record(t++, s.site, txn, TraceEventType::kCrash);
+    }
+    for (const MsgInstance& m : s.dropped) {
+      auto& fifo = pending[{m.type, m.from, m.to}];
+      uint64_t seq = fifo.empty() ? 0 : fifo.front();
+      if (!fifo.empty()) fifo.pop_front();
+      recorder.Record(t++, m.to, txn, TraceEventType::kMessageDropped,
+                      m.type + "<-" + std::to_string(m.from), seq);
+    }
+    previous = s.after;
+  }
+
+  TraceMeta meta;
+  meta.protocol = protocol_name;
+  meta.num_sites = n;
+  meta.dropped = 0;
+  return ExportTraceJsonLines(recorder, /*spans=*/nullptr, meta);
+}
+
+}  // namespace nbcp

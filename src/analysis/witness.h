@@ -1,0 +1,86 @@
+#ifndef NBCP_ANALYSIS_WITNESS_H_
+#define NBCP_ANALYSIS_WITNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/failure_graph.h"
+#include "analysis/nonblocking.h"
+#include "analysis/state_graph.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// One concrete event of a witness execution. Sites, messages and states
+/// are in *concrete* coordinates: when the source graph was built with
+/// symmetry reduction, the extractor composes the per-edge canonicalization
+/// permutations back out, so the step sequence is a real execution of the
+/// n-site protocol (replayable against the runtime observer).
+struct WitnessStep {
+  enum class Kind : uint8_t {
+    kFire = 0,          ///< Atomic transition firing.
+    kCrash = 1,         ///< Clean site crash.
+    kPartialCrash = 2,  ///< Crash mid-transition after a prefix of sends.
+  };
+  Kind kind = Kind::kFire;
+  SiteId site = kNoSite;   ///< Site that fired or crashed.
+  size_t transition = 0;   ///< Transition index (kFire/kPartialCrash).
+  bool self_vote = false;  ///< Spontaneous own-"no" firing mode.
+  size_t send_prefix = 0;  ///< Messages that escaped (kPartialCrash).
+  std::vector<MsgInstance> consumed;  ///< Messages consumed by the firing.
+  std::vector<MsgInstance> sent;      ///< Messages emitted.
+  std::vector<MsgInstance> dropped;   ///< In-flight messages lost to a crash.
+  GlobalState after;                  ///< Concrete global state after.
+  std::vector<bool> down_after;       ///< Crash flags after (failure paths).
+};
+
+/// A shortest concrete execution from the initial global state to a state
+/// exhibiting a static finding.
+struct Witness {
+  /// "C1", "C2" (theorem violations: the commit-side co-occupancy) or
+  /// "blocking" (failure graph: survivors stuck in a violating state).
+  std::string violation;
+  SiteId site = kNoSite;      ///< Concrete site occupying the flagged state.
+  StateIndex state = kNoState;
+  std::string state_name;
+  size_t num_sites = 0;
+  std::vector<WitnessStep> steps;
+
+  /// One line per step, for human-readable reports.
+  std::string Describe(const ProtocolSpec& spec) const;
+};
+
+/// Extracts a shortest execution witnessing `violation` from the reachable
+/// state graph: a path from the initial state to a global state where a
+/// site of the violating role occupies the flagged state while another site
+/// occupies a commit state. For C1 violations this documents the commit
+/// side of the mixed concurrency set (the abort side is the protocol's
+/// normal abort path); for C2 it is exactly the dangerous co-occupancy.
+/// Works on reduced and unreduced graphs alike.
+Result<Witness> ExtractViolationWitness(const ReachableStateGraph& graph,
+                                        const Violation& violation);
+
+/// Extracts a shortest execution witnessing a blocking scenario from a
+/// failure-augmented graph built with `record_edges`: a path to a stuck
+/// node (no operational site can fire; some operational site is not in a
+/// final state) where an operational site occupies one of the statically
+/// violating (role, state) pairs in `violations`. Returns NotFound when no
+/// stuck node matches.
+Result<Witness> ExtractBlockingWitness(const FailureAugmentedGraph& graph,
+                                       const std::vector<Violation>& violations);
+
+/// Serializes the witness as a JSONL trace (the nbcp-trace format): the
+/// step sequence is run through a TraceRecorder + GlobalStateObserver pair
+/// wired exactly like the runtime, so the exported trace carries the same
+/// event shapes — protocol-start/deliver, vote, send, state-change,
+/// decision, crash, drop — interleaved with the observer's global-state
+/// timeline, and `nbcp-trace replay`/`check` accepts it. `protocol_name`
+/// must be the registry name of the spec for replay to resolve it.
+std::string WitnessTraceJsonl(const ProtocolSpec& spec, const Witness& witness,
+                              const std::string& protocol_name);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_WITNESS_H_

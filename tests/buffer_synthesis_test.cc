@@ -1,7 +1,10 @@
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "analysis/buffer_synthesis.h"
 #include "analysis/nonblocking.h"
+#include "fsa/spec_parser.h"
 #include "protocols/protocols.h"
 
 namespace nbcp {
@@ -60,6 +63,75 @@ TEST(BufferSynthesisTest, OnePcSynthesisIsNonblocking) {
 TEST(BufferSynthesisTest, RefusesProtocolsAlreadyUsingPrepare) {
   auto result = SynthesizeNonblocking(MakeThreePhaseCentral(), 3);
   EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(BufferSynthesisTest, RefusesNonSynchronousInput) {
+  // The design method requires a synchronous-within-one input (the paper's
+  // Lemma about where buffer states can be inserted). A coordinator that
+  // advances two transitions on single yes messages runs two steps ahead.
+  auto spec = ParseProtocolSpec(
+      "protocol async-2pc central\n"
+      "role coordinator\n"
+      "  state q initial\n"
+      "  state w1 wait\n"
+      "  state w2 wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: request / send xact to slaves -> w1\n"
+      "  on w1: any yes from slaves / nothing -> w2\n"
+      "  on w2: any yes from slaves / send commit to slaves -> c votes-yes\n"
+      "  on w1: any no from slaves or-self-no / send abort to slaves -> a "
+      "votes-no\n"
+      "  on w2: any no from slaves or-self-no / send abort to slaves -> a "
+      "votes-no\n"
+      "role slave\n"
+      "  state q initial\n"
+      "  state w wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: one xact from coordinator / send yes to coordinator -> w "
+      "votes-yes\n"
+      "  on q: one xact from coordinator / send no to coordinator -> a "
+      "votes-no\n"
+      "  on w: one commit from coordinator / nothing -> c\n"
+      "  on w: one abort from coordinator / nothing -> a\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto result = SynthesizeNonblocking(*spec, 3);
+  ASSERT_TRUE(result.status().IsFailedPrecondition())
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("synchronous"), std::string::npos)
+      << result.status().ToString();
+}
+
+/// Serializes 2PC, renames one token, and reparses — a structurally valid
+/// protocol that happens to use a name the synthesis pass reserves.
+ProtocolSpec TwoPcRenamed(const std::string& from, const std::string& to) {
+  std::string text = SerializeProtocolSpec(MakeTwoPhaseCentral());
+  size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  auto spec = ParseProtocolSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return *spec;
+}
+
+TEST(BufferSynthesisTest, RefusesReservedPrepareMessageName) {
+  ProtocolSpec spec = TwoPcRenamed("xact", "prepare");
+  auto result = SynthesizeNonblocking(spec, 3);
+  ASSERT_TRUE(result.status().IsFailedPrecondition())
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("prepare"), std::string::npos);
+}
+
+TEST(BufferSynthesisTest, RefusesReservedAckMessageName) {
+  // " yes " (space-delimited) renames only the message type, not the
+  // "votes-yes" vote annotation.
+  ProtocolSpec spec = TwoPcRenamed(" yes ", " ack ");
+  auto result = SynthesizeNonblocking(spec, 3);
+  ASSERT_TRUE(result.status().IsFailedPrecondition())
+      << result.status().ToString();
 }
 
 TEST(BufferSynthesisTest, PreservesVoteSemantics) {

@@ -1,0 +1,325 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.h"
+#include "analysis/state_graph.h"
+#include "fsa/spec_parser.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+ProtocolSpec Parse(const std::string& text) {
+  auto spec = ParseProtocolSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return *spec;
+}
+
+const char* kTwoPcSlave =
+    "role slave\n"
+    "  state q initial\n"
+    "  state w wait\n"
+    "  state c commit\n"
+    "  state a abort\n"
+    "  on q: one xact from coordinator / send yes to coordinator -> w "
+    "votes-yes\n"
+    "  on q: one xact from coordinator / send no to coordinator -> a "
+    "votes-no\n"
+    "  on w: one commit from coordinator / nothing -> c\n"
+    "  on w: one abort from coordinator / nothing -> a\n";
+
+TEST(LintTest, BundledProtocolsAreClean) {
+  for (const std::string& name :
+       {"1PC-central", "2PC-central", "2PC-decentralized", "3PC-central",
+        "3PC-decentralized", "L2PC-linear"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    LintReport report = LintProtocol(*spec, 3);
+    EXPECT_EQ(report.NumErrors(), 0u) << name << "\n" << report.ToString();
+    EXPECT_EQ(report.NumWarnings(), 0u) << name << "\n" << report.ToString();
+  }
+}
+
+TEST(LintTest, QuorumAbortBufferIsStaticallyUnreachable) {
+  // Q3PC's abort-buffer states are entered only by the termination
+  // protocol, which the failure-free automaton cannot express — lint
+  // correctly reports them unreachable.
+  auto spec = MakeProtocol("Q3PC-central");
+  ASSERT_TRUE(spec.ok());
+  LintReport report = LintProtocol(*spec, 3);
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_TRUE(report.Has("unreachable-state")) << report.ToString();
+}
+
+TEST(LintTest, SilentAcceptDeadlocks) {
+  // A slave branch that accepts without replying starves the coordinator's
+  // all-yes trigger; without a spontaneous abort the protocol deadlocks.
+  ProtocolSpec spec = Parse(
+      "protocol silent-accept central\n"
+      "role coordinator\n"
+      "  state q initial\n"
+      "  state w wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: request / send xact to slaves -> w\n"
+      "  on w: all yes from slaves / send commit to slaves -> c votes-yes\n"
+      "  on w: any no from slaves / send abort to slaves -> a votes-no\n"
+      "role slave\n"
+      "  state q initial\n"
+      "  state w wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: one xact from coordinator / send yes to coordinator -> w "
+      "votes-yes\n"
+      "  on q: one xact from coordinator / nothing -> w votes-yes\n"
+      "  on q: one xact from coordinator / send no to coordinator -> a "
+      "votes-no\n"
+      "  on w: one commit from coordinator / nothing -> c\n"
+      "  on w: one abort from coordinator / nothing -> a\n");
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_TRUE(report.Has("deadlock")) << report.ToString();
+  EXPECT_TRUE(report.HasErrors());
+}
+
+TEST(LintTest, StateNeverOccupiedAndTransitionNeverFires) {
+  // Slave state x needs a second xact that is never sent: structurally
+  // reachable, dynamically never occupied.
+  ProtocolSpec spec = Parse(
+      "protocol double-xact central\n"
+      "role coordinator\n"
+      "  state q initial\n"
+      "  state w wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: request / send xact to slaves -> w\n"
+      "  on w: all yes from slaves / send commit to slaves -> c votes-yes\n"
+      "  on w: any no from slaves or-self-no / send abort to slaves -> a "
+      "votes-no\n"
+      "role slave\n"
+      "  state q initial\n"
+      "  state w wait\n"
+      "  state x wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: one xact from coordinator / send yes to coordinator -> w "
+      "votes-yes\n"
+      "  on q: one xact from coordinator / send no to coordinator -> a "
+      "votes-no\n"
+      "  on w: one xact from coordinator / nothing -> x\n"
+      "  on w: one commit from coordinator / nothing -> c\n"
+      "  on w: one abort from coordinator / nothing -> a\n"
+      "  on x: one commit from coordinator / nothing -> c\n"
+      "  on x: one abort from coordinator / nothing -> a\n");
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_EQ(report.NumErrors(), 0u) << report.ToString();
+  EXPECT_TRUE(report.Has("state-never-occupied")) << report.ToString();
+  EXPECT_TRUE(report.Has("transition-never-fires")) << report.ToString();
+}
+
+TEST(LintTest, NotSynchronousWarns) {
+  // The coordinator advances two transitions on single yes messages,
+  // running two steps ahead of a slave still in its initial state.
+  ProtocolSpec spec = Parse(
+      "protocol async-2pc central\n"
+      "role coordinator\n"
+      "  state q initial\n"
+      "  state w1 wait\n"
+      "  state w2 wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: request / send xact to slaves -> w1\n"
+      "  on w1: any yes from slaves / nothing -> w2\n"
+      "  on w2: any yes from slaves / send commit to slaves -> c votes-yes\n"
+      "  on w1: any no from slaves or-self-no / send abort to slaves -> a "
+      "votes-no\n"
+      "  on w2: any no from slaves or-self-no / send abort to slaves -> a "
+      "votes-no\n" +
+      std::string(kTwoPcSlave));
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_EQ(report.NumErrors(), 0u) << report.ToString();
+  EXPECT_TRUE(report.Has("not-synchronous")) << report.ToString();
+}
+
+TEST(LintTest, DeadMessageWarns) {
+  ProtocolSpec spec = Parse(
+      "protocol chatty-2pc central\n"
+      "role coordinator\n"
+      "  state q initial\n"
+      "  state w wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: request / send xact to slaves send fyi to slaves -> w\n"
+      "  on w: all yes from slaves / send commit to slaves -> c votes-yes\n"
+      "  on w: any no from slaves or-self-no / send abort to slaves -> a "
+      "votes-no\n" +
+      std::string(kTwoPcSlave));
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_TRUE(report.Has("dead-message")) << report.ToString();
+}
+
+TEST(LintTest, UnsentMessageTriggerIsError) {
+  ProtocolSpec spec = Parse(
+      "protocol ghost-trigger central\n"
+      "role coordinator\n"
+      "  state q initial\n"
+      "  state w wait\n"
+      "  state c commit\n"
+      "  state a abort\n"
+      "  on q: request / send xact to slaves -> w\n"
+      "  on w: all yes from slaves / send commit to slaves -> c votes-yes\n"
+      "  on w: any no from slaves or-self-no / send abort to slaves -> a "
+      "votes-no\n"
+      "  on w: one go from slaves / nothing -> c\n" +
+      std::string(kTwoPcSlave));
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_TRUE(report.Has("unsent-message-trigger")) << report.ToString();
+  EXPECT_TRUE(report.HasErrors());
+}
+
+TEST(LintTest, MissingFinalStatesAreErrors) {
+  ProtocolSpec spec("no-finals", Paradigm::kDecentralized);
+  Automaton peer;
+  StateIndex q = peer.AddState("q", StateKind::kInitial);
+  StateIndex w = peer.AddState("w", StateKind::kWait);
+  Transition t;
+  t.from = q;
+  t.to = w;
+  t.trigger = Trigger{TriggerKind::kClientRequest, "", Group::kNone, false};
+  t.sends.push_back(SendSpec{"yes", Group::kAllPeers});
+  peer.AddTransition(t);
+  spec.AddRole("peer", std::move(peer));
+
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_TRUE(report.Has("no-commit-state")) << report.ToString();
+  EXPECT_TRUE(report.Has("no-abort-state")) << report.ToString();
+}
+
+TEST(LintTest, CyclicDiagramIsError) {
+  ProtocolSpec spec("loopy", Paradigm::kDecentralized);
+  Automaton peer;
+  StateIndex q = peer.AddState("q", StateKind::kInitial);
+  StateIndex w = peer.AddState("w", StateKind::kWait);
+  StateIndex c = peer.AddState("c", StateKind::kCommit);
+  StateIndex a = peer.AddState("a", StateKind::kAbort);
+  Transition req;
+  req.from = q;
+  req.to = w;
+  req.trigger = Trigger{TriggerKind::kClientRequest, "", Group::kNone, false};
+  req.sends.push_back(SendSpec{"yes", Group::kAllPeers});
+  peer.AddTransition(req);
+  Transition back;
+  back.from = w;
+  back.to = q;  // Cycle.
+  back.trigger =
+      Trigger{TriggerKind::kAnyFrom, "yes", Group::kAllPeers, false};
+  peer.AddTransition(back);
+  Transition commit;
+  commit.from = w;
+  commit.to = c;
+  commit.trigger =
+      Trigger{TriggerKind::kAllFrom, "yes", Group::kAllPeers, false};
+  commit.votes_yes = true;
+  peer.AddTransition(commit);
+  Transition abort;
+  abort.from = w;
+  abort.to = a;
+  abort.trigger =
+      Trigger{TriggerKind::kAnyFrom, "no", Group::kAllPeers, true};
+  abort.votes_no = true;
+  abort.sends.push_back(SendSpec{"no", Group::kAllPeers});
+  peer.AddTransition(abort);
+  spec.AddRole("peer", std::move(peer));
+
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_TRUE(report.Has("cyclic")) << report.ToString();
+}
+
+TEST(LintTest, FinalStateOutgoingIsError) {
+  ProtocolSpec spec("zombie", Paradigm::kDecentralized);
+  Automaton peer;
+  StateIndex q = peer.AddState("q", StateKind::kInitial);
+  StateIndex c = peer.AddState("c", StateKind::kCommit);
+  StateIndex a = peer.AddState("a", StateKind::kAbort);
+  Transition req;
+  req.from = q;
+  req.to = c;
+  req.trigger = Trigger{TriggerKind::kClientRequest, "", Group::kNone, false};
+  req.sends.push_back(SendSpec{"yes", Group::kAllPeers});
+  req.votes_yes = true;
+  peer.AddTransition(req);
+  Transition undead;
+  undead.from = c;  // Out of a final state.
+  undead.to = a;
+  undead.trigger =
+      Trigger{TriggerKind::kAnyFrom, "yes", Group::kAllPeers, false};
+  peer.AddTransition(undead);
+  spec.AddRole("peer", std::move(peer));
+
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_TRUE(report.Has("final-state-outgoing")) << report.ToString();
+}
+
+TEST(LintTest, GroupParadigmMismatchIsError) {
+  // A decentralized peer addressing "slaves" — a central-paradigm notion.
+  ProtocolSpec spec("confused", Paradigm::kDecentralized);
+  Automaton peer;
+  StateIndex q = peer.AddState("q", StateKind::kInitial);
+  StateIndex c = peer.AddState("c", StateKind::kCommit);
+  StateIndex a = peer.AddState("a", StateKind::kAbort);
+  Transition req;
+  req.from = q;
+  req.to = c;
+  req.trigger = Trigger{TriggerKind::kClientRequest, "", Group::kNone, false};
+  req.sends.push_back(SendSpec{"yes", Group::kSlaves});
+  req.votes_yes = true;
+  peer.AddTransition(req);
+  Transition abort;
+  abort.from = q;
+  abort.to = a;
+  abort.trigger =
+      Trigger{TriggerKind::kAnyFrom, "yes", Group::kAllPeers, true};
+  abort.votes_no = true;
+  peer.AddTransition(abort);
+  spec.AddRole("peer", std::move(peer));
+
+  LintReport report = LintProtocol(spec, 3);
+  EXPECT_TRUE(report.Has("group-paradigm-mismatch")) << report.ToString();
+}
+
+TEST(LintTest, TruncatedGraphWarns) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  GraphOptions options;
+  options.max_nodes = 4;
+  auto graph = ReachableStateGraph::Build(*spec, 3, options);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->truncated());
+  LintReport report = LintProtocol(*spec, 3, &*graph);
+  EXPECT_TRUE(report.Has("graph-truncated")) << report.ToString();
+}
+
+TEST(LintTest, ReducedGraphGivesSameAnswers) {
+  // Every graph-based lint check is class-invariant: a symmetry-reduced
+  // graph must produce the identical finding set.
+  for (const std::string& name : BuiltinProtocolNames()) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok());
+    GraphOptions reduced_options;
+    reduced_options.symmetry_reduction = true;
+    auto reduced = ReachableStateGraph::Build(*spec, 4, reduced_options);
+    auto unreduced = ReachableStateGraph::Build(*spec, 4);
+    ASSERT_TRUE(reduced.ok());
+    ASSERT_TRUE(unreduced.ok());
+    LintReport with = LintProtocol(*spec, 4, &*reduced);
+    LintReport without = LintProtocol(*spec, 4, &*unreduced);
+    EXPECT_EQ(with.NumErrors(), without.NumErrors()) << name;
+    EXPECT_EQ(with.NumWarnings(), without.NumWarnings()) << name;
+    for (const LintFinding& f : without.findings) {
+      EXPECT_TRUE(with.Has(f.code)) << name << ": " << f.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,204 @@
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/nonblocking.h"
+#include "analysis/state_graph.h"
+#include "analysis/symmetry.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+GraphOptions Reduced() {
+  GraphOptions options;
+  options.symmetry_reduction = true;
+  return options;
+}
+
+TEST(SiteSymmetryTest, CentralParadigmClasses) {
+  SiteSymmetry sym = ComputeSiteSymmetry(MakeTwoPhaseCentral(), 4);
+  ASSERT_EQ(sym.classes.size(), 4u);
+  // Coordinator (site 1) alone; slaves 2..4 interchangeable.
+  EXPECT_NE(sym.classes[0], sym.classes[1]);
+  EXPECT_EQ(sym.classes[1], sym.classes[2]);
+  EXPECT_EQ(sym.classes[1], sym.classes[3]);
+  EXPECT_TRUE(sym.permutable);
+  EXPECT_EQ(sym.ClassSize(1), 1u);
+  EXPECT_EQ(sym.ClassSize(2), 3u);
+}
+
+TEST(SiteSymmetryTest, DecentralizedParadigmOneClass) {
+  SiteSymmetry sym = ComputeSiteSymmetry(MakeTwoPhaseDecentralized(), 3);
+  EXPECT_EQ(sym.classes[0], sym.classes[1]);
+  EXPECT_EQ(sym.classes[0], sym.classes[2]);
+  EXPECT_TRUE(sym.permutable);
+}
+
+TEST(SiteSymmetryTest, LinearParadigmNotPermutable) {
+  // next/prev addressing pins every site to its chain position.
+  SiteSymmetry sym = ComputeSiteSymmetry(MakeLinearTwoPhase(), 4);
+  EXPECT_FALSE(sym.permutable);
+  std::set<int> distinct(sym.classes.begin(), sym.classes.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(SiteSymmetryTest, PermutationAlgebra) {
+  SitePermutation a = {2, 3, 1};  // 1->2, 2->3, 3->1
+  SitePermutation b = {1, 3, 2};
+  SitePermutation ab = ComposePermutations(a, b);
+  for (SiteId s = 1; s <= 3; ++s) {
+    EXPECT_EQ(ApplySitePermutation(ab, s),
+              ApplySitePermutation(a, ApplySitePermutation(b, s)));
+  }
+  SitePermutation inv = InvertPermutation(a);
+  EXPECT_EQ(ComposePermutations(inv, a), IdentityPermutation(3));
+  EXPECT_EQ(ComposePermutations(a, inv), IdentityPermutation(3));
+  EXPECT_EQ(ApplySitePermutation(a, kNoSite), kNoSite);
+}
+
+TEST(SiteSymmetryTest, PermuteGlobalStateRoundTrips) {
+  auto graph = ReachableStateGraph::Build(MakeTwoPhaseDecentralized(), 3);
+  ASSERT_TRUE(graph.ok());
+  SitePermutation perm = {3, 1, 2};
+  SitePermutation inv = InvertPermutation(perm);
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    const GlobalState& g = graph->node(i);
+    GlobalState back = PermuteGlobalState(PermuteGlobalState(g, perm), inv);
+    EXPECT_EQ(back.Key(), g.Key());
+  }
+}
+
+TEST(SiteSymmetryTest, InternedNodesAreCanonicalFixedPoints) {
+  // Every node a reduced graph stores is its own orbit representative:
+  // canonicalizing it again must be the identity.
+  auto graph =
+      ReachableStateGraph::Build(MakeTwoPhaseDecentralized(), 4, Reduced());
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->reduced());
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    SitePermutation perm =
+        CanonicalPermutation(graph->symmetry(), graph->node(i), nullptr);
+    EXPECT_EQ(perm, IdentityPermutation(4)) << "node " << i;
+  }
+}
+
+TEST(SiteSymmetryTest, RepresentativeIsOrbitMember) {
+  // The canonicalization heuristic must never invent states: the chosen
+  // representative is a genuine permutation image of the input.
+  auto unreduced = ReachableStateGraph::Build(MakeTwoPhaseCentral(), 4);
+  ASSERT_TRUE(unreduced.ok());
+  SiteSymmetry sym = ComputeSiteSymmetry(unreduced->spec(), 4);
+  for (size_t i = 0; i < unreduced->num_nodes(); ++i) {
+    const GlobalState& g = unreduced->node(i);
+    SitePermutation perm = CanonicalPermutation(sym, g, nullptr);
+    GlobalState rep = PermuteGlobalState(g, perm);
+    // Same multiset of local states, same number of distinct in-flight
+    // message instances (a bijective relabeling keeps keys distinct).
+    std::multiset<int> before(g.local.begin(), g.local.end());
+    std::multiset<int> after(rep.local.begin(), rep.local.end());
+    EXPECT_EQ(before, after);
+    EXPECT_EQ(g.messages.size(), rep.messages.size());
+  }
+}
+
+TEST(SiteSymmetryTest, ReductionNeverAddsNodes) {
+  for (const std::string& name : BuiltinProtocolNames()) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok());
+    for (size_t n = 2; n <= 4; ++n) {
+      auto reduced = ReachableStateGraph::Build(*spec, n, Reduced());
+      auto unreduced = ReachableStateGraph::Build(*spec, n);
+      ASSERT_TRUE(reduced.ok());
+      ASSERT_TRUE(unreduced.ok());
+      EXPECT_LE(reduced->num_nodes(), unreduced->num_nodes())
+          << name << " n=" << n;
+    }
+  }
+}
+
+TEST(SiteSymmetryTest, LinearGraphUnchangedByReductionFlag) {
+  auto reduced = ReachableStateGraph::Build(MakeLinearTwoPhase(), 4, Reduced());
+  auto unreduced = ReachableStateGraph::Build(MakeLinearTwoPhase(), 4);
+  ASSERT_TRUE(reduced.ok());
+  ASSERT_TRUE(unreduced.ok());
+  EXPECT_FALSE(reduced->reduced());
+  EXPECT_EQ(reduced->num_nodes(), unreduced->num_nodes());
+}
+
+using ViolationKey = std::tuple<SiteId, StateIndex, int>;
+
+std::set<ViolationKey> ViolationKeys(const NonblockingReport& report) {
+  std::set<ViolationKey> keys;
+  for (const Violation& v : report.violations) {
+    keys.insert({v.site, v.state, static_cast<int>(v.kind)});
+  }
+  return keys;
+}
+
+TEST(SiteSymmetryTest, ReducedVerdictsMatchUnreducedExactly) {
+  // The closure in ConcurrencyAnalysis::Compute reconstructs the unreduced
+  // relations exactly, so every theorem output — verdict, the full
+  // violation set, the satisfying sites — must be identical.
+  for (const std::string& name : BuiltinProtocolNames()) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok());
+    for (size_t n = 2; n <= 4; ++n) {
+      auto with = CheckNonblocking(*spec, n, Reduced());
+      auto without = CheckNonblocking(*spec, n);
+      ASSERT_TRUE(with.ok()) << name << " n=" << n;
+      ASSERT_TRUE(without.ok()) << name << " n=" << n;
+      EXPECT_EQ(with->nonblocking, without->nonblocking)
+          << name << " n=" << n;
+      EXPECT_EQ(ViolationKeys(*with), ViolationKeys(*without))
+          << name << " n=" << n;
+      EXPECT_EQ(with->satisfying_sites, without->satisfying_sites)
+          << name << " n=" << n;
+    }
+  }
+}
+
+TEST(SiteSymmetryTest, DecentralizedFiveSiteReductionAtLeastFiveFold) {
+  // Acceptance criterion: symmetry reduction shrinks the decentralized
+  // 2PC graph at n=5 by at least 5x.
+  GraphOptions big;
+  big.max_nodes = 2000000;
+  auto unreduced = ReachableStateGraph::Build(MakeTwoPhaseDecentralized(), 5,
+                                              big);
+  GraphOptions big_reduced = big;
+  big_reduced.symmetry_reduction = true;
+  auto reduced = ReachableStateGraph::Build(MakeTwoPhaseDecentralized(), 5,
+                                            big_reduced);
+  ASSERT_TRUE(unreduced.ok());
+  ASSERT_TRUE(reduced.ok());
+  ASSERT_TRUE(unreduced->complete());
+  ASSERT_TRUE(reduced->complete());
+  EXPECT_GE(unreduced->num_nodes(), 5 * reduced->num_nodes())
+      << "unreduced=" << unreduced->num_nodes()
+      << " reduced=" << reduced->num_nodes();
+}
+
+TEST(SiteSymmetryTest, EdgePermutationsResolveTargets) {
+  // Each edge's stored permutation maps the raw successor onto the interned
+  // representative; permutation index 0 is always the identity.
+  auto graph =
+      ReachableStateGraph::Build(MakeTwoPhaseDecentralized(), 3, Reduced());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->permutation(0), IdentityPermutation(3));
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    for (const GraphEdge& e : graph->edges(i)) {
+      const SitePermutation& perm = graph->permutation(e.perm);
+      ASSERT_EQ(perm.size(), 3u);
+      // A permutation of sites 1..3.
+      std::set<SiteId> image(perm.begin(), perm.end());
+      EXPECT_EQ(image, (std::set<SiteId>{1, 2, 3}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,166 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/failure_graph.h"
+#include "analysis/nonblocking.h"
+#include "analysis/resiliency.h"
+#include "analysis/verifier.h"
+#include "obs/json.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+TEST(VerifierTest, TwoPcFailsWithWitnesses) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto report = VerifyProtocol(*spec, "2PC-central");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->ExitCode(), 2);
+  EXPECT_FALSE(report->theorem.nonblocking);
+  EXPECT_FALSE(report->theorem.violations.empty());
+  EXPECT_EQ(report->lint.NumErrors(), 0u);
+  EXPECT_TRUE(report->graph_built);
+  EXPECT_FALSE(report->graph_truncated);
+  EXPECT_TRUE(report->failure_graph_built);
+  EXPECT_GT(report->stuck_nodes, 0u);
+  // Theorem witnesses plus one blocking witness, each with a trace.
+  ASSERT_FALSE(report->witnesses.empty());
+  bool has_blocking = false;
+  for (const WitnessEntry& entry : report->witnesses) {
+    EXPECT_FALSE(entry.trace_jsonl.empty());
+    has_blocking = has_blocking || entry.witness.violation == "blocking";
+  }
+  EXPECT_TRUE(has_blocking);
+}
+
+TEST(VerifierTest, ThreePcPassesClean) {
+  for (const char* name : {"3PC-central", "3PC-decentralized"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok());
+    auto report = VerifyProtocol(*spec, name);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->ExitCode(), 0) << name;
+    EXPECT_TRUE(report->theorem.nonblocking) << name;
+    EXPECT_TRUE(report->witnesses.empty()) << name;
+    EXPECT_TRUE(report->conclusive()) << name;
+    EXPECT_EQ(report->resiliency.max_tolerated_failures(), 2u) << name;
+  }
+}
+
+TEST(VerifierTest, QuorumLintErrorsYieldExitThree) {
+  auto spec = MakeProtocol("Q3PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto report = VerifyProtocol(*spec, "Q3PC-central");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->lint.HasErrors());
+  EXPECT_TRUE(report->theorem.violations.empty());
+  EXPECT_EQ(report->ExitCode(), 3);
+}
+
+TEST(VerifierTest, CompareUnreducedRecordsBothCounts) {
+  auto spec = MakeProtocol("2PC-decentralized");
+  ASSERT_TRUE(spec.ok());
+  VerifyOptions options;
+  options.n = 4;
+  options.compare_unreduced = true;
+  options.with_failure_graph = false;
+  options.witnesses = false;
+  auto report = VerifyProtocol(*spec, "2PC-decentralized", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->graph_reduced);
+  EXPECT_GT(report->unreduced_nodes, 0u);
+  EXPECT_GT(report->unreduced_nodes, report->graph_nodes);
+}
+
+TEST(VerifierTest, TruncationYieldsInconclusiveExitCode) {
+  auto spec = MakeProtocol("3PC-central");
+  ASSERT_TRUE(spec.ok());
+  VerifyOptions options;
+  options.max_nodes = 4;
+  options.failure_max_nodes = 4;
+  options.witnesses = false;
+  auto report = VerifyProtocol(*spec, "3PC-central", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->graph_truncated);
+  EXPECT_FALSE(report->conclusive());
+  EXPECT_EQ(report->ExitCode(), 4);
+}
+
+TEST(VerifierTest, JsonReportRoundTrips) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto report = VerifyProtocol(*spec, "2PC-central");
+  ASSERT_TRUE(report.ok());
+  Json doc = VerificationReportToJson(*report);
+  auto parsed = Json::Parse(doc.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("protocol"), "2PC-central");
+  EXPECT_EQ(parsed->GetUint("exit_code"), 2u);
+  const Json* theorem = parsed->Find("theorem");
+  ASSERT_NE(theorem, nullptr);
+  const Json* violations = theorem->Find("violations");
+  ASSERT_NE(violations, nullptr);
+  EXPECT_EQ(violations->size(), report->theorem.violations.size());
+  const Json* lint = parsed->Find("lint");
+  ASSERT_NE(lint, nullptr);
+  EXPECT_EQ(lint->GetUint("errors"), 0u);
+  const Json* witnesses = parsed->Find("witnesses");
+  ASSERT_NE(witnesses, nullptr);
+  EXPECT_EQ(witnesses->size(), report->witnesses.size());
+}
+
+TEST(VerifierTest, RenderMentionsVerdict) {
+  auto spec = MakeProtocol("3PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto report = VerifyProtocol(*spec, "3PC-central");
+  ASSERT_TRUE(report.ok());
+  std::string text = report->Render(*spec);
+  EXPECT_NE(text.find("PASS"), std::string::npos) << text;
+  EXPECT_NE(text.find("fundamental nonblocking theorem"), std::string::npos);
+}
+
+// --- truncation propagation through the analysis entry points ---
+
+TEST(TruncationTest, CheckNonblockingReportsTruncation) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  GraphOptions options;
+  options.max_nodes = 4;
+  auto report = CheckNonblocking(*spec, 3, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->truncated);
+  // A truncated graph can never prove nonblocking.
+  EXPECT_FALSE(report->nonblocking);
+  EXPECT_NE(report->ToString().find("truncated"), std::string::npos);
+}
+
+TEST(TruncationTest, CheckResiliencyReportsTruncation) {
+  auto spec = MakeProtocol("3PC-central");
+  ASSERT_TRUE(spec.ok());
+  GraphOptions options;
+  options.max_nodes = 4;
+  auto report = CheckResiliency(*spec, 3, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->truncated);
+
+  auto full = CheckResiliency(*spec, 3);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->truncated);
+  EXPECT_EQ(full->max_tolerated_failures(), 2u);
+}
+
+TEST(TruncationTest, FailureGraphReportsTruncation) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  FailureGraphOptions options;
+  options.max_nodes = 4;
+  auto graph = FailureAugmentedGraph::Build(*spec, 3, options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->truncated());
+  EXPECT_FALSE(graph->complete());
+}
+
+}  // namespace
+}  // namespace nbcp

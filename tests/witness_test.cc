@@ -1,0 +1,214 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/failure_graph.h"
+#include "analysis/nonblocking.h"
+#include "analysis/state_graph.h"
+#include "analysis/witness.h"
+#include "fsa/state.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+GraphOptions Reduced() {
+  GraphOptions options;
+  options.symmetry_reduction = true;
+  return options;
+}
+
+/// Re-executes a crash-free witness from the initial state, checking that
+/// every step is a legal firing whose successor matches the recorded one.
+void CheckFireStepsReplay(const ProtocolSpec& spec, const Witness& witness) {
+  GlobalState current = MakeInitialGlobalState(spec, witness.num_sites);
+  for (size_t k = 0; k < witness.steps.size(); ++k) {
+    const WitnessStep& step = witness.steps[k];
+    ASSERT_EQ(step.kind, WitnessStep::Kind::kFire) << "step " << k;
+    Firing firing{step.transition, step.consumed, step.self_vote};
+    GlobalState next =
+        ApplyFiring(spec, witness.num_sites, current, step.site, firing);
+    EXPECT_EQ(next.Key(), step.after.Key()) << "step " << k << " diverged";
+    current = std::move(next);
+  }
+  // The final state exhibits the violation: the flagged site in the
+  // flagged state, some other site committed.
+  ASSERT_FALSE(witness.steps.empty());
+  const GlobalState& last = witness.steps.back().after;
+  EXPECT_EQ(last.local[witness.site - 1], witness.state);
+  bool commit_elsewhere = false;
+  for (size_t i = 0; i < witness.num_sites; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    if (site == witness.site) continue;
+    RoleIndex r = spec.RoleForSite(site, witness.num_sites);
+    if (spec.role(r).state(last.local[i]).kind == StateKind::kCommit) {
+      commit_elsewhere = true;
+    }
+  }
+  EXPECT_TRUE(commit_elsewhere);
+}
+
+void CheckTraceReplays(const ProtocolSpec& spec, const Witness& witness,
+                       const std::string& name) {
+  std::string jsonl = WitnessTraceJsonl(spec, witness, name);
+  ASSERT_FALSE(jsonl.empty());
+  auto imported = ParseTraceJsonLines(jsonl);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->meta.protocol, name);
+  EXPECT_EQ(imported->meta.num_sites, witness.num_sites);
+  auto replay = ReplayGlobalStates(spec, imported->meta.num_sites,
+                                   imported->events);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  // The offline recomputation must agree with the recorded timeline and
+  // reproduce exactly the violations recorded during generation.
+  EXPECT_EQ(replay->first_mismatch, SIZE_MAX);
+  EXPECT_EQ(replay->violations.size(), replay->recorded_violations);
+}
+
+TEST(WitnessTest, TwoPcCentralViolationWitness) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto check = CheckNonblocking(*spec, 3);
+  ASSERT_TRUE(check.ok());
+  ASSERT_FALSE(check->violations.empty());
+
+  auto graph = ReachableStateGraph::Build(*spec, 3);
+  ASSERT_TRUE(graph.ok());
+  for (const Violation& violation : check->violations) {
+    auto witness = ExtractViolationWitness(*graph, violation);
+    ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+    // The witness may flag any site of the violating role.
+    EXPECT_EQ(spec->RoleForSite(witness->site, 3),
+              spec->RoleForSite(violation.site, 3));
+    EXPECT_EQ(witness->state, violation.state);
+    EXPECT_EQ(witness->num_sites, 3u);
+    CheckFireStepsReplay(*spec, *witness);
+  }
+}
+
+TEST(WitnessTest, ReducedGraphWitnessIsConcrete) {
+  // Extraction from a symmetry-reduced graph must fold the per-edge
+  // permutations back out into a real (unreduced) execution.
+  for (const char* name : {"2PC-central", "2PC-decentralized"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok());
+    auto check = CheckNonblocking(*spec, 4, Reduced());
+    ASSERT_TRUE(check.ok());
+    ASSERT_FALSE(check->violations.empty());
+    auto graph = ReachableStateGraph::Build(*spec, 4, Reduced());
+    ASSERT_TRUE(graph.ok());
+    ASSERT_TRUE(graph->reduced());
+    auto witness = ExtractViolationWitness(*graph, check->violations[0]);
+    ASSERT_TRUE(witness.ok()) << name << ": " << witness.status().ToString();
+    CheckFireStepsReplay(*spec, *witness);
+  }
+}
+
+TEST(WitnessTest, WitnessTraceReplaysThroughObserver) {
+  for (const char* name : {"2PC-central", "2PC-decentralized"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok());
+    auto graph = ReachableStateGraph::Build(*spec, 3, Reduced());
+    ASSERT_TRUE(graph.ok());
+    auto check = CheckNonblocking(*spec, 3, Reduced());
+    ASSERT_TRUE(check.ok());
+    ASSERT_FALSE(check->violations.empty());
+    auto witness = ExtractViolationWitness(*graph, check->violations[0]);
+    ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+    CheckTraceReplays(*spec, *witness, name);
+  }
+}
+
+TEST(WitnessTest, BlockingWitnessFromFailureGraph) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto check = CheckNonblocking(*spec, 3);
+  ASSERT_TRUE(check.ok());
+  ASSERT_FALSE(check->violations.empty());
+
+  FailureGraphOptions options;
+  options.record_edges = true;
+  auto graph = FailureAugmentedGraph::Build(*spec, 3, options);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_FALSE(graph->StuckNodes().empty());
+
+  auto witness = ExtractBlockingWitness(*graph, check->violations);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_EQ(witness->violation, "blocking");
+  ASSERT_FALSE(witness->steps.empty());
+  // Somebody crashed along the way, and the flagged survivor is up.
+  const WitnessStep& last = witness->steps.back();
+  ASSERT_EQ(last.down_after.size(), 3u);
+  size_t down = 0;
+  for (bool d : last.down_after) down += d ? 1 : 0;
+  EXPECT_GE(down, 1u);
+  EXPECT_FALSE(last.down_after[witness->site - 1]);
+  EXPECT_EQ(last.after.local[witness->site - 1], witness->state);
+  CheckTraceReplays(*spec, *witness, "2PC-central");
+}
+
+TEST(WitnessTest, BlockingWitnessFromReducedFailureGraph) {
+  auto spec = MakeProtocol("2PC-decentralized");
+  ASSERT_TRUE(spec.ok());
+  auto check = CheckNonblocking(*spec, 3, Reduced());
+  ASSERT_TRUE(check.ok());
+  FailureGraphOptions options;
+  options.record_edges = true;
+  options.symmetry_reduction = true;
+  auto graph = FailureAugmentedGraph::Build(*spec, 3, options);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->reduced());
+  auto witness = ExtractBlockingWitness(*graph, check->violations);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  CheckTraceReplays(*spec, *witness, "2PC-decentralized");
+}
+
+TEST(WitnessTest, BlockingExtractionRequiresRecordedEdges) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto check = CheckNonblocking(*spec, 3);
+  ASSERT_TRUE(check.ok());
+  auto graph = FailureAugmentedGraph::Build(*spec, 3);  // No record_edges.
+  ASSERT_TRUE(graph.ok());
+  auto witness = ExtractBlockingWitness(*graph, check->violations);
+  EXPECT_TRUE(witness.status().IsInvalidArgument());
+}
+
+TEST(WitnessTest, NonblockingProtocolHasNoWitnessTarget) {
+  auto spec = MakeProtocol("3PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto graph = ReachableStateGraph::Build(*spec, 3);
+  ASSERT_TRUE(graph.ok());
+  // Fabricate a violation for a state that is never concurrent with
+  // commit: extraction must report NotFound, not invent a path.
+  Violation fake;
+  fake.site = 2;
+  fake.state = spec->role(1).initial_state();
+  fake.state_name = "q";
+  fake.kind = ViolationKind::kCommitInConcurrencySetOfNoncommittable;
+  auto witness = ExtractViolationWitness(*graph, fake);
+  EXPECT_FALSE(witness.ok());
+}
+
+TEST(WitnessTest, DescribeMentionsEveryStep) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto graph = ReachableStateGraph::Build(*spec, 3);
+  ASSERT_TRUE(graph.ok());
+  auto check = CheckNonblocking(*spec, 3);
+  ASSERT_TRUE(check.ok());
+  ASSERT_FALSE(check->violations.empty());
+  auto witness = ExtractViolationWitness(*graph, check->violations[0]);
+  ASSERT_TRUE(witness.ok());
+  std::string text = witness->Describe(*spec);
+  for (size_t k = 1; k <= witness->steps.size(); ++k) {
+    EXPECT_NE(text.find(std::to_string(k) + "."), std::string::npos)
+        << text;
+  }
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -9,7 +9,10 @@
 //   nbcp-analyze list                         list builtin protocols
 //
 // Protocol files use the text format documented in fsa/spec_parser.h.
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -32,6 +35,21 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+/// Strict unsigned parser: rejects empty strings, signs, trailing garbage
+/// and overflow. std::stoul would accept "5x" and throw (uncaught) on
+/// "abc" — command-line input must never terminate the tool that way.
+bool ParseUint(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
 }
 
 Result<ProtocolSpec> LoadSpec(const std::string& path) {
@@ -125,9 +143,15 @@ int main(int argc, char** argv) {
   if (argc < 3) return Fail("missing protocol file");
   auto spec = LoadSpec(argv[2]);
   if (!spec.ok()) return Fail(spec.status().ToString());
-  size_t n = argc > 3 && argv[3][0] != '-'
-                 ? static_cast<size_t>(std::stoul(argv[3]))
-                 : 3;
+  size_t n = 3;
+  if (argc > 3 && argv[3][0] != '-') {
+    uint64_t parsed = 0;
+    if (!ParseUint(argv[3], &parsed) || parsed == 0) {
+      return Fail("invalid site count '" + std::string(argv[3]) +
+                  "' (expected a positive integer)");
+    }
+    n = static_cast<size_t>(parsed);
+  }
 
   if (command == "check") {
     return Check(*spec, n);
@@ -143,9 +167,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "simulate") {
-    uint64_t seed = argc > 4 && argv[4][0] != '-'
-                        ? std::stoull(argv[4])
-                        : 42;
+    uint64_t seed = 42;
+    if (argc > 4 && argv[4][0] != '-') {
+      if (!ParseUint(argv[4], &seed)) {
+        return Fail("invalid seed '" + std::string(argv[4]) +
+                    "' (expected an unsigned integer)");
+      }
+    }
     bool crash = false;
     for (int i = 3; i < argc; ++i) {
       if (std::string(argv[i]) == "--crash-coordinator") crash = true;

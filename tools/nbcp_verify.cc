@@ -1,0 +1,192 @@
+// nbcp-verify: counterexample-producing static verifier for commit
+// protocol specifications.
+//
+//   nbcp-verify <builtin-name|file.nbcp> [options]
+//   nbcp-verify list
+//
+// Pipeline per protocol: spec lint -> symmetry-reduced reachable state
+// graph -> concurrency sets -> Fundamental Nonblocking Theorem (C1/C2) ->
+// resiliency corollary -> failure-augmented graph (blocking detection) ->
+// shortest concrete witness extraction. Witness executions export as
+// nbcp-trace JSONL (replayable with `nbcp-trace replay`/`check`).
+//
+// Options:
+//   -n <N>               sites in the analyzed population (default 3)
+//   --max-nodes <N>      state-graph node budget (default 500000)
+//   --no-reduction       disable symmetry reduction
+//   --compare-unreduced  also build the unreduced graph (reports factor)
+//   --no-failure-graph   skip failure-graph / blocking analysis
+//   --no-witnesses       skip witness extraction
+//   --synthesized        verify SynthesizeNonblocking(spec) instead
+//   --json               machine-readable report on stdout
+//   --witness-dir <dir>  write witness traces as <dir>/<name>-witness-K.jsonl
+//
+// Exit codes (CI contract):
+//   0  protocol passes: nonblocking, no lint errors, conclusive graphs
+//   1  usage or infrastructure error
+//   2  Fundamental Nonblocking Theorem violations (C1/C2)
+//   3  lint errors (defective spec) without theorem violations
+//   4  inconclusive: state graph truncated or unavailable
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/buffer_synthesis.h"
+#include "analysis/verifier.h"
+#include "fsa/spec_parser.h"
+#include "obs/export.h"
+#include "protocols/registry.h"
+
+using namespace nbcp;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: nbcp-verify <builtin-name|file.nbcp> [-n N] [--max-nodes N]\n"
+      "                   [--no-reduction] [--compare-unreduced]\n"
+      "                   [--no-failure-graph] [--no-witnesses]\n"
+      "                   [--synthesized] [--json] [--witness-dir DIR]\n"
+      "       nbcp-verify list\n");
+  return 1;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+/// Strict size_t parser: rejects empty strings, signs, trailing garbage
+/// and overflow (std::stoul would accept "12abc" and throw on "abc").
+bool ParseSize(const char* text, size_t* out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+Result<ProtocolSpec> LoadSpec(const std::string& name_or_path) {
+  // Builtin names take precedence; anything else is a spec file.
+  auto builtin = MakeProtocol(name_or_path);
+  if (builtin.ok()) return builtin;
+  std::ifstream in(name_or_path);
+  if (!in) {
+    return Status::NotFound("'" + name_or_path +
+                            "' is neither a builtin protocol nor a readable "
+                            "spec file");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseProtocolSpec(text.str());
+}
+
+/// Label for report + witness file names: the spec name with path
+/// separators stripped.
+std::string ProtocolLabel(const std::string& name_or_path,
+                          const ProtocolSpec& spec) {
+  if (MakeProtocol(name_or_path).ok()) return name_or_path;
+  return spec.name().empty() ? "spec" : spec.name();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string target = argv[1];
+  if (target == "list") {
+    for (const std::string& name : BuiltinProtocolNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (target == "--help" || target == "-h") return Usage();
+
+  VerifyOptions options;
+  bool json = false;
+  bool synthesized = false;
+  std::string witness_dir;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-n") {
+      if (++i >= argc || !ParseSize(argv[i], &options.n) || options.n == 0) {
+        return Fail("-n requires a positive integer");
+      }
+    } else if (arg == "--max-nodes") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_nodes) ||
+          options.max_nodes == 0) {
+        return Fail("--max-nodes requires a positive integer");
+      }
+      options.failure_max_nodes = options.max_nodes;
+    } else if (arg == "--no-reduction") {
+      options.symmetry_reduction = false;
+    } else if (arg == "--compare-unreduced") {
+      options.compare_unreduced = true;
+    } else if (arg == "--no-failure-graph") {
+      options.with_failure_graph = false;
+    } else if (arg == "--no-witnesses") {
+      options.witnesses = false;
+    } else if (arg == "--synthesized") {
+      synthesized = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--witness-dir") {
+      if (++i >= argc) return Fail("--witness-dir requires a directory");
+      witness_dir = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  auto spec = LoadSpec(target);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  std::string label = ProtocolLabel(target, *spec);
+  if (synthesized) {
+    auto fixed = SynthesizeNonblocking(*spec, options.n);
+    if (!fixed.ok()) {
+      return Fail("synthesis failed: " + fixed.status().ToString());
+    }
+    spec = std::move(fixed);
+    label += "-synthesized";
+  }
+
+  auto report = VerifyProtocol(*spec, label, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::vector<std::string> witness_files;
+  if (!witness_dir.empty()) {
+    size_t index = 0;
+    for (const WitnessEntry& entry : report->witnesses) {
+      if (entry.trace_jsonl.empty()) continue;
+      std::string path = witness_dir + "/" + label + "-witness-" +
+                         std::to_string(index++) + ".jsonl";
+      Status written = WriteFile(path, entry.trace_jsonl);
+      if (!written.ok()) return Fail(written.ToString());
+      witness_files.push_back(path);
+    }
+  }
+
+  if (json) {
+    Json doc = VerificationReportToJson(*report);
+    Json files = Json::Array();
+    for (const std::string& path : witness_files) files.Append(path);
+    doc["witness_files"] = std::move(files);
+    std::printf("%s\n", doc.Dump(2).c_str());
+  } else {
+    std::printf("%s", report->Render(*spec).c_str());
+    for (const std::string& path : witness_files) {
+      std::printf("witness trace: %s\n", path.c_str());
+    }
+  }
+  return report->ExitCode();
+}
