@@ -1,0 +1,795 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/state_graph.h"
+#include "analysis/symmetry.h"
+#include "core/transaction_manager.h"
+#include "sim/simulator.h"
+
+namespace nbcp {
+
+namespace {
+
+/// Two choices commute iff they act on different sites: a delivery/start
+/// only mutates the receiving site's engine state (plus appends to the
+/// network, which is order-insensitive). Crashes touch global connectivity
+/// and are treated as dependent with everything (DPOR is disabled in crash
+/// mode anyway).
+bool DependentChoices(const ScheduleChoice& a, const ScheduleChoice& b) {
+  if (a.kind == ScheduleChoice::Kind::kCrash ||
+      b.kind == ScheduleChoice::Kind::kCrash) {
+    return true;
+  }
+  return a.site == b.site;
+}
+
+bool ContainsKey(const std::vector<ScheduleChoice>& choices,
+                 const std::string& key) {
+  for (const ScheduleChoice& c : choices) {
+    if (c.Key() == key) return true;
+  }
+  return false;
+}
+
+/// Sleep set inherited by the successor of a frame with sleep/done
+/// `slept` after executing `fired`: everything independent of `fired`.
+std::vector<ScheduleChoice> InheritSleep(
+    const std::vector<ScheduleChoice>& slept, const ScheduleChoice& fired) {
+  std::vector<ScheduleChoice> out;
+  for (const ScheduleChoice& s : slept) {
+    if (!DependentChoices(s, fired)) out.push_back(s);
+  }
+  return out;
+}
+
+/// One replayed scheduling decision plus the sleeping choices at that frame
+/// (the driver's sleep ∪ done snapshot), needed to seed deeper sleep sets.
+struct PrefixEntry {
+  ScheduleChoice choice;
+  std::vector<ScheduleChoice> slept;
+};
+
+/// A decision frame created beyond the prefix during one execution.
+struct RunFrame {
+  std::vector<ScheduleChoice> options;
+  std::vector<ScheduleChoice> sleep;
+  ScheduleChoice chosen;
+};
+
+/// Everything one execution produced.
+struct RunResult {
+  std::vector<RunFrame> new_frames;
+  std::vector<ScheduleChoice> executed;
+  std::vector<ConformanceIssue> divergences;
+  std::vector<ConformanceIssue> violations;
+  std::set<size_t> visited;
+  size_t events = 0;
+  size_t firings = 0;
+  size_t sleep_skips = 0;
+  bool pruned = false;       ///< Stopped early: every option was asleep.
+  bool depth_bound = false;
+  bool step_bound = false;
+  bool degraded = false;
+  std::string trace_jsonl;   ///< Filled only when issues were found.
+};
+
+/// Executes one schedule: replays `prefix`, then (use_sleep) picks the
+/// first non-sleeping option at every further decision point, recording the
+/// frames it creates. Runs to quiescence/decision, then finalizes the
+/// conformance checker.
+Result<RunResult> ExecuteOne(const ProtocolSpec& impl,
+                             const ProtocolSpec& model,
+                             const ReachableStateGraph* graph,
+                             const ExploreOptions& opt,
+                             const std::vector<bool>& votes,
+                             const std::vector<PrefixEntry>& prefix,
+                             bool use_sleep) {
+  size_t n = opt.num_sites;
+  SystemConfig cfg;
+  cfg.num_sites = n;
+  cfg.seed = opt.seed;
+  cfg.delay = DelayModel{opt.base_delay, /*jitter=*/0};
+  cfg.detection_delay = opt.detection_delay;
+  cfg.trace = true;
+  cfg.observe = false;
+  auto sys_or = CommitSystem::CreateWithSpec(cfg, impl);
+  if (!sys_or.ok()) return sys_or.status();
+  CommitSystem& sys = **sys_or;
+  Simulator& sim = sys.simulator();
+
+  TransactionId txn = sys.Begin();
+  for (size_t i = 0; i < n; ++i) {
+    sys.SetVote(txn, static_cast<SiteId>(i + 1), votes[i]);
+  }
+  ConformanceChecker checker(&model, n, graph, txn, votes);
+  sys.trace()->set_sink(
+      [&checker](const TraceEvent& e) { checker.OnEvent(e); });
+
+  // Protocol starts are scheduled as labeled choice events rather than
+  // launched synchronously: their interleaving with deliveries is part of
+  // the explored nondeterminism (the model's __request consumption order).
+  std::vector<SiteId> start_sites;
+  if (impl.paradigm() == Paradigm::kDecentralized) {
+    for (SiteId s = 1; s <= n; ++s) start_sites.push_back(s);
+  } else {
+    start_sites.push_back(1);
+  }
+  for (SiteId s : start_sites) {
+    EventLabel label;
+    label.cls = EventClass::kStart;
+    label.site = s;
+    label.txn = txn;
+    Participant* p = &sys.participant(s);
+    sim.ScheduleLabeled(0, label, [p, txn]() {
+      (void)p->StartProtocol(txn);
+    });
+  }
+
+  auto all_decided = [&]() {
+    for (SiteId s = 1; s <= n; ++s) {
+      if (sys.participant(s).engine().OutcomeOf(txn) == Outcome::kUndecided) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto receiver_done = [&](SiteId s) {
+    return !sys.network().IsSiteUp(s) ||
+           sys.participant(s).engine().OutcomeOf(txn) != Outcome::kUndecided;
+  };
+
+  RunResult rr;
+  std::vector<ScheduleChoice> running_sleep;
+  size_t depth = 0;
+  size_t steps = 0;
+  size_t crashes_used = 0;
+
+  while (true) {
+    // Gather the choice points: pending delivery and start events (crash
+    // options are appended below). Failure-free, a delivery to a decided
+    // site is a no-op (the engine discards late messages), so it is not a
+    // choice — the drain loop below fires it in default order.
+    struct Opt {
+      ScheduleChoice c;
+      EventId id = 0;
+      uint64_t seq = 0;
+    };
+    std::vector<Opt> opts;
+    for (const PendingEvent& pe : sim.Pending()) {
+      if (pe.label.txn != txn) continue;
+      if (pe.label.cls == EventClass::kDelivery) {
+        if (opt.max_crashes == 0 && receiver_done(pe.label.site)) continue;
+        Opt o;
+        o.c.kind = ScheduleChoice::Kind::kDeliver;
+        o.c.site = pe.label.site;
+        o.c.from = pe.label.from;
+        o.c.msg_type = pe.label.msg_type;
+        o.id = pe.id;
+        o.seq = pe.label.seq;
+        opts.push_back(std::move(o));
+      } else if (pe.label.cls == EventClass::kStart) {
+        Opt o;
+        o.c.kind = ScheduleChoice::Kind::kStart;
+        o.c.site = pe.label.site;
+        o.id = pe.id;
+        opts.push_back(std::move(o));
+      }
+    }
+    // Deterministic option order; duplicate in-flight messages (same type,
+    // endpoints) get occurrence indices in network-seq order — they are
+    // interchangeable, so the index is a stable identity.
+    std::sort(opts.begin(), opts.end(), [](const Opt& a, const Opt& b) {
+      auto ka = std::make_tuple(static_cast<int>(a.c.kind), a.c.site,
+                                a.c.from, a.c.msg_type, a.seq);
+      auto kb = std::make_tuple(static_cast<int>(b.c.kind), b.c.site,
+                                b.c.from, b.c.msg_type, b.seq);
+      return ka < kb;
+    });
+    for (size_t i = 1; i < opts.size(); ++i) {
+      const Opt& prev = opts[i - 1];
+      Opt& cur = opts[i];
+      if (cur.c.kind == prev.c.kind && cur.c.site == prev.c.site &&
+          cur.c.from == prev.c.from && cur.c.msg_type == prev.c.msg_type) {
+        cur.c.dup = prev.c.dup + 1;
+      }
+    }
+    // Bounded crash injection: a crash can preempt any pending choice.
+    // (Crashing while only timers are pending is deliberately not offered:
+    // it is indistinguishable from crashing before the next timer fires.)
+    if (crashes_used < opt.max_crashes && !opts.empty()) {
+      for (SiteId s = 1; s <= n; ++s) {
+        if (!sys.network().IsSiteUp(s)) continue;
+        Opt o;
+        o.c.kind = ScheduleChoice::Kind::kCrash;
+        o.c.site = s;
+        opts.push_back(std::move(o));
+      }
+    }
+
+    if (opts.empty()) {
+      // Only timers / bookkeeping left: fire them in default (time, seq)
+      // order until new choices appear or the run is over.
+      if (sim.PendingEvents() == 0) break;
+      if (++steps > opt.max_steps) {
+        rr.step_bound = true;
+        break;
+      }
+      sim.Step();
+      ++rr.events;
+      continue;
+    }
+    if (crashes_used == 0 && all_decided()) break;
+
+    const Opt* picked = nullptr;
+    if (depth < prefix.size()) {
+      const std::string want = prefix[depth].choice.Key();
+      for (const Opt& o : opts) {
+        if (o.c.Key() == want) {
+          picked = &o;
+          break;
+        }
+      }
+      if (picked == nullptr) {
+        return Status::Internal(
+            "schedule replay diverged at depth " + std::to_string(depth) +
+            ": choice " + prefix[depth].choice.ToString() +
+            " is not pending (nondeterministic execution?)");
+      }
+      running_sleep = InheritSleep(prefix[depth].slept, picked->c);
+    } else {
+      for (const Opt& o : opts) {
+        if (use_sleep && ContainsKey(running_sleep, o.c.Key())) {
+          ++rr.sleep_skips;
+          continue;
+        }
+        picked = &o;
+        break;
+      }
+      if (picked == nullptr) {
+        rr.pruned = true;  // Whole subtree covered elsewhere.
+        break;
+      }
+      RunFrame frame;
+      frame.options.reserve(opts.size());
+      for (const Opt& o : opts) frame.options.push_back(o.c);
+      frame.sleep = running_sleep;
+      frame.chosen = picked->c;
+      rr.new_frames.push_back(std::move(frame));
+      running_sleep = InheritSleep(running_sleep, picked->c);
+    }
+
+    if (picked->c.kind == ScheduleChoice::Kind::kCrash) {
+      sys.injector().CrashNow(picked->c.site);
+      ++crashes_used;
+    } else {
+      sim.FireEvent(picked->id);
+      ++rr.events;
+    }
+    rr.executed.push_back(picked->c);
+    ++depth;
+    if (depth > opt.max_depth) {
+      rr.depth_bound = true;
+      break;
+    }
+  }
+
+  bool complete_run =
+      !rr.pruned && !rr.depth_bound && !rr.step_bound;
+  checker.Finish(/*expect_decided=*/opt.max_crashes == 0 && complete_run);
+  rr.divergences = checker.divergences();
+  rr.violations = checker.violations();
+  rr.visited = checker.visited();
+  rr.firings = checker.firings();
+  rr.degraded = checker.degraded();
+  if (!rr.divergences.empty() || !rr.violations.empty()) {
+    rr.trace_jsonl = sys.TraceJsonl();
+  }
+  return rr;
+}
+
+/// A decision frame of the DFS driver (persists across re-executions).
+struct Frame {
+  std::vector<ScheduleChoice> options;
+  std::vector<ScheduleChoice> sleep;      ///< Inherited at frame entry.
+  std::vector<ScheduleChoice> done;       ///< Fully explored children.
+  std::set<std::string> done_keys;
+  std::deque<std::string> todo;           ///< Backtrack queue.
+  ScheduleChoice chosen;
+
+  std::vector<ScheduleChoice> Slept() const {
+    std::vector<ScheduleChoice> out = sleep;
+    out.insert(out.end(), done.begin(), done.end());
+    return out;
+  }
+  const ScheduleChoice* Option(const std::string& key) const {
+    for (const ScheduleChoice& o : options) {
+      if (o.Key() == key) return &o;
+    }
+    return nullptr;
+  }
+};
+
+void RecordIssues(ExploreReport* report, const ExploreOptions& opt,
+                  const RunResult& rr, const std::vector<bool>& votes) {
+  if (!rr.divergences.empty()) {
+    ++report->divergent_schedules;
+    if (report->divergences.size() < opt.max_witnesses) {
+      report->divergences.push_back(DivergenceWitness{
+          rr.divergences.front(), votes, rr.executed, rr.trace_jsonl});
+    }
+  }
+  if (!rr.violations.empty()) {
+    ++report->violating_schedules;
+    if (report->violations.size() < opt.max_witnesses) {
+      report->violations.push_back(DivergenceWitness{
+          rr.violations.front(), votes, rr.executed, rr.trace_jsonl});
+    }
+  }
+}
+
+/// Full DFS (optionally sleep-set + DPOR reduced) over schedules for one
+/// preset vote vector. Returns false when the schedule budget ran out.
+Result<bool> ExploreVoteVector(const ProtocolSpec& impl,
+                               const ProtocolSpec& model,
+                               const ReachableStateGraph* graph,
+                               const ExploreOptions& opt, bool dpor_active,
+                               const std::vector<bool>& votes,
+                               ExploreReport* report,
+                               std::set<size_t>* visited) {
+  std::vector<Frame> stack;
+  while (true) {
+    std::vector<PrefixEntry> prefix;
+    prefix.reserve(stack.size());
+    for (const Frame& f : stack) {
+      prefix.push_back(PrefixEntry{f.chosen, f.Slept()});
+    }
+    auto rr_or =
+        ExecuteOne(impl, model, graph, opt, votes, prefix, dpor_active);
+    if (!rr_or.ok()) return rr_or.status();
+    RunResult rr = std::move(*rr_or);
+
+    ++report->schedules;
+    report->events += rr.events;
+    report->sleep_skips += rr.sleep_skips;
+    report->max_depth_seen =
+        std::max(report->max_depth_seen, rr.executed.size());
+    if (rr.depth_bound || rr.step_bound) report->bound_exhausted = true;
+    visited->insert(rr.visited.begin(), rr.visited.end());
+    RecordIssues(report, opt, rr, votes);
+
+    for (RunFrame& nf : rr.new_frames) {
+      Frame f;
+      f.options = std::move(nf.options);
+      f.sleep = std::move(nf.sleep);
+      f.chosen = nf.chosen;
+      if (!dpor_active) {
+        for (const ScheduleChoice& o : f.options) f.todo.push_back(o.Key());
+      }
+      stack.push_back(std::move(f));
+    }
+
+    if (dpor_active) {
+      // Race analysis (dynamic partial-order reduction): for each executed
+      // choice, find the latest earlier dependent choice; request the later
+      // one be tried at that earlier point too. If it was not yet enabled
+      // there (it was caused in between), conservatively retry everything
+      // that was enabled.
+      for (size_t i = 1; i < stack.size(); ++i) {
+        for (size_t j = i; j-- > 0;) {
+          if (!DependentChoices(stack[j].chosen, stack[i].chosen)) continue;
+          const std::string key = stack[i].chosen.Key();
+          if (stack[j].Option(key) != nullptr) {
+            stack[j].todo.push_back(key);
+          } else {
+            for (const ScheduleChoice& o : stack[j].options) {
+              stack[j].todo.push_back(o.Key());
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    // Backtrack: mark finished subtrees done, advance the deepest frame
+    // with something left to try.
+    bool advanced = false;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.done_keys.insert(top.chosen.Key()).second) {
+        top.done.push_back(top.chosen);
+      }
+      std::optional<ScheduleChoice> next;
+      while (!top.todo.empty()) {
+        std::string key = top.todo.front();
+        top.todo.pop_front();
+        if (top.done_keys.count(key) != 0) continue;
+        if (ContainsKey(top.sleep, key)) {
+          ++report->sleep_skips;
+          continue;
+        }
+        const ScheduleChoice* o = top.Option(key);
+        if (o != nullptr) {
+          next = *o;
+          break;
+        }
+      }
+      if (next.has_value()) {
+        top.chosen = *next;
+        advanced = true;
+        break;
+      }
+      stack.pop_back();
+    }
+    if (!advanced) return true;  // This vote vector is fully explored.
+    if (report->schedules >= opt.max_schedules) {
+      report->bound_exhausted = true;
+      return false;
+    }
+  }
+}
+
+void FillCoverage(const ProtocolSpec& model, const ExploreOptions& opt,
+                  const ReachableStateGraph& graph,
+                  const std::set<size_t>& visited, ExploreReport* report) {
+  report->graph_nodes = graph.num_nodes();
+  report->visited_nodes = visited.size();
+  report->graph_truncated = graph.truncated();
+
+  // Orbit-level coverage (exact canonicalization; exponential in class
+  // sizes, so guarded to small populations).
+  constexpr size_t kMaxOrbitSites = 6;
+  SiteSymmetry symmetry = ComputeSiteSymmetry(model, opt.num_sites);
+  std::map<std::string, size_t> orbit_rep;  // orbit key -> representative.
+  std::set<std::string> visited_orbits;
+  if (opt.num_sites <= kMaxOrbitSites) {
+    for (size_t i = 0; i < graph.num_nodes(); ++i) {
+      orbit_rep.emplace(OrbitKey(symmetry, graph.node(i)), i);
+    }
+    for (size_t i : visited) {
+      visited_orbits.insert(OrbitKey(symmetry, graph.node(i)));
+    }
+    report->graph_orbits = orbit_rep.size();
+    report->visited_orbits = visited_orbits.size();
+    constexpr size_t kMaxUncovered = 20;
+    for (const auto& [key, rep] : orbit_rep) {
+      if (visited_orbits.count(key) != 0) continue;
+      if (report->uncovered.size() >= kMaxUncovered) break;
+      report->uncovered.push_back(graph.node(rep).ToString(model));
+    }
+  }
+}
+
+}  // namespace
+
+std::string ScheduleChoice::Key() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kStart:
+      out << "s:" << site;
+      break;
+    case Kind::kDeliver:
+      out << "d:" << site << "<-" << from << ':' << msg_type << '#' << dup;
+      break;
+    case Kind::kCrash:
+      out << "c:" << site;
+      break;
+  }
+  return out.str();
+}
+
+std::string ScheduleChoice::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kStart:
+      out << "start(site " << site << ")";
+      break;
+    case Kind::kDeliver:
+      out << "deliver(" << msg_type << ' ' << from << "->" << site;
+      if (dup > 0) out << " #" << dup;
+      out << ")";
+      break;
+    case Kind::kCrash:
+      out << "crash(site " << site << ")";
+      break;
+  }
+  return out.str();
+}
+
+int ExploreReport::ExitCode() const {
+  if (divergent_schedules > 0) return 2;
+  if (violating_schedules > 0) return 3;
+  if (bound_exhausted || graph_truncated) return 4;
+  return 0;
+}
+
+std::string ExploreReport::Render() const {
+  std::ostringstream out;
+  out << "nbcp-explore: " << protocol << ", n=" << num_sites << ", mode="
+      << (max_crashes > 0
+              ? "dfs+crashes(" + std::to_string(max_crashes) + ")"
+              : (dpor ? "dpor+sleep" : "exhaustive-dfs"))
+      << "\n";
+  out << "  schedules: " << schedules << " (" << events << " events, deepest "
+      << max_depth_seen << ", " << vote_vectors << " vote vectors";
+  if (dpor) out << ", " << sleep_skips << " sleep-set prunes";
+  out << ")\n";
+  if (max_crashes == 0) {
+    out << "  coverage:  " << visited_nodes << "/" << graph_nodes
+        << " graph nodes";
+    if (graph_orbits > 0) {
+      out << ", " << visited_orbits << "/" << graph_orbits
+          << " orbits (modulo symmetry)";
+    }
+    if (dpor) out << " [lower bound: DPOR prunes equivalent interleavings]";
+    out << "\n";
+    for (const std::string& s : uncovered) {
+      out << "    gap: " << s << "\n";
+    }
+  }
+  if (divergent_schedules > 0) {
+    out << "  DIVERGENCE in " << divergent_schedules << " schedule(s):\n";
+    for (const DivergenceWitness& w : divergences) {
+      out << "    " << w.issue.ToString() << "\n      schedule:";
+      for (const ScheduleChoice& c : w.schedule) out << ' ' << c.Key();
+      out << "\n";
+    }
+  }
+  if (violating_schedules > 0) {
+    out << "  INVARIANT VIOLATION in " << violating_schedules
+        << " schedule(s):\n";
+    for (const DivergenceWitness& w : violations) {
+      out << "    " << w.issue.ToString() << "\n";
+    }
+  }
+  if (bound_exhausted) out << "  bound exhausted (results are partial)\n";
+  if (graph_truncated) out << "  state graph truncated (coverage unsound)\n";
+  out << "  verdict: "
+      << (ExitCode() == 0
+              ? "CONFORMS"
+              : ExitCode() == 2
+                    ? "DIVERGES"
+                    : ExitCode() == 3 ? "VIOLATES" : "INCONCLUSIVE")
+      << " (exit " << ExitCode() << ")\n";
+  return out.str();
+}
+
+Json ExploreReport::ToJson() const {
+  Json j = Json::Object();
+  j["protocol"] = Json(protocol);
+  j["num_sites"] = Json(static_cast<uint64_t>(num_sites));
+  j["dpor"] = Json(dpor);
+  j["max_crashes"] = Json(static_cast<uint64_t>(max_crashes));
+  j["schedules"] = Json(static_cast<uint64_t>(schedules));
+  j["events"] = Json(static_cast<uint64_t>(events));
+  j["vote_vectors"] = Json(static_cast<uint64_t>(vote_vectors));
+  j["max_depth_seen"] = Json(static_cast<uint64_t>(max_depth_seen));
+  j["sleep_skips"] = Json(static_cast<uint64_t>(sleep_skips));
+  j["graph_nodes"] = Json(static_cast<uint64_t>(graph_nodes));
+  j["visited_nodes"] = Json(static_cast<uint64_t>(visited_nodes));
+  j["graph_orbits"] = Json(static_cast<uint64_t>(graph_orbits));
+  j["visited_orbits"] = Json(static_cast<uint64_t>(visited_orbits));
+  j["divergent_schedules"] = Json(static_cast<uint64_t>(divergent_schedules));
+  j["violating_schedules"] = Json(static_cast<uint64_t>(violating_schedules));
+  j["bound_exhausted"] = Json(bound_exhausted);
+  j["graph_truncated"] = Json(graph_truncated);
+  j["exit_code"] = Json(ExitCode());
+  Json gaps = Json::Array();
+  for (const std::string& s : uncovered) gaps.Append(Json(s));
+  j["coverage_gaps"] = std::move(gaps);
+  Json divs = Json::Array();
+  for (const DivergenceWitness& w : divergences) {
+    Json d = Json::Object();
+    d["issue"] = Json(w.issue.ToString());
+    d["kind"] = Json(ToString(w.issue.kind));
+    Json sched = Json::Array();
+    for (const ScheduleChoice& c : w.schedule) sched.Append(Json(c.Key()));
+    d["schedule"] = std::move(sched);
+    divs.Append(std::move(d));
+  }
+  j["divergences"] = std::move(divs);
+  Json viols = Json::Array();
+  for (const DivergenceWitness& w : violations) {
+    Json d = Json::Object();
+    d["issue"] = Json(w.issue.ToString());
+    d["kind"] = Json(ToString(w.issue.kind));
+    viols.Append(std::move(d));
+  }
+  j["violations"] = std::move(viols);
+  return j;
+}
+
+Result<ExploreReport> ExploreProtocol(const ProtocolSpec& impl_spec,
+                                      const ExploreOptions& options,
+                                      const ProtocolSpec* model_spec) {
+  if (options.num_sites < 2) {
+    return Status::InvalidArgument("exploration needs at least 2 sites");
+  }
+  const ProtocolSpec& model = model_spec != nullptr ? *model_spec : impl_spec;
+  Status valid = impl_spec.Validate();
+  if (!valid.ok()) return valid;
+
+  GraphOptions graph_opt;
+  graph_opt.max_nodes = options.max_graph_nodes;
+  graph_opt.symmetry_reduction = false;  // Membership must be exact.
+  auto graph_or = ReachableStateGraph::Build(model, options.num_sites,
+                                             graph_opt);
+  if (!graph_or.ok()) return graph_or.status();
+  const ReachableStateGraph& graph = *graph_or;
+
+  bool dpor_active = options.dpor && options.max_crashes == 0;
+  ExploreReport report;
+  report.protocol = impl_spec.name();
+  report.num_sites = options.num_sites;
+  report.dpor = dpor_active;
+  report.max_crashes = options.max_crashes;
+
+  std::set<size_t> visited;
+  size_t n = options.num_sites;
+  std::vector<std::vector<bool>> vectors;
+  if (options.all_vote_vectors) {
+    for (uint64_t v = 0; v < (uint64_t{1} << n); ++v) {
+      std::vector<bool> votes(n);
+      for (size_t i = 0; i < n; ++i) votes[i] = ((v >> i) & 1) == 0;
+      vectors.push_back(std::move(votes));
+    }
+  } else {
+    std::vector<bool> votes = options.votes;
+    votes.resize(n, true);
+    vectors.push_back(std::move(votes));
+  }
+  for (const std::vector<bool>& votes : vectors) {
+    ++report.vote_vectors;
+    auto done_or = ExploreVoteVector(impl_spec, model, &graph, options,
+                                     dpor_active, votes, &report, &visited);
+    if (!done_or.ok()) return done_or.status();
+    if (!*done_or) break;  // Schedule budget exhausted.
+  }
+
+  FillCoverage(model, options, graph, visited, &report);
+  return report;
+}
+
+Result<ExploreReport> ReplaySchedule(const ProtocolSpec& impl_spec,
+                                     const ExploreOptions& options,
+                                     const std::vector<bool>& votes,
+                                     const std::vector<ScheduleChoice>& schedule,
+                                     const ProtocolSpec* model_spec) {
+  if (options.num_sites < 2) {
+    return Status::InvalidArgument("exploration needs at least 2 sites");
+  }
+  const ProtocolSpec& model = model_spec != nullptr ? *model_spec : impl_spec;
+  GraphOptions graph_opt;
+  graph_opt.max_nodes = options.max_graph_nodes;
+  graph_opt.symmetry_reduction = false;
+  auto graph_or = ReachableStateGraph::Build(model, options.num_sites,
+                                             graph_opt);
+  if (!graph_or.ok()) return graph_or.status();
+
+  std::vector<bool> v = votes;
+  v.resize(options.num_sites, true);
+  std::vector<PrefixEntry> prefix;
+  prefix.reserve(schedule.size());
+  for (const ScheduleChoice& c : schedule) {
+    prefix.push_back(PrefixEntry{c, {}});
+  }
+  auto rr_or = ExecuteOne(impl_spec, model, &*graph_or, options, v, prefix,
+                          /*use_sleep=*/false);
+  if (!rr_or.ok()) return rr_or.status();
+  RunResult rr = std::move(*rr_or);
+
+  ExploreReport report;
+  report.protocol = impl_spec.name();
+  report.num_sites = options.num_sites;
+  report.dpor = false;
+  report.max_crashes = options.max_crashes;
+  report.schedules = 1;
+  report.vote_vectors = 1;
+  report.events = rr.events;
+  report.max_depth_seen = rr.executed.size();
+  if (rr.depth_bound || rr.step_bound) report.bound_exhausted = true;
+  std::set<size_t> visited = rr.visited;
+  RecordIssues(&report, options, rr, v);
+  FillCoverage(model, options, *graph_or, visited, &report);
+  return report;
+}
+
+std::string ScheduleToJsonLines(const std::string& protocol, size_t num_sites,
+                                const std::vector<bool>& votes,
+                                const std::vector<ScheduleChoice>& schedule) {
+  std::ostringstream out;
+  Json meta = Json::Object();
+  meta["record"] = Json("schedule-meta");
+  meta["protocol"] = Json(protocol);
+  meta["sites"] = Json(static_cast<uint64_t>(num_sites));
+  Json jvotes = Json::Array();
+  for (bool v : votes) jvotes.Append(Json(v));
+  meta["votes"] = std::move(jvotes);
+  out << meta.Dump() << "\n";
+  for (const ScheduleChoice& c : schedule) {
+    Json line = Json::Object();
+    line["record"] = Json("choice");
+    switch (c.kind) {
+      case ScheduleChoice::Kind::kStart:
+        line["kind"] = Json("start");
+        break;
+      case ScheduleChoice::Kind::kDeliver:
+        line["kind"] = Json("deliver");
+        break;
+      case ScheduleChoice::Kind::kCrash:
+        line["kind"] = Json("crash");
+        break;
+    }
+    line["site"] = Json(static_cast<uint64_t>(c.site));
+    if (c.kind == ScheduleChoice::Kind::kDeliver) {
+      line["from"] = Json(static_cast<uint64_t>(c.from));
+      line["type"] = Json(c.msg_type);
+      line["dup"] = Json(static_cast<uint64_t>(c.dup));
+    }
+    out << line.Dump() << "\n";
+  }
+  return out.str();
+}
+
+Result<ParsedSchedule> ParseScheduleJsonLines(const std::string& text) {
+  ParsedSchedule out;
+  std::istringstream in(text);
+  std::string line;
+  bool have_meta = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("schedule line " +
+                                     std::to_string(line_no) + ": " +
+                                     parsed.status().message());
+    }
+    const Json& j = *parsed;
+    std::string record = j.GetString("record");
+    if (record == "schedule-meta") {
+      out.protocol = j.GetString("protocol");
+      out.num_sites = j.GetUint("sites");
+      const Json* votes = j.Find("votes");
+      if (votes != nullptr && votes->is_array()) {
+        for (const Json& v : votes->items()) {
+          out.votes.push_back(v.is_bool() && v.boolean());
+        }
+      }
+      have_meta = true;
+      continue;
+    }
+    if (record != "choice") continue;
+    ScheduleChoice c;
+    std::string kind = j.GetString("kind");
+    if (kind == "start") {
+      c.kind = ScheduleChoice::Kind::kStart;
+    } else if (kind == "deliver") {
+      c.kind = ScheduleChoice::Kind::kDeliver;
+    } else if (kind == "crash") {
+      c.kind = ScheduleChoice::Kind::kCrash;
+    } else {
+      return Status::InvalidArgument("schedule line " +
+                                     std::to_string(line_no) +
+                                     ": unknown kind '" + kind + "'");
+    }
+    c.site = static_cast<SiteId>(j.GetUint("site"));
+    c.from = static_cast<SiteId>(j.GetUint("from"));
+    c.msg_type = j.GetString("type");
+    c.dup = j.GetUint("dup");
+    out.choices.push_back(std::move(c));
+  }
+  if (!have_meta) {
+    return Status::InvalidArgument("schedule file has no meta line");
+  }
+  return out;
+}
+
+}  // namespace nbcp

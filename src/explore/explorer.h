@@ -1,0 +1,147 @@
+#ifndef NBCP_EXPLORE_EXPLORER_H_
+#define NBCP_EXPLORE_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/conformance.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "fsa/protocol_spec.h"
+#include "obs/json.h"
+
+namespace nbcp {
+
+/// One scheduling decision of an explored execution. Identity is
+/// independent of network sequence numbers (which vary across reordered
+/// runs): a delivery is named by receiver, sender, message type and its
+/// occurrence index among currently-pending duplicates — stable across
+/// commuting reorders, which sleep sets and recorded schedules rely on.
+struct ScheduleChoice {
+  enum class Kind : uint8_t {
+    kStart = 0,    ///< Fire a site's protocol start (the model's __request).
+    kDeliver = 1,  ///< Deliver a pending network message.
+    kCrash = 2,    ///< Crash a site (bounded failure injection).
+  };
+  Kind kind = Kind::kDeliver;
+  SiteId site = kNoSite;  ///< Receiver / started / crashed site.
+  SiteId from = kNoSite;  ///< Sender (deliveries only).
+  std::string msg_type;   ///< Message type (deliveries only).
+  size_t dup = 0;         ///< Occurrence index among identical pending msgs.
+
+  /// Stable identity across re-executions, e.g. "d:2<-1:yes#0".
+  std::string Key() const;
+  std::string ToString() const;
+};
+
+/// Exploration limits and modes.
+struct ExploreOptions {
+  size_t num_sites = 2;
+
+  /// Sleep sets + dynamic partial-order reduction over commuting (distinct
+  /// receiver site) deliveries. Off = plain exhaustive DFS, the ground
+  /// truth the reduction is tested against. Automatically off when
+  /// max_crashes > 0 (the crash dependency relation is global).
+  bool dpor = true;
+
+  /// Explore every preset vote vector (2^n runs of the DFS). Off = explore
+  /// only `votes`.
+  bool all_vote_vectors = true;
+  /// Preset votes (votes[i] = site i+1) when all_vote_vectors is off.
+  /// Sized to num_sites; missing entries default to yes.
+  std::vector<bool> votes;
+
+  /// Crash-injection choice points available per schedule. 0 = failure-free
+  /// (the only mode in which graph conformance is checked end-to-end).
+  size_t max_crashes = 0;
+
+  size_t max_schedules = 1'000'000;  ///< Across all vote vectors.
+  size_t max_depth = 10'000;         ///< Choices per schedule.
+  size_t max_steps = 200'000;        ///< Internal (timer) events per schedule.
+  size_t max_graph_nodes = 500'000;  ///< Reachable-graph size cap.
+  size_t max_witnesses = 5;          ///< Witnesses retained per issue class.
+  uint64_t seed = 42;
+  SimTime base_delay = 100;          ///< Network delay (jitter is always 0).
+  SimTime detection_delay = 500;
+};
+
+/// A conformance issue together with everything needed to reproduce it:
+/// the preset votes, the exact schedule, and the full JSONL trace of the
+/// divergent run (replayable by `nbcp-trace check --strict`).
+struct DivergenceWitness {
+  ConformanceIssue issue;
+  std::vector<bool> votes;
+  std::vector<ScheduleChoice> schedule;
+  std::string trace_jsonl;
+};
+
+/// Aggregated result of a systematic exploration.
+struct ExploreReport {
+  std::string protocol;
+  size_t num_sites = 0;
+  bool dpor = false;
+  size_t max_crashes = 0;
+
+  size_t schedules = 0;       ///< Complete executions performed.
+  size_t events = 0;          ///< Simulator events fired, summed.
+  size_t vote_vectors = 0;    ///< Preset vote vectors explored.
+  size_t max_depth_seen = 0;  ///< Deepest schedule (choices).
+  size_t sleep_skips = 0;     ///< Subtrees pruned by sleep sets.
+
+  // Coverage against the unreduced reachable-state graph (failure-free
+  // exploration only; meaningless and zero when max_crashes > 0).
+  size_t graph_nodes = 0;
+  size_t visited_nodes = 0;
+  size_t graph_orbits = 0;    ///< Nodes modulo site symmetry.
+  size_t visited_orbits = 0;
+  std::vector<std::string> uncovered;  ///< Renderings, capped.
+
+  size_t divergent_schedules = 0;
+  size_t violating_schedules = 0;
+  std::vector<DivergenceWitness> divergences;  ///< Capped at max_witnesses.
+  std::vector<DivergenceWitness> violations;   ///< Capped at max_witnesses.
+
+  bool bound_exhausted = false;  ///< A schedule/depth/step cap was hit.
+  bool graph_truncated = false;  ///< The state graph hit max_graph_nodes.
+
+  /// CI contract: 0 conform / 2 divergence / 3 invariant violation /
+  /// 4 bound exhausted (divergence trumps violation trumps bounds).
+  int ExitCode() const;
+  std::string Render() const;
+  Json ToJson() const;
+};
+
+/// Systematically explores schedules of `impl_spec` executions, checking
+/// each against the reachable-state graph of `model_spec` (defaults to
+/// `impl_spec` itself — pass a different model to hunt for implementation
+/// mutations).
+Result<ExploreReport> ExploreProtocol(const ProtocolSpec& impl_spec,
+                                      const ExploreOptions& options,
+                                      const ProtocolSpec* model_spec = nullptr);
+
+/// Re-executes one recorded schedule (a witness) under full conformance
+/// checking. The report covers exactly that schedule.
+Result<ExploreReport> ReplaySchedule(const ProtocolSpec& impl_spec,
+                                     const ExploreOptions& options,
+                                     const std::vector<bool>& votes,
+                                     const std::vector<ScheduleChoice>& schedule,
+                                     const ProtocolSpec* model_spec = nullptr);
+
+/// Witness schedule serialization: one meta line (protocol, sites, votes)
+/// followed by one line per choice.
+std::string ScheduleToJsonLines(const std::string& protocol, size_t num_sites,
+                                const std::vector<bool>& votes,
+                                const std::vector<ScheduleChoice>& schedule);
+struct ParsedSchedule {
+  std::string protocol;
+  size_t num_sites = 0;
+  std::vector<bool> votes;
+  std::vector<ScheduleChoice> choices;
+};
+Result<ParsedSchedule> ParseScheduleJsonLines(const std::string& text);
+
+}  // namespace nbcp
+
+#endif  // NBCP_EXPLORE_EXPLORER_H_

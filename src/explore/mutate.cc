@@ -1,0 +1,126 @@
+#include "explore/mutate.h"
+
+#include <functional>
+#include <utility>
+
+namespace nbcp {
+
+namespace {
+
+/// Rebuilds `a` with `transform` applied to every transition (the Automaton
+/// API is append-only, so mutation means reconstruction).
+Automaton RebuildAutomaton(
+    const Automaton& a,
+    const std::function<void(size_t, Transition&)>& transform) {
+  Automaton out;
+  for (const LocalState& s : a.states()) out.AddState(s.name, s.kind);
+  for (size_t i = 0; i < a.transitions().size(); ++i) {
+    Transition copy = a.transitions()[i];
+    transform(i, copy);
+    out.AddTransition(std::move(copy));
+  }
+  return out;
+}
+
+StateKind KindOfTarget(const Automaton& a, const Transition& t) {
+  return a.state(t.to).kind;
+}
+
+/// Swaps the targets of the first (votes_yes, votes_no-into-abort) pair of
+/// transitions leaving a common state: a no vote now drives the role toward
+/// commit and a yes vote into abort. Both original targets stay reachable,
+/// so the mutant passes spec validation.
+bool SwapVoteTargets(ProtocolSpec& spec) {
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    const Automaton& a = spec.role(static_cast<RoleIndex>(r));
+    const auto& ts = a.transitions();
+    for (size_t i = 0; i < ts.size(); ++i) {
+      if (!ts[i].votes_no || KindOfTarget(a, ts[i]) != StateKind::kAbort) {
+        continue;
+      }
+      for (size_t j = 0; j < ts.size(); ++j) {
+        if (!ts[j].votes_yes || ts[j].from != ts[i].from) continue;
+        StateIndex no_to = ts[i].to;
+        StateIndex yes_to = ts[j].to;
+        Automaton rebuilt = RebuildAutomaton(a, [&](size_t k, Transition& t) {
+          if (k == i) t.to = yes_to;
+          if (k == j) t.to = no_to;
+        });
+        spec.mutable_role(static_cast<RoleIndex>(r)) = std::move(rebuilt);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Applies `mutate` to the first transition (scanning roles in order) for
+/// which `match` holds. Returns false when nothing matched.
+bool MutateFirstMatching(
+    ProtocolSpec& spec,
+    const std::function<bool(const Automaton&, const Transition&)>& match,
+    const std::function<void(const Automaton&, Transition&)>& mutate) {
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    const Automaton& a = spec.role(static_cast<RoleIndex>(r));
+    bool done = false;
+    Automaton rebuilt = RebuildAutomaton(a, [&](size_t, Transition& t) {
+      if (done || !match(a, t)) return;
+      mutate(a, t);
+      done = true;
+    });
+    if (done) {
+      spec.mutable_role(static_cast<RoleIndex>(r)) = std::move(rebuilt);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ProtocolSpec> MutateSpec(const ProtocolSpec& spec,
+                                const std::string& mutation) {
+  ProtocolSpec out = spec;
+  out.set_name(spec.name() + "+" + mutation);
+  bool applied = false;
+
+  if (mutation == "commit-on-no") {
+    applied = SwapVoteTargets(out);
+  } else if (mutation == "drop-commit-broadcast") {
+    applied = MutateFirstMatching(
+        out,
+        [](const Automaton& a, const Transition& t) {
+          return KindOfTarget(a, t) == StateKind::kCommit && !t.sends.empty();
+        },
+        [](const Automaton& a, Transition& t) {
+          (void)a;
+          t.sends.clear();
+        });
+  } else if (mutation == "premature-commit") {
+    applied = MutateFirstMatching(
+        out,
+        [](const Automaton& a, const Transition& t) {
+          (void)a;
+          return t.trigger.kind == TriggerKind::kAllFrom;
+        },
+        [](const Automaton& a, Transition& t) {
+          (void)a;
+          t.trigger.kind = TriggerKind::kAnyFrom;
+        });
+  } else {
+    return Status::InvalidArgument("unknown mutation '" + mutation + "'");
+  }
+
+  if (!applied) {
+    return Status::FailedPrecondition("mutation '" + mutation +
+                                      "' matches no transition of " +
+                                      spec.name());
+  }
+  return out;
+}
+
+std::vector<std::string> KnownMutations() {
+  return {"commit-on-no", "drop-commit-broadcast", "premature-commit"};
+}
+
+}  // namespace nbcp

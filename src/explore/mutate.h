@@ -1,0 +1,33 @@
+#ifndef NBCP_EXPLORE_MUTATE_H_
+#define NBCP_EXPLORE_MUTATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Named single-fault mutations of a protocol spec, for seeding the
+/// explorer's divergence detection (run the mutant, check against the
+/// original's state graph):
+///   - "commit-on-no":          the first (yes-voting, no-voting-into-abort)
+///                              transition pair leaving a common state has
+///                              its targets swapped: a no vote drives the
+///                              role toward commit (an atomicity bug).
+///   - "drop-commit-broadcast": the commit-deciding transition stops
+///                              sending its messages (peers left hanging).
+///   - "premature-commit":      a commit-deciding all-from trigger is
+///                              weakened to any-from (commits on the first
+///                              yes; visible for n >= 3).
+/// The mutation applies to the first role containing a matching transition.
+Result<ProtocolSpec> MutateSpec(const ProtocolSpec& spec,
+                                const std::string& mutation);
+
+/// Names accepted by MutateSpec.
+std::vector<std::string> KnownMutations();
+
+}  // namespace nbcp
+
+#endif  // NBCP_EXPLORE_MUTATE_H_

@@ -6,6 +6,19 @@
 
 namespace nbcp {
 
+namespace {
+
+// Detector reports are timers: schedule explorers defer them until no
+// message-delivery choices remain.
+EventLabel TimerLabel(SiteId subject) {
+  EventLabel label;
+  label.cls = EventClass::kTimer;
+  label.site = subject;
+  return label;
+}
+
+}  // namespace
+
 void FailureDetector::Subscribe(SiteId site, Listener listener) {
   listeners_[site] = std::move(listener);
 }
@@ -15,7 +28,7 @@ void FailureDetector::Unsubscribe(SiteId site) { listeners_.erase(site); }
 void FailureDetector::NotifyCrash(SiteId site) {
   if (!down_.insert(site).second) return;  // Already reported down.
   NBCP_LOG(kDebug) << "failure detector: site " << site << " crashed";
-  sim_->ScheduleAfter(detection_delay_, [this, site]() {
+  sim_->ScheduleLabeled(detection_delay_, TimerLabel(site), [this, site]() {
     // The site may have recovered before detection fired; report only the
     // current belief.
     if (down_.count(site) != 0) Report(site, /*up=*/false);
@@ -25,7 +38,7 @@ void FailureDetector::NotifyCrash(SiteId site) {
 void FailureDetector::NotifyRecovery(SiteId site) {
   if (down_.erase(site) == 0) return;  // Was not down.
   NBCP_LOG(kDebug) << "failure detector: site " << site << " recovered";
-  sim_->ScheduleAfter(detection_delay_, [this, site]() {
+  sim_->ScheduleLabeled(detection_delay_, TimerLabel(site), [this, site]() {
     if (down_.count(site) == 0) Report(site, /*up=*/true);
   });
 }
@@ -51,7 +64,8 @@ bool FailureDetector::IsSuspectedBy(SiteId observer, SiteId subject) const {
 
 void FailureDetector::SuspectLocally(SiteId observer, SiteId subject) {
   if (!local_suspicions_.insert({observer, subject}).second) return;
-  sim_->ScheduleAfter(detection_delay_, [this, observer, subject]() {
+  sim_->ScheduleLabeled(detection_delay_, TimerLabel(subject),
+                        [this, observer, subject]() {
     if (local_suspicions_.count({observer, subject}) == 0) return;
     if (!network_->IsSiteUp(observer)) return;
     auto it = listeners_.find(observer);
@@ -61,7 +75,8 @@ void FailureDetector::SuspectLocally(SiteId observer, SiteId subject) {
 
 void FailureDetector::UnsuspectLocally(SiteId observer, SiteId subject) {
   if (local_suspicions_.erase({observer, subject}) == 0) return;
-  sim_->ScheduleAfter(detection_delay_, [this, observer, subject]() {
+  sim_->ScheduleLabeled(detection_delay_, TimerLabel(subject),
+                        [this, observer, subject]() {
     if (local_suspicions_.count({observer, subject}) != 0) return;
     if (down_.count(subject) != 0) return;  // Genuinely crashed.
     if (!network_->IsSiteUp(observer)) return;

@@ -44,7 +44,14 @@ Status Network::Send(Message msg) {
   if (observer_) observer_(msg, 's');
 
   SimTime delay = SampleDelay();
-  sim_->ScheduleAfter(delay, [this, msg = std::move(msg)]() {
+  EventLabel label;
+  label.cls = EventClass::kDelivery;
+  label.site = msg.to;
+  label.from = msg.from;
+  label.txn = msg.txn;
+  label.msg_type = msg.type;
+  label.seq = msg.seq;
+  sim_->ScheduleLabeled(delay, std::move(label), [this, msg = std::move(msg)]() {
     if (cut_links_.count({msg.from, msg.to}) != 0) {
       ++stats_.messages_dropped;
       if (metrics_ != nullptr) metrics_->counter("net/dropped").Inc();

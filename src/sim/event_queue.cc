@@ -1,60 +1,76 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace nbcp {
 
 EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
+  return Push(at, EventLabel{}, std::move(fn));
+}
+
+EventId EventQueue::Push(SimTime at, EventLabel label, std::function<void()> fn) {
   EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  ++live_count_;
+  uint64_t seq = next_seq_++;
+  live_.emplace(id, Entry{at, seq, std::move(label), std::move(fn)});
+  heap_.push(HeapItem{at, seq, id});
   return id;
 }
 
 void EventQueue::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (inserted && live_count_ > 0) --live_count_;
+  // Erasing only from live_ makes Cancel a strict no-op for ids that already
+  // fired: the stale heap node (if any) is skipped lazily.
+  live_.erase(id);
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
+void EventQueue::SkipDead() {
+  while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
     heap_.pop();
   }
 }
 
-bool EventQueue::Empty() {
-  SkipCancelled();
-  return heap_.empty();
-}
-
 SimTime EventQueue::NextTime() {
-  SkipCancelled();
+  SkipDead();
   assert(!heap_.empty());
   return heap_.top().time;
 }
 
 std::function<void()> EventQueue::Pop(SimTime* time) {
-  SkipCancelled();
+  SkipDead();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the callback must be moved out, so we
-  // const_cast the entry. The entry is popped immediately afterwards.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  *time = top.time;
-  std::function<void()> fn = std::move(top.fn);
+  EventId id = heap_.top().id;
   heap_.pop();
-  --live_count_;
+  auto it = live_.find(id);
+  *time = it->second.time;
+  std::function<void()> fn = std::move(it->second.fn);
+  live_.erase(it);
   return fn;
 }
 
-size_t EventQueue::Size() {
-  SkipCancelled();
-  return live_count_;
+std::function<void()> EventQueue::PopById(EventId id, SimTime* time) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return {};
+  *time = it->second.time;
+  std::function<void()> fn = std::move(it->second.fn);
+  live_.erase(it);
+  return fn;
+}
+
+std::vector<PendingEvent> EventQueue::Pending() const {
+  std::vector<PendingEvent> out;
+  out.reserve(live_.size());
+  for (const auto& [id, entry] : live_) {
+    out.push_back(PendingEvent{id, entry.time, entry.label});
+  }
+  // Pop order: time, then scheduling sequence. Ids and sequence numbers are
+  // issued together monotonically, so (time, id) is the same order.
+  std::sort(out.begin(), out.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.id < b.id;
+            });
+  return out;
 }
 
 }  // namespace nbcp

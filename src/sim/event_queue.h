@@ -4,7 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -14,11 +15,49 @@ namespace nbcp {
 /// Handle identifying a scheduled event; usable to cancel it.
 using EventId = uint64_t;
 
+/// Coarse classification of a scheduled event, used by schedule exploration
+/// to tell externally meaningful choice points (message deliveries, protocol
+/// starts, injected crashes) apart from bookkeeping callbacks and timers.
+enum class EventClass : uint8_t {
+  kInternal = 0,  ///< Unlabeled callback (default for plain Push).
+  kTimer = 1,     ///< Timeout/periodic callback (detector reports, deadlines).
+  kDelivery = 2,  ///< Network message delivery at a receiver site.
+  kStart = 3,     ///< Protocol start (the model's virtual __request).
+  kCrash = 4,     ///< Injected site crash (scheduled by an explorer).
+};
+
+/// Metadata attached to a scheduled event. Only meaningful fields are set:
+/// deliveries carry receiver/sender/type/seq, starts carry the started site,
+/// crashes carry the crashed site. The label never affects execution; it
+/// exists so a ScheduleStrategy can identify events across re-executions.
+struct EventLabel {
+  EventClass cls = EventClass::kInternal;
+  SiteId site = kNoSite;   ///< Receiver (delivery) / acting site (start/crash).
+  SiteId from = kNoSite;   ///< Sender site for deliveries.
+  TransactionId txn = kNoTransaction;
+  std::string msg_type;    ///< Message type for deliveries.
+  uint64_t seq = 0;        ///< Network sequence number for deliveries.
+};
+
+/// A live queue entry as seen by Pending(): enough to identify and fire it.
+struct PendingEvent {
+  EventId id = 0;
+  SimTime time = 0;
+  EventLabel label;
+};
+
 /// Time-ordered queue of simulation events.
 ///
-/// Events at equal timestamps fire in scheduling order (FIFO), which keeps
-/// runs deterministic. Cancellation is lazy: cancelled ids are skipped when
-/// popped.
+/// Ordering contract: events pop in ascending `SimTime`; events with equal
+/// `SimTime` pop in scheduling order (FIFO), enforced by a monotonically
+/// increasing per-queue sequence number assigned at Push. This total order
+/// is deterministic and independent of cancellation history, which makes
+/// recorded schedules replayable.
+///
+/// Storage: live entries live in an id-indexed map; a (time, seq, id) heap
+/// provides time order. Cancellation and PopById remove the map entry and
+/// leave a stale heap node behind, which Pop/NextTime lazily skip. Cancel on
+/// an id that already fired (or never existed) is a strict no-op.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -28,12 +67,15 @@ class EventQueue {
   /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
   EventId Push(SimTime at, std::function<void()> fn);
 
-  /// Cancels a previously scheduled event. Safe to call on ids that already
-  /// fired (no effect).
+  /// Schedules `fn` at absolute time `at` with an exploration label.
+  EventId Push(SimTime at, EventLabel label, std::function<void()> fn);
+
+  /// Cancels a pending event. No effect on ids that already fired, were
+  /// already cancelled, or were never issued.
   void Cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  bool Empty();
+  bool Empty() const { return live_.empty(); }
 
   /// Time of the earliest live event. Requires !Empty().
   SimTime NextTime();
@@ -42,31 +84,46 @@ class EventQueue {
   /// `*time` to its timestamp. Requires !Empty().
   std::function<void()> Pop(SimTime* time);
 
-  /// Number of live events (after discarding cancelled heads).
-  size_t Size();
+  /// Removes and returns the callback of the live event `id`, setting
+  /// `*time` to its timestamp. Returns an empty function if `id` is not
+  /// pending (already fired, cancelled, or unknown).
+  std::function<void()> PopById(EventId id, SimTime* time);
+
+  /// True when `id` is still pending.
+  bool Contains(EventId id) const { return live_.count(id) != 0; }
+
+  /// Number of live events.
+  size_t Size() const { return live_.size(); }
+
+  /// Snapshot of all live events in pop order (time, then scheduling seq).
+  std::vector<PendingEvent> Pending() const;
 
  private:
   struct Entry {
     SimTime time;
     uint64_t seq;
-    EventId id;
+    EventLabel label;
     std::function<void()> fn;
   };
+  struct HeapItem {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+  };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  /// Drops cancelled entries from the head of the heap.
-  void SkipCancelled();
+  /// Drops heap nodes whose entry is gone (cancelled or popped by id).
+  void SkipDead();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  std::unordered_map<EventId, Entry> live_;
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  size_t live_count_ = 0;
 };
 
 }  // namespace nbcp

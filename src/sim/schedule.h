@@ -1,0 +1,54 @@
+#ifndef NBCP_SIM_SCHEDULE_H_
+#define NBCP_SIM_SCHEDULE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace nbcp {
+
+class Simulator;
+
+/// Sentinel ChooseNext return value: stop the controlled run immediately.
+inline constexpr EventId kStopRun = std::numeric_limits<EventId>::max();
+
+/// Pluggable scheduling policy for Simulator::RunControlled.
+///
+/// Before each event, the simulator hands the strategy the full list of
+/// pending events (in default pop order: time, then scheduling sequence) and
+/// fires whichever one the strategy picks. Virtual time advances to
+/// max(now, chosen event's timestamp), so out-of-time-order choices never
+/// rewind the clock — they model messages overtaking each other in the
+/// network, which is exactly the nondeterminism a schedule explorer probes.
+///
+/// The strategy may schedule new labeled events on `sim` from inside
+/// ChooseNext (e.g. a crash injection callback) and return the fresh id.
+class ScheduleStrategy {
+ public:
+  virtual ~ScheduleStrategy() = default;
+
+  /// Picks the next event to fire. Return values:
+  ///  - an id from `pending` (or one just scheduled on `sim`): fire it;
+  ///  - 0: fire the default earliest (time, seq) event;
+  ///  - kStopRun: end the controlled run with events still pending.
+  virtual EventId ChooseNext(Simulator& sim,
+                             const std::vector<PendingEvent>& pending) = 0;
+};
+
+/// The identity strategy: always defers to default (time, seq) order.
+/// RunControlled with FifoStrategy is equivalent to Run.
+class FifoStrategy final : public ScheduleStrategy {
+ public:
+  EventId ChooseNext(Simulator& sim,
+                     const std::vector<PendingEvent>& pending) override {
+    (void)sim;
+    (void)pending;
+    return 0;
+  }
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_SIM_SCHEDULE_H_

@@ -11,6 +11,8 @@
 
 namespace nbcp {
 
+class ScheduleStrategy;
+
 /// Lifetime counters of one Simulator, for observability snapshots.
 struct SimStats {
   size_t events_executed = 0;
@@ -44,6 +46,15 @@ class Simulator {
     return id;
   }
 
+  /// Schedules `fn` to run `delay` microseconds from now, tagged with an
+  /// exploration label (see EventLabel). Labels never affect execution.
+  EventId ScheduleLabeled(SimTime delay, EventLabel label,
+                          std::function<void()> fn) {
+    EventId id = queue_.Push(now_ + delay, std::move(label), std::move(fn));
+    NoteScheduled();
+    return id;
+  }
+
   /// Schedules `fn` at absolute virtual time `at` (clamped to >= now).
   EventId ScheduleAt(SimTime at, std::function<void()> fn) {
     if (at < now_) at = now_;
@@ -66,8 +77,23 @@ class Simulator {
   /// Executes exactly one event if available. Returns true if one ran.
   bool Step();
 
+  /// Runs events with the strategy choosing each one, until the queue
+  /// drains, `max_events` fire, or the strategy returns kStopRun. Choosing
+  /// an event whose timestamp is in the "future" advances virtual time to
+  /// it; choosing one "behind" the clock runs it at the current time (time
+  /// never rewinds). Returns events executed.
+  size_t RunControlled(ScheduleStrategy& strategy,
+                       size_t max_events = SIZE_MAX);
+
+  /// Fires the pending event `id` immediately, advancing virtual time to
+  /// max(now, its timestamp). Returns false if `id` is not pending.
+  bool FireEvent(EventId id);
+
   /// Number of pending events.
-  size_t PendingEvents() { return queue_.Size(); }
+  size_t PendingEvents() const { return queue_.Size(); }
+
+  /// Snapshot of all pending events in default pop order (time, seq).
+  std::vector<PendingEvent> Pending() const { return queue_.Pending(); }
 
   const SimStats& stats() const { return stats_; }
 

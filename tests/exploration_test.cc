@@ -1,0 +1,220 @@
+#include "explore/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/state_graph.h"
+#include "explore/mutate.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+ExploreReport Explore(const std::string& protocol, ExploreOptions options,
+                      const std::string& mutation = "") {
+  auto spec = MakeProtocol(protocol);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  if (mutation.empty()) {
+    auto report = ExploreProtocol(*spec, options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return *report;
+  }
+  auto mutant = MutateSpec(*spec, mutation);
+  EXPECT_TRUE(mutant.ok()) << mutant.status().ToString();
+  auto report = ExploreProtocol(*mutant, options, &*spec);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *report;
+}
+
+size_t UnreducedNodeCount(const std::string& protocol, size_t n) {
+  auto spec = MakeProtocol(protocol);
+  EXPECT_TRUE(spec.ok());
+  GraphOptions opt;
+  opt.symmetry_reduction = false;
+  auto graph = ReachableStateGraph::Build(*spec, n, opt);
+  EXPECT_TRUE(graph.ok());
+  return graph->num_nodes();
+}
+
+TEST(ExplorationTest, ExhaustiveTwoSiteExplorationCoversEveryBuiltinExactly) {
+  // The tentpole acceptance bar: exhaustive exploration at n=2 visits
+  // exactly the node set the static reachable-state graph reports — every
+  // node reached (completeness of the runtime + explorer) and no state
+  // outside the graph (soundness of the implementation), for all builtins.
+  for (const std::string& protocol : BuiltinProtocolNames()) {
+    ExploreOptions options;
+    options.num_sites = 2;
+    options.dpor = false;
+    ExploreReport report = Explore(protocol, options);
+    EXPECT_EQ(report.ExitCode(), 0) << protocol << "\n" << report.Render();
+    EXPECT_EQ(report.graph_nodes, UnreducedNodeCount(protocol, 2))
+        << protocol;
+    EXPECT_EQ(report.visited_nodes, report.graph_nodes) << protocol;
+    EXPECT_EQ(report.visited_orbits, report.graph_orbits) << protocol;
+    EXPECT_TRUE(report.uncovered.empty()) << protocol;
+    EXPECT_FALSE(report.bound_exhausted) << protocol;
+    EXPECT_GT(report.schedules, 0u) << protocol;
+  }
+}
+
+TEST(ExplorationTest, TwoPhaseCentralPinnedCounts) {
+  ExploreOptions options;
+  options.num_sites = 2;
+  options.dpor = false;
+  ExploreReport report = Explore("2PC-central", options);
+  // Pinned so a semantic drift in engine, graph or explorer shows up as a
+  // count change, not just a pass/fail flip.
+  EXPECT_EQ(report.graph_nodes, 11u);
+  EXPECT_EQ(report.visited_nodes, 11u);
+  EXPECT_EQ(report.schedules, 6u);
+  EXPECT_EQ(report.vote_vectors, 4u);
+}
+
+TEST(ExplorationTest, DporAgreesWithExhaustiveOnVerdicts) {
+  // DPOR explores a subset of interleavings but must reach the same
+  // verdict; at n=3 it must actually prune something.
+  for (const char* protocol : {"2PC-central", "3PC-central"}) {
+    ExploreOptions exhaustive;
+    exhaustive.num_sites = 3;
+    exhaustive.dpor = false;
+    ExploreReport full = Explore(protocol, exhaustive);
+
+    ExploreOptions reduced = exhaustive;
+    reduced.dpor = true;
+    ExploreReport dpor = Explore(protocol, reduced);
+
+    EXPECT_EQ(full.ExitCode(), 0) << protocol;
+    EXPECT_EQ(dpor.ExitCode(), 0) << protocol;
+    EXPECT_LT(dpor.schedules, full.schedules) << protocol;
+    EXPECT_LE(dpor.visited_nodes, full.visited_nodes) << protocol;
+  }
+}
+
+TEST(ExplorationTest, MutatedParticipantIsCaughtWithDivergenceExit) {
+  ExploreOptions options;
+  options.num_sites = 2;
+  options.dpor = false;
+  ExploreReport report = Explore("2PC-central", options, "commit-on-no");
+  EXPECT_EQ(report.ExitCode(), 2) << report.Render();
+  ASSERT_FALSE(report.divergences.empty());
+  // The vote-target swap also breaks atomicity on mixed votes.
+  EXPECT_GT(report.violating_schedules, 0u);
+  // Witnesses carry a full replayable trace.
+  EXPECT_FALSE(report.divergences.front().trace_jsonl.empty());
+  EXPECT_FALSE(report.divergences.front().schedule.empty());
+}
+
+TEST(ExplorationTest, AllMutationsAreDetected) {
+  for (const std::string& mutation : KnownMutations()) {
+    ExploreOptions options;
+    // premature-commit (all-from -> any-from) needs a third site to be
+    // observable; the others show at n=2 but n=3 exercises more schedules.
+    options.num_sites = 3;
+    options.dpor = false;
+    ExploreReport report = Explore("3PC-central", options, mutation);
+    EXPECT_EQ(report.ExitCode(), 2)
+        << mutation << "\n" << report.Render();
+  }
+}
+
+TEST(ExplorationTest, WitnessScheduleReplaysToTheSameIssue) {
+  ExploreOptions options;
+  options.num_sites = 2;
+  options.dpor = false;
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto mutant = MutateSpec(*spec, "commit-on-no");
+  ASSERT_TRUE(mutant.ok());
+  auto report = ExploreProtocol(*mutant, options, &*spec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->divergences.empty());
+  const DivergenceWitness& w = report->divergences.front();
+
+  auto replay = ReplaySchedule(*mutant, options, w.votes, w.schedule, &*spec);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->ExitCode(), 2) << replay->Render();
+  ASSERT_FALSE(replay->divergences.empty());
+  EXPECT_EQ(replay->divergences.front().issue.kind, w.issue.kind);
+}
+
+TEST(ExplorationTest, ScheduleSerializationRoundTrips) {
+  std::vector<ScheduleChoice> schedule;
+  ScheduleChoice start;
+  start.kind = ScheduleChoice::Kind::kStart;
+  start.site = 1;
+  schedule.push_back(start);
+  ScheduleChoice deliver;
+  deliver.kind = ScheduleChoice::Kind::kDeliver;
+  deliver.site = 2;
+  deliver.from = 1;
+  deliver.msg_type = "xact";
+  deliver.dup = 1;
+  schedule.push_back(deliver);
+  ScheduleChoice crash;
+  crash.kind = ScheduleChoice::Kind::kCrash;
+  crash.site = 2;
+  schedule.push_back(crash);
+
+  std::string text =
+      ScheduleToJsonLines("2PC-central", 2, {true, false}, schedule);
+  auto parsed = ParseScheduleJsonLines(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->protocol, "2PC-central");
+  EXPECT_EQ(parsed->num_sites, 2u);
+  EXPECT_EQ(parsed->votes, (std::vector<bool>{true, false}));
+  ASSERT_EQ(parsed->choices.size(), schedule.size());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(parsed->choices[i].Key(), schedule[i].Key()) << i;
+  }
+  EXPECT_FALSE(ParseScheduleJsonLines("").ok());
+  EXPECT_FALSE(ParseScheduleJsonLines("{\"record\":\"choice\"}\n").ok());
+}
+
+TEST(ExplorationTest, ScheduleBudgetExhaustionReportsInconclusive) {
+  ExploreOptions options;
+  options.num_sites = 3;
+  options.dpor = false;
+  options.max_schedules = 2;
+  ExploreReport report = Explore("3PC-decentralized", options);
+  EXPECT_TRUE(report.bound_exhausted);
+  EXPECT_EQ(report.ExitCode(), 4);
+}
+
+TEST(ExplorationTest, CrashModeStaysAtomicForThreePhase) {
+  // 3PC is nonblocking under single-site crashes: every explored crash
+  // schedule must still decide atomically (the checker degrades to the
+  // outcome-level invariant, which crashes must not break).
+  ExploreOptions options;
+  options.num_sites = 2;
+  options.dpor = false;
+  options.max_crashes = 1;
+  options.max_schedules = 5000;
+  ExploreReport report = Explore("3PC-central", options);
+  EXPECT_EQ(report.divergent_schedules, 0u) << report.Render();
+  EXPECT_EQ(report.violating_schedules, 0u) << report.Render();
+}
+
+TEST(MutateSpecTest, UnknownAndInapplicableMutationsAreRejected) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(MutateSpec(*spec, "no-such-mutation").ok());
+  // 1PC has no commit broadcast to drop.
+  auto one_pc = MakeProtocol("1PC-central");
+  ASSERT_TRUE(one_pc.ok());
+  auto mutated = MutateSpec(*one_pc, "drop-commit-broadcast");
+  if (mutated.ok()) {
+    // If 1PC does broadcast a commit, the mutant must at least be renamed.
+    EXPECT_NE(mutated->name(), one_pc->name());
+  } else {
+    EXPECT_TRUE(mutated.status().IsFailedPrecondition());
+  }
+  // Mutants keep passing spec validation (no stranded states).
+  auto swapped = MutateSpec(*spec, "commit-on-no");
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(swapped->Validate().ok());
+}
+
+}  // namespace
+}  // namespace nbcp

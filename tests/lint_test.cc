@@ -30,7 +30,7 @@ const char* kTwoPcSlave =
     "  on w: one abort from coordinator / nothing -> a\n";
 
 TEST(LintTest, BundledProtocolsAreClean) {
-  for (const std::string& name :
+  for (const char* name :
        {"1PC-central", "2PC-central", "2PC-decentralized", "3PC-central",
         "3PC-decentralized", "L2PC-linear"}) {
     auto spec = MakeProtocol(name);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/schedule.h"
 #include "sim/simulator.h"
 
 namespace nbcp {
@@ -69,6 +70,101 @@ TEST(EventQueueTest, SizeCountsLiveEvents) {
   EXPECT_EQ(q.Size(), 2u);
   q.Cancel(a);
   EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, EqualTimesStayFifoAcrossInterleavedPops) {
+  // The documented tie-break: equal-SimTime events pop in Push order
+  // (monotonic sequence number), even when pops interleave with pushes.
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(100, [&] { order.push_back(0); });
+  q.Push(100, [&] { order.push_back(1); });
+  SimTime t;
+  q.Pop(&t)();
+  q.Push(100, [&] { order.push_back(2); });
+  q.Push(50, [&] { order.push_back(3); });  // Earlier time still wins.
+  while (!q.Empty()) q.Pop(&t)();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+}
+
+TEST(EventQueueTest, CancelAfterFireDoesNotCorruptSize) {
+  // Regression: cancelling an id that already popped used to be recorded
+  // as a pending cancellation and corrupted Size() / Empty().
+  EventQueue q;
+  EventId id = q.Push(100, [] {});
+  q.Push(200, [] {});
+  SimTime t;
+  q.Pop(&t)();     // Fires `id`.
+  q.Cancel(id);    // Must be a strict no-op now.
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_FALSE(q.Empty());
+  q.Pop(&t)();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, PendingExposesLabelsAndPopByIdSelects) {
+  EventQueue q;
+  std::vector<int> order;
+  EventLabel d;
+  d.cls = EventClass::kDelivery;
+  d.site = 2;
+  d.from = 1;
+  d.msg_type = "yes";
+  q.Push(100, [&] { order.push_back(0); });
+  EventId id = q.Push(100, d, [&] { order.push_back(1); });
+  ASSERT_EQ(q.Pending().size(), 2u);
+  EXPECT_TRUE(q.Contains(id));
+
+  // Out-of-order selection by id: the chosen event fires, the rest keep
+  // their documented order, and the fired id is no longer pending.
+  SimTime t = 0;
+  q.PopById(id, &t)();
+  EXPECT_EQ(t, 100u);
+  EXPECT_FALSE(q.Contains(id));
+  ASSERT_EQ(q.Pending().size(), 1u);
+  EXPECT_EQ(q.Pending()[0].label.cls, EventClass::kInternal);
+  EXPECT_FALSE(q.PopById(id, &t));  // Dead id: empty function.
+  q.Pop(&t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(SimulatorTest, RunControlledFollowsStrategy) {
+  // A strategy that always fires the latest pending event first inverts
+  // the schedule; virtual time must still be monotonic.
+  class LifoStrategy : public ScheduleStrategy {
+   public:
+    EventId ChooseNext(Simulator&,
+                       const std::vector<PendingEvent>& pending) override {
+      return pending.back().id;
+    }
+  };
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<SimTime> times;
+  sim.ScheduleAfter(100, [&] { order.push_back(1); times.push_back(sim.now()); });
+  sim.ScheduleAfter(200, [&] { order.push_back(2); times.push_back(sim.now()); });
+  sim.ScheduleAfter(300, [&] { order.push_back(3); times.push_back(sim.now()); });
+  LifoStrategy lifo;
+  EXPECT_EQ(sim.RunControlled(lifo), 3u);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+  // Firing t=300 first pins the clock; earlier events fire "late".
+  EXPECT_EQ(times, (std::vector<SimTime>{300, 300, 300}));
+}
+
+TEST(SimulatorTest, RunControlledStopsOnSentinel) {
+  class StopStrategy : public ScheduleStrategy {
+   public:
+    EventId ChooseNext(Simulator&,
+                       const std::vector<PendingEvent>&) override {
+      return kStopRun;
+    }
+  };
+  Simulator sim;
+  sim.ScheduleAfter(100, [] {});
+  StopStrategy stop;
+  EXPECT_EQ(sim.RunControlled(stop), 0u);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
 }
 
 TEST(SimulatorTest, ClockAdvancesToEventTime) {

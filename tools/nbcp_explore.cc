@@ -1,0 +1,340 @@
+// nbcp-explore: systematic schedule exploration with implementation <-> model
+// conformance checking.
+//
+//   nbcp-explore <builtin-name|file.nbcp> [options]
+//   nbcp-explore replay <schedule.jsonl> [options]
+//   nbcp-explore list
+//
+// Explores message-delivery / protocol-start (and optionally crash)
+// schedules of the simulated runtime via stateless re-execution (DFS with
+// sleep sets + dynamic partial-order reduction, or plain exhaustive DFS).
+// Every explored execution is abstracted through the trace pipeline and
+// checked against the spec's unreduced reachable-state graph: reached
+// abstract states must be graph nodes, terminal states must satisfy the
+// atomicity invariants, and never-exercised spec states are reported as
+// coverage gaps. Divergent runs export witness schedules (replayable with
+// `nbcp-explore replay`) plus full traces (replayable with
+// `nbcp-trace check --strict`).
+//
+// Options:
+//   -n <N>               sites in the executed population (default 2)
+//   --exhaustive         plain DFS, no reduction (the coverage ground truth)
+//   --dpor               sleep sets + DPOR (default; off when crashes > 0)
+//   --votes <v1v2...>    explore one preset vote vector, e.g. "yn" or "10"
+//                        (default: all 2^n vectors)
+//   --max-crashes <N>    crash-injection choice points per schedule
+//   --max-schedules <N>  schedule budget (default 1000000)
+//   --max-depth <N>      choices per schedule (default 10000)
+//   --max-nodes <N>      state-graph node budget (default 500000)
+//   --mutate <name>      run a mutated implementation against the original
+//                        model (see `nbcp-explore mutations`)
+//   --model <spec>       check against a different model spec
+//   --seed <N>           simulator seed (default 42)
+//   --json               machine-readable report on stdout
+//   --witness-dir <dir>  write witness schedules + traces into <dir>
+//
+// Exit codes (CI contract):
+//   0  every explored execution conforms to the model
+//   1  usage or infrastructure error
+//   2  divergence: an execution left the model's reachable-state graph
+//   3  invariant violation (atomicity / C2) on an explored execution
+//   4  inconclusive: a schedule/depth/graph bound was exhausted
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/mutate.h"
+#include "fsa/spec_parser.h"
+#include "obs/export.h"
+#include "protocols/registry.h"
+
+using namespace nbcp;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: nbcp-explore <builtin-name|file.nbcp> [-n N] [--exhaustive]\n"
+      "                    [--votes V] [--max-crashes N] [--max-schedules N]\n"
+      "                    [--max-depth N] [--max-nodes N] [--mutate NAME]\n"
+      "                    [--model SPEC] [--seed N] [--json]\n"
+      "                    [--witness-dir DIR]\n"
+      "       nbcp-explore replay <schedule.jsonl> [--model SPEC] [--json]\n"
+      "       nbcp-explore list | mutations\n");
+  return 1;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+/// Strict size_t parser: rejects empty strings, signs, trailing garbage
+/// and overflow.
+bool ParseSize(const char* text, size_t* out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+/// "yn", "10", "YN" -> {true, false}.
+bool ParseVotes(const std::string& text, std::vector<bool>* out) {
+  out->clear();
+  for (char c : text) {
+    if (c == 'y' || c == 'Y' || c == '1') {
+      out->push_back(true);
+    } else if (c == 'n' || c == 'N' || c == '0') {
+      out->push_back(false);
+    } else {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+Result<ProtocolSpec> LoadSpec(const std::string& name_or_path) {
+  auto builtin = MakeProtocol(name_or_path);
+  if (builtin.ok()) return builtin;
+  std::ifstream in(name_or_path);
+  if (!in) {
+    return Status::NotFound("'" + name_or_path +
+                            "' is neither a builtin protocol nor a readable "
+                            "spec file");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseProtocolSpec(text.str());
+}
+
+std::string ProtocolLabel(const std::string& name_or_path,
+                          const ProtocolSpec& spec) {
+  if (MakeProtocol(name_or_path).ok()) return name_or_path;
+  return spec.name().empty() ? "spec" : spec.name();
+}
+
+/// Writes each witness as a schedule file + trace file pair; appends the
+/// paths written to `files`.
+Status WriteWitnesses(const std::string& dir, const std::string& label,
+                      const std::string& klass, size_t num_sites,
+                      const std::vector<DivergenceWitness>& witnesses,
+                      std::vector<std::string>* files) {
+  size_t index = 0;
+  for (const DivergenceWitness& w : witnesses) {
+    std::string base =
+        dir + "/" + label + "-" + klass + "-" + std::to_string(index++);
+    Status s = WriteFile(base + ".schedule.jsonl",
+                         ScheduleToJsonLines(label, num_sites, w.votes,
+                                             w.schedule));
+    if (!s.ok()) return s;
+    files->push_back(base + ".schedule.jsonl");
+    if (!w.trace_jsonl.empty()) {
+      s = WriteFile(base + ".trace.jsonl", w.trace_jsonl);
+      if (!s.ok()) return s;
+      files->push_back(base + ".trace.jsonl");
+    }
+  }
+  return Status::OK();
+}
+
+int EmitReport(const ExploreReport& report, bool json,
+               const std::vector<std::string>& witness_files) {
+  if (json) {
+    Json doc = report.ToJson();
+    Json files = Json::Array();
+    for (const std::string& path : witness_files) files.Append(path);
+    doc["witness_files"] = std::move(files);
+    std::printf("%s\n", doc.Dump(2).c_str());
+  } else {
+    std::printf("%s", report.Render().c_str());
+    for (const std::string& path : witness_files) {
+      std::printf("witness: %s\n", path.c_str());
+    }
+  }
+  return report.ExitCode();
+}
+
+int RunReplay(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string path = argv[2];
+  bool json = false;
+  std::string model_name;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--model") {
+      if (++i >= argc) return Fail("--model requires a spec");
+      model_name = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  std::ifstream in(path);
+  if (!in) return Fail("cannot read schedule file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto sched = ParseScheduleJsonLines(text.str());
+  if (!sched.ok()) return Fail(sched.status().ToString());
+
+  // The schedule was recorded against a (possibly mutated) implementation;
+  // the meta line's protocol name with a "+mutation" suffix reconstructs it.
+  std::string impl_name = sched->protocol;
+  std::string mutation;
+  size_t plus = impl_name.find('+');
+  if (plus != std::string::npos) {
+    mutation = impl_name.substr(plus + 1);
+    impl_name = impl_name.substr(0, plus);
+  }
+  auto spec = LoadSpec(impl_name);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  ProtocolSpec impl = *spec;
+  if (!mutation.empty()) {
+    auto mutated = MutateSpec(impl, mutation);
+    if (!mutated.ok()) return Fail(mutated.status().ToString());
+    impl = std::move(*mutated);
+  }
+  ProtocolSpec model = *spec;
+  if (!model_name.empty()) {
+    auto m = LoadSpec(model_name);
+    if (!m.ok()) return Fail(m.status().ToString());
+    model = std::move(*m);
+  }
+
+  ExploreOptions options;
+  options.num_sites = sched->num_sites;
+  auto report = ReplaySchedule(impl, options, sched->votes, sched->choices,
+                               &model);
+  if (!report.ok()) return Fail(report.status().ToString());
+  return EmitReport(*report, json, {});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string target = argv[1];
+  if (target == "list") {
+    for (const std::string& name : BuiltinProtocolNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (target == "mutations") {
+    for (const std::string& name : KnownMutations()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (target == "--help" || target == "-h") return Usage();
+  if (target == "replay") return RunReplay(argc, argv);
+
+  ExploreOptions options;
+  bool json = false;
+  std::string witness_dir;
+  std::string mutation;
+  std::string model_name;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-n") {
+      if (++i >= argc || !ParseSize(argv[i], &options.num_sites) ||
+          options.num_sites < 2) {
+        return Fail("-n requires an integer >= 2");
+      }
+    } else if (arg == "--exhaustive") {
+      options.dpor = false;
+    } else if (arg == "--dpor") {
+      options.dpor = true;
+    } else if (arg == "--votes") {
+      if (++i >= argc || !ParseVotes(argv[i], &options.votes)) {
+        return Fail("--votes requires a y/n (or 1/0) string, e.g. yn");
+      }
+      options.all_vote_vectors = false;
+    } else if (arg == "--max-crashes") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_crashes)) {
+        return Fail("--max-crashes requires an integer");
+      }
+    } else if (arg == "--max-schedules") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_schedules) ||
+          options.max_schedules == 0) {
+        return Fail("--max-schedules requires a positive integer");
+      }
+    } else if (arg == "--max-depth") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_depth) ||
+          options.max_depth == 0) {
+        return Fail("--max-depth requires a positive integer");
+      }
+    } else if (arg == "--max-nodes") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_graph_nodes) ||
+          options.max_graph_nodes == 0) {
+        return Fail("--max-nodes requires a positive integer");
+      }
+    } else if (arg == "--mutate") {
+      if (++i >= argc) return Fail("--mutate requires a mutation name");
+      mutation = argv[i];
+    } else if (arg == "--model") {
+      if (++i >= argc) return Fail("--model requires a spec");
+      model_name = argv[i];
+    } else if (arg == "--seed") {
+      size_t seed = 0;
+      if (++i >= argc || !ParseSize(argv[i], &seed)) {
+        return Fail("--seed requires an integer");
+      }
+      options.seed = seed;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--witness-dir") {
+      if (++i >= argc) return Fail("--witness-dir requires a directory");
+      witness_dir = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  auto spec = LoadSpec(target);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  std::string label = ProtocolLabel(target, *spec);
+
+  ProtocolSpec impl = *spec;
+  ProtocolSpec model = *spec;
+  if (!mutation.empty()) {
+    auto mutated = MutateSpec(impl, mutation);
+    if (!mutated.ok()) return Fail(mutated.status().ToString());
+    impl = std::move(*mutated);
+    label += "+" + mutation;
+  }
+  if (!model_name.empty()) {
+    auto m = LoadSpec(model_name);
+    if (!m.ok()) return Fail(m.status().ToString());
+    model = std::move(*m);
+  }
+
+  auto report = ExploreProtocol(impl, options, &model);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::vector<std::string> witness_files;
+  if (!witness_dir.empty()) {
+    Status s = WriteWitnesses(witness_dir, label, "divergence",
+                              options.num_sites, report->divergences,
+                              &witness_files);
+    if (s.ok()) {
+      s = WriteWitnesses(witness_dir, label, "violation", options.num_sites,
+                         report->violations, &witness_files);
+    }
+    if (!s.ok()) return Fail(s.ToString());
+  }
+  return EmitReport(*report, json, witness_files);
+}

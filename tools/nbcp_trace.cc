@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/mutate.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/observer.h"
@@ -304,13 +305,33 @@ std::optional<ReplayResult> RunReplay(const ImportedTrace& trace) {
                  "cannot replay\n");
     return std::nullopt;
   }
-  auto spec = MakeProtocol(trace.meta.protocol);
+  // Witness traces from nbcp-explore's mutation self-test name their
+  // protocol "<base>+<mutation>"; reconstruct the mutant so the strict
+  // replay re-derives the violation against the spec that produced it.
+  std::string base = trace.meta.protocol;
+  std::string mutation;
+  size_t plus = base.find('+');
+  if (plus != std::string::npos) {
+    mutation = base.substr(plus + 1);
+    base = base.substr(0, plus);
+  }
+  auto spec = MakeProtocol(base);
   if (!spec.ok()) {
     std::fprintf(stderr,
                  "error: protocol '%s' is not in the registry: %s\n",
                  trace.meta.protocol.c_str(),
                  spec.status().ToString().c_str());
     return std::nullopt;
+  }
+  if (!mutation.empty()) {
+    auto mutated = MutateSpec(*spec, mutation);
+    if (!mutated.ok()) {
+      std::fprintf(stderr, "error: cannot rebuild mutant '%s': %s\n",
+                   trace.meta.protocol.c_str(),
+                   mutated.status().ToString().c_str());
+      return std::nullopt;
+    }
+    spec = std::move(*mutated);
   }
   bool truncated = trace.meta.dropped != 0;
   auto replay = ReplayGlobalStates(*spec, trace.meta.num_sites, trace.events,
