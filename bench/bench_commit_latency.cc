@@ -2,6 +2,7 @@
 // election + termination protocol) — per protocol and population size, and
 // the election-algorithm ablation (bully vs ring backup selection).
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "bench_util.h"
@@ -32,29 +33,45 @@ TxnResult RunOne(const std::string& protocol, size_t n, bool crash,
   return result;
 }
 
-double MeanLatency(const std::string& protocol, size_t n, bool crash,
-                   bool ring, int trials, MetricsRegistry* acc = nullptr) {
-  double total = 0;
-  int counted = 0;
-  for (int t = 0; t < trials; ++t) {
-    TxnResult r = RunOne(protocol, n, crash, ring, 100 + t, acc);
-    if (r.blocked) continue;  // Blocked runs have no completion latency.
-    total += static_cast<double>(r.latency());
-    ++counted;
+struct LatencyStats {
+  double mean = -1.0;
+  bench::Reps reps;  ///< reps.median is the headline (regression-gated).
+};
+
+LatencyStats Latency(const std::string& protocol, size_t n, bool crash,
+                     bool ring, int warmup, int trials,
+                     MetricsRegistry* acc = nullptr) {
+  LatencyStats stats;
+  stats.reps = bench::MedianOf(
+      warmup, trials, [&](int i) -> std::optional<double> {
+        // Warmup runs neither land in the accumulated metrics cell nor in
+        // the statistics; each repetition is its own seeded run.
+        TxnResult r = RunOne(protocol, n, crash, ring, 100 + i,
+                             i < warmup ? nullptr : acc);
+        if (r.blocked) return std::nullopt;  // No completion latency.
+        return static_cast<double>(r.latency());
+      });
+  if (!stats.reps.samples.empty()) {
+    double total = 0;
+    for (double s : stats.reps.samples) total += s;
+    stats.mean = total / static_cast<double>(stats.reps.samples.size());
   }
-  return counted > 0 ? total / counted : -1.0;
+  return stats;
 }
 
 }  // namespace
 
 int main() {
+  const int kWarmup = 5;
   const int kTrials = 50;
   bench::JsonReport report("commit_latency");
   report.root()["trials"] = Json(kTrials);
+  report.root()["warmup"] = Json(kWarmup);
 
   bench::Banner("Q3", "Commit latency, failure-free vs coordinator crash");
   std::printf("delays: base 100us + up to 50us jitter; detection 500us; "
-              "%d trials per cell; latency in us\n\n", kTrials);
+              "%d warmup + %d trials per cell; median latency in us\n\n",
+              kWarmup, kTrials);
   std::printf("%-20s %4s %14s %26s %10s\n", "protocol", "n", "failure-free",
               "coord-crash(+termination)", "overhead");
   for (const std::string& protocol :
@@ -62,16 +79,24 @@ int main() {
         std::string("3PC-decentralized")}) {
     for (size_t n : {3, 5, 9}) {
       std::string key = protocol + "/n=" + std::to_string(n);
-      double clean = MeanLatency(protocol, n, false, false, kTrials,
-                                 &report.cell(key + "/clean"));
-      double crash = MeanLatency(protocol, n, true, false, kTrials,
-                                 &report.cell(key + "/crash"));
+      LatencyStats clean = Latency(protocol, n, false, false, kWarmup,
+                                   kTrials, &report.cell(key + "/clean"));
+      LatencyStats crash = Latency(protocol, n, true, false, kWarmup,
+                                   kTrials, &report.cell(key + "/crash"));
+      double clean_med = clean.reps.samples.empty() ? -1.0 : clean.reps.median;
+      double crash_med = crash.reps.samples.empty() ? -1.0 : crash.reps.median;
       std::printf("%-20s %4zu %14.0f %26.0f %9.1fx\n", protocol.c_str(), n,
-                  clean, crash, crash > 0 && clean > 0 ? crash / clean : 0.0);
+                  clean_med, crash_med,
+                  crash_med > 0 && clean_med > 0 ? crash_med / clean_med
+                                                 : 0.0);
       report.AddRow("latency", {{"protocol", Json(protocol)},
                                 {"n", Json(n)},
-                                {"clean_mean_us", Json(clean)},
-                                {"crash_mean_us", Json(crash)}});
+                                {"clean_mean_us", Json(clean.mean)},
+                                {"crash_mean_us", Json(crash.mean)},
+                                {"clean_median_us", Json(clean_med)},
+                                {"crash_median_us", Json(crash_med)},
+                                {"clean_max_us", Json(clean.reps.max)},
+                                {"crash_max_us", Json(crash.reps.max)}});
     }
   }
   std::printf(
@@ -84,15 +109,33 @@ int main() {
   std::printf("%-20s %4s %18s %18s\n", "protocol", "n", "bully crash-lat",
               "ring crash-lat");
   for (size_t n : {3, 5, 9}) {
-    double bully = MeanLatency("3PC-central", n, true, false, kTrials);
-    double ring = MeanLatency("3PC-central", n, true, true, kTrials);
-    std::printf("%-20s %4zu %18.0f %18.0f\n", "3PC-central", n, bully, ring);
-    report.AddRow("election_ablation", {{"n", Json(n)},
-                                        {"bully_mean_us", Json(bully)},
-                                        {"ring_mean_us", Json(ring)}});
+    LatencyStats bully = Latency("3PC-central", n, true, false, kWarmup,
+                                 kTrials);
+    LatencyStats ring = Latency("3PC-central", n, true, true, kWarmup,
+                                kTrials);
+    std::printf("%-20s %4zu %18.0f %18.0f\n", "3PC-central", n,
+                bully.reps.median, ring.reps.median);
+    report.AddRow("election_ablation",
+                  {{"n", Json(n)},
+                   {"bully_mean_us", Json(bully.mean)},
+                   {"ring_mean_us", Json(ring.mean)},
+                   {"bully_median_us", Json(bully.reps.median)},
+                   {"ring_median_us", Json(ring.reps.median)}});
   }
   std::printf("\nRing circulates O(n) sequential hops vs bully's O(1) "
               "rounds: ring termination latency grows with n.\n");
+
+  // Causal-profiler companion: the critical path of one traced
+  // failure-free run per cell, so snapshot diffs can attribute a latency
+  // shift to a specific hop/phase without rerunning.
+  for (const std::string& protocol :
+       {std::string("2PC-central"), std::string("3PC-central"),
+        std::string("3PC-decentralized")}) {
+    for (size_t n : {3, 5, 9}) {
+      bench::AddCriticalPathRow(&report, protocol, n, 100);
+    }
+  }
+  std::printf("\n[critical-path rows recorded for every cell]\n");
   report.Write();
   return 0;
 }

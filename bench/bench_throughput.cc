@@ -27,10 +27,16 @@ namespace {
 // Q6 table: virtual-time throughput of a mixed KV workload.
 // ---------------------------------------------------------------------
 void RunThroughputTable(bench::JsonReport* report) {
+  const int kWarmup = 1;
+  const int kReps = 3;
+  report->root()["reps"] = Json(kReps);
+  report->root()["warmup"] = Json(kWarmup);
   bench::Banner("Q6", "KV transaction throughput per commit protocol");
   std::printf("closed loop: 200 serial transactions (pure protocol cost).\n"
               "open loop: Poisson arrivals every ~150us over 12 hot keys —\n"
-              "overlapping transactions conflict on locks and vote no.\n\n");
+              "overlapping transactions conflict on locks and vote no.\n"
+              "%d warmup + median of %d seeded repetitions per cell.\n\n",
+              kWarmup, kReps);
   std::printf("%-20s | %12s | %10s %10s %10s %12s\n", "protocol",
               "closed tx/s", "open tx/s", "committed", "aborted",
               "abort rate");
@@ -38,39 +44,56 @@ void RunThroughputTable(bench::JsonReport* report) {
     WorkloadConfig closed;
     closed.num_transactions = 200;
     closed.mean_interarrival_us = 0;
-    SystemConfig config;
-    config.protocol = name;
-    config.num_sites = 4;
-    config.seed = 77;
-    auto closed_system = CommitSystem::Create(config);
-    if (!closed_system.ok()) continue;
-    WorkloadResult serial = RunWorkload(closed_system->get(), closed);
-    report->cell(name + "/closed").Merge((*closed_system)->registry());
 
     WorkloadConfig open;
     open.num_transactions = 400;
     open.mean_interarrival_us = 150;
     open.num_keys = 12;
     open.read_fraction = 0.2;
-    auto open_system = CommitSystem::Create(config);
-    if (!open_system.ok()) continue;
-    WorkloadResult contended = RunWorkload(open_system->get(), open);
-    report->cell(name + "/open").Merge((*open_system)->registry());
+
+    // Each repetition is an independent seeded run; warmup runs stay out
+    // of the snapshot's metric cells and statistics.
+    std::optional<WorkloadResult> last_open;
+    auto run = [&](const WorkloadConfig& workload, const char* cell, int i,
+                   std::optional<WorkloadResult>* keep)
+        -> std::optional<double> {
+      SystemConfig config;
+      config.protocol = name;
+      config.num_sites = 4;
+      config.seed = 77 + static_cast<uint64_t>(i);
+      auto system = CommitSystem::Create(config);
+      if (!system.ok()) return std::nullopt;
+      WorkloadResult result = RunWorkload(system->get(), workload);
+      if (i >= kWarmup) {
+        report->cell(name + cell).Merge((*system)->registry());
+        if (keep != nullptr) *keep = result;
+      }
+      return result.committed_per_virtual_second();
+    };
+    bench::Reps serial = bench::MedianOf(
+        kWarmup, kReps,
+        [&](int i) { return run(closed, "/closed", i, nullptr); });
+    bench::Reps contended = bench::MedianOf(
+        kWarmup, kReps,
+        [&](int i) { return run(open, "/open", i, &last_open); });
+    if (serial.samples.empty() || !last_open.has_value()) continue;
 
     std::printf("%-20s | %12.0f | %10.0f %10lu %10lu %11.1f%%\n",
-                name.c_str(), serial.committed_per_virtual_second(),
-                contended.committed_per_virtual_second(),
-                static_cast<unsigned long>(contended.metrics.committed),
-                static_cast<unsigned long>(contended.metrics.aborted),
-                contended.abort_rate() * 100.0);
+                name.c_str(), serial.median, contended.median,
+                static_cast<unsigned long>(last_open->metrics.committed),
+                static_cast<unsigned long>(last_open->metrics.aborted),
+                last_open->abort_rate() * 100.0);
     report->AddRow(
         "throughput",
         {{"protocol", Json(name)},
-         {"closed_tps", Json(serial.committed_per_virtual_second())},
-         {"open_tps", Json(contended.committed_per_virtual_second())},
-         {"open_committed", Json(contended.metrics.committed)},
-         {"open_aborted", Json(contended.metrics.aborted)},
-         {"open_abort_rate", Json(contended.abort_rate())}});
+         {"closed_tps", Json(serial.median)},
+         {"open_tps", Json(contended.median)},
+         {"closed_tps_min", Json(serial.min)},
+         {"closed_tps_max", Json(serial.max)},
+         {"open_committed", Json(last_open->metrics.committed)},
+         {"open_aborted", Json(last_open->metrics.aborted)},
+         {"open_abort_rate", Json(last_open->abort_rate())}});
+    bench::AddCriticalPathRow(report, name, 4, 77);
   }
   std::printf(
       "\nShape: 2PC outruns 3PC by the ratio of their round counts; the\n"

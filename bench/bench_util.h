@@ -1,12 +1,17 @@
 #ifndef NBCP_BENCH_BENCH_UTIL_H_
 #define NBCP_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "core/transaction_manager.h"
+#include "obs/causal.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
@@ -21,6 +26,40 @@ inline void Banner(const std::string& experiment, const std::string& title) {
   std::printf("%s — %s\n", experiment.c_str(), title.c_str());
   std::printf(
       "=============================================================\n");
+}
+
+/// Samples kept by MedianOf after warmup, with order statistics. The
+/// median (upper middle for an even count) is the headline number the
+/// regression gate compares — one slow outlier run cannot move it, unlike
+/// a mean.
+struct Reps {
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<double> samples;  ///< Post-warmup, in run order.
+};
+
+/// Warmup + median-of-N repetition: invokes `fn(i)` for
+/// i in [0, warmup + reps), discards the first `warmup` results, and
+/// summarizes the rest. `fn` returns std::optional<double>; nullopt samples
+/// (e.g. a blocked run with no completion latency) are excluded from the
+/// statistics. Virtual-time benches pass a seed derived from `i` so every
+/// repetition is an independent deterministic run.
+template <typename Fn>
+Reps MedianOf(int warmup, int reps, Fn&& fn) {
+  Reps out;
+  for (int i = 0; i < warmup + reps; ++i) {
+    std::optional<double> sample = fn(i);
+    if (i < warmup || !sample.has_value()) continue;
+    out.samples.push_back(*sample);
+  }
+  if (out.samples.empty()) return out;
+  std::vector<double> sorted = out.samples;
+  std::sort(sorted.begin(), sorted.end());
+  out.median = sorted[sorted.size() / 2];
+  out.min = sorted.front();
+  out.max = sorted.back();
+  return out;
 }
 
 /// Machine-readable companion to a benchmark's printed tables: rows of
@@ -88,6 +127,45 @@ class JsonReport {
   Json root_;
   std::map<std::string, MetricsRegistry> cells_;
 };
+
+/// Runs one traced failure-free transaction of `protocol` and folds its
+/// critical-path profile (span, on-path message/local split, coverage,
+/// effective parallelism) into `report` as a "critical_path" row — the
+/// causal-profiler numbers ride along with every benchmark snapshot, so a
+/// latency regression can be attributed to a path change without rerunning
+/// anything.
+inline void AddCriticalPathRow(JsonReport* report, const std::string& protocol,
+                               size_t n, uint64_t seed) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  config.trace = true;
+  auto system = CommitSystem::Create(config);
+  if (!system.ok()) return;
+  TransactionId txn = (*system)->Begin();
+  (void)(*system)->RunToCompletion(txn);
+  TraceRecorder* recorder = (*system)->trace();
+  if (recorder == nullptr) return;
+  std::vector<TraceEvent> events(recorder->events().begin(),
+                                 recorder->events().end());
+  CausalDag dag = CausalDag::Build(events, txn);
+  CriticalPathReport cp = dag.CriticalPath((*system)->spans().spans());
+  size_t critical_messages = 0;
+  for (const MessageSlack& ms : cp.slack) {
+    if (ms.critical()) ++critical_messages;
+  }
+  report->AddRow("critical_path",
+                 {{"protocol", Json(protocol)},
+                  {"n", Json(n)},
+                  {"span_us", Json(cp.span())},
+                  {"coverage", Json(cp.coverage)},
+                  {"message_us", Json(cp.message_time)},
+                  {"local_us", Json(cp.local_time)},
+                  {"delivered", Json(cp.slack.size())},
+                  {"critical_messages", Json(critical_messages)},
+                  {"effective_parallelism", Json(cp.effective_parallelism)}});
+}
 
 }  // namespace nbcp::bench
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compares BENCH_*.json snapshots against
+committed baselines and fails only on regressions worse than a threshold
+(default 2x).
+
+Usage:
+    bench/check_regression.py <baseline-dir> <current-dir> [--threshold 2.0]
+
+Only virtual-time headline metrics are compared — they are deterministic
+per seed, so they do not depend on the machine CI happens to run on (the
+google-benchmark real-time micro-benches are intentionally excluded).
+Latency-like metrics (us) regress upward, throughput metrics (tx/s)
+regress downward; improvements never fail. The 2x default is deliberately
+loose: the gate exists to catch accidental algorithmic regressions (an
+extra round, a lost batching opportunity), not noise.
+"""
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Per table: row-identity fields and {metric: direction}. "lower" = smaller
+# is better (latencies), "higher" = bigger is better (throughput).
+HEADLINES = {
+    "latency": (("protocol", "n"),
+                {"clean_median_us": "lower", "crash_median_us": "lower"}),
+    "election_ablation": (("n",),
+                          {"bully_median_us": "lower",
+                           "ring_median_us": "lower"}),
+    "throughput": (("protocol",),
+                   {"closed_tps": "higher", "open_tps": "higher"}),
+    "critical_path": (("protocol", "n"), {"span_us": "lower"}),
+}
+
+SKIP_FILES = ("BENCH_RESULTS.json", "BENCH_summary.json")
+
+
+def load_metrics(path):
+    """BENCH_<name>.json -> {row-key: {metric: (value, direction)}}."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("rows", []):
+        table = row.get("table")
+        if table not in HEADLINES:
+            continue
+        key_fields, metrics = HEADLINES[table]
+        key = "/".join([table] + [str(row.get(k, "?")) for k in key_fields])
+        for metric, direction in metrics.items():
+            value = row.get(metric)
+            if isinstance(value, (int, float)):
+                out.setdefault(key, {})[metric] = (float(value), direction)
+    return out
+
+
+def compare(name, baseline, current, threshold):
+    """Yields (key, metric, base, cur, ratio, regressed) tuples."""
+    for key, metrics in sorted(baseline.items()):
+        cur_metrics = current.get(key, {})
+        for metric, (base, direction) in sorted(metrics.items()):
+            if metric not in cur_metrics:
+                continue  # Snapshot shape changed; the structure check below
+                # already flags fully missing rows.
+            cur = cur_metrics[metric][0]
+            if base <= 0 or cur <= 0:
+                continue  # Blocked/absent cells encode as <= 0; not comparable.
+            ratio = cur / base if direction == "lower" else base / cur
+            yield key, metric, base, cur, ratio, ratio > threshold
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when worse than this factor (default 2.0)")
+    args = parser.parse_args()
+
+    baselines = sorted(
+        p for p in glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json"))
+        if os.path.basename(p) not in SKIP_FILES)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    compared = 0
+    for base_path in baselines:
+        name = os.path.basename(base_path)
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(cur_path):
+            print(f"FAIL {name}: no current snapshot at {cur_path}")
+            failures += 1
+            continue
+        base = load_metrics(base_path)
+        cur = load_metrics(cur_path)
+        missing = sorted(set(base) - set(cur))
+        for key in missing:
+            print(f"FAIL {name} {key}: row missing from current snapshot")
+            failures += 1
+        for key, metric, b, c, ratio, regressed in compare(
+                name, base, cur, args.threshold):
+            compared += 1
+            if regressed:
+                print(f"FAIL {name} {key} {metric}: "
+                      f"{b:.1f} -> {c:.1f} ({ratio:.2f}x worse, "
+                      f"threshold {args.threshold:.1f}x)")
+                failures += 1
+            elif ratio > 1.2:  # Heads-up zone: worse, but under the gate.
+                print(f"warn {name} {key} {metric}: "
+                      f"{b:.1f} -> {c:.1f} ({ratio:.2f}x worse)")
+
+    print(f"{compared} metrics compared against "
+          f"{len(baselines)} baseline snapshot(s): "
+          f"{'OK' if failures == 0 else f'{failures} failure(s)'}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,15 +50,18 @@ for bin in "$BENCH_DIR"/bench_*; do
   fi
 done
 
-# Merge every BENCH_<name>.json into one keyed document. Malformed
+# Merge every BENCH_<name>.json into one keyed document, and distill a
+# consolidated BENCH_summary.json (per-bench headline metrics + the git rev
+# they were measured at — the input to bench/check_regression.py). Malformed
 # snapshots are reported (and counted above) rather than aborting the merge.
-python3 - "$OUT_DIR" <<'EOF'
+GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+python3 - "$OUT_DIR" "$GIT_REV" <<'EOF'
 import json, sys, glob, os
-out_dir = sys.argv[1]
+out_dir, git_rev = sys.argv[1], sys.argv[2]
 merged = {}
 bad = []
 for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
-    if os.path.basename(path) == "BENCH_RESULTS.json":
+    if os.path.basename(path) in ("BENCH_RESULTS.json", "BENCH_summary.json"):
         continue
     try:
         with open(path) as f:
@@ -71,6 +74,37 @@ result = os.path.join(out_dir, "BENCH_RESULTS.json")
 with open(result, "w") as f:
     json.dump(merged, f, indent=2, sort_keys=True)
 print(f"collected {len(merged)} snapshots -> {result}")
+
+# Headline metrics per (bench, table): the fields the regression gate and a
+# human skimming CI both care about. Unlisted tables fall back to row counts.
+HEADLINES = {
+    "latency": (("protocol", "n"), ("clean_median_us", "crash_median_us")),
+    "election_ablation": (("n",), ("bully_median_us", "ring_median_us")),
+    "throughput": (("protocol",), ("closed_tps", "open_tps",
+                                   "open_abort_rate")),
+    "critical_path": (("protocol", "n"),
+                      ("span_us", "coverage", "message_us", "local_us",
+                       "effective_parallelism")),
+}
+summary = {"git_rev": git_rev, "benches": {}}
+for bench, doc in merged.items():
+    entry = {"rows": len(doc.get("rows", [])), "metrics": {}}
+    for row in doc.get("rows", []):
+        table = row.get("table")
+        if table not in HEADLINES:
+            continue
+        key_fields, metric_fields = HEADLINES[table]
+        key = "/".join([table] + [str(row.get(k, "?")) for k in key_fields])
+        metrics = {m: row[m] for m in metric_fields if m in row}
+        if metrics:
+            entry["metrics"][key] = metrics
+    summary["benches"][bench] = entry
+summary_path = os.path.join(out_dir, "BENCH_summary.json")
+with open(summary_path, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+print(f"summary ({sum(len(b['metrics']) for b in summary['benches'].values())}"
+      f" headline metrics @ {git_rev}) -> {summary_path}")
+
 for entry in bad:
     print(f"skipped malformed snapshot {entry}", file=sys.stderr)
 if bad:

@@ -1,0 +1,85 @@
+#include "common/causal_clock.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nbcp {
+
+std::string ClockStamp::ToString() const {
+  std::ostringstream out;
+  out << "L" << lamport << "<";
+  for (size_t i = 0; i < vc.size(); ++i) {
+    if (i > 0) out << ",";
+    out << vc[i];
+  }
+  out << ">";
+  return out.str();
+}
+
+bool operator==(const ClockStamp& a, const ClockStamp& b) {
+  return a.lamport == b.lamport && a.vc == b.vc;
+}
+
+bool VectorLeq(const ClockStamp& a, const ClockStamp& b) {
+  size_t common = std::min(a.vc.size(), b.vc.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (a.vc[i] > b.vc[i]) return false;
+  }
+  // Components past the shorter vector count as 0.
+  for (size_t i = common; i < a.vc.size(); ++i) {
+    if (a.vc[i] > 0) return false;
+  }
+  return true;
+}
+
+bool HappensBefore(const ClockStamp& a, const ClockStamp& b) {
+  if (!a.stamped() || !b.stamped()) return false;
+  return VectorLeq(a, b) && !VectorLeq(b, a);
+}
+
+bool ConcurrentWith(const ClockStamp& a, const ClockStamp& b) {
+  if (!a.stamped() || !b.stamped()) return false;
+  return !VectorLeq(a, b) && !VectorLeq(b, a);
+}
+
+CausalClockDomain::CausalClockDomain(size_t num_sites)
+    : n_(num_sites),
+      lamport_(num_sites, 0),
+      vc_(num_sites, std::vector<uint64_t>(num_sites, 0)) {}
+
+ClockStamp CausalClockDomain::StampOf(size_t index) const {
+  return ClockStamp{lamport_[index], vc_[index]};
+}
+
+ClockStamp CausalClockDomain::OnLocal(SiteId site) {
+  if (!InRange(site)) return {};
+  size_t i = site - 1;
+  ++lamport_[i];
+  ++vc_[i][i];
+  return StampOf(i);
+}
+
+ClockStamp CausalClockDomain::OnDeliver(SiteId site, const ClockStamp& msg) {
+  if (!InRange(site)) return {};
+  size_t i = site - 1;
+  lamport_[i] = std::max(lamport_[i], msg.lamport) + 1;
+  std::vector<uint64_t>& mine = vc_[i];
+  size_t common = std::min(mine.size(), msg.vc.size());
+  for (size_t j = 0; j < common; ++j) {
+    mine[j] = std::max(mine[j], msg.vc[j]);
+  }
+  ++mine[i];
+  return StampOf(i);
+}
+
+ClockStamp CausalClockDomain::Current(SiteId site) const {
+  if (!InRange(site)) return {};
+  return StampOf(site - 1);
+}
+
+void CausalClockDomain::Reset() {
+  std::fill(lamport_.begin(), lamport_.end(), 0);
+  for (auto& vc : vc_) std::fill(vc.begin(), vc.end(), 0);
+}
+
+}  // namespace nbcp

@@ -25,8 +25,13 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
   auto system = std::unique_ptr<CommitSystem>(new CommitSystem());
   system->config_ = config;
   system->sim_ = std::make_unique<Simulator>(config.seed);
+  // Causal clocks are always on: the network ticks sends/deliveries, the
+  // simulator ticks timers, and (when tracing) every event carries a sample.
+  system->clocks_ = std::make_unique<CausalClockDomain>(config.num_sites);
+  system->sim_->set_clocks(system->clocks_.get());
   system->network_ =
       std::make_unique<Network>(system->sim_.get(), config.delay);
+  system->network_->set_clocks(system->clocks_.get());
   system->detector_ = std::make_unique<FailureDetector>(
       system->sim_.get(), system->network_.get(), config.detection_delay);
   system->spec_ = std::make_unique<ProtocolSpec>(std::move(spec));
@@ -71,6 +76,7 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
   if (config.trace || config.observe) {
     system->trace_ = std::make_unique<TraceRecorder>(config.trace_capacity);
     TraceRecorder* recorder = system->trace_.get();
+    recorder->set_clocks(system->clocks_.get());
     // With observe-only (no trace), the recorder is a pure event bus: it
     // stores nothing and just feeds the observer sink.
     recorder->set_store(config.trace);
@@ -173,11 +179,14 @@ Status CommitSystem::Launch(TransactionId txn) {
 
   if (spec_->paradigm() != Paradigm::kDecentralized) {
     // Central-site and linear: the client hands the request to site 1.
+    // The request arrival is a local event in the causal order.
+    clocks_->OnLocal(1);
     return participant(1).StartProtocol(txn);
   }
   Status overall = Status::OK();
   for (SiteId site = 1; site <= config_.num_sites; ++site) {
     if (!network_->IsSiteUp(site)) continue;
+    clocks_->OnLocal(site);
     Status s = participant(site).StartProtocol(txn);
     if (!s.ok()) overall = s;
   }

@@ -93,6 +93,11 @@ class CommitSystem {
   // --- component access ---------------------------------------------------
   Simulator& simulator() { return *sim_; }
   Network& network() { return *network_; }
+
+  /// The run's Lamport/vector clocks, ticked by the network (send/deliver)
+  /// and the simulator (timers); every trace event carries a sample.
+  CausalClockDomain& clocks() { return *clocks_; }
+  const CausalClockDomain& clocks() const { return *clocks_; }
   FailureDetector& detector() { return *detector_; }
   FailureInjector& injector() { return *injector_; }
   Participant& participant(SiteId site) { return *participants_[site - 1]; }
@@ -172,6 +177,7 @@ class CommitSystem {
 
   SystemConfig config_;
   std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<CausalClockDomain> clocks_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<ProtocolSpec> spec_;

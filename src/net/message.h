@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/causal_clock.h"
 #include "common/types.h"
 
 namespace nbcp {
@@ -24,6 +25,12 @@ struct Message {
   /// Unique per-network send sequence number, stamped by Network::Send.
   /// Correlates a send with its delivery/drop in traces (0 = unsent).
   uint64_t seq = 0;
+
+  /// Sender's causal clock at send time, stamped by Network::Send when a
+  /// CausalClockDomain is attached. Merged into the receiver's clock at
+  /// delivery; empty when clocks are not wired. Excluded from operator==
+  /// (like seq/sent_at, it is transport bookkeeping, not message identity).
+  ClockStamp stamp;
 
   /// "type(from->to, txn)" for logs.
   std::string ToString() const;

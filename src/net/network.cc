@@ -38,6 +38,7 @@ Status Network::Send(Message msg) {
   }
   msg.sent_at = sim_->now();
   msg.seq = ++next_seq_;
+  if (clocks_ != nullptr) msg.stamp = clocks_->OnSend(msg.from);
   ++stats_.messages_sent;
   stats_.bytes_sent += msg.payload.size();
   if (metrics_ != nullptr) metrics_->counter("net/sent").Inc();
@@ -68,6 +69,7 @@ Status Network::Send(Message msg) {
       return;
     }
     ++stats_.messages_delivered;
+    if (clocks_ != nullptr) clocks_->OnDeliver(msg.to, msg.stamp);
     if (metrics_ != nullptr) {
       metrics_->counter("net/delivered").Inc();
       metrics_->histogram("net/delay_us").Record(sim_->now() - msg.sent_at);

@@ -106,6 +106,13 @@ class Network {
   /// send-to-delivery delay histogram ("net/delay_us").
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches the run's causal clocks (not owned; nullptr detaches). When
+  /// set, Send ticks the sender and stamps the message, and delivery merges
+  /// the message's stamp into the receiver before the handler runs — so
+  /// every handler (and everything it records) observes post-merge clocks.
+  /// Dropped messages merge nothing: a crashed receiver learned nothing.
+  void set_clocks(CausalClockDomain* clocks) { clocks_ = clocks; }
+
   Simulator* simulator() { return sim_; }
   const DelayModel& delay_model() const { return delay_; }
   void set_delay_model(DelayModel delay) { delay_ = delay; }
@@ -127,6 +134,7 @@ class Network {
   Observer observer_;
   LinkObserver link_observer_;
   MetricsRegistry* metrics_ = nullptr;
+  CausalClockDomain* clocks_ = nullptr;
   uint64_t next_seq_ = 0;
 };
 

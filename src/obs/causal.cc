@@ -1,0 +1,482 @@
+#include "obs/causal.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace nbcp {
+
+namespace {
+
+constexpr SimTime kInf = std::numeric_limits<SimTime>::max();
+
+/// "vote-req->3" / "vote-req<-1" -> "vote-req".
+std::string MessageTypeOf(const std::string& detail) {
+  size_t arrow = detail.find("->");
+  if (arrow == std::string::npos) arrow = detail.find("<-");
+  return arrow == std::string::npos ? detail : detail.substr(0, arrow);
+}
+
+bool IsDecisionEvent(const TraceEvent& e) {
+  return e.type == TraceEventType::kDecision ||
+         e.type == TraceEventType::kTerminationDecide;
+}
+
+std::string DescribeEvent(const TraceEvent& e) {
+  std::string out = ToString(e.type);
+  if (!e.detail.empty()) out += " " + e.detail;
+  return out;
+}
+
+/// The innermost phase span covering (site, at) for the transaction, or
+/// nullptr. Zero-length decision markers match their instant.
+const PhaseSpan* PhaseAt(const std::vector<PhaseSpan>& spans,
+                         TransactionId txn, SiteId site, SimTime at) {
+  const PhaseSpan* best = nullptr;
+  for (const PhaseSpan& s : spans) {
+    if (s.txn != txn || s.site != site) continue;
+    if (s.begin > at) continue;
+    if (!s.open && s.end < at) continue;
+    if (best == nullptr || s.begin >= best->begin) best = &s;
+  }
+  return best;
+}
+
+std::string FormatUs(SimTime us) { return std::to_string(us) + "us"; }
+
+std::string FormatRatio(double x) {
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed << x;
+  return out.str();
+}
+
+}  // namespace
+
+std::string ToString(HopKind kind) {
+  switch (kind) {
+    case HopKind::kStart:
+      return "start";
+    case HopKind::kLocal:
+      return "local";
+    case HopKind::kMessage:
+      return "message";
+  }
+  return "?";
+}
+
+CausalDag CausalDag::Build(const std::vector<TraceEvent>& events,
+                           TransactionId txn) {
+  CausalDag dag;
+  for (const TraceEvent& e : events) {
+    if (e.txn != txn) continue;
+    // Observer output is derived from the run, not part of it; a dropped
+    // message never merges clocks at the (dead or partitioned) receiver.
+    if (e.type == TraceEventType::kGlobalState ||
+        e.type == TraceEventType::kInvariantViolation ||
+        e.type == TraceEventType::kMessageDropped) {
+      continue;
+    }
+    dag.events_.push_back(e);
+  }
+
+  std::unordered_map<SiteId, size_t> last_at_site;
+  std::unordered_map<uint64_t, size_t> send_by_seq;
+  for (size_t i = 0; i < dag.events_.size(); ++i) {
+    const TraceEvent& e = dag.events_[i];
+    if (e.site != kNoSite) {
+      auto prev = last_at_site.find(e.site);
+      if (prev != last_at_site.end()) {
+        dag.edges_.push_back(CausalEdge{prev->second, i, false, 0});
+      }
+      last_at_site[e.site] = i;
+    }
+    if (e.seq == 0) continue;
+    if (e.type == TraceEventType::kMessageSent) {
+      send_by_seq[e.seq] = i;
+    } else if (e.type == TraceEventType::kMessageDelivered) {
+      auto send = send_by_seq.find(e.seq);
+      if (send != send_by_seq.end()) {
+        dag.edges_.push_back(CausalEdge{send->second, i, true, e.seq});
+      } else {
+        ++dag.unmatched_deliveries_;
+      }
+    }
+  }
+  return dag;
+}
+
+size_t CausalDag::ValidateClocks(std::vector<std::string>* findings) const {
+  size_t violations = 0;
+  for (const CausalEdge& edge : edges_) {
+    const TraceEvent& a = events_[edge.from];
+    const TraceEvent& b = events_[edge.to];
+    if (!a.stamp.stamped() || !b.stamp.stamped()) continue;
+    bool ok;
+    if (edge.message) {
+      // The delivery merged the send's stamp, then ticked: strictly after.
+      ok = VectorLeq(a.stamp, b.stamp) && a.stamp.lamport < b.stamp.lamport;
+    } else {
+      // Consecutive events at one site may share a stamp (several records
+      // under one tick), but may never go backwards.
+      ok = VectorLeq(a.stamp, b.stamp) && a.stamp.lamport <= b.stamp.lamport;
+    }
+    if (ok) continue;
+    ++violations;
+    if (findings != nullptr) {
+      findings->push_back(
+          (edge.message ? std::string("message edge seq ") +
+                              std::to_string(edge.seq)
+                        : std::string("program-order edge at site ") +
+                              std::to_string(b.site)) +
+          ": " + DescribeEvent(a) + " " + a.stamp.ToString() + " at t=" +
+          std::to_string(a.at) + " -> " + DescribeEvent(b) + " " +
+          b.stamp.ToString() + " at t=" + std::to_string(b.at) +
+          " contradicts happens-before");
+    }
+  }
+  return violations;
+}
+
+CriticalPathReport CausalDag::CriticalPath(
+    const std::vector<PhaseSpan>& spans) const {
+  CriticalPathReport report;
+  if (events_.empty()) return report;
+  report.txn = events_.front().txn;
+  report.events = events_.size();
+  report.start = events_.front().at;
+
+  // Sink: the last decision event; the last event at all when the
+  // transaction never decided (blocked / truncated trace).
+  size_t sink = events_.size() - 1;
+  for (size_t i = events_.size(); i-- > 0;) {
+    if (IsDecisionEvent(events_[i])) {
+      sink = i;
+      report.decided = true;
+      break;
+    }
+  }
+  report.finish = events_[sink].at;
+
+  std::vector<std::vector<const CausalEdge*>> preds(events_.size());
+  std::vector<std::vector<const CausalEdge*>> succs(events_.size());
+  for (const CausalEdge& edge : edges_) {
+    preds[edge.to].push_back(&edge);
+    succs[edge.from].push_back(&edge);
+  }
+
+  // Backward walk along binding constraints: at each event, the predecessor
+  // with the latest timestamp is the one that actually gated it; on ties a
+  // message edge outranks local program order (the arrival is the
+  // constraint worth attributing). Durations then telescope exactly.
+  std::vector<const CausalEdge*> chain;
+  size_t v = sink;
+  while (!preds[v].empty()) {
+    const CausalEdge* binding = nullptr;
+    for (const CausalEdge* e : preds[v]) {
+      if (binding == nullptr) {
+        binding = e;
+        continue;
+      }
+      SimTime t_e = events_[e->from].at;
+      SimTime t_b = events_[binding->from].at;
+      if (t_e > t_b || (t_e == t_b && e->message && !binding->message)) {
+        binding = e;
+      }
+    }
+    chain.push_back(binding);
+    v = binding->from;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  const TraceEvent& root = events_[v];
+  CriticalHop start_hop;
+  start_hop.kind = HopKind::kStart;
+  start_hop.from_site = root.site;
+  start_hop.to_site = root.site;
+  start_hop.begin = root.at;
+  start_hop.end = root.at;
+  start_hop.what = DescribeEvent(root);
+  if (const PhaseSpan* s = PhaseAt(spans, report.txn, root.site, root.at)) {
+    start_hop.phase = s->phase;
+    start_hop.phase_known = true;
+  }
+  report.hops.push_back(std::move(start_hop));
+
+  for (const CausalEdge* e : chain) {
+    const TraceEvent& from = events_[e->from];
+    const TraceEvent& to = events_[e->to];
+    CriticalHop hop;
+    hop.kind = e->message ? HopKind::kMessage : HopKind::kLocal;
+    hop.from_site = from.site;
+    hop.to_site = to.site;
+    hop.begin = from.at;
+    hop.end = to.at;
+    hop.seq = e->message ? e->seq : 0;
+    hop.what = e->message ? MessageTypeOf(to.detail) : DescribeEvent(to);
+    if (const PhaseSpan* s = PhaseAt(spans, report.txn, to.site, to.at)) {
+      hop.phase = s->phase;
+      hop.phase_known = true;
+    }
+    SimTime d = hop.duration();
+    if (e->message) {
+      report.message_time += d;
+      report.by_message_type[hop.what] += d;
+    } else {
+      report.local_time += d;
+      report.by_site[hop.to_site] += d;
+    }
+    report.by_phase[hop.phase_known ? ToString(hop.phase) : "unattributed"] +=
+        d;
+    report.hops.push_back(std::move(hop));
+  }
+
+  SimTime covered = report.message_time + report.local_time;
+  report.coverage =
+      report.span() == 0
+          ? 1.0
+          : static_cast<double>(covered) / static_cast<double>(report.span());
+
+  // Slack: CPM backward pass. Intrinsic durations — message edges carry
+  // their observed transit, program-order edges zero (a site is free to run
+  // its next step any time once enabled). Decisions anchor at the global
+  // completion time: R(decision) = finish. Events with no successors and no
+  // decision downstream never constrain completion (unbounded slack,
+  // clamped to their own time).
+  std::vector<SimTime> latest(events_.size(), kInf);
+  for (size_t i = events_.size(); i-- > 0;) {
+    SimTime r = kInf;
+    if (IsDecisionEvent(events_[i])) {
+      r = report.finish;
+    } else if (succs[i].empty()) {
+      r = std::max(report.finish, events_[i].at);
+    }
+    for (const CausalEdge* e : succs[i]) {
+      SimTime transit =
+          e->message ? events_[e->to].at - events_[e->from].at : 0;
+      SimTime r_to = latest[e->to];
+      if (r_to != kInf && r_to >= transit) r = std::min(r, r_to - transit);
+    }
+    if (r == kInf) r = std::max(report.finish, events_[i].at);
+    latest[i] = r;
+  }
+
+  for (const CausalEdge& edge : edges_) {
+    if (!edge.message) continue;
+    const TraceEvent& send = events_[edge.from];
+    const TraceEvent& deliver = events_[edge.to];
+    MessageSlack ms;
+    ms.seq = edge.seq;
+    ms.type = MessageTypeOf(deliver.detail);
+    ms.from = send.site;
+    ms.to = deliver.site;
+    ms.sent = send.at;
+    ms.delivered = deliver.at;
+    ms.slack = latest[edge.to] > deliver.at ? latest[edge.to] - deliver.at : 0;
+    report.total_transit += ms.transit();
+    report.slack.push_back(std::move(ms));
+  }
+  report.effective_parallelism =
+      report.span() == 0 ? 0.0
+                         : static_cast<double>(report.total_transit) /
+                               static_cast<double>(report.span());
+  return report;
+}
+
+std::string CriticalPathReport::ToText() const {
+  std::ostringstream out;
+  out << "txn " << txn;
+  if (!protocol.empty()) out << "  protocol=" << protocol;
+  out << "  span=" << FormatUs(span()) << "  coverage="
+      << FormatRatio(coverage * 100.0) << "%  "
+      << (decided ? "(decided)" : "(no decision observed)") << "\n";
+  out << "critical path (" << hops.size() << " hops):\n";
+  for (const CriticalHop& hop : hops) {
+    out << "  ";
+    if (hop.kind == HopKind::kStart) {
+      out << "t=" << FormatUs(hop.begin) << "  site " << hop.from_site
+          << "  start    " << hop.what;
+    } else {
+      out << "+" << FormatUs(hop.duration()) << "  site ";
+      if (hop.kind == HopKind::kMessage) {
+        out << hop.from_site << " -> " << hop.to_site << "  message  "
+            << hop.what;
+      } else {
+        out << hop.to_site << "  local    " << hop.what;
+      }
+    }
+    if (hop.phase_known) out << "  [" << ToString(hop.phase) << "]";
+    out << "\n";
+  }
+  out << "on-path time: message=" << FormatUs(message_time)
+      << " local=" << FormatUs(local_time) << "\n";
+  if (!by_message_type.empty()) {
+    out << "  by message type:";
+    for (const auto& [type, t] : by_message_type) {
+      out << " " << type << "=" << FormatUs(t);
+    }
+    out << "\n";
+  }
+  if (!by_phase.empty()) {
+    out << "  by phase:";
+    for (const auto& [phase, t] : by_phase) {
+      out << " " << phase << "=" << FormatUs(t);
+    }
+    out << "\n";
+  }
+  if (!by_site.empty()) {
+    out << "  by site (local):";
+    for (const auto& [site, t] : by_site) {
+      out << " " << site << "=" << FormatUs(t);
+    }
+    out << "\n";
+  }
+  size_t critical = 0;
+  SimTime max_slack = 0;
+  const MessageSlack* laziest = nullptr;
+  for (const MessageSlack& ms : slack) {
+    if (ms.critical()) ++critical;
+    if (ms.slack >= max_slack) {
+      max_slack = ms.slack;
+      laziest = &ms;
+    }
+  }
+  out << "messages: " << slack.size() << " delivered, total transit="
+      << FormatUs(total_transit) << ", effective parallelism="
+      << FormatRatio(effective_parallelism) << "x, critical (zero slack)="
+      << critical << "\n";
+  if (laziest != nullptr && max_slack > 0) {
+    out << "  max slack: " << laziest->type << " (" << laziest->from << "->"
+        << laziest->to << ") " << FormatUs(max_slack) << "\n";
+  }
+  return out.str();
+}
+
+std::vector<TransactionId> TraceTransactions(
+    const std::vector<TraceEvent>& events) {
+  std::vector<TransactionId> txns;
+  for (const TraceEvent& e : events) {
+    if (e.txn != kNoTransaction) txns.push_back(e.txn);
+  }
+  std::sort(txns.begin(), txns.end());
+  txns.erase(std::unique(txns.begin(), txns.end()), txns.end());
+  return txns;
+}
+
+Json CriticalPathToJson(const CriticalPathReport& report) {
+  Json j = Json::Object();
+  j["txn"] = report.txn;
+  if (!report.protocol.empty()) j["protocol"] = report.protocol;
+  j["start"] = report.start;
+  j["finish"] = report.finish;
+  j["span"] = report.span();
+  j["decided"] = report.decided;
+  j["coverage"] = report.coverage;
+  j["events"] = static_cast<uint64_t>(report.events);
+  j["message_time"] = report.message_time;
+  j["local_time"] = report.local_time;
+  j["total_transit"] = report.total_transit;
+  j["effective_parallelism"] = report.effective_parallelism;
+
+  Json hops = Json::Array();
+  for (const CriticalHop& hop : report.hops) {
+    Json h = Json::Object();
+    h["kind"] = ToString(hop.kind);
+    h["from_site"] = static_cast<uint64_t>(hop.from_site);
+    h["to_site"] = static_cast<uint64_t>(hop.to_site);
+    h["begin"] = hop.begin;
+    h["end"] = hop.end;
+    h["duration"] = hop.duration();
+    h["what"] = hop.what;
+    if (hop.phase_known) h["phase"] = ToString(hop.phase);
+    if (hop.seq != 0) h["seq"] = hop.seq;
+    hops.Append(std::move(h));
+  }
+  j["hops"] = std::move(hops);
+
+  Json by_type = Json::Object();
+  for (const auto& [type, t] : report.by_message_type) by_type[type] = t;
+  j["by_message_type"] = std::move(by_type);
+  Json by_phase = Json::Object();
+  for (const auto& [phase, t] : report.by_phase) by_phase[phase] = t;
+  j["by_phase"] = std::move(by_phase);
+  Json by_site = Json::Object();
+  for (const auto& [site, t] : report.by_site) {
+    by_site[std::to_string(site)] = t;
+  }
+  j["by_site"] = std::move(by_site);
+
+  Json slack = Json::Array();
+  for (const MessageSlack& ms : report.slack) {
+    Json s = Json::Object();
+    s["seq"] = ms.seq;
+    s["type"] = ms.type;
+    s["from"] = static_cast<uint64_t>(ms.from);
+    s["to"] = static_cast<uint64_t>(ms.to);
+    s["sent"] = ms.sent;
+    s["delivered"] = ms.delivered;
+    s["transit"] = ms.transit();
+    s["slack"] = ms.slack;
+    s["critical"] = ms.critical();
+    slack.Append(std::move(s));
+  }
+  j["slack"] = std::move(slack);
+  return j;
+}
+
+std::string CriticalPathChromeTrace(const CriticalPathReport& report) {
+  Json root = Json::Object();
+  Json trace_events = Json::Array();
+  for (size_t i = 0; i < report.hops.size(); ++i) {
+    const CriticalHop& hop = report.hops[i];
+    Json slice = Json::Object();
+    slice["name"] = (hop.kind == HopKind::kMessage ? "msg:" : "") + hop.what;
+    slice["cat"] = "critical-path";
+    slice["ph"] = "X";
+    slice["ts"] = hop.begin;
+    slice["dur"] = hop.duration();
+    slice["pid"] = report.txn;
+    slice["tid"] = static_cast<uint64_t>(hop.to_site);
+    Json args = Json::Object();
+    args["kind"] = ToString(hop.kind);
+    if (hop.phase_known) args["phase"] = ToString(hop.phase);
+    slice["args"] = std::move(args);
+    trace_events.Append(std::move(slice));
+    if (i == 0) continue;
+    // Chain hop i-1's end to hop i's end with a flow arrow; message hops
+    // reuse their network seq as the id so they line up with the full
+    // trace's flow events.
+    uint64_t flow_id = hop.seq != 0 ? hop.seq : 1000000 + i;
+    Json s = Json::Object();
+    s["name"] = "critical";
+    s["cat"] = "critical-flow";
+    s["ph"] = "s";
+    s["id"] = flow_id;
+    s["ts"] = hop.begin;
+    s["pid"] = report.txn;
+    s["tid"] = static_cast<uint64_t>(hop.from_site);
+    trace_events.Append(std::move(s));
+    Json f = Json::Object();
+    f["name"] = "critical";
+    f["cat"] = "critical-flow";
+    f["ph"] = "f";
+    f["bp"] = "e";
+    f["id"] = flow_id;
+    f["ts"] = hop.end;
+    f["pid"] = report.txn;
+    f["tid"] = static_cast<uint64_t>(hop.to_site);
+    trace_events.Append(std::move(f));
+  }
+  root["traceEvents"] = std::move(trace_events);
+  root["displayTimeUnit"] = "ms";
+  Json meta = Json::Object();
+  if (!report.protocol.empty()) meta["protocol"] = report.protocol;
+  meta["txn"] = report.txn;
+  meta["span"] = report.span();
+  meta["coverage"] = report.coverage;
+  root["otherData"] = std::move(meta);
+  return root.Dump(1);
+}
+
+}  // namespace nbcp

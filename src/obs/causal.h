@@ -1,0 +1,174 @@
+#ifndef NBCP_OBS_CAUSAL_H_
+#define NBCP_OBS_CAUSAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/causal_clock.h"
+#include "common/types.h"
+#include "obs/json.h"
+#include "obs/span.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+
+/// How one hop of the critical path was traversed.
+enum class HopKind : uint8_t {
+  kStart = 0,  ///< The chain's origin event (zero duration).
+  kLocal,      ///< Program-order step at one site (processing / waiting).
+  kMessage,    ///< A send -> deliver edge across sites.
+};
+
+std::string ToString(HopKind kind);
+
+/// One step of the critical path, in forward (start -> decision) order.
+/// `begin`/`end` are the timestamps of the hop's source and destination
+/// events; for a kStart hop both equal the origin event's time.
+struct CriticalHop {
+  HopKind kind = HopKind::kLocal;
+  SiteId from_site = kNoSite;
+  SiteId to_site = kNoSite;
+  SimTime begin = 0;
+  SimTime end = 0;
+  /// Message type for kMessage hops; the destination event's rendering
+  /// ("state-change w", "decision commit", ...) otherwise.
+  std::string what;
+  /// Commit phase the destination event falls in at its site (valid when
+  /// `phase_known`; spans may be absent from a trace).
+  CommitPhase phase = CommitPhase::kVoteRequest;
+  bool phase_known = false;
+  /// Send sequence number for kMessage hops (0 otherwise).
+  uint64_t seq = 0;
+
+  SimTime duration() const { return end < begin ? 0 : end - begin; }
+};
+
+/// Slack of one delivered message, from a CPM-style backward pass: how much
+/// later the delivery could have happened without moving the transaction's
+/// completion time. Message edges carry their observed transit as intrinsic
+/// duration, local program-order edges carry zero — so slack measures what
+/// a scheduler (e.g. group commit / message batching) could exploit, not
+/// artifacts of when sites happened to run. Zero slack = on a critical
+/// chain. Timer-driven waits are not modelled as constraints; slack against
+/// a timeout-bound resend is therefore an upper bound.
+struct MessageSlack {
+  uint64_t seq = 0;
+  std::string type;
+  SiteId from = kNoSite;
+  SiteId to = kNoSite;
+  SimTime sent = 0;
+  SimTime delivered = 0;
+  SimTime slack = 0;
+
+  SimTime transit() const { return delivered < sent ? 0 : delivered - sent; }
+  bool critical() const { return slack == 0; }
+};
+
+/// The causal profile of one transaction: its critical path (the chain of
+/// binding constraints from the first event to the last decision), latency
+/// attribution along it, per-message slack and effective parallelism.
+struct CriticalPathReport {
+  TransactionId txn = kNoTransaction;
+  std::string protocol;
+
+  SimTime start = 0;    ///< Earliest event of the transaction.
+  SimTime finish = 0;   ///< Last decision (or last event when undecided).
+  bool decided = false; ///< finish anchors at a decision event.
+  SimTime span() const { return finish < start ? 0 : finish - start; }
+
+  std::vector<CriticalHop> hops;  ///< Forward order; hops[0] is kStart.
+  /// sum(hop durations) / span — 1.0 when the chain reaches the earliest
+  /// event (it telescopes); < 1 when the walk bottoms out later (e.g. a
+  /// ring-buffered trace whose oldest events were evicted).
+  double coverage = 0;
+
+  SimTime message_time = 0;  ///< On-path transit total.
+  SimTime local_time = 0;    ///< On-path local (processing/wait) total.
+  std::map<std::string, SimTime> by_message_type;  ///< On-path, per type.
+  std::map<std::string, SimTime> by_phase;         ///< On-path, per phase.
+  std::map<SiteId, SimTime> by_site;  ///< On-path local time per site.
+
+  std::vector<MessageSlack> slack;  ///< Every delivered message of the txn.
+  SimTime total_transit = 0;        ///< Transit summed over all deliveries.
+  /// total_transit / span: how many message lifetimes the protocol overlaps
+  /// per unit of critical-path time (1.0 = fully sequential messaging).
+  double effective_parallelism = 0;
+
+  size_t events = 0;  ///< Transaction events in the underlying DAG.
+
+  /// Multi-line human rendering (the `nbcp-trace critical-path` text view).
+  std::string ToText() const;
+};
+
+/// One happens-before edge between two events (indices into the DAG's
+/// event vector). Message edges pair a send with its delivery via the
+/// network sequence number; local edges are per-site program order.
+struct CausalEdge {
+  size_t from = 0;
+  size_t to = 0;
+  bool message = false;
+  uint64_t seq = 0;  ///< Network seq for message edges.
+};
+
+/// Happens-before DAG of one transaction, built from recorded trace events:
+/// nodes are the transaction's events, edges are per-site program order
+/// plus send->deliver pairs matched by network sequence number. The trace's
+/// record order is a valid topological order (the recorder runs under
+/// virtual time and deliveries are recorded after their sends), which the
+/// builder preserves.
+class CausalDag {
+ public:
+  /// Builds the DAG for `txn`. Observer-emitted kinds (global-state,
+  /// violation) and dropped-message events are excluded — a drop never
+  /// merges clocks and would fabricate a causal edge at the dead receiver.
+  static CausalDag Build(const std::vector<TraceEvent>& events,
+                         TransactionId txn);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<CausalEdge>& edges() const { return edges_; }
+
+  /// Deliveries whose send is missing from the trace (eviction/truncation).
+  size_t unmatched_deliveries() const { return unmatched_deliveries_; }
+
+  /// Cross-checks recorded clock stamps against the DAG: along every edge
+  /// the destination stamp must dominate the source (vector order) with a
+  /// strictly larger Lamport value. Appends one human-readable finding per
+  /// violated edge to `findings` (may be nullptr) and returns the number of
+  /// violations. Unstamped endpoints are skipped (not violations).
+  size_t ValidateClocks(std::vector<std::string>* findings) const;
+
+  /// Extracts the critical path and the full causal profile. `spans` (may
+  /// be empty) attribute on-path time to commit phases. The critical path
+  /// is the backward chain of binding constraints: from the last decision,
+  /// repeatedly step to the predecessor with the latest timestamp (the one
+  /// that actually gated the event), preferring the message edge on ties —
+  /// hop durations then telescope to the full start->finish span.
+  CriticalPathReport CriticalPath(const std::vector<PhaseSpan>& spans) const;
+
+ private:
+  CausalDag() = default;
+
+  std::vector<TraceEvent> events_;
+  std::vector<CausalEdge> edges_;
+  size_t unmatched_deliveries_ = 0;
+};
+
+/// Transaction ids present in `events` (txn != 0), ascending.
+std::vector<TransactionId> TraceTransactions(
+    const std::vector<TraceEvent>& events);
+
+/// JSON document for one report (the `--json` view of `nbcp-trace
+/// critical-path`): summary numbers, the hop list and the slack table.
+Json CriticalPathToJson(const CriticalPathReport& report);
+
+/// Chrome trace_event rendering of the critical path: one "X" slice per
+/// hop in its site's lane plus "s"/"f" flow arrows chaining the hops, so
+/// the binding-constraint chain renders as one connected arrow path in a
+/// trace viewer. Message hops keep their network seq as the flow id.
+std::string CriticalPathChromeTrace(const CriticalPathReport& report);
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_CAUSAL_H_

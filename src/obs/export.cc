@@ -18,6 +18,12 @@ Json EventToJson(const TraceEvent& e) {
   j["type"] = ToString(e.type);
   if (!e.detail.empty()) j["detail"] = e.detail;
   if (e.seq != 0) j["seq"] = e.seq;
+  if (e.stamp.stamped()) {
+    j["lc"] = e.stamp.lamport;
+    Json vc = Json::Array();
+    for (uint64_t component : e.stamp.vc) vc.Append(Json(component));
+    j["vc"] = std::move(vc);
+  }
   return j;
 }
 
@@ -86,6 +92,14 @@ Result<ImportedTrace> ParseTraceJsonLines(const std::string& text) {
       e.txn = j.GetUint("txn");
       e.detail = j.GetString("detail");
       e.seq = j.GetUint("seq");
+      const Json* vc = j.Find("vc");
+      if (vc != nullptr && vc->is_array()) {
+        e.stamp.lamport = j.GetUint("lc");
+        e.stamp.vc.reserve(vc->items().size());
+        for (const Json& component : vc->items()) {
+          e.stamp.vc.push_back(component.as_uint());
+        }
+      }
       if (!TraceEventTypeFromString(j.GetString("type"), &e.type)) {
         return Status::InvalidArgument(
             "trace line " + std::to_string(lineno) + ": unknown event type '" +
@@ -153,6 +167,12 @@ std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
       j["cat"] = "event";
       j["ph"] = "i";
       j["s"] = "t";
+    }
+    if (e.stamp.stamped()) {
+      Json args = Json::Object();
+      args["lc"] = e.stamp.lamport;
+      args["vc"] = e.stamp.ToString();
+      j["args"] = std::move(args);
     }
     trace_events.Append(std::move(j));
   }

@@ -27,7 +27,7 @@ std::string LiveGlobalState::Render(const std::vector<bool>& crashed) const {
   // depend on send sequence numbers (which differ across runs with
   // different unrelated traffic).
   std::map<std::string, int> by_type;
-  for (const auto& [seq, type] : inflight) ++by_type[type];
+  for (const auto& [seq, msg] : inflight) ++by_type[msg.type];
   bool first = true;
   for (const auto& [type, count] : by_type) {
     if (!first) out << ',';

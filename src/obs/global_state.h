@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/causal_clock.h"
 #include "common/types.h"
 #include "fsa/protocol_spec.h"
 
@@ -30,9 +31,17 @@ struct LiveSiteState {
 /// In-flight messages are keyed by the network-assigned send sequence
 /// number, which makes send/deliver matching exact (and lets a delivery
 /// without a matching send be flagged as a phantom).
+/// One outstanding message as the observer sees it: its type plus the
+/// sender's causal stamp at send time (empty when clocks are off), kept so
+/// the delivery can be causally validated against the matching send.
+struct InflightMessage {
+  std::string type;
+  ClockStamp stamp;
+};
+
 struct LiveGlobalState {
   std::vector<LiveSiteState> sites;  ///< sites[i] = site i+1.
-  std::map<uint64_t, std::string> inflight;  ///< seq -> message type.
+  std::map<uint64_t, InflightMessage> inflight;  ///< Keyed by send seq.
   bool degraded = false;  ///< Termination/recovery engaged for this txn:
                           ///< failure-free-graph checks are suspended.
   bool atomicity_reported = false;

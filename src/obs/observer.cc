@@ -34,6 +34,8 @@ std::string ToString(InvariantKind kind) {
       return "c2-commit";
     case InvariantKind::kPhantomMessage:
       return "phantom-message";
+    case InvariantKind::kCausality:
+      return "causality";
   }
   return "?";
 }
@@ -180,16 +182,37 @@ void GlobalStateObserver::OnMessage(const TraceEvent& e) {
   if (e.txn == kNoTransaction || e.seq == 0) return;
   LiveGlobalState& g = Track(e.txn);
   if (e.type == TraceEventType::kMessageSent) {
-    g.inflight[e.seq] = MessageType(e.detail, "->");
+    g.inflight[e.seq] = InflightMessage{MessageType(e.detail, "->"), e.stamp};
     return;
   }
-  if (g.inflight.erase(e.seq) == 0 && check_phantom_) {
-    ++stats_.checks;
-    Report(e.at, e.txn, e.site, InvariantKind::kPhantomMessage,
-           "delivery of '" + e.detail + "' (seq " + std::to_string(e.seq) +
-               ") at site " + std::to_string(e.site) +
-               " has no matching send");
+  auto sent = g.inflight.find(e.seq);
+  if (sent == g.inflight.end()) {
+    if (check_phantom_) {
+      ++stats_.checks;
+      Report(e.at, e.txn, e.site, InvariantKind::kPhantomMessage,
+             "delivery of '" + e.detail + "' (seq " + std::to_string(e.seq) +
+                 ") at site " + std::to_string(e.site) +
+                 " has no matching send");
+    }
+    return;
   }
+  // Causal cross-check: a delivery must causally follow its send — the
+  // receiver's post-merge vector clock dominates the send stamp and the
+  // Lamport value advanced. Skipped when either side is unstamped (clocks
+  // off, or a pre-clock trace).
+  if (e.type == TraceEventType::kMessageDelivered &&
+      sent->second.stamp.stamped() && e.stamp.stamped()) {
+    ++stats_.checks;
+    if (!VectorLeq(sent->second.stamp, e.stamp) ||
+        e.stamp.lamport <= sent->second.stamp.lamport) {
+      Report(e.at, e.txn, e.site, InvariantKind::kCausality,
+             "delivery of '" + e.detail + "' (seq " + std::to_string(e.seq) +
+                 ") at site " + std::to_string(e.site) + " stamped " +
+                 e.stamp.ToString() + " does not causally follow its send " +
+                 sent->second.stamp.ToString());
+    }
+  }
+  g.inflight.erase(sent);
 }
 
 void GlobalStateObserver::EmitTimeline(const TraceEvent& e,

@@ -48,10 +48,15 @@ enum class InvariantKind : uint8_t {
   kC2Commit,
   /// A delivery/drop whose send was never observed (message conservation).
   kPhantomMessage,
+  /// A delivery whose vector clock does not dominate its send's vector
+  /// clock (or whose Lamport value did not advance): the recorded order
+  /// contradicts happens-before. Checked whenever both events carry stamps;
+  /// cross-checks the clocks against the observer's message multiset.
+  kCausality,
 };
 
 std::string ToString(InvariantKind kind);
-inline constexpr size_t kNumInvariantKinds = 5;
+inline constexpr size_t kNumInvariantKinds = 6;
 
 /// One detected invariant violation.
 struct InvariantViolation {

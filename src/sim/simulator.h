@@ -4,7 +4,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "common/causal_clock.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -47,13 +49,27 @@ class Simulator {
   }
 
   /// Schedules `fn` to run `delay` microseconds from now, tagged with an
-  /// exploration label (see EventLabel). Labels never affect execution.
+  /// exploration label (see EventLabel). Labels never affect execution —
+  /// except that, with a clock domain attached, a timer firing at a site
+  /// ticks that site's causal clock first (a timer is a local event: its
+  /// callback, and everything it records, runs on post-tick clocks).
   EventId ScheduleLabeled(SimTime delay, EventLabel label,
                           std::function<void()> fn) {
+    if (clocks_ != nullptr && label.cls == EventClass::kTimer &&
+        label.site != kNoSite) {
+      fn = [clocks = clocks_, site = label.site, inner = std::move(fn)]() {
+        clocks->OnLocal(site);
+        inner();
+      };
+    }
     EventId id = queue_.Push(now_ + delay, std::move(label), std::move(fn));
     NoteScheduled();
     return id;
   }
+
+  /// Attaches the run's causal clocks (not owned; nullptr detaches). Only
+  /// timer firings scheduled *after* this call tick the clock.
+  void set_clocks(CausalClockDomain* clocks) { clocks_ = clocks; }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to >= now).
   EventId ScheduleAt(SimTime at, std::function<void()> fn) {
@@ -107,6 +123,7 @@ class Simulator {
   SimTime now_ = 0;
   Rng rng_;
   SimStats stats_;
+  CausalClockDomain* clocks_ = nullptr;
 };
 
 }  // namespace nbcp

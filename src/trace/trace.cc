@@ -62,6 +62,9 @@ void TraceRecorder::Record(SimTime at, SiteId site, TransactionId txn,
                            TraceEventType type, std::string detail,
                            uint64_t seq) {
   TraceEvent event{at, site, txn, type, std::move(detail), seq};
+  if (clocks_ != nullptr && site != kNoSite) {
+    event.stamp = clocks_->Current(site);
+  }
   if (store_) {
     if (capacity_ != 0 && events_.size() >= capacity_) {
       events_.pop_front();

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/causal_clock.h"
 #include "common/types.h"
 
 namespace nbcp {
@@ -49,6 +50,12 @@ struct TraceEvent {
   /// a unique sequence number, and the matching deliver/drop event carries
   /// the same value. 0 = not a message event.
   uint64_t seq = 0;
+
+  /// Causal timestamp of the event's site at recording time (empty when
+  /// clocks are not wired). Send events carry the sender's post-send stamp,
+  /// deliveries the receiver's post-merge stamp — so for any two events,
+  /// vector-clock order decides happens-before.
+  ClockStamp stamp;
 };
 
 /// In-memory recorder for protocol events, with human-readable rendering.
@@ -68,6 +75,12 @@ class TraceRecorder {
 
   void Record(SimTime at, SiteId site, TransactionId txn,
               TraceEventType type, std::string detail = "", uint64_t seq = 0);
+
+  /// Causal-clock source (not owned; nullptr detaches). When attached,
+  /// every recorded site event is stamped with that site's current clock —
+  /// the transports tick the domain (send/deliver/timer), the recorder only
+  /// samples, so stamping works identically under any transport.
+  void set_clocks(const CausalClockDomain* clocks) { clocks_ = clocks; }
 
   /// Live tap: invoked for every recorded event, after it is stored. The
   /// GlobalStateObserver subscribes here; events the sink itself records
@@ -109,6 +122,7 @@ class TraceRecorder {
 
  private:
   std::deque<TraceEvent> events_;
+  const CausalClockDomain* clocks_ = nullptr;
   size_t capacity_ = 0;
   uint64_t dropped_ = 0;
   bool store_ = true;

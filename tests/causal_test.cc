@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/causal_clock.h"
+#include "core/transaction_manager.h"
+#include "obs/causal.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+// ---------------------------------------------------------------------
+// CausalClockDomain: the tick/merge rules.
+// ---------------------------------------------------------------------
+
+TEST(CausalClockTest, LocalTickAdvancesOwnComponents) {
+  CausalClockDomain clocks(3);
+  EXPECT_FALSE(clocks.Current(1).stamped() && clocks.Current(1).lamport > 0);
+
+  ClockStamp s1 = clocks.OnLocal(1);
+  EXPECT_EQ(s1.lamport, 1u);
+  EXPECT_EQ(s1.vc, (std::vector<uint64_t>{1, 0, 0}));
+
+  ClockStamp s2 = clocks.OnLocal(1);
+  EXPECT_EQ(s2.lamport, 2u);
+  EXPECT_EQ(s2.vc, (std::vector<uint64_t>{2, 0, 0}));
+
+  // Other sites are untouched.
+  EXPECT_EQ(clocks.Current(2).vc, (std::vector<uint64_t>{0, 0, 0}));
+}
+
+TEST(CausalClockTest, DeliverMergesThenTicks) {
+  CausalClockDomain clocks(3);
+  clocks.OnLocal(1);
+  ClockStamp sent = clocks.OnSend(1);  // L2 <2,0,0>
+  clocks.OnLocal(2);                   // site 2 at L1 <0,1,0>
+
+  ClockStamp got = clocks.OnDeliver(2, sent);
+  EXPECT_EQ(got.lamport, 3u);  // max(1, 2) + 1
+  EXPECT_EQ(got.vc, (std::vector<uint64_t>{2, 2, 0}));
+  EXPECT_TRUE(HappensBefore(sent, got));
+}
+
+TEST(CausalClockTest, DeliverOfUnstampedMessageIsPlainTick) {
+  CausalClockDomain clocks(2);
+  ClockStamp got = clocks.OnDeliver(2, ClockStamp{});
+  EXPECT_EQ(got.lamport, 1u);
+  EXPECT_EQ(got.vc, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(CausalClockTest, OutOfRangeSiteIsNoop) {
+  CausalClockDomain clocks(2);
+  EXPECT_FALSE(clocks.OnLocal(0).stamped());
+  EXPECT_FALSE(clocks.OnLocal(3).stamped());
+  EXPECT_FALSE(clocks.Current(99).stamped());
+  EXPECT_EQ(clocks.Current(1).vc, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(CausalClockTest, ResetReturnsToZero) {
+  CausalClockDomain clocks(2);
+  clocks.OnLocal(1);
+  clocks.OnLocal(2);
+  clocks.Reset();
+  EXPECT_EQ(clocks.Current(1).lamport, 0u);
+  EXPECT_EQ(clocks.Current(2).vc, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(CausalClockTest, OrderPredicates) {
+  ClockStamp a;
+  a.lamport = 1;
+  a.vc = {1, 0};
+  ClockStamp b;
+  b.lamport = 2;
+  b.vc = {1, 1};
+  ClockStamp c;
+  c.lamport = 2;
+  c.vc = {2, 0};
+
+  EXPECT_TRUE(HappensBefore(a, b));
+  EXPECT_FALSE(HappensBefore(b, a));
+  EXPECT_TRUE(ConcurrentWith(b, c));
+  EXPECT_FALSE(ConcurrentWith(a, b));
+  EXPECT_FALSE(HappensBefore(a, a));  // Strict order.
+
+  // Unstamped values are unordered.
+  EXPECT_FALSE(HappensBefore(ClockStamp{}, b));
+  EXPECT_FALSE(HappensBefore(a, ClockStamp{}));
+
+  // Shorter vectors compare as zero-padded (smaller population).
+  ClockStamp small;
+  small.lamport = 1;
+  small.vc = {1};
+  EXPECT_TRUE(VectorLeq(small, c));
+  EXPECT_FALSE(VectorLeq(c, small));
+}
+
+TEST(CausalClockTest, ToStringFormat) {
+  ClockStamp s;
+  EXPECT_EQ(s.ToString(), "L0<>");
+  s.lamport = 7;
+  s.vc = {2, 4, 1};
+  EXPECT_EQ(s.ToString(), "L7<2,4,1>");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: stamped runs, DAG, critical path, causality invariant.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<CommitSystem> MakeTracedSystem(const std::string& protocol,
+                                               size_t n = 4,
+                                               uint64_t seed = 7) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  config.trace = true;
+  config.observe = true;
+  config.observe_policy = ObserverPolicy::kCount;
+  auto system = CommitSystem::Create(config);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return std::move(*system);
+}
+
+std::vector<TraceEvent> EventsOf(CommitSystem& system) {
+  return std::vector<TraceEvent>(system.trace()->events().begin(),
+                                 system.trace()->events().end());
+}
+
+TEST(CausalTraceTest, EveryRecordedSiteEventIsStamped) {
+  auto system = MakeTracedSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  size_t site_events = 0;
+  for (const TraceEvent& e : system->trace()->events()) {
+    if (e.site == kNoSite) continue;
+    ++site_events;
+    EXPECT_TRUE(e.stamp.stamped()) << ToString(e.type) << " " << e.detail;
+  }
+  EXPECT_GT(site_events, 0u);
+}
+
+TEST(CausalTraceTest, StampsSurviveJsonlRoundTrip) {
+  auto system = MakeTracedSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  std::string jsonl = system->TraceJsonl();
+  auto imported = ParseTraceJsonLines(jsonl);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  std::vector<TraceEvent> original = EventsOf(*system);
+  ASSERT_EQ(imported->events.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(imported->events[i].stamp, original[i].stamp) << "event " << i;
+  }
+}
+
+// The acceptance bar for the profiler: on every builtin protocol the
+// extracted chain telescopes to (at least) 95% of the commit-path span,
+// the recorded stamps are consistent with happens-before, and the online
+// causality invariant never fires.
+TEST(CausalTraceTest, CriticalPathCoversCommitPathOnEveryBuiltinProtocol) {
+  for (const std::string& protocol : BuiltinProtocolNames()) {
+    auto system = MakeTracedSystem(protocol);
+    TransactionId txn = system->Begin();
+    TxnResult result = system->RunToCompletion(txn);
+    EXPECT_EQ(result.outcome, Outcome::kCommitted) << protocol;
+
+    CausalDag dag = CausalDag::Build(EventsOf(*system), txn);
+    EXPECT_GT(dag.events().size(), 0u) << protocol;
+    EXPECT_EQ(dag.unmatched_deliveries(), 0u) << protocol;
+    EXPECT_EQ(dag.ValidateClocks(nullptr), 0u) << protocol;
+
+    CriticalPathReport report = dag.CriticalPath(system->spans().spans());
+    EXPECT_TRUE(report.decided) << protocol;
+    EXPECT_GE(report.coverage, 0.95) << protocol;
+    EXPECT_GT(report.span(), 0u) << protocol;
+    EXPECT_GE(report.hops.size(), 2u) << protocol;
+    EXPECT_EQ(report.hops.front().kind, HopKind::kStart) << protocol;
+    EXPECT_GT(report.message_time, 0u) << protocol;
+    EXPECT_GE(report.effective_parallelism, 1.0) << protocol;
+
+    const GlobalStateObserver* obs = system->observer();
+    ASSERT_NE(obs, nullptr);
+    EXPECT_EQ(obs->violation_count(InvariantKind::kCausality), 0u)
+        << protocol;
+    EXPECT_GT(obs->stats().checks, 0u) << protocol;
+  }
+}
+
+TEST(CausalTraceTest, CrashAndTerminationStayCausallyConsistent) {
+  auto system = MakeTracedSystem("3PC-central", 5);
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 2);
+  TxnResult result = system->RunToCompletion(txn);
+  EXPECT_TRUE(result.consistent);
+
+  CausalDag dag = CausalDag::Build(EventsOf(*system), txn);
+  EXPECT_EQ(dag.ValidateClocks(nullptr), 0u);
+  CriticalPathReport report = dag.CriticalPath(system->spans().spans());
+  EXPECT_TRUE(report.decided);
+  EXPECT_GE(report.coverage, 0.95);
+
+  const GlobalStateObserver* obs = system->observer();
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->violation_count(InvariantKind::kCausality), 0u);
+}
+
+TEST(CausalTraceTest, LinearProtocolIsFullySequential) {
+  // L2PC chains its messages one after another: every delivered message
+  // sits on the critical path, so total transit == span of the chain.
+  auto system = MakeTracedSystem("L2PC-linear");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  CausalDag dag = CausalDag::Build(EventsOf(*system), txn);
+  CriticalPathReport report = dag.CriticalPath(system->spans().spans());
+  EXPECT_NEAR(report.effective_parallelism, 1.0, 0.05);
+  for (const MessageSlack& ms : report.slack) {
+    EXPECT_EQ(ms.slack, 0u) << ms.type << " " << ms.from << "->" << ms.to;
+  }
+}
+
+TEST(CausalTraceTest, BroadcastProtocolHasSlack) {
+  // A central 3PC broadcast overlaps n-1 messages per round: parallelism
+  // well above 1, and the non-binding votes/acks carry slack.
+  auto system = MakeTracedSystem("3PC-central", 5);
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  CausalDag dag = CausalDag::Build(EventsOf(*system), txn);
+  CriticalPathReport report = dag.CriticalPath(system->spans().spans());
+  EXPECT_GT(report.effective_parallelism, 1.5);
+  size_t with_slack = 0;
+  for (const MessageSlack& ms : report.slack) {
+    if (ms.slack > 0) ++with_slack;
+  }
+  EXPECT_GT(with_slack, 0u);
+}
+
+TEST(CausalTraceTest, PhaseAttributionUsesSpans) {
+  auto system = MakeTracedSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  CausalDag dag = CausalDag::Build(EventsOf(*system), txn);
+  CriticalPathReport report = dag.CriticalPath(system->spans().spans());
+  // Every hop lands inside a recorded span, and the by-phase attribution
+  // sums to the on-path total.
+  SimTime attributed = 0;
+  for (const auto& [phase, t] : report.by_phase) {
+    EXPECT_NE(phase, "unattributed");
+    attributed += t;
+  }
+  EXPECT_EQ(attributed, report.message_time + report.local_time);
+}
+
+TEST(CausalTraceTest, TraceTransactionsListsEachOnce) {
+  auto system = MakeTracedSystem("2PC-central");
+  TransactionId t1 = system->Begin();
+  system->RunToCompletion(t1);
+  TransactionId t2 = system->Begin();
+  system->RunToCompletion(t2);
+  std::vector<TransactionId> txns = TraceTransactions(EventsOf(*system));
+  EXPECT_EQ(txns, (std::vector<TransactionId>{t1, t2}));
+}
+
+TEST(CausalTraceTest, ValidateClocksFlagsCorruptedStamp) {
+  auto system = MakeTracedSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  std::vector<TraceEvent> events = EventsOf(*system);
+  // Corrupt one delivery: regress its stamp below the matching send's.
+  bool corrupted = false;
+  for (TraceEvent& e : events) {
+    if (e.type == TraceEventType::kMessageDelivered && e.stamp.stamped()) {
+      e.stamp.lamport = 0;
+      e.stamp.vc.assign(e.stamp.vc.size(), 0);
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  CausalDag dag = CausalDag::Build(events, txn);
+  std::vector<std::string> findings;
+  EXPECT_GT(dag.ValidateClocks(&findings), 0u);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings.front().find("contradicts happens-before"),
+            std::string::npos);
+}
+
+TEST(CausalTraceTest, ObserverReplayFlagsCorruptedStamp) {
+  // The same corruption must trip the online kCausality invariant when the
+  // events are replayed through the offline observer.
+  auto system = MakeTracedSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  system->RunToCompletion(txn);
+  std::vector<TraceEvent> events = EventsOf(*system);
+  for (TraceEvent& e : events) {
+    if (e.type == TraceEventType::kMessageDelivered && e.stamp.stamped()) {
+      e.stamp.lamport = 0;
+      e.stamp.vc.assign(e.stamp.vc.size(), 0);
+      break;
+    }
+  }
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto replay = ReplayGlobalStates(*spec, 4, events);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  bool found = false;
+  for (const InvariantViolation& v : replay->violations) {
+    if (v.kind == InvariantKind::kCausality) found = true;
+  }
+  EXPECT_TRUE(found) << "kCausality did not fire on a regressed stamp";
+}
+
+TEST(CausalTraceTest, UntracedSystemStillTicksClocks) {
+  // Clocks live in the transports, not the recorder: a system without a
+  // trace recorder still maintains a consistent domain.
+  SystemConfig config;
+  config.protocol = "2PC-central";
+  config.num_sites = 3;
+  config.seed = 5;
+  auto system = CommitSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  TransactionId txn = (*system)->Begin();
+  (*system)->RunToCompletion(txn);
+  for (SiteId s = 1; s <= 3; ++s) {
+    EXPECT_GT((*system)->clocks().Current(s).lamport, 0u) << "site " << s;
+  }
+}
+
+}  // namespace
+}  // namespace nbcp

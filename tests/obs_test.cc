@@ -96,6 +96,45 @@ TEST(HistogramTest, MergeAccumulatesBucketwise) {
   EXPECT_EQ(a.p50(), 30u);
 }
 
+TEST(HistogramTest, MergeOfDisjointBucketRanges) {
+  // One histogram entirely in the exact (<128) region, the other far up in
+  // the log-bucketed region: the merge must grow the bucket vector and
+  // keep order statistics of the union.
+  LatencyHistogram small;
+  LatencyHistogram large;
+  for (uint64_t v : {1, 2, 3}) small.Record(v);
+  for (uint64_t v : {1u << 20, (1u << 20) + 5000}) large.Record(v);
+  small.Merge(large);
+  EXPECT_EQ(small.count(), 5u);
+  EXPECT_EQ(small.min(), 1u);
+  EXPECT_EQ(small.max(), (1u << 20) + 5000u);
+  EXPECT_EQ(small.p50(), 3u);  // 3 of 5 samples <= 3 (exact region).
+  // p99 lands in the large run's buckets, within the 1/32 bucket error.
+  EXPECT_GE(small.Quantile(0.99), 1u << 20);
+
+  // Merging the other direction (large grown first) agrees on the counts.
+  LatencyHistogram small2;
+  for (uint64_t v : {1, 2, 3}) small2.Record(v);
+  large.Merge(small2);
+  EXPECT_EQ(large.count(), 5u);
+  EXPECT_EQ(large.min(), 1u);
+  EXPECT_EQ(large.max(), (1u << 20) + 5000u);
+  EXPECT_EQ(large.p50(), small.p50());
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  LatencyHistogram empty;
+  for (uint64_t v : {5, 6}) h.Record(v);
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 5u);
+  empty.Merge(h);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.p50(), 5u);
+  EXPECT_EQ(empty.max(), 6u);
+}
+
 TEST(HistogramTest, ResetClears) {
   LatencyHistogram h;
   h.Record(7);

@@ -15,10 +15,15 @@
 //                                            per-phase latency deltas
 //   nbcp-trace check [--strict] <trace>      CI gate; --strict also replays
 //                                            and verifies the timeline
+//   nbcp-trace critical-path <trace>         per-transaction critical path
+//     [--txn <id>] [--json] [--chrome <out>] with latency attribution and
+//                                            message slack
+//   nbcp-trace causal <trace> [--txn <id>]   happens-before DAG summary and
+//     [--json]                               clock-stamp validation
 //
 // Exit codes: 0 clean, 1 IO/parse error, 2 usage, 3 anomalies or invariant
-// violations found, 4 structural divergence (diff, or replay timeline
-// mismatch).
+// violations found (including causality violations), 4 structural
+// divergence (diff, or replay timeline mismatch).
 //
 // Sections (overview mode):
 //   phases     per-phase latency breakdown (count/mean/p50/p95/p99/max)
@@ -37,6 +42,7 @@
 #include <vector>
 
 #include "explore/mutate.h"
+#include "obs/causal.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/observer.h"
@@ -61,7 +67,11 @@ void PrintUsage() {
                "[--chrome <out.json>]\n"
                "       nbcp-trace replay <trace.jsonl>\n"
                "       nbcp-trace diff <a.jsonl> <b.jsonl>\n"
-               "       nbcp-trace check [--strict] <trace.jsonl>\n");
+               "       nbcp-trace check [--strict] <trace.jsonl>\n"
+               "       nbcp-trace critical-path <trace.jsonl> [--txn <id>] "
+               "[--json] [--chrome <out.json>]\n"
+               "       nbcp-trace causal <trace.jsonl> [--txn <id>] "
+               "[--json]\n");
 }
 
 /// "prepare->3" / "prepare<-1" → message type.
@@ -502,6 +512,23 @@ int CmdDiff(const std::string& path_a, const std::string& path_b) {
   return divergence == SIZE_MAX ? 0 : 4;
 }
 
+/// Validates recorded clock stamps of every transaction against the
+/// happens-before DAG; prints one line per violated edge. Returns the
+/// number of violations (0 on unstamped traces — nothing to check).
+size_t CheckCausality(const ImportedTrace& trace) {
+  size_t violations = 0;
+  for (TransactionId txn : TraceTransactions(trace.events)) {
+    CausalDag dag = CausalDag::Build(trace.events, txn);
+    std::vector<std::string> findings;
+    violations += dag.ValidateClocks(&findings);
+    for (const std::string& f : findings) {
+      std::printf("  CAUSALITY   txn %llu %s\n",
+                  static_cast<unsigned long long>(txn), f.c_str());
+    }
+  }
+  return violations;
+}
+
 int CmdCheck(const std::string& path, bool strict) {
   auto trace = LoadTrace(path);
   if (!trace.has_value()) return 1;
@@ -510,8 +537,17 @@ int CmdCheck(const std::string& path, bool strict) {
               trace->meta.protocol.empty() ? "?" : trace->meta.protocol.c_str(),
               trace->meta.num_sites, trace->events.size(),
               strict ? " [strict]" : "");
+  if (trace->meta.dropped != 0) {
+    // Non-fatal: a ring-buffered trace is legitimately incomplete, but the
+    // checks below only see what survived eviction.
+    std::printf(
+        "warning: incomplete trace — %llu event(s) evicted by the ring "
+        "buffer; checks cover the retained suffix only\n",
+        static_cast<unsigned long long>(trace->meta.dropped));
+  }
   std::printf("anomalies\n");
   size_t findings = PrintAnomalies(*trace);
+  findings += CheckCausality(*trace);
 
   if (strict) {
     auto replay = RunReplay(*trace);
@@ -540,6 +576,170 @@ int CmdCheck(const std::string& path, bool strict) {
     std::printf("FAILED: %zu finding(s)\n", findings);
   }
   return findings == 0 ? 0 : 3;
+}
+
+/// Transactions to report on: the one named by --txn (must exist), or all.
+std::optional<std::vector<TransactionId>> SelectTransactions(
+    const ImportedTrace& trace, std::optional<TransactionId> requested) {
+  std::vector<TransactionId> txns = TraceTransactions(trace.events);
+  if (!requested.has_value()) return txns;
+  for (TransactionId txn : txns) {
+    if (txn == *requested) return std::vector<TransactionId>{*requested};
+  }
+  std::fprintf(stderr, "error: transaction %llu is not in the trace\n",
+               static_cast<unsigned long long>(*requested));
+  return std::nullopt;
+}
+
+int CmdCriticalPath(int argc, char** argv) {
+  std::string path;
+  std::optional<TransactionId> txn;
+  bool json = false;
+  std::string chrome_out;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--txn" && i + 1 < argc) {
+      txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--chrome" && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+  auto trace = LoadTrace(path);
+  if (!trace.has_value()) return 1;
+  auto txns = SelectTransactions(*trace, txn);
+  if (!txns.has_value()) return 1;
+  if (txns->empty()) {
+    std::fprintf(stderr, "error: trace has no transactions\n");
+    return 1;
+  }
+  if (!chrome_out.empty() && txns->size() > 1) {
+    std::fprintf(stderr,
+                 "error: --chrome emits one transaction's path; pick one "
+                 "with --txn\n");
+    return 2;
+  }
+
+  Json all = Json::Array();
+  for (TransactionId id : *txns) {
+    CausalDag dag = CausalDag::Build(trace->events, id);
+    CriticalPathReport report = dag.CriticalPath(trace->spans);
+    report.protocol = trace->meta.protocol;
+    if (dag.unmatched_deliveries() > 0 && !json) {
+      std::printf("note: txn %llu has %zu delivery(ies) without a recorded "
+                  "send (truncated trace) — coverage may be < 1\n",
+                  static_cast<unsigned long long>(id),
+                  dag.unmatched_deliveries());
+    }
+    if (json) {
+      all.Append(CriticalPathToJson(report));
+    } else {
+      std::printf("%s\n", report.ToText().c_str());
+    }
+    if (!chrome_out.empty()) {
+      Status s = WriteFile(chrome_out, CriticalPathChromeTrace(report));
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (!json) {
+        std::printf("critical-path chrome trace written to %s\n",
+                    chrome_out.c_str());
+      }
+    }
+  }
+  if (json) {
+    std::printf("%s\n", (all.size() == 1 ? all.items()[0] : all).Dump(1).c_str());
+  }
+  return 0;
+}
+
+int CmdCausal(int argc, char** argv) {
+  std::string path;
+  std::optional<TransactionId> txn;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--txn" && i + 1 < argc) {
+      txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+  auto trace = LoadTrace(path);
+  if (!trace.has_value()) return 1;
+  auto txns = SelectTransactions(*trace, txn);
+  if (!txns.has_value()) return 1;
+
+  size_t total_violations = 0;
+  Json all = Json::Array();
+  for (TransactionId id : *txns) {
+    CausalDag dag = CausalDag::Build(trace->events, id);
+    size_t message_edges = 0;
+    for (const CausalEdge& e : dag.edges()) {
+      if (e.message) ++message_edges;
+    }
+    size_t stamped = 0;
+    for (const TraceEvent& e : dag.events()) {
+      if (e.stamp.stamped()) ++stamped;
+    }
+    std::vector<std::string> findings;
+    size_t violations = dag.ValidateClocks(&findings);
+    total_violations += violations;
+    if (json) {
+      Json j = Json::Object();
+      j["txn"] = id;
+      j["events"] = static_cast<uint64_t>(dag.events().size());
+      j["edges"] = static_cast<uint64_t>(dag.edges().size());
+      j["message_edges"] = static_cast<uint64_t>(message_edges);
+      j["unmatched_deliveries"] =
+          static_cast<uint64_t>(dag.unmatched_deliveries());
+      j["stamped_events"] = static_cast<uint64_t>(stamped);
+      j["violations"] = static_cast<uint64_t>(violations);
+      Json flist = Json::Array();
+      for (const std::string& f : findings) flist.Append(Json(f));
+      j["findings"] = std::move(flist);
+      all.Append(std::move(j));
+    } else {
+      std::printf("txn %llu: %zu events (%zu stamped), %zu edges "
+                  "(%zu message, %zu unmatched deliveries)\n",
+                  static_cast<unsigned long long>(id), dag.events().size(),
+                  stamped, dag.edges().size(), message_edges,
+                  dag.unmatched_deliveries());
+      for (const std::string& f : findings) {
+        std::printf("  CAUSALITY %s\n", f.c_str());
+      }
+    }
+  }
+  if (json) {
+    std::printf("%s\n", all.Dump(1).c_str());
+  } else if (total_violations == 0) {
+    std::printf("causality OK: recorded stamps are consistent with "
+                "happens-before across %zu transaction(s)\n",
+                txns->size());
+  } else {
+    std::printf("FAILED: %zu causality violation(s)\n", total_violations);
+  }
+  return total_violations == 0 ? 0 : 3;
 }
 
 int CmdOverview(int argc, char** argv) {
@@ -576,10 +776,16 @@ int CmdOverview(int argc, char** argv) {
   }
   std::printf("trace: %s\n", opt.path.c_str());
   std::printf("  protocol %s, %zu sites, %zu events, %zu spans, "
-              "%zu transaction(s)\n\n",
+              "%zu transaction(s)\n",
               trace->meta.protocol.empty() ? "?" : trace->meta.protocol.c_str(),
               trace->meta.num_sites, trace->events.size(),
               trace->spans.size(), txns.size());
+  if (trace->meta.dropped != 0) {
+    std::printf("  INCOMPLETE: %llu event(s) evicted by the ring buffer "
+                "before export\n",
+                static_cast<unsigned long long>(trace->meta.dropped));
+  }
+  std::printf("\n");
 
   PrintPhaseBreakdown(trace->spans);
   PrintMessageStats(trace->events);
@@ -640,6 +846,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       return CmdCheck(path, strict);
+    }
+    if (cmd == "critical-path") {
+      return CmdCriticalPath(argc, argv);
+    }
+    if (cmd == "causal") {
+      return CmdCausal(argc, argv);
     }
   }
   return CmdOverview(argc, argv);
