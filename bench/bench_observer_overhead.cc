@@ -1,8 +1,11 @@
 // Observer overhead: wall-clock cost of the runtime GlobalStateObserver
 // (live global-state maintenance + online invariant checks) per simulator
-// event, compared against the same workload with observation off and with
-// full tracing on top. The observer is meant to be cheap enough to leave
-// on in soak runs; this bench quantifies "cheap".
+// event, compared against the same workload with observation off, with the
+// BlockingMonitor stacked on top, and with full tracing on top of that.
+// The observer and the stall detector are meant to be cheap enough to
+// leave on in soak runs; this bench quantifies "cheap". Wall-clock is the
+// median over repetitions (MedianOf) so one noisy run cannot move the
+// regression gate.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -15,29 +18,40 @@ using namespace nbcp;
 
 namespace {
 
+struct Mode {
+  const char* name;
+  bool observe = false;
+  bool trace = false;
+  bool blocking = false;
+};
+
 struct Cell {
-  double wall_ms = 0;          ///< Total wall-clock for the workload.
-  uint64_t events = 0;         ///< Simulator events executed.
+  double wall_ms = 0;          ///< Median wall-clock for the workload.
+  uint64_t events = 0;         ///< Simulator events executed (one run).
   uint64_t obs_events = 0;     ///< Events the observer consumed.
   uint64_t checks = 0;         ///< Invariant checks evaluated.
   uint64_t violations = 0;
+  uint64_t blocked_spans = 0;  ///< Spans the monitor opened.
   double ns_per_event = 0;     ///< wall / simulator events.
 };
 
-Cell RunWorkload(const std::string& protocol, size_t n, int txns,
-                 bool observe, bool trace) {
-  Cell cell;
+/// One full workload run; returns wall-clock ms and fills `cell` stats
+/// (the runs are virtual-time deterministic, so stats are identical across
+/// repetitions — only wall-clock varies).
+double RunOnce(const std::string& protocol, size_t n, int txns,
+               const Mode& mode, Cell* cell) {
   SystemConfig config;
   config.protocol = protocol;
   config.num_sites = n;
   config.seed = 99;
-  config.observe = observe;
+  config.observe = mode.observe;
   config.observe_policy = ObserverPolicy::kCount;
-  config.trace = trace;
+  config.trace = mode.trace;
+  config.blocking = mode.blocking;
   auto system = CommitSystem::Create(config);
   if (!system.ok()) {
     std::fprintf(stderr, "bench: %s\n", system.status().ToString().c_str());
-    return cell;
+    return 0;
   }
 
   auto begin = std::chrono::steady_clock::now();
@@ -51,16 +65,30 @@ Cell RunWorkload(const std::string& protocol, size_t n, int txns,
   }
   auto end = std::chrono::steady_clock::now();
 
-  cell.wall_ms =
-      std::chrono::duration<double, std::milli>(end - begin).count();
-  cell.events = (*system)->simulator().stats().events_executed;
+  cell->events = (*system)->simulator().stats().events_executed;
+  if (const GlobalStateObserver* obs = (*system)->observer()) {
+    cell->obs_events = obs->stats().events;
+    cell->checks = obs->stats().checks;
+    cell->violations = obs->stats().violations;
+  }
+  if (const BlockingMonitor* monitor = (*system)->blocking()) {
+    cell->blocked_spans = monitor->stats().opened;
+  }
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+Cell RunWorkload(const std::string& protocol, size_t n, int txns,
+                 const Mode& mode) {
+  Cell cell;
+  // First repetitions are warmup (allocator, caches); median of the rest.
+  // Nine timed reps keep the median stable against scheduler noise — the
+  // per-run wall-clock is tens of milliseconds, close to the noise floor.
+  bench::Reps reps = bench::MedianOf(2, 9, [&](int) {
+    return RunOnce(protocol, n, txns, mode, &cell);
+  });
+  cell.wall_ms = reps.median;
   if (cell.events > 0) {
     cell.ns_per_event = cell.wall_ms * 1e6 / static_cast<double>(cell.events);
-  }
-  if (const GlobalStateObserver* obs = (*system)->observer()) {
-    cell.obs_events = obs->stats().events;
-    cell.checks = obs->stats().checks;
-    cell.violations = obs->stats().violations;
   }
   return cell;
 }
@@ -68,41 +96,58 @@ Cell RunWorkload(const std::string& protocol, size_t n, int txns,
 }  // namespace
 
 int main() {
-  const int kTxns = 200;
+  const int kTxns = 1000;
   const size_t kSites = 5;
   bench::JsonReport report("observer_overhead");
   bench::Banner("O1", "Runtime global-state observer overhead per event");
-  std::printf("%d transactions per cell, %zu sites; modes: baseline "
-              "(no observation), observe (invariant checks, no stored "
-              "trace), trace+observe (full trace with timeline)\n\n",
+  std::printf("%d transactions per cell, %zu sites; wall-clock is the "
+              "median of 7 post-warmup repetitions. Modes: baseline (no "
+              "observation), observe (invariant checks, no stored trace), "
+              "observe+blocking (stall detector on top), trace+observe "
+              "(full trace with timeline)\n\n",
               kTxns, kSites);
-  std::printf("%-20s %-15s %9s %10s %10s %10s %12s %10s\n", "protocol",
+  std::printf("%-20s %-16s %9s %10s %10s %10s %12s %10s\n", "protocol",
               "mode", "wall_ms", "sim_evts", "obs_evts", "checks",
               "ns/sim_evt", "overhead");
 
   for (const char* name : {"2PC-central", "3PC-central",
                            "3PC-decentralized"}) {
     const std::string protocol(name);
-    Cell baseline = RunWorkload(protocol, kSites, kTxns, false, false);
-    struct Mode {
-      const char* name;
-      bool observe, trace;
-    };
-    for (const Mode& mode : {Mode{"baseline", false, false},
-                             Mode{"observe", true, false},
-                             Mode{"trace+observe", true, true}}) {
-      Cell cell = mode.observe || mode.trace
-                      ? RunWorkload(protocol, kSites, kTxns, mode.observe,
-                                    mode.trace)
-                      : baseline;
+    Cell baseline = RunWorkload(protocol, kSites, kTxns, Mode{"baseline"});
+    Cell observe_cell;
+    for (const Mode& mode :
+         {Mode{"baseline", false, false, false},
+          Mode{"observe", true, false, false},
+          Mode{"observe+blocking", true, false, true},
+          Mode{"trace+observe", true, true, false}}) {
+      Cell cell;
+      if (std::string(mode.name) == "baseline") {
+        cell = baseline;
+      } else {
+        cell = RunWorkload(protocol, kSites, kTxns, mode);
+      }
+      if (std::string(mode.name) == "observe") observe_cell = cell;
       double overhead =
           baseline.wall_ms > 0 ? cell.wall_ms / baseline.wall_ms - 1.0 : 0.0;
-      std::printf("%-20s %-15s %9.2f %10llu %10llu %10llu %12.1f %9.1f%%\n",
+      // The marginal cost of the stall detector itself: observe+blocking
+      // relative to observe alone. The acceptance bar is < 5%.
+      double blocking_overhead =
+          std::string(mode.name) == "observe+blocking" &&
+                  observe_cell.wall_ms > 0
+              ? cell.wall_ms / observe_cell.wall_ms - 1.0
+              : 0.0;
+      std::printf("%-20s %-16s %9.2f %10llu %10llu %10llu %12.1f %9.1f%%\n",
                   protocol.c_str(), mode.name, cell.wall_ms,
                   static_cast<unsigned long long>(cell.events),
                   static_cast<unsigned long long>(cell.obs_events),
                   static_cast<unsigned long long>(cell.checks),
                   cell.ns_per_event, overhead * 100.0);
+      if (std::string(mode.name) == "observe+blocking") {
+        std::printf("%-20s %-16s blocking telemetry marginal cost vs "
+                    "observe: %+.1f%% (%llu spans)\n",
+                    "", "", blocking_overhead * 100.0,
+                    static_cast<unsigned long long>(cell.blocked_spans));
+      }
       report.AddRow("overhead",
                     {{"protocol", Json(protocol)},
                      {"mode", Json(std::string(mode.name))},
@@ -113,8 +158,11 @@ int main() {
                      {"observer_events", Json(cell.obs_events)},
                      {"checks", Json(cell.checks)},
                      {"violations", Json(cell.violations)},
+                     {"blocked_spans", Json(cell.blocked_spans)},
                      {"ns_per_sim_event", Json(cell.ns_per_event)},
-                     {"overhead_vs_baseline", Json(overhead)}});
+                     {"overhead_vs_baseline", Json(overhead)},
+                     {"blocking_overhead_vs_observe",
+                      Json(blocking_overhead)}});
       if (cell.violations != 0) {
         std::fprintf(stderr,
                      "bench: unexpected invariant violations in %s/%s\n",

@@ -57,45 +57,63 @@ int main() {
         Scenario{"crash after 1 of 3 prepares", msg::kPrepare, 1},
         Scenario{"crash after all acks, before any commit", msg::kCommit, 0},
         Scenario{"crash after 1 of 3 commits", msg::kCommit, 1}}) {
-    SystemConfig config;
-    config.protocol = "3PC-central";
-    config.num_sites = 4;
-    config.seed = 99;
-    auto system = CommitSystem::Create(config);
-    if (!system.ok()) continue;
-    TransactionId txn = (*system)->Begin();
-    (*system)->injector().CrashDuringBroadcast(1, txn, sc.msg_type,
-                                               sc.copies);
-    TxnResult result = (*system)->RunToCompletion(txn);
-    std::printf("%-40s -> %-9s blocked=%s consistent=%s termination=%s\n",
+    TxnResult result;
+    // Median end-to-end latency over seeds: each seed is an independent
+    // deterministic run; outcome/blocked/consistent are seed-invariant.
+    bench::Reps reps = bench::MedianOf(0, 11, [&](int i)
+                                               -> std::optional<double> {
+      SystemConfig config;
+      config.protocol = "3PC-central";
+      config.num_sites = 4;
+      config.seed = 99 + static_cast<uint64_t>(i);
+      auto system = CommitSystem::Create(config);
+      if (!system.ok()) return std::nullopt;
+      TransactionId txn = (*system)->Begin();
+      (*system)->injector().CrashDuringBroadcast(1, txn, sc.msg_type,
+                                                 sc.copies);
+      result = (*system)->RunToCompletion(txn);
+      json.cell("3PC-central").Merge((*system)->registry());
+      return static_cast<double>(result.latency());
+    });
+    std::printf("%-40s -> %-9s blocked=%s consistent=%s termination=%s "
+                "median_lat=%.0fus\n",
                 sc.description, ToString(result.outcome).c_str(),
                 result.blocked ? "yes" : "no",
                 result.consistent ? "yes" : "no",
-                result.used_termination ? "yes" : "no");
+                result.used_termination ? "yes" : "no", reps.median);
     json.AddRow("end_to_end",
                 {{"protocol", Json("3PC-central")},
                  {"scenario", Json(sc.description)},
                  {"outcome", Json(ToString(result.outcome))},
                  {"blocked", Json(result.blocked)},
                  {"consistent", Json(result.consistent)},
-                 {"used_termination", Json(result.used_termination)}});
-    json.cell("3PC-central").Merge((*system)->registry());
+                 {"used_termination", Json(result.used_termination)},
+                 {"median_latency_us", Json(reps.median)},
+                 {"max_latency_us", Json(reps.max)}});
   }
 
   std::printf("\nsame crash points under 2PC (the blocking contrast):\n");
   for (Scenario sc :
        {Scenario{"crash before any commit delivered", msg::kCommit, 0},
         Scenario{"crash after 1 of 3 commits", msg::kCommit, 1}}) {
-    SystemConfig config;
-    config.protocol = "2PC-central";
-    config.num_sites = 4;
-    config.seed = 99;
-    auto system = CommitSystem::Create(config);
-    if (!system.ok()) continue;
-    TransactionId txn = (*system)->Begin();
-    (*system)->injector().CrashDuringBroadcast(1, txn, sc.msg_type,
-                                               sc.copies);
-    TxnResult result = (*system)->RunToCompletion(txn);
+    TxnResult result;
+    bench::Reps reps = bench::MedianOf(0, 11, [&](int i)
+                                               -> std::optional<double> {
+      SystemConfig config;
+      config.protocol = "2PC-central";
+      config.num_sites = 4;
+      config.seed = 99 + static_cast<uint64_t>(i);
+      auto system = CommitSystem::Create(config);
+      if (!system.ok()) return std::nullopt;
+      TransactionId txn = (*system)->Begin();
+      (*system)->injector().CrashDuringBroadcast(1, txn, sc.msg_type,
+                                                 sc.copies);
+      result = (*system)->RunToCompletion(txn);
+      json.cell("2PC-central").Merge((*system)->registry());
+      // Blocked runs have no meaningful completion latency.
+      if (result.blocked) return std::nullopt;
+      return static_cast<double>(result.latency());
+    });
     std::printf("%-40s -> %-9s blocked=%s consistent=%s\n", sc.description,
                 ToString(result.outcome).c_str(),
                 result.blocked ? "yes" : "no",
@@ -105,8 +123,10 @@ int main() {
                  {"scenario", Json(sc.description)},
                  {"outcome", Json(ToString(result.outcome))},
                  {"blocked", Json(result.blocked)},
-                 {"consistent", Json(result.consistent)}});
-    json.cell("2PC-central").Merge((*system)->registry());
+                 {"consistent", Json(result.consistent)},
+                 {"median_latency_us", Json(reps.median)},
+                 {"samples",
+                  Json(static_cast<uint64_t>(reps.samples.size()))}});
   }
 
   bench::Banner("F9 exhaustive",

@@ -31,6 +31,9 @@ HEADLINES = {
     "throughput": (("protocol",),
                    {"closed_tps": "higher", "open_tps": "higher"}),
     "critical_path": (("protocol", "n"), {"span_us": "lower"}),
+    "blocking": (("protocol", "scenario"),
+                 {"p_block": "lower", "mean_blocked_us": "lower",
+                  "max_blocked_us": "lower"}),
 }
 
 SKIP_FILES = ("BENCH_RESULTS.json", "BENCH_summary.json")
@@ -60,13 +63,34 @@ def compare(name, baseline, current, threshold):
         cur_metrics = current.get(key, {})
         for metric, (base, direction) in sorted(metrics.items()):
             if metric not in cur_metrics:
-                continue  # Snapshot shape changed; the structure check below
-                # already flags fully missing rows.
+                if key in current:
+                    # Row exists but the metric vanished: name the hole
+                    # instead of silently shrinking the comparison set.
+                    print(f"warn {name} {key} {metric}: "
+                          f"in baseline but missing from current snapshot")
+                continue  # Fully missing rows are flagged by the caller.
             cur = cur_metrics[metric][0]
             if base <= 0 or cur <= 0:
                 continue  # Blocked/absent cells encode as <= 0; not comparable.
             ratio = cur / base if direction == "lower" else base / cur
             yield key, metric, base, cur, ratio, ratio > threshold
+
+
+def warn_unbaselined(name, baseline, current):
+    """Names headline metrics present in the run but absent from the
+    baseline — new rows or metrics the gate is not yet protecting; the fix
+    is to refresh bench/baselines/."""
+    for key, metrics in sorted(current.items()):
+        base_metrics = baseline.get(key)
+        if base_metrics is None:
+            print(f"warn {name} {key}: row not in baseline (ungated; "
+                  f"refresh bench/baselines/)")
+            continue
+        for metric in sorted(metrics):
+            if metric not in base_metrics:
+                print(f"warn {name} {key} {metric}: "
+                      f"metric not in baseline (ungated; "
+                      f"refresh bench/baselines/)")
 
 
 def main():
@@ -100,6 +124,7 @@ def main():
         for key in missing:
             print(f"FAIL {name} {key}: row missing from current snapshot")
             failures += 1
+        warn_unbaselined(name, base, cur)
         for key, metric, b, c, ratio, regressed in compare(
                 name, base, cur, args.threshold):
             compared += 1

@@ -85,6 +85,9 @@ HEADLINES = {
     "critical_path": (("protocol", "n"),
                       ("span_us", "coverage", "message_us", "local_us",
                        "effective_parallelism")),
+    "blocking": (("protocol", "scenario"),
+                 ("p_block", "mean_blocked_us", "max_blocked_us",
+                  "crosscheck_failures", "verdict_mismatches")),
 }
 summary = {"git_rev": git_rev, "benches": {}}
 for bench, doc in merged.items():

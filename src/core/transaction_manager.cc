@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "obs/export.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 #include "protocols/registry.h"
 
 namespace nbcp {
@@ -73,7 +74,7 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
     if (!attached.ok()) return attached;
   }
 
-  if (config.trace || config.observe) {
+  if (config.trace || config.observe || config.blocking) {
     system->trace_ = std::make_unique<TraceRecorder>(config.trace_capacity);
     TraceRecorder* recorder = system->trace_.get();
     recorder->set_clocks(system->clocks_.get());
@@ -125,8 +126,24 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
         site_map, obs_config);
     system->observer_->set_trace(system->trace_.get());
     system->observer_->set_metrics(&system->registry_);
-    system->trace_->set_sink([obs = system->observer_.get()](
-                                 const TraceEvent& e) { obs->OnEvent(e); });
+  }
+
+  if (config.blocking) {
+    system->blocking_ = std::make_unique<BlockingMonitor>(
+        system->spec_.get(), config.num_sites);
+    system->blocking_->set_observer(system->observer_.get());
+    system->blocking_->set_metrics(&system->registry_);
+  }
+
+  if (system->observer_ != nullptr || system->blocking_ != nullptr) {
+    // Shared event bus: the observer consumes each event first so the
+    // monitor's cross-checks see up-to-date global state.
+    system->trace_->set_sink(
+        [obs = system->observer_.get(),
+         blocking = system->blocking_.get()](const TraceEvent& e) {
+          if (obs != nullptr) obs->OnEvent(e);
+          if (blocking != nullptr) blocking->OnEvent(e);
+        });
   }
 
   // Log records carry virtual-time context while this system is alive.
@@ -263,6 +280,10 @@ TxnResult CommitSystem::AwaitQuiescence(TransactionId txn) {
   if (!result.consistent) registry_.counter("txn/inconsistent").Inc();
   registry_.histogram("txn/latency_us").Record(result.latency());
   registry_.histogram("txn/messages").Record(result.messages);
+  // Windowed view of the same latencies, bucketed by completion time, so
+  // "p95 over the last stretch of virtual time" is answerable.
+  registry_.series("txn/latency_us").Record(sim_->now(), result.latency());
+  if (blocking_ != nullptr) blocking_->Finalize(sim_->now());
   registry_.histogram("txn/commit_path_latency_us")
       .Record(result.commit_path_latency());
   if (result.used_termination) {
@@ -303,6 +324,15 @@ std::string CommitSystem::MetricsSnapshotJson(int indent) const {
 
   root["metrics"] = registry_.ToJson();
   return root.Dump(indent);
+}
+
+std::string CommitSystem::MetricsPrometheusText(SimTime window) const {
+  std::map<std::string, std::string> labels = {
+      {"protocol", spec_->name()},
+      {"sites", std::to_string(config_.num_sites)},
+      {"seed", std::to_string(config_.seed)},
+  };
+  return ExportPrometheusText(registry_, labels, sim_->now(), window);
 }
 
 std::string CommitSystem::TraceJsonl() const {

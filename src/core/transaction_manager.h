@@ -16,6 +16,7 @@
 #include "fsa/protocol_spec.h"
 #include "net/failure_detector.h"
 #include "net/network.h"
+#include "obs/blocking.h"
 #include "obs/metrics_registry.h"
 #include "obs/observer.h"
 #include "obs/span.h"
@@ -64,6 +65,13 @@ struct SystemConfig {
   /// Emit "global-state" timeline events into the trace (off leaves only
   /// the invariant checks).
   bool observe_timeline = true;
+
+  /// Attach a BlockingMonitor (see obs/blocking.h): per-site,
+  /// per-transaction blocked spans with cause attribution, fed from the
+  /// same event bus as the observer. Works with or without `trace` and
+  /// `observe`; with `observe` on, every span open/close is cross-checked
+  /// against the live global state.
+  bool blocking = false;
 };
 
 /// The top-level facade: a simulated n-site distributed database running a
@@ -127,6 +135,14 @@ class CommitSystem {
   GlobalStateObserver* observer() { return observer_.get(); }
   const GlobalStateObserver* observer() const { return observer_.get(); }
 
+  /// The stall detector, or nullptr when SystemConfig::blocking is off.
+  BlockingMonitor* blocking() { return blocking_.get(); }
+  const BlockingMonitor* blocking() const { return blocking_.get(); }
+
+  /// Prometheus text-exposition rendering of the registry, labelled with
+  /// protocol/sites/seed, windowed at the current virtual time.
+  std::string MetricsPrometheusText(SimTime window = 0) const;
+
   // --- structured export --------------------------------------------------
 
   /// Machine-readable snapshot of the registry plus simulator and network
@@ -187,6 +203,7 @@ class CommitSystem {
   std::unique_ptr<FailureInjector> injector_;
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<GlobalStateObserver> observer_;
+  std::unique_ptr<BlockingMonitor> blocking_;
   SystemMetrics metrics_;
   MetricsRegistry registry_;
   SpanCollector spans_;

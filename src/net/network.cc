@@ -41,7 +41,15 @@ Status Network::Send(Message msg) {
   if (clocks_ != nullptr) msg.stamp = clocks_->OnSend(msg.from);
   ++stats_.messages_sent;
   stats_.bytes_sent += msg.payload.size();
-  if (metrics_ != nullptr) metrics_->counter("net/sent").Inc();
+  if (metrics_ != nullptr) {
+    metrics_->counter("net/sent").Inc();
+    // In-flight messages over virtual time: sends minus completions so
+    // far. Windowed mean/p95 of this series show queueing pressure.
+    metrics_->series("net/inflight")
+        .Record(sim_->now(), stats_.messages_sent -
+                                 stats_.messages_delivered -
+                                 stats_.messages_dropped);
+  }
   if (observer_) observer_(msg, 's');
 
   SimTime delay = SampleDelay();

@@ -1,0 +1,444 @@
+#include "obs/blocking.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/observer.h"
+
+namespace nbcp {
+
+std::string ToString(BlockedCause cause) {
+  switch (cause) {
+    case BlockedCause::kAwaitingDecision:
+      return "awaiting-decision";
+    case BlockedCause::kPartition:
+      return "partition";
+    case BlockedCause::kElection:
+      return "election";
+    case BlockedCause::kTermination:
+      return "termination";
+  }
+  return "?";
+}
+
+std::string ToString(BlockedResolution resolution) {
+  switch (resolution) {
+    case BlockedResolution::kUnresolved:
+      return "unresolved";
+    case BlockedResolution::kDecision:
+      return "decision";
+    case BlockedResolution::kTermination:
+      return "termination";
+    case BlockedResolution::kSiteCrashed:
+      return "site-crashed";
+  }
+  return "?";
+}
+
+std::string BlockedSpan::ToString() const {
+  std::string out = "txn " + std::to_string(txn) + " site " +
+                    std::to_string(site) + " [" + std::to_string(opened_at) +
+                    "," + (open() ? "open" : std::to_string(closed_at)) +
+                    ") cause=" + nbcp::ToString(cause) +
+                    " resolution=" + nbcp::ToString(resolution);
+  if (declared_blocked) out += " declared-blocked";
+  return out;
+}
+
+BlockingMonitor::BlockingMonitor(const ProtocolSpec* spec, size_t n)
+    : spec_(spec), n_(n), crashed_(n, false) {
+  role_states_.resize(spec_->num_roles());
+  for (RoleIndex r = 0; r < static_cast<RoleIndex>(spec_->num_roles()); ++r) {
+    const Automaton& a = spec_->role(r);
+    for (StateIndex s = 0; s < static_cast<StateIndex>(a.num_states()); ++s) {
+      role_states_[r][a.state(s).name] = a.state(s).kind;
+    }
+  }
+}
+
+BlockingMonitor::TxnCell& BlockingMonitor::Track(TransactionId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    it = txns_.emplace(txn, TxnCell{}).first;
+    it->second.sites.resize(n_);
+  }
+  return it->second;
+}
+
+bool BlockingMonitor::Stalled(const TxnCell& t, size_t i) const {
+  const SiteCell& cell = t.sites[i];
+  return !crashed_[i] && cell.known && !cell.decided && !IsFinal(cell.kind);
+}
+
+void BlockingMonitor::CrossCheck(const TraceEvent& e, size_t i,
+                                 bool opening) {
+  if (observer_ == nullptr) return;
+  const LiveGlobalState* g = observer_->StateOf(e.txn);
+  if (g == nullptr || i >= g->sites.size()) return;
+  const LiveSiteState& live = g->sites[i];
+  std::string problem;
+  if (opening) {
+    // A span may only open at a site the observer sees as undecided and
+    // non-final; anything else means the stall detector misread the run.
+    if (live.decided != Outcome::kUndecided) {
+      problem = "observer shows a decision";
+    } else if (IsFinal(live.kind)) {
+      problem = "observer shows final state '" + live.name + "'";
+    }
+  } else {
+    // A decision-close must line up with the observer seeing the decision
+    // (the observer consumes each event before the monitor does).
+    if (live.decided == Outcome::kUndecided && !IsFinal(live.kind)) {
+      problem = "observer still shows undecided state '" + live.name + "'";
+    }
+  }
+  if (problem.empty()) return;
+  ++stats_.crosscheck_failures;
+  if (metrics_) metrics_->counter("blocking/crosscheck_failures").Inc();
+  std::string detail = std::string(opening ? "open" : "close") + ": txn " +
+                       std::to_string(e.txn) + " site " +
+                       std::to_string(i + 1) + " at t=" +
+                       std::to_string(e.at) + ": " + problem;
+  NBCP_LOG(kWarn) << "blocking: cross-check failed: " << detail;
+  if (crosscheck_details_.size() < 256) {
+    crosscheck_details_.push_back(std::move(detail));
+  }
+}
+
+void BlockingMonitor::OpenSpan(SimTime at, TransactionId txn, size_t i,
+                               TxnCell& t, BlockedCause cause) {
+  if (t.sites[i].open_span >= 0) return;
+  BlockedSpan span;
+  span.txn = txn;
+  span.site = static_cast<SiteId>(i + 1);
+  span.opened_at = at;
+  span.cause = cause;
+  span.cause_since = at;
+  t.sites[i].open_span = static_cast<int>(spans_.size());
+  spans_.push_back(span);
+  ++stats_.opened;
+  if (metrics_) metrics_->counter("blocking/spans_opened").Inc();
+  TraceEvent probe;
+  probe.at = at;
+  probe.txn = txn;
+  CrossCheck(probe, i, /*opening=*/true);
+}
+
+void BlockingMonitor::SwitchCause(SimTime at, BlockedSpan& span,
+                                  BlockedCause cause) {
+  if (span.cause == cause) return;
+  span.cause_us[static_cast<size_t>(span.cause)] += at - span.cause_since;
+  span.cause = cause;
+  span.cause_since = at;
+  ++stats_.cause_switches;
+}
+
+void BlockingMonitor::CloseSpan(SimTime at, TransactionId txn, size_t i,
+                                TxnCell& t, BlockedResolution resolution) {
+  int index = t.sites[i].open_span;
+  if (index < 0) return;
+  BlockedSpan& span = spans_[static_cast<size_t>(index)];
+  t.sites[i].open_span = -1;
+  span.cause_us[static_cast<size_t>(span.cause)] += at - span.cause_since;
+  span.cause_since = at;
+  span.closed_at = at;
+  // A decision at a site whose span already moved into the termination
+  // lane was produced *by* the termination protocol (force_outcome fires
+  // the decision event before the termination-decide event).
+  if (resolution == BlockedResolution::kDecision &&
+      (span.cause == BlockedCause::kElection ||
+       span.cause == BlockedCause::kTermination)) {
+    resolution = BlockedResolution::kTermination;
+  }
+  span.resolution = resolution;
+  switch (resolution) {
+    case BlockedResolution::kDecision:
+      ++stats_.resolved_decision;
+      break;
+    case BlockedResolution::kTermination:
+      ++stats_.resolved_termination;
+      break;
+    case BlockedResolution::kSiteCrashed:
+      ++stats_.abandoned_crash;
+      break;
+    case BlockedResolution::kUnresolved:
+      break;
+  }
+  if (metrics_) {
+    metrics_->counter("blocking/spans_closed").Inc();
+    metrics_->series("blocking/blocked_us").Record(at, span.BlockedFor(at));
+    for (size_t c = 0; c < kNumBlockedCauses; ++c) {
+      if (span.cause_us[c] > 0) {
+        metrics_
+            ->counter("blocking/cause/" +
+                      nbcp::ToString(static_cast<BlockedCause>(c)) + "_us")
+            .Inc(span.cause_us[c]);
+      }
+    }
+  }
+  if (resolution != BlockedResolution::kSiteCrashed) {
+    TraceEvent probe;
+    probe.at = at;
+    probe.txn = txn;
+    CrossCheck(probe, i, /*opening=*/false);
+  }
+}
+
+void BlockingMonitor::SweepOpen(SimTime at, BlockedCause cause,
+                                SiteId only_site) {
+  for (auto& [txn, t] : txns_) {
+    for (size_t i = 0; i < n_; ++i) {
+      if (only_site != kNoSite && only_site != static_cast<SiteId>(i + 1)) {
+        continue;
+      }
+      if (!Stalled(t, i)) continue;
+      if (t.sites[i].open_span >= 0) {
+        SwitchCause(at, spans_[static_cast<size_t>(t.sites[i].open_span)],
+                    cause);
+      } else {
+        OpenSpan(at, txn, i, t, cause);
+      }
+    }
+  }
+}
+
+void BlockingMonitor::OnEvent(const TraceEvent& event) {
+  // Observer output re-enters through the shared recorder sink.
+  if (event.type == TraceEventType::kGlobalState ||
+      event.type == TraceEventType::kInvariantViolation) {
+    return;
+  }
+  ++stats_.events;
+  last_at_ = std::max(last_at_, event.at);
+
+  switch (event.type) {
+    case TraceEventType::kProtocolStart:
+    case TraceEventType::kStateChange:
+      OnStateChange(event);
+      break;
+    case TraceEventType::kCrash:
+      OnCrash(event);
+      break;
+    case TraceEventType::kRecover:
+      if (event.site >= 1 && event.site <= n_ && crashed_[event.site - 1]) {
+        crashed_[event.site - 1] = false;
+        --down_sites_;
+      }
+      break;
+    case TraceEventType::kLinkCut:
+      OnLinkCut(event);
+      break;
+    case TraceEventType::kLinkRestored:
+      if (cut_links_ > 0) --cut_links_;
+      break;
+    case TraceEventType::kTerminationStart:
+      OnTerminationStart(event);
+      break;
+    case TraceEventType::kElectionWon:
+      OnElectionWon(event);
+      break;
+    case TraceEventType::kDecision:
+      OnDecision(event, BlockedResolution::kDecision);
+      break;
+    case TraceEventType::kTerminationDecide:
+      OnDecision(event, BlockedResolution::kTermination);
+      break;
+    case TraceEventType::kBlocked:
+      OnBlockedVerdict(event);
+      break;
+    default:
+      break;
+  }
+}
+
+void BlockingMonitor::OnStateChange(const TraceEvent& e) {
+  if (e.txn == kNoTransaction || e.site < 1 || e.site > n_) return;
+  TxnCell& t = Track(e.txn);
+  SiteCell& cell = t.sites[e.site - 1];
+  cell.known = true;
+  if (e.type == TraceEventType::kStateChange) {
+    RoleIndex role = spec_->RoleForSite(e.site, n_);
+    auto found = role_states_[role].find(e.detail);
+    if (found != role_states_[role].end()) cell.kind = found->second;
+  }
+  // A site that learns of (or progresses in) the transaction while a
+  // failure is already outstanding is stalled from this moment — the
+  // crash-time sweep could not have seen it.
+  if (failure_outstanding() && Stalled(t, e.site - 1) &&
+      cell.open_span < 0) {
+    OpenSpan(e.at, e.txn, e.site - 1, t, BlockedCause::kAwaitingDecision);
+  }
+}
+
+void BlockingMonitor::OnCrash(const TraceEvent& e) {
+  if (e.site >= 1 && e.site <= n_ && !crashed_[e.site - 1]) {
+    crashed_[e.site - 1] = true;
+    ++down_sites_;
+    // The crashed site's own stalls are abandoned, not resolved.
+    for (auto& [txn, t] : txns_) {
+      CloseSpan(e.at, txn, e.site - 1, t, BlockedResolution::kSiteCrashed);
+    }
+  }
+  // Every operational site holding an undecided transaction in a non-final
+  // state is now (potentially) waiting on the crashed site.
+  SweepOpen(e.at, BlockedCause::kAwaitingDecision, kNoSite);
+}
+
+void BlockingMonitor::OnLinkCut(const TraceEvent& e) {
+  ++cut_links_;
+  // "a-b": both endpoints may now be separated from the decision.
+  size_t dash = e.detail.find('-');
+  if (dash == std::string::npos) return;
+  SiteId a = static_cast<SiteId>(std::atoi(e.detail.substr(0, dash).c_str()));
+  SiteId b = static_cast<SiteId>(std::atoi(e.detail.substr(dash + 1).c_str()));
+  SweepOpen(e.at, BlockedCause::kPartition, a);
+  SweepOpen(e.at, BlockedCause::kPartition, b);
+}
+
+void BlockingMonitor::OnTerminationStart(const TraceEvent& e) {
+  if (e.txn == kNoTransaction || e.site < 1 || e.site > n_) return;
+  TxnCell& t = Track(e.txn);
+  SiteCell& cell = t.sites[e.site - 1];
+  cell.known = true;
+  BlockedCause cause = t.election_won ? BlockedCause::kTermination
+                                      : BlockedCause::kElection;
+  if (cell.open_span >= 0) {
+    SwitchCause(e.at, spans_[static_cast<size_t>(cell.open_span)], cause);
+  } else if (Stalled(t, e.site - 1)) {
+    OpenSpan(e.at, e.txn, e.site - 1, t, cause);
+  }
+}
+
+void BlockingMonitor::OnElectionWon(const TraceEvent& e) {
+  if (e.txn == kNoTransaction) return;
+  TxnCell& t = Track(e.txn);
+  t.election_won = true;
+  for (SiteCell& cell : t.sites) {
+    if (cell.open_span >= 0) {
+      BlockedSpan& span = spans_[static_cast<size_t>(cell.open_span)];
+      if (span.cause == BlockedCause::kElection) {
+        SwitchCause(e.at, span, BlockedCause::kTermination);
+      }
+    }
+  }
+}
+
+void BlockingMonitor::OnDecision(const TraceEvent& e,
+                                 BlockedResolution resolution) {
+  if (e.txn == kNoTransaction || e.site < 1 || e.site > n_) return;
+  TxnCell& t = Track(e.txn);
+  t.sites[e.site - 1].decided = true;
+  CloseSpan(e.at, e.txn, e.site - 1, t, resolution);
+}
+
+void BlockingMonitor::OnBlockedVerdict(const TraceEvent& e) {
+  ++stats_.declared_blocked;
+  if (metrics_) metrics_->counter("blocking/declared_blocked").Inc();
+  if (e.txn == kNoTransaction || e.site < 1 || e.site > n_) return;
+  TxnCell& t = Track(e.txn);
+  SiteCell& cell = t.sites[e.site - 1];
+  // The termination protocol saying "blocked" at a site without an open
+  // span means the stall detector missed it — open one so the verdicts
+  // agree (and the unresolved count reflects the protocol's own claim).
+  if (cell.open_span < 0 && Stalled(t, e.site - 1)) {
+    OpenSpan(e.at, e.txn, e.site - 1, t, BlockedCause::kAwaitingDecision);
+  }
+  if (cell.open_span >= 0) {
+    spans_[static_cast<size_t>(cell.open_span)].declared_blocked = true;
+  }
+}
+
+void BlockingMonitor::Finalize(SimTime now) {
+  last_at_ = std::max(last_at_, now);
+  for (BlockedSpan& span : spans_) {
+    if (!span.open()) continue;
+    span.cause_us[static_cast<size_t>(span.cause)] +=
+        last_at_ - span.cause_since;
+    span.cause_since = last_at_;
+  }
+  if (metrics_) {
+    metrics_->gauge("blocking/unresolved")
+        .Set(static_cast<double>(unresolved()));
+  }
+}
+
+Json BlockingMonitor::ToJson() const {
+  Json root = Json::Object();
+  Json stats = Json::Object();
+  stats["events"] = Json(stats_.events);
+  stats["opened"] = Json(stats_.opened);
+  stats["resolved_decision"] = Json(stats_.resolved_decision);
+  stats["resolved_termination"] = Json(stats_.resolved_termination);
+  stats["abandoned_crash"] = Json(stats_.abandoned_crash);
+  stats["declared_blocked"] = Json(stats_.declared_blocked);
+  stats["cause_switches"] = Json(stats_.cause_switches);
+  stats["crosscheck_failures"] = Json(stats_.crosscheck_failures);
+  stats["unresolved"] = Json(static_cast<uint64_t>(unresolved()));
+  root["stats"] = std::move(stats);
+  Json spans = Json::Array();
+  for (const BlockedSpan& span : spans_) {
+    Json s = Json::Object();
+    s["txn"] = Json(static_cast<uint64_t>(span.txn));
+    s["site"] = Json(static_cast<uint64_t>(span.site));
+    s["opened_at"] = Json(span.opened_at);
+    if (!span.open()) s["closed_at"] = Json(span.closed_at);
+    s["blocked_us"] = Json(span.BlockedFor(last_at_));
+    s["cause"] = Json(nbcp::ToString(span.cause));
+    s["resolution"] = Json(nbcp::ToString(span.resolution));
+    if (span.declared_blocked) s["declared_blocked"] = Json(true);
+    Json causes = Json::Object();
+    for (size_t c = 0; c < kNumBlockedCauses; ++c) {
+      if (span.cause_us[c] > 0) {
+        causes[nbcp::ToString(static_cast<BlockedCause>(c)) + "_us"] =
+            Json(span.cause_us[c]);
+      }
+    }
+    s["cause_us"] = std::move(causes);
+    spans.Append(std::move(s));
+  }
+  root["spans"] = std::move(spans);
+  return root;
+}
+
+Result<BlockingReplayResult> ReplayBlocking(
+    const ProtocolSpec& spec, size_t n,
+    const std::vector<TraceEvent>& events) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 sites");
+  size_t analysis_n = std::min<size_t>(n, 3);
+  auto graph = ReachableStateGraph::Build(spec, analysis_n);
+  if (!graph.ok()) return graph.status();
+  if (!graph->complete()) {
+    return Status::Internal("analysis state graph truncated");
+  }
+  ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*graph);
+
+  ObserverConfig config;
+  config.policy = ObserverPolicy::kCount;  // Replay never aborts or logs.
+  config.timeline = false;
+  GlobalStateObserver observer(
+      &spec, n, &analysis,
+      MakeAnalysisSiteMap(spec.paradigm(), n, analysis_n), config);
+  observer.set_check_phantom(false);  // Not this replay's concern.
+
+  BlockingMonitor monitor(&spec, n);
+  monitor.set_observer(&observer);
+  for (const TraceEvent& e : events) {
+    observer.OnEvent(e);  // Observer first: cross-checks see fresh state.
+    monitor.OnEvent(e);
+  }
+  monitor.Finalize(monitor.last_event_at());
+
+  BlockingReplayResult result;
+  result.stats = monitor.stats();
+  result.spans = monitor.spans();
+  result.crosscheck_details = monitor.crosscheck_details();
+  result.last_event_at = monitor.last_event_at();
+  return result;
+}
+
+}  // namespace nbcp

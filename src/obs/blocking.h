@@ -1,0 +1,244 @@
+#ifndef NBCP_OBS_BLOCKING_H_
+#define NBCP_OBS_BLOCKING_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "fsa/protocol_spec.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+
+class GlobalStateObserver;
+class Json;
+class MetricsRegistry;
+
+/// Why a site is stalled inside a transaction — the cause taxonomy of a
+/// blocked span. A span carries one *current* cause at a time but
+/// accumulates time per cause as events reveal what the stall is actually
+/// waiting on (crash -> partition -> election -> termination).
+enum class BlockedCause : uint8_t {
+  /// An operational site holds the transaction in a non-final state while
+  /// some failure is outstanding and no decision has arrived — the classic
+  /// 2PC uncertainty window after a coordinator crash.
+  kAwaitingDecision = 0,
+  /// A link cut separates the site from part of the population.
+  kPartition,
+  /// The termination protocol engaged and leader election is running.
+  kElection,
+  /// An elected backup coordinator is driving the termination protocol.
+  kTermination,
+};
+
+inline constexpr size_t kNumBlockedCauses = 4;
+std::string ToString(BlockedCause cause);
+
+/// How a blocked span ended.
+enum class BlockedResolution : uint8_t {
+  kUnresolved = 0,  ///< Still open (a truly blocked site, per the paper).
+  kDecision,        ///< The normal protocol decision reached the site.
+  kTermination,     ///< The termination protocol decided for the site.
+  kSiteCrashed,     ///< The stalled site itself crashed (span abandoned).
+};
+
+std::string ToString(BlockedResolution resolution);
+
+/// One per-site, per-transaction stall: opened when an operational site
+/// holds the transaction in a non-final FSA state and cannot progress,
+/// closed when a decision (normal or termination-path) arrives.
+struct BlockedSpan {
+  TransactionId txn = kNoTransaction;
+  SiteId site = kNoSite;
+  SimTime opened_at = 0;
+  SimTime closed_at = 0;  ///< Meaningful only when resolved.
+  BlockedCause cause = BlockedCause::kAwaitingDecision;  ///< Current/final.
+  BlockedResolution resolution = BlockedResolution::kUnresolved;
+  /// The termination protocol itself concluded "blocked" while this span
+  /// was open (2PC termination with the coordinator down).
+  bool declared_blocked = false;
+  /// Virtual time attributed to each cause the span passed through.
+  std::array<SimTime, kNumBlockedCauses> cause_us{};
+  /// Start of the current cause segment (internal to the monitor).
+  SimTime cause_since = 0;
+
+  bool open() const { return resolution == BlockedResolution::kUnresolved; }
+
+  /// Total blocked time: closed spans use closed_at, open spans `now`.
+  SimTime BlockedFor(SimTime now) const {
+    SimTime end = open() ? now : closed_at;
+    return end > opened_at ? end - opened_at : 0;
+  }
+
+  /// "txn 3 site 2 [1200,8400) 7200us cause=awaiting-decision
+  ///  resolution=termination".
+  std::string ToString() const;
+};
+
+/// Lifetime counters of one monitor.
+struct BlockingStats {
+  uint64_t events = 0;   ///< Trace events consumed.
+  uint64_t opened = 0;   ///< Spans opened.
+  uint64_t resolved_decision = 0;
+  uint64_t resolved_termination = 0;
+  uint64_t abandoned_crash = 0;
+  uint64_t declared_blocked = 0;      ///< kBlocked verdicts observed.
+  uint64_t cause_switches = 0;        ///< Cause re-attributions.
+  uint64_t crosscheck_failures = 0;   ///< Disagreements with the observer.
+
+  uint64_t closed() const {
+    return resolved_decision + resolved_termination + abandoned_crash;
+  }
+};
+
+/// Per-site, per-transaction stall detector: consumes the same event
+/// stream as the GlobalStateObserver and maintains *blocked spans* —
+/// intervals during which an operational site holds a transaction in a
+/// non-final FSA state and cannot progress on its own. Cause attribution
+/// follows the failure events: a crash opens awaiting-decision spans at
+/// every stalled peer, a link cut re-attributes to partition, a
+/// termination start to election, an election win to termination. Spans
+/// close on decision delivery (normal or termination path); a span whose
+/// site itself crashes is abandoned.
+///
+/// Spans still open when the run ends are the protocol's *blocking*
+/// verdict in telemetry form: 2PC under a coordinator crash leaves
+/// unresolved spans, 3PC resolves every one of them via termination.
+///
+/// When an observer is attached, every span open/close is cross-checked
+/// against the live global state (the observer must be wired *before*
+/// the monitor in the sink chain so its state reflects the current
+/// event); disagreements bump crosscheck_failures and are kept for
+/// inspection — a real stall the observer contradicts is a telemetry
+/// bug, and tests pin the count to zero.
+class BlockingMonitor {
+ public:
+  /// `spec` must outlive the monitor; `n` is the site count.
+  BlockingMonitor(const ProtocolSpec* spec, size_t n);
+  BlockingMonitor(const BlockingMonitor&) = delete;
+  BlockingMonitor& operator=(const BlockingMonitor&) = delete;
+
+  /// Cross-check source (not owned; may be nullptr to disable).
+  void set_observer(const GlobalStateObserver* observer) {
+    observer_ = observer;
+  }
+
+  /// "blocking/..." counters and the "blocking/blocked_us" windowed series
+  /// land here (not owned; may be nullptr).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Feeds one event. Order must follow virtual time (the recorder's
+  /// order). Ignores the observer's own output kinds, so the monitor can
+  /// share the recorder sink with the observer.
+  void OnEvent(const TraceEvent& event);
+
+  /// Brings the books current at `now` (end of run, or between
+  /// transactions of one system): open spans stay unresolved but their
+  /// current cause segment is accounted up to `now`, so BlockedFor and
+  /// cause_us are consistent for reporting. Idempotent — each call only
+  /// accounts the time since the previous one.
+  void Finalize(SimTime now);
+
+  // --- introspection -----------------------------------------------------
+
+  const BlockingStats& stats() const { return stats_; }
+
+  /// Every span, open and closed, in open order.
+  const std::vector<BlockedSpan>& spans() const { return spans_; }
+
+  /// Spans still open (the blocked sites).
+  size_t unresolved() const { return stats_.opened - stats_.closed(); }
+
+  /// Cross-check disagreement details ("open: site 3 already decided").
+  const std::vector<std::string>& crosscheck_details() const {
+    return crosscheck_details_;
+  }
+
+  SimTime last_event_at() const { return last_at_; }
+
+  /// {"spans":[...],"stats":{...}} — the raw material of
+  /// `nbcp-trace blocking` and of BENCH_blocking.json cells.
+  Json ToJson() const;
+
+ private:
+  struct SiteCell {
+    bool known = false;  ///< Saw protocol-start/state-change for the txn.
+    StateKind kind = StateKind::kInitial;
+    bool decided = false;
+    int open_span = -1;  ///< Index into spans_, -1 when none.
+  };
+  struct TxnCell {
+    std::vector<SiteCell> sites;  ///< sites[i] = site i+1.
+    bool election_won = false;
+  };
+
+  TxnCell& Track(TransactionId txn);
+  /// True when site `i` (0-based) of `t` is stalled: operational, knows
+  /// the transaction, undecided, in a non-final local state.
+  bool Stalled(const TxnCell& t, size_t i) const;
+  void OpenSpan(SimTime at, TransactionId txn, size_t i, TxnCell& t,
+                BlockedCause cause);
+  void CloseSpan(SimTime at, TransactionId txn, size_t i, TxnCell& t,
+                 BlockedResolution resolution);
+  void SwitchCause(SimTime at, BlockedSpan& span, BlockedCause cause);
+  /// Opens awaiting-decision spans at every stalled site of every tracked
+  /// transaction (crash fallout), or `cause` spans at the given sites.
+  void SweepOpen(SimTime at, BlockedCause cause, SiteId only_site);
+  void CrossCheck(const TraceEvent& e, size_t i, bool opening);
+
+  void OnStateChange(const TraceEvent& e);
+  void OnCrash(const TraceEvent& e);
+  void OnLinkCut(const TraceEvent& e);
+  void OnTerminationStart(const TraceEvent& e);
+  void OnElectionWon(const TraceEvent& e);
+  void OnDecision(const TraceEvent& e, BlockedResolution resolution);
+  void OnBlockedVerdict(const TraceEvent& e);
+
+  const ProtocolSpec* spec_;
+  size_t n_;
+  /// Per role: state name -> kind (for final-state detection).
+  std::vector<std::unordered_map<std::string, StateKind>> role_states_;
+
+  std::unordered_map<TransactionId, TxnCell> txns_;
+  std::vector<bool> crashed_;     ///< crashed_[i] = site i+1 down.
+  size_t down_sites_ = 0;
+  size_t cut_links_ = 0;
+  bool failure_outstanding() const {
+    return down_sites_ > 0 || cut_links_ > 0;
+  }
+
+  std::vector<BlockedSpan> spans_;
+  SimTime last_at_ = 0;
+
+  BlockingStats stats_;
+  std::vector<std::string> crosscheck_details_;
+  const GlobalStateObserver* observer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+/// Result of replaying a recorded trace through an offline
+/// BlockingMonitor (plus a fresh observer for cross-checking).
+struct BlockingReplayResult {
+  BlockingStats stats;
+  std::vector<BlockedSpan> spans;
+  std::vector<std::string> crosscheck_details;
+  SimTime last_event_at = 0;
+
+  size_t unresolved() const { return stats.opened - stats.closed(); }
+};
+
+/// Replays `events` (a parsed JSONL trace) through an offline
+/// BlockingMonitor for an n-site run of `spec`: reconstructs every blocked
+/// span with cause attribution, cross-checked against an offline
+/// GlobalStateObserver fed the same events. This is `nbcp-trace blocking`
+/// and the offline/online parity test.
+Result<BlockingReplayResult> ReplayBlocking(
+    const ProtocolSpec& spec, size_t n, const std::vector<TraceEvent>& events);
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_BLOCKING_H_

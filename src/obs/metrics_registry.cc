@@ -4,6 +4,15 @@
 
 namespace nbcp {
 
+WindowedSeries& MetricsRegistry::series(const std::string& name,
+                                        SeriesConfig config) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, WindowedSeries(config)).first;
+  }
+  return it->second;
+}
+
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
   for (const auto& [name, counter] : other.counters_) {
     counters_[name].Inc(counter.value());
@@ -14,12 +23,16 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   for (const auto& [name, histogram] : other.histograms_) {
     histograms_[name].Merge(histogram);
   }
+  for (const auto& [name, s] : other.series_) {
+    series(name, s.config()).Merge(s);
+  }
 }
 
 void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  series_.clear();
 }
 
 Json MetricsRegistry::ToJson() const {
@@ -39,6 +52,13 @@ Json MetricsRegistry::ToJson() const {
   j["counters"] = std::move(counters);
   j["gauges"] = std::move(gauges);
   j["histograms"] = std::move(histograms);
+  if (!series_.empty()) {
+    Json series = Json::Object();
+    for (const auto& [name, s] : series_) {
+      series[name] = s.ToJson();
+    }
+    j["series"] = std::move(series);
+  }
   return j;
 }
 
@@ -52,6 +72,10 @@ std::string MetricsRegistry::ToString() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     out << name << ": " << histogram.ToString() << "\n";
+  }
+  for (const auto& [name, s] : series_) {
+    out << name << " (series, " << s.total_count() << " samples):\n"
+        << s.ToString();
   }
   return out.str();
 }

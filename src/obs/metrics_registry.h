@@ -7,6 +7,7 @@
 
 #include "obs/histogram.h"
 #include "obs/json.h"
+#include "obs/timeseries.h"
 
 namespace nbcp {
 
@@ -52,10 +53,18 @@ class MetricsRegistry {
     return histograms_[name];
   }
 
+  /// Windowed time series over virtual time (see obs/timeseries.h): the
+  /// first lookup of `name` creates the series with `config`; later
+  /// lookups return the existing one (their config argument is ignored).
+  WindowedSeries& series(const std::string& name, SeriesConfig config = {});
+
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, LatencyHistogram>& histograms() const {
     return histograms_;
+  }
+  const std::map<std::string, WindowedSeries>& all_series() const {
+    return series_;
   }
 
   /// Adds every metric of `other` into this registry (counters and
@@ -75,6 +84,7 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, WindowedSeries> series_;
 };
 
 }  // namespace nbcp

@@ -1,0 +1,132 @@
+#include "obs/prometheus.h"
+
+#include <sstream>
+
+#include "obs/metrics_registry.h"
+
+namespace nbcp {
+namespace {
+
+std::string RenderLabels(const std::map<std::string, std::string>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += PrometheusSanitizeName(key);
+    out += "=\"";
+    out += PrometheusEscapeLabel(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string WithQuantile(const std::map<std::string, std::string>& labels,
+                         const char* q) {
+  std::map<std::string, std::string> with = labels;
+  with["quantile"] = q;
+  return RenderLabels(with);
+}
+
+void EmitSummary(std::ostringstream& out, const std::string& name,
+                 const std::map<std::string, std::string>& labels,
+                 const LatencyHistogram& histogram) {
+  out << "# TYPE " << name << " summary\n";
+  out << name << WithQuantile(labels, "0.5") << " " << histogram.p50() << "\n";
+  out << name << WithQuantile(labels, "0.95") << " " << histogram.p95()
+      << "\n";
+  out << name << WithQuantile(labels, "0.99") << " " << histogram.p99()
+      << "\n";
+  const std::string suffix = RenderLabels(labels);
+  out << name << "_sum" << suffix << " " << histogram.sum() << "\n";
+  out << name << "_count" << suffix << " " << histogram.count() << "\n";
+}
+
+}  // namespace
+
+std::string PrometheusSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string ExportPrometheusText(
+    const MetricsRegistry& registry,
+    const std::map<std::string, std::string>& labels, SimTime now,
+    SimTime window) {
+  std::ostringstream out;
+  const std::string suffix = RenderLabels(labels);
+  for (const auto& [name, counter] : registry.counters()) {
+    const std::string metric = "nbcp_" + PrometheusSanitizeName(name);
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << suffix << " " << counter.value() << "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    const std::string metric = "nbcp_" + PrometheusSanitizeName(name);
+    out << "# TYPE " << metric << " gauge\n";
+    out << metric << suffix << " " << gauge.value() << "\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    EmitSummary(out, "nbcp_" + PrometheusSanitizeName(name), labels,
+                histogram);
+  }
+  for (const auto& [name, series] : registry.all_series()) {
+    const std::string metric = "nbcp_" + PrometheusSanitizeName(name);
+    // now=0 with recorded data means "no explicit scrape time": fall back
+    // to the end of the newest retained bucket so the window is anchored
+    // at the most recent sample instead of at virtual time 0.
+    SimTime at = now;
+    if (at == 0 && !series.buckets().empty()) {
+      at = series.buckets().back().start + series.config().bucket_width - 1;
+    }
+    const WindowSnapshot snap = series.Window(at, window);
+    std::map<std::string, std::string> window_labels = labels;
+    window_labels["window_us"] =
+        window == 0 ? "all" : std::to_string(window);
+    const std::string wsuffix = RenderLabels(window_labels);
+    out << "# TYPE " << metric << "_window_count gauge\n";
+    out << metric << "_window_count" << wsuffix << " " << snap.count()
+        << "\n";
+    out << "# TYPE " << metric << "_window_mean gauge\n";
+    out << metric << "_window_mean" << wsuffix << " " << snap.mean() << "\n";
+    out << "# TYPE " << metric << "_window_p95 gauge\n";
+    out << metric << "_window_p95" << wsuffix << " " << snap.sketch.p95()
+        << "\n";
+    out << "# TYPE " << metric << "_total counter\n";
+    out << metric << "_total" << suffix << " " << series.total_count()
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nbcp

@@ -1,0 +1,42 @@
+#ifndef NBCP_OBS_PROMETHEUS_H_
+#define NBCP_OBS_PROMETHEUS_H_
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace nbcp {
+
+class MetricsRegistry;
+
+/// Prometheus text-exposition (format 0.0.4) rendering of a registry, so
+/// snapshots can be scraped or diffed with standard tooling:
+///   * counters  -> `nbcp_<name>` TYPE counter;
+///   * gauges    -> `nbcp_<name>` TYPE gauge;
+///   * histograms -> TYPE summary: `{quantile="0.5|0.95|0.99"}` samples
+///     plus `_sum` and `_count`;
+///   * windowed series -> TYPE gauge: `_window_count`, `_window_mean` and
+///     `{quantile=...}` samples over the trailing `window` of virtual
+///     time at `now` (window 0 = everything retained).
+///
+/// Slash-separated metric paths are sanitized to metric-name charset
+/// ("phase/vote/latency_us" -> "nbcp_phase_vote_latency_us"); `labels`
+/// are attached to every sample with full label-value escaping.
+std::string ExportPrometheusText(
+    const MetricsRegistry& registry,
+    const std::map<std::string, std::string>& labels = {}, SimTime now = 0,
+    SimTime window = 0);
+
+/// "phase/vote latency-us" -> "phase_vote_latency_us": every character
+/// outside [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed
+/// with '_'.
+std::string PrometheusSanitizeName(const std::string& name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline become \\, \" and \n.
+std::string PrometheusEscapeLabel(const std::string& value);
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_PROMETHEUS_H_

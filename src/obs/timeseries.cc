@@ -1,0 +1,136 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace nbcp {
+
+WindowedSeries::WindowedSeries(SeriesConfig config) : config_(config) {
+  if (config_.bucket_width == 0) config_.bucket_width = 1;
+  if (config_.num_buckets == 0) config_.num_buckets = 1;
+}
+
+SeriesBucket* WindowedSeries::BucketFor(SimTime at) {
+  SimTime start = at - at % config_.bucket_width;
+  if (!buckets_.empty() && start < buckets_.front().start) {
+    return nullptr;  // Predates the retained window.
+  }
+  // Buckets are sparse but ordered; samples almost always land in the
+  // newest bucket, so search from the back.
+  for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
+    if (it->start == start) return &*it;
+    if (it->start < start) break;
+  }
+  SeriesBucket bucket;
+  bucket.start = start;
+  auto pos = std::lower_bound(
+      buckets_.begin(), buckets_.end(), start,
+      [](const SeriesBucket& b, SimTime s) { return b.start < s; });
+  auto inserted = buckets_.insert(pos, std::move(bucket));
+  size_t index = static_cast<size_t>(inserted - buckets_.begin());
+  while (buckets_.size() > config_.num_buckets) {
+    evicted_ += buckets_.front().sketch.count();
+    buckets_.pop_front();
+    if (index == 0) return nullptr;  // The new bucket was the oldest.
+    --index;
+  }
+  return &buckets_[index];
+}
+
+void WindowedSeries::Record(SimTime at, uint64_t value) {
+  SeriesBucket* bucket = BucketFor(at);
+  if (bucket == nullptr) {
+    ++late_dropped_;
+    return;
+  }
+  bucket->sketch.Record(value);
+  ++total_count_;
+  total_sum_ += value;
+}
+
+WindowSnapshot WindowedSeries::Window(SimTime now, SimTime window) const {
+  WindowSnapshot out;
+  // A window reaching past virtual time 0 is clamped: [0, now] is all the
+  // history that can exist.
+  out.from = (window == 0 || window > now) ? 0 : now - window;
+  out.to = now + 1;
+  SimTime horizon =
+      buckets_.empty() ? 0 : buckets_.front().start;  // Oldest retained.
+  if (evicted_ > 0 && out.from < horizon) {
+    out.from = horizon;
+    out.truncated = true;
+  }
+  for (const SeriesBucket& bucket : buckets_) {
+    if (bucket.start + config_.bucket_width <= out.from) continue;
+    if (bucket.start >= out.to) break;
+    out.sketch.Merge(bucket.sketch);
+  }
+  return out;
+}
+
+void WindowedSeries::Merge(const WindowedSeries& other) {
+  if (other.config_.bucket_width != config_.bucket_width) return;
+  for (const SeriesBucket& theirs : other.buckets_) {
+    auto pos = std::lower_bound(
+        buckets_.begin(), buckets_.end(), theirs.start,
+        [](const SeriesBucket& b, SimTime s) { return b.start < s; });
+    if (pos != buckets_.end() && pos->start == theirs.start) {
+      pos->sketch.Merge(theirs.sketch);
+    } else {
+      buckets_.insert(pos, theirs);
+    }
+  }
+  while (buckets_.size() > config_.num_buckets) {
+    evicted_ += buckets_.front().sketch.count();
+    buckets_.pop_front();
+  }
+  total_count_ += other.total_count_;
+  total_sum_ += other.total_sum_;
+  evicted_ += other.evicted_;
+  late_dropped_ += other.late_dropped_;
+}
+
+void WindowedSeries::Reset() {
+  buckets_.clear();
+  total_count_ = 0;
+  total_sum_ = 0;
+  evicted_ = 0;
+  late_dropped_ = 0;
+}
+
+Json WindowedSeries::ToJson() const {
+  Json root = Json::Object();
+  root["bucket_width_us"] = Json(config_.bucket_width);
+  root["total_count"] = Json(total_count_);
+  root["total_sum"] = Json(total_sum_);
+  if (evicted_ > 0) root["evicted"] = Json(evicted_);
+  if (late_dropped_ > 0) root["late_dropped"] = Json(late_dropped_);
+  Json buckets = Json::Array();
+  for (const SeriesBucket& bucket : buckets_) {
+    Json b = Json::Object();
+    b["t"] = Json(bucket.start);
+    b["count"] = Json(bucket.sketch.count());
+    b["mean"] = Json(bucket.sketch.mean());
+    b["p50"] = Json(bucket.sketch.p50());
+    b["p95"] = Json(bucket.sketch.p95());
+    b["max"] = Json(bucket.sketch.max());
+    buckets.Append(std::move(b));
+  }
+  root["buckets"] = std::move(buckets);
+  return root;
+}
+
+std::string WindowedSeries::ToString() const {
+  std::string out;
+  for (const SeriesBucket& bucket : buckets_) {
+    out += "t=[" + std::to_string(bucket.start) + "," +
+           std::to_string(bucket.start + config_.bucket_width) +
+           ") count=" + std::to_string(bucket.sketch.count()) +
+           " mean=" + std::to_string(bucket.sketch.mean()) +
+           " p95=" + std::to_string(bucket.sketch.p95()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,106 @@
+#ifndef NBCP_OBS_TIMESERIES_H_
+#define NBCP_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+#include "obs/histogram.h"
+
+namespace nbcp {
+
+class Json;
+
+/// Shape of a windowed series: virtual time is partitioned into buckets of
+/// `bucket_width` microseconds, and the newest `num_buckets` buckets are
+/// retained — older ones are evicted (their samples stay in the lifetime
+/// totals). The retained window therefore spans
+/// bucket_width * num_buckets us of virtual time.
+struct SeriesConfig {
+  SimTime bucket_width = 1000;  ///< Simulated us per bucket.
+  size_t num_buckets = 64;      ///< Retained buckets (sliding window).
+};
+
+/// One retained bucket: a half-open virtual-time interval
+/// [start, start + width) with a mergeable log-bucketed sketch of the
+/// samples recorded inside it. LatencyHistogram's bucket-wise Merge makes
+/// any union of buckets summarizable without reprocessing samples.
+struct SeriesBucket {
+  SimTime start = 0;
+  LatencyHistogram sketch;
+};
+
+/// Summary of one queried window: the merged sketch plus the actual
+/// virtual-time extent it covers (clamped at 0 and at the eviction
+/// horizon, so callers can tell a short window from a truncated one).
+struct WindowSnapshot {
+  SimTime from = 0;  ///< Inclusive lower bound actually covered.
+  SimTime to = 0;    ///< Exclusive upper bound actually covered.
+  bool truncated = false;  ///< Buckets inside [from, to) were evicted.
+  LatencyHistogram sketch;
+
+  uint64_t count() const { return sketch.count(); }
+  double mean() const { return sketch.mean(); }
+};
+
+/// A sliding-window time series over virtual time: per-bucket mergeable
+/// quantile sketches so blocked-time, queue depths and in-flight counts
+/// are queryable as series ("p95 over the last 50ms of virtual time")
+/// instead of end-of-run scalars.
+///
+/// Samples must not predate the retained window (virtual time is
+/// monotonic per run); such late samples are counted in `late_dropped`
+/// and otherwise ignored. Buckets with no samples are not materialized,
+/// so sparse series stay small.
+class WindowedSeries {
+ public:
+  explicit WindowedSeries(SeriesConfig config = {});
+
+  void Record(SimTime at, uint64_t value);
+
+  /// Merged summary over the buckets intersecting [now - window, now].
+  /// window = 0 means "everything retained". A window larger than `now`
+  /// is clamped at virtual time 0 (runs start at t=0; there is nothing
+  /// before it).
+  WindowSnapshot Window(SimTime now, SimTime window) const;
+
+  const std::deque<SeriesBucket>& buckets() const { return buckets_; }
+  const SeriesConfig& config() const { return config_; }
+
+  uint64_t total_count() const { return total_count_; }  ///< Lifetime.
+  uint64_t total_sum() const { return total_sum_; }      ///< Lifetime.
+  uint64_t evicted() const { return evicted_; }  ///< Samples aged out.
+  uint64_t late_dropped() const { return late_dropped_; }
+
+  /// Bucket-wise merge (same-start buckets merge their sketches); the
+  /// result is trimmed to the newest num_buckets. Requires equal
+  /// bucket_width — series of different resolutions are not mergeable.
+  void Merge(const WindowedSeries& other);
+
+  void Reset();
+
+  /// {"bucket_width":..,"total_count":..,"buckets":[{"t":..,"count":..,
+  ///  "mean":..,"p50":..,"p95":..,"max":..},...]}
+  Json ToJson() const;
+
+  /// One line per bucket, newest last: "t=[1000,2000) count=3 mean=12.0
+  /// p95=15".
+  std::string ToString() const;
+
+ private:
+  /// Bucket holding `at`, materializing (and evicting) as needed;
+  /// nullptr when `at` predates the retained window.
+  SeriesBucket* BucketFor(SimTime at);
+
+  SeriesConfig config_;
+  std::deque<SeriesBucket> buckets_;  ///< Ascending by start; sparse.
+  uint64_t total_count_ = 0;
+  uint64_t total_sum_ = 0;
+  uint64_t evicted_ = 0;
+  uint64_t late_dropped_ = 0;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_OBS_TIMESERIES_H_

@@ -1,0 +1,193 @@
+// BlockingMonitor: per-site, per-transaction stall spans with cause
+// attribution, cross-checked against the live global-state observer.
+// These tests pin the paper's claim as telemetry: 2PC leaves unresolved
+// spans when the coordinator crashes in the uncertainty window, 3PC
+// resolves every span via the termination path — and the offline replay
+// (ReplayBlocking over a stored trace) reconstructs exactly what the
+// live monitor saw.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/transaction_manager.h"
+#include "obs/blocking.h"
+#include "protocols/protocols.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+std::unique_ptr<CommitSystem> MakeSystem(const std::string& protocol,
+                                         size_t n = 4, uint64_t seed = 7,
+                                         bool trace = false) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  config.observe = true;
+  config.observe_policy = ObserverPolicy::kCount;
+  config.blocking = true;
+  config.trace = trace;
+  auto system = CommitSystem::Create(config);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return std::move(*system);
+}
+
+TEST(BlockingTest, FailureFreeRunOpensNoSpans) {
+  auto system = MakeSystem("3PC-central");
+  TxnResult result = system->RunToCompletion(system->Begin());
+  EXPECT_FALSE(result.blocked);
+  const BlockingMonitor* monitor = system->blocking();
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_EQ(monitor->stats().opened, 0u);
+  EXPECT_EQ(monitor->stats().crosscheck_failures, 0u);
+}
+
+TEST(BlockingTest, TwoPcCoordinatorCrashLeavesAttributedUnresolvedSpans) {
+  auto system = MakeSystem("2PC-central");
+  TransactionId txn = system->Begin();
+  // Coordinator crashes after voting closes, before any commit delivery:
+  // the canonical uncertainty-window block.
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 0);
+  TxnResult result = system->RunToCompletion(txn);
+
+  const BlockingMonitor* monitor = system->blocking();
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_TRUE(result.blocked);
+  EXPECT_GT(monitor->stats().opened, 0u);
+  EXPECT_GT(monitor->unresolved(), 0u);
+  // Monitor verdict and the engine's own TxnResult.blocked agree.
+  EXPECT_EQ(monitor->unresolved() > 0, result.blocked);
+  // Every span must be cross-check clean against the observer.
+  EXPECT_EQ(monitor->stats().crosscheck_failures, 0u)
+      << (monitor->crosscheck_details().empty()
+              ? std::string()
+              : monitor->crosscheck_details().front());
+
+  SimTime now = monitor->last_event_at();
+  for (const BlockedSpan& span : monitor->spans()) {
+    EXPECT_TRUE(span.open()) << span.ToString();
+    EXPECT_NE(span.site, SiteId{1}) << "the crashed site cannot stall";
+    EXPECT_GT(span.BlockedFor(now), 0u);
+    // Cause attribution: the stall began as awaiting-decision, and the
+    // per-cause segments must add up to the span's total blocked time.
+    EXPECT_GT(span.cause_us[static_cast<size_t>(
+                  BlockedCause::kAwaitingDecision)],
+              0u)
+        << span.ToString();
+    SimTime attributed = 0;
+    for (SimTime us : span.cause_us) attributed += us;
+    EXPECT_EQ(attributed, span.BlockedFor(now)) << span.ToString();
+    // 2PC's termination attempt itself concludes "blocked".
+    EXPECT_TRUE(span.declared_blocked) << span.ToString();
+  }
+}
+
+TEST(BlockingTest, ThreePcResolvesEverySpanViaTermination) {
+  auto system = MakeSystem("3PC-central");
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kPrepare, 1);
+  TxnResult result = system->RunToCompletion(txn);
+
+  const BlockingMonitor* monitor = system->blocking();
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_FALSE(result.blocked);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_GT(monitor->stats().opened, 0u);
+  EXPECT_EQ(monitor->unresolved(), 0u);
+  EXPECT_EQ(monitor->stats().resolved_termination, monitor->stats().opened);
+  EXPECT_EQ(monitor->stats().resolved_decision, 0u);
+  EXPECT_EQ(monitor->stats().crosscheck_failures, 0u);
+  for (const BlockedSpan& span : monitor->spans()) {
+    EXPECT_EQ(span.resolution, BlockedResolution::kTermination)
+        << span.ToString();
+    EXPECT_GE(span.closed_at, span.opened_at) << span.ToString();
+    // Time was spent in the termination lane (election or backup rounds).
+    SimTime termination_lane =
+        span.cause_us[static_cast<size_t>(BlockedCause::kElection)] +
+        span.cause_us[static_cast<size_t>(BlockedCause::kTermination)];
+    EXPECT_GT(termination_lane, 0u) << span.ToString();
+  }
+}
+
+TEST(BlockingTest, PartitionCauseIsAttributed) {
+  auto system = MakeSystem("3PC-central");
+  CommitSystem& s = *system;
+  TransactionId txn = s.Begin();
+  (void)s.Launch(txn);
+  // Split the network mid-protocol; the minority side stalls with the
+  // partition outstanding.
+  s.simulator().RunUntil(300);
+  s.injector().Partition({1, 2, 3}, {4});
+  s.simulator().RunUntil(2'000'000);
+
+  BlockingMonitor* monitor = s.blocking();
+  ASSERT_NE(monitor, nullptr);
+  monitor->Finalize(s.simulator().now());
+  ASSERT_GT(monitor->stats().opened, 0u);
+  SimTime partition_us = 0;
+  for (const BlockedSpan& span : monitor->spans()) {
+    partition_us +=
+        span.cause_us[static_cast<size_t>(BlockedCause::kPartition)];
+  }
+  EXPECT_GT(partition_us, 0u)
+      << "no blocked time attributed to the partition";
+  EXPECT_EQ(monitor->stats().crosscheck_failures, 0u);
+}
+
+TEST(BlockingTest, OfflineReplayMatchesLiveMonitor) {
+  auto system = MakeSystem("2PC-central", 4, 7, /*trace=*/true);
+  TransactionId txn = system->Begin();
+  system->injector().CrashDuringBroadcast(1, txn, msg::kCommit, 1);
+  (void)system->RunToCompletion(txn);
+
+  const BlockingMonitor* live = system->blocking();
+  ASSERT_NE(live, nullptr);
+  ASSERT_NE(system->trace(), nullptr);
+
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  std::vector<TraceEvent> events(system->trace()->events().begin(),
+                                 system->trace()->events().end());
+  auto replay = ReplayBlocking(*spec, 4, events);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  EXPECT_EQ(replay->stats.opened, live->stats().opened);
+  EXPECT_EQ(replay->stats.resolved_decision,
+            live->stats().resolved_decision);
+  EXPECT_EQ(replay->stats.resolved_termination,
+            live->stats().resolved_termination);
+  EXPECT_EQ(replay->stats.abandoned_crash, live->stats().abandoned_crash);
+  EXPECT_EQ(replay->unresolved(), live->unresolved());
+  EXPECT_EQ(replay->stats.crosscheck_failures, 0u);
+  ASSERT_EQ(replay->spans.size(), live->spans().size());
+  for (size_t i = 0; i < replay->spans.size(); ++i) {
+    const BlockedSpan& a = replay->spans[i];
+    const BlockedSpan& b = live->spans()[i];
+    EXPECT_EQ(a.site, b.site);
+    EXPECT_EQ(a.opened_at, b.opened_at);
+    EXPECT_EQ(a.resolution, b.resolution);
+    EXPECT_EQ(a.cause, b.cause);
+    EXPECT_EQ(a.BlockedFor(replay->last_event_at),
+              b.BlockedFor(live->last_event_at()))
+        << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST(BlockingTest, ParticipantCrashDoesNotBlockAnyProtocol) {
+  for (const char* protocol : {"2PC-central", "3PC-central"}) {
+    auto system = MakeSystem(protocol);
+    TransactionId txn = system->Begin();
+    system->injector().ScheduleCrash(4, 200);
+    TxnResult result = system->RunToCompletion(txn);
+    const BlockingMonitor* monitor = system->blocking();
+    ASSERT_NE(monitor, nullptr);
+    EXPECT_FALSE(result.blocked) << protocol;
+    EXPECT_EQ(monitor->unresolved(), 0u) << protocol;
+    EXPECT_EQ(monitor->stats().crosscheck_failures, 0u) << protocol;
+  }
+}
+
+}  // namespace
+}  // namespace nbcp

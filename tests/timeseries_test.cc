@@ -1,0 +1,178 @@
+// Windowed time-series layer: sliding-window bucketing over virtual time,
+// mergeable per-bucket sketches, and the Prometheus text-exposition
+// rendering — including the edge cases that bite in production exporters
+// (empty window, single sample, window straddling t=0, label escaping).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/prometheus.h"
+#include "obs/timeseries.h"
+
+namespace nbcp {
+namespace {
+
+TEST(WindowedSeriesTest, EmptyWindowHasNoSamples) {
+  WindowedSeries series;
+  WindowSnapshot snap = series.Window(10'000, 5'000);
+  EXPECT_EQ(snap.count(), 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_FALSE(snap.truncated);
+  EXPECT_EQ(series.total_count(), 0u);
+  EXPECT_TRUE(series.buckets().empty());
+}
+
+TEST(WindowedSeriesTest, SingleSample) {
+  WindowedSeries series(SeriesConfig{1'000, 8});
+  series.Record(2'500, 42);
+  ASSERT_EQ(series.buckets().size(), 1u);
+  EXPECT_EQ(series.buckets().front().start, 2'000u);
+
+  WindowSnapshot snap = series.Window(3'000, 2'000);
+  EXPECT_EQ(snap.count(), 1u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 42.0);
+
+  // A window that ends before the sample's bucket sees nothing.
+  EXPECT_EQ(series.Window(1'999, 1'000).count(), 0u);
+  EXPECT_EQ(series.total_count(), 1u);
+  EXPECT_EQ(series.total_sum(), 42u);
+}
+
+TEST(WindowedSeriesTest, WindowStraddlingVirtualTimeZeroClamps) {
+  WindowedSeries series(SeriesConfig{1'000, 8});
+  series.Record(100, 5);
+  series.Record(1'100, 7);
+  // now=2000 with a 50ms window reaches far before t=0; the snapshot must
+  // clamp to [0, ...) and still include both samples.
+  WindowSnapshot snap = series.Window(2'000, 50'000);
+  EXPECT_EQ(snap.from, 0u);
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_FALSE(snap.truncated);
+}
+
+TEST(WindowedSeriesTest, WindowZeroMeansEverythingRetained) {
+  WindowedSeries series(SeriesConfig{1'000, 8});
+  for (SimTime t : {500u, 1'500u, 2'500u, 3'500u}) series.Record(t, 10);
+  EXPECT_EQ(series.Window(3'600, 0).count(), 4u);
+}
+
+TEST(WindowedSeriesTest, EvictionKeepsLifetimeTotalsAndMarksTruncation) {
+  WindowedSeries series(SeriesConfig{100, 4});
+  for (int i = 0; i < 10; ++i) {
+    series.Record(static_cast<SimTime>(i) * 100, 1);
+  }
+  // Only 4 buckets retained; the rest aged out but stay in the totals.
+  EXPECT_EQ(series.buckets().size(), 4u);
+  EXPECT_EQ(series.total_count(), 10u);
+  EXPECT_EQ(series.evicted(), 6u);
+  // Asking for the full run is answered with what's retained, flagged.
+  WindowSnapshot snap = series.Window(1'000, 1'000);
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_TRUE(snap.truncated);
+}
+
+TEST(WindowedSeriesTest, LateSampleBeforeRetainedWindowIsDropped) {
+  WindowedSeries series(SeriesConfig{100, 4});
+  for (int i = 0; i < 10; ++i) {
+    series.Record(static_cast<SimTime>(i) * 100, 1);
+  }
+  series.Record(0, 99);  // Predates the retained window.
+  EXPECT_EQ(series.late_dropped(), 1u);
+  EXPECT_EQ(series.Window(1'000, 0).count(), 4u);
+}
+
+TEST(WindowedSeriesTest, MergeIsBucketWise) {
+  WindowedSeries a(SeriesConfig{1'000, 8});
+  WindowedSeries b(SeriesConfig{1'000, 8});
+  a.Record(500, 10);
+  a.Record(1'500, 20);
+  b.Record(500, 30);
+  b.Record(2'500, 40);
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 4u);
+  ASSERT_EQ(a.buckets().size(), 3u);  // t=0, t=1000, t=2000.
+  EXPECT_EQ(a.buckets()[0].sketch.count(), 2u);  // 10 and 30 share a bucket.
+  EXPECT_EQ(a.Window(3'000, 0).count(), 4u);
+}
+
+TEST(WindowedSeriesTest, RegistryCreatesOnFirstUseAndMerges) {
+  MetricsRegistry r1;
+  MetricsRegistry r2;
+  r1.series("blocking/blocked_us").Record(1'000, 100);
+  r2.series("blocking/blocked_us").Record(2'000, 300);
+  r1.Merge(r2);
+  EXPECT_EQ(r1.series("blocking/blocked_us").total_count(), 2u);
+  // Series appear in the JSON snapshot only when present.
+  std::string json = r1.ToJson().Dump();
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_EQ(MetricsRegistry().ToJson().Dump().find("\"series\""),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, SanitizesNamesAndPrefixesLeadingDigit) {
+  EXPECT_EQ(PrometheusSanitizeName("phase/vote/latency_us"),
+            "phase_vote_latency_us");
+  EXPECT_EQ(PrometheusSanitizeName("3pc-latency us"), "_3pc_latency_us");
+  EXPECT_EQ(PrometheusSanitizeName("a:b"), "a:b");  // Colon is legal.
+}
+
+TEST(PrometheusTest, EscapesLabelValues) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusEscapeLabel("quote\"d"), "quote\\\"d");
+  EXPECT_EQ(PrometheusEscapeLabel("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(PrometheusEscapeLabel("all\\three\"\n"), "all\\\\three\\\"\\n");
+}
+
+TEST(PrometheusTest, RendersCountersGaugesHistogramsAndSeries) {
+  MetricsRegistry registry;
+  registry.counter("txn/committed").Inc(3);
+  registry.gauge("blocking/unresolved").Set(2);
+  registry.histogram("phase/vote/latency_us").Record(120);
+  registry.series("net/inflight").Record(1'000, 4);
+
+  std::string text = ExportPrometheusText(
+      registry, {{"protocol", "3PC-central"}}, /*now=*/2'000,
+      /*window=*/0);
+  EXPECT_NE(text.find("# TYPE nbcp_txn_committed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("nbcp_txn_committed{protocol=\"3PC-central\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE nbcp_blocking_unresolved gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE nbcp_phase_vote_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+  EXPECT_NE(text.find("nbcp_phase_vote_latency_us_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("nbcp_net_inflight_window_count"), std::string::npos);
+  EXPECT_NE(text.find("window_us=\"all\""), std::string::npos);
+}
+
+TEST(PrometheusTest, EmptyRegistryAndEmptyWindowRenderCleanly) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ExportPrometheusText(registry), "");
+
+  // A series whose queried window holds no samples must still render
+  // well-formed gauges (count 0), not NaNs.
+  registry.series("blocking/blocked_us").Record(100, 50);
+  std::string text = ExportPrometheusText(registry, {}, /*now=*/100'000,
+                                          /*window=*/1'000);
+  EXPECT_NE(text.find("nbcp_blocking_blocked_us_window_count"),
+            std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("-nan"), std::string::npos);
+}
+
+TEST(PrometheusTest, LabelValuesWithSpecialCharactersSurviveExport) {
+  MetricsRegistry registry;
+  registry.counter("txn/committed").Inc();
+  std::string text = ExportPrometheusText(
+      registry, {{"witness", "2PC+drop\"msg\"\nline\\path"}});
+  EXPECT_NE(text.find("witness=\"2PC+drop\\\"msg\\\"\\nline\\\\path\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -20,10 +20,14 @@
 //                                            message slack
 //   nbcp-trace causal <trace> [--txn <id>]   happens-before DAG summary and
 //     [--json]                               clock-stamp validation
+//   nbcp-trace blocking <trace> [--txn <id>] blocked spans: per-transaction
+//     [--json]                               blocked-time table, cause
+//                                            breakdown, worst blocked sites
 //
 // Exit codes: 0 clean, 1 IO/parse error, 2 usage, 3 anomalies or invariant
-// violations found (including causality violations), 4 structural
-// divergence (diff, or replay timeline mismatch).
+// violations found (including causality violations, unresolved blocked
+// spans and cross-check failures), 4 structural divergence (diff, or
+// replay timeline mismatch).
 //
 // Sections (overview mode):
 //   phases     per-phase latency breakdown (count/mean/p50/p95/p99/max)
@@ -34,6 +38,7 @@
 //              violations (sites of one transaction deciding differently),
 //              recorded invariant-violation events, orphan messages (sent
 //              but never delivered or dropped).
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -42,6 +47,7 @@
 #include <vector>
 
 #include "explore/mutate.h"
+#include "obs/blocking.h"
 #include "obs/causal.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
@@ -71,6 +77,8 @@ void PrintUsage() {
                "       nbcp-trace critical-path <trace.jsonl> [--txn <id>] "
                "[--json] [--chrome <out.json>]\n"
                "       nbcp-trace causal <trace.jsonl> [--txn <id>] "
+               "[--json]\n"
+               "       nbcp-trace blocking <trace.jsonl> [--txn <id>] "
                "[--json]\n");
 }
 
@@ -305,19 +313,18 @@ size_t PrintAnomalies(const ImportedTrace& trace) {
   return findings;
 }
 
-/// Replays `trace` through an offline observer. Returns the result, or
-/// nullopt with an explanation when the trace cannot be replayed (unknown
-/// protocol, missing metadata).
-std::optional<ReplayResult> RunReplay(const ImportedTrace& trace) {
+/// Rebuilds the ProtocolSpec named by the trace's meta line. Witness traces
+/// from nbcp-explore's mutation self-test name their protocol
+/// "<base>+<mutation>"; the mutant is reconstructed so offline analyses run
+/// against the spec that produced the trace. Returns nullopt (with an
+/// explanation on stderr) when the meta line is unusable.
+std::optional<ProtocolSpec> SpecFromMeta(const ImportedTrace& trace) {
   if (trace.meta.protocol.empty() || trace.meta.num_sites < 2) {
     std::fprintf(stderr,
                  "error: trace has no usable meta line (protocol/num_sites); "
                  "cannot replay\n");
     return std::nullopt;
   }
-  // Witness traces from nbcp-explore's mutation self-test name their
-  // protocol "<base>+<mutation>"; reconstruct the mutant so the strict
-  // replay re-derives the violation against the spec that produced it.
   std::string base = trace.meta.protocol;
   std::string mutation;
   size_t plus = base.find('+');
@@ -343,6 +350,15 @@ std::optional<ReplayResult> RunReplay(const ImportedTrace& trace) {
     }
     spec = std::move(*mutated);
   }
+  return std::move(*spec);
+}
+
+/// Replays `trace` through an offline observer. Returns the result, or
+/// nullopt with an explanation when the trace cannot be replayed (unknown
+/// protocol, missing metadata).
+std::optional<ReplayResult> RunReplay(const ImportedTrace& trace) {
+  auto spec = SpecFromMeta(trace);
+  if (!spec.has_value()) return std::nullopt;
   bool truncated = trace.meta.dropped != 0;
   auto replay = ReplayGlobalStates(*spec, trace.meta.num_sites, trace.events,
                                    ObserverConfig{}, truncated);
@@ -742,6 +758,185 @@ int CmdCausal(int argc, char** argv) {
   return total_violations == 0 ? 0 : 3;
 }
 
+int CmdBlocking(int argc, char** argv) {
+  std::string path;
+  std::optional<TransactionId> txn;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--txn" && i + 1 < argc) {
+      txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+  auto trace = LoadTrace(path);
+  if (!trace.has_value()) return 1;
+  auto spec = SpecFromMeta(*trace);
+  if (!spec.has_value()) return 1;
+
+  auto replay = ReplayBlocking(*spec, trace->meta.num_sites, trace->events);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "error: %s\n", replay.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<BlockedSpan> spans;
+  for (const BlockedSpan& s : replay->spans) {
+    if (!txn.has_value() || s.txn == *txn) spans.push_back(s);
+  }
+  SimTime now = replay->last_event_at;
+
+  size_t unresolved = 0;
+  for (const BlockedSpan& s : spans) {
+    if (s.open()) ++unresolved;
+  }
+
+  if (json) {
+    Json root = Json::Object();
+    root["protocol"] = Json(trace->meta.protocol);
+    root["num_sites"] = Json(static_cast<uint64_t>(trace->meta.num_sites));
+    root["spans_opened"] = Json(replay->stats.opened);
+    root["unresolved"] = Json(static_cast<uint64_t>(unresolved));
+    root["declared_blocked"] = Json(replay->stats.declared_blocked);
+    root["crosscheck_failures"] = Json(replay->stats.crosscheck_failures);
+    Json list = Json::Array();
+    for (const BlockedSpan& s : spans) {
+      Json j = Json::Object();
+      j["txn"] = Json(static_cast<uint64_t>(s.txn));
+      j["site"] = Json(static_cast<uint64_t>(s.site));
+      j["opened_at"] = Json(s.opened_at);
+      if (!s.open()) j["closed_at"] = Json(s.closed_at);
+      j["blocked_us"] = Json(s.BlockedFor(now));
+      j["cause"] = Json(ToString(s.cause));
+      j["resolution"] = Json(ToString(s.resolution));
+      if (s.declared_blocked) j["declared_blocked"] = Json(true);
+      for (size_t c = 0; c < kNumBlockedCauses; ++c) {
+        if (s.cause_us[c] > 0) {
+          j[ToString(static_cast<BlockedCause>(c)) + "_us"] =
+              Json(s.cause_us[c]);
+        }
+      }
+      list.Append(std::move(j));
+    }
+    root["spans"] = std::move(list);
+    std::printf("%s\n", root.Dump(1).c_str());
+    return unresolved > 0 || replay->stats.crosscheck_failures > 0 ? 3 : 0;
+  }
+
+  std::printf("blocking: %s (%s, %zu sites)\n", path.c_str(),
+              trace->meta.protocol.c_str(), trace->meta.num_sites);
+  std::printf(
+      "  %llu span(s) opened: %llu resolved by decision, %llu by "
+      "termination, %llu abandoned (site crash), %zu unresolved\n",
+      static_cast<unsigned long long>(replay->stats.opened),
+      static_cast<unsigned long long>(replay->stats.resolved_decision),
+      static_cast<unsigned long long>(replay->stats.resolved_termination),
+      static_cast<unsigned long long>(replay->stats.abandoned_crash),
+      unresolved);
+
+  if (spans.empty()) {
+    std::printf("  no blocked spans%s\n",
+                txn.has_value() ? " for this transaction" : "");
+    return 0;
+  }
+
+  // Per-transaction blocked-time table.
+  struct PerTxn {
+    size_t spans = 0, unresolved = 0;
+    SimTime total = 0, max = 0;
+    bool declared = false;
+  };
+  std::map<TransactionId, PerTxn> by_txn;
+  for (const BlockedSpan& s : spans) {
+    PerTxn& t = by_txn[s.txn];
+    ++t.spans;
+    if (s.open()) ++t.unresolved;
+    SimTime d = s.BlockedFor(now);
+    t.total += d;
+    t.max = std::max(t.max, d);
+    t.declared = t.declared || s.declared_blocked;
+  }
+  std::printf("\nper-transaction blocked time (us)\n");
+  std::printf("  %-6s %6s %10s %12s %12s %9s\n", "txn", "spans", "unresolved",
+              "total", "max", "declared");
+  for (const auto& [id, t] : by_txn) {
+    std::printf("  %-6llu %6zu %10zu %12llu %12llu %9s\n",
+                static_cast<unsigned long long>(id), t.spans, t.unresolved,
+                static_cast<unsigned long long>(t.total),
+                static_cast<unsigned long long>(t.max),
+                t.declared ? "BLOCKED" : "-");
+  }
+
+  // Cause breakdown: time attributed to each cause across all spans.
+  SimTime cause_total[kNumBlockedCauses] = {};
+  size_t cause_spans[kNumBlockedCauses] = {};
+  for (const BlockedSpan& s : spans) {
+    for (size_t c = 0; c < kNumBlockedCauses; ++c) {
+      if (s.cause_us[c] > 0) {
+        cause_total[c] += s.cause_us[c];
+        ++cause_spans[c];
+      }
+    }
+  }
+  std::printf("\ncause breakdown\n");
+  std::printf("  %-18s %6s %12s\n", "cause", "spans", "total_us");
+  for (size_t c = 0; c < kNumBlockedCauses; ++c) {
+    if (cause_spans[c] == 0) continue;
+    std::printf("  %-18s %6zu %12llu\n",
+                ToString(static_cast<BlockedCause>(c)).c_str(),
+                cause_spans[c],
+                static_cast<unsigned long long>(cause_total[c]));
+  }
+
+  // Worst blocked sites.
+  std::map<SiteId, std::pair<size_t, SimTime>> by_site;
+  for (const BlockedSpan& s : spans) {
+    by_site[s.site].first += 1;
+    by_site[s.site].second += s.BlockedFor(now);
+  }
+  std::vector<std::pair<SiteId, std::pair<size_t, SimTime>>> worst(
+      by_site.begin(), by_site.end());
+  std::sort(worst.begin(), worst.end(), [](const auto& a, const auto& b) {
+    return a.second.second > b.second.second;
+  });
+  std::printf("\nworst blocked sites\n");
+  std::printf("  %-6s %6s %12s\n", "site", "spans", "blocked_us");
+  for (size_t i = 0; i < worst.size() && i < 5; ++i) {
+    std::printf("  %-6u %6zu %12llu\n", worst[i].first,
+                worst[i].second.first,
+                static_cast<unsigned long long>(worst[i].second.second));
+  }
+
+  if (replay->stats.crosscheck_failures > 0) {
+    std::printf("\nCROSS-CHECK FAILURES: %llu (stall detector disagrees "
+                "with the global-state observer)\n",
+                static_cast<unsigned long long>(
+                    replay->stats.crosscheck_failures));
+    for (const std::string& d : replay->crosscheck_details) {
+      std::printf("  %s\n", d.c_str());
+    }
+  }
+
+  if (unresolved > 0) {
+    std::printf("\nBLOCKED: %zu span(s) never resolved — the protocol left "
+                "operational sites stuck\n",
+                unresolved);
+  } else {
+    std::printf("\nall spans resolved: no operational site stayed blocked\n");
+  }
+  return unresolved > 0 || replay->stats.crosscheck_failures > 0 ? 3 : 0;
+}
+
 int CmdOverview(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -852,6 +1047,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "causal") {
       return CmdCausal(argc, argv);
+    }
+    if (cmd == "blocking") {
+      return CmdBlocking(argc, argv);
     }
   }
   return CmdOverview(argc, argv);
