@@ -34,6 +34,16 @@ HEADLINES = {
     "blocking": (("protocol", "scenario"),
                  {"p_block": "lower", "mean_blocked_us": "lower",
                   "max_blocked_us": "lower"}),
+    # Structural gates: node/schedule counts are deterministic, so any
+    # growth is an algorithmic change (lost reduction, exploded encoding),
+    # not machine noise. Build times are intentionally not gated.
+    "symmetry": (("protocol", "n"),
+                 {"unreduced_nodes": "lower", "reduced_nodes": "lower"}),
+    "param": (("protocol", "n"),
+              {"abstract_nodes": "lower", "concrete_nodes": "lower"}),
+    "exhaustive": (("protocol", "n"), {"schedules": "lower",
+                                       "graph_nodes": "lower"}),
+    "dpor": (("protocol", "n"), {"dpor_schedules": "lower"}),
 }
 
 SKIP_FILES = ("BENCH_RESULTS.json", "BENCH_summary.json")

@@ -1,0 +1,193 @@
+#include "analysis/param/abstract_domain.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nbcp {
+
+namespace {
+
+/// Registers (type, group) in `vocab` if absent.
+void AddVocab(std::vector<std::pair<std::string, Group>>* vocab,
+              const std::string& type, Group group) {
+  for (const auto& entry : *vocab) {
+    if (entry.first == type && entry.second == group) return;
+  }
+  vocab->emplace_back(type, group);
+}
+
+int FindVocab(const std::vector<std::pair<std::string, Group>>& vocab,
+              const std::string& type, Group group) {
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    if (vocab[i].first == type && vocab[i].second == group) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int ParamModel::SendIndex(const std::string& type, Group to) const {
+  return FindVocab(send_vocab, type, to);
+}
+
+int ParamModel::RecvIndex(const std::string& type, Group from) const {
+  return FindVocab(recv_vocab, type, from);
+}
+
+Result<ParamModel> BuildParamModel(const ProtocolSpec& spec) {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+
+  ParamModel model;
+  model.spec = spec;
+  switch (spec.paradigm()) {
+    case Paradigm::kLinear:
+      return Status::InvalidArgument(
+          "linear paradigm: chain addressing (next/prev peer) is not "
+          "permutation-invariant, no symmetric site class to abstract");
+    case Paradigm::kCentralSite:
+      model.has_fixed = true;
+      model.fixed_role = 0;
+      model.class_role = 1;
+      break;
+    case Paradigm::kDecentralized:
+      model.has_fixed = false;
+      model.class_role = 0;
+      break;
+  }
+
+  // Collect the vocabulary and reject group usage outside the fragment:
+  // every endpoint set must be exactly the fixed site or (a superset of)
+  // the class, never a mix or a chain neighbor.
+  auto group_ok = [&](Group g) {
+    if (spec.paradigm() == Paradigm::kCentralSite) {
+      return g == Group::kCoordinator || g == Group::kSlaves;
+    }
+    return g == Group::kAllPeers;
+  };
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    const Automaton& automaton = spec.role(static_cast<RoleIndex>(r));
+    for (const Transition& t : automaton.transitions()) {
+      if (t.trigger.kind != TriggerKind::kClientRequest) {
+        if (!group_ok(t.trigger.group)) {
+          return Status::InvalidArgument(
+              "trigger group '" + nbcp::ToString(t.trigger.group) +
+              "' is outside the parametric fragment");
+        }
+        AddVocab(&model.recv_vocab, t.trigger.msg_type, t.trigger.group);
+      }
+      for (const SendSpec& send : t.sends) {
+        if (!group_ok(send.to)) {
+          return Status::InvalidArgument(
+              "send group '" + nbcp::ToString(send.to) +
+              "' is outside the parametric fragment");
+        }
+        AddVocab(&model.send_vocab, send.msg_type, send.to);
+      }
+    }
+  }
+  return model;
+}
+
+std::string AbstractLocal::Key() const {
+  std::ostringstream out;
+  out << state << ';' << static_cast<int>(vote) << ';'
+      << (request_pending ? 1 : 0) << ';';
+  for (uint8_t v : sent) out << static_cast<int>(v) << ',';
+  out << ';';
+  for (uint8_t v : recv_one) out << static_cast<int>(v) << ',';
+  out << ';';
+  for (uint8_t v : recv_all) out << static_cast<int>(v) << ',';
+  return out.str();
+}
+
+std::string AbstractState::Key() const {
+  std::ostringstream out;
+  for (const AbstractLocal& f : fixed) out << 'F' << f.Key() << '|';
+  for (const ClassEntry& e : cls) {
+    out << 'C' << static_cast<int>(e.count) << '@' << e.local.Key() << '|';
+  }
+  return out.str();
+}
+
+void AbstractState::Normalize() {
+  std::sort(cls.begin(), cls.end(),
+            [](const ClassEntry& a, const ClassEntry& b) {
+              return a.local < b.local;
+            });
+}
+
+void AbstractState::IncClass(const AbstractLocal& local) {
+  for (ClassEntry& e : cls) {
+    if (e.local == local) {
+      e.count = kOmega;  // 1 -> omega, omega -> omega.
+      return;
+    }
+  }
+  cls.push_back(ClassEntry{local, 1});
+  Normalize();
+}
+
+std::string AbstractState::ToString(const ParamModel& model) const {
+  std::ostringstream out;
+  out << '<';
+  bool first = true;
+  for (const AbstractLocal& f : fixed) {
+    if (!first) out << ", ";
+    first = false;
+    out << model.spec.role(model.fixed_role).state(f.state).name;
+  }
+  for (const ClassEntry& e : cls) {
+    if (!first) out << ", ";
+    first = false;
+    out << model.spec.role(model.class_role).state(e.local.state).name << ':';
+    if (e.count == kOmega) {
+      out << "w";
+    } else {
+      out << static_cast<int>(e.count);
+    }
+  }
+  out << '>';
+  return out.str();
+}
+
+AbstractLocal MakeInitialAbstractLocal(const ParamModel& model, RoleIndex role,
+                                       bool request_pending) {
+  AbstractLocal local;
+  local.state = model.spec.role(role).initial_state();
+  local.vote = Vote::kUnset;
+  local.request_pending = request_pending;
+  local.sent.assign(model.send_vocab.size(), 0);
+  local.recv_one.assign(model.recv_vocab.size(), 0);
+  local.recv_all.assign(model.recv_vocab.size(), 0);
+  return local;
+}
+
+AbstractState AbstractProject(const ParamModel& model,
+                              const std::vector<AbstractLocal>& locals) {
+  AbstractState out;
+  size_t n = locals.size();
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    if (model.has_fixed &&
+        model.spec.RoleForSite(site, n) == model.fixed_role) {
+      out.fixed.push_back(locals[i]);
+      continue;
+    }
+    bool merged = false;
+    for (ClassEntry& e : out.cls) {
+      if (e.local == locals[i]) {
+        e.count = kOmega;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.cls.push_back(ClassEntry{locals[i], 1});
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,140 @@
+#ifndef NBCP_ANALYSIS_PARAM_ABSTRACT_DOMAIN_H_
+#define NBCP_ANALYSIS_PARAM_ABSTRACT_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/global_state.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// The parametric (all-n) analysis models a spec as a small set of *fixed*
+/// sites plus one *symmetric class* of interchangeable sites whose
+/// population is left unbounded:
+///   * central-site paradigm: coordinator fixed (site 1), slaves are the
+///     class (sites 2..n, n >= 2, so the class has >= 1 member);
+///   * decentralized paradigm: no fixed sites, all peers are the class
+///     (>= 2 members).
+/// The linear paradigm is exempt — chain addressing (kNextPeer/kPrevPeer)
+/// is not permutation-invariant, so there is no symmetric class to
+/// abstract; the fixed-n verdict stands.
+///
+/// `ParamModel` captures that shape plus the spec's message "vocabulary":
+/// the distinct (msg_type, group) send and receive keys, against which the
+/// abstract domain counts *events* per site (see AbstractLocal).
+struct ParamModel {
+  ProtocolSpec spec;
+  bool has_fixed = false;  ///< Central-site: site 1 runs `fixed_role`.
+  RoleIndex fixed_role = 0;
+  RoleIndex class_role = 0;
+
+  /// Distinct (msg_type, addressee group) pairs occurring in sends.
+  std::vector<std::pair<std::string, Group>> send_vocab;
+  /// Distinct (msg_type, source group) pairs occurring in triggers.
+  std::vector<std::pair<std::string, Group>> recv_vocab;
+
+  ParamModel() : spec("", Paradigm::kCentralSite) {}
+
+  int SendIndex(const std::string& type, Group to) const;
+  int RecvIndex(const std::string& type, Group from) const;
+
+  /// Whether a send addressed to `group` reaches the fixed site / a class
+  /// member. kCoordinator resolves to site 1; kSlaves and kAllPeers
+  /// resolve to (supersets of) the class.
+  bool RoutesToFixed(Group group) const { return group == Group::kCoordinator; }
+  bool RoutesToClass(Group group) const {
+    return group == Group::kSlaves || group == Group::kAllPeers;
+  }
+  /// Whether trigger senders in `group` are the fixed site (single member)
+  /// or class members.
+  bool SenderIsFixed(Group group) const { return group == Group::kCoordinator; }
+
+  std::string ClassRoleName() const { return spec.role_name(class_role); }
+};
+
+/// Builds the parametric model for `spec`, or an InvalidArgument status
+/// naming why the spec is outside the abstraction's fragment (linear
+/// paradigm, or group usage that mixes fixed and class endpoints).
+Result<ParamModel> BuildParamModel(const ProtocolSpec& spec);
+
+/// The extended local state of one site, deliberately independent of the
+/// site population n. Besides the FSA state and vote it carries per-site
+/// *event* counters against the model's vocabulary:
+///   * sent[k]      — send events of send_vocab[k] executed (one event per
+///                    SendSpec firing, regardless of how many sites the
+///                    group resolves to);
+///   * recv_all[k]  — kAllFrom consumption events of recv_vocab[k] (one
+///                    event consumes a message from every group member, so
+///                    counting events rather than messages keeps the state
+///                    n-independent);
+///   * recv_one[k]  — kOneFrom/kAnyFrom single-message consumptions.
+/// In-flight message counts are *derived* from these (sends minus
+/// consumptions), so no separate network multiset is needed. The counters
+/// are exact, not abstracted: commit FSAs are acyclic, so every counter is
+/// bounded by the longest path of the automaton.
+struct AbstractLocal {
+  StateIndex state = kNoState;
+  Vote vote = Vote::kUnset;
+  bool request_pending = false;  ///< Client __request not yet consumed.
+  std::vector<uint8_t> sent;
+  std::vector<uint8_t> recv_one;
+  std::vector<uint8_t> recv_all;
+
+  std::string Key() const;
+  friend bool operator==(const AbstractLocal& a, const AbstractLocal& b) {
+    return a.state == b.state && a.vote == b.vote &&
+           a.request_pending == b.request_pending && a.sent == b.sent &&
+           a.recv_one == b.recv_one && a.recv_all == b.recv_all;
+  }
+  friend bool operator<(const AbstractLocal& a, const AbstractLocal& b) {
+    return a.Key() < b.Key();
+  }
+};
+
+/// Class-member multiplicity in the (0, 1, omega) counter abstraction:
+/// count 1 means exactly one member has this extended local state, kOmega
+/// means two or more. Absent entries mean zero.
+inline constexpr uint8_t kOmega = 255;
+
+struct ClassEntry {
+  AbstractLocal local;
+  uint8_t count = 1;  ///< 1 or kOmega.
+};
+
+/// One abstract global state: exact extended states for the fixed sites
+/// plus the counted multiset of class-member extended states. The class
+/// entries are kept sorted by key, so Key() is canonical.
+struct AbstractState {
+  std::vector<AbstractLocal> fixed;
+  std::vector<ClassEntry> cls;
+
+  std::string Key() const;
+  /// Re-sorts class entries after mutation (no duplicate keys expected).
+  void Normalize();
+  /// Adds one member with state `local`: absent -> 1, 1 -> omega,
+  /// omega -> omega.
+  void IncClass(const AbstractLocal& local);
+
+  std::string ToString(const ParamModel& model) const;
+};
+
+/// Initial local state of a site running `role` (request_pending per the
+/// paradigm's initial __request routing), with zeroed vocabulary counters.
+AbstractLocal MakeInitialAbstractLocal(const ParamModel& model, RoleIndex role,
+                                       bool request_pending);
+
+/// The abstraction function: folds the per-site extended locals of a
+/// concrete n-site execution into an abstract state (fixed sites exact,
+/// class grouped and counted with counts collapsed to {1, omega}).
+/// `locals[i]` is site i+1; used by the cutoff detector and the soundness
+/// tests (see InstrumentedAbstractImage).
+AbstractState AbstractProject(const ParamModel& model,
+                              const std::vector<AbstractLocal>& locals);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_PARAM_ABSTRACT_DOMAIN_H_

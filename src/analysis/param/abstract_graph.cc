@@ -1,0 +1,352 @@
+#include "analysis/param/abstract_graph.h"
+
+#include <sstream>
+#include <utility>
+
+#include "analysis/state_graph.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+namespace {
+
+/// Population stand-in for an omega-counted signature in saturating sums.
+constexpr uint32_t kManyWeight = 1u << 16;
+/// Event-counter bound. Commit FSAs are acyclic, so per-site event counts
+/// are bounded by the automaton's longest path (single digits); hitting
+/// this cap marks the graph saturated instead of wrapping.
+constexpr uint8_t kEventCap = 200;
+
+/// Total send events of `type` by `sender` whose addressee group routes a
+/// copy to the receiving side (fixed site or class member).
+uint32_t SentRouted(const ParamModel& model, const AbstractLocal& sender,
+                    const std::string& type, bool receiver_is_class) {
+  uint32_t total = 0;
+  for (size_t i = 0; i < model.send_vocab.size(); ++i) {
+    if (model.send_vocab[i].first != type) continue;
+    Group g = model.send_vocab[i].second;
+    bool routes = receiver_is_class ? model.RoutesToClass(g)
+                                    : model.RoutesToFixed(g);
+    if (routes) total += sender.sent[i];
+  }
+  return total;
+}
+
+/// Message-mode enabledness of `trigger` for a receiver with extended
+/// local state `recv` in abstract state `a`. See the soundness notes on
+/// AbstractStateGraph.
+bool MessageModeEnabled(const ParamModel& model, const AbstractState& a,
+                        const AbstractLocal& recv, bool receiver_is_class,
+                        const Trigger& trigger) {
+  if (trigger.kind == TriggerKind::kClientRequest) {
+    return recv.request_pending;
+  }
+  int ri = model.RecvIndex(trigger.msg_type, trigger.group);
+  if (ri < 0) return false;
+  uint32_t consumed = static_cast<uint32_t>(recv.recv_one[ri]) +
+                      static_cast<uint32_t>(recv.recv_all[ri]);
+  if (model.SenderIsFixed(trigger.group)) {
+    // Single fixed sender: per-receiver copies are exact (each send event
+    // delivered one copy to this receiver; `consumed` counts all of the
+    // receiver's consumption events against it).
+    if (a.fixed.empty()) return false;
+    return SentRouted(model, a.fixed[0], trigger.msg_type,
+                      receiver_is_class) > consumed;
+  }
+  if (trigger.kind == TriggerKind::kAllFrom) {
+    // One message from every class member: every occupied signature must
+    // have sent more copies to this receiver than the receiver has
+    // consumed in prior all-from events (each such event ate one copy
+    // from *every* member, including any that later changed signature).
+    if (a.cls.empty()) return false;
+    for (const ClassEntry& e : a.cls) {
+      if (SentRouted(model, e.local, trigger.msg_type, receiver_is_class) <=
+          recv.recv_all[ri]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // kOneFrom / kAnyFrom over class senders: saturating population sum of
+  // copies sent, minus the receiver's single consumptions. Ignoring which
+  // member each consumption came from only over-estimates availability.
+  uint64_t sum = 0;
+  for (const ClassEntry& e : a.cls) {
+    uint64_t weight = e.count == kOmega ? kManyWeight : e.count;
+    sum += weight *
+           SentRouted(model, e.local, trigger.msg_type, receiver_is_class);
+  }
+  return sum > consumed;
+}
+
+/// One enabled firing mode of a site (transition plus spontaneous flag).
+struct FiringMode {
+  size_t transition = 0;
+  bool self_vote = false;
+};
+
+/// Mirrors EnumerateFirings' vote gating and kAnyFrom dual mode on the
+/// abstract domain.
+std::vector<FiringMode> EnabledModes(const ParamModel& model,
+                                     const AbstractState& a,
+                                     const AbstractLocal& recv,
+                                     bool receiver_is_class, RoleIndex role) {
+  std::vector<FiringMode> out;
+  const Automaton& automaton = model.spec.role(role);
+  for (size_t ti : automaton.TransitionsFrom(recv.state)) {
+    const Transition& t = automaton.transitions()[ti];
+    if (t.trigger.kind != TriggerKind::kAnyFrom) {
+      if (t.votes_yes && recv.vote == Vote::kNo) continue;
+      if (t.votes_no && recv.vote == Vote::kYes) continue;
+    }
+    if (MessageModeEnabled(model, a, recv, receiver_is_class, t.trigger)) {
+      out.push_back(FiringMode{ti, false});
+    }
+    if (t.trigger.kind == TriggerKind::kAnyFrom && t.trigger.or_self_vote_no &&
+        recv.vote == Vote::kUnset) {
+      out.push_back(FiringMode{ti, true});
+    }
+  }
+  return out;
+}
+
+/// Applies one firing to the receiver's extended local state: state
+/// advance, consumption/send event bookkeeping, vote rules exactly as in
+/// ApplyFiring. Returns false when an event counter would overflow.
+bool ApplyAbstractFire(const ParamModel& model, RoleIndex role,
+                       const FiringMode& mode, AbstractLocal* recv) {
+  const Transition& t =
+      model.spec.role(role).transitions()[mode.transition];
+  recv->state = t.to;
+  if (!mode.self_vote) {
+    switch (t.trigger.kind) {
+      case TriggerKind::kClientRequest:
+        recv->request_pending = false;
+        break;
+      case TriggerKind::kAllFrom: {
+        int ri = model.RecvIndex(t.trigger.msg_type, t.trigger.group);
+        if (ri < 0 || recv->recv_all[ri] >= kEventCap) return false;
+        ++recv->recv_all[ri];
+        break;
+      }
+      case TriggerKind::kOneFrom:
+      case TriggerKind::kAnyFrom: {
+        int ri = model.RecvIndex(t.trigger.msg_type, t.trigger.group);
+        if (ri < 0 || recv->recv_one[ri] >= kEventCap) return false;
+        ++recv->recv_one[ri];
+        break;
+      }
+    }
+  }
+  bool apply_votes =
+      mode.self_vote || t.trigger.kind != TriggerKind::kAnyFrom;
+  if (apply_votes) {
+    if (t.votes_yes) recv->vote = Vote::kYes;
+    if (t.votes_no) recv->vote = Vote::kNo;
+  }
+  for (const SendSpec& send : t.sends) {
+    int si = model.SendIndex(send.msg_type, send.to);
+    if (si < 0 || recv->sent[si] >= kEventCap) return false;
+    ++recv->sent[si];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<AbstractStateGraph> AbstractStateGraph::Build(
+    const ProtocolSpec& spec, AbstractGraphOptions options) {
+  auto model = BuildParamModel(spec);
+  if (!model.ok()) return model.status();
+  AbstractStateGraph graph(std::move(*model));
+  graph.options_ = options;
+
+  std::vector<size_t> worklist;
+  const ParamModel& m = graph.model_;
+  // Initial states: one abstract node per class-population shape. The
+  // central paradigm's class has n-1 members, so count 1 (n=2) and omega
+  // (n>=3) are both possible; a decentralized class has n >= 2 members.
+  AbstractLocal class0 = MakeInitialAbstractLocal(
+      m, m.class_role,
+      /*request_pending=*/m.spec.paradigm() == Paradigm::kDecentralized);
+  std::vector<uint8_t> counts =
+      m.has_fixed ? std::vector<uint8_t>{1, kOmega}
+                  : std::vector<uint8_t>{kOmega};
+  for (uint8_t count : counts) {
+    AbstractState init;
+    if (m.has_fixed) {
+      init.fixed.push_back(
+          MakeInitialAbstractLocal(m, m.fixed_role, /*request_pending=*/true));
+    }
+    init.cls.push_back(ClassEntry{class0, count});
+    graph.initial_.push_back(graph.Intern(std::move(init), &worklist));
+  }
+
+  size_t cursor = 0;
+  while (cursor < worklist.size()) {
+    if (graph.nodes_.size() > options.max_nodes) {
+      graph.truncated_ = true;
+      break;
+    }
+    size_t idx = worklist[cursor++];
+    graph.Expand(idx, &worklist);
+  }
+  return graph;
+}
+
+size_t AbstractStateGraph::Intern(AbstractState state,
+                                  std::vector<size_t>* worklist) {
+  std::string key = state.Key();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  size_t idx = nodes_.size();
+  nodes_.push_back(std::move(state));
+  edges_.emplace_back();
+  index_.emplace(std::move(key), idx);
+  worklist->push_back(idx);
+  return idx;
+}
+
+void AbstractStateGraph::Expand(size_t idx, std::vector<size_t>* worklist) {
+  // Copy the source state: Intern() may reallocate nodes_.
+  const AbstractState base = nodes_[idx];
+  EmitFixedFirings(idx, base, worklist);
+  EmitClassFirings(idx, base, worklist);
+}
+
+void AbstractStateGraph::EmitFixedFirings(size_t idx, const AbstractState& base,
+                                          std::vector<size_t>* worklist) {
+  for (size_t fi = 0; fi < base.fixed.size(); ++fi) {
+    for (const FiringMode& mode :
+         EnabledModes(model_, base, base.fixed[fi], /*receiver_is_class=*/false,
+                      model_.fixed_role)) {
+      AbstractState next = base;
+      if (!ApplyAbstractFire(model_, model_.fixed_role, mode,
+                             &next.fixed[fi])) {
+        saturated_ = true;
+        continue;
+      }
+      size_t to = Intern(std::move(next), worklist);
+      edges_[idx].push_back(AbstractEdge{to, false, fi, mode.transition,
+                                         mode.self_vote});
+      ++num_edges_;
+    }
+  }
+}
+
+void AbstractStateGraph::EmitClassFirings(size_t idx, const AbstractState& base,
+                                          std::vector<size_t>* worklist) {
+  for (size_t ei = 0; ei < base.cls.size(); ++ei) {
+    const ClassEntry& entry = base.cls[ei];
+    for (const FiringMode& mode :
+         EnabledModes(model_, base, entry.local, /*receiver_is_class=*/true,
+                      model_.class_role)) {
+      AbstractLocal fired = entry.local;
+      if (!ApplyAbstractFire(model_, model_.class_role, mode, &fired)) {
+        saturated_ = true;
+        continue;
+      }
+      // Decrement the source signature: 1 -> gone; omega branches to
+      // "still two or more left" and "exactly one left".
+      std::vector<uint8_t> variants =
+          entry.count == kOmega ? std::vector<uint8_t>{kOmega, 1}
+                                : std::vector<uint8_t>{0};
+      for (uint8_t remaining : variants) {
+        AbstractState next = base;
+        if (remaining == 0) {
+          next.cls.erase(next.cls.begin() + static_cast<ptrdiff_t>(ei));
+        } else {
+          next.cls[ei].count = remaining;
+        }
+        next.IncClass(fired);
+        size_t to = Intern(std::move(next), worklist);
+        edges_[idx].push_back(AbstractEdge{to, true, ei, mode.transition,
+                                           mode.self_vote});
+        ++num_edges_;
+      }
+    }
+  }
+}
+
+Result<InstrumentedImage> InstrumentedAbstractImage(const ParamModel& model,
+                                                    size_t n,
+                                                    size_t max_nodes) {
+  const ProtocolSpec& spec = model.spec;
+  struct Node {
+    GlobalState g;
+    std::vector<AbstractLocal> hist;
+  };
+  auto node_key = [](const Node& node) {
+    std::ostringstream out;
+    out << node.g.Key() << '#';
+    for (const AbstractLocal& h : node.hist) out << h.Key() << '|';
+    return out.str();
+  };
+
+  InstrumentedImage image;
+  Node init;
+  init.g = MakeInitialGlobalState(spec, n);
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    bool request =
+        init.g.messages.count(MsgInstance{msg::kRequest, kNoSite, site}) != 0;
+    init.hist.push_back(
+        MakeInitialAbstractLocal(model, spec.RoleForSite(site, n), request));
+  }
+
+  std::vector<Node> worklist;
+  std::unordered_set<std::string> seen;
+  seen.insert(node_key(init));
+  image.keys.insert(AbstractProject(model, init.hist).Key());
+  worklist.push_back(std::move(init));
+
+  size_t cursor = 0;
+  while (cursor < worklist.size()) {
+    if (worklist.size() > max_nodes) {
+      image.truncated = true;
+      break;
+    }
+    // Copy: push_back below may reallocate the worklist.
+    const Node base = worklist[cursor++];
+    for (size_t i = 0; i < n; ++i) {
+      SiteId site = static_cast<SiteId>(i + 1);
+      RoleIndex role = spec.RoleForSite(site, n);
+      const Automaton& automaton = spec.role(role);
+      for (const Firing& firing : EnumerateFirings(spec, n, base.g, site)) {
+        Node next;
+        next.g = ApplyFiring(spec, n, base.g, site, firing);
+        next.hist = base.hist;
+        AbstractLocal& h = next.hist[i];
+        const Transition& t = automaton.transitions()[firing.transition];
+        h.state = next.g.local[i];
+        h.vote = next.g.votes[i];
+        if (!firing.self_vote) {
+          int ri = model.RecvIndex(t.trigger.msg_type, t.trigger.group);
+          switch (t.trigger.kind) {
+            case TriggerKind::kClientRequest:
+              h.request_pending = false;
+              break;
+            case TriggerKind::kAllFrom:
+              if (ri >= 0) ++h.recv_all[ri];
+              break;
+            case TriggerKind::kOneFrom:
+            case TriggerKind::kAnyFrom:
+              if (ri >= 0) ++h.recv_one[ri];
+              break;
+          }
+        }
+        for (const SendSpec& send : t.sends) {
+          int si = model.SendIndex(send.msg_type, send.to);
+          if (si >= 0) ++h.sent[si];
+        }
+        if (!seen.insert(node_key(next)).second) continue;
+        image.keys.insert(AbstractProject(model, next.hist).Key());
+        worklist.push_back(std::move(next));
+      }
+    }
+  }
+  image.states = seen.size();
+  return image;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,110 @@
+#ifndef NBCP_ANALYSIS_PARAM_ABSTRACT_GRAPH_H_
+#define NBCP_ANALYSIS_PARAM_ABSTRACT_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/param/abstract_domain.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// One abstract firing connecting two abstract states.
+struct AbstractEdge {
+  size_t to = 0;
+  bool class_member = false;  ///< Fired by a class member (else fixed site).
+  size_t entity = 0;     ///< Fixed-site index, or class-entry index (pre).
+  size_t transition = 0; ///< Transition index within the firing role.
+  bool self_vote = false;
+};
+
+struct AbstractGraphOptions {
+  size_t max_nodes = 200000;
+};
+
+/// The counter-abstracted reachable state graph: a finite over-approximation
+/// of the reachable global states of `spec` for *every* site population
+/// n >= 2 at once.
+///
+/// Soundness (abstract >= concrete): every concrete firing is matched by an
+/// enabled abstract firing from the projection of its source state.
+///   * Enabledness guards over-approximate message availability. For a
+///     fixed-site sender the per-receiver in-flight count is exact (each
+///     send event gives each addressee one copy; the receiver's recv
+///     counters say how many it consumed). For class senders, kAllFrom is
+///     enabled iff every occupied member signature has more send events of
+///     the type than the receiver has kAllFrom consumption events — a
+///     concrete "one message from every member" implies that, because every
+///     prior kAllFrom event consumed one copy from *each* member. Single
+///     consumptions (kOneFrom/kAnyFrom) use a saturating population sum and
+///     only under-count consumption, so availability is over-estimated.
+///   * Counter updates mirror the (0,1,omega) abstraction: a member leaving
+///     signature sigma decrements it (omega branches nondeterministically
+///     to {1, omega}), the target signature increments (1 -> omega).
+///   * Initial states branch over the class population: count 1 (a central
+///     spec at n=2 has a single slave) and omega (n >= 3); decentralized
+///     classes always have >= 2 members (omega only).
+/// Hence abstract reachability contains the projection of every concrete
+/// reachable state — verified mechanically against n = 2..4 in the tests.
+class AbstractStateGraph {
+ public:
+  static Result<AbstractStateGraph> Build(const ProtocolSpec& spec,
+                                          AbstractGraphOptions options = {});
+
+  const ParamModel& model() const { return model_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  const AbstractState& node(size_t i) const { return nodes_[i]; }
+  const std::vector<AbstractEdge>& edges(size_t i) const { return edges_[i]; }
+  const std::vector<size_t>& initial_nodes() const { return initial_; }
+  /// Construction hit max_nodes: verdicts cover only a prefix.
+  bool truncated() const { return truncated_; }
+  /// An event counter overflowed its (generous) bound — cannot happen for
+  /// acyclic commit FSAs; reported as inconclusive if it ever does.
+  bool saturated() const { return saturated_; }
+  bool HasNode(const std::string& key) const { return index_.count(key) != 0; }
+
+ private:
+  explicit AbstractStateGraph(ParamModel model) : model_(std::move(model)) {}
+
+  size_t Intern(AbstractState state, std::vector<size_t>* worklist);
+  void Expand(size_t idx, std::vector<size_t>* worklist);
+  void EmitClassFirings(size_t idx, const AbstractState& base,
+                        std::vector<size_t>* worklist);
+  void EmitFixedFirings(size_t idx, const AbstractState& base,
+                        std::vector<size_t>* worklist);
+
+  ParamModel model_;
+  AbstractGraphOptions options_;
+  std::vector<AbstractState> nodes_;
+  std::vector<std::vector<AbstractEdge>> edges_;
+  std::vector<size_t> initial_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t num_edges_ = 0;
+  bool truncated_ = false;
+  bool saturated_ = false;
+};
+
+/// The abstract image of the concrete reachable set at a fixed population
+/// n: runs the concrete semantics instrumented with per-site event
+/// counters (the same bookkeeping the abstract domain counts) and projects
+/// every reachable state through AbstractProject. Used by the cutoff
+/// detector and by the soundness tests (image(n) must be contained in the
+/// abstract reachable set for every n).
+struct InstrumentedImage {
+  std::unordered_set<std::string> keys;
+  size_t states = 0;  ///< Instrumented concrete states explored.
+  bool truncated = false;
+};
+
+Result<InstrumentedImage> InstrumentedAbstractImage(const ParamModel& model,
+                                                    size_t n,
+                                                    size_t max_nodes = 500000);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_PARAM_ABSTRACT_GRAPH_H_

@@ -1,0 +1,469 @@
+#include "analysis/param/parametric.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/concurrency_set.h"
+#include "analysis/state_graph.h"
+#include "explore/explorer.h"
+#include "protocols/protocols.h"
+
+namespace nbcp {
+
+namespace {
+
+/// The verdict-relevant facts of an analysis, at (role, state) granularity.
+/// C1/C2 are pointwise functions of exactly these three relations, so
+/// "every abstract fact realized concretely at n=k" implies the k-verdict
+/// settles all n (abstract facts contain every n's facts by soundness).
+struct FactSet {
+  std::set<std::pair<RoleIndex, StateIndex>> occupied;
+  std::set<std::pair<RoleIndex, StateIndex>> noncommittable;
+  /// Canonically ordered co-occupancy pairs.
+  std::set<std::pair<std::pair<RoleIndex, StateIndex>,
+                     std::pair<RoleIndex, StateIndex>>>
+      pairs;
+
+  bool Contains(const FactSet& other) const {
+    return std::includes(occupied.begin(), occupied.end(),
+                         other.occupied.begin(), other.occupied.end()) &&
+           std::includes(noncommittable.begin(), noncommittable.end(),
+                         other.noncommittable.begin(),
+                         other.noncommittable.end()) &&
+           std::includes(pairs.begin(), pairs.end(), other.pairs.begin(),
+                         other.pairs.end());
+  }
+  size_t size() const {
+    return occupied.size() + noncommittable.size() + pairs.size();
+  }
+};
+
+void AddPair(FactSet* facts, std::pair<RoleIndex, StateIndex> a,
+             std::pair<RoleIndex, StateIndex> b) {
+  if (b < a) std::swap(a, b);
+  facts->pairs.emplace(a, b);
+}
+
+/// Facts of the abstract graph. Occupancy and votes come straight from the
+/// abstract states; co-occupancy mirrors the concrete ConcurrencyAnalysis:
+/// two distinct entities in one state are concurrent, and a class
+/// signature with count omega is concurrent with itself.
+FactSet AbstractFacts(const AbstractStateGraph& graph) {
+  const ParamModel& m = graph.model();
+  bool fixed_votes = m.has_fixed && m.spec.role(m.fixed_role).CanVote();
+  bool class_votes = m.spec.role(m.class_role).CanVote();
+
+  FactSet facts;
+  for (size_t i = 0; i < graph.num_nodes(); ++i) {
+    const AbstractState& a = graph.node(i);
+    bool all_yes = true;
+    for (const AbstractLocal& f : a.fixed) {
+      if (fixed_votes && f.vote != Vote::kYes) all_yes = false;
+    }
+    for (const ClassEntry& e : a.cls) {
+      if (class_votes && e.local.vote != Vote::kYes) all_yes = false;
+    }
+
+    std::vector<std::pair<RoleIndex, StateIndex>> occ;
+    occ.reserve(a.fixed.size() + a.cls.size());
+    for (const AbstractLocal& f : a.fixed) {
+      occ.emplace_back(m.fixed_role, f.state);
+    }
+    for (const ClassEntry& e : a.cls) {
+      occ.emplace_back(m.class_role, e.local.state);
+    }
+    for (const auto& item : occ) {
+      facts.occupied.insert(item);
+      if (!all_yes) facts.noncommittable.insert(item);
+    }
+    for (size_t x = 0; x < occ.size(); ++x) {
+      for (size_t y = x + 1; y < occ.size(); ++y) {
+        AddPair(&facts, occ[x], occ[y]);
+      }
+    }
+    for (const ClassEntry& e : a.cls) {
+      if (e.count == kOmega) {
+        // Two members share this signature: the state is concurrent with
+        // itself.
+        AddPair(&facts, {m.class_role, e.local.state},
+                {m.class_role, e.local.state});
+      }
+    }
+  }
+  return facts;
+}
+
+/// The same fact projection computed from a concrete fixed-n analysis.
+FactSet ConcreteFacts(const ReachableStateGraph& graph,
+                      const ConcurrencyAnalysis& analysis) {
+  const ProtocolSpec& spec = graph.spec();
+  size_t n = graph.num_sites();
+  FactSet facts;
+  for (size_t i = 0; i < n; ++i) {
+    SiteId site = static_cast<SiteId>(i + 1);
+    RoleIndex role = spec.RoleForSite(site, n);
+    const Automaton& automaton = spec.role(role);
+    for (size_t s = 0; s < automaton.num_states(); ++s) {
+      auto state = static_cast<StateIndex>(s);
+      if (!analysis.IsOccupied(site, state)) continue;
+      facts.occupied.emplace(role, state);
+      if (!analysis.IsCommittable(site, state)) {
+        facts.noncommittable.emplace(role, state);
+      }
+      for (const SiteState& other : analysis.ConcurrencySet(site, state)) {
+        AddPair(&facts, {role, state},
+                {spec.RoleForSite(other.first, n), other.second});
+      }
+    }
+  }
+  return facts;
+}
+
+std::string FactName(const ProtocolSpec& spec,
+                     std::pair<RoleIndex, StateIndex> p) {
+  return spec.role_name(p.first) + "." + spec.role(p.first).state(p.second).name;
+}
+
+/// Renders the abstract facts missing from `concrete` (the cutoff residue).
+std::vector<std::string> RenderResidue(const ProtocolSpec& spec,
+                                       const FactSet& abstract,
+                                       const FactSet& concrete, size_t cap) {
+  std::vector<std::string> out;
+  for (const auto& f : abstract.occupied) {
+    if (out.size() >= cap) return out;
+    if (concrete.occupied.count(f) == 0) {
+      out.push_back("occupied " + FactName(spec, f));
+    }
+  }
+  for (const auto& f : abstract.noncommittable) {
+    if (out.size() >= cap) return out;
+    if (concrete.noncommittable.count(f) == 0) {
+      out.push_back("noncommittable " + FactName(spec, f));
+    }
+  }
+  for (const auto& f : abstract.pairs) {
+    if (out.size() >= cap) return out;
+    if (concrete.pairs.count(f) == 0) {
+      out.push_back("co-occupied " + FactName(spec, f.first) + " / " +
+                    FactName(spec, f.second));
+    }
+  }
+  return out;
+}
+
+size_t CountResidue(const FactSet& abstract, const FactSet& concrete) {
+  size_t missing = 0;
+  for (const auto& f : abstract.occupied) {
+    missing += concrete.occupied.count(f) == 0 ? 1 : 0;
+  }
+  for (const auto& f : abstract.noncommittable) {
+    missing += concrete.noncommittable.count(f) == 0 ? 1 : 0;
+  }
+  for (const auto& f : abstract.pairs) {
+    missing += concrete.pairs.count(f) == 0 ? 1 : 0;
+  }
+  return missing;
+}
+
+/// Derives the abstract C1/C2 violations from the fact projection,
+/// mirroring CheckNonblocking's per-state checks and ordering (roles
+/// ascending — the coordinator first — then states, C1 before C2).
+std::vector<ParamViolation> AbstractViolations(const ProtocolSpec& spec,
+                                               const FactSet& facts) {
+  // Concurrency sets per occupied (role, state).
+  std::map<std::pair<RoleIndex, StateIndex>,
+           std::set<std::pair<RoleIndex, StateIndex>>>
+      cs;
+  for (const auto& p : facts.pairs) {
+    cs[p.first].insert(p.second);
+    cs[p.second].insert(p.first);
+  }
+
+  std::vector<ParamViolation> out;
+  for (size_t r = 0; r < spec.num_roles(); ++r) {
+    auto role = static_cast<RoleIndex>(r);
+    const Automaton& automaton = spec.role(role);
+    for (size_t s = 0; s < automaton.num_states(); ++s) {
+      auto state = static_cast<StateIndex>(s);
+      std::pair<RoleIndex, StateIndex> self{role, state};
+      if (facts.occupied.count(self) == 0) continue;
+      auto it = cs.find(self);
+      if (it == cs.end()) continue;
+      bool with_commit = false;
+      bool with_abort = false;
+      std::set<std::string> names;
+      for (const auto& other : it->second) {
+        StateKind kind = spec.role(other.first).state(other.second).kind;
+        if (kind == StateKind::kCommit) with_commit = true;
+        if (kind == StateKind::kAbort) with_abort = true;
+        names.insert(spec.role(other.first).state(other.second).name);
+      }
+      std::ostringstream rendered;
+      rendered << '{';
+      bool first = true;
+      for (const std::string& name : names) {
+        if (!first) rendered << ", ";
+        rendered << name;
+        first = false;
+      }
+      rendered << '}';
+
+      if (with_commit && with_abort) {
+        out.push_back(ParamViolation{
+            role, state, automaton.state(state).name,
+            ViolationKind::kAbortAndCommitInConcurrencySet, rendered.str(),
+            false, 0});
+      }
+      if (with_commit && facts.noncommittable.count(self) != 0) {
+        out.push_back(ParamViolation{
+            role, state, automaton.state(state).name,
+            ViolationKind::kCommitInConcurrencySetOfNoncommittable,
+            rendered.str(), false, 0});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ParamViolation::ToString(const ProtocolSpec& spec) const {
+  std::ostringstream out;
+  out << "role '" << spec.role_name(role) << "' state '" << state_name
+      << "': " << nbcp::ToString(kind) << " CS=" << concurrency_set;
+  if (concretized) {
+    out << " (concretized at n=" << concrete_n << ")";
+  } else {
+    out << " (abstract only: no concrete realization found)";
+  }
+  return out.str();
+}
+
+bool ParametricReport::HasConcretizedViolation() const {
+  for (const ParamViolation& v : violations) {
+    if (v.concretized) return true;
+  }
+  return false;
+}
+
+bool ParametricReport::Conclusive() const {
+  if (!applicable) return true;  // Definite: the fixed-n verdict stands.
+  if (!built || truncated || saturated) return false;
+  for (const ParamViolation& v : violations) {
+    if (!v.concretized) return false;
+  }
+  return true;
+}
+
+std::string ParametricReport::ToString(const ProtocolSpec& spec) const {
+  std::ostringstream out;
+  if (!applicable) {
+    out << "not applicable: " << not_applicable_reason << "\n";
+    out << "certificate: " << certificate << "\n";
+    return out.str();
+  }
+  out << "abstract nodes: " << abstract_nodes
+      << "  edges: " << abstract_edges << (truncated ? "  TRUNCATED" : "")
+      << (saturated ? "  SATURATED" : "") << "\n";
+  if (cutoff_n != 0) {
+    out << "cutoff: n=" << cutoff_n << " (all " << facts_total
+        << " abstract occupancy/committability facts realized concretely; "
+           "the n="
+        << cutoff_n << " verdict settles every n >= 2)\n";
+  } else {
+    out << "cutoff: none up to n=" << checked_max_n << " (" << residue_facts
+        << " of " << facts_total << " abstract facts unrealized)\n";
+    for (const std::string& fact : residue) {
+      out << "  abstract-only: " << fact << "\n";
+    }
+  }
+  if (violations.empty()) {
+    out << "abstract C1/C2: clean\n";
+  } else {
+    out << "abstract C1/C2: " << violations.size() << " violation(s)\n";
+    for (const ParamViolation& v : violations) {
+      out << "  " << v.ToString(spec) << "\n";
+    }
+  }
+  for (const ParamWitnessEntry& entry : witnesses) {
+    out << "witness (n=" << entry.n << "): " << entry.witness.violation
+        << " at '" << entry.witness.state_name << "', "
+        << entry.witness.steps.size() << " step(s)"
+        << (entry.schedule_jsonl.empty() ? "" : ", schedule-replayable")
+        << "\n";
+  }
+  out << "certificate: " << certificate << "\n";
+  return out.str();
+}
+
+std::string WitnessScheduleJsonl(const Witness& witness,
+                                 const std::string& protocol_name) {
+  std::vector<ScheduleChoice> schedule;
+  for (const WitnessStep& step : witness.steps) {
+    if (step.kind != WitnessStep::Kind::kFire) return "";
+    if (step.self_vote) return "";
+    for (const MsgInstance& m : step.consumed) {
+      // Self-addressed messages (kAllPeers includes the sender) are
+      // delivered immediately and locally by the runtime — they never
+      // become pending network events, so no schedule choice exists (or
+      // is needed) for them.
+      if (m.from == m.to) continue;
+      ScheduleChoice choice;
+      if (m.type == msg::kRequest) {
+        choice.kind = ScheduleChoice::Kind::kStart;
+        choice.site = step.site;
+      } else {
+        choice.kind = ScheduleChoice::Kind::kDeliver;
+        choice.site = m.to;
+        choice.from = m.from;
+        choice.msg_type = m.type;
+        // Identical pending messages are interchangeable and dup indices
+        // are recomputed per decision point, so the first copy always
+        // stands in for the consumed one.
+        choice.dup = 0;
+      }
+      schedule.push_back(std::move(choice));
+    }
+  }
+  std::vector<bool> votes(witness.num_sites, true);
+  if (!witness.steps.empty()) {
+    const GlobalState& last = witness.steps.back().after;
+    for (size_t i = 0; i < votes.size() && i < last.votes.size(); ++i) {
+      votes[i] = last.votes[i] != Vote::kNo;
+    }
+  }
+  return ScheduleToJsonLines(protocol_name, witness.num_sites, votes,
+                             schedule);
+}
+
+Result<ParametricReport> RunParametricAnalysis(const ProtocolSpec& spec,
+                                               const std::string& protocol_name,
+                                               const ParamOptions& options) {
+  ParametricReport report;
+
+  auto model = BuildParamModel(spec);
+  if (!model.ok()) {
+    report.applicable = false;
+    report.not_applicable_reason = model.status().message();
+    report.certificate =
+        "no all-n verdict (outside the parametric fragment); the fixed-n "
+        "verdict stands";
+    return report;
+  }
+  report.applicable = true;
+
+  AbstractGraphOptions graph_options;
+  graph_options.max_nodes = options.max_nodes;
+  auto graph = AbstractStateGraph::Build(spec, graph_options);
+  if (!graph.ok()) return graph.status();
+  report.built = true;
+  report.abstract_nodes = graph->num_nodes();
+  report.abstract_edges = graph->num_edges();
+  report.truncated = graph->truncated();
+  report.saturated = graph->saturated();
+
+  FactSet abstract_facts = AbstractFacts(*graph);
+  report.facts_total = abstract_facts.size();
+  report.violations = AbstractViolations(spec, abstract_facts);
+  report.nonblocking_all_n =
+      !report.truncated && !report.saturated && report.violations.empty();
+
+  // Concrete graphs per n, shared by the cutoff search and concretization.
+  std::map<size_t, ReachableStateGraph> concrete;
+  auto concrete_graph = [&](size_t n) -> ReachableStateGraph* {
+    auto it = concrete.find(n);
+    if (it != concrete.end()) return &it->second;
+    GraphOptions concrete_options;
+    concrete_options.max_nodes = options.concrete_max_nodes;
+    concrete_options.symmetry_reduction = true;
+    auto built = ReachableStateGraph::Build(spec, n, concrete_options);
+    if (!built.ok()) return nullptr;
+    return &concrete.emplace(n, std::move(*built)).first->second;
+  };
+
+  // Verdict-stability cutoff: smallest k whose concrete facts realize the
+  // abstract facts. Tracked residue is against the largest k analyzed.
+  size_t max_n = std::max<size_t>(options.cutoff_max_n, 2);
+  for (size_t k = 2; k <= max_n; ++k) {
+    ReachableStateGraph* g = concrete_graph(k);
+    if (g == nullptr || g->truncated()) break;
+    report.checked_max_n = k;
+    ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*g);
+    FactSet facts_k = ConcreteFacts(*g, analysis);
+    if (facts_k.Contains(abstract_facts)) {
+      report.cutoff_n = k;
+      break;
+    }
+    if (k == max_n) {
+      report.residue_facts = CountResidue(abstract_facts, facts_k);
+      report.residue = RenderResidue(spec, abstract_facts, facts_k, 8);
+    }
+  }
+
+  // Concretization: fold each abstract violation down to the smallest n
+  // whose concrete analysis exhibits it, and extract a replayable witness.
+  size_t min_concrete_n = 0;
+  for (ParamViolation& v : report.violations) {
+    for (size_t n = 2; n <= std::max<size_t>(options.concretize_max_n, 2);
+         ++n) {
+      ReachableStateGraph* g = concrete_graph(n);
+      if (g == nullptr || g->truncated()) break;
+      ConcurrencyAnalysis analysis = ConcurrencyAnalysis::Compute(*g);
+      NonblockingReport theorem = CheckNonblocking(analysis);
+      const Violation* match = nullptr;
+      for (const Violation& cv : theorem.violations) {
+        if (spec.RoleForSite(cv.site, n) == v.role && cv.state == v.state &&
+            cv.kind == v.kind) {
+          match = &cv;
+          break;
+        }
+      }
+      if (match == nullptr) continue;
+      v.concretized = true;
+      v.concrete_n = n;
+      if (min_concrete_n == 0 || n < min_concrete_n) min_concrete_n = n;
+      if (options.witnesses &&
+          report.witnesses.size() < options.max_witnesses) {
+        auto witness = ExtractViolationWitness(*g, *match);
+        if (witness.ok()) {
+          ParamWitnessEntry entry;
+          entry.witness = std::move(*witness);
+          entry.n = n;
+          entry.trace_jsonl =
+              WitnessTraceJsonl(spec, entry.witness, protocol_name);
+          entry.schedule_jsonl =
+              WitnessScheduleJsonl(entry.witness, protocol_name);
+          report.witnesses.push_back(std::move(entry));
+        }
+      }
+      break;
+    }
+  }
+
+  // The all-n certificate.
+  std::ostringstream cert;
+  if (report.truncated || report.saturated) {
+    cert << "inconclusive: abstract graph "
+         << (report.truncated ? "truncated" : "saturated");
+  } else if (report.violations.empty()) {
+    cert << "proven nonblocking for all n >= 2 (abstract C1/C2 clean)";
+    if (report.cutoff_n != 0) {
+      cert << "; verdict realized at cutoff n=" << report.cutoff_n;
+    }
+  } else if (report.HasConcretizedViolation()) {
+    cert << "blocking: " << report.violations.size()
+         << " abstract violation(s), concretized from n=" << min_concrete_n
+         << " up (refutes nonblocking for all n >= " << min_concrete_n << ")";
+  } else {
+    cert << "inconclusive: " << report.violations.size()
+         << " abstract violation(s) with no concrete realization at n <= "
+         << options.concretize_max_n << " (possibly spurious)";
+  }
+  report.certificate = cert.str();
+  return report;
+}
+
+}  // namespace nbcp

@@ -1,0 +1,116 @@
+#ifndef NBCP_ANALYSIS_PARAM_PARAMETRIC_H_
+#define NBCP_ANALYSIS_PARAM_PARAMETRIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/nonblocking.h"
+#include "analysis/param/abstract_graph.h"
+#include "analysis/witness.h"
+#include "common/result.h"
+#include "fsa/protocol_spec.h"
+
+namespace nbcp {
+
+/// Knobs for one parametric (all-n) verification run.
+struct ParamOptions {
+  size_t max_nodes = 200000;       ///< Abstract-graph node budget.
+  size_t cutoff_max_n = 6;         ///< Verdict-stability cutoff search bound.
+  size_t concretize_max_n = 6;     ///< Minimal-n witness search bound.
+  size_t concrete_max_nodes = 500000;  ///< Per-n concrete graph budget.
+  bool witnesses = true;           ///< Extract concrete witnesses.
+  size_t max_witnesses = 4;
+};
+
+/// One abstract C1/C2 violation, at role granularity (the abstraction does
+/// not name concrete sites). `concretized` records whether a concrete
+/// execution at some n <= concretize_max_n realizes it; abstract-only
+/// violations are possible in principle (the abstraction over-approximates)
+/// and make the all-n verdict inconclusive rather than failing.
+struct ParamViolation {
+  RoleIndex role = 0;
+  StateIndex state = kNoState;
+  std::string state_name;
+  ViolationKind kind = ViolationKind::kAbortAndCommitInConcurrencySet;
+  std::string concurrency_set;  ///< Rendered abstract CS, for reports.
+  bool concretized = false;
+  size_t concrete_n = 0;  ///< Minimal population realizing the violation.
+
+  std::string ToString(const ProtocolSpec& spec) const;
+};
+
+/// A concretized abstract violation: a minimal-n concrete execution in both
+/// pipeline formats — the nbcp-trace JSONL (checkable with
+/// `nbcp-trace check --strict`) and, when the path is failure-free and
+/// contains no spontaneous votes, an nbcp-explore schedule replayable with
+/// `nbcp-explore replay`.
+struct ParamWitnessEntry {
+  Witness witness;
+  std::string trace_jsonl;
+  std::string schedule_jsonl;  ///< Empty when not schedule-convertible.
+  size_t n = 0;                ///< Population of the concrete execution.
+};
+
+/// Everything the parametric stage concluded about one protocol.
+struct ParametricReport {
+  bool applicable = false;
+  std::string not_applicable_reason;
+
+  bool built = false;
+  size_t abstract_nodes = 0;
+  size_t abstract_edges = 0;
+  bool truncated = false;  ///< Abstract graph hit max_nodes.
+  bool saturated = false;  ///< An event counter overflowed (never expected).
+
+  /// Abstract C1/C2 hold: the protocol is nonblocking for every n >= 2.
+  bool nonblocking_all_n = false;
+  std::vector<ParamViolation> violations;
+  std::vector<ParamWitnessEntry> witnesses;
+
+  /// Verdict-stability cutoff: smallest k such that the concrete analysis
+  /// at n=k realizes every abstract occupancy/co-occupancy/committability
+  /// fact. Since the abstract facts contain the concrete facts of *every*
+  /// n (soundness), the verdict at k then settles all n. 0 = no cutoff
+  /// found up to cutoff_max_n (residue reported instead).
+  size_t cutoff_n = 0;
+  size_t checked_max_n = 0;   ///< Largest concrete n actually analyzed.
+  size_t facts_total = 0;     ///< Abstract facts the cutoff check covers.
+  size_t residue_facts = 0;   ///< Facts unrealized at checked_max_n.
+  std::vector<std::string> residue;  ///< Rendered residue facts (capped).
+
+  /// One-line all-n verdict, e.g. "proven nonblocking for all n >= 2".
+  std::string certificate;
+
+  bool HasConcretizedViolation() const;
+  /// The stage reached a definite all-n verdict: not applicable (fixed-n
+  /// verdict stands), proven nonblocking, or every abstract violation
+  /// concretized. False on truncation, saturation, or abstract-only
+  /// violations.
+  bool Conclusive() const;
+
+  /// Multi-line human-readable section body.
+  std::string ToString(const ProtocolSpec& spec) const;
+};
+
+/// Runs the parametric pipeline: counter-abstracted graph construction,
+/// abstract C1/C2 checking, verdict-stability cutoff search, and minimal-n
+/// concretization of every abstract violation. `protocol_name` labels the
+/// witness traces (use the registry name for replayable output). Fails
+/// only on infrastructure errors; inapplicable specs are reported, not
+/// thrown.
+Result<ParametricReport> RunParametricAnalysis(const ProtocolSpec& spec,
+                                               const std::string& protocol_name,
+                                               const ParamOptions& options = {});
+
+/// Converts a failure-free violation witness into an nbcp-explore schedule
+/// (meta line + one choice per consumed message, preset votes from the
+/// witness's final state). Returns "" when the witness is not
+/// schedule-convertible: crash steps (replay runs with max_crashes=0) or
+/// spontaneous self-vote firings (no schedule choice exists for them).
+std::string WitnessScheduleJsonl(const Witness& witness,
+                                 const std::string& protocol_name);
+
+}  // namespace nbcp
+
+#endif  // NBCP_ANALYSIS_PARAM_PARAMETRIC_H_

@@ -10,8 +10,13 @@ namespace nbcp {
 
 int VerificationReport::ExitCode() const {
   if (!theorem.violations.empty()) return 2;
+  if (parametric_ran && parametric.applicable &&
+      parametric.HasConcretizedViolation()) {
+    return 2;
+  }
   if (lint.HasErrors()) return 3;
   if (!conclusive()) return 4;
+  if (parametric_ran && !parametric.Conclusive()) return 4;
   return 0;
 }
 
@@ -70,20 +75,36 @@ std::string VerificationReport::Render(const ProtocolSpec& spec) const {
     }
   }
 
+  if (parametric_ran) {
+    out << "\n== parametric (all-n) ==\n" << parametric.ToString(spec);
+  }
+
   out << "\nverdict: ";
   switch (ExitCode()) {
     case 0:
-      out << "PASS (nonblocking)\n";
+      out << "PASS (nonblocking"
+          << (parametric_ran && parametric.nonblocking_all_n ? ", all n >= 2"
+                                                             : "")
+          << ")\n";
       break;
     case 2:
-      out << "FAIL (theorem violations: " << theorem.violations.size()
-          << ")\n";
+      if (theorem.violations.empty()) {
+        out << "FAIL (parametric violations: " << parametric.violations.size()
+            << ")\n";
+      } else {
+        out << "FAIL (theorem violations: " << theorem.violations.size()
+            << ")\n";
+      }
       break;
     case 3:
       out << "FAIL (lint errors: " << lint.NumErrors() << ")\n";
       break;
     default:
-      out << "INCONCLUSIVE (state graph truncated or unavailable)\n";
+      out << "INCONCLUSIVE (state graph truncated or unavailable"
+          << (parametric_ran && !parametric.Conclusive()
+                  ? ", or all-n verdict unsettled"
+                  : "")
+          << ")\n";
       break;
   }
   return out.str();
@@ -177,6 +198,16 @@ Result<VerificationReport> VerifyProtocol(const ProtocolSpec& spec,
     }
   }
 
+  if (options.parametric) {
+    ParamOptions param_options = options.param;
+    param_options.witnesses = options.witnesses;
+    auto parametric =
+        RunParametricAnalysis(spec, protocol_name, param_options);
+    if (!parametric.ok()) return parametric.status();
+    report.parametric = std::move(*parametric);
+    report.parametric_ran = true;
+  }
+
   return report;
 }
 
@@ -219,6 +250,52 @@ Json TheoremToJson(const NonblockingReport& theorem) {
     sites.Append(static_cast<uint64_t>(site));
   }
   j["satisfying_sites"] = std::move(sites);
+  return j;
+}
+
+Json ParametricToJson(const ParametricReport& parametric) {
+  Json j = Json::Object();
+  j["applicable"] = parametric.applicable;
+  if (!parametric.applicable) {
+    j["not_applicable_reason"] = parametric.not_applicable_reason;
+  }
+  j["built"] = parametric.built;
+  j["abstract_nodes"] = static_cast<uint64_t>(parametric.abstract_nodes);
+  j["abstract_edges"] = static_cast<uint64_t>(parametric.abstract_edges);
+  j["truncated"] = parametric.truncated;
+  j["saturated"] = parametric.saturated;
+  j["nonblocking_all_n"] = parametric.nonblocking_all_n;
+  j["conclusive"] = parametric.Conclusive();
+  j["cutoff_n"] = static_cast<uint64_t>(parametric.cutoff_n);
+  j["checked_max_n"] = static_cast<uint64_t>(parametric.checked_max_n);
+  j["facts_total"] = static_cast<uint64_t>(parametric.facts_total);
+  j["residue_facts"] = static_cast<uint64_t>(parametric.residue_facts);
+  j["certificate"] = parametric.certificate;
+  Json violations = Json::Array();
+  for (const ParamViolation& v : parametric.violations) {
+    Json item = Json::Object();
+    item["role"] = static_cast<int64_t>(v.role);
+    item["state"] = v.state_name;
+    item["condition"] =
+        v.kind == ViolationKind::kAbortAndCommitInConcurrencySet ? "C1" : "C2";
+    item["concurrency_set"] = v.concurrency_set;
+    item["concretized"] = v.concretized;
+    item["concrete_n"] = static_cast<uint64_t>(v.concrete_n);
+    violations.Append(std::move(item));
+  }
+  j["violations"] = std::move(violations);
+  Json witnesses = Json::Array();
+  for (const ParamWitnessEntry& entry : parametric.witnesses) {
+    Json item = Json::Object();
+    item["violation"] = entry.witness.violation;
+    item["state"] = entry.witness.state_name;
+    item["n"] = static_cast<uint64_t>(entry.n);
+    item["steps"] = static_cast<uint64_t>(entry.witness.steps.size());
+    item["has_trace"] = !entry.trace_jsonl.empty();
+    item["has_schedule"] = !entry.schedule_jsonl.empty();
+    witnesses.Append(std::move(item));
+  }
+  j["witnesses"] = std::move(witnesses);
   return j;
 }
 
@@ -276,6 +353,10 @@ Json VerificationReportToJson(const VerificationReport& report) {
     witnesses.Append(std::move(item));
   }
   j["witnesses"] = std::move(witnesses);
+
+  if (report.parametric_ran) {
+    j["parametric"] = ParametricToJson(report.parametric);
+  }
 
   return j;
 }

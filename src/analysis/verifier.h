@@ -7,6 +7,7 @@
 
 #include "analysis/lint.h"
 #include "analysis/nonblocking.h"
+#include "analysis/param/parametric.h"
 #include "analysis/resiliency.h"
 #include "analysis/witness.h"
 #include "common/result.h"
@@ -33,6 +34,10 @@ struct VerifyOptions {
   /// Extract concrete execution witnesses for violations and blocking.
   bool witnesses = true;
   size_t max_witnesses = 4;  ///< Cap on theorem-violation witnesses.
+  /// Run the parametric (all-n) stage: counter-abstracted verification
+  /// whose verdict covers every site population at once.
+  bool parametric = false;
+  ParamOptions param;
 };
 
 /// One extracted witness plus its replayable trace.
@@ -72,6 +77,9 @@ struct VerificationReport {
 
   std::vector<WitnessEntry> witnesses;
 
+  bool parametric_ran = false;  ///< The all-n stage was requested and ran.
+  ParametricReport parametric;
+
   /// True when every verdict covers the full reachable set (no truncation
   /// and the graph was built).
   bool conclusive() const {
@@ -81,9 +89,12 @@ struct VerificationReport {
 
   /// CI exit code:
   ///   0  nonblocking, no lint errors, conclusive
-  ///   2  theorem violations (C1/C2) — takes precedence
+  ///   2  theorem violations (C1/C2) at the analyzed n, or a concretized
+  ///      parametric violation (blocking proven for some population) —
+  ///      takes precedence
   ///   3  lint errors (spec defects) without theorem violations
-  ///   4  inconclusive: graph missing or truncated, nothing provably wrong
+  ///   4  inconclusive: graph missing or truncated, or the parametric
+  ///      stage could not settle the all-n verdict
   int ExitCode() const;
 
   /// Multi-line human-readable rendering (witness step listings included).

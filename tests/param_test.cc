@@ -1,0 +1,267 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/buffer_synthesis.h"
+#include "analysis/param/abstract_domain.h"
+#include "analysis/param/abstract_graph.h"
+#include "analysis/param/parametric.h"
+#include "analysis/verifier.h"
+#include "explore/explorer.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model / fragment boundaries.
+
+TEST(ParamModelTest, LinearParadigmIsExempt) {
+  auto spec = MakeProtocol("L2PC-linear");
+  ASSERT_TRUE(spec.ok());
+  auto model = BuildParamModel(*spec);
+  EXPECT_FALSE(model.ok());
+  EXPECT_NE(model.status().ToString().find("linear"), std::string::npos);
+
+  // The parametric stage reports inapplicability instead of failing, and
+  // the fixed-n verdict stands: Conclusive() is true with no verdict.
+  auto report = RunParametricAnalysis(*spec, "L2PC-linear");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->applicable);
+  EXPECT_FALSE(report->nonblocking_all_n);
+  EXPECT_TRUE(report->Conclusive());
+  EXPECT_NE(report->not_applicable_reason.find("linear"), std::string::npos);
+}
+
+TEST(ParamModelTest, CentralAndDecentralizedShapes) {
+  auto central = MakeProtocol("2PC-central");
+  ASSERT_TRUE(central.ok());
+  auto central_model = BuildParamModel(*central);
+  ASSERT_TRUE(central_model.ok());
+  EXPECT_TRUE(central_model->has_fixed);
+
+  auto dec = MakeProtocol("2PC-decentralized");
+  ASSERT_TRUE(dec.ok());
+  auto dec_model = BuildParamModel(*dec);
+  ASSERT_TRUE(dec_model.ok());
+  EXPECT_FALSE(dec_model->has_fixed);
+}
+
+// ---------------------------------------------------------------------------
+// Soundness: the abstract reachable set contains the projection of every
+// concrete reachable state, for every population the tests can afford.
+
+TEST(ParamGraphTest, AbstractContainsConcreteImage) {
+  for (const char* name :
+       {"1PC-central", "2PC-central", "2PC-decentralized", "3PC-central",
+        "3PC-decentralized", "Q3PC-central"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    auto graph = AbstractStateGraph::Build(*spec);
+    ASSERT_TRUE(graph.ok()) << name << ": " << graph.status().ToString();
+    EXPECT_FALSE(graph->truncated()) << name;
+    EXPECT_FALSE(graph->saturated()) << name;
+    for (size_t n = 2; n <= 4; ++n) {
+      auto image = InstrumentedAbstractImage(graph->model(), n);
+      ASSERT_TRUE(image.ok()) << name << " n=" << n;
+      ASSERT_FALSE(image->truncated) << name << " n=" << n;
+      for (const std::string& key : image->keys) {
+        ASSERT_TRUE(graph->HasNode(key))
+            << name << " n=" << n << ": concrete projection escapes the "
+            << "abstract reachable set (unsound): " << key;
+      }
+    }
+  }
+}
+
+// A central class of one member (n=2) must be covered by the initial
+// count-1 branch: some reachable abstract state has a lone class entry
+// with multiplicity exactly 1.
+TEST(ParamGraphTest, SingleMemberClassIsReachable) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto graph = AbstractStateGraph::Build(*spec);
+  ASSERT_TRUE(graph.ok());
+  bool has_singleton = false;
+  for (size_t i = 0; i < graph->num_nodes(); ++i) {
+    const AbstractState& node = graph->node(i);
+    if (node.cls.size() == 1 && node.cls[0].count == 1) {
+      has_singleton = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_singleton);
+}
+
+// ---------------------------------------------------------------------------
+// All-n verdicts on the builtin suite.
+
+TEST(ParametricTest, NonblockingFamilyProvenForAllN) {
+  for (const char* name : {"3PC-central", "3PC-decentralized"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    auto report = RunParametricAnalysis(*spec, name);
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_TRUE(report->applicable) << name;
+    EXPECT_TRUE(report->nonblocking_all_n) << name;
+    EXPECT_TRUE(report->violations.empty()) << name;
+    EXPECT_TRUE(report->Conclusive()) << name;
+    EXPECT_GT(report->cutoff_n, 0u) << name;
+    EXPECT_EQ(report->residue_facts, 0u) << name;
+    EXPECT_NE(report->certificate.find("all n >= 2"), std::string::npos)
+        << name;
+  }
+}
+
+TEST(ParametricTest, SynthesizedTwoPcProvenForAllN) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto fixed = SynthesizeNonblocking(*spec, 3);
+  ASSERT_TRUE(fixed.ok());
+  auto report = RunParametricAnalysis(*fixed, "2PC-central-synthesized");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->nonblocking_all_n);
+  EXPECT_GT(report->cutoff_n, 0u);
+}
+
+TEST(ParametricTest, BlockingFamilyConcretizesAtMinimalN) {
+  for (const char* name : {"1PC-central", "2PC-central", "2PC-decentralized"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    auto report = RunParametricAnalysis(*spec, name);
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_TRUE(report->applicable) << name;
+    EXPECT_FALSE(report->nonblocking_all_n) << name;
+    ASSERT_FALSE(report->violations.empty()) << name;
+    EXPECT_TRUE(report->HasConcretizedViolation()) << name;
+    EXPECT_TRUE(report->Conclusive()) << name;
+    for (const ParamViolation& v : report->violations) {
+      EXPECT_TRUE(v.concretized) << name << " " << v.state_name;
+      EXPECT_EQ(v.concrete_n, 2u) << name << " " << v.state_name;
+    }
+    ASSERT_FALSE(report->witnesses.empty()) << name;
+  }
+}
+
+// Q3PC's lint defects do not leak into the parametric stage: the abstract
+// C1/C2 check is clean (the overall exit-3 verdict comes from lint).
+TEST(ParametricTest, QuorumAbstractClean) {
+  auto spec = MakeProtocol("Q3PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto report = RunParametricAnalysis(*spec, "Q3PC-central");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->applicable);
+  EXPECT_TRUE(report->nonblocking_all_n);
+  EXPECT_TRUE(report->violations.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Witness round-trip: every concretized witness replays cleanly through the
+// exploration engine and carries a non-empty nbcp-trace document.
+
+TEST(ParametricTest, WitnessSchedulesReplayClean) {
+  for (const char* name : {"1PC-central", "2PC-central", "2PC-decentralized"}) {
+    auto spec = MakeProtocol(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    auto report = RunParametricAnalysis(*spec, name);
+    ASSERT_TRUE(report.ok()) << name;
+    ASSERT_FALSE(report->witnesses.empty()) << name;
+    for (const ParamWitnessEntry& entry : report->witnesses) {
+      EXPECT_FALSE(entry.trace_jsonl.empty()) << name;
+      ASSERT_FALSE(entry.schedule_jsonl.empty()) << name;
+      auto parsed = ParseScheduleJsonLines(entry.schedule_jsonl);
+      ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().ToString();
+      EXPECT_EQ(parsed->num_sites, entry.n) << name;
+      ExploreOptions options;
+      options.num_sites = parsed->num_sites;
+      auto replay = ReplaySchedule(*spec, options, parsed->votes,
+                                   parsed->choices);
+      ASSERT_TRUE(replay.ok()) << name << ": " << replay.status().ToString();
+      EXPECT_EQ(replay->ExitCode(), 0)
+          << name << ": concretized witness schedule must replay cleanly";
+    }
+  }
+}
+
+TEST(ParametricTest, CrashAndSelfVoteWitnessesAreNotSchedules) {
+  Witness crash;
+  crash.violation = "blocking";
+  crash.num_sites = 3;
+  WitnessStep step;
+  step.kind = WitnessStep::Kind::kCrash;
+  step.site = 1;
+  crash.steps.push_back(step);
+  EXPECT_TRUE(WitnessScheduleJsonl(crash, "2PC-central").empty());
+
+  Witness vote;
+  vote.violation = "C1";
+  vote.num_sites = 3;
+  WitnessStep fire;
+  fire.kind = WitnessStep::Kind::kFire;
+  fire.site = 2;
+  fire.self_vote = true;
+  vote.steps.push_back(fire);
+  EXPECT_TRUE(WitnessScheduleJsonl(vote, "2PC-central").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Verifier integration: exit codes and report plumbing.
+
+TEST(ParametricVerifierTest, TwoPcExitTwoWithAllNRefutation) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  VerifyOptions options;
+  options.parametric = true;
+  auto report = VerifyProtocol(*spec, "2PC-central", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->parametric_ran);
+  EXPECT_TRUE(report->parametric.HasConcretizedViolation());
+  EXPECT_EQ(report->ExitCode(), 2);
+  Json json = VerificationReportToJson(*report);
+  EXPECT_NE(json.Dump().find("\"parametric\""), std::string::npos);
+  EXPECT_NE(json.Dump().find("refutes nonblocking"), std::string::npos);
+}
+
+TEST(ParametricVerifierTest, QuorumKeepsLintExitThree) {
+  auto spec = MakeProtocol("Q3PC-central");
+  ASSERT_TRUE(spec.ok());
+  VerifyOptions options;
+  options.parametric = true;
+  auto report = VerifyProtocol(*spec, "Q3PC-central", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->parametric_ran);
+  EXPECT_EQ(report->ExitCode(), 3);
+}
+
+TEST(ParametricVerifierTest, LinearKeepsFixedNVerdict) {
+  auto spec = MakeProtocol("L2PC-linear");
+  ASSERT_TRUE(spec.ok());
+  VerifyOptions options;
+  options.parametric = true;
+  auto report = VerifyProtocol(*spec, "L2PC-linear", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->parametric_ran);
+  EXPECT_FALSE(report->parametric.applicable);
+  // L2PC has theorem violations at the analyzed n; the inapplicable
+  // parametric stage neither masks nor upgrades them.
+  EXPECT_EQ(report->ExitCode(), 2);
+}
+
+TEST(ParametricVerifierTest, ThreePcPassesWithCertificate) {
+  auto spec = MakeProtocol("3PC-central");
+  ASSERT_TRUE(spec.ok());
+  VerifyOptions options;
+  options.parametric = true;
+  auto report = VerifyProtocol(*spec, "3PC-central", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ExitCode(), 0);
+  EXPECT_TRUE(report->parametric.nonblocking_all_n);
+  std::string rendered = report->Render(*spec);
+  EXPECT_NE(rendered.find("== parametric (all-n) =="), std::string::npos);
+  EXPECT_NE(rendered.find("PASS (nonblocking, all n >= 2)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbcp

@@ -1,0 +1,98 @@
+#ifndef NBCP_TOOLS_CLI_COMMON_H_
+#define NBCP_TOOLS_CLI_COMMON_H_
+
+// Helpers shared by the nbcp-* command-line tools (argument parsing, spec
+// loading, report labeling). Header-only: every tool is a single
+// translation unit and the helpers are small.
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/result.h"
+#include "explore/mutate.h"
+#include "fsa/protocol_spec.h"
+#include "fsa/spec_parser.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace cli {
+
+/// Prints `error: <message>` on stderr and returns the usage exit code.
+inline int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+/// Strict unsigned parser: rejects empty strings, signs, trailing garbage
+/// and overflow. std::stoul would accept "5x" and throw (uncaught) on
+/// "abc" — command-line input must never terminate a tool that way.
+inline bool ParseUint(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// ParseUint narrowed to size_t (option values that size data structures).
+inline bool ParseSize(const char* text, size_t* out) {
+  uint64_t value = 0;
+  if (!ParseUint(text, &value)) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+/// Loads a protocol: builtin names take precedence; anything else is read
+/// as a spec file in the fsa/spec_parser.h text format.
+inline Result<ProtocolSpec> LoadSpec(const std::string& name_or_path) {
+  auto builtin = MakeProtocol(name_or_path);
+  if (builtin.ok()) return builtin;
+  std::ifstream in(name_or_path);
+  if (!in) {
+    return Status::NotFound("'" + name_or_path +
+                            "' is neither a builtin protocol nor a readable "
+                            "spec file");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseProtocolSpec(text.str());
+}
+
+/// Label for reports + witness file names: the registry name when the
+/// target is a builtin, else the spec's own name with a fallback.
+inline std::string ProtocolLabel(const std::string& name_or_path,
+                                 const ProtocolSpec& spec) {
+  if (MakeProtocol(name_or_path).ok()) return name_or_path;
+  return spec.name().empty() ? "spec" : spec.name();
+}
+
+/// Resolves a registry-style protocol name that may carry a mutation
+/// suffix ("<base>+<mutation>", the form nbcp-explore writes into witness
+/// metadata) back into the spec that produced it.
+inline Result<ProtocolSpec> ResolveProtocolName(const std::string& name) {
+  std::string base = name;
+  std::string mutation;
+  size_t plus = base.find('+');
+  if (plus != std::string::npos) {
+    mutation = base.substr(plus + 1);
+    base = base.substr(0, plus);
+  }
+  auto spec = MakeProtocol(base);
+  if (!spec.ok()) return spec.status();
+  if (mutation.empty()) return spec;
+  return MutateSpec(*spec, mutation);
+}
+
+}  // namespace cli
+}  // namespace nbcp
+
+#endif  // NBCP_TOOLS_CLI_COMMON_H_

@@ -27,38 +27,14 @@
 #include "fsa/spec_parser.h"
 #include "protocols/protocols.h"
 #include "protocols/registry.h"
+#include "cli_common.h"
 
 using namespace nbcp;
+using cli::Fail;
+using cli::LoadSpec;
+using cli::ParseUint;
 
 namespace {
-
-int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
-}
-
-/// Strict unsigned parser: rejects empty strings, signs, trailing garbage
-/// and overflow. std::stoul would accept "5x" and throw (uncaught) on
-/// "abc" — command-line input must never terminate the tool that way.
-bool ParseUint(const char* text, uint64_t* out) {
-  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long value = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') return false;
-  *out = value;
-  return true;
-}
-
-Result<ProtocolSpec> LoadSpec(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  std::ostringstream text;
-  text << in.rdbuf();
-  return ParseProtocolSpec(text.str());
-}
 
 int Check(const ProtocolSpec& spec, size_t n) {
   std::printf("protocol: %s (%s, %d phases, %zu sites analyzed)\n",

@@ -52,8 +52,13 @@
 #include "fsa/spec_parser.h"
 #include "obs/export.h"
 #include "protocols/registry.h"
+#include "cli_common.h"
 
 using namespace nbcp;
+using cli::Fail;
+using cli::LoadSpec;
+using cli::ParseSize;
+using cli::ProtocolLabel;
 
 namespace {
 
@@ -70,25 +75,6 @@ int Usage() {
   return 1;
 }
 
-int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
-}
-
-/// Strict size_t parser: rejects empty strings, signs, trailing garbage
-/// and overflow.
-bool ParseSize(const char* text, size_t* out) {
-  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long value = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') return false;
-  *out = static_cast<size_t>(value);
-  return true;
-}
-
 /// "yn", "10", "YN" -> {true, false}.
 bool ParseVotes(const std::string& text, std::vector<bool>* out) {
   out->clear();
@@ -102,26 +88,6 @@ bool ParseVotes(const std::string& text, std::vector<bool>* out) {
     }
   }
   return !out->empty();
-}
-
-Result<ProtocolSpec> LoadSpec(const std::string& name_or_path) {
-  auto builtin = MakeProtocol(name_or_path);
-  if (builtin.ok()) return builtin;
-  std::ifstream in(name_or_path);
-  if (!in) {
-    return Status::NotFound("'" + name_or_path +
-                            "' is neither a builtin protocol nor a readable "
-                            "spec file");
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return ParseProtocolSpec(text.str());
-}
-
-std::string ProtocolLabel(const std::string& name_or_path,
-                          const ProtocolSpec& spec) {
-  if (MakeProtocol(name_or_path).ok()) return name_or_path;
-  return spec.name().empty() ? "spec" : spec.name();
 }
 
 /// Writes each witness as a schedule file + trace file pair; appends the

@@ -55,6 +55,7 @@
 #include "obs/span.h"
 #include "protocols/registry.h"
 #include "trace/trace.h"
+#include "cli_common.h"
 
 using namespace nbcp;
 
@@ -325,30 +326,12 @@ std::optional<ProtocolSpec> SpecFromMeta(const ImportedTrace& trace) {
                  "cannot replay\n");
     return std::nullopt;
   }
-  std::string base = trace.meta.protocol;
-  std::string mutation;
-  size_t plus = base.find('+');
-  if (plus != std::string::npos) {
-    mutation = base.substr(plus + 1);
-    base = base.substr(0, plus);
-  }
-  auto spec = MakeProtocol(base);
+  auto spec = cli::ResolveProtocolName(trace.meta.protocol);
   if (!spec.ok()) {
-    std::fprintf(stderr,
-                 "error: protocol '%s' is not in the registry: %s\n",
+    std::fprintf(stderr, "error: cannot rebuild protocol '%s': %s\n",
                  trace.meta.protocol.c_str(),
                  spec.status().ToString().c_str());
     return std::nullopt;
-  }
-  if (!mutation.empty()) {
-    auto mutated = MutateSpec(*spec, mutation);
-    if (!mutated.ok()) {
-      std::fprintf(stderr, "error: cannot rebuild mutant '%s': %s\n",
-                   trace.meta.protocol.c_str(),
-                   mutated.status().ToString().c_str());
-      return std::nullopt;
-    }
-    spec = std::move(*mutated);
   }
   return std::move(*spec);
 }
@@ -615,7 +598,12 @@ int CmdCriticalPath(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--txn" && i + 1 < argc) {
-      txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+      uint64_t parsed = 0;
+      if (!cli::ParseUint(argv[++i], &parsed)) {
+        std::fprintf(stderr, "error: --txn requires an unsigned integer\n");
+        return 2;
+      }
+      txn = static_cast<TransactionId>(parsed);
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--chrome" && i + 1 < argc) {
@@ -687,7 +675,12 @@ int CmdCausal(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--txn" && i + 1 < argc) {
-      txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+      uint64_t parsed = 0;
+      if (!cli::ParseUint(argv[++i], &parsed)) {
+        std::fprintf(stderr, "error: --txn requires an unsigned integer\n");
+        return 2;
+      }
+      txn = static_cast<TransactionId>(parsed);
     } else if (arg == "--json") {
       json = true;
     } else if (path.empty()) {
@@ -765,7 +758,12 @@ int CmdBlocking(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--txn" && i + 1 < argc) {
-      txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+      uint64_t parsed = 0;
+      if (!cli::ParseUint(argv[++i], &parsed)) {
+        std::fprintf(stderr, "error: --txn requires an unsigned integer\n");
+        return 2;
+      }
+      txn = static_cast<TransactionId>(parsed);
     } else if (arg == "--json") {
       json = true;
     } else if (path.empty()) {
@@ -942,7 +940,12 @@ int CmdOverview(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--txn" && i + 1 < argc) {
-      opt.txn = static_cast<TransactionId>(std::stoull(argv[++i]));
+      uint64_t parsed = 0;
+      if (!cli::ParseUint(argv[++i], &parsed)) {
+        std::fprintf(stderr, "error: --txn requires an unsigned integer\n");
+        return 2;
+      }
+      opt.txn = static_cast<TransactionId>(parsed);
     } else if (arg == "--timeline") {
       opt.timeline = true;
     } else if (arg == "--chrome" && i + 1 < argc) {

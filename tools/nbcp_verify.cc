@@ -17,16 +17,26 @@
 //   --compare-unreduced  also build the unreduced graph (reports factor)
 //   --no-failure-graph   skip failure-graph / blocking analysis
 //   --no-witnesses       skip witness extraction
+//   --parametric         also run the counter-abstracted all-n stage:
+//                        abstract C1/C2 over every site population at once,
+//                        verdict-stability cutoff detection, and minimal-n
+//                        concretization of abstract violations (traces plus
+//                        replayable nbcp-explore schedules)
+//   --param-max-n <N>    cutoff/concretization search bound (default 6)
 //   --synthesized        verify SynthesizeNonblocking(spec) instead
 //   --json               machine-readable report on stdout
 //   --witness-dir <dir>  write witness traces as <dir>/<name>-witness-K.jsonl
+//                        (parametric witnesses as
+//                        <name>-param-witness-K.{trace,schedule}.jsonl)
 //
 // Exit codes (CI contract):
 //   0  protocol passes: nonblocking, no lint errors, conclusive graphs
 //   1  usage or infrastructure error
-//   2  Fundamental Nonblocking Theorem violations (C1/C2)
+//   2  Fundamental Nonblocking Theorem violations (C1/C2), or a
+//      parametric violation concretized to a witness execution
 //   3  lint errors (defective spec) without theorem violations
-//   4  inconclusive: state graph truncated or unavailable
+//   4  inconclusive: state graph truncated or unavailable, or the
+//      parametric stage could not settle the all-n verdict
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,11 +47,15 @@
 
 #include "analysis/buffer_synthesis.h"
 #include "analysis/verifier.h"
-#include "fsa/spec_parser.h"
 #include "obs/export.h"
 #include "protocols/registry.h"
+#include "cli_common.h"
 
 using namespace nbcp;
+using cli::Fail;
+using cli::LoadSpec;
+using cli::ParseSize;
+using cli::ProtocolLabel;
 
 namespace {
 
@@ -51,51 +65,10 @@ int Usage() {
       "usage: nbcp-verify <builtin-name|file.nbcp> [-n N] [--max-nodes N]\n"
       "                   [--no-reduction] [--compare-unreduced]\n"
       "                   [--no-failure-graph] [--no-witnesses]\n"
+      "                   [--parametric] [--param-max-n N]\n"
       "                   [--synthesized] [--json] [--witness-dir DIR]\n"
       "       nbcp-verify list\n");
   return 1;
-}
-
-int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
-}
-
-/// Strict size_t parser: rejects empty strings, signs, trailing garbage
-/// and overflow (std::stoul would accept "12abc" and throw on "abc").
-bool ParseSize(const char* text, size_t* out) {
-  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long value = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') return false;
-  *out = static_cast<size_t>(value);
-  return true;
-}
-
-Result<ProtocolSpec> LoadSpec(const std::string& name_or_path) {
-  // Builtin names take precedence; anything else is a spec file.
-  auto builtin = MakeProtocol(name_or_path);
-  if (builtin.ok()) return builtin;
-  std::ifstream in(name_or_path);
-  if (!in) {
-    return Status::NotFound("'" + name_or_path +
-                            "' is neither a builtin protocol nor a readable "
-                            "spec file");
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return ParseProtocolSpec(text.str());
-}
-
-/// Label for report + witness file names: the spec name with path
-/// separators stripped.
-std::string ProtocolLabel(const std::string& name_or_path,
-                          const ProtocolSpec& spec) {
-  if (MakeProtocol(name_or_path).ok()) return name_or_path;
-  return spec.name().empty() ? "spec" : spec.name();
 }
 
 }  // namespace
@@ -135,6 +108,15 @@ int main(int argc, char** argv) {
       options.with_failure_graph = false;
     } else if (arg == "--no-witnesses") {
       options.witnesses = false;
+    } else if (arg == "--parametric") {
+      options.parametric = true;
+    } else if (arg == "--param-max-n") {
+      size_t max_n = 0;
+      if (++i >= argc || !ParseSize(argv[i], &max_n) || max_n < 2) {
+        return Fail("--param-max-n requires an integer >= 2");
+      }
+      options.param.cutoff_max_n = max_n;
+      options.param.concretize_max_n = max_n;
     } else if (arg == "--synthesized") {
       synthesized = true;
     } else if (arg == "--json") {
@@ -173,6 +155,23 @@ int main(int argc, char** argv) {
       Status written = WriteFile(path, entry.trace_jsonl);
       if (!written.ok()) return Fail(written.ToString());
       witness_files.push_back(path);
+    }
+    index = 0;
+    for (const ParamWitnessEntry& entry : report->parametric.witnesses) {
+      std::string base = witness_dir + "/" + label + "-param-witness-" +
+                         std::to_string(index++);
+      if (!entry.trace_jsonl.empty()) {
+        std::string path = base + ".trace.jsonl";
+        Status written = WriteFile(path, entry.trace_jsonl);
+        if (!written.ok()) return Fail(written.ToString());
+        witness_files.push_back(path);
+      }
+      if (!entry.schedule_jsonl.empty()) {
+        std::string path = base + ".schedule.jsonl";
+        Status written = WriteFile(path, entry.schedule_jsonl);
+        if (!written.ok()) return Fail(written.ToString());
+        witness_files.push_back(path);
+      }
     }
   }
 
