@@ -44,6 +44,14 @@ HEADLINES = {
     "exhaustive": (("protocol", "n"), {"schedules": "lower",
                                        "graph_nodes": "lower"}),
     "dpor": (("protocol", "n"), {"dpor_schedules": "lower"}),
+    # Race analysis: pair counts are structural too. pairs_examined is
+    # gated "higher" — shrinkage means the analyzer silently lost coverage
+    # (a filter got too eager); racy_pairs "lower" — growth means a spec
+    # or engine change introduced an outcome-changing race; executions
+    # "lower" bounds the classification cost.
+    "race": (("protocol", "mode"),
+             {"pairs_examined": "higher", "racy_pairs": "lower",
+              "executions": "lower"}),
 }
 
 SKIP_FILES = ("BENCH_RESULTS.json", "BENCH_summary.json")

@@ -214,6 +214,39 @@ Result<RunResult> ExecuteOne(const ProtocolSpec& impl,
     }
 
     if (opts.empty()) {
+      // Externally recorded schedules (race witnesses) may deliver to a
+      // site that has since decided — hidden by the failure-free option
+      // filter but still pending. Honor such a prefix delivery before
+      // draining: duplicate indices are assigned in network-seq order
+      // among same-(site, from, type) pendings, matching the canonical
+      // assignment because settling a receiver hides its whole group at
+      // once.
+      if (depth < prefix.size() &&
+          prefix[depth].choice.kind == ScheduleChoice::Kind::kDeliver) {
+        const ScheduleChoice& want = prefix[depth].choice;
+        std::vector<std::pair<uint64_t, EventId>> group;
+        for (const PendingEvent& pe : sim.Pending()) {
+          if (pe.label.txn != txn || pe.label.cls != EventClass::kDelivery ||
+              pe.label.site != want.site || pe.label.from != want.from ||
+              pe.label.msg_type != want.msg_type) {
+            continue;
+          }
+          group.emplace_back(pe.label.seq, pe.id);
+        }
+        std::sort(group.begin(), group.end());
+        if (want.dup < group.size()) {
+          running_sleep = InheritSleep(prefix[depth].slept, want);
+          sim.FireEvent(group[want.dup].second);
+          ++rr.events;
+          rr.executed.push_back(want);
+          ++depth;
+          if (depth > opt.max_depth) {
+            rr.depth_bound = true;
+            break;
+          }
+          continue;
+        }
+      }
       // Only timers / bookkeeping left: fire them in default (time, seq)
       // order until new choices appear or the run is over.
       if (sim.PendingEvents() == 0) break;
@@ -225,15 +258,43 @@ Result<RunResult> ExecuteOne(const ProtocolSpec& impl,
       ++rr.events;
       continue;
     }
-    if (crashes_used == 0 && all_decided()) break;
+    if (crashes_used == 0 && depth >= prefix.size() && all_decided()) break;
 
     const Opt* picked = nullptr;
+    Opt forced;  // Backing store when the prefix forces a hidden delivery.
     if (depth < prefix.size()) {
-      const std::string want = prefix[depth].choice.Key();
+      const ScheduleChoice& want_choice = prefix[depth].choice;
+      const std::string want = want_choice.Key();
       for (const Opt& o : opts) {
         if (o.c.Key() == want) {
           picked = &o;
           break;
+        }
+      }
+      if (picked == nullptr &&
+          want_choice.kind == ScheduleChoice::Kind::kDeliver) {
+        // Externally recorded schedules (race witnesses) may deliver to a
+        // site that has since decided — hidden by the failure-free option
+        // filter above but still pending. Honor it: duplicate indices are
+        // assigned in network-seq order among same-(site, from, type)
+        // pendings, matching the canonical assignment because settling a
+        // receiver hides its whole group at once.
+        std::vector<std::pair<uint64_t, EventId>> group;
+        for (const PendingEvent& pe : sim.Pending()) {
+          if (pe.label.txn != txn || pe.label.cls != EventClass::kDelivery ||
+              pe.label.site != want_choice.site ||
+              pe.label.from != want_choice.from ||
+              pe.label.msg_type != want_choice.msg_type) {
+            continue;
+          }
+          group.emplace_back(pe.label.seq, pe.id);
+        }
+        std::sort(group.begin(), group.end());
+        if (want_choice.dup < group.size()) {
+          forced.c = want_choice;
+          forced.id = group[want_choice.dup].second;
+          forced.seq = group[want_choice.dup].first;
+          picked = &forced;
         }
       }
       if (picked == nullptr) {

@@ -1,0 +1,733 @@
+#include "explore/race.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "common/causal_clock.h"
+#include "core/transaction_manager.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace nbcp {
+
+namespace {
+
+/// One decision frame of a scouting execution: the canonical option list
+/// plus, for every delivery option, its *send*-side causal stamp (from the
+/// matching kMessageSent trace event) and whether the receiver had already
+/// decided or crashed — a delivery to such a site is a discarded no-op.
+struct RaceFrame {
+  size_t depth = 0;
+  std::vector<ScheduleChoice> options;
+  std::vector<ClockStamp> stamps;          ///< Parallel; empty = no stamp.
+  std::vector<bool> receiver_settled;      ///< Parallel to options.
+};
+
+/// Everything one race execution produced.
+struct RaceRun {
+  std::vector<ScheduleChoice> executed;
+  std::vector<RaceFrame> frames;           ///< Scouting runs only.
+  std::vector<Outcome> final_outcomes;     ///< Index 0 = site 1.
+  std::vector<std::string> final_states;
+  std::string window_state;                ///< Receiver state after the pair.
+  std::vector<std::string> window_sends;   ///< Sorted "type->to" emissions.
+  bool window_captured = false;
+  bool depth_bound = false;
+  bool step_bound = false;
+  size_t events = 0;
+  std::string trace_jsonl;
+};
+
+constexpr size_t kNoWindow = SIZE_MAX;
+
+/// Executes one schedule of `spec`: replays `prefix` (deliveries, starts
+/// and injected crashes), then continues deterministically by always firing
+/// the first canonical option — except that options targeting `starve` are
+/// deferred while any other option exists, so pending deliveries accumulate
+/// at the starved site (that is where concurrent pairs form; the default
+/// order would drain each message as it arrives). Scouting runs record a
+/// RaceFrame at every decision point past the prefix. With a window, the
+/// two choices at depths `window_start` and `window_start + 1` are treated
+/// as the racing pair: messages emitted while they fire are collected and
+/// `window_site`'s FSA state is sampled right after the second one.
+///
+/// Option identity matches the explorer's ExecuteOne: same gathering,
+/// sorting and duplicate indexing — so every recorded schedule replays
+/// through `nbcp-explore replay`. In failure-free mode (crash_mode off)
+/// deliveries to decided sites are not choices; a *prefix* delivery is
+/// still honored there by scanning the unfiltered pending set (the second
+/// element of a racing pair may find its receiver decided by the first —
+/// the no-op order is exactly what confluence compares against).
+Result<RaceRun> RunRace(const ProtocolSpec& spec, const RaceOptions& opt,
+                        const std::vector<bool>& votes,
+                        const std::vector<ScheduleChoice>& prefix,
+                        bool scouting, size_t window_start, SiteId window_site,
+                        bool crash_mode, bool want_trace,
+                        SiteId starve = kNoSite) {
+  size_t n = opt.num_sites;
+  SystemConfig cfg;
+  cfg.num_sites = n;
+  cfg.seed = opt.seed;
+  cfg.delay = DelayModel{opt.base_delay, /*jitter=*/0};
+  cfg.detection_delay = opt.detection_delay;
+  cfg.trace = true;
+  cfg.observe = false;
+  auto sys_or = CommitSystem::CreateWithSpec(cfg, spec);
+  if (!sys_or.ok()) return sys_or.status();
+  CommitSystem& sys = **sys_or;
+  Simulator& sim = sys.simulator();
+
+  TransactionId txn = sys.Begin();
+  for (size_t i = 0; i < n; ++i) {
+    sys.SetVote(txn, static_cast<SiteId>(i + 1), votes[i]);
+  }
+
+  // The sink maps every send's network sequence number to the sender's
+  // post-send stamp (the frames' happens-before data) and collects the
+  // emissions of the racing window.
+  std::unordered_map<uint64_t, ClockStamp> send_stamps;
+  bool in_window = false;
+  RaceRun rr;
+  sys.trace()->set_sink([&](const TraceEvent& e) {
+    if (e.type != TraceEventType::kMessageSent) return;
+    send_stamps[e.seq] = e.stamp;
+    if (in_window) rr.window_sends.push_back(e.detail);
+  });
+
+  // Protocol starts are labeled choice events, exactly as in the explorer.
+  std::vector<SiteId> start_sites;
+  if (spec.paradigm() == Paradigm::kDecentralized) {
+    for (SiteId s = 1; s <= n; ++s) start_sites.push_back(s);
+  } else {
+    start_sites.push_back(1);
+  }
+  for (SiteId s : start_sites) {
+    EventLabel label;
+    label.cls = EventClass::kStart;
+    label.site = s;
+    label.txn = txn;
+    Participant* p = &sys.participant(s);
+    sim.ScheduleLabeled(0, label, [p, txn]() {
+      (void)p->StartProtocol(txn);
+    });
+  }
+
+  auto receiver_settled = [&](SiteId s) {
+    return !sys.network().IsSiteUp(s) ||
+           sys.participant(s).engine().OutcomeOf(txn) != Outcome::kUndecided;
+  };
+  auto all_decided = [&]() {
+    for (SiteId s = 1; s <= n; ++s) {
+      if (!receiver_settled(s)) return false;
+      if (!sys.network().IsSiteUp(s)) return false;
+    }
+    return true;
+  };
+  // A crashed participant has no engine (Participant::Crash resets it), so
+  // every engine access is gated on the site being up; "down" is itself a
+  // deterministic state marker for the order comparison.
+  auto state_name = [&](SiteId s) -> std::string {
+    if (!sys.network().IsSiteUp(s)) return "down";
+    auto st = sys.participant(s).engine().CurrentState(txn);
+    return st.ok() ? st->name : "?";
+  };
+  auto outcome_of = [&](SiteId s) {
+    if (!sys.network().IsSiteUp(s)) return Outcome::kUndecided;
+    return sys.participant(s).engine().OutcomeOf(txn);
+  };
+
+  size_t depth = 0;
+  size_t steps = 0;
+  size_t crashes_used = 0;
+
+  while (true) {
+    struct Opt {
+      ScheduleChoice c;
+      EventId id = 0;
+      uint64_t seq = 0;
+      bool settled = false;
+    };
+    std::vector<Opt> opts;
+    for (const PendingEvent& pe : sim.Pending()) {
+      if (pe.label.txn != txn) continue;
+      if (pe.label.cls == EventClass::kDelivery) {
+        bool settled = receiver_settled(pe.label.site);
+        if (!crash_mode && settled) continue;
+        Opt o;
+        o.c.kind = ScheduleChoice::Kind::kDeliver;
+        o.c.site = pe.label.site;
+        o.c.from = pe.label.from;
+        o.c.msg_type = pe.label.msg_type;
+        o.id = pe.id;
+        o.seq = pe.label.seq;
+        o.settled = settled;
+        opts.push_back(std::move(o));
+      } else if (pe.label.cls == EventClass::kStart) {
+        Opt o;
+        o.c.kind = ScheduleChoice::Kind::kStart;
+        o.c.site = pe.label.site;
+        o.id = pe.id;
+        opts.push_back(std::move(o));
+      }
+    }
+    std::sort(opts.begin(), opts.end(), [](const Opt& a, const Opt& b) {
+      auto ka = std::make_tuple(static_cast<int>(a.c.kind), a.c.site,
+                                a.c.from, a.c.msg_type, a.seq);
+      auto kb = std::make_tuple(static_cast<int>(b.c.kind), b.c.site,
+                                b.c.from, b.c.msg_type, b.seq);
+      return ka < kb;
+    });
+    for (size_t i = 1; i < opts.size(); ++i) {
+      const Opt& prev = opts[i - 1];
+      Opt& cur = opts[i];
+      if (cur.c.kind == prev.c.kind && cur.c.site == prev.c.site &&
+          cur.c.from == prev.c.from && cur.c.msg_type == prev.c.msg_type) {
+        cur.c.dup = prev.c.dup + 1;
+      }
+    }
+
+    // The prefix may force a delivery that is pending but not an option —
+    // the failure-free filter hides deliveries to settled receivers (the
+    // second element of a racing pair, when the first decided the
+    // receiver). Duplicate indices are assigned in network-seq order among
+    // same-(site, from, type) pendings, matching the canonical assignment
+    // because settling a receiver hides its whole group at once.
+    auto find_hidden = [&](const ScheduleChoice& want) -> std::optional<EventId> {
+      if (want.kind != ScheduleChoice::Kind::kDeliver) return std::nullopt;
+      std::vector<std::pair<uint64_t, EventId>> group;
+      for (const PendingEvent& pe : sim.Pending()) {
+        if (pe.label.txn != txn || pe.label.cls != EventClass::kDelivery ||
+            pe.label.site != want.site || pe.label.from != want.from ||
+            pe.label.msg_type != want.msg_type) {
+          continue;
+        }
+        group.emplace_back(pe.label.seq, pe.id);
+      }
+      std::sort(group.begin(), group.end());
+      if (want.dup >= group.size()) return std::nullopt;
+      return group[want.dup].second;
+    };
+
+    if (opts.empty()) {
+      if (depth < prefix.size()) {
+        // Only timers (or hidden deliveries) remain but the prefix is not
+        // consumed: force the wanted delivery if pending, else drain — the
+        // choice may only become schedulable after a timer (termination
+        // traffic in crash-perturbed schedules).
+        std::optional<EventId> hidden = find_hidden(prefix[depth]);
+        if (hidden.has_value()) {
+          bool window_slot =
+              window_start != kNoWindow &&
+              (depth == window_start || depth == window_start + 1);
+          in_window = window_slot;
+          sim.FireEvent(*hidden);
+          in_window = false;
+          ++rr.events;
+          rr.executed.push_back(prefix[depth]);
+          ++depth;
+          if (window_start != kNoWindow && depth == window_start + 2) {
+            rr.window_state = state_name(window_site);
+            std::sort(rr.window_sends.begin(), rr.window_sends.end());
+            rr.window_captured = true;
+          }
+          if (depth > opt.max_depth) {
+            rr.depth_bound = true;
+            break;
+          }
+          continue;
+        }
+      }
+      if (sim.PendingEvents() == 0) break;
+      if (++steps > opt.max_steps) {
+        rr.step_bound = true;
+        break;
+      }
+      sim.Step();
+      ++rr.events;
+      continue;
+    }
+    if (crashes_used == 0 && depth >= prefix.size() && all_decided()) break;
+
+    // Pick: replay the prefix, then default (first-option) continuation.
+    std::optional<ScheduleChoice> picked;
+    EventId fire_id = 0;
+    bool is_crash = false;
+    if (depth < prefix.size()) {
+      const ScheduleChoice& want = prefix[depth];
+      if (want.kind == ScheduleChoice::Kind::kCrash) {
+        if (!sys.network().IsSiteUp(want.site)) {
+          return Status::Internal("race replay: crash target site " +
+                                  std::to_string(want.site) +
+                                  " is already down at depth " +
+                                  std::to_string(depth));
+        }
+        picked = want;
+        is_crash = true;
+      } else {
+        const std::string key = want.Key();
+        for (const Opt& o : opts) {
+          if (o.c.Key() == key) {
+            picked = o.c;
+            fire_id = o.id;
+            break;
+          }
+        }
+        if (!picked.has_value()) {
+          std::optional<EventId> hidden = find_hidden(want);
+          if (hidden.has_value()) {
+            picked = want;
+            fire_id = *hidden;
+          }
+        }
+        if (!picked.has_value()) {
+          return Status::Internal(
+              "race replay diverged at depth " + std::to_string(depth) +
+              ": choice " + want.ToString() + " is not pending");
+        }
+      }
+    } else {
+      size_t pick_index = 0;
+      if (starve != kNoSite) {
+        for (size_t i = 0; i < opts.size(); ++i) {
+          if (opts[i].c.site != starve) {
+            pick_index = i;
+            break;
+          }
+        }
+      }
+      picked = opts[pick_index].c;
+      fire_id = opts[pick_index].id;
+      if (scouting) {
+        RaceFrame frame;
+        frame.depth = depth;
+        frame.options.reserve(opts.size());
+        frame.stamps.reserve(opts.size());
+        frame.receiver_settled.reserve(opts.size());
+        for (const Opt& o : opts) {
+          frame.options.push_back(o.c);
+          ClockStamp stamp;
+          if (o.c.kind == ScheduleChoice::Kind::kDeliver) {
+            auto it = send_stamps.find(o.seq);
+            if (it != send_stamps.end()) stamp = it->second;
+          }
+          frame.stamps.push_back(std::move(stamp));
+          frame.receiver_settled.push_back(o.settled);
+        }
+        rr.frames.push_back(std::move(frame));
+      }
+    }
+
+    bool window_slot = window_start != kNoWindow &&
+                       (depth == window_start || depth == window_start + 1);
+    if (is_crash) {
+      sys.injector().CrashNow(picked->site);
+      ++crashes_used;
+    } else {
+      in_window = window_slot;
+      sim.FireEvent(fire_id);
+      in_window = false;
+      ++rr.events;
+    }
+    rr.executed.push_back(*picked);
+    ++depth;
+    if (window_start != kNoWindow && depth == window_start + 2) {
+      rr.window_state = state_name(window_site);
+      std::sort(rr.window_sends.begin(), rr.window_sends.end());
+      rr.window_captured = true;
+    }
+    if (depth > opt.max_depth) {
+      rr.depth_bound = true;
+      break;
+    }
+  }
+
+  if (depth < prefix.size()) {
+    return Status::Internal("race replay consumed only " +
+                            std::to_string(depth) + " of " +
+                            std::to_string(prefix.size()) + " prefix choices");
+  }
+  for (SiteId s = 1; s <= n; ++s) {
+    rr.final_outcomes.push_back(outcome_of(s));
+    rr.final_states.push_back(state_name(s));
+  }
+  if (want_trace) rr.trace_jsonl = sys.TraceJsonl();
+  return rr;
+}
+
+std::string VotesString(const std::vector<bool>& votes) {
+  std::string out;
+  for (bool v : votes) out += v ? 'Y' : 'N';
+  return out;
+}
+
+std::string JoinStates(const std::vector<std::string>& states,
+                       const std::vector<Outcome>& outcomes) {
+  std::ostringstream out;
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (i > 0) out << ',';
+    out << states[i];
+    if (i < outcomes.size() && outcomes[i] != Outcome::kUndecided) {
+      out << (outcomes[i] == Outcome::kCommitted ? "(C)" : "(A)");
+    }
+  }
+  return out.str();
+}
+
+std::string JoinSends(const std::vector<std::string>& sends) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < sends.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << sends[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+/// Compares both orders of one candidate pair; fills verdict fields.
+void CompareOrders(const RaceRun& ab, const RaceRun& ba,
+                   RacePairVerdict* verdict) {
+  bool window_equal = ab.window_captured && ba.window_captured &&
+                      ab.window_state == ba.window_state &&
+                      ab.window_sends == ba.window_sends;
+  bool finals_equal = ab.final_states == ba.final_states &&
+                      ab.final_outcomes == ba.final_outcomes;
+  verdict->decision_divergent = ab.final_outcomes != ba.final_outcomes;
+  verdict->confluent = window_equal && finals_equal;
+  if (verdict->confluent) {
+    verdict->detail = "confluent";
+    return;
+  }
+  std::ostringstream out;
+  if (!ab.window_captured || !ba.window_captured) {
+    out << "window not captured (bounded run); ";
+  } else if (ab.window_state != ba.window_state) {
+    out << "window state " << ab.window_state << " vs " << ba.window_state
+        << "; ";
+  } else if (ab.window_sends != ba.window_sends) {
+    out << "window sends " << JoinSends(ab.window_sends) << " vs "
+        << JoinSends(ba.window_sends) << "; ";
+  }
+  if (!finals_equal) {
+    out << "final " << JoinStates(ab.final_states, ab.final_outcomes)
+        << " vs " << JoinStates(ba.final_states, ba.final_outcomes);
+  }
+  verdict->detail = out.str();
+}
+
+}  // namespace
+
+std::string RacePairVerdict::ToString() const {
+  std::ostringstream out;
+  out << first.Key() << " vs " << second.Key() << " @" << depth << " votes="
+      << VotesString(votes);
+  if (crash_perturbed) out << " +crash";
+  out << ": "
+      << (confluent ? "confluent"
+                    : decision_divergent ? "DECISION-DIVERGENT"
+                                         : "outcome-changing");
+  if (!confluent) out << " (" << detail << ")";
+  return out.str();
+}
+
+double RaceReport::ConfluentFraction() const {
+  if (pairs_examined == 0) return 1.0;
+  return static_cast<double>(confluent_pairs) /
+         static_cast<double>(pairs_examined);
+}
+
+int RaceReport::ExitCode() const {
+  if (decision_divergent_pairs > 0) return 3;
+  if (racy_pairs > 0) return 2;
+  if (bound_exhausted) return 4;
+  return 0;
+}
+
+std::string RaceReport::Render() const {
+  std::ostringstream out;
+  out << "nbcp-race: " << protocol << ", n=" << num_sites << ", mode="
+      << (max_crashes > 0 ? "crash-perturbed" : "failure-free") << "\n";
+  out << "  executions: " << executions << " (" << base_runs
+      << " scouting, " << events << " events, " << vote_vectors
+      << " vote vectors)\n";
+  out << "  pairs: " << pairs_examined << " examined, " << ordered_pairs
+      << " HB-ordered, " << settled_pairs << " settled";
+  if (unstamped_pairs > 0) out << ", " << unstamped_pairs << " unstamped";
+  out << "\n";
+  out << "  confluent: " << confluent_pairs << "/" << pairs_examined
+      << ", outcome-changing: " << racy_pairs << " ("
+      << decision_divergent_pairs << " decision-divergent)\n";
+  for (const RacePairVerdict& r : races) {
+    out << "    race: " << r.ToString() << "\n";
+  }
+  for (const RaceWitnessPair& w : witnesses) {
+    out << "    witness: " << w.verdict.first.Key() << " vs "
+        << w.verdict.second.Key() << "\n      ab:";
+    for (const ScheduleChoice& c : w.schedule_ab) out << ' ' << c.Key();
+    out << "\n      ba:";
+    for (const ScheduleChoice& c : w.schedule_ba) out << ' ' << c.Key();
+    out << "\n";
+  }
+  if (bound_exhausted) out << "  bound exhausted (results are partial)\n";
+  out << "  verdict: "
+      << (ExitCode() == 0
+              ? "CONFLUENT"
+              : ExitCode() == 2
+                    ? "RACY"
+                    : ExitCode() == 3 ? "DECISION-RACY" : "INCONCLUSIVE")
+      << " (exit " << ExitCode() << ")\n";
+  return out.str();
+}
+
+Json RaceReport::ToJson() const {
+  Json j = Json::Object();
+  j["protocol"] = Json(protocol);
+  j["num_sites"] = Json(static_cast<uint64_t>(num_sites));
+  j["max_crashes"] = Json(static_cast<uint64_t>(max_crashes));
+  j["vote_vectors"] = Json(static_cast<uint64_t>(vote_vectors));
+  j["base_runs"] = Json(static_cast<uint64_t>(base_runs));
+  j["executions"] = Json(static_cast<uint64_t>(executions));
+  j["events"] = Json(static_cast<uint64_t>(events));
+  j["pairs_examined"] = Json(static_cast<uint64_t>(pairs_examined));
+  j["ordered_pairs"] = Json(static_cast<uint64_t>(ordered_pairs));
+  j["settled_pairs"] = Json(static_cast<uint64_t>(settled_pairs));
+  j["unstamped_pairs"] = Json(static_cast<uint64_t>(unstamped_pairs));
+  j["confluent_pairs"] = Json(static_cast<uint64_t>(confluent_pairs));
+  j["racy_pairs"] = Json(static_cast<uint64_t>(racy_pairs));
+  j["decision_divergent_pairs"] =
+      Json(static_cast<uint64_t>(decision_divergent_pairs));
+  j["confluent_fraction"] = Json(ConfluentFraction());
+  j["bound_exhausted"] = Json(bound_exhausted);
+  j["exit_code"] = Json(ExitCode());
+  Json races_json = Json::Array();
+  for (const RacePairVerdict& r : races) {
+    Json rj = Json::Object();
+    rj["first"] = Json(r.first.Key());
+    rj["second"] = Json(r.second.Key());
+    rj["depth"] = Json(static_cast<uint64_t>(r.depth));
+    rj["votes"] = Json(VotesString(r.votes));
+    rj["crash_perturbed"] = Json(r.crash_perturbed);
+    rj["decision_divergent"] = Json(r.decision_divergent);
+    rj["detail"] = Json(r.detail);
+    races_json.Append(std::move(rj));
+  }
+  j["races"] = std::move(races_json);
+  j["witness_pairs"] = Json(static_cast<uint64_t>(witnesses.size()));
+  return j;
+}
+
+Result<RaceReport> AnalyzeRaces(const ProtocolSpec& spec,
+                                const RaceOptions& options) {
+  if (options.num_sites < 2) {
+    return Status::InvalidArgument("race analysis needs at least 2 sites");
+  }
+  if (options.max_crashes > 1) {
+    return Status::InvalidArgument(
+        "race analysis supports at most one injected crash "
+        "(multi-crash schedule perturbation is combinatorial)");
+  }
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+
+  const bool crash_mode = options.max_crashes > 0;
+  const size_t n = options.num_sites;
+
+  RaceReport report;
+  report.protocol = spec.name();
+  report.num_sites = n;
+  report.max_crashes = options.max_crashes;
+
+  std::vector<std::vector<bool>> vectors;
+  if (options.all_vote_vectors) {
+    for (uint64_t v = 0; v < (uint64_t{1} << n); ++v) {
+      std::vector<bool> votes(n);
+      for (size_t i = 0; i < n; ++i) votes[i] = ((v >> i) & 1) == 0;
+      vectors.push_back(std::move(votes));
+    }
+  } else {
+    std::vector<bool> votes = options.votes;
+    votes.resize(n, true);
+    vectors.push_back(std::move(votes));
+  }
+
+  // Races already reported, across all scouting runs: the same unordered
+  // pair surfaces once per (votes, perturbation) context.
+  std::set<std::string> reported;
+
+  for (const std::vector<bool>& votes : vectors) {
+    ++report.vote_vectors;
+    auto base_or = RunRace(spec, options, votes, /*prefix=*/{},
+                           /*scouting=*/true, kNoWindow, kNoSite, crash_mode,
+                           /*want_trace=*/false);
+    if (!base_or.ok()) return base_or.status();
+    RaceRun base = std::move(*base_or);
+    ++report.base_runs;
+    ++report.executions;
+    report.events += base.events;
+    if (base.depth_bound || base.step_bound) report.bound_exhausted = true;
+
+    // The scouting runs whose frames get pair analysis, grouped by
+    // *context* (prefix + perturbation): each context is scouted once with
+    // the default order and once per starved site — concurrent pairs form
+    // where deliveries accumulate, and the default order drains each
+    // message as it arrives. Failure-free mode analyzes the base schedule's
+    // context; crash mode analyzes only the perturbed contexts (one
+    // injected crash per (decision index, site) of the base schedule),
+    // whose frames cover the termination and election traffic — and whose
+    // witnesses then always carry their crash, keeping them replayable
+    // under crash-inferred explorer options.
+    struct ScoutGroup {
+      std::vector<RaceRun> runs;
+      bool crash_perturbed = false;
+    };
+    std::vector<ScoutGroup> groups;
+    auto scout_context =
+        [&](const std::vector<ScheduleChoice>& prefix, bool perturbed,
+            RaceRun* default_run) -> Status {
+      ScoutGroup group;
+      group.crash_perturbed = perturbed;
+      if (default_run != nullptr) {
+        group.runs.push_back(std::move(*default_run));
+      }
+      for (SiteId starve = default_run != nullptr ? 1 : 0;
+           starve <= static_cast<SiteId>(n); ++starve) {
+        auto run_or = RunRace(spec, options, votes, prefix,
+                              /*scouting=*/true, kNoWindow, kNoSite,
+                              crash_mode, /*want_trace=*/false,
+                              starve == 0 ? kNoSite : starve);
+        if (!run_or.ok()) return run_or.status();
+        ++report.base_runs;
+        ++report.executions;
+        report.events += run_or->events;
+        if (run_or->depth_bound || run_or->step_bound) {
+          report.bound_exhausted = true;
+        }
+        group.runs.push_back(std::move(*run_or));
+      }
+      groups.push_back(std::move(group));
+      return Status::OK();
+    };
+    if (!crash_mode) {
+      Status s = scout_context({}, /*perturbed=*/false, &base);
+      if (!s.ok()) return s;
+    } else {
+      for (size_t k = 0; k < base.executed.size(); ++k) {
+        for (SiteId s = 1; s <= static_cast<SiteId>(n); ++s) {
+          std::vector<ScheduleChoice> prefix(base.executed.begin(),
+                                             base.executed.begin() + k);
+          ScheduleChoice crash;
+          crash.kind = ScheduleChoice::Kind::kCrash;
+          crash.site = s;
+          prefix.push_back(std::move(crash));
+          Status st = scout_context(prefix, /*perturbed=*/true, nullptr);
+          if (!st.ok()) return st;
+        }
+      }
+    }
+
+    for (const ScoutGroup& group : groups) {
+      // Classify each unordered pair once per context, at the shallowest
+      // frame of the first scouting variant where it is pending (deeper or
+      // repeated occurrences are the same race later).
+      std::set<std::string> seen;
+      for (const RaceRun& scout_run : group.runs) {
+      for (const RaceFrame& frame : scout_run.frames) {
+        for (size_t i = 0; i < frame.options.size(); ++i) {
+          const ScheduleChoice& a = frame.options[i];
+          if (a.kind != ScheduleChoice::Kind::kDeliver) continue;
+          for (size_t k = i + 1; k < frame.options.size(); ++k) {
+            const ScheduleChoice& b = frame.options[k];
+            if (b.kind != ScheduleChoice::Kind::kDeliver) continue;
+            if (b.site != a.site) continue;
+            const std::string pair_key = a.Key() + "|" + b.Key();
+            if (!seen.insert(pair_key).second) continue;
+            if (frame.receiver_settled[i] || frame.receiver_settled[k]) {
+              ++report.settled_pairs;
+              continue;
+            }
+            const ClockStamp& sa = frame.stamps[i];
+            const ClockStamp& sb = frame.stamps[k];
+            if (!sa.stamped() || !sb.stamped()) {
+              ++report.unstamped_pairs;
+              continue;
+            }
+            if (HappensBefore(sa, sb) || HappensBefore(sb, sa)) {
+              ++report.ordered_pairs;
+              continue;
+            }
+            if (report.pairs_examined >= options.max_pairs) {
+              report.bound_exhausted = true;
+              continue;
+            }
+
+            std::vector<ScheduleChoice> prefix(
+                scout_run.executed.begin(),
+                scout_run.executed.begin() + frame.depth);
+            std::vector<ScheduleChoice> pre_ab = prefix;
+            pre_ab.push_back(a);
+            pre_ab.push_back(b);
+            std::vector<ScheduleChoice> pre_ba = prefix;
+            pre_ba.push_back(b);
+            pre_ba.push_back(a);
+            auto ab_or = RunRace(spec, options, votes, pre_ab,
+                                 /*scouting=*/false, frame.depth, a.site,
+                                 crash_mode, /*want_trace=*/true);
+            if (!ab_or.ok()) return ab_or.status();
+            auto ba_or = RunRace(spec, options, votes, pre_ba,
+                                 /*scouting=*/false, frame.depth, a.site,
+                                 crash_mode, /*want_trace=*/true);
+            if (!ba_or.ok()) return ba_or.status();
+            report.executions += 2;
+            report.events += ab_or->events + ba_or->events;
+            ++report.pairs_examined;
+            if (ab_or->depth_bound || ab_or->step_bound ||
+                ba_or->depth_bound || ba_or->step_bound) {
+              report.bound_exhausted = true;
+            }
+
+            RacePairVerdict verdict;
+            verdict.votes = votes;
+            verdict.first = a;
+            verdict.second = b;
+            verdict.depth = frame.depth;
+            verdict.crash_perturbed = group.crash_perturbed;
+            CompareOrders(*ab_or, *ba_or, &verdict);
+            if (verdict.confluent) {
+              ++report.confluent_pairs;
+              continue;
+            }
+            ++report.racy_pairs;
+            if (verdict.decision_divergent) {
+              ++report.decision_divergent_pairs;
+            }
+            const std::string race_key = VotesString(votes) + "/" +
+                                         (group.crash_perturbed ? "c" : "f") +
+                                         "/" + pair_key;
+            if (reported.insert(race_key).second &&
+                report.races.size() < options.max_races) {
+              report.races.push_back(verdict);
+            }
+            if (report.witnesses.size() < options.max_witness_pairs) {
+              RaceWitnessPair w;
+              w.verdict = verdict;
+              w.schedule_ab = ab_or->executed;
+              w.schedule_ba = ba_or->executed;
+              w.trace_ab_jsonl = std::move(ab_or->trace_jsonl);
+              w.trace_ba_jsonl = std::move(ba_or->trace_jsonl);
+              report.witnesses.push_back(std::move(w));
+            }
+          }
+        }
+      }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace nbcp

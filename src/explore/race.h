@@ -1,0 +1,137 @@
+#ifndef NBCP_EXPLORE_RACE_H_
+#define NBCP_EXPLORE_RACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "explore/explorer.h"
+#include "fsa/protocol_spec.h"
+#include "obs/json.h"
+
+namespace nbcp {
+
+/// Limits and modes of a message-race analysis (see AnalyzeRaces).
+struct RaceOptions {
+  size_t num_sites = 2;
+
+  /// Analyze every preset vote vector (2^n scouting runs). Off = only
+  /// `votes`.
+  bool all_vote_vectors = true;
+  /// Preset votes (votes[i] = site i+1) when all_vote_vectors is off.
+  /// Sized to num_sites; missing entries default to yes.
+  std::vector<bool> votes;
+
+  /// 0 = failure-free analysis. 1 = additionally perturb the base run by
+  /// injecting one crash at every (decision index, site) of the failure-
+  /// free schedule and analyze the post-crash frames (termination and
+  /// election traffic). Values above 1 are rejected: multi-crash race
+  /// enumeration multiplies scouting runs combinatorially and is not
+  /// implemented.
+  size_t max_crashes = 0;
+
+  size_t max_pairs = 100'000;   ///< Candidate pairs classified (2 runs each).
+  size_t max_depth = 10'000;    ///< Choices per execution.
+  size_t max_steps = 200'000;   ///< Internal (timer) events per execution.
+  size_t max_races = 64;        ///< Outcome-changing verdicts retained.
+  size_t max_witness_pairs = 5; ///< Replayable schedule pairs retained.
+  uint64_t seed = 42;
+  SimTime base_delay = 100;     ///< Network delay (jitter is always 0).
+  SimTime detection_delay = 500;
+};
+
+/// Verdict for one happens-before-unordered delivery pair (a, b) to the
+/// same site: the pair was re-executed in both orders from the same prefix
+/// and the two continuations compared.
+struct RacePairVerdict {
+  std::vector<bool> votes;  ///< Preset votes of the analyzed execution.
+  ScheduleChoice first;     ///< Delivery `a` (canonical option order).
+  ScheduleChoice second;    ///< Delivery `b`.
+  size_t depth = 0;         ///< Decision index where both were pending.
+  bool crash_perturbed = false;  ///< Pair found after an injected crash.
+
+  /// Confluent: both orders leave the receiver in the same FSA state,
+  /// emit the same message multiset inside the two-delivery window, and
+  /// the runs end with identical per-site outcomes and states.
+  bool confluent = false;
+  /// The final commit/abort outcomes of the two orders differ — the race
+  /// decides the transaction (strictly worse than a transient divergence).
+  bool decision_divergent = false;
+  std::string detail;  ///< Human-readable divergence summary.
+
+  std::string ToString() const;
+};
+
+/// An outcome-changing race with everything needed to reproduce both
+/// orders: two full schedules (prefix + pair + deterministic continuation,
+/// serializable via ScheduleToJsonLines, replayable by `nbcp-explore
+/// replay`) and the JSONL traces of both runs (`nbcp-trace check`).
+struct RaceWitnessPair {
+  RacePairVerdict verdict;
+  std::vector<ScheduleChoice> schedule_ab;
+  std::vector<ScheduleChoice> schedule_ba;
+  std::string trace_ab_jsonl;
+  std::string trace_ba_jsonl;
+};
+
+/// Aggregated result of a race analysis.
+struct RaceReport {
+  std::string protocol;
+  size_t num_sites = 0;
+  size_t max_crashes = 0;
+
+  size_t vote_vectors = 0;     ///< Preset vote vectors analyzed.
+  size_t base_runs = 0;        ///< Scouting executions (incl. perturbed).
+  size_t executions = 0;       ///< Total engine executions performed.
+  size_t events = 0;           ///< Simulator events fired, summed.
+
+  size_t pairs_examined = 0;   ///< Concurrent same-site pairs classified.
+  size_t ordered_pairs = 0;    ///< Same-site pairs skipped: HB-ordered.
+  size_t settled_pairs = 0;    ///< Skipped: receiver decided/down (no-ops).
+  size_t unstamped_pairs = 0;  ///< Skipped: a send stamp was missing.
+  size_t confluent_pairs = 0;
+  size_t racy_pairs = 0;       ///< Outcome-changing (= examined - confluent).
+  size_t decision_divergent_pairs = 0;  ///< Subset: final outcomes differ.
+
+  bool bound_exhausted = false;  ///< A pair/depth/step cap was hit.
+
+  std::vector<RacePairVerdict> races;      ///< Capped at max_races.
+  std::vector<RaceWitnessPair> witnesses;  ///< Capped at max_witness_pairs.
+
+  /// Fraction of examined pairs proven confluent (1.0 when none examined).
+  double ConfluentFraction() const;
+
+  /// CI contract: 0 all examined pairs confluent / 2 outcome-changing
+  /// race / 3 decision-divergent race / 4 bound exhausted with no race
+  /// found (a found race trumps exhaustion; divergent decisions trump a
+  /// transient divergence).
+  int ExitCode() const;
+  std::string Render() const;
+  Json ToJson() const;
+};
+
+/// Detects and classifies semantic message races of `spec` executions.
+///
+/// A *candidate pair* is two deliveries to the same site, pending at the
+/// same decision point of a scouting execution, whose sends are unordered
+/// by happens-before (vector clocks; same-sender sequences and causal
+/// chains are skipped as `ordered_pairs`). Each candidate is classified by
+/// re-executing both orders from the identical prefix: *confluent* when
+/// the receiver lands in the same FSA state, both orders emit the same
+/// message multiset inside the two-delivery window, and the completed runs
+/// agree on every site's final state and outcome; *outcome-changing*
+/// otherwise. Outcome-changing pairs yield replayable witness schedule
+/// pairs.
+///
+/// With max_crashes == 1, the failure-free base schedule is additionally
+/// perturbed by one injected crash at every (decision index, site), and
+/// the post-crash frames — termination and election traffic — are
+/// analyzed the same way.
+Result<RaceReport> AnalyzeRaces(const ProtocolSpec& spec,
+                                const RaceOptions& options);
+
+}  // namespace nbcp
+
+#endif  // NBCP_EXPLORE_RACE_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "sim/simulator.h"
 
@@ -39,6 +40,13 @@ struct NetworkStats {
 ///
 /// Partition support (CutLink) exists for extension studies only; the
 /// reproduction experiments never cut links, per the paper's assumptions.
+///
+/// Thread safety: site registry, link cuts, traffic counters and the send
+/// sequence are guarded by mu_, so concurrent senders and delivery threads
+/// are safe. Delivery handlers and the traffic/link observers are invoked
+/// with no lock held (a handler may Send). The wiring setters
+/// (set_observer, set_link_observer, set_metrics, set_clocks,
+/// set_delay_model) are setup-time only: call them before traffic starts.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -96,8 +104,20 @@ class Network {
   /// All registered sites currently operational, ascending.
   std::vector<SiteId> OperationalSites() const;
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  /// By-value snapshot of the traffic counters, safe under concurrency.
+  NetworkStats StatsSnapshot() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+
+  /// By-reference counters for the single-threaded export paths; valid only
+  /// while no other thread is sending or delivering.
+  const NetworkStats& stats() const NBCP_QUIESCENT_READ { return stats_; }
+
+  void ResetStats() NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = NetworkStats{};
+  }
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
@@ -127,15 +147,19 @@ class Network {
   SimTime SampleDelay();
 
   Simulator* sim_;
-  DelayModel delay_;
-  std::unordered_map<SiteId, SiteInfo> sites_;
-  std::set<std::pair<SiteId, SiteId>> cut_links_;
-  NetworkStats stats_;
+  DelayModel delay_;  ///< Setup-time wiring; unguarded.
+
+  mutable Mutex mu_;
+  std::unordered_map<SiteId, SiteInfo> sites_ NBCP_GUARDED_BY(mu_);
+  std::set<std::pair<SiteId, SiteId>> cut_links_ NBCP_GUARDED_BY(mu_);
+  NetworkStats stats_ NBCP_GUARDED_BY(mu_);
+  uint64_t next_seq_ NBCP_GUARDED_BY(mu_) = 0;
+
+  // Setup-time wiring; unguarded (see class comment).
   Observer observer_;
   LinkObserver link_observer_;
   MetricsRegistry* metrics_ = nullptr;
   CausalClockDomain* clocks_ = nullptr;
-  uint64_t next_seq_ = 0;
 };
 
 }  // namespace nbcp

@@ -4,16 +4,26 @@
 
 namespace nbcp {
 
-WindowedSeries& MetricsRegistry::series(const std::string& name,
-                                        SeriesConfig config) {
+WindowedSeries& MetricsRegistry::SeriesSlot(const std::string& name,
+                                            SeriesConfig config) {
   auto it = series_.find(name);
   if (it == series_.end()) {
-    it = series_.emplace(name, WindowedSeries(config)).first;
+    // try_emplace constructs in place: WindowedSeries owns a Mutex and is
+    // neither movable nor copyable.
+    it = series_.try_emplace(name, config).first;
   }
   return it->second;
 }
 
+WindowedSeries& MetricsRegistry::series(const std::string& name,
+                                        SeriesConfig config) {
+  MutexLock lock(&mu_);
+  return SeriesSlot(name, config);
+}
+
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  MutexLock lock(&mu_);
+  MutexLock other_lock(&other.mu_);
   for (const auto& [name, counter] : other.counters_) {
     counters_[name].Inc(counter.value());
   }
@@ -24,11 +34,14 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
     histograms_[name].Merge(histogram);
   }
   for (const auto& [name, s] : other.series_) {
-    series(name, s.config()).Merge(s);
+    // WindowedSeries::Merge locks both series internally; neither side's
+    // registry lock is involved, so the order registry -> series is acyclic.
+    SeriesSlot(name, s.config()).Merge(s);
   }
 }
 
 void MetricsRegistry::Reset() {
+  MutexLock lock(&mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -36,6 +49,7 @@ void MetricsRegistry::Reset() {
 }
 
 Json MetricsRegistry::ToJson() const {
+  MutexLock lock(&mu_);
   Json j = Json::Object();
   Json counters = Json::Object();
   for (const auto& [name, counter] : counters_) {
@@ -63,6 +77,7 @@ Json MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToString() const {
+  MutexLock lock(&mu_);
   std::ostringstream out;
   for (const auto& [name, counter] : counters_) {
     out << name << " = " << counter.value() << "\n";

@@ -75,11 +75,15 @@ GlobalStateObserver::GlobalStateObserver(
 }
 
 const LiveGlobalState* GlobalStateObserver::StateOf(TransactionId txn) const {
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn);
   return it == txns_.end() ? nullptr : &it->second;
 }
 
-void GlobalStateObserver::Forget(TransactionId txn) { txns_.erase(txn); }
+void GlobalStateObserver::Forget(TransactionId txn) {
+  MutexLock lock(&mu_);
+  txns_.erase(txn);
+}
 
 LiveGlobalState& GlobalStateObserver::Track(TransactionId txn) {
   auto it = txns_.find(txn);
@@ -92,10 +96,14 @@ LiveGlobalState& GlobalStateObserver::Track(TransactionId txn) {
 
 void GlobalStateObserver::OnEvent(const TraceEvent& event) {
   // The observer's own output kinds re-enter through the recorder sink.
+  // This filter must stay ahead of the lock: EmitTimeline/Report record
+  // into the trace while mu_ is held, and the recorder's sink feeds those
+  // events straight back here.
   if (event.type == TraceEventType::kGlobalState ||
       event.type == TraceEventType::kInvariantViolation) {
     return;
   }
+  MutexLock lock(&mu_);
   ++stats_.events;
   if (metrics_) metrics_->counter("obs/events").Inc();
 

@@ -10,6 +10,7 @@
 
 #include "analysis/concurrency_set.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "fsa/protocol_spec.h"
 #include "obs/global_state.h"
 #include "trace/trace.h"
@@ -105,6 +106,17 @@ struct ObserverStats {
 /// the failure-free graph by design). The atomicity, commit-vote and
 /// message-conservation invariants hold under every failure scenario the
 /// protocols claim to survive and stay armed throughout.
+///
+/// Thread safety: all tracked state is guarded by mu_, held across one
+/// OnEvent dispatch — per-event checks stay atomic when multiple sites
+/// feed the observer concurrently. The observer's own output kinds are
+/// filtered *before* the lock, so the emit -> recorder -> sink -> OnEvent
+/// cycle terminates without re-acquiring mu_ (the recorder invokes sinks
+/// with its own lock released, and the blocking monitor likewise ignores
+/// observer output kinds before consulting StateOf). set_trace/set_metrics/
+/// set_check_phantom are setup-time wiring; violations() and timeline()
+/// are by-reference views for the single-threaded paths, valid only while
+/// no events are being fed.
 class GlobalStateObserver {
  public:
   /// `spec` and `analysis` must outlive the observer. `analysis_site_map`
@@ -127,53 +139,72 @@ class GlobalStateObserver {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Feeds one event. Order must follow virtual time (the recorder's order).
-  void OnEvent(const TraceEvent& event);
+  void OnEvent(const TraceEvent& event) NBCP_EXCLUDES(mu_);
 
   /// Disables the phantom-message check (replay of ring-buffered traces
-  /// whose oldest events — including sends — were evicted).
+  /// whose oldest events — including sends — were evicted). Setup-time.
   void set_check_phantom(bool check) { check_phantom_ = check; }
 
   // --- introspection -----------------------------------------------------
 
-  const ObserverStats& stats() const { return stats_; }
-  const std::vector<InvariantViolation>& violations() const {
+  ObserverStats stats() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  const std::vector<InvariantViolation>& violations() const
+      NBCP_QUIESCENT_READ {
     return violations_;
   }
-  uint64_t violation_count(InvariantKind kind) const {
+  uint64_t violation_count(InvariantKind kind) const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return counts_[static_cast<size_t>(kind)];
   }
 
   /// Live global state of `txn`, or nullptr if never seen (or forgotten).
-  const LiveGlobalState* StateOf(TransactionId txn) const;
+  /// The pointer stays valid until Forget(txn) — unordered_map nodes are
+  /// stable — but the pointee is only consistent between OnEvent calls;
+  /// callers on the event bus (the blocking monitor) read it after the
+  /// observer finished consuming the same event.
+  const LiveGlobalState* StateOf(TransactionId txn) const NBCP_EXCLUDES(mu_);
 
   /// True while no crash or link cut has been observed.
-  bool failure_free() const { return failure_free_; }
+  bool failure_free() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return failure_free_;
+  }
 
   /// Rendered timeline (only populated with config.collect_timeline).
-  const std::vector<std::string>& timeline() const { return timeline_; }
+  const std::vector<std::string>& timeline() const NBCP_QUIESCENT_READ {
+    return timeline_;
+  }
 
   /// Drops the per-transaction state (long soaks; violations stay).
-  void Forget(TransactionId txn);
+  void Forget(TransactionId txn) NBCP_EXCLUDES(mu_);
 
  private:
-  LiveGlobalState& Track(TransactionId txn);
-  void OnStateChange(const TraceEvent& e);
-  void OnVote(const TraceEvent& e);
-  void OnDecision(const TraceEvent& e);
-  void OnMessage(const TraceEvent& e);
-  void EmitTimeline(const TraceEvent& e, const LiveGlobalState& g);
+  LiveGlobalState& Track(TransactionId txn) NBCP_REQUIRES(mu_);
+  void OnStateChange(const TraceEvent& e) NBCP_REQUIRES(mu_);
+  void OnVote(const TraceEvent& e) NBCP_REQUIRES(mu_);
+  void OnDecision(const TraceEvent& e) NBCP_REQUIRES(mu_);
+  void OnMessage(const TraceEvent& e) NBCP_REQUIRES(mu_);
+  void EmitTimeline(const TraceEvent& e, const LiveGlobalState& g)
+      NBCP_REQUIRES(mu_);
 
-  void CheckCommitEntry(const TraceEvent& e, LiveGlobalState& g);
-  void CheckAtomicity(const TraceEvent& e, LiveGlobalState& g);
-  void CheckConcurrency(const TraceEvent& e, const LiveGlobalState& g);
+  void CheckCommitEntry(const TraceEvent& e, LiveGlobalState& g)
+      NBCP_REQUIRES(mu_);
+  void CheckAtomicity(const TraceEvent& e, LiveGlobalState& g)
+      NBCP_REQUIRES(mu_);
+  void CheckConcurrency(const TraceEvent& e, const LiveGlobalState& g)
+      NBCP_REQUIRES(mu_);
 
   /// Analysis-population representative for `live`, avoiding `avoid`
   /// (kNoSite when no distinct same-role representative exists).
   SiteId RepFor(SiteId live, SiteId avoid) const;
 
   void Report(SimTime at, TransactionId txn, SiteId site, InvariantKind kind,
-              std::string detail);
+              std::string detail) NBCP_REQUIRES(mu_);
 
+  // Immutable after construction.
   const ProtocolSpec* spec_;
   size_t n_;
   const ConcurrencyAnalysis* analysis_;
@@ -185,15 +216,20 @@ class GlobalStateObserver {
       role_states_;
   std::vector<bool> role_can_vote_;
 
-  std::unordered_map<TransactionId, LiveGlobalState> txns_;
-  std::vector<bool> crashed_;  ///< crashed_[i] = site i+1 is down.
-  bool failure_free_ = true;
-  bool check_phantom_ = true;
+  mutable Mutex mu_;
+  std::unordered_map<TransactionId, LiveGlobalState> txns_
+      NBCP_GUARDED_BY(mu_);
+  std::vector<bool> crashed_
+      NBCP_GUARDED_BY(mu_);  ///< crashed_[i] = site i+1 is down.
+  bool failure_free_ NBCP_GUARDED_BY(mu_) = true;
+  bool check_phantom_ = true;  ///< Setup-time wiring; unguarded.
 
-  ObserverStats stats_;
-  std::array<uint64_t, kNumInvariantKinds> counts_{};
-  std::vector<InvariantViolation> violations_;
-  std::vector<std::string> timeline_;
+  ObserverStats stats_ NBCP_GUARDED_BY(mu_);
+  std::array<uint64_t, kNumInvariantKinds> counts_ NBCP_GUARDED_BY(mu_){};
+  std::vector<InvariantViolation> violations_ NBCP_GUARDED_BY(mu_);
+  std::vector<std::string> timeline_ NBCP_GUARDED_BY(mu_);
+
+  // Setup-time wiring; unguarded (see class comment).
   TraceRecorder* trace_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
 };

@@ -39,6 +39,7 @@ SeriesBucket* WindowedSeries::BucketFor(SimTime at) {
 }
 
 void WindowedSeries::Record(SimTime at, uint64_t value) {
+  MutexLock lock(&mu_);
   SeriesBucket* bucket = BucketFor(at);
   if (bucket == nullptr) {
     ++late_dropped_;
@@ -50,6 +51,7 @@ void WindowedSeries::Record(SimTime at, uint64_t value) {
 }
 
 WindowSnapshot WindowedSeries::Window(SimTime now, SimTime window) const {
+  MutexLock lock(&mu_);
   WindowSnapshot out;
   // A window reaching past virtual time 0 is clamped: [0, now] is all the
   // history that can exist.
@@ -71,6 +73,9 @@ WindowSnapshot WindowedSeries::Window(SimTime now, SimTime window) const {
 
 void WindowedSeries::Merge(const WindowedSeries& other) {
   if (other.config_.bucket_width != config_.bucket_width) return;
+  // Lock order: destination, then source (see the class comment).
+  MutexLock lock(&mu_);
+  MutexLock other_lock(&other.mu_);
   for (const SeriesBucket& theirs : other.buckets_) {
     auto pos = std::lower_bound(
         buckets_.begin(), buckets_.end(), theirs.start,
@@ -92,6 +97,7 @@ void WindowedSeries::Merge(const WindowedSeries& other) {
 }
 
 void WindowedSeries::Reset() {
+  MutexLock lock(&mu_);
   buckets_.clear();
   total_count_ = 0;
   total_sum_ = 0;
@@ -100,6 +106,7 @@ void WindowedSeries::Reset() {
 }
 
 Json WindowedSeries::ToJson() const {
+  MutexLock lock(&mu_);
   Json root = Json::Object();
   root["bucket_width_us"] = Json(config_.bucket_width);
   root["total_count"] = Json(total_count_);
@@ -122,6 +129,7 @@ Json WindowedSeries::ToJson() const {
 }
 
 std::string WindowedSeries::ToString() const {
+  MutexLock lock(&mu_);
   std::string out;
   for (const SeriesBucket& bucket : buckets_) {
     out += "t=[" + std::to_string(bucket.start) + "," +

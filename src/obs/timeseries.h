@@ -5,6 +5,7 @@
 #include <deque>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "obs/histogram.h"
 
@@ -53,9 +54,19 @@ struct WindowSnapshot {
 /// monotonic per run); such late samples are counted in `late_dropped`
 /// and otherwise ignored. Buckets with no samples are not materialized,
 /// so sparse series stay small.
+///
+/// Thread safety: bucket storage and the lifetime totals are guarded by
+/// mu_, so concurrent recorders are safe. Merge locks this series then
+/// `other` — merging two series into each other concurrently is not
+/// supported (the aggregation paths merge one way). buckets() is a
+/// by-reference view for the single-threaded export paths, valid only
+/// while nothing is recording; config_ is immutable after construction.
 class WindowedSeries {
  public:
   explicit WindowedSeries(SeriesConfig config = {});
+
+  WindowedSeries(const WindowedSeries&) = delete;
+  WindowedSeries& operator=(const WindowedSeries&) = delete;
 
   void Record(SimTime at, uint64_t value);
 
@@ -65,13 +76,30 @@ class WindowedSeries {
   /// before it).
   WindowSnapshot Window(SimTime now, SimTime window) const;
 
-  const std::deque<SeriesBucket>& buckets() const { return buckets_; }
+  const std::deque<SeriesBucket>& buckets() const NBCP_QUIESCENT_READ {
+    return buckets_;
+  }
   const SeriesConfig& config() const { return config_; }
 
-  uint64_t total_count() const { return total_count_; }  ///< Lifetime.
-  uint64_t total_sum() const { return total_sum_; }      ///< Lifetime.
-  uint64_t evicted() const { return evicted_; }  ///< Samples aged out.
-  uint64_t late_dropped() const { return late_dropped_; }
+  /// Lifetime sample count.
+  uint64_t total_count() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_count_;
+  }
+  /// Lifetime sample sum.
+  uint64_t total_sum() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_sum_;
+  }
+  /// Samples aged out of the window.
+  uint64_t evicted() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return evicted_;
+  }
+  uint64_t late_dropped() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return late_dropped_;
+  }
 
   /// Bucket-wise merge (same-start buckets merge their sketches); the
   /// result is trimmed to the newest num_buckets. Requires equal
@@ -91,14 +119,17 @@ class WindowedSeries {
  private:
   /// Bucket holding `at`, materializing (and evicting) as needed;
   /// nullptr when `at` predates the retained window.
-  SeriesBucket* BucketFor(SimTime at);
+  SeriesBucket* BucketFor(SimTime at) NBCP_REQUIRES(mu_);
 
-  SeriesConfig config_;
-  std::deque<SeriesBucket> buckets_;  ///< Ascending by start; sparse.
-  uint64_t total_count_ = 0;
-  uint64_t total_sum_ = 0;
-  uint64_t evicted_ = 0;
-  uint64_t late_dropped_ = 0;
+  SeriesConfig config_;  ///< Immutable after construction.
+
+  mutable Mutex mu_;
+  std::deque<SeriesBucket> buckets_
+      NBCP_GUARDED_BY(mu_);  ///< Ascending by start; sparse.
+  uint64_t total_count_ NBCP_GUARDED_BY(mu_) = 0;
+  uint64_t total_sum_ NBCP_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_ NBCP_GUARDED_BY(mu_) = 0;
+  uint64_t late_dropped_ NBCP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nbcp

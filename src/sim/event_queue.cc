@@ -11,6 +11,7 @@ EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
 }
 
 EventId EventQueue::Push(SimTime at, EventLabel label, std::function<void()> fn) {
+  MutexLock lock(&mu_);
   EventId id = next_id_++;
   uint64_t seq = next_seq_++;
   live_.emplace(id, Entry{at, seq, std::move(label), std::move(fn)});
@@ -21,6 +22,7 @@ EventId EventQueue::Push(SimTime at, EventLabel label, std::function<void()> fn)
 void EventQueue::Cancel(EventId id) {
   // Erasing only from live_ makes Cancel a strict no-op for ids that already
   // fired: the stale heap node (if any) is skipped lazily.
+  MutexLock lock(&mu_);
   live_.erase(id);
 }
 
@@ -31,12 +33,14 @@ void EventQueue::SkipDead() {
 }
 
 SimTime EventQueue::NextTime() {
+  MutexLock lock(&mu_);
   SkipDead();
   assert(!heap_.empty());
   return heap_.top().time;
 }
 
 std::function<void()> EventQueue::Pop(SimTime* time) {
+  MutexLock lock(&mu_);
   SkipDead();
   assert(!heap_.empty());
   EventId id = heap_.top().id;
@@ -49,6 +53,7 @@ std::function<void()> EventQueue::Pop(SimTime* time) {
 }
 
 std::function<void()> EventQueue::PopById(EventId id, SimTime* time) {
+  MutexLock lock(&mu_);
   auto it = live_.find(id);
   if (it == live_.end()) return {};
   *time = it->second.time;
@@ -58,6 +63,7 @@ std::function<void()> EventQueue::PopById(EventId id, SimTime* time) {
 }
 
 std::vector<PendingEvent> EventQueue::Pending() const {
+  MutexLock lock(&mu_);
   std::vector<PendingEvent> out;
   out.reserve(live_.size());
   for (const auto& [id, entry] : live_) {

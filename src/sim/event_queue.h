@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace nbcp {
@@ -58,6 +59,11 @@ struct PendingEvent {
 /// provides time order. Cancellation and PopById remove the map entry and
 /// leave a stale heap node behind, which Pop/NextTime lazily skip. Cancel on
 /// an id that already fired (or never existed) is a strict no-op.
+///
+/// Thread safety: every operation takes mu_, so concurrent producers (timer
+/// threads, network delivery threads) may Push/Cancel against a consumer
+/// loop. Callbacks are *returned* to the caller, never invoked under the
+/// lock — the consumer runs them lock-free.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -75,7 +81,10 @@ class EventQueue {
   void Cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  bool Empty() const { return live_.empty(); }
+  bool Empty() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return live_.empty();
+  }
 
   /// Time of the earliest live event. Requires !Empty().
   SimTime NextTime();
@@ -90,10 +99,16 @@ class EventQueue {
   std::function<void()> PopById(EventId id, SimTime* time);
 
   /// True when `id` is still pending.
-  bool Contains(EventId id) const { return live_.count(id) != 0; }
+  bool Contains(EventId id) const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return live_.count(id) != 0;
+  }
 
   /// Number of live events.
-  size_t Size() const { return live_.size(); }
+  size_t Size() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return live_.size();
+  }
 
   /// Snapshot of all live events in pop order (time, then scheduling seq).
   std::vector<PendingEvent> Pending() const;
@@ -118,12 +133,14 @@ class EventQueue {
   };
 
   /// Drops heap nodes whose entry is gone (cancelled or popped by id).
-  void SkipDead();
+  void SkipDead() NBCP_REQUIRES(mu_);
 
-  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
-  std::unordered_map<EventId, Entry> live_;
-  uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  mutable Mutex mu_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_
+      NBCP_GUARDED_BY(mu_);
+  std::unordered_map<EventId, Entry> live_ NBCP_GUARDED_BY(mu_);
+  uint64_t next_seq_ NBCP_GUARDED_BY(mu_) = 0;
+  EventId next_id_ NBCP_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace nbcp

@@ -66,18 +66,21 @@ void TraceRecorder::Record(SimTime at, SiteId site, TransactionId txn,
     event.stamp = clocks_->Current(site);
   }
   if (store_) {
+    MutexLock lock(&mu_);
     if (capacity_ != 0 && events_.size() >= capacity_) {
       events_.pop_front();
       ++dropped_;
     }
     events_.push_back(event);
   }
-  // Store first, then notify: events the sink records in response appear
-  // after their trigger, which is the order replay reconstructs.
+  // Store first, then notify — with the lock released, so a sink that
+  // records in response (observer chains) re-enters without deadlocking;
+  // its events appear after their trigger, the order replay reconstructs.
   if (sink_) sink_(event);
 }
 
 void TraceRecorder::set_capacity(size_t capacity) {
+  MutexLock lock(&mu_);
   capacity_ = capacity;
   while (capacity_ != 0 && events_.size() > capacity_) {
     events_.pop_front();
@@ -87,6 +90,7 @@ void TraceRecorder::set_capacity(size_t capacity) {
 
 std::vector<TraceEvent> TraceRecorder::ForTransaction(
     TransactionId txn) const {
+  MutexLock lock(&mu_);
   std::vector<TraceEvent> out;
   for (const TraceEvent& e : events_) {
     if (e.txn == txn) out.push_back(e);
@@ -95,6 +99,7 @@ std::vector<TraceEvent> TraceRecorder::ForTransaction(
 }
 
 std::string TraceRecorder::Render(TransactionId txn) const {
+  MutexLock lock(&mu_);
   std::ostringstream out;
   for (const TraceEvent& e : events_) {
     if (txn != kNoTransaction && e.txn != txn) continue;
@@ -113,6 +118,7 @@ std::string TraceRecorder::Render(TransactionId txn) const {
 }
 
 std::string TraceRecorder::RenderLanes(TransactionId txn, size_t n) const {
+  MutexLock lock(&mu_);
   std::ostringstream out;
   const int kWidth = 16;
   out << "time      ";
@@ -150,6 +156,7 @@ std::string TraceRecorder::RenderLanes(TransactionId txn, size_t n) const {
 }
 
 size_t TraceRecorder::Count(TraceEventType type, TransactionId txn) const {
+  MutexLock lock(&mu_);
   size_t count = 0;
   for (const TraceEvent& e : events_) {
     if (e.type != type) continue;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/causal_clock.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace nbcp {
@@ -65,6 +66,14 @@ struct TraceEvent {
 /// Intended for examples, debugging and post-mortem assertions in tests —
 /// benchmarks should leave it off, or cap memory with a ring-buffer
 /// capacity (SystemConfig::trace_capacity) for soak/throughput runs.
+///
+/// Thread safety: the event ring (events_, dropped_, capacity_) is guarded
+/// by mu_, so concurrent sites may Record. The sink is invoked *after* the
+/// lock is released — a sink may itself Record (observer chains) without
+/// deadlocking, and sink order equals store order per recording thread.
+/// set_clocks/set_sink/set_store are setup-time wiring; events() is a
+/// by-reference view for the single-threaded export paths, valid only while
+/// nothing is recording.
 class TraceRecorder {
  public:
   /// `capacity` = maximum retained events; 0 = unbounded (the default).
@@ -95,14 +104,25 @@ class TraceRecorder {
   void set_store(bool store) { store_ = store; }
   bool store() const { return store_; }
 
-  const std::deque<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  const std::deque<TraceEvent>& events() const NBCP_QUIESCENT_READ {
+    return events_;
+  }
+  void Clear() NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    events_.clear();
+  }
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return capacity_;
+  }
   void set_capacity(size_t capacity);
 
   /// Events evicted so far due to the capacity limit.
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return dropped_;
+  }
 
   /// Events of one transaction, in order.
   std::vector<TraceEvent> ForTransaction(TransactionId txn) const;
@@ -121,10 +141,13 @@ class TraceRecorder {
                TransactionId txn = kNoTransaction) const;
 
  private:
-  std::deque<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::deque<TraceEvent> events_ NBCP_GUARDED_BY(mu_);
+  size_t capacity_ NBCP_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ NBCP_GUARDED_BY(mu_) = 0;
+
+  // Setup-time wiring; unguarded (see class comment).
   const CausalClockDomain* clocks_ = nullptr;
-  size_t capacity_ = 0;
-  uint64_t dropped_ = 0;
   bool store_ = true;
   std::function<void(const TraceEvent&)> sink_;
 };

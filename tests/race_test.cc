@@ -1,0 +1,154 @@
+#include "explore/race.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/mutate.h"
+#include "protocols/registry.h"
+
+namespace nbcp {
+namespace {
+
+RaceReport Analyze(const std::string& protocol, RaceOptions options,
+                   const std::string& mutation = "") {
+  auto spec = MakeProtocol(protocol);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  if (!mutation.empty()) {
+    auto mutant = MutateSpec(*spec, mutation);
+    EXPECT_TRUE(mutant.ok()) << mutant.status().ToString();
+    spec = std::move(mutant);
+  }
+  auto report = AnalyzeRaces(*spec, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *report;
+}
+
+TEST(RaceTest, FailureFreeBuiltinsAreConfluent) {
+  // The paper's protocols are deterministic state machines driven by
+  // commutative vote collection: without failures, no delivery order can
+  // change the decision. The analyzer must prove every concurrent pair
+  // confluent for every builtin.
+  for (const std::string& protocol : BuiltinProtocolNames()) {
+    RaceOptions options;
+    options.num_sites = 3;
+    RaceReport report = Analyze(protocol, options);
+    EXPECT_EQ(report.ExitCode(), 0) << protocol << "\n" << report.Render();
+    EXPECT_EQ(report.racy_pairs, 0u) << protocol;
+    EXPECT_EQ(report.ConfluentFraction(), 1.0) << protocol;
+    EXPECT_FALSE(report.bound_exhausted) << protocol;
+  }
+}
+
+TEST(RaceTest, DecentralizedTwoPhaseKnownConfluentPair) {
+  // 2PC-decentralized broadcasts votes everywhere: at n=3 every site sees
+  // concurrent deliveries from its two peers, so the analyzer must find
+  // (and discharge) a substantial pair population, not vacuously pass.
+  RaceOptions options;
+  options.num_sites = 3;
+  RaceReport report = Analyze("2PC-decentralized", options);
+  EXPECT_EQ(report.ExitCode(), 0) << report.Render();
+  EXPECT_GT(report.pairs_examined, 0u);
+  EXPECT_EQ(report.confluent_pairs, report.pairs_examined);
+  EXPECT_EQ(report.racy_pairs, 0u);
+  EXPECT_TRUE(report.races.empty());
+  EXPECT_TRUE(report.witnesses.empty());
+}
+
+TEST(RaceTest, CrashPerturbedTwoPhaseDecentralizedIsDecisionDivergent) {
+  // 2PC blocks: when a site crashes mid-protocol, the order in which a
+  // survivor sees "no" vs the termination state-request decides whether
+  // it aborts or stays blocked in w. The analyzer must find a
+  // decision-divergent race and retain a replayable witness pair.
+  RaceOptions options;
+  options.num_sites = 3;
+  options.max_crashes = 1;
+  RaceReport report = Analyze("2PC-decentralized", options);
+  EXPECT_EQ(report.ExitCode(), 3) << report.Render();
+  EXPECT_GE(report.decision_divergent_pairs, 1u);
+  ASSERT_FALSE(report.races.empty());
+  EXPECT_TRUE(report.races[0].crash_perturbed);
+  EXPECT_FALSE(report.races[0].confluent);
+  ASSERT_FALSE(report.witnesses.empty());
+  const RaceWitnessPair& w = report.witnesses[0];
+  EXPECT_FALSE(w.schedule_ab.empty());
+  EXPECT_FALSE(w.schedule_ba.empty());
+  EXPECT_NE(w.trace_ab_jsonl, w.trace_ba_jsonl);
+}
+
+TEST(RaceTest, CrashPerturbedThreePhaseDivergesOnlyTransiently) {
+  // Skeen's nonblocking claim, seen through the race lens: under a single
+  // crash 3PC-decentralized has outcome-changing races (the window
+  // contents differ), but no delivery order can flip the decision itself.
+  RaceOptions options;
+  options.num_sites = 3;
+  options.max_crashes = 1;
+  RaceReport report = Analyze("3PC-decentralized", options);
+  EXPECT_EQ(report.ExitCode(), 2) << report.Render();
+  EXPECT_GT(report.racy_pairs, 0u);
+  EXPECT_EQ(report.decision_divergent_pairs, 0u);
+}
+
+TEST(RaceTest, PrematureCommitMutantCaughtWithReplayableWitnessPair) {
+  // The premature-commit mutant decides on the first yes vote; with a
+  // dissenting voter still in flight the two delivery orders split the
+  // sites between commit and abort. The witness schedules must round-trip
+  // through the explorer's replay machinery, and the mutant order must be
+  // flagged against the unmutated model while the other order conforms.
+  RaceOptions options;
+  options.num_sites = 3;
+  RaceReport report = Analyze("2PC-central", options, "premature-commit");
+  EXPECT_EQ(report.ExitCode(), 3) << report.Render();
+  EXPECT_GE(report.decision_divergent_pairs, 1u);
+  ASSERT_FALSE(report.witnesses.empty());
+  const RaceWitnessPair& w = report.witnesses[0];
+
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  auto mutant = MutateSpec(*spec, "premature-commit");
+  ASSERT_TRUE(mutant.ok());
+  ExploreOptions replay;
+  replay.num_sites = 3;
+  auto ab = ReplaySchedule(*mutant, replay, w.verdict.votes, w.schedule_ab,
+                           &*spec);
+  auto ba = ReplaySchedule(*mutant, replay, w.verdict.votes, w.schedule_ba,
+                           &*spec);
+  ASSERT_TRUE(ab.ok()) << ab.status().ToString();
+  ASSERT_TRUE(ba.ok()) << ba.status().ToString();
+  int flagged = (ab->ExitCode() != 0) + (ba->ExitCode() != 0);
+  EXPECT_EQ(flagged, 1)
+      << "ab exit " << ab->ExitCode() << ", ba exit " << ba->ExitCode();
+}
+
+TEST(RaceTest, WitnessSchedulesSerializeAndParseBack) {
+  RaceOptions options;
+  options.num_sites = 3;
+  options.max_crashes = 1;
+  RaceReport report = Analyze("2PC-decentralized", options);
+  ASSERT_FALSE(report.witnesses.empty());
+  const RaceWitnessPair& w = report.witnesses[0];
+  std::string jsonl = ScheduleToJsonLines("2PC-decentralized", 3,
+                                          w.verdict.votes, w.schedule_ab);
+  auto parsed = ParseScheduleJsonLines(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_sites, 3u);
+  ASSERT_EQ(parsed->choices.size(), w.schedule_ab.size());
+  for (size_t i = 0; i < parsed->choices.size(); ++i) {
+    EXPECT_EQ(parsed->choices[i].Key(), w.schedule_ab[i].Key()) << i;
+  }
+}
+
+TEST(RaceTest, MultiCrashBudgetsAreRejected) {
+  auto spec = MakeProtocol("2PC-central");
+  ASSERT_TRUE(spec.ok());
+  RaceOptions options;
+  options.num_sites = 3;
+  options.max_crashes = 2;
+  auto report = AnalyzeRaces(*spec, options);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace nbcp

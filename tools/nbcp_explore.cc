@@ -181,6 +181,12 @@ int RunReplay(int argc, char** argv) {
 
   ExploreOptions options;
   options.num_sites = sched->num_sites;
+  // A recorded schedule carries its own failure budget: crash choices are
+  // only offered during replay when max_crashes covers them, so infer the
+  // budget from the schedule instead of defaulting to failure-free.
+  for (const ScheduleChoice& c : sched->choices) {
+    if (c.kind == ScheduleChoice::Kind::kCrash) ++options.max_crashes;
+  }
   auto report = ReplaySchedule(impl, options, sched->votes, sched->choices,
                                &model);
   if (!report.ok()) return Fail(report.status().ToString());

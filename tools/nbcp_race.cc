@@ -1,0 +1,212 @@
+// nbcp-race: semantic message-race detection and confluence classification.
+//
+//   nbcp-race <builtin-name|file.nbcp> [options]
+//   nbcp-race list
+//
+// Scouts deterministic executions of the simulated runtime, collects every
+// pair of pending deliveries to the same site whose sends are unordered by
+// happens-before (vector clocks), and classifies each pair by re-executing
+// both delivery orders from the identical prefix. A pair is *confluent*
+// when both orders leave the receiver in the same FSA state, emit the same
+// messages inside the two-delivery window, and finish the run with
+// identical per-site states and outcomes; otherwise it is an
+// *outcome-changing race* and a replayable witness schedule pair is
+// retained (each schedule replays under `nbcp-explore replay`, each trace
+// under `nbcp-trace check --strict`). With --max-crashes 1, the base
+// schedule is additionally perturbed by one injected crash at every
+// (decision index, site), exposing races in termination and election
+// traffic.
+//
+// Options:
+//   -n <N>              sites in the executed population (default 2)
+//   --votes <v1v2...>   analyze one preset vote vector, e.g. "yn" or "10"
+//                       (default: all 2^n vectors)
+//   --max-crashes <N>   0 = failure-free, 1 = crash-perturbed (default 0)
+//   --max-pairs <N>     candidate-pair classification budget (default 100000)
+//   --max-depth <N>     choices per execution (default 10000)
+//   --mutate <name>     analyze a mutated spec (see `nbcp-explore mutations`)
+//   --seed <N>          simulator seed (default 42)
+//   --json              machine-readable report on stdout
+//   --witness-dir <dir> write witness schedule/trace pairs into <dir>
+//
+// Exit codes (CI contract):
+//   0  every examined pair is confluent
+//   1  usage or infrastructure error
+//   2  outcome-changing race (transient divergence; finals agree or drift)
+//   3  decision-divergent race: the delivery order decides commit vs abort
+//   4  inconclusive: a pair/depth/step bound was exhausted, no race found
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/mutate.h"
+#include "explore/race.h"
+#include "obs/export.h"
+#include "protocols/registry.h"
+#include "cli_common.h"
+
+using namespace nbcp;
+using cli::Fail;
+using cli::LoadSpec;
+using cli::ParseSize;
+using cli::ProtocolLabel;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: nbcp-race <builtin-name|file.nbcp> [-n N] [--votes V]\n"
+      "                 [--max-crashes N] [--max-pairs N] [--max-depth N]\n"
+      "                 [--mutate NAME] [--seed N] [--json]\n"
+      "                 [--witness-dir DIR]\n"
+      "       nbcp-race list\n");
+  return 1;
+}
+
+/// "yn", "10", "YN" -> {true, false}.
+bool ParseVotes(const std::string& text, std::vector<bool>* out) {
+  out->clear();
+  for (char c : text) {
+    if (c == 'y' || c == 'Y' || c == '1') {
+      out->push_back(true);
+    } else if (c == 'n' || c == 'N' || c == '0') {
+      out->push_back(false);
+    } else {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+/// Writes each witness pair as two schedule files + two trace files.
+Status WriteWitnessPairs(const std::string& dir, const std::string& label,
+                         size_t num_sites,
+                         const std::vector<RaceWitnessPair>& witnesses,
+                         std::vector<std::string>* files) {
+  size_t index = 0;
+  for (const RaceWitnessPair& w : witnesses) {
+    std::string base = dir + "/" + label + "-race-" + std::to_string(index++);
+    struct Side {
+      const char* tag;
+      const std::vector<ScheduleChoice>& schedule;
+      const std::string& trace;
+    };
+    for (const Side& side : {Side{"ab", w.schedule_ab, w.trace_ab_jsonl},
+                             Side{"ba", w.schedule_ba, w.trace_ba_jsonl}}) {
+      std::string stem = base + "-" + side.tag;
+      Status s = WriteFile(stem + ".schedule.jsonl",
+                           ScheduleToJsonLines(label, num_sites,
+                                               w.verdict.votes,
+                                               side.schedule));
+      if (!s.ok()) return s;
+      files->push_back(stem + ".schedule.jsonl");
+      if (!side.trace.empty()) {
+        s = WriteFile(stem + ".trace.jsonl", side.trace);
+        if (!s.ok()) return s;
+        files->push_back(stem + ".trace.jsonl");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string target = argv[1];
+  if (target == "list") {
+    for (const std::string& name : BuiltinProtocolNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  RaceOptions options;
+  bool json = false;
+  std::string witness_dir;
+  std::string mutation;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-n") {
+      if (++i >= argc || !ParseSize(argv[i], &options.num_sites) ||
+          options.num_sites < 2) {
+        return Fail("-n requires an integer >= 2");
+      }
+    } else if (arg == "--votes") {
+      if (++i >= argc || !ParseVotes(argv[i], &options.votes)) {
+        return Fail("--votes requires a y/n (or 1/0) string, e.g. yn");
+      }
+      options.all_vote_vectors = false;
+    } else if (arg == "--max-crashes") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_crashes)) {
+        return Fail("--max-crashes requires an integer");
+      }
+    } else if (arg == "--max-pairs") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_pairs) ||
+          options.max_pairs == 0) {
+        return Fail("--max-pairs requires a positive integer");
+      }
+    } else if (arg == "--max-depth") {
+      if (++i >= argc || !ParseSize(argv[i], &options.max_depth) ||
+          options.max_depth == 0) {
+        return Fail("--max-depth requires a positive integer");
+      }
+    } else if (arg == "--mutate") {
+      if (++i >= argc) return Fail("--mutate requires a mutation name");
+      mutation = argv[i];
+    } else if (arg == "--seed") {
+      size_t seed = 0;
+      if (++i >= argc || !ParseSize(argv[i], &seed)) {
+        return Fail("--seed requires an integer");
+      }
+      options.seed = seed;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--witness-dir") {
+      if (++i >= argc) return Fail("--witness-dir requires a directory");
+      witness_dir = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  auto spec = LoadSpec(target);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  std::string label = ProtocolLabel(target, *spec);
+
+  ProtocolSpec impl = *spec;
+  if (!mutation.empty()) {
+    auto mutated = MutateSpec(impl, mutation);
+    if (!mutated.ok()) return Fail(mutated.status().ToString());
+    impl = std::move(*mutated);
+    label += "+" + mutation;
+  }
+
+  auto report = AnalyzeRaces(impl, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::vector<std::string> witness_files;
+  if (!witness_dir.empty()) {
+    Status s = WriteWitnessPairs(witness_dir, label, options.num_sites,
+                                 report->witnesses, &witness_files);
+    if (!s.ok()) return Fail(s.ToString());
+  }
+
+  if (json) {
+    Json doc = report->ToJson();
+    Json files = Json::Array();
+    for (const std::string& path : witness_files) files.Append(path);
+    doc["witness_files"] = std::move(files);
+    std::printf("%s\n", doc.Dump(2).c_str());
+  } else {
+    std::printf("%s", report->Render().c_str());
+    for (const std::string& path : witness_files) {
+      std::printf("witness: %s\n", path.c_str());
+    }
+  }
+  return report->ExitCode();
+}
