@@ -1,0 +1,139 @@
+// Experiment R1: wall-clock throughput of the threaded runtime against the
+// virtual-time simulator on the same pipelined commit workload.
+//
+// Both backends run the identical protocol engine; what differs is the
+// execution substrate. The simulator chews through every site's events on
+// one core; the threaded backend pipelines the batch across one worker
+// thread per site, paying real synchronization (inbox mutexes, PostSync
+// round-trips) for real parallelism. The speedup column is the headline:
+// it answers whether the concurrency the runtime buys outweighs the
+// handoff costs it introduces — and by construction it is honest, because
+// both cells time the same wall clock over the same batch.
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/transaction_manager.h"
+#include "protocols/registry.h"
+
+using namespace nbcp;
+
+namespace {
+
+struct BatchCell {
+  double tps = 0;             ///< Committed transactions per wall second.
+  uint64_t committed = 0;
+  double messages_per_txn = 0;
+};
+
+// Pipelined closed batch: launch every transaction before awaiting any.
+// While the driver is still issuing Launch round-trips for transaction i,
+// the workers (threaded) or the pending event set (sim) already carry the
+// traffic of transactions < i.
+std::optional<BatchCell> RunBatch(const std::string& protocol, size_t n,
+                                  SystemConfig::Backend backend, int batch,
+                                  uint64_t seed) {
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = seed;
+  config.backend = backend;
+  auto system = CommitSystem::Create(config);
+  if (!system.ok()) return std::nullopt;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<TransactionId> txns;
+  txns.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    TransactionId txn = (*system)->Begin();
+    txns.push_back(txn);
+    if (!(*system)->Launch(txn).ok()) return std::nullopt;
+  }
+  for (TransactionId txn : txns) (*system)->AwaitQuiescence(txn);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  BatchCell cell;
+  cell.committed = (*system)->metrics().committed;
+  if (cell.committed == 0) return std::nullopt;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  cell.tps = static_cast<double>(cell.committed) / seconds;
+  cell.messages_per_txn =
+      static_cast<double>((*system)->registry().counter("net/sent").value()) /
+      static_cast<double>(cell.committed);
+  return cell;
+}
+
+void RunThreadedThroughputTable(bench::JsonReport* report) {
+  const int kWarmup = 1;
+  const int kReps = 5;
+  const int kBatch = 256;
+  const unsigned cores = std::thread::hardware_concurrency();
+  report->root()["reps"] = Json(kReps);
+  report->root()["warmup"] = Json(kWarmup);
+  report->root()["batch"] = Json(kBatch);
+  report->root()["hardware_concurrency"] = Json(static_cast<uint64_t>(cores));
+  bench::Banner("R1", "threaded runtime vs simulator: wall-clock throughput");
+  std::printf(
+      "%d pipelined transactions per run (all launched before any await),\n"
+      "%d warmup + median of %d repetitions per cell. Wall time includes\n"
+      "launch round-trips and quiescence. Same engine, same protocol — \n"
+      "only the Transport/Clock backend differs. %u hardware threads.\n\n",
+      kBatch, kWarmup, kReps, cores);
+  std::printf("%-20s %3s | %12s | %12s | %8s | %8s\n", "protocol", "n",
+              "sim tx/s", "threaded tx/s", "speedup", "msgs/txn");
+
+  for (const std::string& protocol : BuiltinProtocolNames()) {
+    for (size_t n : {4u, 8u}) {
+      double messages_per_txn = 0;
+      auto measure = [&](SystemConfig::Backend backend) {
+        return bench::MedianOf(kWarmup, kReps, [&](int i) -> std::optional<double> {
+          auto cell = RunBatch(protocol, n, backend, kBatch,
+                               91 + static_cast<uint64_t>(i));
+          if (!cell.has_value()) return std::nullopt;
+          if (cell->committed != static_cast<uint64_t>(kBatch)) {
+            return std::nullopt;  // A failure-free batch must fully commit.
+          }
+          messages_per_txn = cell->messages_per_txn;
+          return cell->tps;
+        });
+      };
+      bench::Reps sim = measure(SystemConfig::Backend::kSim);
+      bench::Reps threaded = measure(SystemConfig::Backend::kThreaded);
+      if (sim.samples.empty() || threaded.samples.empty()) continue;
+      const double speedup = threaded.median / sim.median;
+      std::printf("%-20s %3zu | %12.0f | %12.0f | %7.2fx | %8.1f\n",
+                  protocol.c_str(), n, sim.median, threaded.median, speedup,
+                  messages_per_txn);
+      report->AddRow("threaded_throughput",
+                     {{"protocol", Json(protocol)},
+                      {"n", Json(static_cast<uint64_t>(n))},
+                      {"sim_tps", Json(sim.median)},
+                      {"threaded_tps", Json(threaded.median)},
+                      {"speedup", Json(speedup)},
+                      {"messages_per_txn", Json(messages_per_txn)}});
+    }
+  }
+  std::printf(
+      "\nShape: the speedup is bounded by min(sites, cores). With cores to\n"
+      "spare, the threaded backend overlaps protocol work across sites and\n"
+      "the advantage grows with messages per transaction; on a single-core\n"
+      "host the column measures pure substrate overhead instead — both\n"
+      "backends then execute the same engine work on the same core, and\n"
+      "every cross-thread handoff the simulator never pays shows up as\n"
+      "speedup < 1. The regression gate pins the measured value either\n"
+      "way: a drop means the runtime's handoff costs grew.\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("threaded_throughput");
+  RunThreadedThroughputTable(&report);
+  return report.Write().empty() ? 1 : 0;
+}

@@ -1,0 +1,127 @@
+// Threaded runtime walkthrough: the same protocol engine the simulator
+// drives, now executed by real threads — one worker per site, bounded
+// inboxes, wall-clock timers — and still fully checkable. The run records
+// both a protocol trace and the schedule the threads actually produced,
+// then writes them out so the offline tools can audit a real concurrent
+// execution:
+//
+//   nbcp-trace check --strict threaded_demo_<protocol>.trace.jsonl
+//   nbcp-explore replay threaded_demo_<protocol>.schedule.jsonl
+//
+// CI runs exactly those two commands against this binary's output: every
+// interleaving the real threads produce must be a schedule the abstract
+// model accepts.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/transaction_manager.h"
+#include "explore/explorer.h"
+#include "obs/export.h"
+#include "runtime/runtime.h"
+
+using namespace nbcp;
+
+namespace {
+
+// A recorded schedule entry is either a site start or a delivery; the
+// explorer's replay speaks ScheduleChoice, so convert record by record.
+std::vector<ScheduleChoice> ToChoices(const std::vector<ScheduleRecord>& log) {
+  std::vector<ScheduleChoice> choices;
+  choices.reserve(log.size());
+  for (const ScheduleRecord& record : log) {
+    ScheduleChoice choice;
+    if (record.kind == 's') {
+      choice.kind = ScheduleChoice::Kind::kStart;
+      choice.site = record.site;
+    } else {
+      choice.kind = ScheduleChoice::Kind::kDeliver;
+      choice.site = record.site;
+      choice.from = record.from;
+      choice.msg_type = record.msg_type;
+      choice.dup = record.dup;
+    }
+    choices.push_back(std::move(choice));
+  }
+  return choices;
+}
+
+int RunDemo(const std::string& protocol, size_t n) {
+  std::printf("\n########## %s, %zu sites, threaded backend ##########\n",
+              protocol.c_str(), n);
+  SystemConfig config;
+  config.protocol = protocol;
+  config.num_sites = n;
+  config.seed = 42;
+  config.backend = SystemConfig::Backend::kThreaded;
+  config.trace = true;
+  config.record_schedule = true;
+  auto system = CommitSystem::Create(config);
+  if (!system.ok()) {
+    std::printf("create failed: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
+  CommitSystem& s = **system;
+
+  TxnResult result = s.RunToCompletion(s.Begin());
+  std::printf("result: %s\n", result.ToString().c_str());
+  if (result.outcome != Outcome::kCommitted) return 1;
+
+  // What actually happened, physically: per-site worker threads exchanged
+  // real messages through bounded inboxes.
+  NetworkStats stats = s.runtime()->transport().StatsSnapshot();
+  std::printf("transport: %lu messages sent, %lu delivered, "
+              "max inbox depth %zu (capacity %zu)\n",
+              static_cast<unsigned long>(stats.messages_sent),
+              static_cast<unsigned long>(stats.messages_delivered),
+              s.runtime()->transport().max_inbox_depth(),
+              ThreadedTransport::Options().inbox_capacity);
+
+  // The protocol trace: every send, delivery, state change and decision,
+  // recorded in an order the single-threaded checkers accept.
+  const std::string trace_path =
+      "threaded_demo_" + protocol + ".trace.jsonl";
+  if (Status st = s.ExportTraceJsonl(trace_path); !st.ok()) {
+    std::printf("trace export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The schedule: the interleaving the threads really produced, in the
+  // explorer's witness format — replayable against the abstract model.
+  std::vector<ScheduleRecord> log = s.runtime()->schedule_log().Snapshot();
+  std::vector<bool> votes(n, true);
+  const std::string schedule_path =
+      "threaded_demo_" + protocol + ".schedule.jsonl";
+  if (Status st = WriteFile(schedule_path,
+                            ScheduleToJsonLines(protocol, n, votes,
+                                                ToChoices(log)));
+      !st.ok()) {
+    std::printf("schedule export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("-> %s (%zu events)\n", trace_path.c_str(),
+              s.trace()->events().size());
+  std::printf("-> %s (%zu scheduling choices)\n", schedule_path.c_str(),
+              log.size());
+  std::printf("audit the concurrency with:\n"
+              "  nbcp-trace check --strict %s\n"
+              "  nbcp-explore replay %s\n",
+              trace_path.c_str(), schedule_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  Logger::Get().set_level(LogLevel::kWarn);
+  std::printf(
+      "Each site is a real thread; the transcript below is not simulated.\n"
+      "Yet every artifact this run writes passes the same model-based\n"
+      "checks as a simulator trace — that is the runtime's contract.\n");
+  int rc = 0;
+  rc |= RunDemo("2PC-central", 4);
+  rc |= RunDemo("3PC-decentralized", 3);
+  return rc;
+}

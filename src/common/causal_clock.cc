@@ -54,6 +54,7 @@ ClockStamp CausalClockDomain::StampOf(size_t index) const {
 ClockStamp CausalClockDomain::OnLocal(SiteId site) {
   if (!InRange(site)) return {};
   size_t i = site - 1;
+  MutexLock lock(&mu_);
   ++lamport_[i];
   ++vc_[i][i];
   return StampOf(i);
@@ -62,6 +63,7 @@ ClockStamp CausalClockDomain::OnLocal(SiteId site) {
 ClockStamp CausalClockDomain::OnDeliver(SiteId site, const ClockStamp& msg) {
   if (!InRange(site)) return {};
   size_t i = site - 1;
+  MutexLock lock(&mu_);
   lamport_[i] = std::max(lamport_[i], msg.lamport) + 1;
   std::vector<uint64_t>& mine = vc_[i];
   size_t common = std::min(mine.size(), msg.vc.size());
@@ -74,10 +76,12 @@ ClockStamp CausalClockDomain::OnDeliver(SiteId site, const ClockStamp& msg) {
 
 ClockStamp CausalClockDomain::Current(SiteId site) const {
   if (!InRange(site)) return {};
+  MutexLock lock(&mu_);
   return StampOf(site - 1);
 }
 
 void CausalClockDomain::Reset() {
+  MutexLock lock(&mu_);
   std::fill(lamport_.begin(), lamport_.end(), 0);
   for (auto& vc : vc_) std::fill(vc.begin(), vc.end(), 0);
 }

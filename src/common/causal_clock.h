@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace nbcp {
@@ -40,10 +41,11 @@ bool HappensBefore(const ClockStamp& a, const ClockStamp& b);
 bool ConcurrentWith(const ClockStamp& a, const ClockStamp& b);
 
 /// Per-site Lamport + vector clocks for an n-site run, ticked by the
-/// transports (network send/deliver) and the simulator (timer firings).
-/// Transport-agnostic: the discrete-event runtime ticks it today, a
-/// threaded runtime can tick the same domain under a lock (or per-site
-/// atomics) tomorrow — consumers only ever see ClockStamp values.
+/// transports (network send/deliver) and the clocks (timer firings).
+/// Transport-agnostic: all state is guarded by one mutex, so the
+/// discrete-event runtime and the threaded runtime tick the same domain —
+/// consumers only ever see ClockStamp values (returned by value, taken
+/// under the lock).
 ///
 /// Tick rules (the classic ones):
 ///   * local event / timer / send:  lamport += 1,  vc[self] += 1;
@@ -63,7 +65,7 @@ class CausalClockDomain {
 
   /// Ticks `site` for a local event (timer firing, protocol start).
   /// Returns the post-tick stamp. No-op ({} returned) for out-of-range ids.
-  ClockStamp OnLocal(SiteId site);
+  ClockStamp OnLocal(SiteId site) NBCP_EXCLUDES(mu_);
 
   /// Ticks `site` for a message send; the returned stamp travels with the
   /// message.
@@ -71,21 +73,24 @@ class CausalClockDomain {
 
   /// Merges a received message's stamp into `site`, then ticks. Unstamped
   /// message stamps merge nothing (plain local tick).
-  ClockStamp OnDeliver(SiteId site, const ClockStamp& msg);
+  ClockStamp OnDeliver(SiteId site, const ClockStamp& msg) NBCP_EXCLUDES(mu_);
 
   /// The current stamp of `site`, without ticking.
-  ClockStamp Current(SiteId site) const;
+  ClockStamp Current(SiteId site) const NBCP_EXCLUDES(mu_);
 
   /// Back to all-zero clocks.
-  void Reset();
+  void Reset() NBCP_EXCLUDES(mu_);
 
  private:
   bool InRange(SiteId site) const { return site >= 1 && site <= n_; }
-  ClockStamp StampOf(size_t index) const;
+  ClockStamp StampOf(size_t index) const NBCP_REQUIRES(mu_);
 
   size_t n_;
-  std::vector<uint64_t> lamport_;            ///< lamport_[i] = site i+1.
-  std::vector<std::vector<uint64_t>> vc_;    ///< vc_[i] = site i+1's vector.
+  mutable Mutex mu_;
+  /// lamport_[i] = site i+1.
+  std::vector<uint64_t> lamport_ NBCP_GUARDED_BY(mu_);
+  /// vc_[i] = site i+1's vector.
+  std::vector<std::vector<uint64_t>> vc_ NBCP_GUARDED_BY(mu_);
 };
 
 }  // namespace nbcp

@@ -45,7 +45,10 @@ class Logger {
   /// Redirects output (nullptr restores stderr).
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
-  /// Writes one record; thread-compatible (the simulator is single-threaded).
+  /// Writes one record. Concurrent Writes are safe (the shared state is
+  /// only read; fprintf is atomic per call), but installing or clearing
+  /// the time source or sink must not race a Write — CommitSystem shuts
+  /// its threaded runtime down before clearing the time source.
   /// `site` = kNoSite omits the site tag.
   void Write(LogLevel level, const std::string& message,
              SiteId site = kNoSite);

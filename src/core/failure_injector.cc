@@ -8,37 +8,47 @@ namespace nbcp {
 void FailureInjector::CrashNow(SiteId site) {
   if (!network_->IsSiteUp(site)) return;
   NBCP_LOG(kInfo) << "injector: crashing site " << site << " at t="
-                  << sim_->now();
+                  << clock_->now();
   ++crash_count_;
   if (metrics_ != nullptr) metrics_->counter("fault/crashes").Inc();
   network_->SetSiteDown(site);
   Participant* p = participant_(site);
-  if (p != nullptr) p->Crash();
+  // Wipe volatile state in the site's own execution context: on the
+  // threaded backend the worker may be mid-handler right now.
+  if (p != nullptr) network_->PostSync(site, [p]() { p->Crash(); });
   detector_->NotifyCrash(site);
 }
 
 void FailureInjector::RecoverNow(SiteId site) {
   if (network_->IsSiteUp(site)) return;
   NBCP_LOG(kInfo) << "injector: recovering site " << site << " at t="
-                  << sim_->now();
+                  << clock_->now();
   if (metrics_ != nullptr) metrics_->counter("fault/recoveries").Inc();
   network_->SetSiteUp(site);
   Participant* p = participant_(site);
-  if (p != nullptr) p->Recover();
+  if (p != nullptr) network_->PostSync(site, [p]() { p->Recover(); });
   detector_->NotifyRecovery(site);
 }
 
 EventId FailureInjector::ScheduleCrash(SiteId site, SimTime at) {
-  return sim_->ScheduleAt(at, [this, site]() { CrashNow(site); });
+  EventLabel label;
+  label.cls = EventClass::kCrash;
+  label.site = site;
+  return clock_->ScheduleLabeledAt(at, std::move(label),
+                                   [this, site]() { CrashNow(site); });
 }
 
 EventId FailureInjector::ScheduleRecovery(SiteId site, SimTime at) {
-  return sim_->ScheduleAt(at, [this, site]() { RecoverNow(site); });
+  EventLabel label;
+  label.cls = EventClass::kCrash;  // Same family: an injected fault event.
+  label.site = site;
+  return clock_->ScheduleLabeledAt(at, std::move(label),
+                                   [this, site]() { RecoverNow(site); });
 }
 
 void FailureInjector::Partition(const std::vector<SiteId>& group_a,
                                 const std::vector<SiteId>& group_b) {
-  NBCP_LOG(kInfo) << "injector: partitioning network at t=" << sim_->now();
+  NBCP_LOG(kInfo) << "injector: partitioning network at t=" << clock_->now();
   if (metrics_ != nullptr) metrics_->counter("fault/partitions").Inc();
   for (SiteId a : group_a) {
     for (SiteId b : group_b) {
@@ -52,7 +62,7 @@ void FailureInjector::Partition(const std::vector<SiteId>& group_a,
 
 void FailureInjector::HealPartition(const std::vector<SiteId>& group_a,
                                     const std::vector<SiteId>& group_b) {
-  NBCP_LOG(kInfo) << "injector: healing partition at t=" << sim_->now();
+  NBCP_LOG(kInfo) << "injector: healing partition at t=" << clock_->now();
   if (metrics_ != nullptr) metrics_->counter("fault/heals").Inc();
   for (SiteId a : group_a) {
     for (SiteId b : group_b) {
@@ -69,8 +79,13 @@ void FailureInjector::CrashDuringBroadcast(SiteId site, TransactionId txn,
                                            size_t allow) {
   Participant* p = participant_(site);
   if (p == nullptr) return;
-  p->ArmSendTrap(txn, std::move(msg_type), allow,
-                 [this, site]() { CrashNow(site); });
+  // Arm in the site's own execution context: the worker thread owns the
+  // participant's trap table on the threaded backend.
+  network_->PostSync(site, [this, p, txn, site,
+                            msg_type = std::move(msg_type), allow]() mutable {
+    p->ArmSendTrap(txn, std::move(msg_type), allow,
+                   [this, site]() { CrashNow(site); });
+  });
 }
 
 }  // namespace nbcp

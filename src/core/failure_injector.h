@@ -1,14 +1,15 @@
 #ifndef NBCP_CORE_FAILURE_INJECTOR_H_
 #define NBCP_CORE_FAILURE_INJECTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <string>
 
 #include "common/types.h"
 #include "core/participant.h"
 #include "net/failure_detector.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "runtime/clock.h"
+#include "runtime/transport.h"
 
 namespace nbcp {
 
@@ -24,9 +25,9 @@ class MetricsRegistry;
 /// transition are actually transmitted".
 class FailureInjector {
  public:
-  FailureInjector(Simulator* sim, Network* network, FailureDetector* detector,
+  FailureInjector(Clock* clock, Transport* network, FailureDetector* detector,
                   std::function<Participant*(SiteId)> participant)
-      : sim_(sim),
+      : clock_(clock),
         network_(network),
         detector_(detector),
         participant_(std::move(participant)) {}
@@ -41,7 +42,8 @@ class FailureInjector {
   /// then the recovery protocol runs). Idempotent while the site is up.
   void RecoverNow(SiteId site);
 
-  /// Schedules a crash at absolute virtual time `at`.
+  /// Schedules a crash at absolute time `at` (virtual on the simulator,
+  /// microseconds since start on the threaded backend).
   EventId ScheduleCrash(SiteId site, SimTime at);
 
   /// Schedules a recovery at absolute virtual time `at`.
@@ -65,7 +67,7 @@ class FailureInjector {
   void HealPartition(const std::vector<SiteId>& group_a,
                      const std::vector<SiteId>& group_b);
 
-  size_t crash_count() const { return crash_count_; }
+  size_t crash_count() const { return crash_count_.load(); }
 
   /// Attaches a metrics registry (not owned; nullptr detaches): counts
   /// "fault/crashes", "fault/recoveries", "fault/partitions" and
@@ -73,12 +75,13 @@ class FailureInjector {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
-  Simulator* sim_;
-  Network* network_;
+  Clock* clock_;
+  Transport* network_;
   FailureDetector* detector_;
   std::function<Participant*(SiteId)> participant_;
   MetricsRegistry* metrics_ = nullptr;
-  size_t crash_count_ = 0;
+  /// Atomic: bumped from whichever execution context trips the crash.
+  std::atomic<size_t> crash_count_{0};
 };
 
 }  // namespace nbcp

@@ -11,7 +11,7 @@
 namespace nbcp {
 
 Participant::Participant(SiteId site, const ProtocolSpec* spec, size_t n,
-                         Simulator* sim, Network* network,
+                         Clock* clock, Transport* network,
                          FailureDetector* detector,
                          const ConcurrencyAnalysis* analysis,
                          std::function<SiteId(SiteId)> analysis_site_map,
@@ -19,7 +19,7 @@ Participant::Participant(SiteId site, const ProtocolSpec* spec, size_t n,
     : site_(site),
       spec_(spec),
       n_(n),
-      sim_(sim),
+      clock_(clock),
       network_(network),
       detector_(detector),
       analysis_(analysis),
@@ -81,7 +81,7 @@ Status Participant::StartProtocol(TransactionId txn) {
   if (crashed_) return Status::Unavailable("site is down");
   Trace(txn, TraceEventType::kProtocolStart);
   if (spans_ != nullptr) {
-    spans_->Begin(txn, site_, CommitPhase::kVoteRequest, sim_->now());
+    spans_->Begin(txn, site_, CommitPhase::kVoteRequest, clock_->now());
   }
   Status started = engine_->StartTransaction(txn);
   if (!started.ok()) return started;
@@ -106,7 +106,7 @@ Status Participant::StartProtocol(TransactionId txn) {
 void Participant::Trace(TransactionId txn, TraceEventType type,
                         std::string detail) const {
   if (trace_ != nullptr) {
-    trace_->Record(sim_->now(), site_, txn, type, std::move(detail));
+    trace_->Record(clock_->now(), site_, txn, type, std::move(detail));
   }
 }
 
@@ -132,7 +132,7 @@ void Participant::OnVoteCast(TransactionId txn, bool yes) {
     record.vote_logged = true;
     Trace(txn, TraceEventType::kVoteCast, yes ? "yes" : "no");
     if (spans_ != nullptr) {
-      spans_->Begin(txn, site_, CommitPhase::kVote, sim_->now());
+      spans_->Begin(txn, site_, CommitPhase::kVote, clock_->now());
     }
   }
 }
@@ -148,7 +148,7 @@ void Participant::OnStateChange(TransactionId txn, const LocalState& state) {
   }
   if (spans_ != nullptr && (state.kind == StateKind::kBuffer ||
                             state.kind == StateKind::kAbortBuffer)) {
-    spans_->Begin(txn, site_, CommitPhase::kPrecommit, sim_->now());
+    spans_->Begin(txn, site_, CommitPhase::kPrecommit, clock_->now());
   }
   Trace(txn, TraceEventType::kStateChange, state.name);
 }
@@ -156,14 +156,14 @@ void Participant::OnStateChange(TransactionId txn, const LocalState& state) {
 void Participant::OnDecision(TransactionId txn, Outcome outcome) {
   TxnRecord& record = Record(txn);
   record.outcome = outcome;
-  record.decision_time = sim_->now();
+  record.decision_time = clock_->now();
   record.blocked = false;
   if (!dt_log_.OutcomeOf(txn).has_value()) {
     dt_log_.Append(txn, outcome == Outcome::kCommitted ? DtLogEvent::kCommit
                                                        : DtLogEvent::kAbort);
   }
   Trace(txn, TraceEventType::kDecision, ToString(outcome));
-  if (spans_ != nullptr) spans_->MarkDecision(txn, site_, sim_->now());
+  if (spans_ != nullptr) spans_->MarkDecision(txn, site_, clock_->now());
   ApplyOutcomeToDb(txn, outcome);
 }
 
@@ -221,7 +221,7 @@ void Participant::OnNetMessage(const Message& message) {
       !engine_->HasTransaction(message.txn)) {
     // First protocol message about this transaction: the site's
     // vote-request phase starts when the request reaches it.
-    spans_->Begin(message.txn, site_, CommitPhase::kVoteRequest, sim_->now());
+    spans_->Begin(message.txn, site_, CommitPhase::kVoteRequest, clock_->now());
   }
   engine_->OnMessage(message);
 }
@@ -352,7 +352,7 @@ void Participant::Recover() {
       return true;
     }
     trap.tripped = true;
-    if (trap.on_trip) sim_->ScheduleAfter(0, trap.on_trip);
+    if (trap.on_trip) clock_->ScheduleTimer(0, site_, trap.on_trip);
     return false;
   };
   engine_->set_hooks(std::move(hooks));
@@ -363,10 +363,10 @@ void Participant::Recover() {
     if (termination_) termination_->OnElected(tag, leader);
   };
   if (config_.use_ring_election) {
-    election_ = std::make_unique<RingElection>(site_, sim_, network_, alive,
+    election_ = std::make_unique<RingElection>(site_, clock_, network_, alive,
                                                on_elected, config_.election);
   } else {
-    election_ = std::make_unique<BullyElection>(site_, sim_, network_, alive,
+    election_ = std::make_unique<BullyElection>(site_, clock_, network_, alive,
                                                 on_elected, config_.election);
   }
 
@@ -383,9 +383,9 @@ void Participant::Recover() {
     }
     TxnRecord& record = Record(txn);
     if (!record.termination_start.has_value()) {
-      record.termination_start = sim_->now();
+      record.termination_start = clock_->now();
       if (spans_ != nullptr) {
-        spans_->BeginTermination(txn, site_, sim_->now());
+        spans_->BeginTermination(txn, site_, clock_->now());
       }
     }
     engine_->Freeze(txn);
@@ -405,7 +405,7 @@ void Participant::Recover() {
     record.via_termination = true;
     record.blocked = false;
     Trace(txn, TraceEventType::kTerminationDecide, ToString(outcome));
-    if (spans_ != nullptr) spans_->EndTermination(txn, site_, sim_->now());
+    if (spans_ != nullptr) spans_->EndTermination(txn, site_, clock_->now());
   };
   term_hooks.on_blocked = [this](TransactionId txn) {
     Record(txn).blocked = true;
@@ -420,7 +420,7 @@ void Participant::Recover() {
     if (s.kind == StateKind::kAbortBuffer) term_config.quorum_mode = true;
   }
   termination_ = std::make_unique<TerminationProtocol>(
-      site_, sim_, network_, election_.get(), analysis_,
+      site_, clock_, network_, election_.get(), analysis_,
       std::move(term_hooks), term_config);
 
   RecoveryHooks rec_hooks;
@@ -449,7 +449,7 @@ void Participant::Recover() {
     termination_->Initiate(txn);
   };
   recovery_ = std::make_unique<RecoveryManager>(
-      site_, sim_, network_, &dt_log_, std::move(rec_hooks),
+      site_, clock_, network_, &dt_log_, std::move(rec_hooks),
       config_.recovery);
 
   // Rebuild database state from the WAL: committed transactions reapplied,

@@ -19,11 +19,11 @@
 #include "election/election.h"
 #include "fsa/protocol_spec.h"
 #include "net/failure_detector.h"
-#include "net/network.h"
+#include "runtime/transport.h"
 #include "protocols/engine.h"
 #include "recovery/dt_log.h"
 #include "recovery/recovery_manager.h"
-#include "sim/simulator.h"
+#include "runtime/clock.h"
 #include "termination/termination.h"
 #include "trace/trace.h"
 
@@ -51,7 +51,7 @@ struct ParticipantConfig {
 class Participant {
  public:
   Participant(SiteId site, const ProtocolSpec* spec, size_t n,
-              Simulator* sim, Network* network, FailureDetector* detector,
+              Clock* clock, Transport* network, FailureDetector* detector,
               const ConcurrencyAnalysis* analysis,
               std::function<SiteId(SiteId)> analysis_site_map,
               ParticipantConfig config = {});
@@ -170,8 +170,8 @@ class Participant {
   SiteId site_;
   const ProtocolSpec* spec_;
   size_t n_;
-  Simulator* sim_;
-  Network* network_;
+  Clock* clock_;
+  Transport* network_;
   FailureDetector* detector_;
   const ConcurrencyAnalysis* analysis_;
   std::function<SiteId(SiteId)> analysis_site_map_;

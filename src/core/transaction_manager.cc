@@ -23,18 +23,40 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
     return Status::InvalidArgument("need at least 2 sites");
   }
 
+  const bool threaded = config.backend == SystemConfig::Backend::kThreaded;
+  if (threaded && (config.observe || config.blocking) &&
+      config.trace_capacity != 0) {
+    return Status::InvalidArgument(
+        "threaded observe/blocking need an unbounded trace buffer "
+        "(trace_capacity = 0): events are replayed to the observer "
+        "after quiescence");
+  }
+
   auto system = std::unique_ptr<CommitSystem>(new CommitSystem());
   system->config_ = config;
-  system->sim_ = std::make_unique<Simulator>(config.seed);
-  // Causal clocks are always on: the network ticks sends/deliveries, the
-  // simulator ticks timers, and (when tracing) every event carries a sample.
+  // Causal clocks are always on: the transport ticks sends/deliveries, the
+  // clock ticks timers, and (when tracing) every event carries a sample.
   system->clocks_ = std::make_unique<CausalClockDomain>(config.num_sites);
-  system->sim_->set_clocks(system->clocks_.get());
-  system->network_ =
-      std::make_unique<Network>(system->sim_.get(), config.delay);
-  system->network_->set_clocks(system->clocks_.get());
+  if (threaded) {
+    ThreadedRuntime::Options rt;
+    rt.seed = config.seed;
+    rt.inbox_capacity = config.inbox_capacity;
+    rt.record_schedule = config.record_schedule;
+    rt.quiesce_timeout_ms = config.quiesce_timeout_ms;
+    system->runtime_ = std::make_unique<ThreadedRuntime>(rt);
+    system->clock_ = &system->runtime_->clock();
+    system->transport_ = &system->runtime_->transport();
+  } else {
+    system->sim_ = std::make_unique<Simulator>(config.seed);
+    system->network_ =
+        std::make_unique<Network>(system->sim_.get(), config.delay);
+    system->clock_ = system->sim_.get();
+    system->transport_ = system->network_.get();
+  }
+  system->clock_->set_clocks(system->clocks_.get());
+  system->transport_->set_clocks(system->clocks_.get());
   system->detector_ = std::make_unique<FailureDetector>(
-      system->sim_.get(), system->network_.get(), config.detection_delay);
+      system->clock_, system->transport_, config.detection_delay);
   system->spec_ = std::make_unique<ProtocolSpec>(std::move(spec));
 
   Status valid = system->spec_->Validate();
@@ -61,17 +83,27 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
                                       config.num_sites, analysis_n);
 
   system->spans_.set_metrics(&system->registry_);
-  system->network_->set_metrics(&system->registry_);
+  system->transport_->set_metrics(&system->registry_);
 
   for (SiteId site = 1; site <= config.num_sites; ++site) {
     system->participants_.push_back(std::make_unique<Participant>(
-        site, system->spec_.get(), config.num_sites, system->sim_.get(),
-        system->network_.get(), system->detector_.get(),
+        site, system->spec_.get(), config.num_sites, system->clock_,
+        system->transport_, system->detector_.get(),
         system->analysis_.get(), site_map, config.participant));
     system->participants_.back()->set_obs(&system->registry_,
                                           &system->spans_);
     Status attached = system->participants_.back()->Attach();
     if (!attached.ok()) return attached;
+  }
+
+  if (threaded && (config.trace || config.observe || config.blocking ||
+                   config.record_schedule)) {
+    // A trace consumer is attached: run the workers in serialized-
+    // observation mode so every triggering event and the transition it
+    // causes form one atomic block in the recorded stream (the
+    // event-at-a-time semantics cut-based checks assume). Without a
+    // consumer the workers run fully in parallel.
+    system->runtime_->transport().set_serialized(true);
   }
 
   if (config.trace || config.observe || config.blocking) {
@@ -80,27 +112,31 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
     recorder->set_clocks(system->clocks_.get());
     // With observe-only (no trace), the recorder is a pure event bus: it
     // stores nothing and just feeds the observer sink.
-    recorder->set_store(config.trace);
-    Simulator* sim = system->sim_.get();
+    // On the threaded backend the observer/blocking monitor are fed from
+    // the stored events after quiescence, so storage must be on even in
+    // observe-only mode.
+    recorder->set_store(config.trace ||
+                        (threaded && (config.observe || config.blocking)));
+    Clock* clock = system->clock_;
     for (auto& participant : system->participants_) {
       participant->set_trace(recorder);
     }
-    system->network_->set_observer(
-        [recorder, sim](const Message& m, char phase) {
+    system->transport_->set_observer(
+        [recorder, clock](const Message& m, char phase) {
           switch (phase) {
             case 's':
-              recorder->Record(sim->now(), m.from, m.txn,
+              recorder->Record(clock->now(), m.from, m.txn,
                                TraceEventType::kMessageSent,
                                m.type + "->" + std::to_string(m.to), m.seq);
               break;
             case 'd':
-              recorder->Record(sim->now(), m.to, m.txn,
+              recorder->Record(clock->now(), m.to, m.txn,
                                TraceEventType::kMessageDelivered,
                                m.type + "<-" + std::to_string(m.from),
                                m.seq);
               break;
             default:
-              recorder->Record(sim->now(), m.to, m.txn,
+              recorder->Record(clock->now(), m.to, m.txn,
                                TraceEventType::kMessageDropped,
                                m.type + "<-" + std::to_string(m.from),
                                m.seq);
@@ -108,9 +144,9 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
         });
     // Link-topology changes matter to the observer (concurrency-set checks
     // are only sound failure-free) and to trace consumers.
-    system->network_->set_link_observer(
-        [recorder, sim](SiteId a, SiteId b, bool cut) {
-          recorder->Record(sim->now(), kNoSite, kNoTransaction,
+    system->transport_->set_link_observer(
+        [recorder, clock](SiteId a, SiteId b, bool cut) {
+          recorder->Record(clock->now(), kNoSite, kNoTransaction,
                            cut ? TraceEventType::kLinkCut
                                : TraceEventType::kLinkRestored,
                            std::to_string(a) + "-" + std::to_string(b));
@@ -135,9 +171,14 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
     system->blocking_->set_metrics(&system->registry_);
   }
 
-  if (system->observer_ != nullptr || system->blocking_ != nullptr) {
+  if (!threaded &&
+      (system->observer_ != nullptr || system->blocking_ != nullptr)) {
     // Shared event bus: the observer consumes each event first so the
-    // monitor's cross-checks see up-to-date global state.
+    // monitor's cross-checks see up-to-date global state. Threaded runs
+    // skip the live sink — TraceRecorder invokes sinks outside its lock,
+    // so concurrent site threads would feed the (unlocked) observer out of
+    // order; instead AwaitQuiescence replays the stored events on the
+    // driver thread (FeedDeferredEvents).
     system->trace_->set_sink(
         [obs = system->observer_.get(),
          blocking = system->blocking_.get()](const TraceEvent& e) {
@@ -146,12 +187,12 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
         });
   }
 
-  // Log records carry virtual-time context while this system is alive.
+  // Log records carry time context while this system is alive.
   system->log_time_token_ = Logger::Get().SetTimeSource(
-      [sim = system->sim_.get()]() { return sim->now(); });
+      [clock = system->clock_]() { return clock->now(); });
 
   system->injector_ = std::make_unique<FailureInjector>(
-      system->sim_.get(), system->network_.get(), system->detector_.get(),
+      system->clock_, system->transport_, system->detector_.get(),
       [raw = system.get()](SiteId site) -> Participant* {
         if (site == kNoSite || site > raw->config_.num_sites) return nullptr;
         return raw->participants_[site - 1].get();
@@ -162,13 +203,22 @@ Result<std::unique_ptr<CommitSystem>> CommitSystem::CreateWithSpec(
 }
 
 CommitSystem::~CommitSystem() {
+  // Stop the threaded runtime (timer thread + site workers) before tearing
+  // down anything they might touch — including the logger's time source,
+  // which Logger::Write reads unguarded.
+  if (runtime_ != nullptr) runtime_->Shutdown();
   Logger::Get().ClearTimeSource(log_time_token_);
 }
 
 TransactionId CommitSystem::Begin() { return next_txn_++; }
 
 void CommitSystem::SetVote(TransactionId txn, SiteId site, bool vote) {
-  participant(site).SetVote(txn, vote);
+  // Per-site state: run in the site's execution context (inline on the
+  // simulator, the site's worker thread on the threaded backend).
+  transport_->PostSync(site,
+                       [this, txn, site, vote]() {
+                         participant(site).SetVote(txn, vote);
+                       });
 }
 
 Status CommitSystem::SubmitOps(TransactionId txn,
@@ -182,7 +232,10 @@ Status CommitSystem::SubmitOps(TransactionId txn,
   }
   Status overall = Status::OK();
   for (const auto& [site, site_ops] : by_site) {
-    Status s = participant(site).SubmitLocalOps(txn, site_ops);
+    Status s = Status::OK();
+    transport_->PostSync(site, [this, txn, site = site, &site_ops, &s]() {
+      s = participant(site).SubmitLocalOps(txn, site_ops);
+    });
     if (!s.ok()) overall = s;  // The site will vote no; report it.
   }
   return overall;
@@ -190,24 +243,51 @@ Status CommitSystem::SubmitOps(TransactionId txn,
 
 Status CommitSystem::Launch(TransactionId txn) {
   LaunchInfo info;
-  info.start_time = sim_->now();
-  info.messages_before = network_->stats().messages_sent;
+  info.start_time = clock_->now();
+  info.messages_before = transport_->StatsSnapshot().messages_sent;
   launches_[txn] = info;
+
+  // Starting the protocol mutates per-site state, so it must happen in the
+  // site's own execution context: PostSync is inline on the simulator and
+  // a blocking hop to the site's worker on the threaded backend. The
+  // request arrival is a local event in the causal order.
+  auto start_at = [this, txn](SiteId site) {
+    Status s = Status::OK();
+    transport_->PostSync(site, [this, txn, site, &s]() {
+      ClockStamp stamp = clocks_->OnLocal(site);
+      if (runtime_ != nullptr) runtime_->RecordStart(site, std::move(stamp));
+      s = participant(site).StartProtocol(txn);
+    });
+    return s;
+  };
 
   if (spec_->paradigm() != Paradigm::kDecentralized) {
     // Central-site and linear: the client hands the request to site 1.
-    // The request arrival is a local event in the causal order.
-    clocks_->OnLocal(1);
-    return participant(1).StartProtocol(txn);
+    return start_at(1);
   }
   Status overall = Status::OK();
   for (SiteId site = 1; site <= config_.num_sites; ++site) {
-    if (!network_->IsSiteUp(site)) continue;
-    clocks_->OnLocal(site);
-    Status s = participant(site).StartProtocol(txn);
+    if (!transport_->IsSiteUp(site)) continue;
+    Status s = start_at(site);
     if (!s.ok()) overall = s;
   }
   return overall;
+}
+
+void CommitSystem::FeedDeferredEvents() {
+  if (trace_ == nullptr || !trace_->store()) return;
+  if (observer_ == nullptr && blocking_ == nullptr) return;
+  // Index-based loop: the observer appends its own timeline events to the
+  // same store while we iterate, and those must be fed to the blocking
+  // monitor too. The observer ignores the kinds it emits, so this
+  // terminates.
+  while (true) {
+    size_t size = trace_->events().size();
+    if (fed_events_ >= size) break;
+    const TraceEvent e = trace_->events()[fed_events_++];
+    if (observer_ != nullptr) observer_->OnEvent(e);
+    if (blocking_ != nullptr) blocking_->OnEvent(e);
+  }
 }
 
 TxnResult CommitSystem::Summarize(TransactionId txn) const {
@@ -227,7 +307,7 @@ TxnResult CommitSystem::Summarize(TransactionId txn) const {
       ++result.decided_sites;
       auto when = p.DecisionTime(txn);
       if (when.has_value()) last_decision = std::max(last_decision, *when);
-    } else if (network_->IsSiteUp(site) && p.KnowsTransaction(txn)) {
+    } else if (transport_->IsSiteUp(site) && p.KnowsTransaction(txn)) {
       // Operational, aware of the transaction, yet unable to decide:
       // blocked. (A site that crashed before the transaction ever reached
       // it has no local state to resolve and is not blocked.)
@@ -254,17 +334,28 @@ TxnResult CommitSystem::Summarize(TransactionId txn) const {
   auto launch = launches_.find(txn);
   if (launch != launches_.end()) {
     result.start_time = launch->second.start_time;
-    result.messages =
-        network_->stats().messages_sent - launch->second.messages_before;
+    result.messages = transport_->StatsSnapshot().messages_sent -
+                      launch->second.messages_before;
   }
   result.end_time = std::max(last_decision, result.start_time);
   return result;
 }
 
 TxnResult CommitSystem::AwaitQuiescence(TransactionId txn) {
-  size_t executed = sim_->Run(config_.max_events_per_run);
-  if (executed >= config_.max_events_per_run) {
-    NBCP_LOG(kWarn) << "event cap reached while awaiting quiescence";
+  if (runtime_ != nullptr) {
+    if (!runtime_->WaitQuiescent()) {
+      NBCP_LOG(kWarn) << "threaded runtime did not quiesce within "
+                      << config_.quiesce_timeout_ms << "ms";
+    }
+    // Site threads are idle now; replay the stored trace to the observer
+    // and blocking monitor on this (the driver) thread. Store order is a
+    // valid linearization of the causal order.
+    FeedDeferredEvents();
+  } else {
+    size_t executed = sim_->Run(config_.max_events_per_run);
+    if (executed >= config_.max_events_per_run) {
+      NBCP_LOG(kWarn) << "event cap reached while awaiting quiescence";
+    }
   }
   TxnResult result = Summarize(txn);
   metrics_.Record(result);
@@ -282,8 +373,8 @@ TxnResult CommitSystem::AwaitQuiescence(TransactionId txn) {
   registry_.histogram("txn/messages").Record(result.messages);
   // Windowed view of the same latencies, bucketed by completion time, so
   // "p95 over the last stretch of virtual time" is answerable.
-  registry_.series("txn/latency_us").Record(sim_->now(), result.latency());
-  if (blocking_ != nullptr) blocking_->Finalize(sim_->now());
+  registry_.series("txn/latency_us").Record(clock_->now(), result.latency());
+  if (blocking_ != nullptr) blocking_->Finalize(clock_->now());
   registry_.histogram("txn/commit_path_latency_us")
       .Record(result.commit_path_latency());
   if (result.used_termination) {
@@ -306,15 +397,18 @@ std::string CommitSystem::MetricsSnapshotJson(int indent) const {
   root["protocol"] = Json(spec_->name());
   root["num_sites"] = Json(config_.num_sites);
   root["seed"] = Json(config_.seed);
-  root["virtual_time_us"] = Json(sim_->now());
+  root["virtual_time_us"] = Json(clock_->now());
+  root["backend"] = Json(sim_ != nullptr ? "sim" : "threaded");
 
-  Json sim = Json::Object();
-  sim["events_executed"] = Json(sim_->stats().events_executed);
-  sim["events_scheduled"] = Json(sim_->stats().events_scheduled);
-  sim["max_queue_depth"] = Json(sim_->stats().max_queue_depth);
-  root["sim"] = sim;
+  if (sim_ != nullptr) {
+    Json sim = Json::Object();
+    sim["events_executed"] = Json(sim_->stats().events_executed);
+    sim["events_scheduled"] = Json(sim_->stats().events_scheduled);
+    sim["max_queue_depth"] = Json(sim_->stats().max_queue_depth);
+    root["sim"] = sim;
+  }
 
-  const NetworkStats& net = network_->stats();
+  const NetworkStats net = transport_->StatsSnapshot();
   Json network = Json::Object();
   network["messages_sent"] = Json(net.messages_sent);
   network["messages_delivered"] = Json(net.messages_delivered);
@@ -332,7 +426,7 @@ std::string CommitSystem::MetricsPrometheusText(SimTime window) const {
       {"sites", std::to_string(config_.num_sites)},
       {"seed", std::to_string(config_.seed)},
   };
-  return ExportPrometheusText(registry_, labels, sim_->now(), window);
+  return ExportPrometheusText(registry_, labels, clock_->now(), window);
 }
 
 std::string CommitSystem::TraceJsonl() const {

@@ -20,6 +20,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/observer.h"
 #include "obs/span.h"
+#include "runtime/runtime.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -33,6 +34,26 @@ struct SystemConfig {
   DelayModel delay{/*base_delay=*/100, /*jitter=*/50};
   SimTime detection_delay = 500;
   ParticipantConfig participant;
+
+  /// Execution backend behind the engine interface: kSim is the
+  /// single-threaded discrete-event simulation (deterministic, virtual
+  /// time); kThreaded runs one worker thread per site over the in-process
+  /// threaded transport with wall-clock timers (see docs/runtime.md).
+  enum class Backend { kSim, kThreaded };
+  Backend backend = Backend::kSim;
+
+  /// Threaded backend: per-site inbox bound; senders block (backpressure)
+  /// when the receiver's inbox is full.
+  size_t inbox_capacity = 4096;
+
+  /// Threaded backend: log every protocol start and message delivery (with
+  /// causal stamps) so the run's schedule can be replayed through
+  /// nbcp-explore on the simulator.
+  bool record_schedule = false;
+
+  /// Threaded backend: how long AwaitQuiescence waits for the runtime to
+  /// go idle before summarizing anyway.
+  int64_t quiesce_timeout_ms = 30000;
 
   /// Population used for the concurrency analysis backing the termination
   /// decision rule. 0 = min(num_sites, 3). Same-role sites are symmetric,
@@ -99,8 +120,20 @@ class CommitSystem {
   ~CommitSystem();
 
   // --- component access ---------------------------------------------------
+  /// Sim backend only (null on the threaded backend — use clock()).
   Simulator& simulator() { return *sim_; }
+  /// Sim backend only (null on the threaded backend — use transport()).
   Network& network() { return *network_; }
+
+  /// The backend-agnostic seams every component runs against.
+  Clock& clock() { return *clock_; }
+  Transport& transport() { return *transport_; }
+
+  /// True when running on the threaded backend.
+  bool threaded() const { return runtime_ != nullptr; }
+
+  /// The threaded runtime, or nullptr on the sim backend.
+  ThreadedRuntime* runtime() { return runtime_.get(); }
 
   /// The run's Lamport/vector clocks, ticked by the network (send/deliver)
   /// and the simulator (timers); every trace event carries a sample.
@@ -178,8 +211,11 @@ class CommitSystem {
   /// virtual time.
   Status Launch(TransactionId txn);
 
-  /// Runs the simulator until the event queue drains (or the event cap is
-  /// hit), then summarizes `txn`. The result is also recorded in metrics().
+  /// Sim backend: runs the simulator until the event queue drains (or the
+  /// event cap is hit). Threaded backend: blocks until the runtime owes no
+  /// work (empty inboxes, idle handlers, no pending timers), then feeds
+  /// the recorded events to the observer/blocking monitor. Then summarizes
+  /// `txn`; the result is also recorded in metrics().
   TxnResult AwaitQuiescence(TransactionId txn);
 
   /// Launch + AwaitQuiescence.
@@ -191,10 +227,19 @@ class CommitSystem {
  private:
   CommitSystem() = default;
 
+  /// Threaded backend: replays stored trace events (from fed_events_ on)
+  /// through the observer/blocking sink chain on the driver thread. The
+  /// store order is a valid causal linearization — a send is stored before
+  /// the delivery it caused — so the observer sees a consistent history.
+  void FeedDeferredEvents();
+
   SystemConfig config_;
-  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Simulator> sim_;              ///< Sim backend only.
+  std::unique_ptr<ThreadedRuntime> runtime_;    ///< Threaded backend only.
+  Clock* clock_ = nullptr;          ///< -> sim_ or runtime_->clock().
+  Transport* transport_ = nullptr;  ///< -> network_ or runtime_->transport().
   std::unique_ptr<CausalClockDomain> clocks_;
-  std::unique_ptr<Network> network_;
+  std::unique_ptr<Network> network_;            ///< Sim backend only.
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<ProtocolSpec> spec_;
   std::unique_ptr<ReachableStateGraph> graph_;
@@ -208,6 +253,7 @@ class CommitSystem {
   MetricsRegistry registry_;
   SpanCollector spans_;
   uint64_t log_time_token_ = 0;
+  size_t fed_events_ = 0;  ///< FeedDeferredEvents progress cursor.
 
   TransactionId next_txn_ = 1;
   struct LaunchInfo {

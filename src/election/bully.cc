@@ -10,11 +10,11 @@ const char kAnswer[] = "bully:answer";
 const char kLeader[] = "bully:leader";
 }  // namespace
 
-BullyElection::BullyElection(SiteId self, Simulator* sim, Network* network,
+BullyElection::BullyElection(SiteId self, Clock* clock, Transport* network,
                              AliveFn alive_sites, ElectedCallback on_elected,
                              ElectionConfig config)
     : self_(self),
-      sim_(sim),
+      clock_(clock),
       network_(network),
       alive_(std::move(alive_sites)),
       on_elected_(std::move(on_elected)),
@@ -54,8 +54,8 @@ void BullyElection::StartElection(TransactionId tag) {
     DeclareSelf(tag);
     return;
   }
-  round.declare_timer = sim_->ScheduleAfter(
-      config_.response_timeout,
+  round.declare_timer = clock_->ScheduleTimer(
+      config_.response_timeout, self_,
       [this, tag, token = std::weak_ptr<char>(alive_token_)]() {
         if (token.expired()) return;
         Round& r = rounds_[tag];
@@ -76,8 +76,8 @@ void BullyElection::DeclareSelf(TransactionId tag) {
 void BullyElection::FinishRound(TransactionId tag, SiteId leader) {
   Round& round = rounds_[tag];
   if (round.done) return;
-  if (round.declare_timer != 0) sim_->Cancel(round.declare_timer);
-  if (round.takeover_timer != 0) sim_->Cancel(round.takeover_timer);
+  if (round.declare_timer != 0) clock_->Cancel(round.declare_timer);
+  if (round.takeover_timer != 0) clock_->Cancel(round.takeover_timer);
   round.done = true;
   round.running = false;
   round.leader = leader;
@@ -108,11 +108,11 @@ void BullyElection::OnMessage(const Message& message) {
     Round& round = rounds_[tag];
     if (round.done) return;
     round.answered = true;
-    if (round.declare_timer != 0) sim_->Cancel(round.declare_timer);
+    if (round.declare_timer != 0) clock_->Cancel(round.declare_timer);
     // The higher site took over; if it crashes before announcing a leader,
     // restart.
-    round.takeover_timer = sim_->ScheduleAfter(
-        3 * config_.response_timeout,
+    round.takeover_timer = clock_->ScheduleTimer(
+        3 * config_.response_timeout, self_,
         [this, tag, token = std::weak_ptr<char>(alive_token_)]() {
           if (token.expired()) return;
           Round& r = rounds_[tag];
@@ -140,8 +140,8 @@ void BullyElection::OnMessage(const Message& message) {
 void BullyElection::Reset(TransactionId tag) {
   auto it = rounds_.find(tag);
   if (it == rounds_.end()) return;
-  if (it->second.declare_timer != 0) sim_->Cancel(it->second.declare_timer);
-  if (it->second.takeover_timer != 0) sim_->Cancel(it->second.takeover_timer);
+  if (it->second.declare_timer != 0) clock_->Cancel(it->second.declare_timer);
+  if (it->second.takeover_timer != 0) clock_->Cancel(it->second.takeover_timer);
   rounds_.erase(it);
 }
 

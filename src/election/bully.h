@@ -5,8 +5,8 @@
 #include <unordered_map>
 
 #include "election/election.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "runtime/clock.h"
+#include "runtime/transport.h"
 
 namespace nbcp {
 
@@ -18,7 +18,7 @@ namespace nbcp {
 /// (Message::txn carries the election tag).
 class BullyElection : public Election {
  public:
-  BullyElection(SiteId self, Simulator* sim, Network* network,
+  BullyElection(SiteId self, Clock* clock, Transport* network,
                 AliveFn alive_sites, ElectedCallback on_elected,
                 ElectionConfig config = {});
 
@@ -46,8 +46,8 @@ class BullyElection : public Election {
   void FinishRound(TransactionId tag, SiteId leader);
 
   SiteId self_;
-  Simulator* sim_;
-  Network* network_;
+  Clock* clock_;
+  Transport* network_;
   AliveFn alive_;
   ElectedCallback on_elected_;
   ElectionConfig config_;

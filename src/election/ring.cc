@@ -32,11 +32,11 @@ std::string JoinIds(const std::vector<SiteId>& ids) {
 
 }  // namespace
 
-RingElection::RingElection(SiteId self, Simulator* sim, Network* network,
+RingElection::RingElection(SiteId self, Clock* clock, Transport* network,
                            AliveFn alive_sites, ElectedCallback on_elected,
                            ElectionConfig config)
     : self_(self),
-      sim_(sim),
+      clock_(clock),
       network_(network),
       alive_(std::move(alive_sites)),
       on_elected_(std::move(on_elected)),
@@ -82,9 +82,9 @@ void RingElection::StartElection(TransactionId tag) {
   }
   SendToken(tag, std::to_string(self_));
   // Restart if the token is lost to a crash mid-circulation.
-  if (round.retry_timer != 0) sim_->Cancel(round.retry_timer);
-  round.retry_timer = sim_->ScheduleAfter(
-      config_.response_timeout * (alive_().size() + 1),
+  if (round.retry_timer != 0) clock_->Cancel(round.retry_timer);
+  round.retry_timer = clock_->ScheduleTimer(
+      config_.response_timeout * (alive_().size() + 1), self_,
       [this, tag, token = std::weak_ptr<char>(alive_token_)]() {
         if (token.expired()) return;
         Round& r = rounds_[tag];
@@ -112,7 +112,7 @@ void RingElection::AnnounceLeader(TransactionId tag, SiteId leader,
 void RingElection::FinishRound(TransactionId tag, SiteId leader) {
   Round& round = rounds_[tag];
   if (round.done) return;
-  if (round.retry_timer != 0) sim_->Cancel(round.retry_timer);
+  if (round.retry_timer != 0) clock_->Cancel(round.retry_timer);
   round.done = true;
   round.leader = leader;
   if (metrics_ != nullptr) metrics_->counter("election/won").Inc();
@@ -149,7 +149,7 @@ void RingElection::OnMessage(const Message& message) {
 void RingElection::Reset(TransactionId tag) {
   auto it = rounds_.find(tag);
   if (it == rounds_.end()) return;
-  if (it->second.retry_timer != 0) sim_->Cancel(it->second.retry_timer);
+  if (it->second.retry_timer != 0) clock_->Cancel(it->second.retry_timer);
   rounds_.erase(it);
 }
 

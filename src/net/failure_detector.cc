@@ -20,72 +20,124 @@ EventLabel TimerLabel(SiteId subject) {
 }  // namespace
 
 void FailureDetector::Subscribe(SiteId site, Listener listener) {
+  MutexLock lock(&mu_);
   listeners_[site] = std::move(listener);
 }
 
-void FailureDetector::Unsubscribe(SiteId site) { listeners_.erase(site); }
+void FailureDetector::Unsubscribe(SiteId site) {
+  MutexLock lock(&mu_);
+  listeners_.erase(site);
+}
+
+FailureDetector::Listener FailureDetector::ListenerFor(SiteId site) const {
+  MutexLock lock(&mu_);
+  auto it = listeners_.find(site);
+  return it == listeners_.end() ? Listener{} : it->second;
+}
 
 void FailureDetector::NotifyCrash(SiteId site) {
-  if (!down_.insert(site).second) return;  // Already reported down.
+  {
+    MutexLock lock(&mu_);
+    if (!down_.insert(site).second) return;  // Already reported down.
+  }
   NBCP_LOG(kDebug) << "failure detector: site " << site << " crashed";
-  sim_->ScheduleLabeled(detection_delay_, TimerLabel(site), [this, site]() {
+  clock_->ScheduleLabeled(detection_delay_, TimerLabel(site), [this, site]() {
     // The site may have recovered before detection fired; report only the
     // current belief.
-    if (down_.count(site) != 0) Report(site, /*up=*/false);
+    bool still_down;
+    {
+      MutexLock lock(&mu_);
+      still_down = down_.count(site) != 0;
+    }
+    if (still_down) Report(site, /*up=*/false);
   });
 }
 
 void FailureDetector::NotifyRecovery(SiteId site) {
-  if (down_.erase(site) == 0) return;  // Was not down.
+  {
+    MutexLock lock(&mu_);
+    if (down_.erase(site) == 0) return;  // Was not down.
+  }
   NBCP_LOG(kDebug) << "failure detector: site " << site << " recovered";
-  sim_->ScheduleLabeled(detection_delay_, TimerLabel(site), [this, site]() {
-    if (down_.count(site) == 0) Report(site, /*up=*/true);
+  clock_->ScheduleLabeled(detection_delay_, TimerLabel(site), [this, site]() {
+    bool still_up;
+    {
+      MutexLock lock(&mu_);
+      still_up = down_.count(site) == 0;
+    }
+    if (still_up) Report(site, /*up=*/true);
   });
 }
 
 void FailureDetector::Report(SiteId subject, bool up) {
-  // Copy ids first: a listener may subscribe/unsubscribe reentrantly.
+  // Copy the subscriber list first: a listener may subscribe/unsubscribe
+  // reentrantly, and the report itself must run with no lock held.
   std::vector<SiteId> targets;
-  targets.reserve(listeners_.size());
-  for (const auto& [id, fn] : listeners_) targets.push_back(id);
+  {
+    MutexLock lock(&mu_);
+    targets.reserve(listeners_.size());
+    for (const auto& [id, fn] : listeners_) targets.push_back(id);
+  }
   std::sort(targets.begin(), targets.end());
   for (SiteId id : targets) {
     if (id == subject) continue;
     if (!network_->IsSiteUp(id)) continue;  // Crashed subscribers hear nothing.
-    auto it = listeners_.find(id);
-    if (it != listeners_.end()) it->second(subject, up);
+    // Each subscriber reacts in its own execution context (inline on the
+    // simulator, the site's worker thread on the threaded backend).
+    network_->Post(id, [this, id, subject, up]() {
+      Listener listener = ListenerFor(id);
+      if (listener) listener(subject, up);
+    });
   }
 }
 
 bool FailureDetector::IsSuspectedBy(SiteId observer, SiteId subject) const {
+  MutexLock lock(&mu_);
   if (down_.count(subject) != 0) return true;
   return local_suspicions_.count({observer, subject}) != 0;
 }
 
 void FailureDetector::SuspectLocally(SiteId observer, SiteId subject) {
-  if (!local_suspicions_.insert({observer, subject}).second) return;
-  sim_->ScheduleLabeled(detection_delay_, TimerLabel(subject),
-                        [this, observer, subject]() {
-    if (local_suspicions_.count({observer, subject}) == 0) return;
-    if (!network_->IsSiteUp(observer)) return;
-    auto it = listeners_.find(observer);
-    if (it != listeners_.end()) it->second(subject, /*up=*/false);
-  });
+  {
+    MutexLock lock(&mu_);
+    if (!local_suspicions_.insert({observer, subject}).second) return;
+  }
+  clock_->ScheduleLabeled(
+      detection_delay_, TimerLabel(subject), [this, observer, subject]() {
+        {
+          MutexLock lock(&mu_);
+          if (local_suspicions_.count({observer, subject}) == 0) return;
+        }
+        if (!network_->IsSiteUp(observer)) return;
+        network_->Post(observer, [this, observer, subject]() {
+          Listener listener = ListenerFor(observer);
+          if (listener) listener(subject, /*up=*/false);
+        });
+      });
 }
 
 void FailureDetector::UnsuspectLocally(SiteId observer, SiteId subject) {
-  if (local_suspicions_.erase({observer, subject}) == 0) return;
-  sim_->ScheduleLabeled(detection_delay_, TimerLabel(subject),
-                        [this, observer, subject]() {
-    if (local_suspicions_.count({observer, subject}) != 0) return;
-    if (down_.count(subject) != 0) return;  // Genuinely crashed.
-    if (!network_->IsSiteUp(observer)) return;
-    auto it = listeners_.find(observer);
-    if (it != listeners_.end()) it->second(subject, /*up=*/true);
-  });
+  {
+    MutexLock lock(&mu_);
+    if (local_suspicions_.erase({observer, subject}) == 0) return;
+  }
+  clock_->ScheduleLabeled(
+      detection_delay_, TimerLabel(subject), [this, observer, subject]() {
+        {
+          MutexLock lock(&mu_);
+          if (local_suspicions_.count({observer, subject}) != 0) return;
+          if (down_.count(subject) != 0) return;  // Genuinely crashed.
+        }
+        if (!network_->IsSiteUp(observer)) return;
+        network_->Post(observer, [this, observer, subject]() {
+          Listener listener = ListenerFor(observer);
+          if (listener) listener(subject, /*up=*/true);
+        });
+      });
 }
 
 std::vector<SiteId> FailureDetector::SuspectedSites() const {
+  MutexLock lock(&mu_);
   std::vector<SiteId> out(down_.begin(), down_.end());
   std::sort(out.begin(), out.end());
   return out;

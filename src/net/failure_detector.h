@@ -8,9 +8,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "runtime/clock.h"
+#include "runtime/transport.h"
 
 namespace nbcp {
 
@@ -22,14 +23,21 @@ namespace nbcp {
 /// shutting itself down), every operational subscriber is informed after
 /// `detection_delay`. Subscribers that crash before the report fires do not
 /// receive it. Recoveries are reported symmetrically.
+///
+/// Thread safety: the suspicion state is guarded by mu_ (the injector, the
+/// timer path and site threads all touch it on the threaded backend).
+/// Listener callbacks run with no lock held, dispatched through
+/// Transport::Post so each subscriber hears the report in its own
+/// execution context — inline on the simulator, on the site's worker
+/// thread on the threaded backend. Subscribe/Unsubscribe are setup-time.
 class FailureDetector {
  public:
   /// Callback (crashed_or_recovered_site, is_up_now).
   using Listener = std::function<void(SiteId, bool)>;
 
-  FailureDetector(Simulator* sim, Network* network,
+  FailureDetector(Clock* clock, Transport* network,
                   SimTime detection_delay = 500)
-      : sim_(sim), network_(network), detection_delay_(detection_delay) {}
+      : clock_(clock), network_(network), detection_delay_(detection_delay) {}
 
   FailureDetector(const FailureDetector&) = delete;
   FailureDetector& operator=(const FailureDetector&) = delete;
@@ -49,14 +57,18 @@ class FailureDetector {
 
   /// True if the detector currently believes `site` is down (crash view,
   /// shared by all observers).
-  bool IsSuspected(SiteId site) const { return down_.count(site) != 0; }
+  bool IsSuspected(SiteId site) const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return down_.count(site) != 0;
+  }
 
   /// Per-observer view: true when `observer` believes `subject` is down —
   /// either actually crashed, or unreachable across a network partition.
   /// Partitions make the "perfect" detector wrong in exactly the way that
   /// breaks plain 3PC (both sides terminate independently); the quorum
   /// extension exists to survive this.
-  bool IsSuspectedBy(SiteId observer, SiteId subject) const;
+  bool IsSuspectedBy(SiteId observer, SiteId subject) const
+      NBCP_EXCLUDES(mu_);
 
   /// Injects a partition suspicion: `observer` starts believing `subject`
   /// crashed, and is notified through its listener after the detection
@@ -68,23 +80,28 @@ class FailureDetector {
   void UnsuspectLocally(SiteId observer, SiteId subject);
 
   /// Sites the detector believes are down.
-  std::vector<SiteId> SuspectedSites() const;
+  std::vector<SiteId> SuspectedSites() const NBCP_EXCLUDES(mu_);
 
   SimTime detection_delay() const { return detection_delay_; }
 
  private:
   /// Delivers a status-change report to every live subscriber except the
-  /// subject itself.
-  void Report(SiteId subject, bool up);
+  /// subject itself, each in its own execution context.
+  void Report(SiteId subject, bool up) NBCP_EXCLUDES(mu_);
 
-  Simulator* sim_;
-  Network* network_;
+  /// Copies a subscriber's listener under the lock (empty if absent).
+  Listener ListenerFor(SiteId site) const NBCP_EXCLUDES(mu_);
+
+  Clock* clock_;
+  Transport* network_;
   SimTime detection_delay_;
-  std::unordered_map<SiteId, Listener> listeners_;
-  std::unordered_set<SiteId> down_;
+
+  mutable Mutex mu_;
+  std::unordered_map<SiteId, Listener> listeners_ NBCP_GUARDED_BY(mu_);
+  std::unordered_set<SiteId> down_ NBCP_GUARDED_BY(mu_);
 
   /// (observer, subject) partition suspicions layered on the crash view.
-  std::set<std::pair<SiteId, SiteId>> local_suspicions_;
+  std::set<std::pair<SiteId, SiteId>> local_suspicions_ NBCP_GUARDED_BY(mu_);
 };
 
 }  // namespace nbcp

@@ -22,9 +22,14 @@ Status Network::RegisterSite(SiteId site, Handler handler) {
 }
 
 SimTime Network::SampleDelay() {
-  SimTime d = delay_.base_delay;
-  if (delay_.jitter > 0) {
-    d += sim_->rng().Uniform(0, delay_.jitter);
+  DelayModel model;
+  {
+    MutexLock lock(&mu_);
+    model = delay_;
+  }
+  SimTime d = model.base_delay;
+  if (model.jitter > 0) {
+    d += clock_sim_->rng().Uniform(0, model.jitter);
   }
   return d;
 }
@@ -40,7 +45,7 @@ Status Network::Send(Message msg) {
     if (!sender->second.up) {
       return Status::Unavailable("sender site is down");
     }
-    msg.sent_at = sim_->now();
+    msg.sent_at = clock_sim_->now();
     msg.seq = ++next_seq_;
     ++stats_.messages_sent;
     stats_.bytes_sent += msg.payload.size();
@@ -52,7 +57,7 @@ Status Network::Send(Message msg) {
     metrics_->counter("net/sent").Inc();
     // In-flight messages over virtual time: sends minus completions so
     // far. Windowed mean/p95 of this series show queueing pressure.
-    metrics_->series("net/inflight").Record(sim_->now(), inflight);
+    metrics_->series("net/inflight").Record(clock_sim_->now(), inflight);
   }
   if (observer_) observer_(msg, 's');
 
@@ -64,57 +69,48 @@ Status Network::Send(Message msg) {
   label.txn = msg.txn;
   label.msg_type = msg.type;
   label.seq = msg.seq;
-  sim_->ScheduleLabeled(delay, std::move(label), [this, msg = std::move(msg)]() {
-    // Resolve the message's fate and copy the handler under the lock;
-    // everything observable (metrics, observers, the handler itself — which
-    // may Send) runs with the lock released.
-    bool delivered = false;
-    bool receiver_down = false;
-    Handler handler;
-    {
-      MutexLock lock(&mu_);
-      if (cut_links_.count({msg.from, msg.to}) != 0) {
-        ++stats_.messages_dropped;
-      } else {
-        auto receiver = sites_.find(msg.to);
-        if (receiver == sites_.end() || !receiver->second.up) {
-          ++stats_.messages_dropped;
-          receiver_down = true;
-        } else {
-          ++stats_.messages_delivered;
-          delivered = true;
-          handler = receiver->second.handler;
+  clock_sim_->ScheduleLabeled(
+      delay, std::move(label), [this, msg = std::move(msg)]() {
+        // Resolve the message's fate and copy the handler under the lock;
+        // everything observable (metrics, observers, the handler itself —
+        // which may Send) runs with the lock released.
+        bool delivered = false;
+        bool receiver_down = false;
+        Handler handler;
+        {
+          MutexLock lock(&mu_);
+          if (cut_links_.count({msg.from, msg.to}) != 0) {
+            ++stats_.messages_dropped;
+          } else {
+            auto receiver = sites_.find(msg.to);
+            if (receiver == sites_.end() || !receiver->second.up) {
+              ++stats_.messages_dropped;
+              receiver_down = true;
+            } else {
+              ++stats_.messages_delivered;
+              delivered = true;
+              handler = receiver->second.handler;
+            }
+          }
         }
-      }
-    }
-    if (!delivered) {
-      if (receiver_down) {
-        NBCP_LOG_AT(kDebug, msg.to)
-            << "dropped " << msg.ToString() << " (receiver down)";
-      }
-      if (metrics_ != nullptr) metrics_->counter("net/dropped").Inc();
-      if (observer_) observer_(msg, 'x');
-      return;
-    }
-    if (clocks_ != nullptr) clocks_->OnDeliver(msg.to, msg.stamp);
-    if (metrics_ != nullptr) {
-      metrics_->counter("net/delivered").Inc();
-      metrics_->histogram("net/delay_us").Record(sim_->now() - msg.sent_at);
-    }
-    if (observer_) observer_(msg, 'd');
-    handler(msg);
-  });
-  return Status::OK();
-}
-
-Status Network::Broadcast(const Message& msg,
-                          const std::vector<SiteId>& targets) {
-  for (SiteId target : targets) {
-    Message copy = msg;
-    copy.to = target;
-    Status s = Send(std::move(copy));
-    if (!s.ok()) return s;
-  }
+        if (!delivered) {
+          if (receiver_down) {
+            NBCP_LOG_AT(kDebug, msg.to)
+                << "dropped " << msg.ToString() << " (receiver down)";
+          }
+          if (metrics_ != nullptr) metrics_->counter("net/dropped").Inc();
+          if (observer_) observer_(msg, 'x');
+          return;
+        }
+        if (clocks_ != nullptr) clocks_->OnDeliver(msg.to, msg.stamp);
+        if (metrics_ != nullptr) {
+          metrics_->counter("net/delivered").Inc();
+          metrics_->histogram("net/delay_us")
+              .Record(clock_sim_->now() - msg.sent_at);
+        }
+        if (observer_) observer_(msg, 'd');
+        handler(msg);
+      });
   return Status::OK();
 }
 

@@ -11,7 +11,8 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "net/message.h"
-#include "sim/simulator.h"
+#include "runtime/clock.h"
+#include "runtime/transport.h"
 
 namespace nbcp {
 
@@ -21,14 +22,6 @@ class MetricsRegistry;
 struct DelayModel {
   SimTime base_delay = 100;    ///< Fixed component, microseconds.
   SimTime jitter = 0;          ///< Uniform extra delay in [0, jitter].
-};
-
-/// Counters describing all traffic seen by a Network.
-struct NetworkStats {
-  uint64_t messages_sent = 0;       ///< Send() calls accepted.
-  uint64_t messages_delivered = 0;  ///< Handed to a live receiver.
-  uint64_t messages_dropped = 0;    ///< Receiver down or link cut.
-  uint64_t bytes_sent = 0;          ///< Sum of payload sizes.
 };
 
 /// Simulated network realizing the paper's assumptions:
@@ -41,71 +34,45 @@ struct NetworkStats {
 /// Partition support (CutLink) exists for extension studies only; the
 /// reproduction experiments never cut links, per the paper's assumptions.
 ///
-/// Thread safety: site registry, link cuts, traffic counters and the send
-/// sequence are guarded by mu_, so concurrent senders and delivery threads
-/// are safe. Delivery handlers and the traffic/link observers are invoked
-/// with no lock held (a handler may Send). The wiring setters
-/// (set_observer, set_link_observer, set_metrics, set_clocks,
-/// set_delay_model) are setup-time only: call them before traffic starts.
-class Network {
+/// This is the virtual-time implementation of the Transport seam: delivery
+/// is an event scheduled on the Clock after a sampled channel delay, and
+/// Post/PostSync run inline because the single sim thread IS every site's
+/// execution context.
+///
+/// Thread safety: site registry, link cuts, traffic counters, the send
+/// sequence and the delay model are guarded by mu_, so concurrent senders
+/// and delivery threads are safe. Delivery handlers and the traffic/link
+/// observers are invoked with no lock held (a handler may Send). The
+/// wiring setters (set_observer, set_link_observer, set_metrics,
+/// set_clocks) are setup-time only: call them before traffic starts.
+class Network : public Transport {
  public:
-  using Handler = std::function<void(const Message&)>;
-
-  /// Optional traffic observer: phase is 's' (accepted for sending),
-  /// 'd' (delivered to the receiver) or 'x' (dropped: receiver down or
-  /// link cut). Used by the trace recorder.
-  using Observer = std::function<void(const Message&, char phase)>;
-
-  explicit Network(Simulator* sim, DelayModel delay = DelayModel{})
-      : sim_(sim), delay_(delay) {}
+  explicit Network(Clock* clock, DelayModel delay = DelayModel{})
+      : clock_sim_(clock), delay_(delay) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Registers `site` with a delivery handler. A site must be registered
-  /// before it can send or receive. Registering marks the site operational.
-  Status RegisterSite(SiteId site, Handler handler);
+  Status RegisterSite(SiteId site, Handler handler) override;
 
-  /// Sends `msg`; delivery is scheduled after the channel delay. Fails if
-  /// the sender is not registered or is down. A down/unknown *receiver*
-  /// does not fail the send — the message is silently dropped at delivery
-  /// time, as a real network cannot refuse a send to a crashed host.
-  Status Send(Message msg);
+  /// Sends `msg`; delivery is scheduled after the channel delay.
+  Status Send(Message msg) override;
 
-  /// Sends copies of `msg` to every site in `targets` (msg.to overwritten).
-  Status Broadcast(const Message& msg, const std::vector<SiteId>& targets);
+  void SetSiteDown(SiteId site) override;
+  void SetSiteUp(SiteId site) override;
+  bool IsSiteUp(SiteId site) const override;
+  void CutLink(SiteId a, SiteId b) override;
+  void RestoreLink(SiteId a, SiteId b) override;
 
-  /// Marks a site crashed: its pending inbound messages are dropped at
-  /// delivery time and future sends to it are dropped.
-  void SetSiteDown(SiteId site);
-
-  /// Marks a site operational again (after simulated recovery).
-  void SetSiteUp(SiteId site);
-
-  bool IsSiteUp(SiteId site) const;
-
-  /// Severs the directed link a->b (extension studies only).
-  void CutLink(SiteId a, SiteId b);
-
-  /// Restores the directed link a->b.
-  void RestoreLink(SiteId a, SiteId b);
-
-  /// Optional link-topology observer: invoked on CutLink (cut = true) and
-  /// RestoreLink (cut = false). Lets the trace and the global-state
-  /// observer see partitions however they are injected.
-  using LinkObserver = std::function<void(SiteId a, SiteId b, bool cut)>;
-  void set_link_observer(LinkObserver observer) {
+  void set_link_observer(LinkObserver observer) override {
     link_observer_ = std::move(observer);
   }
 
-  /// All registered sites, ascending.
-  std::vector<SiteId> Sites() const;
-
-  /// All registered sites currently operational, ascending.
-  std::vector<SiteId> OperationalSites() const;
+  std::vector<SiteId> Sites() const override;
+  std::vector<SiteId> OperationalSites() const override;
 
   /// By-value snapshot of the traffic counters, safe under concurrency.
-  NetworkStats StatsSnapshot() const NBCP_EXCLUDES(mu_) {
+  NetworkStats StatsSnapshot() const override NBCP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return stats_;
   }
@@ -114,28 +81,43 @@ class Network {
   /// while no other thread is sending or delivering.
   const NetworkStats& stats() const NBCP_QUIESCENT_READ { return stats_; }
 
-  void ResetStats() NBCP_EXCLUDES(mu_) {
+  void ResetStats() override NBCP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     stats_ = NetworkStats{};
   }
 
-  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  /// Inline: the sim thread is every site's execution context.
+  void Post(SiteId site, std::function<void()> fn) override {
+    (void)site;
+    fn();
+  }
+  void PostSync(SiteId site, std::function<void()> fn) override {
+    (void)site;
+    fn();
+  }
 
-  /// Attaches a metrics registry (not owned; nullptr detaches): traffic
-  /// counters ("net/sent", "net/delivered", "net/dropped") and the
-  /// send-to-delivery delay histogram ("net/delay_us").
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_observer(Observer observer) override {
+    observer_ = std::move(observer);
+  }
 
-  /// Attaches the run's causal clocks (not owned; nullptr detaches). When
-  /// set, Send ticks the sender and stamps the message, and delivery merges
-  /// the message's stamp into the receiver before the handler runs — so
-  /// every handler (and everything it records) observes post-merge clocks.
-  /// Dropped messages merge nothing: a crashed receiver learned nothing.
-  void set_clocks(CausalClockDomain* clocks) { clocks_ = clocks; }
+  void set_metrics(MetricsRegistry* metrics) override { metrics_ = metrics; }
 
-  Simulator* simulator() { return sim_; }
-  const DelayModel& delay_model() const { return delay_; }
-  void set_delay_model(DelayModel delay) { delay_ = delay; }
+  void set_clocks(CausalClockDomain* clocks) override { clocks_ = clocks; }
+
+  Clock* clock() { return clock_sim_; }
+
+  DelayModel delay_model() const NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return delay_;
+  }
+
+  /// Swaps the delay model. Guarded like the counters: tests retune delays
+  /// between runs, and nothing stops a threaded driver from doing so while
+  /// deliveries are being scheduled.
+  void set_delay_model(DelayModel delay) NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    delay_ = delay;
+  }
 
  private:
   struct SiteInfo {
@@ -144,12 +126,12 @@ class Network {
   };
 
   /// Samples the delivery delay for one message.
-  SimTime SampleDelay();
+  SimTime SampleDelay() NBCP_EXCLUDES(mu_);
 
-  Simulator* sim_;
-  DelayModel delay_;  ///< Setup-time wiring; unguarded.
+  Clock* clock_sim_;
 
   mutable Mutex mu_;
+  DelayModel delay_ NBCP_GUARDED_BY(mu_);
   std::unordered_map<SiteId, SiteInfo> sites_ NBCP_GUARDED_BY(mu_);
   std::set<std::pair<SiteId, SiteId>> cut_links_ NBCP_GUARDED_BY(mu_);
   NetworkStats stats_ NBCP_GUARDED_BY(mu_);

@@ -50,6 +50,7 @@ void SpanCollector::CloseAt(std::map<Key, size_t>* lane, const Key& key,
 
 void SpanCollector::Begin(TransactionId txn, SiteId site, CommitPhase phase,
                           SimTime at) {
+  MutexLock lock(&mu_);
   Key key{txn, site};
   auto it = open_phase_.find(key);
   if (it != open_phase_.end()) {
@@ -61,10 +62,12 @@ void SpanCollector::Begin(TransactionId txn, SiteId site, CommitPhase phase,
 }
 
 void SpanCollector::End(TransactionId txn, SiteId site, SimTime at) {
+  MutexLock lock(&mu_);
   CloseAt(&open_phase_, Key{txn, site}, at);
 }
 
 void SpanCollector::MarkDecision(TransactionId txn, SiteId site, SimTime at) {
+  MutexLock lock(&mu_);
   Key key{txn, site};
   CloseAt(&open_phase_, key, at);
   spans_.push_back(
@@ -76,6 +79,7 @@ void SpanCollector::MarkDecision(TransactionId txn, SiteId site, SimTime at) {
 
 void SpanCollector::BeginTermination(TransactionId txn, SiteId site,
                                      SimTime at) {
+  MutexLock lock(&mu_);
   Key key{txn, site};
   if (open_term_.count(key) != 0) return;
   open_term_[key] = spans_.size();
@@ -85,10 +89,12 @@ void SpanCollector::BeginTermination(TransactionId txn, SiteId site,
 
 void SpanCollector::EndTermination(TransactionId txn, SiteId site,
                                    SimTime at) {
+  MutexLock lock(&mu_);
   CloseAt(&open_term_, Key{txn, site}, at);
 }
 
 std::vector<PhaseSpan> SpanCollector::ForTransaction(TransactionId txn) const {
+  MutexLock lock(&mu_);
   std::vector<PhaseSpan> out;
   for (const PhaseSpan& span : spans_) {
     if (span.txn == txn) out.push_back(span);
@@ -102,10 +108,12 @@ std::vector<PhaseSpan> SpanCollector::ForTransaction(TransactionId txn) const {
 }
 
 size_t SpanCollector::open_count() const {
+  MutexLock lock(&mu_);
   return open_phase_.size() + open_term_.size();
 }
 
 void SpanCollector::Clear() {
+  MutexLock lock(&mu_);
   spans_.clear();
   open_phase_.clear();
   open_term_.clear();

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace nbcp {
@@ -57,6 +58,10 @@ struct PhaseSpan {
 /// plus at most one open termination span — termination runs concurrently
 /// with (and supersedes) the ordinary commit path, so it is tracked as a
 /// separate lane.
+///
+/// Thread safety: all recording state is guarded by mu_ (on the threaded
+/// backend every site thread records spans concurrently). The by-reference
+/// spans() accessor is for the quiescent export paths only.
 class SpanCollector {
  public:
   SpanCollector() = default;
@@ -69,40 +74,56 @@ class SpanCollector {
   /// Opens a `phase` span at (txn, site), closing any currently open
   /// protocol-phase span at time `at`. Re-opening the already-open phase is
   /// a no-op (hooks may fire more than once per phase).
-  void Begin(TransactionId txn, SiteId site, CommitPhase phase, SimTime at);
+  void Begin(TransactionId txn, SiteId site, CommitPhase phase, SimTime at)
+      NBCP_EXCLUDES(mu_);
 
   /// Closes the open protocol-phase span, if any.
-  void End(TransactionId txn, SiteId site, SimTime at);
+  void End(TransactionId txn, SiteId site, SimTime at) NBCP_EXCLUDES(mu_);
 
   /// Records the zero-length decision marker and closes the open
   /// protocol-phase span.
-  void MarkDecision(TransactionId txn, SiteId site, SimTime at);
+  void MarkDecision(TransactionId txn, SiteId site, SimTime at)
+      NBCP_EXCLUDES(mu_);
 
   /// Opens / closes the termination lane.
-  void BeginTermination(TransactionId txn, SiteId site, SimTime at);
-  void EndTermination(TransactionId txn, SiteId site, SimTime at);
+  void BeginTermination(TransactionId txn, SiteId site, SimTime at)
+      NBCP_EXCLUDES(mu_);
+  void EndTermination(TransactionId txn, SiteId site, SimTime at)
+      NBCP_EXCLUDES(mu_);
 
   /// Appends an already-formed span (trace import).
-  void Add(const PhaseSpan& span) { spans_.push_back(span); }
+  void Add(const PhaseSpan& span) NBCP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    spans_.push_back(span);
+  }
 
-  const std::vector<PhaseSpan>& spans() const { return spans_; }
+  /// By-reference view for the single-threaded export paths; valid only
+  /// while no site thread is recording.
+  const std::vector<PhaseSpan>& spans() const NBCP_QUIESCENT_READ {
+    return spans_;
+  }
 
   /// Spans of one transaction, ordered by (site, begin).
-  std::vector<PhaseSpan> ForTransaction(TransactionId txn) const;
+  std::vector<PhaseSpan> ForTransaction(TransactionId txn) const
+      NBCP_EXCLUDES(mu_);
 
   /// Number of spans still open (blocked terminations, crashed mid-phase).
-  size_t open_count() const;
+  size_t open_count() const NBCP_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() NBCP_EXCLUDES(mu_);
 
  private:
   using Key = std::pair<TransactionId, SiteId>;
 
-  void CloseAt(std::map<Key, size_t>* lane, const Key& key, SimTime at);
+  void CloseAt(std::map<Key, size_t>* lane, const Key& key, SimTime at)
+      NBCP_REQUIRES(mu_);
 
-  std::vector<PhaseSpan> spans_;
-  std::map<Key, size_t> open_phase_;  ///< Index into spans_.
-  std::map<Key, size_t> open_term_;   ///< Index into spans_.
+  mutable Mutex mu_;
+  std::vector<PhaseSpan> spans_ NBCP_GUARDED_BY(mu_);
+  /// Index into spans_.
+  std::map<Key, size_t> open_phase_ NBCP_GUARDED_BY(mu_);
+  /// Index into spans_.
+  std::map<Key, size_t> open_term_ NBCP_GUARDED_BY(mu_);
   MetricsRegistry* metrics_ = nullptr;
 };
 

@@ -9,7 +9,7 @@
 namespace nbcp {
 
 ProtocolEngine::ProtocolEngine(SiteId site, const ProtocolSpec* spec,
-                               size_t n, Network* network)
+                               size_t n, Transport* network)
     : site_(site), spec_(spec), n_(n), network_(network) {}
 
 ProtocolEngine::TxnState& ProtocolEngine::GetOrCreate(TransactionId txn) {

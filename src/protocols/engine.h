@@ -14,7 +14,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "fsa/protocol_spec.h"
-#include "net/network.h"
+#include "runtime/transport.h"
 
 namespace nbcp {
 
@@ -58,7 +58,7 @@ class ProtocolEngine {
  public:
   /// `spec` must outlive the engine. `n` is the site population (1..n).
   ProtocolEngine(SiteId site, const ProtocolSpec* spec, size_t n,
-                 Network* network);
+                 Transport* network);
 
   ProtocolEngine(const ProtocolEngine&) = delete;
   ProtocolEngine& operator=(const ProtocolEngine&) = delete;
@@ -153,7 +153,7 @@ class ProtocolEngine {
   SiteId site_;
   const ProtocolSpec* spec_;
   size_t n_;
-  Network* network_;
+  Transport* network_;
   EngineHooks hooks_;
   std::unordered_map<TransactionId, TxnState> txns_;
   std::set<TransactionId> frozen_;

@@ -8,11 +8,11 @@ const char kQuery[] = "rec:query";
 const char kOutcomeRep[] = "rec:outcome";
 }  // namespace
 
-RecoveryManager::RecoveryManager(SiteId self, Simulator* sim,
-                                 Network* network, DtLog* log,
+RecoveryManager::RecoveryManager(SiteId self, Clock* clock,
+                                 Transport* network, DtLog* log,
                                  RecoveryHooks hooks, RecoveryConfig config)
     : self_(self),
-      sim_(sim),
+      clock_(clock),
       network_(network),
       log_(log),
       hooks_(std::move(hooks)),
@@ -59,8 +59,8 @@ void RecoveryManager::QueryOutcome(TransactionId txn) {
     asked_anyone = true;
   }
   (void)asked_anyone;  // Even with nobody to ask, retry: sites may recover.
-  pending.timer = sim_->ScheduleAfter(
-      config_.query_timeout,
+  pending.timer = clock_->ScheduleTimer(
+      config_.query_timeout, self_,
       [this, txn, token = std::weak_ptr<char>(alive_token_)]() {
         if (token.expired()) return;
         auto it = pending_.find(txn);
@@ -73,7 +73,7 @@ void RecoveryManager::Resolve(TransactionId txn, Outcome outcome) {
   auto it = pending_.find(txn);
   if (it == pending_.end() || it->second.resolved) return;
   it->second.resolved = true;
-  if (it->second.timer != 0) sim_->Cancel(it->second.timer);
+  if (it->second.timer != 0) clock_->Cancel(it->second.timer);
   NBCP_LOG(kDebug) << "site " << self_ << " recovered txn " << txn << " as "
                    << ToString(outcome);
   hooks_.apply_outcome(txn, outcome);

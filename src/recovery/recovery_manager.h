@@ -8,9 +8,9 @@
 #include <vector>
 
 #include "common/types.h"
-#include "net/network.h"
+#include "runtime/clock.h"
 #include "recovery/dt_log.h"
-#include "sim/simulator.h"
+#include "runtime/transport.h"
 
 namespace nbcp {
 
@@ -50,7 +50,7 @@ struct RecoveryConfig {
 /// Message types: "rec:query", "rec:outcome" (payload commit/abort/unknown).
 class RecoveryManager {
  public:
-  RecoveryManager(SiteId self, Simulator* sim, Network* network, DtLog* log,
+  RecoveryManager(SiteId self, Clock* clock, Transport* network, DtLog* log,
                   RecoveryHooks hooks, RecoveryConfig config = {});
 
   RecoveryManager(const RecoveryManager&) = delete;
@@ -80,8 +80,8 @@ class RecoveryManager {
   void Resolve(TransactionId txn, Outcome outcome);
 
   SiteId self_;
-  Simulator* sim_;
-  Network* network_;
+  Clock* clock_;
+  Transport* network_;
   DtLog* log_;
   RecoveryHooks hooks_;
   RecoveryConfig config_;

@@ -1,0 +1,79 @@
+#ifndef NBCP_RUNTIME_CLOCK_H_
+#define NBCP_RUNTIME_CLOCK_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/causal_clock.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace nbcp {
+
+/// Time-and-timer seam between the protocol machinery and an execution
+/// backend.
+///
+/// Every component that needs "what time is it" or "call me back in N
+/// microseconds" (failure detector, termination deadlines, election and
+/// recovery retries, the failure injector) talks to this interface, so the
+/// same component runs unchanged on either backend:
+///   * Simulator implements it with virtual time — timers are events in
+///     the discrete-event queue, `now()` advances only between events;
+///   * WallClock (src/runtime/wall_clock.h) implements it with real time —
+///     timers fire from a dedicated timer thread and are dispatched to the
+///     owning site's worker thread.
+///
+/// Timer site affinity: ScheduleTimer tags the callback with the site that
+/// owns it. The label never affects the simulator's execution (beyond the
+/// causal-clock tick every kTimer firing performs), but it is what lets the
+/// threaded backend run the callback on the right site thread — per-site
+/// protocol state is then only ever touched from one thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds: virtual time on the simulator, elapsed
+  /// wall-clock time since construction on the threaded backend.
+  virtual SimTime now() const = 0;
+
+  /// Seeded deterministic RNG. On the threaded backend this is only
+  /// meaningful from the driver thread (nothing inside the runtime draws
+  /// from it concurrently).
+  virtual Rng& rng() = 0;
+
+  /// Schedules `fn` to run `delay` microseconds from now, tagged with an
+  /// exploration/dispatch label (see EventLabel). With a clock domain
+  /// attached, a kTimer firing at a site ticks that site's causal clock
+  /// before the callback runs.
+  virtual EventId ScheduleLabeled(SimTime delay, EventLabel label,
+                                  std::function<void()> fn) = 0;
+
+  /// Schedules `fn` at absolute time `at` (clamped to >= now()).
+  virtual EventId ScheduleLabeledAt(SimTime at, EventLabel label,
+                                    std::function<void()> fn) = 0;
+
+  /// Cancels a scheduled callback. No-op for ids that already fired.
+  virtual void Cancel(EventId id) = 0;
+
+  /// Attaches the run's causal clocks (not owned; nullptr detaches).
+  virtual void set_clocks(CausalClockDomain* clocks) = 0;
+
+  /// True for the virtual-time simulator backend.
+  virtual bool virtual_time() const = 0;
+
+  /// Schedules a site-owned timeout: a kTimer callback that the threaded
+  /// backend runs on `site`'s worker thread. This is the call every
+  /// protocol-component deadline goes through.
+  EventId ScheduleTimer(SimTime delay, SiteId site,
+                        std::function<void()> fn) {
+    EventLabel label;
+    label.cls = EventClass::kTimer;
+    label.site = site;
+    return ScheduleLabeled(delay, std::move(label), std::move(fn));
+  }
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_RUNTIME_CLOCK_H_

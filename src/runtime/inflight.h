@@ -1,0 +1,56 @@
+#ifndef NBCP_RUNTIME_INFLIGHT_H_
+#define NBCP_RUNTIME_INFLIGHT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace nbcp {
+
+/// Counts work the threaded runtime still owes: queued inbox items
+/// (messages and tasks), handlers currently executing, and pending timers.
+/// Shared by WallClock and ThreadedTransport so the driver can wait for
+/// quiescence: when the count hits zero, nothing in the runtime can create
+/// new work — only the driver can.
+///
+/// Accounting rule: whoever hands work onward increments for the new work
+/// *before* decrementing for the old (timer fires -> dispatch task
+/// enqueued -> timer's own count released), so the count never dips to
+/// zero while a continuation is still in flight.
+class InflightCounter {
+ public:
+  void Add(int64_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  int64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  /// Blocks until the count reaches zero or `timeout_ms` elapses. Returns
+  /// true on quiescence, false on timeout. The zero is not transient: new
+  /// runtime-internal work is only ever created while existing work is
+  /// still counted.
+  bool WaitZero(int64_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [this] { return count_ == 0; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_ = 0;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_RUNTIME_INFLIGHT_H_

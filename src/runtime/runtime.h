@@ -1,0 +1,90 @@
+#ifndef NBCP_RUNTIME_RUNTIME_H_
+#define NBCP_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+
+#include "runtime/inflight.h"
+#include "runtime/schedule_log.h"
+#include "runtime/threaded_transport.h"
+#include "runtime/wall_clock.h"
+
+namespace nbcp {
+
+/// The threaded execution backend, assembled: a WallClock whose fired
+/// timers dispatch to site workers, a ThreadedTransport with one worker
+/// per site, a shared InflightCounter for quiescence, and (optionally) a
+/// ScheduleLog capturing the run's scheduling choices for replay.
+///
+/// CommitSystem owns one of these when SystemConfig::backend is kThreaded
+/// and hands its clock()/transport() to the exact same component stack the
+/// simulator drives.
+class ThreadedRuntime {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    size_t inbox_capacity = 4096;
+    bool record_schedule = false;
+    int64_t quiesce_timeout_ms = 30000;
+  };
+
+  explicit ThreadedRuntime(Options options)
+      : options_(options),
+        clock_(options.seed),
+        transport_(&clock_,
+                   ThreadedTransport::Options{options.inbox_capacity}) {
+    clock_.set_inflight(&inflight_);
+    transport_.set_inflight(&inflight_);
+    clock_.set_dispatcher([this](SiteId site, std::function<void()> fn) {
+      transport_.Post(site, std::move(fn));
+    });
+    if (options_.record_schedule) transport_.set_schedule_log(&log_);
+  }
+
+  ~ThreadedRuntime() { Shutdown(); }
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  WallClock& clock() { return clock_; }
+  ThreadedTransport& transport() { return transport_; }
+  InflightCounter& inflight() { return inflight_; }
+
+  bool record_schedule() const { return options_.record_schedule; }
+  const ScheduleLog& schedule_log() const { return log_; }
+
+  /// Appends a protocol-start choice to the schedule log (the driver calls
+  /// this from inside the PostSync that starts the protocol, so the start
+  /// is ordered before every delivery it causes).
+  void RecordStart(SiteId site, ClockStamp stamp) {
+    if (!options_.record_schedule) return;
+    ScheduleRecord record;
+    record.kind = 's';
+    record.site = site;
+    record.stamp = std::move(stamp);
+    log_.Append(std::move(record));
+  }
+
+  /// Blocks until the runtime owes no work: empty inboxes, idle handlers,
+  /// no pending timers. Returns false on timeout (the run is wedged or
+  /// still legitimately blocked on a deadline that keeps re-arming).
+  bool WaitQuiescent() {
+    return inflight_.WaitZero(options_.quiesce_timeout_ms);
+  }
+
+  /// Stops timers first (no new dispatches), then the workers. Idempotent.
+  void Shutdown() {
+    clock_.Shutdown();
+    transport_.Shutdown();
+  }
+
+ private:
+  const Options options_;
+  InflightCounter inflight_;
+  ScheduleLog log_;
+  WallClock clock_;
+  ThreadedTransport transport_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_RUNTIME_RUNTIME_H_

@@ -1,0 +1,63 @@
+#ifndef NBCP_RUNTIME_SCHEDULE_LOG_H_
+#define NBCP_RUNTIME_SCHEDULE_LOG_H_
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/causal_clock.h"
+#include "common/types.h"
+
+namespace nbcp {
+
+/// One scheduling choice observed during a threaded run, in the vocabulary
+/// nbcp-explore speaks: a protocol start at a site, or a delivery of a
+/// message type at a site from a sender. `stamp` is the receiver's
+/// post-tick causal stamp, so the log carries its own happens-before
+/// evidence.
+struct ScheduleRecord {
+  char kind = 'd';  ///< 's' = protocol start, 'd' = delivery.
+  SiteId site = kNoSite;
+  SiteId from = kNoSite;  ///< Sender (deliveries only).
+  std::string msg_type;   ///< Message type (deliveries only).
+  size_t dup = 0;         ///< Occurrence index among identical channels.
+  ClockStamp stamp;
+};
+
+/// Append-only, mutex-guarded log of the scheduling choices a threaded run
+/// actually made. Per-site workers append deliveries as they pop them (in
+/// handler order), the driver appends starts; the append order is a causal
+/// linearization of the run — a send is always stored before the delivery
+/// it caused — so replaying the log through nbcp-explore reproduces the
+/// execution on the virtual-time backend.
+class ScheduleLog {
+ public:
+  void Append(ScheduleRecord record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(record));
+  }
+
+  std::vector<ScheduleRecord> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ScheduleRecord> records_;
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_RUNTIME_SCHEDULE_LOG_H_

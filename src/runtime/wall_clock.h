@@ -1,0 +1,107 @@
+#ifndef NBCP_RUNTIME_WALL_CLOCK_H_
+#define NBCP_RUNTIME_WALL_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "runtime/clock.h"
+#include "runtime/inflight.h"
+
+namespace nbcp {
+
+/// Real-time implementation of the Clock seam for the threaded backend.
+///
+/// `now()` is microseconds of wall time since construction (steady clock),
+/// so SimTime-denominated component timeouts — the 500us failure-detector
+/// delay, the 20ms termination collect deadline — mean the same thing they
+/// mean in virtual time, just measured by the machine instead of the event
+/// queue.
+///
+/// Timers live in an id-keyed map with a deadline-ordered index,
+/// serviced by one dedicated timer thread that sleeps until the earliest
+/// deadline; scheduling a timer wakes it only when the new deadline
+/// becomes the earliest (protocol deadlines are typically far out and
+/// cancelled before firing, so most schedules cost no context switch).
+/// When a timer fires, the callback is handed to the dispatcher (wired to
+/// ThreadedTransport::Post by ThreadedRuntime) so it runs on the owning
+/// site's worker thread — the thread that owns all of that site's protocol
+/// state. kTimer firings tick the site's causal clock first, exactly like
+/// the simulator. Callbacks without a site (none exist in the protocol
+/// stack today) run inline on the timer thread.
+///
+/// Scheduled timers count toward the shared InflightCounter so the driver's
+/// quiescence wait covers "a deadline is still pending" — which is why
+/// failure-free runs, whose timers are all cancelled before they fire,
+/// must Cancel eagerly (the components already do).
+class WallClock : public Clock {
+ public:
+  using Dispatcher = std::function<void(SiteId, std::function<void()>)>;
+
+  explicit WallClock(uint64_t seed = 42);
+  ~WallClock() override;
+
+  WallClock(const WallClock&) = delete;
+  WallClock& operator=(const WallClock&) = delete;
+
+  SimTime now() const override;
+  Rng& rng() override { return rng_; }
+
+  EventId ScheduleLabeled(SimTime delay, EventLabel label,
+                          std::function<void()> fn) override;
+  EventId ScheduleLabeledAt(SimTime at, EventLabel label,
+                            std::function<void()> fn) override;
+  void Cancel(EventId id) override;
+  void set_clocks(CausalClockDomain* clocks) override { clocks_ = clocks; }
+  bool virtual_time() const override { return false; }
+
+  /// Setup-time wiring: where fired site-owned callbacks run.
+  void set_dispatcher(Dispatcher dispatcher) {
+    dispatcher_ = std::move(dispatcher);
+  }
+
+  /// Setup-time wiring: pending timers count here (not owned).
+  void set_inflight(InflightCounter* inflight) { inflight_ = inflight; }
+
+  size_t PendingTimers() const;
+
+  /// Stops the timer thread and drops (cancels) all pending timers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct Entry {
+    SimTime at = 0;
+    EventLabel label;
+    std::function<void()> fn;
+  };
+
+  /// Deadline-ordered view of pending_ (guarded by mu_).
+  std::multimap<SimTime, EventId> by_time_;
+
+  void TimerLoop();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  Rng rng_;  ///< Driver-thread use only.
+
+  // Setup-time wiring; unguarded.
+  CausalClockDomain* clocks_ = nullptr;
+  Dispatcher dispatcher_;
+  InflightCounter* inflight_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<EventId, Entry> pending_;
+  EventId next_id_ = 1;
+  bool stop_ = false;
+
+  std::thread timer_thread_;  ///< Started last, joined by Shutdown.
+};
+
+}  // namespace nbcp
+
+#endif  // NBCP_RUNTIME_WALL_CLOCK_H_

@@ -9,6 +9,7 @@
 #include "common/causal_clock.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "runtime/clock.h"
 #include "sim/event_queue.h"
 
 namespace nbcp {
@@ -22,13 +23,14 @@ struct SimStats {
   size_t max_queue_depth = 0;
 };
 
-/// Single-threaded discrete-event simulator.
+/// Single-threaded discrete-event simulator: the virtual-time
+/// implementation of the Clock seam.
 ///
 /// All nbcp runtime components (network, sites, failure injector) share one
 /// Simulator. Virtual time advances only between events; within an event
 /// callback, `now()` is constant. Determinism: given the same seed and the
 /// same scheduling sequence, a run is bit-for-bit reproducible.
-class Simulator {
+class Simulator : public Clock {
  public:
   explicit Simulator(uint64_t seed = 42) : rng_(seed) {}
 
@@ -36,10 +38,10 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   /// Shared deterministic RNG.
-  Rng& rng() { return rng_; }
+  Rng& rng() override { return rng_; }
 
   /// Schedules `fn` to run `delay` microseconds from now.
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
@@ -54,14 +56,8 @@ class Simulator {
   /// ticks that site's causal clock first (a timer is a local event: its
   /// callback, and everything it records, runs on post-tick clocks).
   EventId ScheduleLabeled(SimTime delay, EventLabel label,
-                          std::function<void()> fn) {
-    if (clocks_ != nullptr && label.cls == EventClass::kTimer &&
-        label.site != kNoSite) {
-      fn = [clocks = clocks_, site = label.site, inner = std::move(fn)]() {
-        clocks->OnLocal(site);
-        inner();
-      };
-    }
+                          std::function<void()> fn) override {
+    fn = WrapTimerTick(label, std::move(fn));
     EventId id = queue_.Push(now_ + delay, std::move(label), std::move(fn));
     NoteScheduled();
     return id;
@@ -69,7 +65,7 @@ class Simulator {
 
   /// Attaches the run's causal clocks (not owned; nullptr detaches). Only
   /// timer firings scheduled *after* this call tick the clock.
-  void set_clocks(CausalClockDomain* clocks) { clocks_ = clocks; }
+  void set_clocks(CausalClockDomain* clocks) override { clocks_ = clocks; }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to >= now).
   EventId ScheduleAt(SimTime at, std::function<void()> fn) {
@@ -79,8 +75,22 @@ class Simulator {
     return id;
   }
 
+  /// Labeled variant of ScheduleAt, same timer-tick semantics as
+  /// ScheduleLabeled.
+  EventId ScheduleLabeledAt(SimTime at, EventLabel label,
+                            std::function<void()> fn) override {
+    if (at < now_) at = now_;
+    fn = WrapTimerTick(label, std::move(fn));
+    EventId id = queue_.Push(at, std::move(label), std::move(fn));
+    NoteScheduled();
+    return id;
+  }
+
+  /// Virtual time: the simulator backend.
+  bool virtual_time() const override { return true; }
+
   /// Cancels a scheduled event.
-  void Cancel(EventId id) { queue_.Cancel(id); }
+  void Cancel(EventId id) override { queue_.Cancel(id); }
 
   /// Runs events until the queue drains or `max_events` fire.
   /// Returns the number of events executed.
@@ -114,6 +124,22 @@ class Simulator {
   const SimStats& stats() const { return stats_; }
 
  private:
+  /// With a clock domain attached, a timer firing at a site ticks that
+  /// site's causal clock before the callback runs (a timer is a local
+  /// event: its callback, and everything it records, runs on post-tick
+  /// clocks).
+  std::function<void()> WrapTimerTick(const EventLabel& label,
+                                      std::function<void()> fn) {
+    if (clocks_ != nullptr && label.cls == EventClass::kTimer &&
+        label.site != kNoSite) {
+      return [clocks = clocks_, site = label.site, inner = std::move(fn)]() {
+        clocks->OnLocal(site);
+        inner();
+      };
+    }
+    return fn;
+  }
+
   void NoteScheduled() {
     ++stats_.events_scheduled;
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.Size());

@@ -18,11 +18,11 @@ const char kBlockedMsg[] = "term:blocked";
 }  // namespace
 
 TerminationProtocol::TerminationProtocol(
-    SiteId self, Simulator* sim, Network* network, Election* election,
+    SiteId self, Clock* clock, Transport* network, Election* election,
     const ConcurrencyAnalysis* analysis, TerminationHooks hooks,
     TerminationConfig config)
     : self_(self),
-      sim_(sim),
+      clock_(clock),
       network_(network),
       election_(election),
       analysis_(analysis),
@@ -117,9 +117,9 @@ void TerminationProtocol::BeginCollect(TransactionId txn) {
   session.survivor_states.clear();
   session.survivor_states[self_] = hooks_.current_state(txn);
   Broadcast(kStateReq, txn);
-  if (session.deadline != 0) sim_->Cancel(session.deadline);
-  session.deadline = sim_->ScheduleAfter(
-      config_.collect_timeout,
+  if (session.deadline != 0) clock_->Cancel(session.deadline);
+  session.deadline = clock_->ScheduleTimer(
+      config_.collect_timeout, self_,
       [this, txn, token = std::weak_ptr<char>(alive_token_)]() {
         if (token.expired()) return;
         Session& s = GetSession(txn);
@@ -149,8 +149,8 @@ void TerminationProtocol::BeginMove(TransactionId txn, StateKind target,
   (void)hooks_.force_kind(txn, target);  // The backup moves itself too.
   session.move_acks.insert(self_);
   Broadcast(kMove, txn, std::to_string(static_cast<int>(target)));
-  session.deadline = sim_->ScheduleAfter(
-      config_.collect_timeout,
+  session.deadline = clock_->ScheduleTimer(
+      config_.collect_timeout, self_,
       [this, txn, token = std::weak_ptr<char>(alive_token_)]() {
         if (token.expired()) return;
         Session& s = GetSession(txn);
@@ -169,7 +169,7 @@ void TerminationProtocol::DecideAndDirect(TransactionId txn) {
   Session& session = GetSession(txn);
   if (session.phase != Phase::kCollecting) return;
   if (session.deadline != 0) {
-    sim_->Cancel(session.deadline);
+    clock_->Cancel(session.deadline);
     session.deadline = 0;
   }
   if (config_.quorum_mode) {
@@ -274,7 +274,7 @@ void TerminationProtocol::BroadcastDecision(TransactionId txn,
                                             Outcome outcome) {
   Session& session = GetSession(txn);
   if (session.deadline != 0) {
-    sim_->Cancel(session.deadline);
+    clock_->Cancel(session.deadline);
     session.deadline = 0;
   }
   Broadcast(kDecide, txn,

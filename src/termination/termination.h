@@ -11,8 +11,8 @@
 #include "analysis/concurrency_set.h"
 #include "common/types.h"
 #include "election/election.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "runtime/clock.h"
+#include "runtime/transport.h"
 
 namespace nbcp {
 
@@ -89,7 +89,7 @@ struct TerminationConfig {
 /// "term:moved", "term:decide", "term:blocked".
 class TerminationProtocol {
  public:
-  TerminationProtocol(SiteId self, Simulator* sim, Network* network,
+  TerminationProtocol(SiteId self, Clock* clock, Transport* network,
                       Election* election, const ConcurrencyAnalysis* analysis,
                       TerminationHooks hooks, TerminationConfig config = {});
 
@@ -179,8 +179,8 @@ class TerminationProtocol {
   void ApplyDecision(TransactionId txn, Outcome outcome);
 
   SiteId self_;
-  Simulator* sim_;
-  Network* network_;
+  Clock* clock_;
+  Transport* network_;
   Election* election_;
   const ConcurrencyAnalysis* analysis_;
   TerminationHooks hooks_;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "recovery/dt_log.h"
 #include "recovery/recovery_manager.h"
+#include "sim/simulator.h"
 
 namespace nbcp {
 namespace {
